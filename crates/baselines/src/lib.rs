@@ -1,0 +1,53 @@
+//! Comparator libraries for the evaluation section.
+//!
+//! The paper benchmarks Spatha against four systems. None of them can run
+//! here (closed-source CUDA or GPU-only), so each is rebuilt as the closest
+//! synthetic equivalent — a functional Rust kernel over the same storage
+//! format plus a cost model on the simulated device that encodes the
+//! library's published performance character (see DESIGN.md §1):
+//!
+//! * [`cublas`] — dense half-precision GEMM. Tile configurations chosen by
+//!   an internal heuristic over a candidate set, near-peak steady state.
+//! * [`cusparselt`] — the vendor 2:4 SpMM. Same kernel skeleton as Spatha
+//!   with `M = 4` (no column gather), fixed large tiles, higher launch
+//!   overhead (kernel selection), slightly better inner loop.
+//! * [`sputnik`] — CSR SpMM on CUDA cores with 1-D tiling; pays a load
+//!   imbalance factor measured from the actual row-length distribution.
+//! * [`clasp`] — column-vector sparse encoding on dense tensor cores;
+//!   fragment utilisation degrades with shorter vectors (`l < 16` wastes
+//!   `16 - l` rows of every `mma` fragment).
+
+pub mod clasp;
+pub mod cublas;
+pub mod cusparselt;
+pub mod sputnik;
+
+pub use clasp::ClaspSpmm;
+pub use cublas::DenseGemm;
+pub use cusparselt::SparseLtSpmm;
+pub use sputnik::SputnikSpmm;
+
+use venom_sim::{KernelCounts, KernelTiming};
+use venom_tensor::Matrix;
+
+/// Result of a baseline execution: functional output + simulated timing.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The product in f32 (all zeros in model-only mode).
+    pub c: Matrix<f32>,
+    /// Simulated timing.
+    pub timing: KernelTiming,
+    /// Priced resource counts.
+    pub counts: KernelCounts,
+}
+
+/// Execution mode shared by all baselines (mirrors
+/// [`venom_core::ExecMode`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Compute the result and the timing.
+    #[default]
+    Functional,
+    /// Timing only; the result matrix is zeros.
+    ModelOnly,
+}

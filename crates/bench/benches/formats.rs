@@ -1,0 +1,51 @@
+//! Criterion benchmarks of format compression/decompression throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use venom_format::{CsrMatrix, NmCompressed, NmConfig, SparsityMask, VnmConfig, VnmMatrix};
+use venom_pruner::magnitude;
+use venom_tensor::random;
+
+fn bench_vnm_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vnm_format");
+    for m in [8usize, 16] {
+        let cfg = VnmConfig::new(64, 2, m);
+        let w = random::glorot_matrix(512, 1024, 1);
+        let mask: SparsityMask = magnitude::prune_vnm(&w, cfg);
+        let dense = mask.apply_f32(&w).to_half();
+        group.bench_with_input(BenchmarkId::new("compress", format!("2:{m}")), &m, |bench, _| {
+            bench.iter(|| black_box(VnmMatrix::compress(&dense, &mask, cfg)))
+        });
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        group.bench_with_input(BenchmarkId::new("decompress", format!("2:{m}")), &m, |bench, _| {
+            bench.iter(|| black_box(vnm.decompress()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nm24_and_csr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("other_formats");
+    let w = random::glorot_matrix(512, 1024, 2);
+    let dense = w.to_half();
+    group.bench_function("nm24_compress_magnitude", |bench| {
+        bench.iter(|| black_box(NmCompressed::compress_magnitude(&dense, NmConfig::new(2, 4))))
+    });
+    let mask = magnitude::prune_unstructured(&w, 0.9);
+    let sparse = mask.apply_f32(&w).to_half();
+    group.bench_function("csr_from_dense_90pct", |bench| {
+        bench.iter(|| black_box(CsrMatrix::from_dense(&sparse)))
+    });
+    group.finish();
+}
+
+fn bench_storage_order(c: &mut Criterion) {
+    use venom_format::storage;
+    let data: Vec<u16> = (0..512 * 256).map(|x| x as u16).collect();
+    c.bench_function("interleave_512x256", |bench| {
+        bench.iter(|| black_box(storage::to_interleaved(&data, 512, 256, 0)))
+    });
+}
+
+criterion_group!(benches, bench_vnm_roundtrip, bench_nm24_and_csr, bench_storage_order);
+criterion_main!(benches);

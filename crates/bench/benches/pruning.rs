@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the pruning algorithms: magnitude selection
+//! versus the second-order machinery (Fisher inversion dominates, as the
+//! paper notes when motivating the block-diagonal approximation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use venom_format::VnmConfig;
+use venom_pruner::{magnitude, prune_vnm_second_order, FisherInverse, SecondOrderOptions};
+use venom_tensor::random;
+
+fn bench_magnitude_policies(c: &mut Criterion) {
+    let w = random::glorot_matrix(512, 1024, 1);
+    let mut group = c.benchmark_group("magnitude");
+    group.bench_function("unstructured_75pct", |bench| {
+        bench.iter(|| black_box(magnitude::prune_unstructured(&w, 0.75)))
+    });
+    for v in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("vnm", v), &v, |bench, &v| {
+            bench.iter(|| black_box(magnitude::prune_vnm(&w, VnmConfig::new(v, 2, 8))))
+        });
+    }
+    group.bench_function("vectorwise_8", |bench| {
+        bench.iter(|| black_box(magnitude::prune_vectorwise(&w, 8, 0.75)))
+    });
+    group.finish();
+}
+
+fn bench_second_order(c: &mut Criterion) {
+    let rows = 64;
+    let cols = 128;
+    let w = random::glorot_matrix(rows, cols, 2);
+    let grads = random::normal_matrix(32, rows * cols, 0.0, 0.5, 3);
+    let mut group = c.benchmark_group("second_order");
+    group.sample_size(10);
+    group.bench_function("fisher_inverse_m16", |bench| {
+        bench.iter(|| black_box(FisherInverse::compute(&grads, 16, 1e-2)))
+    });
+    group.bench_function("prune_vnm_2nd_16_2_16", |bench| {
+        bench.iter(|| {
+            black_box(prune_vnm_second_order(
+                &w,
+                &grads,
+                VnmConfig::new(16, 2, 16),
+                &SecondOrderOptions::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_magnitude_policies, bench_second_order);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the functional kernels.
+//!
+//! These measure real CPU wall time of the functional executors (not the
+//! simulated GPU time): useful to catch performance regressions in the
+//! library itself, and to confirm that the *work* actually shrinks with
+//! sparsity (the sparse kernel touches fewer values as M grows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use venom_bench::{dense_weight, vnm_weight};
+use venom_core::{spmm, ExecMode, SpmmOptions};
+use venom_format::{CsrMatrix, VnmConfig};
+use venom_sim::DeviceConfig;
+use venom_tensor::{gemm, random};
+
+fn bench_spmm_vs_dense(c: &mut Criterion) {
+    let dev = DeviceConfig::rtx3090();
+    let (r, k, cols) = (256usize, 512usize, 128usize);
+    let b = random::activation_matrix(k, cols, 42).to_half();
+    let mut group = c.benchmark_group("spmm_functional");
+
+    let dense = dense_weight(r, k, 7);
+    group.bench_function("dense_gemm_parallel", |bench| {
+        bench.iter(|| black_box(gemm::gemm_parallel(&dense, &b)))
+    });
+
+    for m in [8usize, 16, 32] {
+        let a = vnm_weight(r, k, VnmConfig::new(64, 2, m), 7);
+        group.bench_with_input(BenchmarkId::new("spatha_functional", format!("2:{m}")), &m, |bench, _| {
+            bench.iter(|| {
+                black_box(spmm(&a, &b, &SpmmOptions::default(), &dev));
+            })
+        });
+        let csr = CsrMatrix::from_dense(&a.decompress());
+        group.bench_with_input(BenchmarkId::new("csr_reference", format!("2:{m}")), &m, |bench, _| {
+            bench.iter(|| black_box(csr.spmm_ref(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_only_pricing(c: &mut Criterion) {
+    // The cost-model path must stay cheap: figure sweeps call it thousands
+    // of times.
+    let dev = DeviceConfig::rtx3090();
+    let a = vnm_weight(1024, 4096, VnmConfig::new(128, 2, 16), 3);
+    let b = random::activation_matrix(4096, 256, 4).to_half();
+    c.bench_function("spmm_model_only", |bench| {
+        bench.iter(|| {
+            black_box(spmm(
+                &a,
+                &b,
+                &SpmmOptions { mode: ExecMode::ModelOnly, ..SpmmOptions::default() },
+                &dev,
+            ));
+        })
+    });
+}
+
+criterion_group!(benches, bench_spmm_vs_dense, bench_model_only_pricing);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 15 — end-to-end LLM inference latency with Spatha.
+//!
+//! Latency breakdown (others / softmax / attention matmul / GEMMs) for
+//! BERT-large (batch 32, full 24 layers), GPT2-large (batch 8, 36 layers)
+//! and one GPT-3 layer (batch 1), dense versus V:2:{8,16,32} for
+//! V in {64, 128}.
+//!
+//! Paper reference: BERT GEMM ("tensor contraction") time improves up to
+//! 9.95x and end-to-end latency by up to 72%; GPT2-large GEMM time 10.84x
+//! with ~50% GEMM share limiting the total; GPT-3 GEMM time up to 11x at
+//! 2:32 with ~80% GEMM share, i.e. up to 3.20x total.
+
+use venom_bench::{banner, csv_header, csv_row};
+use venom_dnn::profile::{profile_model, LatencyBreakdown, WeightSparsity};
+use venom_dnn::transformer::TransformerConfig;
+use venom_format::VnmConfig;
+use venom_sim::DeviceConfig;
+
+fn report(model: &TransformerConfig, batch: usize, layers: usize, dev: &DeviceConfig) {
+    for v in [64usize, 128] {
+        banner(&format!("Figure 15: {} (bs={batch}, {layers} layer(s)), V={v}", model.name));
+        csv_header(&["config", "others_ms", "softmax_ms", "matmul_ms", "gemms_ms", "total_ms"]);
+        let mut dense_bd = LatencyBreakdown::default();
+        for (label, ws) in [
+            ("dense", WeightSparsity::Dense),
+            ("V:2:8", WeightSparsity::Vnm(VnmConfig::new(v, 2, 8))),
+            ("V:2:16", WeightSparsity::Vnm(VnmConfig::new(v, 2, 16))),
+            ("V:2:32", WeightSparsity::Vnm(VnmConfig::new(v, 2, 32))),
+        ] {
+            let bd = profile_model(model, batch, layers, ws, dev);
+            if label == "dense" {
+                dense_bd = bd;
+            }
+            csv_row(
+                &format!("{v}:{label}"),
+                &[bd.others_ms, bd.softmax_ms, bd.attn_matmul_ms, bd.gemms_ms, bd.total_ms()],
+            );
+        }
+        let sparse = profile_model(model, batch, layers, WeightSparsity::Vnm(VnmConfig::new(v, 2, 32)), dev);
+        println!(
+            "GEMM share dense: {:.0}% | GEMM speedup at 2:32: {:.2}x | total speedup: {:.2}x",
+            100.0 * dense_bd.gemms_ms / dense_bd.total_ms(),
+            dense_bd.gemms_ms / sparse.gemms_ms,
+            dense_bd.total_ms() / sparse.total_ms()
+        );
+    }
+}
+
+fn main() {
+    let dev = DeviceConfig::rtx3090();
+
+    let bert = TransformerConfig::bert_large();
+    report(&bert, 32, bert.layers, &dev);
+
+    let gpt2 = TransformerConfig::gpt2_large();
+    report(&gpt2, 8, gpt2.layers, &dev);
+
+    // GPT-3: a single layer, as in the paper (one encoder to fit one GPU).
+    let gpt3 = TransformerConfig::gpt3_175b();
+    report(&gpt3, 1, 1, &dev);
+}

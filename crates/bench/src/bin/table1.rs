@@ -1,0 +1,41 @@
+//! Table 1 — matrix shapes for `mma.sp` on Sparse Tensor Cores.
+//!
+//! Prints the support table the simulator implements and cross-checks the
+//! constraints the paper states: m and n fixed at 16 and 8, precision-
+//! dependent k, 2:4 the only half-precision pattern — the limitation VENOM
+//! works around.
+
+use venom_sim::tensorcore::{
+    is_supported_sp, MmaShape, Precision, SpPattern, MMA_SP_M, MMA_SP_N, MMA_SP_TABLE,
+};
+
+fn main() {
+    println!("=== Table 1: matrix shapes for mma.sp on SPTCs (m{MMA_SP_M}n{MMA_SP_N} fixed) ===");
+    println!("precision,format,supported_k");
+    for row in MMA_SP_TABLE {
+        let prec = match row.precision {
+            Precision::Fp32 => "fp32",
+            Precision::Fp16 => "half (fp16)",
+            Precision::Uint8 => "uint8",
+            Precision::Uint4 => "uint4",
+        };
+        println!(
+            "{prec},{}:{},k{} k{}",
+            row.pattern.n, row.pattern.m, row.k_values[0], row.k_values[1]
+        );
+    }
+
+    // The checks that motivate the paper.
+    let half_24 = SpPattern { n: 2, m: 4 };
+    assert!(is_supported_sp(Precision::Fp16, MmaShape::new(16, 8, 32), half_24));
+    assert!(is_supported_sp(Precision::Fp16, MmaShape::new(16, 8, 16), half_24));
+    assert!(
+        !is_supported_sp(Precision::Fp16, MmaShape::new(16, 8, 32), SpPattern { n: 2, m: 8 }),
+        "2:8 must NOT be natively supported — that is VENOM's contribution"
+    );
+    assert!(
+        !is_supported_sp(Precision::Fp16, MmaShape::new(16, 8, 32), SpPattern { n: 2, m: 16 }),
+        "2:16 must NOT be natively supported"
+    );
+    println!("\nverified: only 2:4 (half) is native; arbitrary N:M requires the V:N:M mapping");
+}

@@ -1,0 +1,50 @@
+//! Shared plumbing for the benchmark binaries.
+//!
+//! Each paper artefact (figure/table) has one binary under `src/bin/` that
+//! prints a self-describing table: first the paper's reference values for
+//! the series it regenerates, then the simulated values, so EXPERIMENTS.md
+//! can record paper-vs-measured side by side.
+
+use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
+use venom_pruner::magnitude;
+use venom_tensor::{random, Matrix};
+
+/// The sparsity ladder of Fig. 13 with its N:M patterns
+/// (50, 70, 75, 80, 90, 95, 98 percent).
+pub const SPARSITY_LADDER: [(usize, usize, &str); 7] = [
+    (2, 4, "50%"),
+    (2, 7, "70%"),
+    (2, 8, "75%"),
+    (2, 10, "80%"),
+    (2, 20, "90%"),
+    (2, 40, "95%"),
+    (2, 100, "98%"),
+];
+
+/// Builds a magnitude-pruned V:N:M matrix from a Glorot-shaped weight.
+pub fn vnm_weight(rows: usize, cols: usize, cfg: VnmConfig, seed: u64) -> VnmMatrix {
+    let w = random::glorot_matrix(rows, cols, seed);
+    let mask: SparsityMask = magnitude::prune_vnm(&w, cfg);
+    VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg)
+}
+
+/// Builds a dense half weight matrix.
+pub fn dense_weight(rows: usize, cols: usize, seed: u64) -> Matrix<venom_fp16::Half> {
+    random::glorot_matrix(rows, cols, seed).to_half()
+}
+
+/// Prints a CSV header line.
+pub fn csv_header(cols: &[&str]) {
+    println!("{}", cols.join(","));
+}
+
+/// Prints one CSV row of formatted floats.
+pub fn csv_row(label: &str, values: &[f64]) {
+    let vals: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    println!("{label},{}", vals.join(","));
+}
+
+/// Section banner for readable stdout reports.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,194 @@
+//! Hand-rolled argument parsing (the offline dependency set has no clap;
+//! the grammar is small enough that a table-driven parser is clearer
+//! anyway).
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `venom info [--device NAME]` — device presets and peaks.
+    Info {
+        /// `rtx3090` or `a100`.
+        device: String,
+    },
+    /// `venom compress --rows R --cols K --pattern V:N:M [--seed S]`.
+    Compress {
+        /// Weight rows.
+        rows: usize,
+        /// Weight columns.
+        cols: usize,
+        /// The V:N:M pattern.
+        pattern: (usize, usize, usize),
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `venom bench --shape RxKxC --pattern V:N:M [--device NAME]`.
+    Bench {
+        /// GEMM shape.
+        shape: (usize, usize, usize),
+        /// The V:N:M pattern.
+        pattern: (usize, usize, usize),
+        /// Device preset name.
+        device: String,
+    },
+    /// `venom energy --rows R --cols K --sparsity S`.
+    Energy {
+        /// Weight rows.
+        rows: usize,
+        /// Weight columns.
+        cols: usize,
+        /// Target sparsity in (0, 1).
+        sparsity: f64,
+    },
+    /// `venom help`.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+venom — V:N:M sparsity toolkit (simulated Sparse Tensor Cores)
+
+USAGE:
+  venom info     [--device rtx3090|a100]
+  venom compress --rows R --cols K --pattern V:N:M [--seed S]
+  venom bench    --shape RxKxC --pattern V:N:M [--device rtx3090|a100]
+  venom energy   --rows R --cols K --sparsity S
+  venom help
+";
+
+fn take_flag<'a>(argv: &'a [String], name: &str) -> Option<&'a str> {
+    argv.iter()
+        .position(|a| a == name)
+        .and_then(|i| argv.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_pattern(s: &str) -> Result<(usize, usize, usize), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("pattern must be V:N:M, got '{s}'"));
+    }
+    let nums: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse::<usize>()).collect();
+    let nums = nums.map_err(|_| format!("pattern must be numeric, got '{s}'"))?;
+    Ok((nums[0], nums[1], nums[2]))
+}
+
+fn parse_shape(s: &str) -> Result<(usize, usize, usize), String> {
+    let parts: Vec<&str> = s.split('x').collect();
+    if parts.len() != 3 {
+        return Err(format!("shape must be RxKxC, got '{s}'"));
+    }
+    let nums: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse::<usize>()).collect();
+    let nums = nums.map_err(|_| format!("shape must be numeric, got '{s}'"))?;
+    Ok((nums[0], nums[1], nums[2]))
+}
+
+fn req_usize(argv: &[String], name: &str) -> Result<usize, String> {
+    take_flag(argv, name)
+        .ok_or_else(|| format!("missing {name}"))?
+        .parse()
+        .map_err(|_| format!("{name} must be an integer"))
+}
+
+/// Parses `argv` (without the program name).
+///
+/// # Errors
+/// Returns a message (including usage) for malformed input.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let cmd = argv.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "info" => Ok(Command::Info {
+            device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
+        }),
+        "compress" => Ok(Command::Compress {
+            rows: req_usize(argv, "--rows")?,
+            cols: req_usize(argv, "--cols")?,
+            pattern: parse_pattern(
+                take_flag(argv, "--pattern").ok_or("missing --pattern")?,
+            )?,
+            seed: take_flag(argv, "--seed").unwrap_or("42").parse().map_err(|_| "--seed must be an integer".to_string())?,
+        }),
+        "bench" => Ok(Command::Bench {
+            shape: parse_shape(take_flag(argv, "--shape").ok_or("missing --shape")?)?,
+            pattern: parse_pattern(
+                take_flag(argv, "--pattern").ok_or("missing --pattern")?,
+            )?,
+            device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
+        }),
+        "energy" => Ok(Command::Energy {
+            rows: req_usize(argv, "--rows")?,
+            cols: req_usize(argv, "--cols")?,
+            sparsity: take_flag(argv, "--sparsity")
+                .ok_or("missing --sparsity")?
+                .parse()
+                .map_err(|_| "--sparsity must be a float".to_string())?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_info_with_default_device() {
+        assert_eq!(parse(&v(&["info"])).unwrap(), Command::Info { device: "rtx3090".into() });
+        assert_eq!(
+            parse(&v(&["info", "--device", "a100"])).unwrap(),
+            Command::Info { device: "a100".into() }
+        );
+    }
+
+    #[test]
+    fn parses_compress() {
+        let c = parse(&v(&["compress", "--rows", "128", "--cols", "256", "--pattern", "64:2:8"]))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Compress { rows: 128, cols: 256, pattern: (64, 2, 8), seed: 42 }
+        );
+    }
+
+    #[test]
+    fn parses_bench_shape() {
+        let c = parse(&v(&["bench", "--shape", "1024x4096x4096", "--pattern", "128:2:16"]))
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Bench {
+                shape: (1024, 4096, 4096),
+                pattern: (128, 2, 16),
+                device: "rtx3090".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_pattern() {
+        let e = parse(&v(&["bench", "--shape", "8x8x8", "--pattern", "2:8"])).unwrap_err();
+        assert!(e.contains("V:N:M"));
+    }
+
+    #[test]
+    fn rejects_unknown_command() {
+        let e = parse(&v(&["frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown command"));
+        assert!(e.contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        let e = parse(&v(&["compress", "--rows", "8"])).unwrap_err();
+        assert!(e.contains("--cols") || e.contains("cols"));
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+}

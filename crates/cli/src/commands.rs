@@ -1,0 +1,174 @@
+//! Command implementations for the `venom` CLI.
+
+use crate::args::{Command, USAGE};
+use venom_baselines::cublas::DenseGemm;
+use venom_core::{spmm_time_tuned, SpmmOptions};
+use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
+use venom_pruner::{energy, magnitude};
+use venom_sim::DeviceConfig;
+use venom_tensor::{random, GemmShape};
+
+fn device_by_name(name: &str) -> DeviceConfig {
+    match name {
+        "a100" => DeviceConfig::a100(),
+        _ => DeviceConfig::rtx3090(),
+    }
+}
+
+/// Runs a parsed command and returns the report text.
+pub fn execute(cmd: &Command) -> String {
+    match cmd {
+        Command::Help => USAGE.to_string(),
+        Command::Info { device } => info(&device_by_name(device)),
+        Command::Compress { rows, cols, pattern, seed } => {
+            compress(*rows, *cols, *pattern, *seed)
+        }
+        Command::Bench { shape, pattern, device } => {
+            bench(*shape, *pattern, &device_by_name(device))
+        }
+        Command::Energy { rows, cols, sparsity } => energy_report(*rows, *cols, *sparsity),
+    }
+}
+
+fn info(dev: &DeviceConfig) -> String {
+    format!(
+        "{}\n\
+         SMs: {} @ {:.3} GHz | DRAM {:.0} GB/s | L2 {} MiB | SMEM/SM {} KiB\n\
+         dense tensor peak : {:.1} TFLOP/s (fp16, f32 accumulate)\n\
+         sparse tensor peak: {:.1} TFLOP/s (2:4 mma.sp)\n\
+         CUDA-core fp32    : {:.1} TFLOP/s",
+        dev.name,
+        dev.sm_count,
+        dev.clock_ghz,
+        dev.dram_bw_gbps,
+        dev.l2_bytes / (1024 * 1024),
+        dev.smem_per_sm / 1024,
+        dev.dense_tensor_flops() / 1e12,
+        dev.sparse_tensor_flops() / 1e12,
+        dev.cuda_fp32_flops() / 1e12,
+    )
+}
+
+fn compress(rows: usize, cols: usize, (v, n, m): (usize, usize, usize), seed: u64) -> String {
+    let cfg = VnmConfig::new(v, n, m);
+    let w = random::glorot_matrix(rows, cols, seed);
+    let mask: SparsityMask = magnitude::prune_vnm(&w, cfg);
+    let vnm = VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg);
+    format!(
+        "pattern {cfg} on {rows}x{cols} (seed {seed})\n\
+         sparsity          : {:.2}% ({} nonzeros kept)\n\
+         energy preserved  : {:.3}\n\
+         values            : {} B\n\
+         m-indices         : {} B\n\
+         column-loc        : {} B\n\
+         compression ratio : {:.2}x vs dense fp16",
+        100.0 * mask.sparsity(),
+        vnm.nnz(),
+        energy(&w, &mask),
+        vnm.values_bytes(),
+        vnm.m_indices_bytes(),
+        vnm.column_loc_bytes(),
+        vnm.compression_ratio(),
+    )
+}
+
+fn bench(
+    (r, k, c): (usize, usize, usize),
+    (v, n, m): (usize, usize, usize),
+    dev: &DeviceConfig,
+) -> String {
+    let cfg = VnmConfig::new(v, n, m);
+    let dense = DenseGemm::time(GemmShape::new(r, k, c), dev);
+    let sparse = spmm_time_tuned(r, k, c, cfg, &SpmmOptions::default(), dev);
+    format!(
+        "{} — GEMM {r}x{k}x{c}, pattern {cfg}\n\
+         cuBLAS (dense)  : {:8.3} ms  ({:.1} TFLOP/s)\n\
+         Spatha ({cfg})  : {:8.3} ms  ({:.1} effective TFLOP/s, {:?}-limited)\n\
+         speedup         : {:.2}x (theoretical cap {:.0}x)",
+        dev.name,
+        dense.time_ms,
+        dense.tflops,
+        sparse.time_ms,
+        sparse.tflops,
+        sparse.limiter,
+        dense.time_ms / sparse.time_ms,
+        cfg.theoretical_speedup_cap(),
+    )
+}
+
+fn energy_report(rows: usize, cols: usize, sparsity: f64) -> String {
+    let w = random::glorot_matrix(rows, cols, 2023);
+    let mut out = format!("energy at {:.0}% sparsity on {rows}x{cols}:\n", sparsity * 100.0);
+    out += &format!(
+        "  unstructured : {:.3}\n",
+        energy(&w, &magnitude::prune_unstructured(&w, sparsity))
+    );
+    // Find an N:M pair matching the sparsity (n = 2).
+    let m = (2.0 / (1.0 - sparsity)).round() as usize;
+    if m >= 4 && (1.0 - 2.0 / m as f64 - sparsity).abs() < 0.05 {
+        for v in [1usize, 64, 128] {
+            if rows >= v {
+                let cfg = VnmConfig::new(v, 2, m);
+                out += &format!(
+                    "  {v}:2:{m}       : {:.3}\n",
+                    energy(&w, &magnitude::prune_vnm(&w, cfg))
+                );
+            }
+        }
+    }
+    out += &format!(
+        "  vw_8         : {:.3}",
+        energy(&w, &magnitude::prune_vectorwise(&w, 8, sparsity))
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_mentions_peaks() {
+        let s = info(&DeviceConfig::rtx3090());
+        assert!(s.contains("RTX 3090"));
+        assert!(s.contains("sparse tensor peak"));
+    }
+
+    #[test]
+    fn compress_reports_all_three_structures() {
+        let s = compress(64, 128, (32, 2, 8), 1);
+        assert!(s.contains("values"));
+        assert!(s.contains("m-indices"));
+        assert!(s.contains("column-loc"));
+        assert!(s.contains("75.00%"));
+    }
+
+    #[test]
+    fn bench_reports_speedup_and_cap() {
+        let s = bench((256, 1024, 512), (64, 2, 8), &DeviceConfig::rtx3090());
+        assert!(s.contains("speedup"));
+        assert!(s.contains("cap 4x"));
+    }
+
+    #[test]
+    fn energy_report_lists_policies() {
+        let s = energy_report(128, 160, 0.75);
+        assert!(s.contains("unstructured"));
+        assert!(s.contains("vw_8"));
+        assert!(s.contains("128:2:8"));
+    }
+
+    #[test]
+    fn execute_dispatches_help() {
+        let s = execute(&Command::Help);
+        assert!(s.contains("USAGE"));
+    }
+
+    #[test]
+    fn end_to_end_run() {
+        let out = crate::run(&["info".to_string()]).unwrap();
+        assert!(out.contains("TFLOP/s"));
+        let err = crate::run(&["nope".to_string()]).unwrap_err();
+        assert!(err.contains("unknown"));
+    }
+}

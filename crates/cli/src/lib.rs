@@ -1,0 +1,17 @@
+//! Library half of the `venom` CLI: argument parsing and command
+//! implementations, kept in a lib so they are unit-testable.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command};
+
+/// Entry point shared by the binary and tests: parses `argv` (without the
+/// program name) and runs the command, returning the report text.
+///
+/// # Errors
+/// Returns a usage message on malformed arguments.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let cmd = args::parse(argv)?;
+    Ok(commands::execute(&cmd))
+}

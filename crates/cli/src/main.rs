@@ -1,0 +1,12 @@
+//! The `venom` command-line tool.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match venom_cli::run(&argv) {
+        Ok(report) => println!("{report}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The Spatha SpMM kernel: functional execution + simulated timing.
+//!
+//! Functional execution mirrors the GPU mapping exactly: the grid of
+//! thread-block tiles is processed in parallel (rayon standing in for SMs),
+//! each block gathers its selected B rows (stage 1), decomposes its warp
+//! tiles into `mma.sp.m16n8k32` instruction tiles executed by the simulated
+//! tensor core (stage 2), and writes the output tile back (stage 3). The
+//! arithmetic goes through [`venom_sim::tensorcore::mma_sp_f16`], so the
+//! result carries genuine tensor-core numerics (exact fp16 products, f32
+//! accumulation in instruction order).
+
+use crate::autotune::default_config;
+use crate::counts::build_counts;
+use crate::tile::TileConfig;
+use rayon::prelude::*;
+use venom_fp16::Half;
+use venom_format::{VnmMatrix, SELECTED_COLUMNS};
+use venom_sim::pipeline::{simulate, KernelCounts, KernelTiming};
+use venom_sim::tensorcore::mma_sp_f16;
+use venom_sim::DeviceConfig;
+use venom_tensor::Matrix;
+
+/// How much work the simulator actually performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Execute the kernel functionally (produces the numeric result) and
+    /// price it with the cost model.
+    #[default]
+    Functional,
+    /// Only price the launch (benchmark sweeps at sizes where functional
+    /// execution on a CPU is beside the point). The returned matrix is
+    /// all zeros.
+    ModelOnly,
+}
+
+/// Options of one SpMM call.
+#[derive(Clone, Copy, Debug)]
+pub struct SpmmOptions {
+    /// Template parameters; `None` lets the library pick via
+    /// [`default_config`].
+    pub tile: Option<TileConfig>,
+    /// Load B rows through the column-loc indirection (true) or simulate
+    /// the "fixed indices" ablation of Fig. 9 (false).
+    pub use_column_loc: bool,
+    /// Use the padded 128-bit epilogue of Fig. 8 (true) or the 32-bit
+    /// variant of the Fig. 10 ablation (false).
+    pub wide_smem_store: bool,
+    /// Functional or model-only execution.
+    pub mode: ExecMode,
+}
+
+impl Default for SpmmOptions {
+    fn default() -> Self {
+        SpmmOptions {
+            tile: None,
+            use_column_loc: true,
+            wide_smem_store: true,
+            mode: ExecMode::Functional,
+        }
+    }
+}
+
+/// Result of one SpMM call.
+#[derive(Clone, Debug)]
+pub struct SpmmResult {
+    /// The product `A * B` in f32 (the accumulator precision).
+    pub c: Matrix<f32>,
+    /// Simulated timing on the target device.
+    pub timing: KernelTiming,
+    /// The priced resource counts (for reports and ablations).
+    pub counts: KernelCounts,
+    /// The template instantiation used.
+    pub tile: TileConfig,
+}
+
+/// Sparse matrix-matrix multiply `C = A * B` with library-selected
+/// template parameters.
+///
+/// # Panics
+/// Panics if `B` has a row count different from `A`'s K, or if the
+/// selected configuration cannot launch on `dev`.
+pub fn spmm(a: &VnmMatrix, b: &Matrix<Half>, opts: &SpmmOptions, dev: &DeviceConfig) -> SpmmResult {
+    let tile = opts.tile.unwrap_or_else(|| default_config(a, b.cols(), dev));
+    spmm_with_config(a, b, tile, opts, dev)
+}
+
+/// SpMM with an explicit template instantiation.
+///
+/// # Panics
+/// See [`spmm`]; additionally panics if `tile.bs_r != A.config().v`.
+pub fn spmm_with_config(
+    a: &VnmMatrix,
+    b: &Matrix<Half>,
+    tile: TileConfig,
+    opts: &SpmmOptions,
+    dev: &DeviceConfig,
+) -> SpmmResult {
+    let (r, k) = a.shape();
+    assert_eq!(b.rows(), k, "B must have K = {k} rows");
+    let c_cols = b.cols();
+
+    let counts = build_counts(a, c_cols, &tile, opts);
+    let timing = simulate(dev, &counts).unwrap_or_else(|e| {
+        panic!("configuration {tile} cannot launch on {}: {e:?}", dev.name)
+    });
+
+    let c = match opts.mode {
+        ExecMode::ModelOnly => Matrix::<f32>::zeros(r, c_cols),
+        ExecMode::Functional => execute_functional(a, b, &tile),
+    };
+
+    SpmmResult { c, timing, counts, tile }
+}
+
+/// Prices a Spatha SpMM for a *hypothetical* `R x K` matrix in pattern
+/// `cfg` against a `K x b_cols` dense operand, without materialising
+/// anything (used by the end-to-end transformer profiler at GPT-3 scale).
+///
+/// # Panics
+/// Panics if the default configuration cannot launch on `dev`.
+pub fn spmm_time_shape(
+    r: usize,
+    k: usize,
+    b_cols: usize,
+    cfg: venom_format::VnmConfig,
+    opts: &SpmmOptions,
+    dev: &DeviceConfig,
+) -> KernelTiming {
+    let tile = opts
+        .tile
+        .unwrap_or_else(|| crate::autotune::default_config_shape(cfg, k, b_cols, dev));
+    let counts = crate::counts::build_counts_shape(r, k, b_cols, cfg, &tile, opts);
+    simulate(dev, &counts)
+        .unwrap_or_else(|e| panic!("configuration {tile} cannot launch on {}: {e:?}", dev.name))
+}
+
+/// Like [`spmm_time_shape`] but with the autotuner selecting the template
+/// instantiation — the configuration the shipped library would use, and
+/// the one the benchmark sweeps report.
+///
+/// # Panics
+/// Panics if no candidate configuration fits `dev`.
+pub fn spmm_time_tuned(
+    r: usize,
+    k: usize,
+    b_cols: usize,
+    cfg: venom_format::VnmConfig,
+    opts: &SpmmOptions,
+    dev: &DeviceConfig,
+) -> KernelTiming {
+    let (tile, _) = crate::autotune::autotune_shape(r, k, b_cols, cfg, opts, dev);
+    let counts = crate::counts::build_counts_shape(r, k, b_cols, cfg, &tile, opts);
+    simulate(dev, &counts).expect("autotuned configuration fits by construction")
+}
+
+/// Stage 1–3 functional execution over the block grid.
+fn execute_functional(a: &VnmMatrix, b: &Matrix<Half>, tile: &TileConfig) -> Matrix<f32> {
+    let (r, _k) = a.shape();
+    let c_cols = b.cols();
+    let bs_r = tile.bs_r;
+    let row_tiles = r.div_ceil(bs_r);
+    let col_tiles = c_cols.div_ceil(tile.bs_c);
+
+    let mut out = vec![0.0f32; r * c_cols];
+    // One rayon task per block row (grid Y), mirroring the SM schedule; the
+    // inner loop walks the block columns.
+    out.par_chunks_mut(bs_r * c_cols)
+        .enumerate()
+        .for_each(|(rt, out_band)| {
+            debug_assert!(rt < row_tiles);
+            for ct in 0..col_tiles {
+                execute_block(a, b, tile, rt, ct, out_band);
+            }
+        });
+    Matrix::from_vec(r, c_cols, out)
+}
+
+/// One thread block: computes the `bs_r x bs_c` output tile `(rt, ct)`.
+fn execute_block(
+    a: &VnmMatrix,
+    b: &Matrix<Half>,
+    tile: &TileConfig,
+    rt: usize,
+    ct: usize,
+    out_band: &mut [f32],
+) {
+    let (r, _) = a.shape();
+    let cfg = a.config();
+    let n = cfg.n;
+    let k_groups = a.k_groups();
+    let c_cols = b.cols();
+
+    let row0 = rt * tile.bs_r;
+    let rows_here = tile.bs_r.min(r - row0);
+    let col0 = ct * tile.bs_c;
+    let cols_here = tile.bs_c.min(c_cols - col0);
+
+    // Stage 1: gather the selected B rows for every K group into the
+    // "shared memory" tile: groups x 4 selected rows x bs_c columns.
+    let mut b_tile = vec![Half::ZERO; k_groups * SELECTED_COLUMNS * cols_here];
+    for g in 0..k_groups {
+        let sel = a.selected_b_rows(rt, g);
+        for (j, &brow) in sel.iter().enumerate() {
+            let src = &b.row(brow)[col0..col0 + cols_here];
+            let dst_off = (g * SELECTED_COLUMNS + j) * cols_here;
+            b_tile[dst_off..dst_off + cols_here].copy_from_slice(src);
+        }
+    }
+
+    // Stage 2: decompose into mma.sp instruction tiles. Fragment buffers
+    // are reused across instructions (the "register file").
+    let shape = tile.mma;
+    let groups_per_step = shape.k / SELECTED_COLUMNS; // 8 groups per k-step
+    let k_steps = k_groups.div_ceil(groups_per_step);
+    let mut a_vals = vec![Half::ZERO; shape.m * shape.k / 2];
+    let mut a_meta = vec![0u8; shape.m * shape.k / 2];
+    let mut b_frag = vec![Half::ZERO; shape.k * shape.n];
+    let mut d_frag = vec![0.0f32; shape.m * shape.n];
+
+    let values = a.values();
+    let m_indices = a.m_indices();
+    let slots_per_row = k_groups * n;
+
+    for mt in 0..tile.bs_r.div_ceil(shape.m) {
+        let frag_row0 = row0 + mt * shape.m;
+        for nt in 0..cols_here.div_ceil(shape.n) {
+            let frag_col0 = nt * shape.n;
+            let frag_cols = shape.n.min(cols_here - frag_col0);
+            d_frag.iter_mut().for_each(|x| *x = 0.0);
+
+            for ks in 0..k_steps {
+                let g0 = ks * groups_per_step;
+
+                // LHS fragment: 16 rows x (k/2) stored values + metadata.
+                for i in 0..shape.m {
+                    let row = frag_row0 + i;
+                    for gg in 0..groups_per_step {
+                        let g = g0 + gg;
+                        for s in 0..2 {
+                            let dst = i * (shape.k / 2) + gg * 2 + s;
+                            if row < r && g < k_groups && s < n {
+                                let slot = row * slots_per_row + g * n + s;
+                                a_vals[dst] = values[slot];
+                                a_meta[dst] = m_indices[slot];
+                            } else {
+                                a_vals[dst] = Half::ZERO;
+                                a_meta[dst] = 0;
+                            }
+                        }
+                    }
+                }
+
+                // RHS fragment: the gathered rows of this k-step.
+                for gg in 0..groups_per_step {
+                    let g = g0 + gg;
+                    for j in 0..SELECTED_COLUMNS {
+                        for cc in 0..shape.n {
+                            let dst = (gg * SELECTED_COLUMNS + j) * shape.n + cc;
+                            b_frag[dst] = if g < k_groups && cc < frag_cols {
+                                b_tile[(g * SELECTED_COLUMNS + j) * cols_here + frag_col0 + cc]
+                            } else {
+                                Half::ZERO
+                            };
+                        }
+                    }
+                }
+
+                mma_sp_f16(shape, &a_vals, &a_meta, &b_frag, &mut d_frag);
+            }
+
+            // Stage 3: write the accumulator fragment to the output band.
+            for i in 0..shape.m {
+                let row = frag_row0 + i;
+                if row >= row0 + rows_here || row >= a.shape().0 {
+                    break;
+                }
+                let band_row = row - row0;
+                for cc in 0..frag_cols {
+                    out_band[band_row * c_cols + col0 + frag_col0 + cc] += d_frag[i * shape.n + cc];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_format::{SparsityMask, VnmConfig};
+    use venom_tensor::{norms, random};
+
+    /// Magnitude V:N:M mask (test-local copy; the pruner crate owns the
+    /// production implementation).
+    fn vnm_mask(w: &Matrix<f32>, cfg: VnmConfig) -> SparsityMask {
+        let mut mask = SparsityMask::empty(w.rows(), w.cols());
+        for b in 0..cfg.row_blocks(w.rows()) {
+            let r0 = b * cfg.v;
+            let r1 = (r0 + cfg.v).min(w.rows());
+            for g in 0..cfg.k_groups(w.cols()) {
+                let c0 = g * cfg.m;
+                let c1 = (c0 + cfg.m).min(w.cols());
+                let mut cols: Vec<usize> = (c0..c1).collect();
+                cols.sort_by(|&x, &y| {
+                    let sx: f32 = (r0..r1).map(|r| w.get(r, x).abs()).sum();
+                    let sy: f32 = (r0..r1).map(|r| w.get(r, y).abs()).sum();
+                    sy.partial_cmp(&sx).unwrap()
+                });
+                let sel: Vec<usize> = cols.into_iter().take(SELECTED_COLUMNS).collect();
+                for r in r0..r1 {
+                    let mut sc = sel.clone();
+                    sc.sort_by(|&x, &y| {
+                        w.get(r, y).abs().partial_cmp(&w.get(r, x).abs()).unwrap()
+                    });
+                    for &c in sc.iter().take(cfg.n) {
+                        mask.set(r, c, true);
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    fn fixture(r: usize, k: usize, cfg: VnmConfig, seed: u64) -> VnmMatrix {
+        let w = random::normal_matrix(r, k, 0.0, 1.0, seed);
+        let mask = vnm_mask(&w, cfg);
+        VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg)
+    }
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::rtx3090()
+    }
+
+    #[test]
+    fn spmm_matches_format_reference() {
+        let cfg = VnmConfig::new(32, 2, 8);
+        let a = fixture(64, 128, cfg, 1);
+        let b = random::normal_matrix(128, 48, 0.0, 1.0, 2).to_half();
+        let tile = TileConfig::new(32, 32, 32, 32, 32, 2);
+        let got = spmm_with_config(&a, &b, tile, &SpmmOptions::default(), &dev());
+        let want = a.spmm_ref(&b);
+        let err = norms::max_abs_diff(&got.c, &want);
+        assert!(err < 1e-2, "err={err}");
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm_through_decompression() {
+        let cfg = VnmConfig::new(16, 2, 10);
+        let a = fixture(48, 100, cfg, 3);
+        let b = random::normal_matrix(100, 40, 0.0, 1.0, 4).to_half();
+        let got = spmm(&a, &b, &SpmmOptions::default(), &dev());
+        let want = venom_tensor::gemm::gemm_ref(&a.decompress(), &b);
+        assert!(norms::allclose(&got.c, &want, 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn irregular_shapes_are_handled() {
+        // R not divisible by V, K not by M, C not by BSc / mma.n.
+        let cfg = VnmConfig::new(16, 2, 10);
+        let a = fixture(50, 93, cfg, 5);
+        let b = random::normal_matrix(93, 37, 0.0, 1.0, 6).to_half();
+        let got = spmm(&a, &b, &SpmmOptions::default(), &dev());
+        let want = a.spmm_ref(&b);
+        assert!(norms::allclose(&got.c, &want, 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn minimum_vector_size_v16_works() {
+        // V must be a multiple of mma.m = 16: the 16 rows of an instruction
+        // tile share one B fragment, so they must share one column
+        // selection. (V = 1 "plain N:M" is a pruning-only configuration in
+        // the paper too — its kernels always use V >= 32.)
+        let cfg = VnmConfig::new(16, 2, 8);
+        let a = fixture(48, 64, cfg, 7);
+        let b = random::normal_matrix(64, 16, 0.0, 1.0, 8).to_half();
+        let got = spmm(&a, &b, &SpmmOptions::default(), &dev());
+        let want = a.spmm_ref(&b);
+        assert!(norms::allclose(&got.c, &want, 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn ablation_variants_same_result_different_time() {
+        let cfg = VnmConfig::new(64, 2, 16);
+        let a = fixture(128, 256, cfg, 9);
+        let b = random::normal_matrix(256, 64, 0.0, 1.0, 10).to_half();
+        let base = spmm(&a, &b, &SpmmOptions::default(), &dev());
+        let narrow = spmm(
+            &a,
+            &b,
+            &SpmmOptions { wide_smem_store: false, ..SpmmOptions::default() },
+            &dev(),
+        );
+        assert_eq!(base.c, narrow.c, "store width must not change the math");
+        assert!(
+            narrow.counts.smem_epilogue_transactions_per_block
+                > base.counts.smem_epilogue_transactions_per_block
+        );
+        assert!(narrow.timing.time_ms >= base.timing.time_ms);
+    }
+
+    #[test]
+    fn model_only_skips_compute() {
+        let cfg = VnmConfig::new(64, 2, 8);
+        let a = fixture(128, 512, cfg, 11);
+        let b = random::normal_matrix(512, 128, 0.0, 1.0, 12).to_half();
+        let res = spmm(
+            &a,
+            &b,
+            &SpmmOptions { mode: ExecMode::ModelOnly, ..SpmmOptions::default() },
+            &dev(),
+        );
+        assert!(res.c.as_slice().iter().all(|&x| x == 0.0));
+        assert!(res.timing.time_ms > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "B must have K")]
+    fn shape_mismatch_panics() {
+        let cfg = VnmConfig::new(32, 2, 8);
+        let a = fixture(32, 64, cfg, 13);
+        let b = Matrix::<Half>::zeros(32, 8);
+        let _ = spmm(&a, &b, &SpmmOptions::default(), &dev());
+    }
+}

@@ -1,0 +1,38 @@
+//! Spatha — the paper's high-performance SpMM library for the V:N:M format.
+//!
+//! Computes `C[R x C] = A[R x K] * B[K x C]` where `A` is a
+//! [`VnmMatrix`]. The kernel follows the paper's three stages (§4.1):
+//!
+//! 1. **Data loading** — `column-loc` is prefetched and used to gather only
+//!    the selected rows of `B` from global memory into shared memory; the
+//!    compressed `A` values and m-indices stream in the Fig. 7 interleaved
+//!    order; loads are software-pipelined (`batchSize` stages).
+//! 2. **Computation** — warp tiles decompose into `mma.sp.m16n8k32`
+//!    instruction tiles executed by the simulated Sparse Tensor Cores.
+//! 3. **Result storage** — accumulators stage through shared memory with
+//!    the padded, conflict-free 128-bit layout of Fig. 8 (a 32-bit variant
+//!    exists for the Fig. 10 ablation).
+//!
+//! The library is template-based like the CUDA original: a [`TileConfig`]
+//! fixes the thread-block tile (`BSr x BSk x BSc`), the warp tile
+//! (`WSr x WSc`), the `mma` shape and the pipeline depth, and
+//! [`autotune`] searches that space with the cost model.
+
+pub mod autotune;
+pub mod counts;
+pub mod fused;
+pub mod kernel;
+pub mod sddmm;
+pub mod tile;
+
+pub use autotune::{autotune, autotune_shape, default_config, default_config_shape};
+pub use counts::{build_counts, build_counts_shape};
+pub use kernel::{
+    spmm, spmm_time_shape, spmm_time_tuned, spmm_with_config, ExecMode, SpmmOptions, SpmmResult,
+};
+pub use fused::{spmm_fused, Epilogue};
+pub use sddmm::{sddmm, SddmmResult};
+pub use tile::TileConfig;
+
+pub use venom_format::{VnmConfig, VnmMatrix};
+pub use venom_sim::{DeviceConfig, KernelTiming};

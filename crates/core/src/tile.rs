@@ -1,0 +1,191 @@
+//! Template parameters of the Spatha kernel (§4.1).
+//!
+//! The CUDA original is a template library; each instantiation fixes the
+//! thread-block tile `BSr x BSk x BSc`, the warp tile `WSr x WSk x WSc`,
+//! the `mma` instruction shape, and the software-pipelining depth
+//! (`batchSize`). This module is the Rust equivalent: a validated value
+//! type the kernel and the cost model both consume.
+//!
+//! Conventions:
+//! * `BSr` equals the format's `V` (the paper fixes `BSr = V` so that one
+//!   thread block shares one `column-loc` row selection).
+//! * The K-dimension tile is expressed in *condensed* columns (selected
+//!   columns, 4 per M-group): `bs_k_cond` original columns span
+//!   `bs_k_cond / 4 * M` logical K columns. This keeps every configuration
+//!   aligned with the `mma.sp` k = 32 instruction regardless of M.
+
+use venom_sim::tensorcore::{MmaShape, MMA_SP_M, MMA_SP_N};
+use venom_sim::{BlockResources, DeviceConfig};
+
+/// A Spatha kernel template instantiation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TileConfig {
+    /// Thread-block tile rows (`BSr`); must equal the format's `V`.
+    pub bs_r: usize,
+    /// Thread-block tile columns of `C` (`BSc`).
+    pub bs_c: usize,
+    /// Thread-block K-tile in condensed columns (multiple of `mma.k`).
+    pub bs_k_cond: usize,
+    /// Warp tile rows (`WSr`), multiple of `mma.m`.
+    pub ws_r: usize,
+    /// Warp tile columns (`WSc`), multiple of `mma.n`.
+    pub ws_c: usize,
+    /// Instruction shape (only `m16n8k32` half-precision sparse today).
+    pub mma: MmaShape,
+    /// Software pipeline depth — the paper's `batchSize`.
+    pub stages: u32,
+}
+
+impl TileConfig {
+    /// The half-precision sparse instruction Spatha targets.
+    pub const MMA_SP_HALF: MmaShape = MmaShape::new(MMA_SP_M, MMA_SP_N, 32);
+
+    /// Creates and validates a configuration.
+    ///
+    /// # Panics
+    /// Panics on any divisibility violation (the same constraints the CUDA
+    /// templates enforce with `static_assert`).
+    pub fn new(
+        bs_r: usize,
+        bs_c: usize,
+        bs_k_cond: usize,
+        ws_r: usize,
+        ws_c: usize,
+        stages: u32,
+    ) -> Self {
+        let mma = Self::MMA_SP_HALF;
+        assert!(bs_r > 0 && bs_c > 0 && bs_k_cond > 0, "tile dims must be nonzero");
+        assert_eq!(bs_r % ws_r, 0, "BSr must be a multiple of WSr");
+        assert_eq!(bs_c % ws_c, 0, "BSc must be a multiple of WSc");
+        assert_eq!(ws_r % mma.m, 0, "WSr must be a multiple of mma.m");
+        assert_eq!(ws_c % mma.n, 0, "WSc must be a multiple of mma.n");
+        assert_eq!(bs_k_cond % mma.k, 0, "BSk must be a multiple of mma.k");
+        assert!(stages >= 1, "pipeline depth is at least 1");
+        TileConfig { bs_r, bs_c, bs_k_cond, ws_r, ws_c, mma, stages }
+    }
+
+    /// Warps per thread block.
+    pub fn warps(&self) -> usize {
+        (self.bs_r / self.ws_r) * (self.bs_c / self.ws_c)
+    }
+
+    /// Threads per thread block.
+    pub fn threads(&self) -> usize {
+        self.warps() * 32
+    }
+
+    /// `mma.sp` instructions issued per warp per K-step of `mma.k`
+    /// condensed columns.
+    pub fn mma_per_warp_step(&self) -> usize {
+        (self.ws_r / self.mma.m) * (self.ws_c / self.mma.n)
+    }
+
+    /// Stored (50%-compressed) halves per row per K-tile.
+    pub fn a_values_per_row_iter(&self) -> usize {
+        self.bs_k_cond / 2
+    }
+
+    /// Shared memory bytes for one pipeline stage: the A values tile,
+    /// m-indices, and the gathered B tile.
+    pub fn smem_stage_bytes(&self) -> usize {
+        let a = self.bs_r * self.a_values_per_row_iter() * 2;
+        let meta = (self.bs_r * self.a_values_per_row_iter() * 2).div_ceil(8);
+        let b = self.bs_k_cond * self.bs_c * 2;
+        a + meta + b
+    }
+
+    /// Shared memory bytes for the stage-3 epilogue staging tile
+    /// (f32 accumulators with the Fig. 8 padding: one 16-byte pad per
+    /// 128-byte row segment).
+    pub fn smem_epilogue_bytes(&self) -> usize {
+        let row_bytes = self.bs_c * 4;
+        let padded = row_bytes + (row_bytes / 128) * 16;
+        self.bs_r.min(32) * padded
+    }
+
+    /// Total shared memory per block (pipelined stages + epilogue reuse).
+    pub fn smem_bytes(&self) -> usize {
+        (self.stages as usize * self.smem_stage_bytes()).max(self.smem_epilogue_bytes())
+    }
+
+    /// Estimated registers per thread: double-buffered operand fragments
+    /// plus `WSr x WSc` f32 accumulators spread over the warp.
+    pub fn regs_per_thread(&self) -> u32 {
+        let acc = (self.ws_r * self.ws_c) / 32; // f32 accumulators
+        let operands = 40; // fragments, pointers, loop state
+        (acc + operands) as u32
+    }
+
+    /// The block resource footprint for the occupancy calculator.
+    pub fn block_resources(&self) -> BlockResources {
+        BlockResources::new(
+            self.threads() as u32,
+            self.smem_bytes() as u32,
+            self.regs_per_thread(),
+        )
+    }
+
+    /// Whether this configuration can launch on `dev` at all.
+    pub fn fits(&self, dev: &DeviceConfig) -> bool {
+        venom_sim::occupancy::blocks_per_sm(dev, &self.block_resources()).is_ok()
+    }
+}
+
+impl core::fmt::Display for TileConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "BS{}x{}x{}c/WS{}x{}/{}st",
+            self.bs_r, self.bs_c, self.bs_k_cond, self.ws_r, self.ws_c, self.stages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config_counts() {
+        let t = TileConfig::new(128, 64, 32, 32, 32, 3);
+        assert_eq!(t.warps(), 4 * 2);
+        assert_eq!(t.threads(), 256);
+        assert_eq!(t.mma_per_warp_step(), 2 * 4);
+        assert_eq!(t.a_values_per_row_iter(), 16);
+    }
+
+    #[test]
+    fn smem_budget_is_plausible() {
+        let t = TileConfig::new(128, 64, 32, 32, 32, 3);
+        // One stage: A 128x16x2 = 4KB + meta 1KB + B 32x64x2 = 4KB ~ 9KB.
+        let stage = t.smem_stage_bytes();
+        assert!(stage > 8 * 1024 && stage < 10 * 1024, "stage={stage}");
+        assert!(t.smem_bytes() >= 3 * stage);
+        assert!(t.fits(&DeviceConfig::rtx3090()));
+    }
+
+    #[test]
+    fn epilogue_padding_adds_one_chunk_per_128_bytes() {
+        let t = TileConfig::new(32, 64, 32, 32, 32, 2);
+        // 64 cols * 4B = 256B rows -> 2 pads of 16B -> 288B * 32 rows.
+        assert_eq!(t.smem_epilogue_bytes(), 288 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "BSr must be a multiple of WSr")]
+    fn rejects_bad_warp_rows() {
+        let _ = TileConfig::new(96, 64, 32, 64, 32, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of mma.k")]
+    fn rejects_unaligned_k_tile() {
+        let _ = TileConfig::new(64, 64, 48, 32, 32, 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let t = TileConfig::new(64, 32, 32, 32, 32, 2);
+        assert_eq!(t.to_string(), "BS64x32x32c/WS32x32/2st");
+    }
+}

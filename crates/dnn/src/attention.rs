@@ -1,0 +1,229 @@
+//! Multi-head attention — the pruned MHA of Fig. 14.
+//!
+//! Four weight tensors (`W_Q`, `W_K`, `W_V`, `W_O`) can each be dense or
+//! V:N:M-sparse; the attention matmuls (`Q K^T` and `P V`) stay dense, and
+//! softmax sits between them, exactly as in the figure.
+
+use crate::layers::{softmax_rows, Linear, SparseLinear};
+use venom_format::{SparsityMask, VnmConfig};
+use venom_sim::DeviceConfig;
+use venom_tensor::{gemm, Matrix};
+
+/// A projection that is either dense or Spatha-sparse.
+#[derive(Clone, Debug)]
+pub enum Projection {
+    /// Dense weights (cuBLAS path).
+    Dense(Linear),
+    /// V:N:M weights (Spatha path).
+    Sparse(SparseLinear),
+}
+
+impl Projection {
+    /// Forward on `dev`.
+    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        match self {
+            Projection::Dense(l) => l.forward(x),
+            Projection::Sparse(s) => s.forward(x, dev),
+        }
+    }
+
+    /// `(out_features, in_features)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Projection::Dense(l) => l.shape(),
+            Projection::Sparse(s) => s.shape(),
+        }
+    }
+}
+
+/// Multi-head self-attention over a single sequence.
+#[derive(Clone, Debug)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Projection,
+    /// Key projection.
+    pub wk: Projection,
+    /// Value projection.
+    pub wv: Projection,
+    /// Output projection.
+    pub wo: Projection,
+    /// Number of heads (must divide the hidden size).
+    pub heads: usize,
+}
+
+impl MultiHeadAttention {
+    /// Dense MHA with Glorot weights.
+    ///
+    /// # Panics
+    /// Panics unless `heads` divides `hidden`.
+    pub fn dense(hidden: usize, heads: usize, seed: u64) -> Self {
+        assert_eq!(hidden % heads, 0, "heads must divide the hidden size");
+        MultiHeadAttention {
+            wq: Projection::Dense(Linear::glorot(hidden, hidden, seed)),
+            wk: Projection::Dense(Linear::glorot(hidden, hidden, seed + 1)),
+            wv: Projection::Dense(Linear::glorot(hidden, hidden, seed + 2)),
+            wo: Projection::Dense(Linear::glorot(hidden, hidden, seed + 3)),
+            heads,
+        }
+    }
+
+    /// Sparsifies the four projections in place with magnitude V:N:M
+    /// pruning (Fig. 14's four SpMMs).
+    pub fn sparsify(&mut self, cfg: VnmConfig) {
+        for proj in [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo] {
+            if let Projection::Dense(lin) = proj {
+                let wf = lin.weight.to_f32();
+                let mask: SparsityMask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
+                *proj = Projection::Sparse(lin.to_sparse(&mask, cfg));
+            }
+        }
+    }
+
+    /// Self-attention forward over `x` (`seq x hidden`).
+    ///
+    /// # Panics
+    /// Panics on feature mismatch.
+    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        self.forward_inner(x, dev, false)
+    }
+
+    /// Causal (decoder) self-attention: position `i` attends only to
+    /// positions `<= i` — the GPT-style masking of the paper's GPT-2/GPT-3
+    /// case-study models.
+    ///
+    /// # Panics
+    /// Panics on feature mismatch.
+    pub fn forward_causal(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        self.forward_inner(x, dev, true)
+    }
+
+    fn forward_inner(&self, x: &Matrix<f32>, dev: &DeviceConfig, causal: bool) -> Matrix<f32> {
+        let hidden = self.wq.shape().0;
+        let d_head = hidden / self.heads;
+        let seq = x.rows();
+
+        let q = self.wq.forward(x, dev);
+        let k = self.wk.forward(x, dev);
+        let v = self.wv.forward(x, dev);
+
+        let scale = 1.0 / (d_head as f32).sqrt();
+        let mut ctx = Matrix::<f32>::zeros(seq, hidden);
+        for h in 0..self.heads {
+            let c0 = h * d_head;
+            // scores = Q_h K_h^T * scale  (seq x seq)
+            let qh = q.block(0, c0, seq, d_head).to_half();
+            let kh = k.block(0, c0, seq, d_head).to_half();
+            let mut scores = gemm::gemm_parallel(&qh, &kh.transpose()).map(|s| s * scale);
+            if causal {
+                for r in 0..seq {
+                    for c in r + 1..seq {
+                        scores.set(r, c, f32::NEG_INFINITY);
+                    }
+                }
+            }
+            let probs = softmax_rows(&scores);
+            // ctx_h = probs V_h  (seq x d_head)
+            let vh = v.block(0, c0, seq, d_head).to_half();
+            let ch = gemm::gemm_parallel(&probs.to_half(), &vh);
+            for r in 0..seq {
+                for c in 0..d_head {
+                    ctx.set(r, c0 + c, ch.get(r, c));
+                }
+            }
+        }
+        self.wo.forward(&ctx, dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_tensor::random;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::rtx3090()
+    }
+
+    #[test]
+    fn forward_shape_is_preserved() {
+        let mha = MultiHeadAttention::dense(64, 4, 1);
+        let x = random::activation_matrix(16, 64, 2);
+        let y = mha.forward(&x, &dev());
+        assert_eq!((y.rows(), y.cols()), (16, 64));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn single_head_equals_multi_head_with_one_head() {
+        // Sanity: heads=1 runs the same math without the split.
+        let mha = MultiHeadAttention::dense(32, 1, 3);
+        let x = random::activation_matrix(8, 32, 4);
+        let y = mha.forward(&x, &dev());
+        assert_eq!((y.rows(), y.cols()), (8, 32));
+    }
+
+    #[test]
+    fn sparsified_mha_close_to_masked_dense() {
+        let mut mha = MultiHeadAttention::dense(64, 4, 5);
+        let x = random::activation_matrix(12, 64, 6);
+        // Build the dense-with-masked-weights reference BEFORE sparsifying.
+        let cfg = VnmConfig::new(16, 2, 4); // 50%: mild pruning
+        let mut reference = mha.clone();
+        for proj in [&mut reference.wq, &mut reference.wk, &mut reference.wv, &mut reference.wo]
+        {
+            if let Projection::Dense(lin) = proj {
+                let wf = lin.weight.to_f32();
+                let mask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
+                *lin = Linear::new(&mask.apply_f32(&wf), lin.bias.clone());
+            }
+        }
+        mha.sparsify(cfg);
+        assert!(matches!(mha.wq, Projection::Sparse(_)));
+        let y_sparse = mha.forward(&x, &dev());
+        let y_ref = reference.forward(&x, &dev());
+        assert!(
+            venom_tensor::norms::allclose(&y_sparse, &y_ref, 5e-2, 5e-2),
+            "max diff {}",
+            venom_tensor::norms::max_abs_diff(&y_sparse, &y_ref)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide")]
+    fn rejects_indivisible_heads() {
+        let _ = MultiHeadAttention::dense(30, 4, 1);
+    }
+
+    #[test]
+    fn causal_first_position_sees_only_itself() {
+        // With causal masking, output row 0 depends only on input row 0:
+        // changing later rows must not affect it.
+        let mha = MultiHeadAttention::dense(32, 2, 9);
+        let mut x = random::activation_matrix(8, 32, 10);
+        let y1 = mha.forward_causal(&x, &dev());
+        for c in 0..32 {
+            x.set(5, c, x.get(5, c) + 7.0);
+        }
+        let y2 = mha.forward_causal(&x, &dev());
+        for c in 0..32 {
+            assert!(
+                (y1.get(0, c) - y2.get(0, c)).abs() < 1e-5,
+                "row 0 must not see row 5 under causal masking"
+            );
+            // But the last row MUST change.
+        }
+        let changed = (0..32).any(|c| (y1.get(7, c) - y2.get(7, c)).abs() > 1e-4);
+        assert!(changed, "later rows do attend to row 5");
+    }
+
+    #[test]
+    fn causal_differs_from_bidirectional() {
+        let mha = MultiHeadAttention::dense(32, 4, 11);
+        let x = random::activation_matrix(8, 32, 12);
+        let bi = mha.forward(&x, &dev());
+        let causal = mha.forward_causal(&x, &dev());
+        assert_ne!(bi, causal);
+        // Probabilities still normalise: outputs stay finite.
+        assert!(causal.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

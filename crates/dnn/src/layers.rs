@@ -1,0 +1,255 @@
+//! Neural-network layers with functional forward passes.
+//!
+//! Activations are kept in `f32`; GEMM operands are converted to half at
+//! the layer boundary (standard mixed-precision inference). A [`Linear`]
+//! layer owns a dense half weight; a [`SparseLinear`] owns a V:N:M
+//! compressed weight and forwards through the Spatha kernel.
+
+use venom_core::{spmm, SpmmOptions};
+use venom_fp16::Half;
+use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
+use venom_sim::DeviceConfig;
+use venom_tensor::{gemm, Matrix};
+
+/// A dense linear layer `y = x W^T + b` with `W: [out x in]`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    /// Weight matrix, `out_features x in_features`.
+    pub weight: Matrix<Half>,
+    /// Bias, length `out_features`.
+    pub bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer from an f32 weight matrix and bias.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != weight.rows()`.
+    pub fn new(weight: &Matrix<f32>, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), weight.rows(), "bias must match out_features");
+        Linear { weight: weight.to_half(), bias }
+    }
+
+    /// Glorot-initialised layer.
+    pub fn glorot(out_features: usize, in_features: usize, seed: u64) -> Self {
+        let w = venom_tensor::random::glorot_matrix(out_features, in_features, seed);
+        Linear::new(&w, vec![0.0; out_features])
+    }
+
+    /// `(out_features, in_features)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.weight.rows(), self.weight.cols())
+    }
+
+    /// Forward pass: `x` is `tokens x in_features`; returns
+    /// `tokens x out_features`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!(x.cols(), self.weight.cols(), "input features mismatch");
+        // y^T = W x^T : run the GEMM in the library's (sparse-friendly)
+        // orientation, then transpose back.
+        let xt = x.to_half().transpose();
+        let yt = gemm::gemm_parallel(&self.weight, &xt);
+        let mut y = yt.transpose();
+        for r in 0..y.rows() {
+            for (c, bv) in self.bias.iter().enumerate() {
+                y.set(r, c, y.get(r, c) + bv);
+            }
+        }
+        y
+    }
+
+    /// Converts to a sparse layer by pruning with `mask` and compressing.
+    ///
+    /// # Panics
+    /// Panics if the mask does not comply with `cfg`.
+    pub fn to_sparse(&self, mask: &SparsityMask, cfg: VnmConfig) -> SparseLinear {
+        let pruned = mask.apply_half(&self.weight);
+        SparseLinear {
+            weight: VnmMatrix::compress(&pruned, mask, cfg),
+            bias: self.bias.clone(),
+        }
+    }
+}
+
+/// A V:N:M-sparse linear layer forwarding through Spatha.
+#[derive(Clone, Debug)]
+pub struct SparseLinear {
+    /// Compressed weight, logically `out_features x in_features`.
+    pub weight: VnmMatrix,
+    /// Bias, length `out_features`.
+    pub bias: Vec<f32>,
+}
+
+impl SparseLinear {
+    /// `(out_features, in_features)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.weight.shape()
+    }
+
+    /// Forward pass through the Spatha kernel on `dev`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        assert_eq!(x.cols(), self.weight.cols(), "input features mismatch");
+        let xt = x.to_half().transpose();
+        let res = spmm(&self.weight, &xt, &SpmmOptions::default(), dev);
+        let mut y = res.c.transpose();
+        for r in 0..y.rows() {
+            for (c, bv) in self.bias.iter().enumerate() {
+                y.set(r, c, y.get(r, c) + bv);
+            }
+        }
+        y
+    }
+}
+
+/// Layer normalisation over the feature dimension.
+#[derive(Clone, Debug)]
+pub struct LayerNorm {
+    /// Scale, length = features.
+    pub gamma: Vec<f32>,
+    /// Shift, length = features.
+    pub beta: Vec<f32>,
+    /// Numerical floor.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Identity-initialised layer norm.
+    pub fn new(features: usize) -> Self {
+        LayerNorm { gamma: vec![1.0; features], beta: vec![0.0; features], eps: 1e-5 }
+    }
+
+    /// Normalises each row of `x`.
+    ///
+    /// # Panics
+    /// Panics if the feature dimension mismatches.
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!(x.cols(), self.gamma.len(), "feature mismatch");
+        let mut out = x.clone();
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let n = row.len() as f32;
+            let mean: f32 = row.iter().sum::<f32>() / n;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            let orow = out.row_mut(r);
+            for (c, o) in orow.iter_mut().enumerate() {
+                *o = (row[c] - mean) * inv * self.gamma[c] + self.beta[c];
+            }
+        }
+        out
+    }
+}
+
+/// GELU activation (tanh approximation, as BERT uses).
+pub fn gelu(x: &Matrix<f32>) -> Matrix<f32> {
+    x.map(|v| {
+        0.5 * v * (1.0 + ((2.0 / core::f32::consts::PI).sqrt() * (v + 0.044715 * v * v * v)).tanh())
+    })
+}
+
+/// Row-wise softmax.
+pub fn softmax_rows(x: &Matrix<f32>) -> Matrix<f32> {
+    let mut out = x.clone();
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_pruner::magnitude;
+    use venom_tensor::random;
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let w = Matrix::from_vec(2, 3, vec![1.0f32, 0.0, -1.0, 0.5, 2.0, 0.0]);
+        let lin = Linear::new(&w, vec![1.0, -1.0]);
+        let x = Matrix::from_vec(1, 3, vec![2.0f32, 3.0, 4.0]);
+        let y = lin.forward(&x);
+        // y0 = 2 - 4 + 1 = -1 ; y1 = 1 + 6 - 1 = 6.
+        assert_eq!(y.as_slice(), &[-1.0, 6.0]);
+    }
+
+    #[test]
+    fn sparse_linear_matches_masked_dense() {
+        let dev = DeviceConfig::rtx3090();
+        let cfg = VnmConfig::new(32, 2, 8);
+        let lin = Linear::glorot(64, 64, 1);
+        let wf = lin.weight.to_f32();
+        let mask = magnitude::prune_vnm(&wf, cfg);
+        let sparse = lin.to_sparse(&mask, cfg);
+        let x = random::activation_matrix(16, 64, 2);
+        let y_sparse = sparse.forward(&x, &dev);
+        // Reference: dense forward with the pruned weights.
+        let pruned = Linear::new(&mask.apply_f32(&wf), lin.bias.clone());
+        let y_dense = pruned.forward(&x);
+        assert!(
+            venom_tensor::norms::allclose(&y_sparse, &y_dense, 1e-2, 1e-2),
+            "max diff {}",
+            venom_tensor::norms::max_abs_diff(&y_sparse, &y_dense)
+        );
+    }
+
+    #[test]
+    fn layernorm_normalises_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Matrix::from_vec(2, 4, vec![1.0f32, 2.0, 3.0, 4.0, -2.0, 0.0, 2.0, 4.0]);
+        let y = ln.forward(&x);
+        for r in 0..2 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "mean={mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var={var}");
+        }
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        let x = Matrix::from_vec(1, 3, vec![0.0f32, 10.0, -10.0]);
+        let y = gelu(&x);
+        assert_eq!(y.get(0, 0), 0.0);
+        assert!((y.get(0, 1) - 10.0).abs() < 1e-3);
+        assert!(y.get(0, 2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = random::activation_matrix(5, 7, 3);
+        let y = softmax_rows(&x);
+        for r in 0..5 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(y.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let x = Matrix::from_vec(1, 3, vec![1000.0f32, 1001.0, 999.0]);
+        let y = softmax_rows(&x);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let x2 = Matrix::from_vec(1, 3, vec![0.0f32, 1.0, -1.0]);
+        let y2 = softmax_rows(&x2);
+        for (a, b) in y.as_slice().iter().zip(y2.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Deep-learning substrate for the end-to-end experiments.
+//!
+//! The paper's case study (§7.2) prunes transformer weight tensors, runs
+//! inference with Spatha, and reports latency breakdowns (Fig. 15) plus
+//! post-pruning accuracy (Table 2). This crate provides everything those
+//! experiments need:
+//!
+//! * [`layers`] — Linear (dense or V:N:M-sparse), LayerNorm, GELU,
+//!   row-softmax, with functional forward passes in tensor-core numerics.
+//! * [`attention`] — multi-head attention (the pruned MHA of Fig. 14).
+//! * [`transformer`] — encoder blocks and the model configurations the
+//!   paper measures (BERT-base/large, GPT2-large, GPT-3).
+//! * [`profile`] — simulated-latency profiling with the Fig. 15 breakdown
+//!   (GEMMs / attention matmuls / softmax / others) on the target device.
+//! * [`sten`] — the STen-style sparsifier dispatch of Listing 1.
+//! * [`train`] — a small manually-differentiated MLP with per-sample
+//!   gradients (the empirical Fisher's input), synthetic data, and the
+//!   fine-tuning loop for the Table 2 accuracy-recovery proxy.
+
+pub mod attention;
+pub mod layers;
+pub mod model;
+pub mod profile;
+pub mod sten;
+pub mod train;
+pub mod transformer;
+
+pub use layers::{Linear, SparseLinear};
+pub use model::{SparseTransformerEncoder, TransformerEncoder};
+pub use profile::{profile_model, LatencyBreakdown, WeightSparsity};
+pub use transformer::TransformerConfig;

@@ -1,0 +1,141 @@
+//! A full encoder stack — the model object of the §7.2 case study.
+//!
+//! Wraps `layers` encoder blocks plus a final layer norm, with a
+//! one-call [`TransformerEncoder::sparsify`] that converts every weight
+//! tensor to V:N:M (the STen integration path: "users can specify a list
+//! of weights to be made sparse ... with just a few lines of code").
+
+use crate::transformer::{EncoderBlock, SparseEncoderBlock, TransformerConfig};
+use crate::layers::LayerNorm;
+use venom_format::VnmConfig;
+use venom_sim::DeviceConfig;
+use venom_tensor::Matrix;
+
+/// A dense encoder stack.
+#[derive(Clone, Debug)]
+pub struct TransformerEncoder {
+    /// Architecture parameters.
+    pub config: TransformerConfig,
+    /// The blocks.
+    pub blocks: Vec<EncoderBlock>,
+    /// Final layer norm.
+    pub ln_final: LayerNorm,
+}
+
+/// A fully sparsified encoder stack.
+#[derive(Clone, Debug)]
+pub struct SparseTransformerEncoder {
+    /// Architecture parameters.
+    pub config: TransformerConfig,
+    /// The sparsified blocks.
+    pub blocks: Vec<SparseEncoderBlock>,
+    /// Final layer norm.
+    pub ln_final: LayerNorm,
+    /// The pattern every weight was pruned to.
+    pub pattern: VnmConfig,
+}
+
+impl TransformerEncoder {
+    /// A dense stack with Glorot weights (`layers` taken from the config).
+    pub fn new(config: TransformerConfig, seed: u64) -> Self {
+        let blocks = (0..config.layers)
+            .map(|i| EncoderBlock::dense(&config, seed + 100 * i as u64))
+            .collect();
+        TransformerEncoder { blocks, ln_final: LayerNorm::new(config.hidden), config }
+    }
+
+    /// Forward over `x` (`seq x hidden`).
+    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        let mut h = x.clone();
+        for block in &self.blocks {
+            h = block.forward(&h, dev);
+        }
+        self.ln_final.forward(&h)
+    }
+
+    /// Sparsifies every weight tensor to `pattern` via magnitude V:N:M
+    /// pruning (the Fig. 14 configuration applied stack-wide).
+    pub fn sparsify(&self, pattern: VnmConfig) -> SparseTransformerEncoder {
+        SparseTransformerEncoder {
+            config: self.config,
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| SparseEncoderBlock::from_dense(b, pattern))
+                .collect(),
+            ln_final: self.ln_final.clone(),
+            pattern,
+        }
+    }
+}
+
+impl SparseTransformerEncoder {
+    /// Forward over `x` (`seq x hidden`) with every weight GEMM running
+    /// through Spatha.
+    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        let mut h = x.clone();
+        for block in &self.blocks {
+            h = block.forward(&h, dev);
+        }
+        self.ln_final.forward(&h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_tensor::random;
+
+    fn mini() -> TransformerConfig {
+        TransformerConfig::new("mini", 32, 4, 2, 64, 16)
+    }
+
+    #[test]
+    fn dense_stack_runs_and_normalises() {
+        let dev = DeviceConfig::rtx3090();
+        let model = TransformerEncoder::new(mini(), 1);
+        assert_eq!(model.blocks.len(), 2);
+        let x = random::activation_matrix(16, 32, 2);
+        let y = model.forward(&x, &dev);
+        assert_eq!((y.rows(), y.cols()), (16, 32));
+        // Final layer norm: every row has ~zero mean.
+        for r in 0..16 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 32.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn sparse_stack_stays_close_to_dense_at_50_percent() {
+        let dev = DeviceConfig::rtx3090();
+        let model = TransformerEncoder::new(mini(), 3);
+        let sparse = model.sparsify(VnmConfig::new(16, 2, 4)); // 50%
+        let x = random::activation_matrix(16, 32, 4);
+        let yd = model.forward(&x, &dev);
+        let ys = sparse.forward(&x, &dev);
+        assert_eq!((ys.rows(), ys.cols()), (16, 32));
+        assert!(ys.as_slice().iter().all(|v| v.is_finite()));
+        // 50% magnitude pruning keeps the bulk of the signal: outputs
+        // correlate strongly with the dense stack.
+        let dot: f64 = yd
+            .as_slice()
+            .iter()
+            .zip(ys.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let nd: f64 = yd.as_slice().iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
+        let ns: f64 = ys.as_slice().iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
+        let cosine = dot / (nd * ns);
+        assert!(cosine > 0.7, "cosine similarity {cosine}");
+    }
+
+    #[test]
+    fn sparsify_records_the_pattern() {
+        let model = TransformerEncoder::new(mini(), 5);
+        let pattern = VnmConfig::new(16, 2, 8);
+        let sparse = model.sparsify(pattern);
+        assert_eq!(sparse.pattern, pattern);
+        assert_eq!(sparse.blocks.len(), 2);
+        assert_eq!(sparse.blocks[0].ff1.weight.config(), pattern);
+    }
+}

@@ -1,0 +1,170 @@
+//! Synthetic classification data: Gaussian clusters.
+
+use venom_tensor::random::NormalSampler;
+use venom_tensor::Matrix;
+
+/// A labelled dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// `n x dim` features.
+    pub x: Matrix<f32>,
+    /// `n` class labels in `0..classes`.
+    pub y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+}
+
+/// `classes` Gaussian clusters in `dim` dimensions, `n_per_class` samples
+/// each; cluster centres are drawn at distance ~`separation`.
+///
+/// # Panics
+/// Panics on zero sizes.
+pub fn gaussian_clusters(
+    n_per_class: usize,
+    dim: usize,
+    classes: usize,
+    separation: f32,
+    seed: u64,
+) -> Dataset {
+    gaussian_clusters_split(n_per_class, 0, dim, classes, separation, seed).0
+}
+
+/// Like [`gaussian_clusters`] but returns a train/test pair drawn from the
+/// *same* cluster centres (held-out samples, matched distribution).
+///
+/// # Panics
+/// Panics on zero training size or degenerate dimensions.
+pub fn gaussian_clusters_split(
+    n_train_per_class: usize,
+    n_test_per_class: usize,
+    dim: usize,
+    classes: usize,
+    separation: f32,
+    seed: u64,
+) -> (Dataset, Dataset) {
+    assert!(n_train_per_class > 0 && dim > 0 && classes > 1, "degenerate dataset");
+    let mut s = NormalSampler::new(seed);
+    let centres: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..dim).map(|_| s.sample_with(0.0, separation as f64) as f32).collect())
+        .collect();
+    let mut make = |per_class: usize| -> Dataset {
+        let n = per_class * classes;
+        let mut x = Matrix::<f32>::zeros(n.max(1), dim);
+        let mut y = Vec::with_capacity(n);
+        for c in 0..classes {
+            for i in 0..per_class {
+                let row = c * per_class + i;
+                for d in 0..dim {
+                    x.set(row, d, centres[c][d] + s.sample_with(0.0, 1.0) as f32);
+                }
+                y.push(c);
+            }
+        }
+        Dataset { x, y, classes }
+    };
+    let train = make(n_train_per_class);
+    let test = make(n_test_per_class);
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_labels() {
+        let d = gaussian_clusters(10, 8, 4, 3.0, 1);
+        assert_eq!(d.len(), 40);
+        assert_eq!(d.x.rows(), 40);
+        assert_eq!(d.x.cols(), 8);
+        assert!(d.y.iter().all(|&c| c < 4));
+        for c in 0..4 {
+            assert_eq!(d.y.iter().filter(|&&y| y == c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn split_shares_centres() {
+        let (train, test) = gaussian_clusters_split(30, 15, 8, 3, 4.0, 9);
+        assert_eq!(train.len(), 90);
+        assert_eq!(test.len(), 45);
+        // Same-class means of train and test must be close (shared
+        // centres), far from other classes.
+        let mean = |d: &Dataset, class: usize| -> Vec<f32> {
+            let mut m = vec![0.0f32; 8];
+            let mut n = 0;
+            for (i, &y) in d.y.iter().enumerate() {
+                if y == class {
+                    for (j, v) in m.iter_mut().enumerate() {
+                        *v += d.x.get(i, j);
+                    }
+                    n += 1;
+                }
+            }
+            m.iter_mut().for_each(|v| *v /= n as f32);
+            m
+        };
+        for c in 0..3 {
+            let mt = mean(&train, c);
+            let me = mean(&test, c);
+            let d_same: f32 = (0..8).map(|j| (mt[j] - me[j]).powi(2)).sum();
+            let d_other: f32 =
+                (0..8).map(|j| (mt[j] - mean(&train, (c + 1) % 3)[j]).powi(2)).sum();
+            assert!(d_same < d_other, "class {c}: {d_same} !< {d_other}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gaussian_clusters(5, 4, 2, 2.0, 7);
+        let b = gaussian_clusters(5, 4, 2, 2.0, 7);
+        assert_eq!(a.x, b.x);
+        let c = gaussian_clusters(5, 4, 2, 2.0, 8);
+        assert_ne!(a.x, c.x);
+    }
+
+    #[test]
+    fn clusters_are_separated() {
+        // Same-class samples should be closer to their class mean than to
+        // the other class's mean, most of the time.
+        let d = gaussian_clusters(50, 16, 2, 4.0, 3);
+        let mean = |class: usize| -> Vec<f32> {
+            let mut m = vec![0.0f32; 16];
+            let mut count = 0;
+            for (i, &y) in d.y.iter().enumerate() {
+                if y == class {
+                    for (j, v) in m.iter_mut().enumerate() {
+                        *v += d.x.get(i, j);
+                    }
+                    count += 1;
+                }
+            }
+            m.iter_mut().for_each(|v| *v /= count as f32);
+            m
+        };
+        let (m0, m1) = (mean(0), mean(1));
+        let mut correct = 0;
+        for (i, &y) in d.y.iter().enumerate() {
+            let dist = |m: &[f32]| -> f32 {
+                (0..16).map(|j| (d.x.get(i, j) - m[j]).powi(2)).sum()
+            };
+            let pred = if dist(&m0) < dist(&m1) { 0 } else { 1 };
+            if pred == y {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / d.len() as f64 > 0.9);
+    }
+}

@@ -1,0 +1,254 @@
+//! Blocked-ELLPACK — the cuSPARSE block format the related work (§8)
+//! compares against.
+//!
+//! The matrix is tiled into square `bs x bs` blocks; every block row
+//! stores the same number of blocks (`ell_width`, the maximum over rows),
+//! padding short rows with zero blocks. Regular layout, GPU-friendly
+//! indexing — but at DL sparsity the padding wastes both memory and
+//! compute when block populations are skewed, which is exactly why
+//! performance-aware DL formats (and VENOM) move away from it.
+
+use venom_fp16::Half;
+use venom_tensor::Matrix;
+
+/// A Blocked-ELL matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockedEllMatrix {
+    bs: usize,
+    rows: usize,
+    cols: usize,
+    ell_width: usize,
+    /// Column-block index of each stored block, `block_rows x ell_width`,
+    /// `u32::MAX` marking padding slots.
+    block_cols: Vec<u32>,
+    /// Dense block payloads, `bs*bs` halves each, aligned with
+    /// `block_cols`.
+    values: Vec<Half>,
+}
+
+/// Padding marker in `block_cols`.
+const PAD: u32 = u32::MAX;
+
+impl BlockedEllMatrix {
+    /// Builds from a dense matrix, keeping every `bs x bs` block that has
+    /// at least one nonzero.
+    ///
+    /// # Panics
+    /// Panics if `bs` is zero or does not divide both dimensions.
+    pub fn from_dense(dense: &Matrix<Half>, bs: usize) -> Self {
+        assert!(bs > 0, "block size must be positive");
+        assert_eq!(dense.rows() % bs, 0, "block size must divide rows");
+        assert_eq!(dense.cols() % bs, 0, "block size must divide cols");
+        let (rows, cols) = (dense.rows(), dense.cols());
+        let (brs, bcs) = (rows / bs, cols / bs);
+
+        // Pass 1: which blocks are populated.
+        let mut populated: Vec<Vec<u32>> = vec![Vec::new(); brs];
+        for br in 0..brs {
+            for bc in 0..bcs {
+                let nonzero = (0..bs).any(|i| {
+                    (0..bs).any(|j| !dense.get(br * bs + i, bc * bs + j).is_zero())
+                });
+                if nonzero {
+                    populated[br].push(bc as u32);
+                }
+            }
+        }
+        let ell_width = populated.iter().map(Vec::len).max().unwrap_or(0);
+
+        // Pass 2: emit padded block rows.
+        let mut block_cols = Vec::with_capacity(brs * ell_width);
+        let mut values = Vec::with_capacity(brs * ell_width * bs * bs);
+        for br in 0..brs {
+            for slot in 0..ell_width {
+                match populated[br].get(slot) {
+                    Some(&bc) => {
+                        block_cols.push(bc);
+                        for i in 0..bs {
+                            for j in 0..bs {
+                                values.push(dense.get(br * bs + i, bc as usize * bs + j));
+                            }
+                        }
+                    }
+                    None => {
+                        block_cols.push(PAD);
+                        values.extend(std::iter::repeat(Half::ZERO).take(bs * bs));
+                    }
+                }
+            }
+        }
+        BlockedEllMatrix { bs, rows, cols, ell_width, block_cols, values }
+    }
+
+    /// Block size.
+    pub fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    /// Logical shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Blocks stored per block row (including padding).
+    pub fn ell_width(&self) -> usize {
+        self.ell_width
+    }
+
+    /// Stored blocks that are padding, as a fraction — the format's waste.
+    pub fn padding_fraction(&self) -> f64 {
+        if self.block_cols.is_empty() {
+            return 0.0;
+        }
+        let pad = self.block_cols.iter().filter(|&&c| c == PAD).count();
+        pad as f64 / self.block_cols.len() as f64
+    }
+
+    /// Bytes of the stored structure (2 B values + 4 B block indices).
+    pub fn total_bytes(&self) -> usize {
+        self.values.len() * 2 + self.block_cols.len() * 4
+    }
+
+    /// Reconstructs the dense matrix.
+    pub fn to_dense(&self) -> Matrix<Half> {
+        let mut out = Matrix::<Half>::zeros(self.rows, self.cols);
+        let brs = self.rows / self.bs;
+        for br in 0..brs {
+            for slot in 0..self.ell_width {
+                let bc = self.block_cols[br * self.ell_width + slot];
+                if bc == PAD {
+                    continue;
+                }
+                let base = (br * self.ell_width + slot) * self.bs * self.bs;
+                for i in 0..self.bs {
+                    for j in 0..self.bs {
+                        out.set(
+                            br * self.bs + i,
+                            bc as usize * self.bs + j,
+                            self.values[base + i * self.bs + j],
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference SpMM `C = self * B` with f32 accumulation (padding blocks
+    /// are multiplied too — that is the format's honest cost).
+    ///
+    /// # Panics
+    /// Panics if `B` has the wrong number of rows.
+    pub fn spmm_ref(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.cols, "B must have {} rows", self.cols);
+        let mut out = Matrix::<f32>::zeros(self.rows, b.cols());
+        let brs = self.rows / self.bs;
+        for br in 0..brs {
+            for slot in 0..self.ell_width {
+                let bc = self.block_cols[br * self.ell_width + slot];
+                if bc == PAD {
+                    continue;
+                }
+                let base = (br * self.ell_width + slot) * self.bs * self.bs;
+                for i in 0..self.bs {
+                    let r = br * self.bs + i;
+                    for j in 0..self.bs {
+                        let v = self.values[base + i * self.bs + j];
+                        if v.is_zero() {
+                            continue;
+                        }
+                        let vf = v.to_f32();
+                        let k = bc as usize * self.bs + j;
+                        for (o, &bv) in out.row_mut(r).iter_mut().zip(b.row(k)) {
+                            *o += vf * bv.to_f32();
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SparsityMask;
+    use venom_tensor::random;
+
+    fn block_sparse(rows: usize, cols: usize, bs: usize, keep: f64, seed: u64) -> Matrix<Half> {
+        let dense = random::normal_matrix(rows, cols, 0.0, 1.0, seed);
+        let mask = SparsityMask::from_fn(rows, cols, |r, c| {
+            let (br, bc) = (r / bs, c / bs);
+            ((br * 31 + bc * 17 + seed as usize) % 100) as f64 / 100.0 < keep
+        });
+        mask.apply_f32(&dense).to_half()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dense = block_sparse(16, 24, 4, 0.4, 1);
+        let ell = BlockedEllMatrix::from_dense(&dense, 4);
+        assert_eq!(ell.to_dense(), dense);
+    }
+
+    #[test]
+    fn ell_width_is_max_row_population() {
+        let mut dense = Matrix::<Half>::zeros(8, 16);
+        // Block row 0: 3 blocks; block row 1: 1 block.
+        dense.set(0, 0, Half::ONE);
+        dense.set(0, 5, Half::ONE);
+        dense.set(0, 13, Half::ONE);
+        dense.set(4, 8, Half::ONE);
+        let ell = BlockedEllMatrix::from_dense(&dense, 4);
+        assert_eq!(ell.ell_width(), 3);
+        // Row 1 stores 2 padding blocks out of 3.
+        assert!((ell.padding_fraction() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(ell.to_dense(), dense);
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm() {
+        let a = block_sparse(16, 32, 8, 0.3, 2);
+        let b = random::normal_matrix(32, 12, 0.0, 1.0, 3).to_half();
+        let via_ell = BlockedEllMatrix::from_dense(&a, 8).spmm_ref(&b);
+        let via_dense = venom_tensor::gemm::gemm_ref(&a, &b);
+        let mut err = 0.0f32;
+        for (x, y) in via_ell.as_slice().iter().zip(via_dense.as_slice()) {
+            err = err.max((x - y).abs());
+        }
+        assert!(err < 1e-3, "err={err}");
+    }
+
+    #[test]
+    fn skewed_rows_waste_memory() {
+        // One crowded block row forces padding everywhere else — the
+        // weakness the DL formats avoid.
+        let mut dense = Matrix::<Half>::zeros(16, 64);
+        for c in 0..64 {
+            dense.set(0, c, Half::ONE); // block row 0: all 16 blocks
+        }
+        dense.set(4, 0, Half::ONE); // the rest: one block each
+        dense.set(8, 0, Half::ONE);
+        dense.set(12, 0, Half::ONE);
+        let ell = BlockedEllMatrix::from_dense(&dense, 4);
+        assert_eq!(ell.ell_width(), 16);
+        assert!(ell.padding_fraction() > 0.7, "{}", ell.padding_fraction());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide rows")]
+    fn rejects_nondividing_block_size() {
+        let dense = Matrix::<Half>::zeros(10, 8);
+        let _ = BlockedEllMatrix::from_dense(&dense, 4);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_width() {
+        let dense = Matrix::<Half>::zeros(8, 8);
+        let ell = BlockedEllMatrix::from_dense(&dense, 4);
+        assert_eq!(ell.ell_width(), 0);
+        assert_eq!(ell.padding_fraction(), 0.0);
+        assert_eq!(ell.to_dense(), dense);
+    }
+}

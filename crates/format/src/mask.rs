@@ -1,0 +1,298 @@
+//! Packed sparsity masks with pattern-compliance checks.
+
+use crate::{NmConfig, VnmConfig, SELECTED_COLUMNS};
+use venom_fp16::Half;
+use venom_tensor::Matrix;
+
+/// A `rows x cols` bitmask: bit set = weight kept, bit clear = pruned.
+///
+/// Backed by one `u64` word per 64 columns per row (row-padded so rows start
+/// on word boundaries, which keeps per-row operations simple).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparsityMask {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl SparsityMask {
+    /// All-ones (fully dense) mask.
+    pub fn dense(rows: usize, cols: usize) -> Self {
+        let mut m = Self::empty(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, true);
+            }
+        }
+        m
+    }
+
+    /// All-zeros (fully pruned) mask.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mask dimensions must be nonzero");
+        let words_per_row = cols.div_ceil(64);
+        SparsityMask { rows, cols, words_per_row, bits: vec![0; rows * words_per_row] }
+    }
+
+    /// Builds a mask from a predicate of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::empty(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Mask of the nonzero entries of a dense matrix.
+    pub fn from_nonzeros(m: &Matrix<f32>) -> Self {
+        Self::from_fn(m.rows(), m.cols(), |r, c| m.get(r, c) != 0.0)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        debug_assert!(row < self.rows && col < self.cols);
+        let w = self.bits[row * self.words_per_row + col / 64];
+        (w >> (col % 64)) & 1 == 1
+    }
+
+    /// Writes one bit.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, keep: bool) {
+        debug_assert!(row < self.rows && col < self.cols);
+        let w = &mut self.bits[row * self.words_per_row + col / 64];
+        if keep {
+            *w |= 1 << (col % 64);
+        } else {
+            *w &= !(1 << (col % 64));
+        }
+    }
+
+    /// Number of kept (set) entries.
+    pub fn nnz(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of entries kept.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Fraction of entries pruned.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// Kept entries in one row.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        let start = row * self.words_per_row;
+        self.bits[start..start + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Column indices of the kept entries in one row, ascending.
+    pub fn row_indices(&self, row: usize) -> Vec<usize> {
+        (0..self.cols).filter(|&c| self.get(row, c)).collect()
+    }
+
+    /// Checks row-wise N:M compliance: every aligned group of `m` columns in
+    /// every row holds at most `n` kept entries. A final partial group is
+    /// checked against the same bound.
+    pub fn complies_nm(&self, nm: NmConfig) -> bool {
+        for r in 0..self.rows {
+            for g in 0..self.cols.div_ceil(nm.m) {
+                let start = g * nm.m;
+                let end = (start + nm.m).min(self.cols);
+                let kept = (start..end).filter(|&c| self.get(r, c)).count();
+                if kept > nm.n {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks V:N:M compliance: additionally to [`Self::complies_nm`], the
+    /// union of kept columns across the `v` rows of every `V x M` block must
+    /// not exceed [`SELECTED_COLUMNS`].
+    pub fn complies_vnm(&self, cfg: VnmConfig) -> bool {
+        if !self.complies_nm(cfg.nm()) {
+            return false;
+        }
+        for b in 0..cfg.row_blocks(self.rows) {
+            let r0 = b * cfg.v;
+            let r1 = (r0 + cfg.v).min(self.rows);
+            for g in 0..cfg.k_groups(self.cols) {
+                let c0 = g * cfg.m;
+                let c1 = (c0 + cfg.m).min(self.cols);
+                let used = (c0..c1)
+                    .filter(|&c| (r0..r1).any(|r| self.get(r, c)))
+                    .count();
+                if used > SELECTED_COLUMNS {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The columns (relative to the group) used by a `V x M` block,
+    /// ascending. Used by V:N:M compression to derive `column-loc`.
+    pub fn block_used_columns(&self, cfg: VnmConfig, block: usize, group: usize) -> Vec<usize> {
+        let r0 = block * cfg.v;
+        let r1 = (r0 + cfg.v).min(self.rows);
+        let c0 = group * cfg.m;
+        let c1 = (c0 + cfg.m).min(self.cols);
+        (c0..c1)
+            .filter(|&c| (r0..r1).any(|r| self.get(r, c)))
+            .map(|c| c - c0)
+            .collect()
+    }
+
+    /// Applies the mask to an `f32` matrix, zeroing pruned entries.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn apply_f32(&self, m: &Matrix<f32>) -> Matrix<f32> {
+        assert_eq!((m.rows(), m.cols()), (self.rows, self.cols), "shape mismatch");
+        Matrix::from_fn(self.rows, self.cols, |r, c| if self.get(r, c) { m.get(r, c) } else { 0.0 })
+    }
+
+    /// Applies the mask to a half matrix, zeroing pruned entries.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn apply_half(&self, m: &Matrix<Half>) -> Matrix<Half> {
+        assert_eq!((m.rows(), m.cols()), (self.rows, self.cols), "shape mismatch");
+        Matrix::from_fn(
+            self.rows,
+            self.cols,
+            |r, c| if self.get(r, c) { m.get(r, c) } else { Half::ZERO },
+        )
+    }
+
+    /// Element-wise AND of two equal-shape masks.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn and(&self, other: &SparsityMask) -> SparsityMask {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a &= b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut m = SparsityMask::empty(2, 130);
+        m.set(0, 63, true);
+        m.set(0, 64, true);
+        m.set(1, 129, true);
+        assert!(m.get(0, 63) && m.get(0, 64) && m.get(1, 129));
+        assert!(!m.get(0, 65) && !m.get(1, 128));
+        assert_eq!(m.nnz(), 3);
+        m.set(0, 64, false);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn density_and_sparsity() {
+        let m = SparsityMask::from_fn(4, 8, |_, c| c % 2 == 0);
+        assert_eq!(m.density(), 0.5);
+        assert_eq!(m.sparsity(), 0.5);
+        assert_eq!(m.row_nnz(0), 4);
+        assert_eq!(m.row_indices(0), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn nm_compliance_detects_violations() {
+        // 2:4-compliant: two nonzeros in each aligned group of four.
+        let ok = SparsityMask::from_fn(2, 8, |_, c| c % 4 < 2);
+        assert!(ok.complies_nm(NmConfig::new(2, 4)));
+        // Three in one group: violation.
+        let bad = SparsityMask::from_fn(2, 8, |r, c| r == 0 && c < 3);
+        assert!(!bad.complies_nm(NmConfig::new(2, 4)));
+    }
+
+    #[test]
+    fn nm_compliance_checks_partial_tail_group() {
+        // 10 columns with m=8: tail group is cols 8..10.
+        let mut m = SparsityMask::empty(1, 10);
+        m.set(0, 8, true);
+        m.set(0, 9, true);
+        assert!(m.complies_nm(NmConfig::new(2, 8)));
+        assert!(!m.complies_nm(NmConfig::new(1, 8)));
+    }
+
+    #[test]
+    fn vnm_compliance_requires_shared_columns() {
+        let cfg = VnmConfig::new(2, 2, 8);
+        // Both rows use columns {0,1,2,3}: 4 distinct columns, compliant.
+        let ok = SparsityMask::from_fn(2, 8, |r, c| if r == 0 { c < 2 } else { (2..4).contains(&c) });
+        assert!(ok.complies_vnm(cfg));
+        // Rows use {0,1} and {4,5}... plus row 0 also uses {6}: > 4 distinct.
+        let mut bad = SparsityMask::empty(2, 8);
+        bad.set(0, 0, true);
+        bad.set(0, 1, true);
+        bad.set(1, 4, true);
+        bad.set(1, 5, true);
+        assert!(bad.complies_vnm(cfg)); // exactly 4 distinct: fine
+        bad.set(0, 6, false);
+        assert!(bad.complies_vnm(cfg));
+        let mut bad2 = bad.clone();
+        bad2.set(0, 6, true);
+        // now row0 has 3 nonzeros in group (0..8)? no: {0,1,6} = 3 > n=2 -> fails nm
+        assert!(!bad2.complies_vnm(cfg));
+    }
+
+    #[test]
+    fn block_used_columns_are_relative() {
+        let cfg = VnmConfig::new(2, 2, 4);
+        let m = SparsityMask::from_fn(2, 8, |_, c| c == 5 || c == 7);
+        assert_eq!(m.block_used_columns(cfg, 0, 1), vec![1, 3]);
+        assert!(m.block_used_columns(cfg, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn apply_zeroes_pruned_entries() {
+        let w = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f32 + 1.0);
+        let m = SparsityMask::from_fn(2, 4, |_, c| c % 2 == 0);
+        let p = m.apply_f32(&w);
+        assert_eq!(p.as_slice(), &[1.0, 0.0, 3.0, 0.0, 5.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn and_intersects() {
+        let a = SparsityMask::from_fn(2, 4, |_, c| c < 2);
+        let b = SparsityMask::from_fn(2, 4, |_, c| c > 0);
+        let c = a.and(&b);
+        assert_eq!(c.nnz(), 2);
+        assert!(c.get(0, 1) && c.get(1, 1));
+    }
+}

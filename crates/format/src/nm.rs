@@ -1,0 +1,288 @@
+//! NVIDIA's native N:M compressed layout (Fig. 1 of the paper).
+//!
+//! A row-wise N:M sparse `R x K` matrix compresses into
+//! * a values matrix of shape `R x (K/M)*N`, and
+//! * a metadata structure with one index per nonzero giving its position
+//!   inside its `M`-wide group (2 bits suffice for the hardware's 2:4; we
+//!   store one byte per index and report the packed size separately).
+//!
+//! This is the format `cuSparseLt` consumes and the format the V:N:M
+//! mapping ultimately produces over the *selected* columns.
+
+use crate::{NmConfig, SparsityMask};
+use venom_fp16::Half;
+use venom_tensor::Matrix;
+
+/// An N:M compressed matrix (values + per-nonzero group indices).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NmCompressed {
+    cfg: NmConfig,
+    rows: usize,
+    cols: usize,
+    groups_per_row: usize,
+    /// `rows * groups_per_row * n` nonzero values, padded with zeros when a
+    /// group holds fewer than `n` nonzeros.
+    values: Vec<Half>,
+    /// Same shape as `values`: position of each nonzero within its group
+    /// (`0..m`). Padding entries repeat the last valid index.
+    indices: Vec<u8>,
+}
+
+impl NmCompressed {
+    /// Compresses `dense` under `mask`, which must comply with `cfg`.
+    ///
+    /// # Panics
+    /// Panics if shapes mismatch, the mask violates the N:M pattern, or
+    /// `cfg.m > 256` (indices are stored as bytes).
+    pub fn compress(dense: &Matrix<Half>, mask: &SparsityMask, cfg: NmConfig) -> Self {
+        assert_eq!((dense.rows(), dense.cols()), (mask.rows(), mask.cols()), "shape mismatch");
+        assert!(cfg.m <= 256, "group width must fit a byte index");
+        assert!(mask.complies_nm(cfg), "mask violates the {cfg} pattern");
+
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let groups_per_row = cols.div_ceil(cfg.m);
+        let mut values = Vec::with_capacity(rows * groups_per_row * cfg.n);
+        let mut indices = Vec::with_capacity(rows * groups_per_row * cfg.n);
+
+        for r in 0..rows {
+            for g in 0..groups_per_row {
+                let c0 = g * cfg.m;
+                let c1 = (c0 + cfg.m).min(cols);
+                let mut found = 0usize;
+                let mut last_idx = 0u8;
+                for c in c0..c1 {
+                    if mask.get(r, c) {
+                        values.push(dense.get(r, c));
+                        last_idx = (c - c0) as u8;
+                        indices.push(last_idx);
+                        found += 1;
+                    }
+                }
+                // Pad groups with fewer than n nonzeros; padded slots carry
+                // zero values so decompression and the kernels stay exact.
+                for _ in found..cfg.n {
+                    values.push(Half::ZERO);
+                    indices.push(last_idx);
+                }
+            }
+        }
+
+        NmCompressed { cfg, rows, cols, groups_per_row, values, indices }
+    }
+
+    /// One-step magnitude compression: prunes to N:M by keeping the
+    /// largest-|w| entries of each group, then compresses. Convenience for
+    /// tests and the cuSparseLt baseline.
+    pub fn compress_magnitude(dense: &Matrix<Half>, cfg: NmConfig) -> Self {
+        let mask = magnitude_nm_mask(&dense.to_f32(), cfg);
+        Self::compress(dense, &mask, cfg)
+    }
+
+    /// The pattern descriptor.
+    pub fn config(&self) -> NmConfig {
+        self.cfg
+    }
+
+    /// Logical (uncompressed) shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored value slots (`rows * groups * n`, including padding).
+    pub fn stored_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The compressed values buffer, row-major over `(row, group, slot)`.
+    pub fn values(&self) -> &[Half] {
+        &self.values
+    }
+
+    /// The metadata indices, aligned with [`Self::values`].
+    pub fn indices(&self) -> &[u8] {
+        &self.indices
+    }
+
+    /// Value slots per row (`groups_per_row * n`).
+    pub fn slots_per_row(&self) -> usize {
+        self.groups_per_row * self.cfg.n
+    }
+
+    /// Bytes of the values buffer (2 bytes per half).
+    pub fn values_bytes(&self) -> usize {
+        self.values.len() * 2
+    }
+
+    /// Bytes of the metadata when packed at the hardware's 2 bits per index
+    /// (valid for m = 4; for larger m we charge ceil(log2(m)) bits).
+    pub fn metadata_bytes(&self) -> usize {
+        let bits_per_index = usize::max(2, (usize::BITS - (self.cfg.m - 1).leading_zeros()) as usize);
+        (self.indices.len() * bits_per_index).div_ceil(8)
+    }
+
+    /// Reference SpMM `C = self * B` with f32 accumulation, traversing the
+    /// compressed representation directly.
+    ///
+    /// # Panics
+    /// Panics if `B` has the wrong number of rows.
+    pub fn spmm_ref(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.cols, "B must have {} rows", self.cols);
+        let n = self.cfg.n;
+        let mut out = Matrix::<f32>::zeros(self.rows, b.cols());
+        for r in 0..self.rows {
+            let orow = out.row_mut(r);
+            for g in 0..self.groups_per_row {
+                for s in 0..n {
+                    let slot = (r * self.groups_per_row + g) * n + s;
+                    let v = self.values[slot];
+                    if v.is_zero() {
+                        continue;
+                    }
+                    let k = g * self.cfg.m + self.indices[slot] as usize;
+                    let vf = v.to_f32();
+                    for (o, &bv) in orow.iter_mut().zip(b.row(k)) {
+                        *o += vf * bv.to_f32();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the dense matrix (pruned entries become zero).
+    pub fn decompress(&self) -> Matrix<Half> {
+        let mut out = Matrix::<Half>::zeros(self.rows, self.cols);
+        let n = self.cfg.n;
+        for r in 0..self.rows {
+            for g in 0..self.groups_per_row {
+                for s in 0..n {
+                    let slot = (r * self.groups_per_row + g) * n + s;
+                    let v = self.values[slot];
+                    if v.is_zero() {
+                        continue; // padding or genuinely zero weight
+                    }
+                    let c = g * self.cfg.m + self.indices[slot] as usize;
+                    out.set(r, c, v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Magnitude N:M mask: keeps the `n` largest-|w| entries of every aligned
+/// group of `m` columns in every row. (Also used by the pruner crate as the
+/// baseline selection policy.)
+pub fn magnitude_nm_mask(w: &Matrix<f32>, cfg: NmConfig) -> SparsityMask {
+    let mut mask = SparsityMask::empty(w.rows(), w.cols());
+    for r in 0..w.rows() {
+        for g in 0..w.cols().div_ceil(cfg.m) {
+            let c0 = g * cfg.m;
+            let c1 = (c0 + cfg.m).min(w.cols());
+            let mut cols: Vec<usize> = (c0..c1).collect();
+            cols.sort_by(|&a, &b| {
+                w.get(r, b).abs().partial_cmp(&w.get(r, a).abs()).unwrap()
+            });
+            for &c in cols.iter().take(cfg.n) {
+                mask.set(r, c, true);
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_tensor::random;
+
+    fn random_nm(rows: usize, cols: usize, cfg: NmConfig, seed: u64) -> (Matrix<Half>, SparsityMask) {
+        let dense = random::normal_matrix(rows, cols, 0.0, 1.0, seed);
+        let mask = magnitude_nm_mask(&dense, cfg);
+        (mask.apply_f32(&dense).to_half(), mask)
+    }
+
+    #[test]
+    fn roundtrip_2_4() {
+        let cfg = NmConfig::new(2, 4);
+        let (dense, mask) = random_nm(16, 32, cfg, 1);
+        let comp = NmCompressed::compress(&dense, &mask, cfg);
+        assert_eq!(comp.stored_len(), 16 * (32 / 4) * 2);
+        assert_eq!(comp.decompress(), dense);
+    }
+
+    #[test]
+    fn roundtrip_2_8_with_tail_group() {
+        let cfg = NmConfig::new(2, 8);
+        let (dense, mask) = random_nm(8, 20, cfg, 2); // 20 = 2 full + 1 tail
+        let comp = NmCompressed::compress(&dense, &mask, cfg);
+        assert_eq!(comp.decompress(), dense);
+    }
+
+    #[test]
+    fn compression_ratio_matches_pattern() {
+        let cfg = NmConfig::new(2, 4);
+        let (dense, mask) = random_nm(64, 64, cfg, 3);
+        let comp = NmCompressed::compress(&dense, &mask, cfg);
+        // values = half the dense size; metadata = 2 bits per nonzero.
+        assert_eq!(comp.values_bytes(), 64 * 64); // 64*32 halves * 2B
+        assert_eq!(comp.metadata_bytes(), 64 * 32 * 2 / 8);
+        assert_eq!(mask.sparsity(), 0.5);
+    }
+
+    #[test]
+    fn magnitude_mask_keeps_largest() {
+        let w = Matrix::from_vec(1, 4, vec![0.1f32, -5.0, 2.0, 0.0]);
+        let mask = magnitude_nm_mask(&w, NmConfig::new(2, 4));
+        assert!(mask.get(0, 1) && mask.get(0, 2));
+        assert!(!mask.get(0, 0) && !mask.get(0, 3));
+    }
+
+    #[test]
+    fn padding_handles_underfull_groups() {
+        // A group with a single nonzero still stores n slots.
+        let mut w = Matrix::<Half>::zeros(1, 4);
+        w.set(0, 2, Half::ONE);
+        let mask = SparsityMask::from_fn(1, 4, |_, c| c == 2);
+        let cfg = NmConfig::new(2, 4);
+        let comp = NmCompressed::compress(&w, &mask, cfg);
+        assert_eq!(comp.stored_len(), 2);
+        assert_eq!(comp.decompress(), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn rejects_noncompliant_mask() {
+        let dense = Matrix::<Half>::zeros(1, 4);
+        let mask = SparsityMask::dense(1, 4);
+        let _ = NmCompressed::compress(&dense, &mask, NmConfig::new(2, 4));
+    }
+
+    #[test]
+    fn spmm_ref_matches_dense_gemm() {
+        let cfg = NmConfig::new(2, 8);
+        let (dense, mask) = random_nm(24, 40, cfg, 11);
+        let comp = NmCompressed::compress(&dense, &mask, cfg);
+        let b = random::normal_matrix(40, 12, 0.0, 1.0, 12).to_half();
+        let via_fmt = comp.spmm_ref(&b);
+        let via_dense = venom_tensor::gemm::gemm_ref(&dense, &b);
+        let err = {
+            let mut m = 0.0f32;
+            for (x, y) in via_fmt.as_slice().iter().zip(via_dense.as_slice()) {
+                m = m.max((x - y).abs());
+            }
+            m
+        };
+        assert!(err < 1e-3, "err={err}");
+    }
+
+    #[test]
+    fn compress_magnitude_is_roundtrip_of_masked_input() {
+        let dense = random::normal_matrix(8, 16, 0.0, 1.0, 9).to_half();
+        let cfg = NmConfig::new(2, 4);
+        let comp = NmCompressed::compress_magnitude(&dense, cfg);
+        let mask = magnitude_nm_mask(&dense.to_f32(), cfg);
+        assert_eq!(comp.decompress(), mask.apply_half(&dense));
+    }
+}

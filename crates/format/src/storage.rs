@@ -1,0 +1,173 @@
+//! Kernel storage order for the V:N:M values / m-indices (Fig. 7).
+//!
+//! Spatha stores the nonzero structure in an interleaved order so that
+//! during stage 1→2 of the kernel every thread of a warp issues one 128-bit
+//! (8-half) transaction per `mma.sp` operand tile, fully coalesced, with no
+//! `ldmatrix` shuffle (which the paper avoids because it causes SMEM bank
+//! conflicts).
+//!
+//! The order implemented here tiles the logical `rows x slots` value matrix
+//! into `MMA_M x TILE_K` = `16 x 16` tiles (16 stored halves per row is one
+//! `mma.sp.m16n8k32` LHS fragment: k=32 at 50% density). Inside a tile the
+//! memory order is *thread-major*: thread `t` of the warp owns row
+//! `t % 16` and the 8-half chunk `t / 16`, so consecutive 16-byte chunks in
+//! memory belong to consecutive threads — one 128-bit instruction per
+//! thread, warp-contiguous in GMEM/SMEM.
+
+/// Row tile height: the `mma` M dimension.
+pub const TILE_ROWS: usize = 16;
+/// Slot tile width: stored halves per row per `mma.sp` instruction
+/// (k = 32 condensed columns at 2:4 density -> 16 values).
+pub const TILE_SLOTS: usize = 16;
+/// Halves per 128-bit transaction.
+pub const CHUNK: usize = 8;
+
+/// Storage orders for the compressed value/metadata buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StorageOrder {
+    /// Plain row-major `(row, slot)` order (host layout).
+    #[default]
+    Linear,
+    /// The Fig. 7 interleaved kernel order described in this module.
+    Interleaved,
+}
+
+/// Logical `(row, slot)` to linear offset in the interleaved buffer.
+///
+/// The buffer is padded to whole tiles: callers allocate
+/// [`interleaved_len`] elements.
+pub fn interleaved_index(row: usize, slot: usize, rows: usize, slots: usize) -> usize {
+    debug_assert!(row < rows && slot < slots);
+    let tiles_per_row_band = slots.div_ceil(TILE_SLOTS);
+    let (tr, lr) = (row / TILE_ROWS, row % TILE_ROWS);
+    let (ts, ls) = (slot / TILE_SLOTS, slot % TILE_SLOTS);
+    let tile = tr * tiles_per_row_band + ts;
+    let (chunk_id, within) = (ls / CHUNK, ls % CHUNK);
+    // Thread t = lr + 16*chunk_id owns this 8-half chunk.
+    let thread = lr + TILE_ROWS * chunk_id;
+    tile * (TILE_ROWS * TILE_SLOTS) + thread * CHUNK + within
+}
+
+/// Length of the padded interleaved buffer for a `rows x slots` logical
+/// matrix.
+pub fn interleaved_len(rows: usize, slots: usize) -> usize {
+    rows.div_ceil(TILE_ROWS) * TILE_ROWS * slots.div_ceil(TILE_SLOTS) * TILE_SLOTS
+}
+
+/// Permutes a row-major buffer into the interleaved kernel order, padding
+/// with `fill`.
+///
+/// # Panics
+/// Panics if `data.len() != rows * slots`.
+pub fn to_interleaved<T: Copy>(data: &[T], rows: usize, slots: usize, fill: T) -> Vec<T> {
+    assert_eq!(data.len(), rows * slots, "buffer length must be rows*slots");
+    let mut out = vec![fill; interleaved_len(rows, slots)];
+    for r in 0..rows {
+        for s in 0..slots {
+            out[interleaved_index(r, s, rows, slots)] = data[r * slots + s];
+        }
+    }
+    out
+}
+
+/// Inverse of [`to_interleaved`]: recovers the row-major buffer.
+///
+/// # Panics
+/// Panics if `data.len() != interleaved_len(rows, slots)`.
+pub fn from_interleaved<T: Copy + Default>(data: &[T], rows: usize, slots: usize) -> Vec<T> {
+    assert_eq!(data.len(), interleaved_len(rows, slots), "buffer length must be padded tiles");
+    let mut out = vec![T::default(); rows * slots];
+    for r in 0..rows {
+        for s in 0..slots {
+            out[r * slots + s] = data[interleaved_index(r, s, rows, slots)];
+        }
+    }
+    out
+}
+
+/// The per-thread chunk start offsets (in elements) a warp touches when it
+/// loads one `16 x 16` tile. Used by the simulator's coalescing check.
+pub fn warp_tile_chunk_offsets(tile_index: usize) -> [usize; 32] {
+    let base = tile_index * TILE_ROWS * TILE_SLOTS;
+    let mut out = [0usize; 32];
+    for (t, o) in out.iter_mut().enumerate() {
+        *o = base + t * CHUNK;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn interleaved_index_is_a_bijection() {
+        let (rows, slots) = (48, 32);
+        let mut seen = HashSet::new();
+        for r in 0..rows {
+            for s in 0..slots {
+                let i = interleaved_index(r, s, rows, slots);
+                assert!(i < interleaved_len(rows, slots));
+                assert!(seen.insert(i), "duplicate index {i} for ({r},{s})");
+            }
+        }
+        assert_eq!(seen.len(), rows * slots);
+    }
+
+    #[test]
+    fn roundtrip_exact_tiles() {
+        let (rows, slots) = (32usize, 32usize);
+        let data: Vec<u32> = (0..(rows * slots) as u32).collect();
+        let inter = to_interleaved(&data, rows, slots, u32::MAX);
+        assert_eq!(inter.len(), rows * slots); // no padding needed
+        assert_eq!(from_interleaved(&inter, rows, slots), data);
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        let (rows, slots) = (18, 20); // pads to 32 x 32
+        let data: Vec<u16> = (0..(rows * slots) as u16).collect();
+        let inter = to_interleaved(&data, rows, slots, 0xFFFF);
+        assert_eq!(inter.len(), 32 * 32);
+        assert_eq!(from_interleaved(&inter, rows, slots), data);
+    }
+
+    #[test]
+    fn chunks_are_row_contiguous() {
+        // Each 8-element chunk of the interleaved buffer must come from one
+        // row, with consecutive slots — that is what makes the load a legal
+        // 128-bit transaction.
+        let (rows, slots) = (16, 16);
+        let data: Vec<usize> = (0..rows * slots).collect();
+        let inter = to_interleaved(&data, rows, slots, usize::MAX);
+        for chunk in inter.chunks_exact(CHUNK) {
+            let row = chunk[0] / slots;
+            for (i, &v) in chunk.iter().enumerate() {
+                assert_eq!(v / slots, row, "chunk spans rows");
+                assert_eq!(v % slots, chunk[0] % slots + i, "chunk not contiguous");
+            }
+        }
+    }
+
+    #[test]
+    fn warp_chunks_are_memory_consecutive() {
+        // Thread t's chunk must start at tile_base + t*8 so the warp's 32
+        // transactions cover one contiguous 512-half region.
+        let offs = warp_tile_chunk_offsets(3);
+        for (t, &o) in offs.iter().enumerate() {
+            assert_eq!(o, 3 * 256 + t * 8);
+        }
+    }
+
+    #[test]
+    fn first_tile_thread_mapping_matches_fig7_shape() {
+        // Thread 0 owns row 0, slots 0..8; thread 16 owns row 0, slots 8..16.
+        let (rows, slots) = (16, 16);
+        assert_eq!(interleaved_index(0, 0, rows, slots), 0);
+        assert_eq!(interleaved_index(0, 7, rows, slots), 7);
+        assert_eq!(interleaved_index(0, 8, rows, slots), 16 * 8);
+        assert_eq!(interleaved_index(1, 0, rows, slots), 8);
+        assert_eq!(interleaved_index(15, 15, rows, slots), 31 * 8 + 7);
+    }
+}

@@ -1,0 +1,486 @@
+//! The V:N:M compressed format (Fig. 3 of the paper).
+//!
+//! A `R x K` matrix pruned to the V:N:M pattern stores three structures:
+//!
+//! * **non-zero values** — `R x (K/M)*N` halves: each row keeps `N` values
+//!   per `M`-wide group (the paper's `K/M*2` for N = 2),
+//! * **m-indices** — one 2-bit index per nonzero identifying which of the
+//!   *4 selected columns* the value came from (not which of the `M` original
+//!   columns — that is the key trick that turns arbitrary N:M into 2:4),
+//! * **column-loc** — `(R/V) x (K/M)*4` entries naming the 4 columns of
+//!   each `V x M` block that survived vector-wise pruning.
+//!
+//! Together the values and m-indices of a row block form exactly the
+//! operand layout of a native 2:4 sparse tensor-core instruction over the
+//! *condensed* matrix of selected columns (`R x (K/M)*4`), while column-loc
+//! drives the gather of rows from the dense operand B (Fig. 4).
+
+use crate::{SparsityMask, VnmConfig, SELECTED_COLUMNS};
+use venom_fp16::Half;
+use venom_tensor::Matrix;
+
+/// A matrix compressed in the V:N:M format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VnmMatrix {
+    cfg: VnmConfig,
+    rows: usize,
+    cols: usize,
+    k_groups: usize,
+    row_blocks: usize,
+    /// `rows * k_groups * n` nonzero values (zero-padded slots for groups
+    /// with fewer than `n` kept weights).
+    values: Vec<Half>,
+    /// Aligned with `values`: index into the block's 4 selected columns.
+    m_indices: Vec<u8>,
+    /// `row_blocks * k_groups * 4` selected columns, relative to the group
+    /// start (`0..m`). Blocks using fewer than 4 distinct columns repeat
+    /// their last used column (their values are zero, so this is harmless).
+    column_loc: Vec<u16>,
+}
+
+impl VnmMatrix {
+    /// Compresses `dense` under `mask`, which must comply with `cfg`.
+    ///
+    /// # Panics
+    /// Panics if shapes mismatch, `cfg.m > 65535`, or the mask violates
+    /// the V:N:M pattern.
+    pub fn compress(dense: &Matrix<Half>, mask: &SparsityMask, cfg: VnmConfig) -> Self {
+        assert_eq!((dense.rows(), dense.cols()), (mask.rows(), mask.cols()), "shape mismatch");
+        assert!(cfg.m <= u16::MAX as usize, "group width must fit u16 column-loc entries");
+        assert!(mask.complies_vnm(cfg), "mask violates the {cfg} pattern");
+
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let k_groups = cfg.k_groups(cols);
+        let row_blocks = cfg.row_blocks(rows);
+
+        // Stage 1: column-loc — which 4 columns of each V x M block are live.
+        let mut column_loc = vec![0u16; row_blocks * k_groups * SELECTED_COLUMNS];
+        for b in 0..row_blocks {
+            for g in 0..k_groups {
+                let mut used = mask.block_used_columns(cfg, b, g);
+                debug_assert!(used.len() <= SELECTED_COLUMNS);
+                let pad = *used.last().unwrap_or(&0);
+                while used.len() < SELECTED_COLUMNS {
+                    used.push(pad);
+                }
+                let base = (b * k_groups + g) * SELECTED_COLUMNS;
+                for (j, &c) in used.iter().enumerate() {
+                    column_loc[base + j] = c as u16;
+                }
+            }
+        }
+
+        // Stage 2: values + m-indices per row, relative to the selection.
+        let n = cfg.n;
+        let mut values = Vec::with_capacity(rows * k_groups * n);
+        let mut m_indices = Vec::with_capacity(rows * k_groups * n);
+        for r in 0..rows {
+            let b = r / cfg.v;
+            for g in 0..k_groups {
+                let base = (b * k_groups + g) * SELECTED_COLUMNS;
+                let sel = &column_loc[base..base + SELECTED_COLUMNS];
+                let mut found = 0usize;
+                let mut last_idx = 0u8;
+                for (j, &rel) in sel.iter().enumerate() {
+                    // Skip padded duplicates so each live column is visited
+                    // exactly once.
+                    if sel[..j].contains(&rel) {
+                        continue;
+                    }
+                    let c = g * cfg.m + rel as usize;
+                    if c < cols && mask.get(r, c) {
+                        values.push(dense.get(r, c));
+                        last_idx = j as u8;
+                        m_indices.push(last_idx);
+                        found += 1;
+                    }
+                }
+                debug_assert!(found <= n, "nm compliance guarantees <= n nonzeros");
+                for _ in found..n {
+                    values.push(Half::ZERO);
+                    m_indices.push(last_idx);
+                }
+            }
+        }
+
+        VnmMatrix { cfg, rows, cols, k_groups, row_blocks, values, m_indices, column_loc }
+    }
+
+    /// The pattern descriptor.
+    pub fn config(&self) -> VnmConfig {
+        self.cfg
+    }
+
+    /// Logical (uncompressed) shape `(R, K)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Logical rows (R).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical columns (K).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of `M`-wide groups along K (including a partial tail).
+    pub fn k_groups(&self) -> usize {
+        self.k_groups
+    }
+
+    /// Number of `V`-tall row blocks (including a partial tail).
+    pub fn row_blocks(&self) -> usize {
+        self.row_blocks
+    }
+
+    /// Stored value slots per row (`k_groups * n`).
+    pub fn slots_per_row(&self) -> usize {
+        self.k_groups * self.cfg.n
+    }
+
+    /// The raw values buffer, `(row, group, slot)` row-major.
+    pub fn values(&self) -> &[Half] {
+        &self.values
+    }
+
+    /// The raw m-indices buffer, aligned with [`Self::values`].
+    pub fn m_indices(&self) -> &[u8] {
+        &self.m_indices
+    }
+
+    /// The raw column-loc buffer, `(block, group, j)` row-major.
+    pub fn column_loc(&self) -> &[u16] {
+        &self.column_loc
+    }
+
+    /// The 4 selected columns of `(block, group)`, as *absolute* B-row
+    /// indices (clamped entries from padded tail groups are still < K).
+    pub fn selected_b_rows(&self, block: usize, group: usize) -> [usize; SELECTED_COLUMNS] {
+        let base = (block * self.k_groups + group) * SELECTED_COLUMNS;
+        let mut out = [0usize; SELECTED_COLUMNS];
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = (group * self.cfg.m + self.column_loc[base + j] as usize).min(self.cols - 1);
+        }
+        out
+    }
+
+    /// Bytes of the values structure (2 per half).
+    pub fn values_bytes(&self) -> usize {
+        self.values.len() * 2
+    }
+
+    /// Bytes of the m-indices structure at the hardware's 2 bits per index.
+    pub fn m_indices_bytes(&self) -> usize {
+        (self.m_indices.len() * 2).div_ceil(8)
+    }
+
+    /// Bytes of the column-loc structure (one byte per entry for M <= 256,
+    /// two otherwise — the width an implementation would actually ship).
+    pub fn column_loc_bytes(&self) -> usize {
+        let entry = if self.cfg.m <= 256 { 1 } else { 2 };
+        self.column_loc.len() * entry
+    }
+
+    /// Total compressed footprint in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.values_bytes() + self.m_indices_bytes() + self.column_loc_bytes()
+    }
+
+    /// Compression ratio versus the dense `R x K` half matrix.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.rows * self.cols * 2) as f64 / self.total_bytes() as f64
+    }
+
+    /// Reconstructs the dense matrix (pruned entries become zero).
+    pub fn decompress(&self) -> Matrix<Half> {
+        let mut out = Matrix::<Half>::zeros(self.rows, self.cols);
+        let n = self.cfg.n;
+        for r in 0..self.rows {
+            let b = r / self.cfg.v;
+            for g in 0..self.k_groups {
+                for s in 0..n {
+                    let slot = (r * self.k_groups + g) * n + s;
+                    let v = self.values[slot];
+                    if v.is_zero() {
+                        continue;
+                    }
+                    let j = self.m_indices[slot] as usize;
+                    let rel = self.column_loc[(b * self.k_groups + g) * SELECTED_COLUMNS + j];
+                    out.set(r, g * self.cfg.m + rel as usize, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The condensed matrix of selected columns: shape
+    /// `R x k_groups*4`, where column `g*4 + j` holds the row's value at the
+    /// block's j-th selected column. By construction every group of 4
+    /// condensed columns holds at most N nonzeros per row — i.e. the
+    /// condensed matrix is exactly the 2:4 operand SPTCs consume (Fig. 4).
+    pub fn condensed(&self) -> Matrix<Half> {
+        let mut out = Matrix::<Half>::zeros(self.rows, self.k_groups * SELECTED_COLUMNS);
+        let n = self.cfg.n;
+        for r in 0..self.rows {
+            for g in 0..self.k_groups {
+                for s in 0..n {
+                    let slot = (r * self.k_groups + g) * n + s;
+                    let v = self.values[slot];
+                    if v.is_zero() {
+                        continue;
+                    }
+                    let j = self.m_indices[slot] as usize;
+                    out.set(r, g * SELECTED_COLUMNS + j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference SpMM over the compressed representation:
+    /// `C = self * B` with f32 accumulation, traversing values/m-indices/
+    /// column-loc directly (no decompression). This is the correctness
+    /// oracle the Spatha kernel is validated against.
+    ///
+    /// # Panics
+    /// Panics if `B` has fewer rows than K.
+    pub fn spmm_ref(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.cols, "B must have K rows");
+        let n = self.cfg.n;
+        let mut out = Matrix::<f32>::zeros(self.rows, b.cols());
+        for r in 0..self.rows {
+            let blk = r / self.cfg.v;
+            let orow = out.row_mut(r);
+            for g in 0..self.k_groups {
+                for s in 0..n {
+                    let slot = (r * self.k_groups + g) * n + s;
+                    let v = self.values[slot];
+                    if v.is_zero() {
+                        continue;
+                    }
+                    let j = self.m_indices[slot] as usize;
+                    let rel =
+                        self.column_loc[(blk * self.k_groups + g) * SELECTED_COLUMNS + j];
+                    let k = g * self.cfg.m + rel as usize;
+                    let vf = v.to_f32();
+                    for (o, &bv) in orow.iter_mut().zip(b.row(k)) {
+                        *o += vf * bv.to_f32();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Calls `f(row, col, value)` for every stored nonzero.
+    pub fn for_each_nonzero(&self, mut f: impl FnMut(usize, usize, Half)) {
+        let n = self.cfg.n;
+        for r in 0..self.rows {
+            let b = r / self.cfg.v;
+            for g in 0..self.k_groups {
+                for s in 0..n {
+                    let slot = (r * self.k_groups + g) * n + s;
+                    let v = self.values[slot];
+                    if v.is_zero() {
+                        continue;
+                    }
+                    let j = self.m_indices[slot] as usize;
+                    let rel =
+                        self.column_loc[(b * self.k_groups + g) * SELECTED_COLUMNS + j];
+                    f(r, g * self.cfg.m + rel as usize, v);
+                }
+            }
+        }
+    }
+
+    /// Number of stored nonzero (non-padding) values.
+    pub fn nnz(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_zero()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_tensor::random;
+
+    /// Magnitude-based V:N:M mask (duplicated here in miniature so format
+    /// tests do not depend on the pruner crate).
+    fn vnm_mask(w: &Matrix<f32>, cfg: VnmConfig) -> SparsityMask {
+        let mut mask = SparsityMask::empty(w.rows(), w.cols());
+        for b in 0..cfg.row_blocks(w.rows()) {
+            let r0 = b * cfg.v;
+            let r1 = (r0 + cfg.v).min(w.rows());
+            for g in 0..cfg.k_groups(w.cols()) {
+                let c0 = g * cfg.m;
+                let c1 = (c0 + cfg.m).min(w.cols());
+                // Select the 4 columns with the largest |w| column sums.
+                let mut cols: Vec<usize> = (c0..c1).collect();
+                cols.sort_by(|&a, &bc| {
+                    let sa: f32 = (r0..r1).map(|r| w.get(r, a).abs()).sum();
+                    let sb: f32 = (r0..r1).map(|r| w.get(r, bc).abs()).sum();
+                    sb.partial_cmp(&sa).unwrap()
+                });
+                let sel: Vec<usize> = cols.into_iter().take(SELECTED_COLUMNS).collect();
+                // Keep the n largest |w| of the selection per row.
+                for r in r0..r1 {
+                    let mut sc = sel.clone();
+                    sc.sort_by(|&a, &bc| {
+                        w.get(r, bc).abs().partial_cmp(&w.get(r, a).abs()).unwrap()
+                    });
+                    for &c in sc.iter().take(cfg.n) {
+                        mask.set(r, c, true);
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    fn make(rows: usize, cols: usize, cfg: VnmConfig, seed: u64) -> (Matrix<Half>, SparsityMask) {
+        let w = random::normal_matrix(rows, cols, 0.0, 1.0, seed);
+        let mask = vnm_mask(&w, cfg);
+        (mask.apply_f32(&w).to_half(), mask)
+    }
+
+    #[test]
+    fn roundtrip_4_2_8() {
+        let cfg = VnmConfig::new(4, 2, 8);
+        let (dense, mask) = make(16, 32, cfg, 1);
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        assert_eq!(vnm.decompress(), dense);
+    }
+
+    #[test]
+    fn roundtrip_large_v_and_m() {
+        let cfg = VnmConfig::new(64, 2, 20);
+        let (dense, mask) = make(128, 160, cfg, 2);
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        assert_eq!(vnm.decompress(), dense);
+        assert!((mask.sparsity() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_with_partial_tails() {
+        // R=10 not divisible by V=4; K=26 not divisible by M=8.
+        let cfg = VnmConfig::new(4, 2, 8);
+        let (dense, mask) = make(10, 26, cfg, 3);
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        assert_eq!(vnm.row_blocks(), 3);
+        assert_eq!(vnm.k_groups(), 4);
+        assert_eq!(vnm.decompress(), dense);
+    }
+
+    #[test]
+    fn v1_degenerates_to_plain_nm() {
+        // With V = 1 each row selects its own columns: any 2:8 row pattern
+        // compresses losslessly.
+        let cfg = VnmConfig::new(1, 2, 8);
+        let w = random::normal_matrix(8, 64, 0.0, 1.0, 4);
+        let mask = crate::nm::magnitude_nm_mask(&w, cfg.nm());
+        assert!(mask.complies_vnm(cfg));
+        let dense = mask.apply_f32(&w).to_half();
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        assert_eq!(vnm.decompress(), dense);
+    }
+
+    #[test]
+    fn condensed_matrix_is_2_4() {
+        let cfg = VnmConfig::new(8, 2, 16);
+        let (dense, mask) = make(32, 64, cfg, 5);
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        let cond = vnm.condensed();
+        assert_eq!(cond.cols(), vnm.k_groups() * SELECTED_COLUMNS);
+        // Every aligned group of 4 condensed columns has <= 2 nonzeros.
+        let cmask = SparsityMask::from_fn(cond.rows(), cond.cols(), |r, c| !cond.get(r, c).is_zero());
+        assert!(cmask.complies_nm(crate::NmConfig::new(2, 4)));
+    }
+
+    #[test]
+    fn spmm_ref_matches_dense_gemm() {
+        let cfg = VnmConfig::new(16, 2, 10);
+        let (dense, mask) = make(32, 40, cfg, 6);
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        let b = random::normal_matrix(40, 24, 0.0, 1.0, 7).to_half();
+        let via_format = vnm.spmm_ref(&b);
+        let via_dense = venom_tensor::gemm::gemm_ref(&dense, &b);
+        let err = venom_tensor::norms::max_abs_diff(&via_format, &via_dense);
+        assert!(err < 1e-3, "err={err}");
+    }
+
+    #[test]
+    fn storage_sizes_match_figure3() {
+        // Fig. 3: values and m-indices are R x K/M*2, column-loc is
+        // R/V x K/M*4 (for N = 2).
+        let cfg = VnmConfig::new(4, 2, 8);
+        let (dense, mask) = make(8, 32, cfg, 8);
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        assert_eq!(vnm.values().len(), 8 * (32 / 8) * 2);
+        assert_eq!(vnm.m_indices().len(), 8 * (32 / 8) * 2);
+        assert_eq!(vnm.column_loc().len(), (8 / 4) * (32 / 8) * 4);
+        // Byte accounting: 2B per value, 2b per m-index, 1B per column-loc.
+        assert_eq!(vnm.values_bytes(), 64 * 2);
+        assert_eq!(vnm.m_indices_bytes(), 64 * 2 / 8);
+        assert_eq!(vnm.column_loc_bytes(), 32);
+    }
+
+    #[test]
+    fn compression_ratio_grows_with_m() {
+        let mk = |m: usize| {
+            let cfg = VnmConfig::new(16, 2, m);
+            let (dense, mask) = make(64, 400, cfg, 9);
+            VnmMatrix::compress(&dense, &mask, cfg).compression_ratio()
+        };
+        let r8 = mk(8);
+        let r20 = mk(20);
+        let r40 = mk(40);
+        assert!(r8 < r20 && r20 < r40, "r8={r8} r20={r20} r40={r40}");
+    }
+
+    #[test]
+    fn nnz_counts_stored_values() {
+        let cfg = VnmConfig::new(4, 2, 8);
+        let (dense, mask) = make(16, 32, cfg, 10);
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        // Nonzero count equals the mask's nnz minus weights that happen to
+        // round to zero in half precision (none for this distribution).
+        assert_eq!(vnm.nnz(), mask.nnz());
+    }
+
+    #[test]
+    fn for_each_nonzero_visits_exact_positions() {
+        let cfg = VnmConfig::new(2, 2, 4);
+        let (dense, mask) = make(4, 8, cfg, 11);
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        let mut seen = Matrix::<Half>::zeros(4, 8);
+        vnm.for_each_nonzero(|r, c, v| seen.set(r, c, v));
+        assert_eq!(seen, dense);
+    }
+
+    #[test]
+    fn selected_b_rows_in_bounds() {
+        let cfg = VnmConfig::new(4, 2, 10);
+        let (dense, mask) = make(8, 26, cfg, 12); // partial tail group of 6
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        for b in 0..vnm.row_blocks() {
+            for g in 0..vnm.k_groups() {
+                for r in vnm.selected_b_rows(b, g) {
+                    assert!(r < 26);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn rejects_noncompliant_mask() {
+        let cfg = VnmConfig::new(4, 2, 8);
+        let dense = Matrix::<Half>::zeros(8, 16);
+        let mask = SparsityMask::dense(8, 16);
+        let _ = VnmMatrix::compress(&dense, &mask, cfg);
+    }
+}

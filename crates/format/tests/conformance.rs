@@ -1,0 +1,138 @@
+//! Cross-format conformance: every storage format in the crate must agree
+//! on the linear algebra, and the special cases the paper relies on must
+//! hold structurally.
+
+use venom_format::{
+    BlockedEllMatrix, CsrMatrix, CvseMatrix, NmCompressed, NmConfig, SparsityMask, VnmConfig,
+    VnmMatrix, SELECTED_COLUMNS,
+};
+use venom_fp16::Half;
+use venom_tensor::{gemm, norms, random, Matrix};
+
+/// A V:N:M-compliant sparse matrix via magnitude-style selection
+/// (test-local to keep the format crate independent of the pruner).
+fn vnm_sparse(rows: usize, cols: usize, cfg: VnmConfig, seed: u64) -> (Matrix<Half>, SparsityMask) {
+    let w = random::glorot_matrix(rows, cols, seed);
+    let mut mask = SparsityMask::empty(rows, cols);
+    for b in 0..cfg.row_blocks(rows) {
+        let r0 = b * cfg.v;
+        let r1 = (r0 + cfg.v).min(rows);
+        for g in 0..cfg.k_groups(cols) {
+            let c0 = g * cfg.m;
+            let c1 = (c0 + cfg.m).min(cols);
+            let mut cols_idx: Vec<usize> = (c0..c1).collect();
+            cols_idx.sort_by(|&a, &bc| {
+                let sa: f32 = (r0..r1).map(|r| w.get(r, a).abs()).sum();
+                let sb: f32 = (r0..r1).map(|r| w.get(r, bc).abs()).sum();
+                sb.partial_cmp(&sa).unwrap()
+            });
+            let sel: Vec<usize> = cols_idx.into_iter().take(SELECTED_COLUMNS).collect();
+            for r in r0..r1 {
+                let mut sc = sel.clone();
+                sc.sort_by(|&a, &bc| w.get(r, bc).abs().partial_cmp(&w.get(r, a).abs()).unwrap());
+                for &c in sc.iter().take(cfg.n) {
+                    mask.set(r, c, true);
+                }
+            }
+        }
+    }
+    (mask.apply_f32(&w).to_half(), mask)
+}
+
+#[test]
+fn all_formats_agree_on_spmm() {
+    let cfg = VnmConfig::new(8, 2, 8);
+    let (dense, mask) = vnm_sparse(32, 64, cfg, 1);
+    let b = random::activation_matrix(64, 24, 2).to_half();
+    let want = gemm::gemm_ref(&dense, &b);
+
+    let vnm = VnmMatrix::compress(&dense, &mask, cfg).spmm_ref(&b);
+    let csr = CsrMatrix::from_dense(&dense).spmm_ref(&b);
+    let ell = BlockedEllMatrix::from_dense(&dense, 8).spmm_ref(&b);
+
+    for (name, got) in [("vnm", &vnm), ("csr", &csr), ("ell", &ell)] {
+        assert!(
+            norms::allclose(got, &want, 1e-3, 1e-3),
+            "{name}: max diff {}",
+            norms::max_abs_diff(got, &want)
+        );
+    }
+}
+
+#[test]
+fn vnm_with_m4_matches_plain_24() {
+    // V:2:4 degenerates to the NVIDIA 2:4 format: same selection, same
+    // nonzeros, byte-compatible value count.
+    let w = random::glorot_matrix(32, 64, 3);
+    let nm_mask = venom_format::nm::magnitude_nm_mask(&w, NmConfig::new(2, 4));
+    let dense = nm_mask.apply_f32(&w).to_half();
+
+    let cfg = VnmConfig::new(16, 2, 4);
+    assert!(nm_mask.complies_vnm(cfg), "any 2:4 mask is V:2:4 for any V");
+    let vnm = VnmMatrix::compress(&dense, &nm_mask, cfg);
+    let nm24 = NmCompressed::compress(&dense, &nm_mask, NmConfig::new(2, 4));
+
+    assert_eq!(vnm.values().len(), nm24.stored_len());
+    assert_eq!(vnm.decompress(), nm24.decompress());
+    // With M = 4 every column is "selected": column-loc is the identity.
+    for (i, &c) in vnm.column_loc().iter().enumerate() {
+        assert_eq!(c as usize, i % 4, "column-loc must be [0,1,2,3] per group");
+    }
+}
+
+#[test]
+fn vectorwise_matrix_is_representable_in_both_cvse_and_csr() {
+    let w = random::glorot_matrix(24, 48, 4);
+    // vw_8 pruning: whole 8-row vectors.
+    let mut pruned = Matrix::<Half>::zeros(24, 48);
+    for band in 0..3 {
+        for c in (band..48).step_by(4) {
+            for r in band * 8..(band + 1) * 8 {
+                pruned.set(r, c, Half::from_f32(w.get(r, c)));
+            }
+        }
+    }
+    let b = random::activation_matrix(48, 8, 5).to_half();
+    let via_cvse = CvseMatrix::from_dense(&pruned, 8).spmm_ref(&b);
+    let via_csr = CsrMatrix::from_dense(&pruned).spmm_ref(&b);
+    assert!(norms::allclose(&via_cvse, &via_csr, 1e-4, 1e-4));
+}
+
+#[test]
+fn footprints_rank_as_expected_at_high_sparsity() {
+    // At 90% V:N:M sparsity the V:N:M footprint must undercut CSR (which
+    // pays 4-byte indices) and Blocked-ELL (which pays padding).
+    let cfg = VnmConfig::new(16, 2, 20);
+    let (dense, mask) = vnm_sparse(64, 320, cfg, 6);
+    let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+    let csr = CsrMatrix::from_dense(&dense);
+    assert!(
+        vnm.total_bytes() < csr.total_bytes(),
+        "vnm {} vs csr {}",
+        vnm.total_bytes(),
+        csr.total_bytes()
+    );
+}
+
+#[test]
+fn interleaved_storage_preserves_spmm_results() {
+    // Round-tripping the values buffer through the kernel storage order
+    // must not change the math.
+    let cfg = VnmConfig::new(16, 2, 8);
+    let (dense, mask) = vnm_sparse(32, 64, cfg, 7);
+    let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+    let slots = vnm.slots_per_row();
+    let inter = venom_format::storage::to_interleaved(vnm.values(), 32, slots, Half::ZERO);
+    let back = venom_format::storage::from_interleaved(&inter, 32, slots);
+    assert_eq!(back.as_slice(), vnm.values());
+}
+
+#[test]
+fn mask_statistics_are_consistent_across_formats() {
+    let cfg = VnmConfig::new(8, 2, 10);
+    let (dense, mask) = vnm_sparse(40, 100, cfg, 8);
+    let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+    let csr = CsrMatrix::from_dense(&dense);
+    assert_eq!(vnm.nnz(), csr.nnz());
+    assert_eq!(vnm.nnz(), mask.nnz());
+}

@@ -1,0 +1,73 @@
+//! Property tests for sparsity masks and pattern compliance.
+
+use proptest::prelude::*;
+use venom_format::{NmConfig, SparsityMask, VnmConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// nnz + pruned = total, density + sparsity = 1.
+    #[test]
+    fn counting_identities(rows in 1usize..40, cols in 1usize..90, seed in 0u64..1000) {
+        let mask = SparsityMask::from_fn(rows, cols, |r, c| (r * 7 + c * 13 + seed as usize) % 3 == 0);
+        prop_assert!(mask.nnz() <= rows * cols);
+        prop_assert!((mask.density() + mask.sparsity() - 1.0).abs() < 1e-12);
+        let row_sum: usize = (0..rows).map(|r| mask.row_nnz(r)).sum();
+        prop_assert_eq!(row_sum, mask.nnz());
+    }
+
+    /// AND of a mask with itself is the identity; with the empty mask the
+    /// annihilator.
+    #[test]
+    fn and_algebra(rows in 1usize..20, cols in 1usize..70, seed in 0u64..1000) {
+        let mask = SparsityMask::from_fn(rows, cols, |r, c| (r + c * 3 + seed as usize) % 4 != 0);
+        prop_assert_eq!(mask.and(&mask).clone(), mask.clone());
+        let empty = SparsityMask::empty(rows, cols);
+        prop_assert_eq!(mask.and(&empty).nnz(), 0);
+        let dense = SparsityMask::dense(rows, cols);
+        prop_assert_eq!(mask.and(&dense), mask);
+    }
+
+    /// N:M compliance is monotone in N: a 1:M-compliant mask is also
+    /// 2:M-compliant, etc.
+    #[test]
+    fn nm_compliance_monotone_in_n(m in 4usize..16, seed in 0u64..1000) {
+        let cols = m * 4;
+        // Build a 1:M mask: one nonzero per group.
+        let mask = SparsityMask::from_fn(4, cols, |r, c| c % m == (r + seed as usize) % m);
+        for n in 1..m {
+            prop_assert!(mask.complies_nm(NmConfig::new(n, m)), "n={n}, m={m}");
+        }
+    }
+
+    /// V:N:M compliance implies plain N:M compliance (the format is a
+    /// strict subset).
+    #[test]
+    fn vnm_implies_nm(vmul in 1usize..4, m in prop::sample::select(vec![4usize, 8, 10]), seed in 0u64..100) {
+        let v = vmul * 2;
+        let cfg = VnmConfig::new(v, 2, m);
+        let rows = v * 2;
+        let cols = m * 3;
+        // Compliant construction: shared two columns per block.
+        let mask = SparsityMask::from_fn(rows, cols, |r, c| {
+            let shift = ((r / v) + (c / m) + seed as usize) % (m - 1);
+            let rel = c % m;
+            rel == shift || rel == (shift + 1) % m
+        });
+        if mask.complies_vnm(cfg) {
+            prop_assert!(mask.complies_nm(cfg.nm()));
+        }
+    }
+
+    /// apply + from_nonzeros round-trips the mask (modulo weights that are
+    /// exactly zero, which the generator avoids).
+    #[test]
+    fn apply_roundtrip(rows in 1usize..16, cols in 1usize..40, seed in 0u64..1000) {
+        let w = venom_tensor::Matrix::from_fn(rows, cols, |r, c| {
+            ((r * 31 + c * 17 + seed as usize) % 97) as f32 + 1.0
+        });
+        let mask = SparsityMask::from_fn(rows, cols, |r, c| (r ^ c) & 1 == 0);
+        let pruned = mask.apply_f32(&w);
+        prop_assert_eq!(SparsityMask::from_nonzeros(&pruned), mask);
+    }
+}

@@ -1,0 +1,122 @@
+//! Arithmetic operators for [`Half`].
+//!
+//! Each binary operation converts to `f32`, performs the operation there,
+//! and rounds the result back to binary16. For a *single* operation this is
+//! equivalent to correctly-rounded binary16 arithmetic for `+`, `-`, `*`
+//! (the `f32` intermediate is exact or at worst rounds once to a value whose
+//! binary16 rounding matches direct rounding), and matches CUDA `__half`
+//! scalar semantics, which compile to the same convert/op/convert sequence
+//! when native HFMA is unavailable.
+
+use crate::Half;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait for Half {
+            type Output = Half;
+            #[inline]
+            fn $method(self, rhs: Half) -> Half {
+                Half::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for Half {
+            #[inline]
+            fn $assign_method(&mut self, rhs: Half) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, AddAssign, add_assign, +);
+impl_binop!(Sub, sub, SubAssign, sub_assign, -);
+impl_binop!(Mul, mul, MulAssign, mul_assign, *);
+impl_binop!(Div, div, DivAssign, div_assign, /);
+
+impl Neg for Half {
+    type Output = Half;
+    #[inline]
+    fn neg(self) -> Half {
+        Half::neg(self)
+    }
+}
+
+impl Sum for Half {
+    /// Sums in `f32` and rounds once at the end — the accumulator precision
+    /// a tensor-core epilogue would use.
+    fn sum<I: Iterator<Item = Half>>(iter: I) -> Half {
+        Half::from_f32(iter.map(Half::to_f32).sum::<f32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Half::from_f32(3.0);
+        let b = Half::from_f32(1.5);
+        assert_eq!((a + b).to_f32(), 4.5);
+        assert_eq!((a - b).to_f32(), 1.5);
+        assert_eq!((a * b).to_f32(), 4.5);
+        assert_eq!((a / b).to_f32(), 2.0);
+        assert_eq!((-a).to_f32(), -3.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = Half::from_f32(2.0);
+        x += Half::ONE;
+        assert_eq!(x.to_f32(), 3.0);
+        x -= Half::from_f32(0.5);
+        assert_eq!(x.to_f32(), 2.5);
+        x *= Half::from_f32(2.0);
+        assert_eq!(x.to_f32(), 5.0);
+        x /= Half::from_f32(4.0);
+        assert_eq!(x.to_f32(), 1.25);
+    }
+
+    #[test]
+    fn addition_rounds_to_half_precision() {
+        // 2048 + 1 is not representable in binary16 (ulp at 2048 is 2):
+        // the result rounds back to 2048 (ties-to-even).
+        let big = Half::from_f32(2048.0);
+        let one = Half::ONE;
+        assert_eq!((big + one).to_f32(), 2048.0);
+        // 2048 + 3 = 2051 is a tie between 2050 (odd mantissa) and 2052
+        // (even mantissa); ties-to-even picks 2052.
+        assert_eq!((big + Half::from_f32(3.0)).to_f32(), 2052.0);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let max = Half::MAX;
+        assert!((max + max).is_infinite());
+        assert!((max * Half::from_f32(2.0)).is_infinite());
+    }
+
+    #[test]
+    fn division_by_zero_gives_infinity() {
+        let x = Half::ONE / Half::ZERO;
+        assert!(x.is_infinite());
+        assert!(!(Half::ZERO / Half::ZERO).is_finite());
+        assert!((Half::ZERO / Half::ZERO).is_nan());
+    }
+
+    #[test]
+    fn sum_accumulates_in_f32() {
+        // 1024 halves of value 1.0 plus one 0.5: an f16 accumulator would
+        // lose the 0.5 long before the end; the f32 accumulator keeps it.
+        let xs: Vec<Half> = std::iter::repeat(Half::ONE)
+            .take(1024)
+            .chain(std::iter::once(Half::from_f32(0.5)))
+            .collect();
+        let s: Half = xs.into_iter().sum();
+        // 1024.5 rounds to nearest representable f16 (ulp at 1024 is 1,
+        // tie -> even -> 1024).
+        assert_eq!(s.to_f32(), 1024.0);
+    }
+}

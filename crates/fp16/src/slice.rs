@@ -1,0 +1,133 @@
+//! Bulk slice operations over half-precision data.
+//!
+//! These are the scalar building blocks the tensor and format crates use for
+//! conversions, reductions, and error analysis.
+
+use crate::Half;
+
+/// Converts a slice of `f32` into a freshly allocated `Vec<Half>`.
+pub fn from_f32_slice(xs: &[f32]) -> Vec<Half> {
+    xs.iter().map(|&x| Half::from_f32(x)).collect()
+}
+
+/// Converts a slice of `Half` into a freshly allocated `Vec<f32>`.
+pub fn to_f32_vec(xs: &[Half]) -> Vec<f32> {
+    xs.iter().map(|x| x.to_f32()).collect()
+}
+
+/// In-place conversion of `f32` values into `dst`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn convert_into(src: &[f32], dst: &mut [Half]) {
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = Half::from_f32(s);
+    }
+}
+
+/// Dot product with `f32` accumulation (tensor-core numerics).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot_f32(a: &[Half], b: &[Half]) -> f32 {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc = x.mac_f32(y, acc);
+    }
+    acc
+}
+
+/// Sum of absolute values in `f64` (used by the energy metric, where the
+/// reduction must not lose small weights at high dimensionality).
+pub fn abs_sum_f64(xs: &[Half]) -> f64 {
+    xs.iter().map(|x| x.abs().to_f64()).sum()
+}
+
+/// Largest absolute difference between two equal-length slices, in `f32`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[Half], b: &[Half]) -> f32 {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.to_f32() - y.to_f32()).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Counts exact (bitwise, treating all NaNs as equal) mismatches.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn count_mismatches(a: &[Half], b: &[Half]) -> usize {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| {
+            if x.is_nan() && y.is_nan() {
+                false
+            } else {
+                x.to_bits() != y.to_bits()
+            }
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_slice_conversion() {
+        let xs = vec![0.0f32, 1.0, -2.5, 0.125, 65504.0];
+        let hs = from_f32_slice(&xs);
+        let back = to_f32_vec(&hs);
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn convert_into_overwrites() {
+        let src = [1.0f32, 2.0, 3.0];
+        let mut dst = vec![Half::ZERO; 3];
+        convert_into(&src, &mut dst);
+        assert_eq!(to_f32_vec(&dst), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn convert_into_rejects_length_mismatch() {
+        let src = [1.0f32];
+        let mut dst = vec![Half::ZERO; 2];
+        convert_into(&src, &mut dst);
+    }
+
+    #[test]
+    fn dot_product_accumulates_in_f32() {
+        let a = vec![Half::ONE; 4096];
+        let b = vec![Half::from_f32(0.5); 4096];
+        // An f16 accumulator would stall at 2048's ulp; f32 is exact here.
+        assert_eq!(dot_f32(&a, &b), 2048.0);
+    }
+
+    #[test]
+    fn abs_sum_uses_f64() {
+        let xs = vec![Half::from_f32(-1.0); 10];
+        assert_eq!(abs_sum_f64(&xs), 10.0);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_peak() {
+        let a = from_f32_slice(&[1.0, 2.0, 3.0]);
+        let b = from_f32_slice(&[1.0, 0.0, 3.5]);
+        assert_eq!(max_abs_diff(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn mismatch_counting_ignores_nan_pairs() {
+        let a = vec![Half::NAN, Half::ONE];
+        let b = vec![Half::NAN, Half::ZERO];
+        assert_eq!(count_mismatches(&a, &b), 1);
+    }
+}

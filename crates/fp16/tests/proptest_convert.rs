@@ -1,0 +1,87 @@
+//! Property-based tests for binary16 conversion invariants.
+
+use proptest::prelude::*;
+use venom_fp16::{f16_bits_to_f32, f32_to_f16_bits, Half};
+
+proptest! {
+    /// f32 -> f16 -> f32 stays within half an f16 ulp of the original for
+    /// values inside the representable range.
+    #[test]
+    fn conversion_error_is_bounded(x in -60000.0f32..60000.0) {
+        let h = Half::from_f32(x);
+        let back = h.to_f32();
+        let ulp = if x.abs() < 2f32.powi(-14) {
+            2f32.powi(-24)
+        } else {
+            let exp = x.abs().log2().floor() as i32;
+            2f32.powi(exp - 10)
+        };
+        prop_assert!((back - x).abs() <= ulp * 0.5 + f32::EPSILON,
+            "x={x} back={back} ulp={ulp}");
+    }
+
+    /// Conversion is monotone: x <= y implies f16(x) <= f16(y).
+    #[test]
+    fn conversion_is_monotone(a in any::<f32>(), b in any::<f32>()) {
+        prop_assume!(a.is_finite() && b.is_finite());
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let hl = Half::from_f32(lo);
+        let hh = Half::from_f32(hi);
+        prop_assert!(hl.to_f32() <= hh.to_f32(),
+            "lo={lo} hi={hi} hl={hl} hh={hh}");
+    }
+
+    /// Negation commutes with conversion: f16(-x) == -f16(x).
+    #[test]
+    fn negation_commutes(x in any::<f32>()) {
+        prop_assume!(!x.is_nan());
+        let neg_then = Half::from_f32(-x);
+        let then_neg = Half::from_f32(x).neg();
+        prop_assert_eq!(neg_then.to_bits(), then_neg.to_bits());
+    }
+
+    /// Round-trip through f32 bits is the identity on non-NaN halves.
+    #[test]
+    fn f16_f32_f16_roundtrip(bits in any::<u16>()) {
+        let f = f16_bits_to_f32(bits);
+        prop_assume!(!f.is_nan());
+        prop_assert_eq!(f32_to_f16_bits(f), bits);
+    }
+
+    /// Addition is commutative in rounded f16 arithmetic.
+    #[test]
+    fn addition_commutes(a in any::<u16>(), b in any::<u16>()) {
+        let (x, y) = (Half::from_bits(a), Half::from_bits(b));
+        prop_assume!(!x.is_nan() && !y.is_nan());
+        prop_assert_eq!((x + y).to_bits(), (y + x).to_bits());
+    }
+
+    /// Multiplication by one is the identity for finite values.
+    #[test]
+    fn mul_identity(bits in any::<u16>()) {
+        let x = Half::from_bits(bits);
+        prop_assume!(x.is_finite() && !x.is_nan());
+        prop_assert_eq!((x * Half::ONE).to_bits(), x.to_bits());
+    }
+
+    /// abs() never produces a negative value and preserves magnitude.
+    #[test]
+    fn abs_properties(bits in any::<u16>()) {
+        let x = Half::from_bits(bits);
+        prop_assume!(!x.is_nan());
+        prop_assert!(!x.abs().is_sign_negative());
+        prop_assert_eq!(x.abs().to_f32(), x.to_f32().abs());
+    }
+
+    /// mac_f32 equals the f64-computed reference within one f32 ulp.
+    #[test]
+    fn mac_close_to_f64_reference(a in -1000.0f32..1000.0,
+                                  b in -1000.0f32..1000.0,
+                                  acc in -10000.0f32..10000.0) {
+        let (ha, hb) = (Half::from_f32(a), Half::from_f32(b));
+        let got = ha.mac_f32(hb, acc) as f64;
+        let want = acc as f64 + ha.to_f64() * hb.to_f64();
+        let tol = (want.abs() + 1.0) * f32::EPSILON as f64;
+        prop_assert!((got - want).abs() <= tol, "got={got} want={want}");
+    }
+}

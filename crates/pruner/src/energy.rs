@@ -1,0 +1,110 @@
+//! The energy metric of §5.
+//!
+//! `energy = sum_i |w_i over kept set| / sum_i |w*_i|` — the fraction of
+//! the dense model's total magnitude a pruning policy preserves. Higher is
+//! better; the metric measures a *format's flexibility* independently of
+//! any training run, which is how Fig. 11 compares unstructured, V:N:M and
+//! vector-wise selection.
+
+use venom_format::SparsityMask;
+use venom_tensor::Matrix;
+
+/// Energy of `mask` applied to the dense weights `w`.
+///
+/// Returns a value in `[0, 1]` (1 when nothing is pruned, 0 when the mask
+/// removes all magnitude). An all-zero weight matrix has energy 1 by
+/// convention (nothing to lose).
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn energy(w: &Matrix<f32>, mask: &SparsityMask) -> f64 {
+    assert_eq!((w.rows(), w.cols()), (mask.rows(), mask.cols()), "shape mismatch");
+    let mut kept = 0.0f64;
+    let mut total = 0.0f64;
+    for r in 0..w.rows() {
+        for (c, &v) in w.row(r).iter().enumerate() {
+            let a = v.abs() as f64;
+            total += a;
+            if mask.get(r, c) {
+                kept += a;
+            }
+        }
+    }
+    if total == 0.0 {
+        1.0
+    } else {
+        kept / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::magnitude;
+    use venom_format::VnmConfig;
+    use venom_tensor::random;
+
+    #[test]
+    fn dense_mask_has_unit_energy() {
+        let w = random::glorot_matrix(16, 16, 1);
+        let mask = SparsityMask::dense(16, 16);
+        assert_eq!(energy(&w, &mask), 1.0);
+    }
+
+    #[test]
+    fn empty_mask_has_zero_energy() {
+        let w = random::glorot_matrix(16, 16, 2);
+        let mask = SparsityMask::empty(16, 16);
+        assert_eq!(energy(&w, &mask), 0.0);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_kept_set() {
+        let w = random::glorot_matrix(8, 8, 3);
+        let half = SparsityMask::from_fn(8, 8, |_, c| c < 4);
+        let more = SparsityMask::from_fn(8, 8, |_, c| c < 6);
+        assert!(energy(&w, &more) > energy(&w, &half));
+    }
+
+    #[test]
+    fn unstructured_beats_structured_at_equal_sparsity() {
+        // The core claim behind Fig. 11: the freer the format, the more
+        // energy survives. ideal >= V:N:M >= vector-wise.
+        let w = random::glorot_matrix(128, 160, 4);
+        let s = 0.75;
+        let e_ideal = energy(&w, &magnitude::prune_unstructured(&w, s));
+        let cfg = VnmConfig::new(64, 2, 8);
+        let e_vnm = energy(&w, &magnitude::prune_vnm(&w, cfg));
+        let e_vw = energy(&w, &magnitude::prune_vectorwise(&w, 8, s));
+        assert!(e_ideal >= e_vnm, "ideal {e_ideal} >= vnm {e_vnm}");
+        assert!(e_vnm > e_vw, "vnm {e_vnm} > vw8 {e_vw}");
+    }
+
+    #[test]
+    fn smaller_v_preserves_more_energy() {
+        // Fig. 11: 1:N:M (per-row selection) > 128:N:M (shared selection).
+        let w = random::glorot_matrix(128, 160, 5);
+        let e1 = energy(&w, &magnitude::prune_vnm(&w, VnmConfig::new(1, 2, 8)));
+        let e128 = energy(&w, &magnitude::prune_vnm(&w, VnmConfig::new(128, 2, 8)));
+        assert!(e1 > e128, "1:N:M {e1} > 128:N:M {e128}");
+    }
+
+    #[test]
+    fn energy_decays_with_sparsity() {
+        let w = random::glorot_matrix(64, 200, 6);
+        let mut prev = 1.0;
+        for m in [4usize, 8, 20, 40] {
+            let cfg = VnmConfig::new(32, 2, m);
+            let e = energy(&w, &magnitude::prune_vnm(&w, cfg));
+            assert!(e < prev, "m={m}: {e} !< {prev}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_have_unit_energy() {
+        let w = Matrix::<f32>::zeros(4, 4);
+        let mask = SparsityMask::empty(4, 4);
+        assert_eq!(energy(&w, &mask), 1.0);
+    }
+}

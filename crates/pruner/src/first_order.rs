@@ -1,0 +1,152 @@
+//! First-order (gradient-based) pruning baselines (§2.1).
+//!
+//! Between magnitude and second-order selection the paper's taxonomy lists
+//! first-order methods: saliency from first-derivative information. Two
+//! standard instances are provided as baselines for the accuracy studies:
+//!
+//! * **Taylor / gradient-magnitude saliency** — `|w * g|`, the first-order
+//!   Taylor estimate of the loss change when zeroing `w` (LeCun-style
+//!   without curvature).
+//! * **Movement pruning** (Sanh et al.) — score `-w * g` accumulated over
+//!   training: weights *moving toward zero* are pruned first. Here the
+//!   accumulated score is approximated from the provided gradient batch.
+
+use crate::magnitude;
+use venom_format::{SparsityMask, VnmConfig, SELECTED_COLUMNS};
+use venom_tensor::Matrix;
+
+/// Mean gradient over the per-sample gradient matrix (`n x (rows*cols)`),
+/// reshaped to the weight's shape.
+fn mean_gradient(grads: &Matrix<f32>, rows: usize, cols: usize) -> Matrix<f32> {
+    assert_eq!(grads.cols(), rows * cols, "gradients must cover every weight");
+    let n = grads.rows() as f32;
+    Matrix::from_fn(rows, cols, |r, c| {
+        let j = r * cols + c;
+        (0..grads.rows()).map(|s| grads.get(s, j)).sum::<f32>() / n
+    })
+}
+
+/// Taylor saliency `|w * g|` per weight.
+pub fn taylor_saliency(w: &Matrix<f32>, grads: &Matrix<f32>) -> Matrix<f32> {
+    let g = mean_gradient(grads, w.rows(), w.cols());
+    Matrix::from_fn(w.rows(), w.cols(), |r, c| (w.get(r, c) * g.get(r, c)).abs())
+}
+
+/// Movement score `-w * g` per weight (higher = keep: the weight is
+/// growing in magnitude).
+pub fn movement_score(w: &Matrix<f32>, grads: &Matrix<f32>) -> Matrix<f32> {
+    let g = mean_gradient(grads, w.rows(), w.cols());
+    Matrix::from_fn(w.rows(), w.cols(), |r, c| -w.get(r, c) * g.get(r, c))
+}
+
+/// Unstructured first-order pruning: keeps the top `(1-sparsity)` fraction
+/// by Taylor saliency.
+pub fn prune_unstructured_taylor(
+    w: &Matrix<f32>,
+    grads: &Matrix<f32>,
+    sparsity: f64,
+) -> SparsityMask {
+    magnitude::prune_unstructured(&taylor_saliency(w, grads), sparsity)
+}
+
+/// V:N:M first-order pruning: the two-stage selection of
+/// [`magnitude::prune_vnm`] driven by Taylor saliency instead of `|w|`.
+pub fn prune_vnm_taylor(w: &Matrix<f32>, grads: &Matrix<f32>, cfg: VnmConfig) -> SparsityMask {
+    let s = taylor_saliency(w, grads);
+    let mut mask = SparsityMask::empty(w.rows(), w.cols());
+    for b in 0..cfg.row_blocks(w.rows()) {
+        let r0 = b * cfg.v;
+        let r1 = (r0 + cfg.v).min(w.rows());
+        for g in 0..cfg.k_groups(w.cols()) {
+            let c0 = g * cfg.m;
+            let c1 = (c0 + cfg.m).min(w.cols());
+            let mut cols: Vec<usize> = (c0..c1).collect();
+            cols.sort_by(|&a, &bc| {
+                let sa: f64 = (r0..r1).map(|r| s.get(r, a) as f64).sum();
+                let sb: f64 = (r0..r1).map(|r| s.get(r, bc) as f64).sum();
+                sb.partial_cmp(&sa).unwrap()
+            });
+            let sel: Vec<usize> = cols.into_iter().take(SELECTED_COLUMNS).collect();
+            for r in r0..r1 {
+                let mut sc = sel.clone();
+                sc.sort_by(|&a, &bc| s.get(r, bc).partial_cmp(&s.get(r, a)).unwrap());
+                for &c in sc.iter().take(cfg.n) {
+                    mask.set(r, c, true);
+                }
+            }
+        }
+    }
+    debug_assert!(mask.complies_vnm(cfg));
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_tensor::random;
+
+    fn fixtures(seed: u64) -> (Matrix<f32>, Matrix<f32>) {
+        let w = random::glorot_matrix(16, 32, seed);
+        let grads = random::normal_matrix(8, 16 * 32, 0.0, 1.0, seed + 1);
+        (w, grads)
+    }
+
+    #[test]
+    fn taylor_saliency_zero_for_zero_weight_or_grad() {
+        let (mut w, mut grads) = fixtures(1);
+        w.set(0, 0, 0.0);
+        for s in 0..grads.rows() {
+            grads.set(s, 1, 0.0); // weight (0,1) has zero gradient
+        }
+        let sal = taylor_saliency(&w, &grads);
+        assert_eq!(sal.get(0, 0), 0.0);
+        assert_eq!(sal.get(0, 1), 0.0);
+        assert!(sal.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn movement_score_sign_semantics() {
+        // w > 0 with g < 0 means the optimizer is pushing w up: positive
+        // movement score (keep). w > 0 with g > 0: moving to zero (prune).
+        let w = Matrix::from_vec(1, 2, vec![1.0f32, 1.0]);
+        let mut grads = Matrix::<f32>::zeros(1, 2);
+        grads.set(0, 0, -2.0);
+        grads.set(0, 1, 2.0);
+        let m = movement_score(&w, &grads);
+        assert!(m.get(0, 0) > 0.0);
+        assert!(m.get(0, 1) < 0.0);
+    }
+
+    #[test]
+    fn unstructured_taylor_hits_sparsity() {
+        let (w, grads) = fixtures(2);
+        let mask = prune_unstructured_taylor(&w, &grads, 0.8);
+        assert!((mask.sparsity() - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn vnm_taylor_complies() {
+        let (w, grads) = fixtures(3);
+        let cfg = VnmConfig::new(8, 2, 8);
+        let mask = prune_vnm_taylor(&w, &grads, cfg);
+        assert!(mask.complies_vnm(cfg));
+        assert!((mask.sparsity() - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn taylor_differs_from_magnitude_when_gradients_disagree() {
+        // A large weight with a tiny gradient should lose to a smaller
+        // weight with a huge gradient under Taylor selection.
+        let mut w = Matrix::<f32>::zeros(1, 4);
+        w.set(0, 0, 10.0); // big weight
+        w.set(0, 1, 1.0); // small weight
+        let mut grads = Matrix::<f32>::zeros(1, 4);
+        grads.set(0, 0, 1e-4);
+        grads.set(0, 1, 5.0);
+        let taylor = prune_unstructured_taylor(&w, &grads, 0.75);
+        assert!(taylor.get(0, 1), "the high-gradient weight survives");
+        assert!(!taylor.get(0, 0), "the stale big weight is pruned");
+        let mag = magnitude::prune_unstructured(&w, 0.75);
+        assert!(mag.get(0, 0), "magnitude keeps the big weight instead");
+    }
+}

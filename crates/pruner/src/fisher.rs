@@ -1,0 +1,212 @@
+//! Block-diagonal empirical Fisher inverse (§6 of the paper, following
+//! oBERT/Kurtic et al.).
+//!
+//! The empirical Fisher `F = lambda*I + (1/N) sum_i g_i g_i^T` over N
+//! per-sample gradients approximates the Hessian of a well-trained model.
+//! Storing or inverting the full `d x d` matrix is intractable, so — like
+//! the paper — it is restricted to a block diagonal whose blocks align with
+//! the pruning groups (one `1 x M` row-group per block for the V:N:M
+//! selection). Each block's inverse is maintained directly with the
+//! Sherman–Morrison rank-1 update, so no explicit inversion ever happens:
+//!
+//! `(F + (1/N) g g^T)^-1 = F^-1 - (F^-1 g)(F^-1 g)^T / (N + g^T F^-1 g)`
+
+use rayon::prelude::*;
+use venom_tensor::Matrix;
+
+/// The inverse Fisher blocks for one weight tensor.
+#[derive(Clone, Debug)]
+pub struct FisherInverse {
+    block_size: usize,
+    d: usize,
+    /// One `len x len` row-major inverse per block (ragged tail allowed).
+    blocks: Vec<FisherBlock>,
+}
+
+/// One inverse block: covers `range.len()` consecutive weights.
+#[derive(Clone, Debug)]
+struct FisherBlock {
+    start: usize,
+    len: usize,
+    inv: Vec<f64>,
+}
+
+impl FisherInverse {
+    /// Computes the blocked inverse Fisher from per-sample gradients.
+    ///
+    /// * `grads` — `N x d` matrix: one flattened gradient per row.
+    /// * `block_size` — block width; boundaries at multiples of
+    ///   `block_size` (the caller aligns this with M and the row length).
+    /// * `lambda` — dampening (`F0 = lambda*I`).
+    ///
+    /// # Panics
+    /// Panics if `lambda <= 0` or `grads` is empty.
+    pub fn compute(grads: &Matrix<f32>, block_size: usize, lambda: f64) -> Self {
+        assert!(lambda > 0.0, "dampening must be positive");
+        assert!(block_size >= 1, "block size must be positive");
+        let n_samples = grads.rows();
+        assert!(n_samples > 0, "need at least one gradient sample");
+        let d = grads.cols();
+
+        let starts: Vec<usize> = (0..d).step_by(block_size).collect();
+        let blocks: Vec<FisherBlock> = starts
+            .par_iter()
+            .map(|&start| {
+                let len = block_size.min(d - start);
+                let mut inv = vec![0.0f64; len * len];
+                for i in 0..len {
+                    inv[i * len + i] = 1.0 / lambda;
+                }
+                let mut finv_g = vec![0.0f64; len];
+                for s in 0..n_samples {
+                    let g = &grads.row(s)[start..start + len];
+                    // finv_g = F^-1 g
+                    for i in 0..len {
+                        let mut acc = 0.0;
+                        for (j, &gj) in g.iter().enumerate() {
+                            acc += inv[i * len + j] * gj as f64;
+                        }
+                        finv_g[i] = acc;
+                    }
+                    let gt_finv_g: f64 =
+                        g.iter().zip(&finv_g).map(|(&gi, &fi)| gi as f64 * fi).sum();
+                    let denom = n_samples as f64 + gt_finv_g;
+                    for i in 0..len {
+                        for j in 0..len {
+                            inv[i * len + j] -= finv_g[i] * finv_g[j] / denom;
+                        }
+                    }
+                }
+                FisherBlock { start, len, inv }
+            })
+            .collect();
+
+        FisherInverse { block_size, d, blocks }
+    }
+
+    /// Number of weights covered.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Configured block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The inverse block covering weight index `idx`, with its start
+    /// offset: `(start, len, row-major inverse)`.
+    pub fn block_for(&self, idx: usize) -> (usize, usize, &[f64]) {
+        let b = &self.blocks[idx / self.block_size];
+        debug_assert!(idx >= b.start && idx < b.start + b.len);
+        (b.start, b.len, &b.inv)
+    }
+
+    /// Iterates `(start, len, inverse)` over all blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = (usize, usize, &[f64])> {
+        self.blocks.iter().map(|b| (b.start, b.len, b.inv.as_slice()))
+    }
+
+    /// Diagonal entry `[F^-1]_ii` for weight `idx` (used by the pair-wise
+    /// and single-weight saliency shortcuts).
+    pub fn inv_diag(&self, idx: usize) -> f64 {
+        let (start, len, inv) = self.block_for(idx);
+        let i = idx - start;
+        inv[i * len + i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg;
+
+    /// Dense reference: F = lambda I + (1/N) G^T G, inverted by solving
+    /// against unit vectors.
+    fn dense_inverse(grads: &Matrix<f32>, lambda: f64) -> Vec<f64> {
+        let n = grads.rows();
+        let d = grads.cols();
+        let mut f = vec![0.0f64; d * d];
+        for i in 0..d {
+            f[i * d + i] = lambda;
+        }
+        for s in 0..n {
+            let g = grads.row(s);
+            for i in 0..d {
+                for j in 0..d {
+                    f[i * d + j] += g[i] as f64 * g[j] as f64 / n as f64;
+                }
+            }
+        }
+        let mut inv = vec![0.0f64; d * d];
+        for col in 0..d {
+            let mut e = vec![0.0f64; d];
+            e[col] = 1.0;
+            let x = linalg::solve(&f, &e, d);
+            for row in 0..d {
+                inv[row * d + col] = x[row];
+            }
+        }
+        inv
+    }
+
+    fn toy_grads(n: usize, d: usize, seed: u64) -> Matrix<f32> {
+        venom_tensor::random::normal_matrix(n, d, 0.0, 1.0, seed)
+    }
+
+    #[test]
+    fn sherman_morrison_matches_dense_inverse() {
+        let grads = toy_grads(12, 6, 1);
+        let fi = FisherInverse::compute(&grads, 6, 0.5);
+        let (_, len, inv) = fi.block_for(0);
+        assert_eq!(len, 6);
+        let want = dense_inverse(&grads, 0.5);
+        for (got, want) in inv.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn no_gradients_means_scaled_identity() {
+        // One zero gradient: F = lambda I exactly.
+        let grads = Matrix::<f32>::zeros(1, 4);
+        let fi = FisherInverse::compute(&grads, 4, 2.0);
+        let (_, len, inv) = fi.block_for(0);
+        for i in 0..len {
+            for j in 0..len {
+                let want = if i == j { 0.5 } else { 0.0 };
+                assert!((inv[i * len + j] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_partition_ragged_dimension() {
+        let grads = toy_grads(4, 10, 2);
+        let fi = FisherInverse::compute(&grads, 4, 1.0);
+        let sizes: Vec<usize> = fi.blocks().map(|(_, len, _)| len).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(fi.block_for(9).0, 8);
+    }
+
+    #[test]
+    fn inverse_is_symmetric_positive_on_diagonal() {
+        let grads = toy_grads(20, 8, 3);
+        let fi = FisherInverse::compute(&grads, 8, 0.1);
+        let (_, len, inv) = fi.block_for(0);
+        for i in 0..len {
+            assert!(inv[i * len + i] > 0.0);
+            for j in 0..len {
+                assert!((inv[i * len + j] - inv[j * len + i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inv_diag_agrees_with_block() {
+        let grads = toy_grads(8, 12, 4);
+        let fi = FisherInverse::compute(&grads, 4, 1.0);
+        let (start, len, inv) = fi.block_for(6);
+        assert_eq!(fi.inv_diag(6), inv[(6 - start) * len + (6 - start)]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Gradual magnitude pruning (GMP) — the most widely used unstructured
+//! baseline (§2.1). Each round raises the sparsity along the cubic
+//! schedule and re-selects the kept set by magnitude; masks are monotone
+//! (once pruned, a weight stays pruned), matching the standard GMP*
+//! recipe.
+
+use crate::magnitude;
+use crate::scheduler::gmp_cubic_schedule;
+use venom_format::SparsityMask;
+use venom_tensor::Matrix;
+
+/// One GMP run: returns the mask after every round.
+///
+/// # Panics
+/// Panics unless `0 <= final_sparsity < 1` and `rounds >= 1`.
+pub fn gmp_run(w: &Matrix<f32>, final_sparsity: f64, rounds: usize) -> Vec<SparsityMask> {
+    assert!(rounds >= 1, "at least one round");
+    assert!((0.0..1.0).contains(&final_sparsity), "sparsity in [0,1)");
+    let mut masks = Vec::with_capacity(rounds);
+    let mut current = SparsityMask::dense(w.rows(), w.cols());
+    for t in 1..=rounds {
+        let s = gmp_cubic_schedule(0.0, final_sparsity, t, rounds);
+        let fresh = magnitude::prune_unstructured(w, s);
+        // Monotonicity: never resurrect a pruned weight.
+        current = current.and(&fresh);
+        masks.push(current.clone());
+    }
+    masks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_tensor::random;
+
+    #[test]
+    fn sparsity_ramps_to_target() {
+        let w = random::glorot_matrix(32, 32, 1);
+        let masks = gmp_run(&w, 0.9, 5);
+        assert_eq!(masks.len(), 5);
+        let last = masks.last().unwrap();
+        assert!((last.sparsity() - 0.9).abs() < 0.02, "{}", last.sparsity());
+    }
+
+    #[test]
+    fn masks_are_monotone() {
+        let w = random::glorot_matrix(24, 24, 2);
+        let masks = gmp_run(&w, 0.8, 4);
+        for pair in masks.windows(2) {
+            for r in 0..24 {
+                for c in 0..24 {
+                    if pair[1].get(r, c) {
+                        assert!(pair[0].get(r, c), "resurrected weight at ({r},{c})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_round_is_one_shot() {
+        let w = random::glorot_matrix(16, 16, 3);
+        let masks = gmp_run(&w, 0.5, 1);
+        assert_eq!(masks.len(), 1);
+        assert!((masks[0].sparsity() - 0.5).abs() < 0.01);
+    }
+}

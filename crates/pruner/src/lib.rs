@@ -1,0 +1,31 @@
+//! Pruning algorithms for the VENOM reproduction.
+//!
+//! Two families, mirroring the paper:
+//!
+//! * **Magnitude pruning** ([`magnitude`]) — unstructured, row-wise N:M,
+//!   the two-stage V:N:M policy (vector-wise column selection + N:M within
+//!   the selected columns, Fig. 2), vector-wise (`vw_l`) and block-wise.
+//!   These drive the energy study of §5 ([`energy`]).
+//! * **Second-order pruning** ([`fisher`], [`obs`], [`vnm2nd`]) — the
+//!   paper's §6: an empirical-Fisher approximation of the loss curvature,
+//!   OBS saliency `rho_Q = 1/2 w_Q^T ([F^-1]_QQ)^-1 w_Q` minimised over
+//!   candidate prune sets with either exact `C(M,N)` enumeration
+//!   ("m-combinatorial") or the pair-wise approximation, plus the optimal
+//!   weight update for the surviving weights, and the gradual
+//!   structure-decay scheduler of §6.1.1 ([`scheduler`]).
+
+pub mod energy;
+pub mod first_order;
+pub mod fisher;
+pub mod gmp;
+pub mod linalg;
+pub mod magnitude;
+pub mod obs;
+pub mod scheduler;
+pub mod vnm2nd;
+
+pub use energy::energy;
+pub use fisher::FisherInverse;
+pub use obs::{select_keep_set, KeepSelectMode};
+pub use scheduler::StructureDecayScheduler;
+pub use vnm2nd::{prune_nm_second_order, prune_vnm_second_order, SecondOrderOptions};

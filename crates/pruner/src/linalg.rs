@@ -1,0 +1,142 @@
+//! Minimal dense linear algebra for the second-order pruner.
+//!
+//! The OBS machinery only ever solves small symmetric positive-definite
+//! systems (`|Q| <= M`, with M at most ~100), so a plain Gaussian
+//! elimination with partial pivoting in `f64` is the right tool — no
+//! external dependency, and the sizes make numerical refinement moot.
+
+/// Solves `A x = b` in place for a dense row-major `n x n` matrix.
+/// `a` and `b` are clobbered; the solution lands in `b`.
+///
+/// # Panics
+/// Panics on size mismatch or a (numerically) singular matrix.
+pub fn solve_in_place(a: &mut [f64], b: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n, "matrix must be n x n");
+    assert_eq!(b.len(), n, "rhs must have length n");
+    for col in 0..n {
+        // Partial pivoting.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if pivot != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot * n + j);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        assert!(diag.abs() > 1e-300, "singular matrix in OBS solve");
+        for row in col + 1..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for j in col + 1..n {
+            sum -= a[col * n + j] * b[j];
+        }
+        b[col] = sum / a[col * n + col];
+    }
+}
+
+/// Solves `A x = b` without clobbering the inputs.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut aa = a.to_vec();
+    let mut bb = b.to_vec();
+    solve_in_place(&mut aa, &mut bb, n);
+    bb
+}
+
+/// Quadratic form `x^T A x` for a dense row-major `n x n` matrix.
+pub fn quadratic_form(a: &[f64], x: &[f64], n: usize) -> f64 {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(x.len(), n);
+    let mut acc = 0.0;
+    for i in 0..n {
+        let mut row = 0.0;
+        for j in 0..n {
+            row += a[i * n + j] * x[j];
+        }
+        acc += x[i] * row;
+    }
+    acc
+}
+
+/// Matrix-vector product `A x`.
+pub fn matvec(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(x.len(), n);
+    (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -4.0];
+        assert_eq!(solve(&a, &b, 2), b);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let x = solve(&a, &[3.0, 5.0], 2);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let x = solve(&a, &[2.0, 3.0], 2);
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_larger_spd_system() {
+        // A = L L^T with known solution.
+        let n = 5;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 2.0 } else { 0.0 };
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let b = matvec(&a, &x_true, n);
+        let x = solve(&a, &b, n);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn quadratic_form_matches_manual() {
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let x = vec![1.0, -1.0];
+        // 2 - 1 - 1 + 3 = 3
+        assert_eq!(quadratic_form(&a, &x, 2), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_panics() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let _ = solve(&a, &[1.0, 2.0], 2);
+    }
+}

@@ -1,0 +1,396 @@
+//! OBS saliency and keep-set selection (§6.1).
+//!
+//! For a prune set `Q` inside one Fisher block, the loss increase of
+//! removing `Q` with the optimal compensation of the surviving weights is
+//!
+//! `rho_Q = 1/2 * w_Q^T ([F^-1]_QQ)^-1 w_Q`
+//!
+//! and the compensation itself is `dw = -F^-1[:, Q] ([F^-1]_QQ)^-1 w_Q`.
+//!
+//! Selecting which N of M weights to *keep* means minimising `rho` over the
+//! complements — the "m-combinatorial" mode enumerates all `C(M, N)`
+//! keep-sets exactly; the pair-wise mode uses the paper's
+//! `E_Q = [[1,0],[0,1],[1,1]]` approximation (single saliencies plus
+//! pairwise interactions) to stay tractable at large M.
+
+use crate::linalg;
+
+/// How the keep-set search trades exactness for cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeepSelectMode {
+    /// Enumerate every `C(M, N)` keep-set and score the exact `rho` of its
+    /// complement.
+    Exact,
+    /// Score with single saliencies + pairwise interactions only.
+    PairWise,
+    /// Exact when `C(M, N) <= limit`, pair-wise otherwise (the paper's
+    /// "dynamically selecting the m-combinatorial or the pair-wise
+    /// approach").
+    Auto {
+        /// Maximum number of combinations the exact mode may enumerate.
+        limit: usize,
+    },
+}
+
+impl Default for KeepSelectMode {
+    fn default() -> Self {
+        KeepSelectMode::Auto { limit: 1024 }
+    }
+}
+
+/// Exact OBS saliency of pruning `q` (indices into the block).
+///
+/// # Panics
+/// Panics if `q` holds out-of-range or duplicate indices.
+pub fn saliency(w: &[f64], inv: &[f64], len: usize, q: &[usize]) -> f64 {
+    assert_eq!(inv.len(), len * len);
+    assert_eq!(w.len(), len);
+    if q.is_empty() {
+        return 0.0;
+    }
+    let nq = q.len();
+    for (i, &qi) in q.iter().enumerate() {
+        assert!(qi < len, "prune index out of range");
+        assert!(!q[..i].contains(&qi), "duplicate prune index");
+    }
+    let mut sub = vec![0.0f64; nq * nq];
+    let mut wq = vec![0.0f64; nq];
+    for (a, &qa) in q.iter().enumerate() {
+        wq[a] = w[qa];
+        for (b, &qb) in q.iter().enumerate() {
+            sub[a * nq + b] = inv[qa * len + qb];
+        }
+    }
+    let x = linalg::solve(&sub, &wq, nq);
+    0.5 * wq.iter().zip(&x).map(|(a, b)| a * b).sum::<f64>()
+}
+
+/// Single-weight saliency `w_i^2 / (2 [F^-1]_ii)` — the OBS score of
+/// pruning one weight alone.
+pub fn single_saliency(w: &[f64], inv: &[f64], len: usize, i: usize) -> f64 {
+    w[i] * w[i] / (2.0 * inv[i * len + i])
+}
+
+/// Applies the OBS compensation for pruning `q`: updates the surviving
+/// weights and zeroes the pruned ones, in place.
+pub fn obs_update(w: &mut [f64], inv: &[f64], len: usize, q: &[usize]) {
+    if q.is_empty() {
+        return;
+    }
+    let nq = q.len();
+    let mut sub = vec![0.0f64; nq * nq];
+    let mut wq = vec![0.0f64; nq];
+    for (a, &qa) in q.iter().enumerate() {
+        wq[a] = w[qa];
+        for (b, &qb) in q.iter().enumerate() {
+            sub[a * nq + b] = inv[qa * len + qb];
+        }
+    }
+    let x = linalg::solve(&sub, &wq, nq);
+    for i in 0..len {
+        let mut delta = 0.0;
+        for (j, &qj) in q.iter().enumerate() {
+            delta += inv[i * len + qj] * x[j];
+        }
+        w[i] -= delta;
+    }
+    // The update drives pruned weights to zero analytically; pin them to
+    // exact zeros against floating-point residue.
+    for &qi in q {
+        w[qi] = 0.0;
+    }
+}
+
+/// All `C(len, k)` index combinations, visited in lexicographic order.
+pub fn for_each_combination(len: usize, k: usize, mut f: impl FnMut(&[usize])) {
+    assert!(k <= len, "cannot choose {k} of {len}");
+    let mut idx: Vec<usize> = (0..k).collect();
+    if k == 0 {
+        f(&idx);
+        return;
+    }
+    loop {
+        f(&idx);
+        // Advance.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + len - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Number of combinations `C(m, n)` (saturating).
+pub fn combinations(m: usize, n: usize) -> usize {
+    if n > m {
+        return 0;
+    }
+    let n = n.min(m - n);
+    let mut acc: u128 = 1;
+    for i in 0..n {
+        acc = acc.saturating_mul((m - i) as u128) / (i + 1) as u128;
+        if acc > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    acc as usize
+}
+
+/// Selects the `n` indices of a block to *keep*, minimising the saliency
+/// of pruning the rest.
+///
+/// # Panics
+/// Panics unless `0 < n < len`.
+pub fn select_keep_set(
+    w: &[f64],
+    inv: &[f64],
+    len: usize,
+    n: usize,
+    mode: KeepSelectMode,
+) -> Vec<usize> {
+    assert!(n > 0 && n < len, "keep count must be in 1..len");
+    let exact = match mode {
+        KeepSelectMode::Exact => true,
+        KeepSelectMode::PairWise => false,
+        KeepSelectMode::Auto { limit } => combinations(len, n) <= limit,
+    };
+    if exact {
+        select_exact(w, inv, len, n)
+    } else {
+        select_pairwise(w, inv, len, n)
+    }
+}
+
+fn select_exact(w: &[f64], inv: &[f64], len: usize, n: usize) -> Vec<usize> {
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for_each_combination(len, n, |keep| {
+        let q: Vec<usize> = (0..len).filter(|i| !keep.contains(i)).collect();
+        let rho = saliency(w, inv, len, &q);
+        match &best {
+            Some((b, _)) if *b <= rho => {}
+            _ => best = Some((rho, keep.to_vec())),
+        }
+    });
+    best.expect("at least one combination").1
+}
+
+/// Pair-wise approximation: `rho(Q) ~ sum_i s_i + sum_{i<j} I_ij` over the
+/// pruned set, with `I_ij = rho({i,j}) - s_i - s_j` from 2x2 sub-blocks.
+/// For `n = 2` all keep-pairs are enumerated under the approximation;
+/// larger `n` grows the keep set greedily.
+fn select_pairwise(w: &[f64], inv: &[f64], len: usize, n: usize) -> Vec<usize> {
+    let s: Vec<f64> = (0..len).map(|i| single_saliency(w, inv, len, i)).collect();
+    // Pairwise interactions.
+    let mut inter = vec![0.0f64; len * len];
+    for i in 0..len {
+        for j in i + 1..len {
+            let rho2 = saliency(w, inv, len, &[i, j]);
+            let v = rho2 - s[i] - s[j];
+            inter[i * len + j] = v;
+            inter[j * len + i] = v;
+        }
+    }
+    let s_tot: f64 = s.iter().sum();
+    let p_tot: f64 = (0..len).map(|i| (i + 1..len).map(|j| inter[i * len + j]).sum::<f64>()).sum();
+    let score_keep = |keep: &[usize]| -> f64 {
+        // rho of pruning the complement under the approximation.
+        let kept_s: f64 = keep.iter().map(|&k| s[k]).sum();
+        let mut kept_pairs = 0.0;
+        let mut cross = 0.0;
+        for (a, &ka) in keep.iter().enumerate() {
+            for &kb in &keep[a + 1..] {
+                kept_pairs += inter[ka * len + kb];
+            }
+            for j in 0..len {
+                if !keep.contains(&j) {
+                    cross += inter[ka * len + j];
+                }
+            }
+        }
+        (s_tot - kept_s) + (p_tot - kept_pairs - cross)
+    };
+
+    if n == 2 {
+        let mut best = (f64::INFINITY, vec![0, 1]);
+        for i in 0..len {
+            for j in i + 1..len {
+                let v = score_keep(&[i, j]);
+                if v < best.0 {
+                    best = (v, vec![i, j]);
+                }
+            }
+        }
+        best.1
+    } else {
+        // Greedy growth from the highest single saliency.
+        let mut keep: Vec<usize> = Vec::with_capacity(n);
+        while keep.len() < n {
+            let mut best = (f64::INFINITY, usize::MAX);
+            for cand in 0..len {
+                if keep.contains(&cand) {
+                    continue;
+                }
+                let mut trial = keep.clone();
+                trial.push(cand);
+                let v = score_keep(&trial);
+                if v < best.0 {
+                    best = (v, cand);
+                }
+            }
+            keep.push(best.1);
+        }
+        keep.sort_unstable();
+        keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity F^-1 makes saliency separable: rho = sum w_i^2 / 2.
+    #[test]
+    fn saliency_with_identity_fisher_is_separable() {
+        let len = 4;
+        let inv: Vec<f64> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let w = vec![1.0, 2.0, 3.0, 4.0];
+        let rho = saliency(&w, &inv, len, &[1, 3]);
+        assert!((rho - (4.0 + 16.0) / 2.0).abs() < 1e-12);
+        assert_eq!(saliency(&w, &inv, len, &[]), 0.0);
+    }
+
+    #[test]
+    fn keep_selection_with_identity_keeps_largest_magnitudes() {
+        let len = 6;
+        let mut inv = vec![0.0f64; 36];
+        for i in 0..6 {
+            inv[i * 6 + i] = 1.0;
+        }
+        let w = vec![0.1, -5.0, 0.3, 2.0, -0.2, 0.05];
+        for mode in [KeepSelectMode::Exact, KeepSelectMode::PairWise] {
+            let keep = select_keep_set(&w, &inv, len, 2, mode);
+            assert_eq!(keep, vec![1, 3], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn correlated_fisher_changes_the_choice() {
+        // Two strongly correlated weights: pruning both together is cheap,
+        // keeping both wastes the budget. F^-1 with high off-diagonal for
+        // (0, 1).
+        let len = 3;
+        let inv = vec![
+            1.0, 0.95, 0.0, //
+            0.95, 1.0, 0.0, //
+            0.0, 0.0, 1.0,
+        ];
+        let w = vec![1.0, 0.99, 0.8];
+        // Exact: pruning {0,1} costs 1/2 [1, .99] A^-1 [1, .99] with A
+        // nearly singular along (1,-1): the pair is almost free to prune
+        // *together* because the compensation shifts weight between them.
+        let rho_pair = saliency(&w, &inv, len, &[0, 1]);
+        let rho_mixed = saliency(&w, &inv, len, &[0, 2]);
+        assert!(rho_pair < rho_mixed, "correlated pair should be cheaper: {rho_pair} vs {rho_mixed}");
+        let keep = select_keep_set(&w, &inv, len, 1, KeepSelectMode::Exact);
+        assert_eq!(keep, vec![2], "keep the uncorrelated weight");
+    }
+
+    #[test]
+    fn obs_update_zeroes_pruned_and_compensates() {
+        let len = 3;
+        let inv = vec![
+            0.5, 0.2, 0.0, //
+            0.2, 0.5, 0.0, //
+            0.0, 0.0, 0.5,
+        ];
+        let mut w = vec![1.0, 2.0, 3.0];
+        obs_update(&mut w, &inv, len, &[0]);
+        assert_eq!(w[0], 0.0);
+        // w1 moved by -inv[1][0] * w0/inv[0][0] = -0.2 * 2 = -0.4.
+        assert!((w[1] - (2.0 - 0.4)).abs() < 1e-12, "w1={}", w[1]);
+        assert_eq!(w[2], 3.0, "uncorrelated weight untouched");
+    }
+
+    #[test]
+    fn update_with_identity_is_plain_zeroing() {
+        let len = 4;
+        let mut inv = vec![0.0f64; 16];
+        for i in 0..4 {
+            inv[i * 4 + i] = 2.0;
+        }
+        let mut w = vec![1.0, 2.0, 3.0, 4.0];
+        obs_update(&mut w, &inv, len, &[1, 2]);
+        assert_eq!(w, vec![1.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn combination_iteration_is_complete_and_ordered() {
+        let mut seen = Vec::new();
+        for_each_combination(5, 3, |c| seen.push(c.to_vec()));
+        assert_eq!(seen.len(), combinations(5, 3));
+        assert_eq!(seen.first().unwrap(), &vec![0, 1, 2]);
+        assert_eq!(seen.last().unwrap(), &vec![2, 3, 4]);
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), seen.len(), "no duplicates");
+    }
+
+    #[test]
+    fn combination_counts() {
+        assert_eq!(combinations(4, 2), 6);
+        assert_eq!(combinations(16, 2), 120);
+        assert_eq!(combinations(100, 2), 4950);
+        assert_eq!(combinations(8, 6), 28);
+        assert_eq!(combinations(3, 5), 0);
+    }
+
+    #[test]
+    fn auto_mode_switches_on_limit() {
+        let len = 8;
+        let mut inv = vec![0.0f64; 64];
+        for i in 0..8 {
+            inv[i * 8 + i] = 1.0;
+        }
+        let w: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let exact = select_keep_set(&w, &inv, len, 2, KeepSelectMode::Auto { limit: 1000 });
+        let pair = select_keep_set(&w, &inv, len, 2, KeepSelectMode::Auto { limit: 1 });
+        // With an identity Fisher both modes agree on magnitudes.
+        assert_eq!(exact, pair);
+    }
+
+    #[test]
+    fn exact_never_worse_than_pairwise() {
+        // Random-ish SPD inverse; exact enumeration must achieve rho <=
+        // the pairwise pick's exact rho.
+        let len = 6;
+        let mut inv = vec![0.0f64; 36];
+        for i in 0..len {
+            for j in 0..len {
+                let base = 0.3 / (1.0 + (i as f64 - j as f64).abs());
+                inv[i * len + j] = base;
+            }
+            inv[i * len + i] += 1.0;
+        }
+        let w: Vec<f64> = (0..len).map(|i| ((i * 7 % 5) as f64) - 1.7).collect();
+        let keep_exact = select_keep_set(&w, &inv, len, 2, KeepSelectMode::Exact);
+        let keep_pair = select_keep_set(&w, &inv, len, 2, KeepSelectMode::PairWise);
+        let rho_of = |keep: &[usize]| {
+            let q: Vec<usize> = (0..len).filter(|i| !keep.contains(i)).collect();
+            saliency(&w, &inv, len, &q)
+        };
+        assert!(rho_of(&keep_exact) <= rho_of(&keep_pair) + 1e-12);
+    }
+}

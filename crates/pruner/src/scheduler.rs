@@ -1,0 +1,199 @@
+//! Gradual pruning schedules.
+//!
+//! §6.1.1: one-shot pruning to high sparsity collapses accuracy, so the
+//! paper introduces a *structure decay* scheduler for the V:N:M format:
+//! start from a high `N0 >> N_target` (low sparsity) at the target `M` and
+//! halve `N` step by step, fine-tuning in between.
+//!
+//! While `N > 4` the pattern cannot carry the V:N:M column structure (the
+//! format selects only 4 columns per block), so early steps are plain
+//! row-wise N:M; once `N <= 4` the vector-wise constraint is imposed and
+//! refined down to the target.
+
+use venom_format::{NmConfig, VnmConfig, SELECTED_COLUMNS};
+
+/// One round of the decay schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecayStep {
+    /// Early step: plain row-wise N:M (no column sharing possible yet).
+    Nm(NmConfig),
+    /// Late step: full V:N:M structure.
+    Vnm(VnmConfig),
+}
+
+impl DecayStep {
+    /// The sparsity this step prunes to.
+    pub fn sparsity(&self) -> f64 {
+        match self {
+            DecayStep::Nm(c) => c.sparsity(),
+            DecayStep::Vnm(c) => c.sparsity(),
+        }
+    }
+
+    /// The step's `N`.
+    pub fn n(&self) -> usize {
+        match self {
+            DecayStep::Nm(c) => c.n,
+            DecayStep::Vnm(c) => c.n,
+        }
+    }
+}
+
+/// The sequence of configurations of a structure-decay run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructureDecayScheduler {
+    steps: Vec<DecayStep>,
+    target: VnmConfig,
+}
+
+impl StructureDecayScheduler {
+    /// Builds the halving schedule toward `target`: N runs over
+    /// `M/2, M/4, ..., target.n` (the first step is 50% sparsity). Steps
+    /// with `N > 4` are plain N:M; later steps carry the V structure.
+    ///
+    /// # Panics
+    /// Panics if the target `n >= m/2` (nothing to decay — one-shot
+    /// pruning covers it).
+    pub fn halving(target: VnmConfig) -> Self {
+        assert!(
+            target.n < target.m / 2,
+            "structure decay needs n < m/2; prune {target} in one shot instead"
+        );
+        let mut ns = Vec::new();
+        let mut n = target.m / 2;
+        while n > target.n {
+            ns.push(n);
+            n = (n / 2).max(target.n);
+        }
+        ns.push(target.n);
+        Self::from_n_sequence(target, &ns)
+    }
+
+    /// An explicit schedule from a custom `N` sequence (strictly
+    /// decreasing, ending at the target's `n`).
+    ///
+    /// # Panics
+    /// Panics if the sequence is empty, not strictly decreasing, or ends
+    /// on a different `n` than `target.n`.
+    pub fn explicit(target: VnmConfig, n_sequence: &[usize]) -> Self {
+        assert!(!n_sequence.is_empty(), "empty schedule");
+        assert!(
+            n_sequence.windows(2).all(|w| w[0] > w[1]),
+            "N sequence must be strictly decreasing"
+        );
+        assert_eq!(*n_sequence.last().unwrap(), target.n, "schedule must end at the target N");
+        Self::from_n_sequence(target, n_sequence)
+    }
+
+    fn from_n_sequence(target: VnmConfig, ns: &[usize]) -> Self {
+        let steps = ns
+            .iter()
+            .map(|&n| {
+                if n <= SELECTED_COLUMNS {
+                    DecayStep::Vnm(VnmConfig::new(target.v, n, target.m))
+                } else {
+                    DecayStep::Nm(NmConfig::new(n, target.m))
+                }
+            })
+            .collect();
+        StructureDecayScheduler { steps, target }
+    }
+
+    /// The rounds in application order.
+    pub fn steps(&self) -> &[DecayStep] {
+        &self.steps
+    }
+
+    /// Number of pruning rounds.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Always false (construction guarantees at least one step).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The final (target) configuration.
+    pub fn target(&self) -> VnmConfig {
+        self.target
+    }
+}
+
+/// The cubic sparsity ramp of gradual magnitude pruning (Zhu & Gupta),
+/// used by the GMP baseline: `s_t = s_f + (s_i - s_f) (1 - t/T)^3`.
+///
+/// # Panics
+/// Panics unless `t <= total_steps` and sparsities are in `[0, 1)`.
+pub fn gmp_cubic_schedule(s_initial: f64, s_final: f64, t: usize, total_steps: usize) -> f64 {
+    assert!(t <= total_steps, "step beyond schedule end");
+    assert!((0.0..1.0).contains(&s_initial) && (0.0..1.0).contains(&s_final));
+    let frac = 1.0 - t as f64 / total_steps as f64;
+    s_final + (s_initial - s_final) * frac * frac * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_schedule_for_2_16() {
+        // Target 2:16: N = 8 (plain N:M), 4 (V:N:M), 2 (V:N:M target).
+        let sched = StructureDecayScheduler::halving(VnmConfig::new(64, 2, 16));
+        let ns: Vec<usize> = sched.steps().iter().map(|s| s.n()).collect();
+        assert_eq!(ns, vec![8, 4, 2]);
+        assert!(matches!(sched.steps()[0], DecayStep::Nm(_)));
+        assert!(matches!(sched.steps()[1], DecayStep::Vnm(_)));
+        assert_eq!(sched.target(), VnmConfig::new(64, 2, 16));
+        assert_eq!(sched.len(), 3);
+    }
+
+    #[test]
+    fn halving_schedule_for_2_8() {
+        let sched = StructureDecayScheduler::halving(VnmConfig::new(128, 2, 8));
+        let ns: Vec<usize> = sched.steps().iter().map(|s| s.n()).collect();
+        assert_eq!(ns, vec![4, 2]);
+        assert!(matches!(sched.steps()[0], DecayStep::Vnm(_)), "N=4 already fits the V structure");
+    }
+
+    #[test]
+    fn sparsity_increases_along_the_schedule() {
+        let sched = StructureDecayScheduler::halving(VnmConfig::new(64, 2, 32));
+        let sparsities: Vec<f64> = sched.steps().iter().map(|s| s.sparsity()).collect();
+        assert!(sparsities.windows(2).all(|w| w[0] < w[1]), "{sparsities:?}");
+        assert_eq!(*sparsities.first().unwrap(), 0.5);
+        assert_eq!(*sparsities.last().unwrap(), 1.0 - 2.0 / 32.0);
+    }
+
+    #[test]
+    fn explicit_schedule_validates() {
+        let target = VnmConfig::new(64, 2, 16);
+        let sched = StructureDecayScheduler::explicit(target, &[6, 4, 2]);
+        assert_eq!(sched.len(), 3);
+        assert!(matches!(sched.steps()[0], DecayStep::Nm(_)), "N=6 exceeds the column budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn explicit_rejects_nonmonotone() {
+        let _ = StructureDecayScheduler::explicit(VnmConfig::new(64, 2, 16), &[4, 4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one shot")]
+    fn halving_rejects_trivial_targets() {
+        let _ = StructureDecayScheduler::halving(VnmConfig::new(64, 2, 4));
+    }
+
+    #[test]
+    fn cubic_schedule_endpoints_and_monotonicity() {
+        assert_eq!(gmp_cubic_schedule(0.0, 0.9, 0, 100), 0.0);
+        assert!((gmp_cubic_schedule(0.0, 0.9, 100, 100) - 0.9).abs() < 1e-12);
+        let mut prev = -1.0;
+        for t in 0..=100 {
+            let s = gmp_cubic_schedule(0.0, 0.9, t, 100);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+}

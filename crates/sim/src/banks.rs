@@ -1,0 +1,192 @@
+//! Shared-memory bank-conflict analysis.
+//!
+//! NVIDIA shared memory is striped over 32 banks of 4 bytes. A warp's
+//! access is split into *phases* by access width (128-bit accesses issue as
+//! four quarter-warp phases, 64-bit as two half-warp phases, 32-bit as one
+//! full-warp phase). Within a phase, requests mapping to the same bank but
+//! to *different* 32-bit words serialize; identical words broadcast.
+//!
+//! Spatha's stage-3 epilogue (Fig. 8) stores output tiles through shared
+//! memory with padding chosen so the quarter-warp phases touch 32 distinct
+//! banks; this analyzer both *verifies* that layout conflict-free and
+//! *charges* the naive (unpadded or 32-bit) layouts their serialization
+//! cost, which is how the Fig. 10 "32-bit vs 128-bit stores" ablation is
+//! modelled.
+
+/// Result of analyzing one warp-wide access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessCost {
+    /// Total shared-memory transactions (cycles) needed for the access.
+    pub transactions: u32,
+    /// The minimum transactions any layout would need for this width.
+    pub minimum: u32,
+}
+
+impl AccessCost {
+    /// Serialization factor: 1.0 means conflict-free.
+    pub fn conflict_factor(&self) -> f64 {
+        self.transactions as f64 / self.minimum as f64
+    }
+
+    /// Whether the access is conflict-free.
+    pub fn is_conflict_free(&self) -> bool {
+        self.transactions == self.minimum
+    }
+}
+
+/// Analyzes one warp access.
+///
+/// `addrs` are per-thread *byte* addresses (one per active thread, up to
+/// 32); `access_bytes` is the per-thread width: 4, 8 or 16.
+///
+/// # Panics
+/// Panics if `access_bytes` is not 4/8/16, addresses are misaligned, or
+/// more than 32 threads are given.
+pub fn warp_access(addrs: &[u64], access_bytes: u32) -> AccessCost {
+    assert!(addrs.len() <= 32, "a warp has at most 32 threads");
+    assert!(
+        matches!(access_bytes, 4 | 8 | 16),
+        "shared memory accesses are 4, 8 or 16 bytes wide"
+    );
+    for &a in addrs {
+        assert_eq!(a % access_bytes as u64, 0, "misaligned shared-memory access");
+    }
+
+    let threads_per_phase = match access_bytes {
+        16 => 8,
+        8 => 16,
+        _ => 32,
+    };
+    let words_per_thread = (access_bytes / 4) as u64;
+
+    let mut transactions = 0u32;
+    let mut phases = 0u32;
+    for phase in addrs.chunks(threads_per_phase) {
+        phases += 1;
+        // bank -> set of distinct word addresses requested in this phase.
+        let mut per_bank: [Vec<u64>; 32] = Default::default();
+        for &addr in phase {
+            let word0 = addr / 4;
+            for w in 0..words_per_thread {
+                let word = word0 + w;
+                let bank = (word % 32) as usize;
+                if !per_bank[bank].contains(&word) {
+                    per_bank[bank].push(word);
+                }
+            }
+        }
+        let worst = per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0);
+        transactions += worst.max(1);
+    }
+    AccessCost { transactions, minimum: phases }
+}
+
+/// Cost of a warp storing one row-segment of `lanes x width_bytes` into a
+/// shared tile of `row_stride_bytes`, thread `t` writing element `t`.
+/// Convenience wrapper for the common "each thread stores its accumulator"
+/// epilogue pattern.
+pub fn strided_store(base: u64, count: usize, stride_bytes: u64, access_bytes: u32) -> AccessCost {
+    let addrs: Vec<u64> = (0..count as u64).map(|t| base + t * stride_bytes).collect();
+    warp_access(&addrs, access_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_32bit_is_conflict_free() {
+        // Thread t accesses word t: 32 distinct banks, one phase.
+        let addrs: Vec<u64> = (0..32).map(|t| t * 4).collect();
+        let c = warp_access(&addrs, 4);
+        assert_eq!(c.transactions, 1);
+        assert!(c.is_conflict_free());
+    }
+
+    #[test]
+    fn same_word_broadcasts() {
+        // Every thread reads the same word: broadcast, one transaction.
+        let addrs = vec![64u64; 32];
+        let c = warp_access(&addrs, 4);
+        assert_eq!(c.transactions, 1);
+    }
+
+    #[test]
+    fn stride_two_words_conflicts_two_way() {
+        // Thread t accesses word 2t: banks repeat after 16 threads.
+        let addrs: Vec<u64> = (0..32).map(|t| t * 8).collect();
+        let c = warp_access(&addrs, 4);
+        assert_eq!(c.transactions, 2);
+        assert_eq!(c.conflict_factor(), 2.0);
+    }
+
+    #[test]
+    fn stride_32_words_fully_serializes() {
+        // All threads hit bank 0 with distinct words: 32-way conflict.
+        let addrs: Vec<u64> = (0..32).map(|t| t * 128).collect();
+        let c = warp_access(&addrs, 4);
+        assert_eq!(c.transactions, 32);
+    }
+
+    #[test]
+    fn contiguous_128bit_is_conflict_free_in_four_phases() {
+        // Thread t stores 16 bytes at t*16: each quarter-warp phase covers
+        // 32 distinct banks.
+        let addrs: Vec<u64> = (0..32).map(|t| t * 16).collect();
+        let c = warp_access(&addrs, 16);
+        assert_eq!(c.minimum, 4);
+        assert_eq!(c.transactions, 4);
+        assert!(c.is_conflict_free());
+    }
+
+    #[test]
+    fn unpadded_tile_128bit_store_conflicts() {
+        // A 64-column half tile (128 bytes per row): quarter-warp threads
+        // t=0..8 write rows 0..8 at column 0 -> every 16B span hits banks
+        // 0..3 -> 8-way conflict per phase.
+        let row_stride = 128u64;
+        let addrs: Vec<u64> = (0..32).map(|t| t * row_stride).collect();
+        let c = warp_access(&addrs, 16);
+        assert_eq!(c.minimum, 4);
+        assert_eq!(c.transactions, 32, "8-way conflict in each of 4 phases");
+        assert_eq!(c.conflict_factor(), 8.0);
+    }
+
+    #[test]
+    fn padded_tile_128bit_store_is_conflict_free() {
+        // Fig. 8: padding the row stride by one 16B element (128 -> 144
+        // bytes) rotates each row's banks by 4, making quarter-warps hit
+        // 32 distinct banks.
+        let row_stride = 144u64;
+        let addrs: Vec<u64> = (0..32).map(|t| t * row_stride).collect();
+        let c = warp_access(&addrs, 16);
+        assert_eq!(c.transactions, 4, "padded layout must be conflict-free");
+    }
+
+    #[test]
+    fn half_warp_64bit_phases() {
+        let addrs: Vec<u64> = (0..32).map(|t| t * 8).collect();
+        let c = warp_access(&addrs, 8);
+        assert_eq!(c.minimum, 2);
+        assert_eq!(c.transactions, 2);
+    }
+
+    #[test]
+    fn partial_warps_are_allowed() {
+        let addrs: Vec<u64> = (0..8).map(|t| t * 4).collect();
+        let c = warp_access(&addrs, 4);
+        assert_eq!(c.transactions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_access_rejected() {
+        let _ = warp_access(&[2], 4);
+    }
+
+    #[test]
+    fn strided_store_helper_matches_manual() {
+        let manual: Vec<u64> = (0..32).map(|t| 1000 * 16 + t * 144).collect();
+        assert_eq!(strided_store(16000, 32, 144, 16), warp_access(&manual, 16));
+    }
+}

@@ -1,0 +1,139 @@
+//! CUDA occupancy calculation.
+//!
+//! Given a thread block's resource footprint, computes how many blocks can
+//! be co-resident on one SM — the quantity that drives wave scheduling and
+//! latency hiding in the cost model.
+
+use crate::config::DeviceConfig;
+
+/// Resource footprint of one thread block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockResources {
+    /// Threads per block (must be a multiple of the warp size in practice;
+    /// the calculator rounds up to whole warps).
+    pub threads: u32,
+    /// Shared memory per block in bytes (static + dynamic).
+    pub smem_bytes: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+}
+
+impl BlockResources {
+    /// Creates a footprint.
+    pub fn new(threads: u32, smem_bytes: u32, regs_per_thread: u32) -> Self {
+        assert!(threads > 0, "blocks must have at least one thread");
+        BlockResources { threads, smem_bytes, regs_per_thread }
+    }
+
+    /// Warps per block (rounded up).
+    pub fn warps(&self, dev: &DeviceConfig) -> u32 {
+        self.threads.div_ceil(dev.warp_size)
+    }
+}
+
+/// Why a kernel cannot launch at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The block needs more shared memory than a block may use.
+    SharedMemory,
+    /// The block needs more registers than one SM holds.
+    Registers,
+    /// The block has more threads than one SM supports.
+    Threads,
+}
+
+/// Blocks co-resident per SM, or the reason the kernel cannot launch.
+pub fn blocks_per_sm(dev: &DeviceConfig, res: &BlockResources) -> Result<u32, LaunchError> {
+    if res.smem_bytes > dev.max_smem_per_block || res.smem_bytes > dev.smem_per_sm {
+        return Err(LaunchError::SharedMemory);
+    }
+    if res.threads > dev.max_threads_per_sm {
+        return Err(LaunchError::Threads);
+    }
+    let regs_per_block = res.regs_per_thread as u64 * res.threads as u64;
+    if regs_per_block > dev.regs_per_sm as u64 {
+        return Err(LaunchError::Registers);
+    }
+
+    let by_threads = dev.max_threads_per_sm / res.threads;
+    let by_smem = if res.smem_bytes == 0 { u32::MAX } else { dev.smem_per_sm / res.smem_bytes };
+    let by_regs = if regs_per_block == 0 {
+        u32::MAX
+    } else {
+        (dev.regs_per_sm as u64 / regs_per_block) as u32
+    };
+    let limit = by_threads.min(by_smem).min(by_regs).min(dev.max_blocks_per_sm);
+    debug_assert!(limit >= 1);
+    Ok(limit)
+}
+
+/// Occupancy as a fraction of the SM's maximum resident warps.
+pub fn occupancy_fraction(dev: &DeviceConfig, res: &BlockResources) -> Result<f64, LaunchError> {
+    let blocks = blocks_per_sm(dev, res)?;
+    let warps = blocks * res.warps(dev);
+    let max_warps = dev.max_threads_per_sm / dev.warp_size;
+    Ok(warps as f64 / max_warps as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::rtx3090()
+    }
+
+    #[test]
+    fn thread_limited() {
+        // 512-thread blocks, tiny smem/regs: 1536/512 = 3 blocks.
+        let r = BlockResources::new(512, 1024, 32);
+        assert_eq!(blocks_per_sm(&dev(), &r).unwrap(), 3);
+    }
+
+    #[test]
+    fn smem_limited() {
+        // 48 KB blocks on a 100 KB SM: 2 blocks.
+        let r = BlockResources::new(128, 48 * 1024, 32);
+        assert_eq!(blocks_per_sm(&dev(), &r).unwrap(), 2);
+    }
+
+    #[test]
+    fn register_limited() {
+        // 256 threads x 128 regs = 32768 regs/block; 65536/32768 = 2.
+        let r = BlockResources::new(256, 1024, 128);
+        assert_eq!(blocks_per_sm(&dev(), &r).unwrap(), 2);
+    }
+
+    #[test]
+    fn block_cap_applies() {
+        let r = BlockResources::new(32, 0, 16);
+        // Threads would allow 48, but the GA102 cap is 16.
+        assert_eq!(blocks_per_sm(&dev(), &r).unwrap(), 16);
+    }
+
+    #[test]
+    fn launch_errors() {
+        assert_eq!(
+            blocks_per_sm(&dev(), &BlockResources::new(128, 200 * 1024, 32)),
+            Err(LaunchError::SharedMemory)
+        );
+        assert_eq!(
+            blocks_per_sm(&dev(), &BlockResources::new(2048, 0, 32)),
+            Err(LaunchError::Threads)
+        );
+        assert_eq!(
+            blocks_per_sm(&dev(), &BlockResources::new(1024, 0, 255)),
+            Err(LaunchError::Registers)
+        );
+    }
+
+    #[test]
+    fn occupancy_fraction_sane() {
+        // 3 x 512-thread blocks = 1536 threads = 100% occupancy.
+        let f = occupancy_fraction(&dev(), &BlockResources::new(512, 1024, 32)).unwrap();
+        assert!((f - 1.0).abs() < 1e-9);
+        // 2 x 128 threads limited by smem: 256/1536 threads.
+        let f = occupancy_fraction(&dev(), &BlockResources::new(128, 48 * 1024, 32)).unwrap();
+        assert!((f - 2.0 * 4.0 / 48.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,145 @@
+//! Roofline analysis of kernel launches.
+//!
+//! Given a [`KernelCounts`], derives the quantities performance engineers
+//! reason with: arithmetic intensity, the device's ridge point, the
+//! attainable-performance bound, and a text report — useful when deciding
+//! whether a V:N:M configuration is worth pursuing on a device before
+//! running anything.
+
+use crate::config::DeviceConfig;
+use crate::pipeline::KernelCounts;
+
+/// Roofline position of one kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Roofline {
+    /// Effective FLOPs of the logical problem.
+    pub flops: f64,
+    /// DRAM bytes actually moved (post-L2).
+    pub dram_bytes: f64,
+    /// Arithmetic intensity, FLOP per DRAM byte.
+    pub intensity: f64,
+    /// The device's ridge point (FLOP/byte where compute meets bandwidth).
+    pub ridge: f64,
+    /// Attainable FLOP/s under the roofline.
+    pub attainable_flops: f64,
+    /// True when the kernel sits left of the ridge (bandwidth-bound).
+    pub memory_bound: bool,
+}
+
+/// The compute roof that applies to a kernel's instruction mix: sparse
+/// tensor, dense tensor, or CUDA cores.
+fn compute_roof(dev: &DeviceConfig, counts: &KernelCounts) -> f64 {
+    if counts.mma_sp_per_block > 0 {
+        dev.sparse_tensor_flops()
+    } else if counts.mma_dense_per_block > 0 {
+        dev.dense_tensor_flops()
+    } else {
+        dev.cuda_fp16_flops()
+    }
+}
+
+/// Places a kernel on the device's roofline.
+pub fn analyze(dev: &DeviceConfig, counts: &KernelCounts) -> Roofline {
+    let blocks = counts.grid_blocks as f64;
+    let flops = counts.effective_flops as f64;
+    let dram_bytes = (counts.gmem_load_bytes_per_block as f64 * (1.0 - counts.l2_hit_fraction)
+        + counts.gmem_store_bytes_per_block as f64)
+        * blocks;
+    let intensity = if dram_bytes > 0.0 { flops / dram_bytes } else { f64::INFINITY };
+    let roof = compute_roof(dev, counts);
+    let ridge = roof / dev.dram_bw_bytes();
+    let attainable = roof.min(intensity * dev.dram_bw_bytes());
+    Roofline {
+        flops,
+        dram_bytes,
+        intensity,
+        ridge,
+        attainable_flops: attainable,
+        memory_bound: intensity < ridge,
+    }
+}
+
+impl Roofline {
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "AI {:.1} FLOP/B vs ridge {:.1} -> {} bound, attainable {:.1} TFLOP/s",
+            self.intensity,
+            self.ridge,
+            if self.memory_bound { "bandwidth" } else { "compute" },
+            self.attainable_flops / 1e12
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::BlockResources;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::rtx3090()
+    }
+
+    fn counts(flops: u64, load: u64, sp: u64, dense: u64) -> KernelCounts {
+        KernelCounts {
+            grid_blocks: 100,
+            block: BlockResources::new(128, 1024, 64),
+            mma_sp_per_block: sp,
+            mma_dense_per_block: dense,
+            gmem_load_bytes_per_block: load,
+            effective_flops: flops,
+            ..KernelCounts::named("test")
+        }
+    }
+
+    #[test]
+    fn ridge_point_matches_datasheet_ratio() {
+        // Dense tensor roof 71 TFLOPS over 936 GB/s ~ 76 FLOP/B.
+        let r = analyze(&dev(), &counts(1, 1, 0, 1));
+        assert!((r.ridge - 76.0).abs() < 2.0, "ridge={}", r.ridge);
+        // Sparse roof doubles the ridge.
+        let r = analyze(&dev(), &counts(1, 1, 1, 0));
+        assert!((r.ridge - 152.0).abs() < 4.0, "ridge={}", r.ridge);
+    }
+
+    #[test]
+    fn high_intensity_is_compute_bound() {
+        // 1 TFLOP over 1 MB: intensity 1e6.
+        let r = analyze(&dev(), &counts(1_000_000_000_000, 10_000, 0, 1));
+        assert!(!r.memory_bound);
+        assert_eq!(r.attainable_flops, dev().dense_tensor_flops());
+    }
+
+    #[test]
+    fn low_intensity_is_memory_bound() {
+        // 1 GFLOP over 10 GB: intensity 0.1.
+        let r = analyze(&dev(), &counts(1_000_000_000, 100_000_000, 0, 1));
+        assert!(r.memory_bound);
+        assert!(r.attainable_flops < dev().dense_tensor_flops() * 0.01);
+    }
+
+    #[test]
+    fn l2_hits_raise_intensity() {
+        let mut c = counts(1_000_000_000, 1_000_000, 0, 1);
+        let cold = analyze(&dev(), &c);
+        c.l2_hit_fraction = 0.9;
+        let warm = analyze(&dev(), &c);
+        assert!(warm.intensity > cold.intensity * 5.0);
+    }
+
+    #[test]
+    fn summary_is_informative() {
+        let s = analyze(&dev(), &counts(1_000_000, 1_000, 1, 0)).summary();
+        assert!(s.contains("FLOP/B"));
+        assert!(s.contains("bound"));
+    }
+
+    #[test]
+    fn cuda_core_roof_for_scalar_kernels() {
+        let mut c = counts(1_000_000_000_000, 100, 0, 0);
+        c.fma_per_block = 1000;
+        let r = analyze(&dev(), &c);
+        assert!((r.ridge - dev().cuda_fp16_flops() / dev().dram_bw_bytes()).abs() < 1.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Tensor-core instruction model: the `mma.sp` shape table (Table 1 of the
+//! paper) and functional executors for the half-precision dense and sparse
+//! instructions.
+//!
+//! Fragment layouts are simplified to plain row-major arrays — the
+//! *numerics* (exact fp16 products, f32 accumulation, metadata-driven
+//! operand selection) are bit-faithful to the hardware; the per-thread
+//! register distribution is an addressing detail the kernel layer models
+//! separately (storage order + bank analysis).
+
+use venom_fp16::Half;
+
+/// Operand precision of an `mma`/`mma.sp` instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// TF32/FP32 inputs (1:2 structured sparsity).
+    Fp32,
+    /// Half precision (2:4) — the paper's focus.
+    Fp16,
+    /// 8-bit integer (2:4).
+    Uint8,
+    /// 4-bit integer (2:4).
+    Uint4,
+}
+
+/// Shape of an `mma` instruction tile: `m x n x k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MmaShape {
+    /// Rows of the LHS/accumulator.
+    pub m: usize,
+    /// Columns of the RHS/accumulator.
+    pub n: usize,
+    /// Depth (the sparsified dimension for `mma.sp`).
+    pub k: usize,
+}
+
+impl MmaShape {
+    /// Creates a shape.
+    pub const fn new(m: usize, n: usize, k: usize) -> Self {
+        MmaShape { m, n, k }
+    }
+}
+
+impl core::fmt::Display for MmaShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "m{}n{}k{}", self.m, self.n, self.k)
+    }
+}
+
+/// The structured-sparsity pattern an `mma.sp` variant supports (N:M).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpPattern {
+    /// Nonzeros per group.
+    pub n: usize,
+    /// Group size.
+    pub m: usize,
+}
+
+/// One row of Table 1: precision, supported pattern, supported k values.
+#[derive(Clone, Copy, Debug)]
+pub struct MmaSpSupport {
+    /// Operand precision.
+    pub precision: Precision,
+    /// The only structured pattern the hardware accepts at this precision.
+    pub pattern: SpPattern,
+    /// Supported k dimensions (m and n are fixed at 16 and 8).
+    pub k_values: [usize; 2],
+}
+
+/// Table 1 of the paper: matrix shapes for `mma.sp` on SPTCs.
+pub const MMA_SP_TABLE: [MmaSpSupport; 4] = [
+    MmaSpSupport { precision: Precision::Fp32, pattern: SpPattern { n: 1, m: 2 }, k_values: [8, 16] },
+    MmaSpSupport { precision: Precision::Fp16, pattern: SpPattern { n: 2, m: 4 }, k_values: [16, 32] },
+    MmaSpSupport { precision: Precision::Uint8, pattern: SpPattern { n: 2, m: 4 }, k_values: [32, 64] },
+    MmaSpSupport { precision: Precision::Uint4, pattern: SpPattern { n: 2, m: 4 }, k_values: [64, 128] },
+];
+
+/// Fixed `m` dimension of every `mma.sp` shape.
+pub const MMA_SP_M: usize = 16;
+/// Fixed `n` dimension of every `mma.sp` shape.
+pub const MMA_SP_N: usize = 8;
+
+/// Whether `mma.sp` supports `shape` with `pattern` at `precision`.
+pub fn is_supported_sp(precision: Precision, shape: MmaShape, pattern: SpPattern) -> bool {
+    if shape.m != MMA_SP_M || shape.n != MMA_SP_N {
+        return false;
+    }
+    MMA_SP_TABLE.iter().any(|row| {
+        row.precision == precision
+            && row.pattern == pattern
+            && row.k_values.contains(&shape.k)
+    })
+}
+
+/// Functional dense `mma.m16n8kX` (fp16 in, f32 accumulate):
+/// `d[m][n] += a[m][k] * b[k][n]`, all row-major.
+///
+/// # Panics
+/// Panics if slice lengths do not match the shape.
+pub fn mma_dense_f16(shape: MmaShape, a: &[Half], b: &[Half], d: &mut [f32]) {
+    assert_eq!(a.len(), shape.m * shape.k, "A fragment size");
+    assert_eq!(b.len(), shape.k * shape.n, "B fragment size");
+    assert_eq!(d.len(), shape.m * shape.n, "D fragment size");
+    for i in 0..shape.m {
+        for kk in 0..shape.k {
+            let av = a[i * shape.k + kk];
+            if av.is_zero() {
+                continue;
+            }
+            let avf = av.to_f32();
+            for j in 0..shape.n {
+                d[i * shape.n + j] += avf * b[kk * shape.n + j].to_f32();
+            }
+        }
+    }
+}
+
+/// Functional sparse `mma.sp.m16n8kX` (fp16, 2:4).
+///
+/// * `values`: `m x k/2` stored nonzeros, row-major.
+/// * `meta`: one index per stored value, the position (0..4) of the value
+///   inside its group of four `k` columns — the hardware's 2-bit metadata.
+/// * `b`: the dense `k x n` fragment (the full k rows; the instruction's
+///   internal mux selects the needed ones, Fig. 1).
+/// * `d`: `m x n` f32 accumulators, updated in place.
+///
+/// # Panics
+/// Panics on size mismatches, `shape.k % 4 != 0`, or out-of-range metadata.
+pub fn mma_sp_f16(shape: MmaShape, values: &[Half], meta: &[u8], b: &[Half], d: &mut [f32]) {
+    assert_eq!(shape.k % 4, 0, "sparse k must be a multiple of the group size");
+    let half_k = shape.k / 2;
+    assert_eq!(values.len(), shape.m * half_k, "values fragment size");
+    assert_eq!(meta.len(), values.len(), "metadata size");
+    assert_eq!(b.len(), shape.k * shape.n, "B fragment size");
+    assert_eq!(d.len(), shape.m * shape.n, "D fragment size");
+
+    for i in 0..shape.m {
+        for g in 0..shape.k / 4 {
+            for s in 0..2 {
+                let slot = i * half_k + g * 2 + s;
+                let v = values[slot];
+                if v.is_zero() {
+                    continue;
+                }
+                let idx = meta[slot] as usize;
+                assert!(idx < 4, "metadata index out of range");
+                let kk = g * 4 + idx;
+                let vf = v.to_f32();
+                for j in 0..shape.n {
+                    d[i * shape.n + j] += vf * b[kk * shape.n + j].to_f32();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contents() {
+        // Half precision supports k16 and k32 with 2:4.
+        assert!(is_supported_sp(
+            Precision::Fp16,
+            MmaShape::new(16, 8, 32),
+            SpPattern { n: 2, m: 4 }
+        ));
+        assert!(is_supported_sp(
+            Precision::Fp16,
+            MmaShape::new(16, 8, 16),
+            SpPattern { n: 2, m: 4 }
+        ));
+        // fp32 only supports 1:2.
+        assert!(is_supported_sp(Precision::Fp32, MmaShape::new(16, 8, 8), SpPattern { n: 1, m: 2 }));
+        assert!(!is_supported_sp(Precision::Fp32, MmaShape::new(16, 8, 8), SpPattern { n: 2, m: 4 }));
+        // uint4 reaches k128.
+        assert!(is_supported_sp(
+            Precision::Uint4,
+            MmaShape::new(16, 8, 128),
+            SpPattern { n: 2, m: 4 }
+        ));
+        // Arbitrary N:M is NOT supported natively — the whole reason VENOM
+        // exists.
+        assert!(!is_supported_sp(
+            Precision::Fp16,
+            MmaShape::new(16, 8, 32),
+            SpPattern { n: 2, m: 8 }
+        ));
+        // m and n are fixed.
+        assert!(!is_supported_sp(
+            Precision::Fp16,
+            MmaShape::new(32, 8, 32),
+            SpPattern { n: 2, m: 4 }
+        ));
+    }
+
+    fn f16s(xs: &[f32]) -> Vec<Half> {
+        xs.iter().map(|&x| Half::from_f32(x)).collect()
+    }
+
+    #[test]
+    fn dense_mma_small_example() {
+        // 2x2x2 toy shape (the executor is shape-generic).
+        let shape = MmaShape::new(2, 2, 2);
+        let a = f16s(&[1.0, 2.0, 3.0, 4.0]);
+        let b = f16s(&[5.0, 6.0, 7.0, 8.0]);
+        let mut d = vec![0.0f32; 4];
+        mma_dense_f16(shape, &a, &b, &mut d);
+        assert_eq!(d, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn sparse_mma_matches_dense_expansion() {
+        // m16n8k32 with a known 2:4 pattern.
+        let shape = MmaShape::new(16, 8, 32);
+        // Dense A with the 2:4 pattern: keep columns (g*4+1, g*4+3).
+        let mut a_dense = vec![Half::ZERO; 16 * 32];
+        let mut values = vec![Half::ZERO; 16 * 16];
+        let mut meta = vec![0u8; 16 * 16];
+        for i in 0..16 {
+            for g in 0..8 {
+                for (s, idx) in [1usize, 3].iter().enumerate() {
+                    let v = Half::from_f32((i + g + s) as f32 * 0.25 - 1.0);
+                    a_dense[i * 32 + g * 4 + idx] = v;
+                    values[i * 16 + g * 2 + s] = v;
+                    meta[i * 16 + g * 2 + s] = *idx as u8;
+                }
+            }
+        }
+        let b = f16s(&(0..32 * 8).map(|x| (x % 13) as f32 * 0.5 - 3.0).collect::<Vec<_>>());
+        let mut d_sparse = vec![0.0f32; 16 * 8];
+        mma_sp_f16(shape, &values, &meta, &b, &mut d_sparse);
+        let mut d_dense = vec![0.0f32; 16 * 8];
+        mma_dense_f16(shape, &a_dense, &b, &mut d_dense);
+        assert_eq!(d_sparse, d_dense);
+    }
+
+    #[test]
+    fn sparse_mma_accumulates() {
+        let shape = MmaShape::new(16, 8, 32);
+        let values = vec![Half::ONE; 16 * 16];
+        let meta: Vec<u8> = (0..16 * 16).map(|i| ((i % 2) * 2) as u8).collect();
+        let b = vec![Half::ONE; 32 * 8];
+        let mut d = vec![1.0f32; 16 * 8];
+        mma_sp_f16(shape, &values, &meta, &b, &mut d);
+        // Each output accumulated 16 products of 1.0 on top of 1.0.
+        assert!(d.iter().all(|&x| x == 17.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata index")]
+    fn sparse_mma_rejects_bad_metadata() {
+        let shape = MmaShape::new(16, 8, 32);
+        let values = vec![Half::ONE; 16 * 16];
+        let meta = vec![4u8; 16 * 16];
+        let b = vec![Half::ONE; 32 * 8];
+        let mut d = vec![0.0f32; 16 * 8];
+        mma_sp_f16(shape, &values, &meta, &b, &mut d);
+    }
+
+    #[test]
+    fn zero_values_are_skipped_exactly() {
+        // Padding slots (zero value) must not contribute even with
+        // arbitrary metadata.
+        let shape = MmaShape::new(16, 8, 16);
+        let values = vec![Half::ZERO; 16 * 8];
+        let meta = vec![3u8; 16 * 8];
+        let b = f16s(&(0..16 * 8).map(|x| x as f32).collect::<Vec<_>>());
+        let mut d = vec![0.0f32; 16 * 8];
+        mma_sp_f16(shape, &values, &meta, &b, &mut d);
+        assert!(d.iter().all(|&x| x == 0.0));
+    }
+}

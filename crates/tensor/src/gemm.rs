@@ -1,0 +1,184 @@
+//! Dense GEMM in tensor-core numerics.
+//!
+//! Two implementations of `C = A * B` with half-precision operands and
+//! single-precision accumulation:
+//!
+//! * [`gemm_ref`] — a plain triple loop, the correctness oracle every sparse
+//!   kernel in the repository is validated against.
+//! * [`gemm_parallel`] — a cache-blocked, rayon-parallel version used by the
+//!   cuBLAS-like baseline for functional execution at benchmark sizes.
+//!
+//! Both produce *identical* results: the parallel version partitions only
+//! the output space (each `C` element is still accumulated sequentially over
+//! `k` in program order), so the f32 additions happen in the same order.
+
+use crate::{GemmShape, Matrix};
+use rayon::prelude::*;
+use venom_fp16::Half;
+
+/// Reference GEMM: `C[r][c] = sum_k A[r][k] * B[k][c]`, f32 accumulator.
+///
+/// # Panics
+/// Panics if the shapes are incompatible.
+pub fn gemm_ref(a: &Matrix<Half>, b: &Matrix<Half>) -> Matrix<f32> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (r, k, c) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::<f32>::zeros(r, c);
+    for i in 0..r {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (kk, &aval) in arow.iter().enumerate().take(k) {
+            if aval.is_zero() {
+                continue; // skip explicit zeros: same result, less work
+            }
+            let av = aval.to_f32();
+            let brow = b.row(kk);
+            for (o, &bval) in orow.iter_mut().zip(brow) {
+                *o += av * bval.to_f32();
+            }
+        }
+    }
+    out
+}
+
+/// Reference GEMM without the zero-skip shortcut, accumulating strictly in
+/// `k` order per output element. Used by property tests to show the
+/// zero-skip version is exact.
+pub fn gemm_ref_strict(a: &Matrix<Half>, b: &Matrix<Half>) -> Matrix<f32> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (r, k, c) = (a.rows(), a.cols(), b.cols());
+    Matrix::from_fn(r, c, |i, j| {
+        let mut acc = 0.0f32;
+        for kk in 0..k {
+            acc = a.get(i, kk).mac_f32(b.get(kk, j), acc);
+        }
+        acc
+    })
+}
+
+/// Row-blocked parallel GEMM. Splits `C` into row bands processed by rayon;
+/// within a band uses `gemm_ref`'s loop order, so results are bit-identical
+/// to [`gemm_ref`].
+pub fn gemm_parallel(a: &Matrix<Half>, b: &Matrix<Half>) -> Matrix<f32> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (r, k, c) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f32; r * c];
+    // Band height balances parallelism against per-task overhead on small
+    // matrices; 16 rows matches the mma tile height.
+    let band = 16usize;
+    out.par_chunks_mut(band * c).enumerate().for_each(|(bi, chunk)| {
+        let row0 = bi * band;
+        let rows_here = chunk.len() / c;
+        for i in 0..rows_here {
+            let arow = a.row(row0 + i);
+            let orow = &mut chunk[i * c..(i + 1) * c];
+            for (kk, &aval) in arow.iter().enumerate().take(k) {
+                if aval.is_zero() {
+                    continue;
+                }
+                let av = aval.to_f32();
+                let brow = b.row(kk);
+                for (o, &bval) in orow.iter_mut().zip(brow) {
+                    *o += av * bval.to_f32();
+                }
+            }
+        }
+    });
+    Matrix::from_vec(r, c, out)
+}
+
+/// GEMM with an added row-vector bias: `C = A*B + bias` (bias length = C
+/// columns). Models the fused epilogue of a Linear layer.
+pub fn gemm_bias(a: &Matrix<Half>, b: &Matrix<Half>, bias: &[f32]) -> Matrix<f32> {
+    assert_eq!(bias.len(), b.cols(), "bias length must equal output columns");
+    let mut c = gemm_parallel(a, b);
+    for i in 0..c.rows() {
+        let row = c.row_mut(i);
+        for (o, &bv) in row.iter_mut().zip(bias) {
+            *o += bv;
+        }
+    }
+    c
+}
+
+/// Convenience: GEMM of f32 matrices (converted through half first, as every
+/// tensor-core path would). Returns f32.
+pub fn gemm_f32_via_half(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+    gemm_parallel(&a.to_half(), &b.to_half())
+}
+
+/// Shape of a GEMM taking `a` and `b` as operands.
+pub fn shape_of(a: &Matrix<Half>, b: &Matrix<Half>) -> GemmShape {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    GemmShape::new(a.rows(), a.cols(), b.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random;
+
+    fn small_pair(r: usize, k: usize, c: usize, seed: u64) -> (Matrix<Half>, Matrix<Half>) {
+        (
+            random::normal_matrix(r, k, 0.0, 1.0, seed).to_half(),
+            random::normal_matrix(k, c, 0.0, 1.0, seed + 1).to_half(),
+        )
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = Matrix::from_fn(4, 4, |r, c| if r == c { Half::ONE } else { Half::ZERO });
+        let b = random::uniform_matrix(4, 3, -2.0, 2.0, 3).to_half();
+        let c = gemm_ref(&a, &b);
+        assert_eq!(c, b.to_f32());
+    }
+
+    #[test]
+    fn known_2x2_product() {
+        let a = Matrix::from_vec(2, 2, venom_fp16::slice::from_f32_slice(&[1.0, 2.0, 3.0, 4.0]));
+        let b = Matrix::from_vec(2, 2, venom_fp16::slice::from_f32_slice(&[5.0, 6.0, 7.0, 8.0]));
+        let c = gemm_ref(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn parallel_matches_reference_bitwise() {
+        let (a, b) = small_pair(67, 41, 53, 11);
+        let c1 = gemm_ref(&a, &b);
+        let c2 = gemm_parallel(&a, &b);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn strict_matches_skipping_version() {
+        let (mut a, b) = small_pair(17, 23, 9, 5);
+        // Inject explicit zeros to exercise the skip path.
+        for i in 0..a.rows() {
+            for j in (0..a.cols()).step_by(3) {
+                a.set(i, j, Half::ZERO);
+            }
+        }
+        assert_eq!(gemm_ref(&a, &b), gemm_ref_strict(&a, &b));
+    }
+
+    #[test]
+    fn bias_is_added_per_column() {
+        let (a, b) = small_pair(8, 8, 4, 21);
+        let bias = vec![1.0, -1.0, 0.5, 0.0];
+        let c0 = gemm_parallel(&a, &b);
+        let c1 = gemm_bias(&a, &b, &bias);
+        for i in 0..8 {
+            for j in 0..4 {
+                assert_eq!(c1.get(i, j), c0.get(i, j) + bias[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::<Half>::zeros(2, 3);
+        let b = Matrix::<Half>::zeros(4, 2);
+        let _ = gemm_ref(&a, &b);
+    }
+}

@@ -1,0 +1,78 @@
+//! Dense tensor substrate for the VENOM reproduction.
+//!
+//! The sparse kernels in `venom-core` need a dense counterpart to (a) verify
+//! functional correctness against, and (b) serve as the "cuBLAS" reference
+//! workload generator. This crate provides:
+//!
+//! * [`Matrix`] — a simple row-major dense matrix over any `Copy` element,
+//!   with views, transpose, block extraction.
+//! * [`gemm`] — reference and parallel blocked GEMM in tensor-core numerics
+//!   (fp16 operands, f32 accumulation).
+//! * [`random`] — reproducible matrix generators (uniform, normal, and the
+//!   layer-shaped fills the benchmarks use).
+//! * [`norms`] — error metrics for validating sparse kernels.
+
+pub mod gemm;
+pub mod norms;
+pub mod random;
+
+mod matrix;
+
+pub use matrix::Matrix;
+pub use venom_fp16::Half;
+
+/// Shape of a GEMM problem `C[r x c] = A[r x k] * B[k x c]`, using the
+/// paper's `R x K x C` naming (R/C are the outer dimensions, K is the inner,
+/// sparsified one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of A and C.
+    pub r: usize,
+    /// Inner (sparsified) dimension: columns of A, rows of B.
+    pub k: usize,
+    /// Columns of B and C.
+    pub c: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape, panicking on zero dimensions.
+    pub fn new(r: usize, k: usize, c: usize) -> Self {
+        assert!(r > 0 && k > 0 && c > 0, "GEMM dimensions must be nonzero");
+        GemmShape { r, k, c }
+    }
+
+    /// Number of multiply–add operations of the dense product (`r*k*c`).
+    pub fn macs(&self) -> u64 {
+        self.r as u64 * self.k as u64 * self.c as u64
+    }
+
+    /// Floating point operations of the dense product (`2*r*k*c`).
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+}
+
+impl core::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}", self.r, self.k, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_shape_flops() {
+        let s = GemmShape::new(16, 32, 8);
+        assert_eq!(s.macs(), 16 * 32 * 8);
+        assert_eq!(s.flops(), 2 * 16 * 32 * 8);
+        assert_eq!(s.to_string(), "16x32x8");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn gemm_shape_rejects_zero() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! Row-major dense matrix.
+
+use venom_fp16::Half;
+
+/// A dense row-major matrix.
+///
+/// Indexing is `(row, col)`; storage is `data[row * cols + col]`. The type
+/// is deliberately minimal — the sparse formats and kernels own their layout
+/// logic, this type only has to be an honest dense container.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a matrix filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false: zero-dimension matrices cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> T {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: T) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow of one row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[T] {
+        let start = row * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [T] {
+        let start = row * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// The whole backing buffer, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> Matrix<T> {
+        let mut out = Vec::with_capacity(self.data.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out.push(self.get(r, c));
+            }
+        }
+        Matrix { rows: self.cols, cols: self.rows, data: out }
+    }
+
+    /// Copies a `row_count x col_count` block starting at `(row0, col0)`.
+    ///
+    /// # Panics
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn block(&self, row0: usize, col0: usize, row_count: usize, col_count: usize) -> Matrix<T> {
+        assert!(row0 + row_count <= self.rows, "block rows out of bounds");
+        assert!(col0 + col_count <= self.cols, "block cols out of bounds");
+        Matrix::from_fn(row_count, col_count, |r, c| self.get(row0 + r, col0 + c))
+    }
+
+    /// Applies `f` to every element, producing a new matrix.
+    pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Matrix<U> {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+}
+
+impl Matrix<f32> {
+    /// Converts to half precision with round-to-nearest-even.
+    pub fn to_half(&self) -> Matrix<Half> {
+        self.map(Half::from_f32)
+    }
+}
+
+impl Matrix<Half> {
+    /// Converts to single precision (exact).
+    pub fn to_f32(&self) -> Matrix<f32> {
+        self.map(Half::to_f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::<f32>::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols(), m.len()), (2, 3, 6));
+        m.set(1, 2, 7.0);
+        assert_eq!(m.get(1, 2), 7.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn from_fn_layout_is_row_major() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (5, 3));
+        assert_eq!(t.get(4, 2), m.get(2, 4));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn block_extraction() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as i32);
+        let b = m.block(1, 2, 2, 2);
+        assert_eq!(b.as_slice(), &[6, 7, 10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn block_bounds_checked() {
+        let m = Matrix::<f32>::zeros(2, 2);
+        let _ = m.block(1, 1, 2, 2);
+    }
+
+    #[test]
+    fn half_conversion_roundtrip() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r + c) as f32 * 0.5);
+        assert_eq!(m.to_half().to_f32(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::from_vec(2, 2, vec![0.0f32; 3]);
+    }
+}

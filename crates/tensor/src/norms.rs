@@ -1,0 +1,107 @@
+//! Error metrics used to validate sparse kernels against dense references.
+
+use crate::Matrix;
+
+/// Largest absolute element difference between two equally shaped matrices.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn max_abs_diff(a: &Matrix<f32>, b: &Matrix<f32>) -> f32 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Frobenius norm of a matrix, computed in f64 to avoid overflow at
+/// benchmark sizes.
+pub fn frobenius(a: &Matrix<f32>) -> f64 {
+    a.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+}
+
+/// Relative Frobenius error `||a - b||_F / ||b||_F` (0 when both are zero).
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn rel_frobenius_error(a: &Matrix<f32>, b: &Matrix<f32>) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    let denom = frobenius(b);
+    let num = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| {
+            let d = (*x as f64) - (*y as f64);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt();
+    if denom == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / denom
+    }
+}
+
+/// True when every element of `a` is within `atol + rtol*|b|` of `b`.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn allclose(a: &Matrix<f32>, b: &Matrix<f32>, rtol: f32, atol: f32) -> bool {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .all(|(x, y)| (x - y).abs() <= atol + rtol * y.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matrices_have_zero_error() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+        assert_eq!(rel_frobenius_error(&a, &a), 0.0);
+        assert!(allclose(&a, &a, 0.0, 0.0));
+    }
+
+    #[test]
+    fn frobenius_of_unit_vector() {
+        let mut a = Matrix::<f32>::zeros(2, 2);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, 4.0);
+        assert_eq!(frobenius(&a), 5.0);
+    }
+
+    #[test]
+    fn relative_error_scales() {
+        let b = Matrix::from_fn(2, 2, |_, _| 10.0f32);
+        let a = Matrix::from_fn(2, 2, |_, _| 10.1f32);
+        let e = rel_frobenius_error(&a, &b);
+        assert!((e - 0.01).abs() < 1e-6, "e={e}");
+    }
+
+    #[test]
+    fn zero_reference_edge_cases() {
+        let z = Matrix::<f32>::zeros(2, 2);
+        assert_eq!(rel_frobenius_error(&z, &z), 0.0);
+        let a = Matrix::from_fn(2, 2, |_, _| 1.0f32);
+        assert_eq!(rel_frobenius_error(&a, &z), f64::INFINITY);
+    }
+
+    #[test]
+    fn allclose_tolerances() {
+        let b = Matrix::from_fn(1, 2, |_, c| if c == 0 { 100.0 } else { 0.001 });
+        let a = Matrix::from_fn(1, 2, |_, c| if c == 0 { 100.5 } else { 0.0015 });
+        assert!(allclose(&a, &b, 0.01, 0.001));
+        assert!(!allclose(&a, &b, 1e-5, 1e-6));
+    }
+}

@@ -1,0 +1,192 @@
+//! The paper's headline claims, asserted as integration tests.
+//!
+//! These encode the *shape* of every evaluation result (who wins, by
+//! roughly what factor, where crossovers fall) — the contract the
+//! reproduction must keep (see EXPERIMENTS.md for the measured numbers).
+
+use venom::baselines::cublas::DenseGemm;
+use venom::baselines::cusparselt::SparseLtSpmm;
+use venom::baselines::{ClaspSpmm, SputnikSpmm};
+use venom::format::{CsrMatrix, CvseMatrix};
+use venom::prelude::*;
+use venom::pruner::magnitude;
+use venom::spatha::{spmm_time_tuned, SpmmOptions};
+use venom::tensor::random;
+
+fn dev() -> DeviceConfig {
+    DeviceConfig::rtx3090()
+}
+
+fn spatha_speedup(r: usize, k: usize, c: usize, cfg: VnmConfig) -> f64 {
+    let dense = DenseGemm::time(GemmShape::new(r, k, c), &dev()).time_ms;
+    let sparse = spmm_time_tuned(r, k, c, cfg, &SpmmOptions::default(), &dev()).time_ms;
+    dense / sparse
+}
+
+/// Abstract: "Spatha achieves up to 37x speedup over cuBLAS".
+#[test]
+fn headline_37x_at_98_percent() {
+    let s = spatha_speedup(1024, 12288, 4096, VnmConfig::new(128, 2, 100));
+    assert!(s > 25.0 && s < 50.0, "98% sparsity speedup {s} (paper: 37x, cap 50x)");
+}
+
+/// Fig. 9: speedups approach but stay below the theoretical caps, and
+/// grow with K.
+#[test]
+fn fig9_caps_and_k_scaling() {
+    for (m, paper) in [(10usize, 4.5), (20, 8.5), (40, 17.5), (100, 37.0)] {
+        let cfg = VnmConfig::new(128, 2, m);
+        let s = spatha_speedup(1024, 12288, 4096, cfg);
+        let cap = cfg.theoretical_speedup_cap();
+        assert!(s < cap, "2:{m}: {s} must stay below cap {cap}");
+        assert!(s > 0.55 * paper, "2:{m}: {s} too far below the paper's {paper}");
+        // K scaling: bigger K, bigger speedup.
+        let s_small = spatha_speedup(1024, 1536, 4096, cfg);
+        assert!(s > s_small, "2:{m}: speedup must grow with K");
+    }
+}
+
+/// Fig. 9: the column-loc overhead is negligible.
+#[test]
+fn fig9_column_loc_overhead_negligible() {
+    let cfg = VnmConfig::new(128, 2, 20);
+    let with = spmm_time_tuned(1024, 8192, 4096, cfg, &SpmmOptions::default(), &dev()).time_ms;
+    let without = spmm_time_tuned(
+        1024,
+        8192,
+        4096,
+        cfg,
+        &SpmmOptions { use_column_loc: false, ..SpmmOptions::default() },
+        &dev(),
+    )
+    .time_ms;
+    let overhead = with / without - 1.0;
+    assert!(overhead < 0.05, "column-loc overhead {overhead} should be < 5%");
+}
+
+/// Fig. 10: the 128-bit epilogue beats the 32-bit one, most visibly at
+/// high sparsity on BERT-sized outputs, attenuated at GPT-3 size.
+#[test]
+fn fig10_store_width_effect() {
+    let cfg = VnmConfig::new(128, 2, 100);
+    let effect = |r: usize, k: usize| {
+        let wide = spmm_time_tuned(r, k, 4096, cfg, &SpmmOptions::default(), &dev()).time_ms;
+        let narrow = spmm_time_tuned(
+            r,
+            k,
+            4096,
+            cfg,
+            &SpmmOptions { wide_smem_store: false, ..SpmmOptions::default() },
+            &dev(),
+        )
+        .time_ms;
+        narrow / wide
+    };
+    let bert = effect(1024, 4096);
+    let gpt3 = effect(36864, 12288);
+    assert!(bert > 1.1, "128-bit stores must matter on BERT-large ({bert})");
+    assert!(bert <= 2.5, "but not beyond the paper's ~2x ({bert})");
+    assert!(gpt3 < bert, "the effect must attenuate on GPT-3 ({gpt3} vs {bert})");
+}
+
+/// Abstract/Fig. 12: up to 1.38x over cuSparseLt at 2:4, similar at
+/// large K.
+#[test]
+fn fig12_spatha_vs_cusparselt() {
+    let at = |k: usize| {
+        let lt = SparseLtSpmm::time(GemmShape::new(1024, k, 4096), &dev()).time_ms;
+        let sp =
+            spmm_time_tuned(1024, k, 4096, VnmConfig::new(128, 2, 4), &SpmmOptions::default(), &dev())
+                .time_ms;
+        lt / sp
+    };
+    let small_k = at(768);
+    let large_k = at(12288);
+    assert!(small_k > 1.15 && small_k < 1.6, "small-K advantage {small_k} (paper up to 1.38x)");
+    assert!(large_k < small_k, "advantage must shrink with K ({large_k} vs {small_k})");
+    assert!(large_k > 0.9 && large_k < 1.25, "large-K parity {large_k}");
+}
+
+/// Fig. 12: both 2:4 libraries approach the 2x sparse tensor-core bound.
+#[test]
+fn fig12_two_four_speedup_bounded_by_2x() {
+    for k in [3072usize, 12288] {
+        let dense = DenseGemm::time(GemmShape::new(1024, k, 4096), &dev()).time_ms;
+        let sp = spmm_time_tuned(
+            1024,
+            k,
+            4096,
+            VnmConfig::new(128, 2, 4),
+            &SpmmOptions::default(),
+            &dev(),
+        )
+        .time_ms;
+        let s = dense / sp;
+        assert!(s > 1.3 && s <= 2.05, "2:4 speedup {s} at K={k}");
+    }
+}
+
+/// Fig. 13: Sputnik and CLASP beat cuBLAS only at high sparsity; Spatha
+/// wins everywhere from 50% upward.
+#[test]
+fn fig13_crossovers() {
+    let (r, k, c) = (1024usize, 4096usize, 4096usize);
+    let dense_ms = DenseGemm::time(GemmShape::new(r, k, c), &dev()).time_ms;
+
+    // Sputnik at 80%: loses; at 98%: wins.
+    let sputnik = |s: f64, seed: u64| {
+        let w = random::glorot_matrix(r, k, seed);
+        let mask = magnitude::prune_unstructured(&w, s);
+        let a = CsrMatrix::from_masked(&w.to_half(), &mask);
+        dense_ms / SputnikSpmm::time(&a, c, &dev()).time_ms
+    };
+    assert!(sputnik(0.8, 1) < 1.0, "Sputnik must lose at 80%");
+    assert!(sputnik(0.98, 2) > 1.0, "Sputnik must win at 98%");
+
+    // CLASP vw_8 at 50%: loses; at 95%: wins, but stays within a few x.
+    let clasp = |s: f64, seed: u64| {
+        let w = random::glorot_matrix(r, k, seed);
+        let mask = magnitude::prune_vectorwise(&w, 8, s);
+        let a = CvseMatrix::from_dense(&mask.apply_f32(&w).to_half(), 8);
+        dense_ms / ClaspSpmm::time(&a, c, &dev()).time_ms
+    };
+    assert!(clasp(0.5, 3) < 1.0, "CLASP must lose at 50%");
+    let c95 = clasp(0.95, 4);
+    assert!(c95 > 1.0 && c95 < 8.0, "CLASP at 95%: {c95} (paper: a few x at best)");
+
+    // Spatha wins across the board.
+    for m in [4usize, 10, 40] {
+        let s = spatha_speedup(r, k, c, VnmConfig::new(128, 2, m));
+        assert!(s > 1.2, "Spatha must beat cuBLAS at 2:{m} (got {s})");
+    }
+}
+
+/// §7.2.3 / Fig. 15: GPT-3 GEMM-time reduction ~11x at 2:32 and total
+/// encoder speedup around ~3.2x.
+#[test]
+fn fig15_gpt3_encoder() {
+    use venom::dnn::profile::{profile_layer, WeightSparsity};
+    use venom::dnn::transformer::TransformerConfig;
+    let cfg = TransformerConfig::gpt3_175b();
+    let dense = profile_layer(&cfg, 1, WeightSparsity::Dense, &dev());
+    let sparse = profile_layer(&cfg, 1, WeightSparsity::Vnm(VnmConfig::new(64, 2, 32)), &dev());
+    let gemm_speedup = dense.gemms_ms / sparse.gemms_ms;
+    let total_speedup = dense.total_ms() / sparse.total_ms();
+    assert!(gemm_speedup > 7.0 && gemm_speedup < 16.0, "GEMM speedup {gemm_speedup} (paper ~11x)");
+    assert!(total_speedup > 2.0 && total_speedup < 5.0, "total {total_speedup} (paper ~3.2x)");
+}
+
+/// Fig. 11 / §5: energy ordering ideal > small-V > large-V > vector-wise.
+#[test]
+fn fig11_energy_ordering() {
+    let w = random::glorot_matrix(768, 768, 2023);
+    let s = 0.75;
+    let ideal = venom::pruner::energy(&w, &magnitude::prune_unstructured(&w, s));
+    let v1 = venom::pruner::energy(&w, &magnitude::prune_vnm(&w, VnmConfig::new(1, 2, 8)));
+    let v64 = venom::pruner::energy(&w, &magnitude::prune_vnm(&w, VnmConfig::new(64, 2, 8)));
+    let v128 = venom::pruner::energy(&w, &magnitude::prune_vnm(&w, VnmConfig::new(128, 2, 8)));
+    let vw8 = venom::pruner::energy(&w, &magnitude::prune_vectorwise(&w, 8, s));
+    let vw4 = venom::pruner::energy(&w, &magnitude::prune_vectorwise(&w, 4, s));
+    assert!(ideal >= v1 && v1 >= v64 && v64 >= v128, "{ideal} {v1} {v64} {v128}");
+    assert!(v128 > vw8 && v128 > vw4, "V:N:M above vector-wise: {v128} vs {vw8}/{vw4}");
+}

@@ -1,0 +1,84 @@
+//! Property-based integration tests over random shapes and patterns.
+
+use proptest::prelude::*;
+use venom::prelude::*;
+use venom::pruner::magnitude;
+use venom::spatha::{spmm, SpmmOptions};
+use venom::tensor::{gemm, norms, random};
+
+/// Strategy: a valid V:N:M configuration with V a multiple of 16 (the
+/// kernel's requirement) and M in the paper's range.
+fn vnm_config() -> impl Strategy<Value = VnmConfig> {
+    (1usize..=4, prop::sample::select(vec![4usize, 5, 7, 8, 10, 16, 20]))
+        .prop_map(|(vmul, m)| VnmConfig::new(16 * vmul, 2, m))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Magnitude V:N:M masks always comply and hit the pattern's sparsity.
+    #[test]
+    fn magnitude_masks_comply(cfg in vnm_config(), seed in 0u64..1000) {
+        let rows = cfg.v * 2;
+        let cols = cfg.m * 6;
+        let w = random::glorot_matrix(rows, cols, seed);
+        let mask = magnitude::prune_vnm(&w, cfg);
+        prop_assert!(mask.complies_vnm(cfg));
+        prop_assert!((mask.sparsity() - cfg.sparsity()).abs() < 0.05);
+    }
+
+    /// Compression round-trips exactly for any compliant input.
+    #[test]
+    fn compression_roundtrips(cfg in vnm_config(), seed in 0u64..1000) {
+        let rows = cfg.v + 3; // force a partial row block
+        let cols = cfg.m * 3 + 1; // force a partial K group
+        let w = random::glorot_matrix(rows, cols, seed);
+        let mask = magnitude::prune_vnm(&w, cfg);
+        let dense = mask.apply_f32(&w).to_half();
+        let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+        prop_assert_eq!(vnm.decompress(), dense);
+    }
+
+    /// The kernel agrees with the dense reference on every shape.
+    #[test]
+    fn kernel_matches_reference(cfg in vnm_config(), seed in 0u64..1000, c_cols in 9usize..40) {
+        let rows = cfg.v * 2;
+        let cols = cfg.m * 4;
+        let w = random::glorot_matrix(rows, cols, seed);
+        let mask = magnitude::prune_vnm(&w, cfg);
+        let a = VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg);
+        let b = random::activation_matrix(cols, c_cols, seed + 1).to_half();
+        let out = spmm(&a, &b, &SpmmOptions::default(), &DeviceConfig::rtx3090());
+        let reference = gemm::gemm_ref(&a.decompress(), &b);
+        prop_assert!(norms::allclose(&out.c, &reference, 1e-3, 1e-3),
+            "max diff {}", norms::max_abs_diff(&out.c, &reference));
+    }
+
+    /// Simulated time decreases (weakly) as M grows, all else equal.
+    #[test]
+    fn time_monotone_in_m(seed in 0u64..100) {
+        let dev = DeviceConfig::rtx3090();
+        let mut prev = f64::INFINITY;
+        for m in [4usize, 8, 16] {
+            let cfg = VnmConfig::new(64, 2, m);
+            let t = venom::spatha::spmm_time_tuned(
+                512, 2048, 1024, cfg, &SpmmOptions::default(), &dev).time_ms;
+            prop_assert!(t <= prev * 1.01, "m={m}: {t} vs {prev}");
+            prev = t;
+        }
+        let _ = seed;
+    }
+
+    /// Energy is monotone in sparsity for a fixed policy.
+    #[test]
+    fn energy_monotone_in_sparsity(seed in 0u64..1000) {
+        let w = random::glorot_matrix(64, 160, seed);
+        let mut prev = f64::INFINITY;
+        for m in [4usize, 8, 16, 20] {
+            let cfg = VnmConfig::new(16, 2, m);
+            let e = venom::pruner::energy(&w, &magnitude::prune_vnm(&w, cfg));
+            prop_assert!(e < prev);
+            prev = e;
+        }
+    }
+}
