@@ -16,11 +16,11 @@ use crate::counts::build_counts;
 /// column tile, the K tile, the warp tile split and the pipeline depth.
 fn candidates(v: usize) -> Vec<TileConfig> {
     let mut out = Vec::new();
-    let ws_r_opts: &[usize] = if v % 32 == 0 { &[32, 16] } else { &[16] };
+    let ws_r_opts: &[usize] = if v.is_multiple_of(32) { &[32, 16] } else { &[16] };
     for &bs_c in &[32usize, 64, 128] {
         for &bs_k_cond in &[32usize, 64] {
             for &ws_r in ws_r_opts {
-                if v % ws_r != 0 {
+                if !v.is_multiple_of(ws_r) {
                     continue;
                 }
                 for &ws_c in &[16usize, 32, 64] {
@@ -65,7 +65,7 @@ pub fn default_config_shape(
     dev: &DeviceConfig,
 ) -> TileConfig {
     let v = cfg.v;
-    assert!(v % 16 == 0 && v >= 16, "the Spatha kernel requires V to be a multiple of 16");
+    assert!(v.is_multiple_of(16) && v >= 16, "the Spatha kernel requires V to be a multiple of 16");
 
     let k_cond = cfg.k_groups(k) * venom_format::SELECTED_COLUMNS;
     let bs_c = if b_cols >= 2048 {
@@ -77,7 +77,7 @@ pub fn default_config_shape(
     };
     let bs_k_cond = if k_cond >= 512 { 64 } else { 32 };
     let stages = if k_cond / bs_k_cond >= 8 { 3 } else { 2 };
-    let ws_r = if v % 32 == 0 { 32 } else { 16 };
+    let ws_r = if v.is_multiple_of(32) { 32 } else { 16 };
     let ws_c = if bs_c >= 64 { 32 } else { bs_c.min(32) };
     let t = TileConfig::new(v, bs_c, bs_k_cond, ws_r, ws_c, stages);
     if t.fits(dev) {
@@ -119,7 +119,7 @@ pub fn autotune_shape(
     dev: &DeviceConfig,
 ) -> (TileConfig, f64) {
     let v = cfg.v;
-    assert!(v % 16 == 0 && v >= 16, "the Spatha kernel requires V to be a multiple of 16");
+    assert!(v.is_multiple_of(16) && v >= 16, "the Spatha kernel requires V to be a multiple of 16");
     let mut best: Option<(TileConfig, f64)> = None;
     for t in candidates(v) {
         let counts = crate::counts::build_counts_shape(r, k, b_cols, cfg, &t, opts);

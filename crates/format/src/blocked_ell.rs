@@ -72,7 +72,7 @@ impl BlockedEllMatrix {
                     }
                     None => {
                         block_cols.push(PAD);
-                        values.extend(std::iter::repeat(Half::ZERO).take(bs * bs));
+                        values.extend(std::iter::repeat_n(Half::ZERO, bs * bs));
                     }
                 }
             }

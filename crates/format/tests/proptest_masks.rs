@@ -9,7 +9,7 @@ proptest! {
     /// nnz + pruned = total, density + sparsity = 1.
     #[test]
     fn counting_identities(rows in 1usize..40, cols in 1usize..90, seed in 0u64..1000) {
-        let mask = SparsityMask::from_fn(rows, cols, |r, c| (r * 7 + c * 13 + seed as usize) % 3 == 0);
+        let mask = SparsityMask::from_fn(rows, cols, |r, c| (r * 7 + c * 13 + seed as usize).is_multiple_of(3));
         prop_assert!(mask.nnz() <= rows * cols);
         prop_assert!((mask.density() + mask.sparsity() - 1.0).abs() < 1e-12);
         let row_sum: usize = (0..rows).map(|r| mask.row_nnz(r)).sum();
@@ -20,7 +20,7 @@ proptest! {
     /// annihilator.
     #[test]
     fn and_algebra(rows in 1usize..20, cols in 1usize..70, seed in 0u64..1000) {
-        let mask = SparsityMask::from_fn(rows, cols, |r, c| (r + c * 3 + seed as usize) % 4 != 0);
+        let mask = SparsityMask::from_fn(rows, cols, |r, c| !(r + c * 3 + seed as usize).is_multiple_of(4));
         prop_assert_eq!(mask.and(&mask).clone(), mask.clone());
         let empty = SparsityMask::empty(rows, cols);
         prop_assert_eq!(mask.and(&empty).nnz(), 0);

@@ -1,0 +1,201 @@
+//! Compress→decompress round-trip and raw-structure invariants of the
+//! V:N:M format across the configuration grid the paper evaluates:
+//! V ∈ {8, 64, 128} × N:M ∈ {2:8, 2:16}, with and without partial tails.
+//!
+//! The invariants pin down the Fig. 3 storage contract `vnm.rs` documents:
+//!
+//! * **m-indices** address the 4 *selected* columns, so every entry fits
+//!   2 bits, and the live entries of a row-group are strictly increasing
+//!   (values stream left-to-right through the selection).
+//! * **column-loc** entries are group-relative (`0..m`), within the bounds
+//!   of their (possibly partial) group, first occurrences strictly
+//!   ascending, padded duplicates repeating the last live column.
+//! * Buffer sizes are exactly `R x K/M*N` (values, m-indices) and
+//!   `R/V x K/M*4` (column-loc).
+
+use venom_fp16::Half;
+use venom_format::{SparsityMask, VnmConfig, VnmMatrix, SELECTED_COLUMNS};
+use venom_tensor::{random, Matrix};
+
+/// The satellite grid: every V the paper's kernels tile by, at 75% (2:8)
+/// and 87.5% (2:16) sparsity.
+const GRID: [(usize, usize, usize); 6] =
+    [(8, 2, 8), (8, 2, 16), (64, 2, 8), (64, 2, 16), (128, 2, 8), (128, 2, 16)];
+
+/// Miniature magnitude V:N:M pruner (kept local so format tests do not
+/// depend on the pruner crate).
+fn vnm_mask(w: &Matrix<f32>, cfg: VnmConfig) -> SparsityMask {
+    let mut mask = SparsityMask::empty(w.rows(), w.cols());
+    for b in 0..cfg.row_blocks(w.rows()) {
+        let r0 = b * cfg.v;
+        let r1 = (r0 + cfg.v).min(w.rows());
+        for g in 0..cfg.k_groups(w.cols()) {
+            let c0 = g * cfg.m;
+            let c1 = (c0 + cfg.m).min(w.cols());
+            let mut cols: Vec<usize> = (c0..c1).collect();
+            cols.sort_by(|&a, &bc| {
+                let sa: f32 = (r0..r1).map(|r| w.get(r, a).abs()).sum();
+                let sb: f32 = (r0..r1).map(|r| w.get(r, bc).abs()).sum();
+                sb.partial_cmp(&sa).unwrap()
+            });
+            let sel: Vec<usize> = cols.into_iter().take(SELECTED_COLUMNS).collect();
+            for r in r0..r1 {
+                let mut sc = sel.clone();
+                sc.sort_by(|&a, &bc| {
+                    w.get(r, bc).abs().partial_cmp(&w.get(r, a).abs()).unwrap()
+                });
+                for &c in sc.iter().take(cfg.n) {
+                    mask.set(r, c, true);
+                }
+            }
+        }
+    }
+    mask
+}
+
+fn compressed(rows: usize, cols: usize, cfg: VnmConfig, seed: u64) -> (Matrix<Half>, VnmMatrix) {
+    let w = random::normal_matrix(rows, cols, 0.0, 1.0, seed);
+    let mask = vnm_mask(&w, cfg);
+    let dense = mask.apply_f32(&w).to_half();
+    let vnm = VnmMatrix::compress(&dense, &mask, cfg);
+    (dense, vnm)
+}
+
+#[test]
+fn roundtrip_across_config_grid() {
+    for (i, &(v, n, m)) in GRID.iter().enumerate() {
+        let cfg = VnmConfig::new(v, n, m);
+        // Two row blocks and four K groups of exact size.
+        let (dense, vnm) = compressed(v * 2, m * 4, cfg, 40 + i as u64);
+        assert_eq!(vnm.decompress(), dense, "round-trip failed for {cfg}");
+        assert_eq!(vnm.nnz(), dense.as_slice().iter().filter(|h| !h.is_zero()).count());
+    }
+}
+
+#[test]
+fn roundtrip_across_config_grid_with_partial_tails() {
+    for (i, &(v, n, m)) in GRID.iter().enumerate() {
+        let cfg = VnmConfig::new(v, n, m);
+        // Force a partial row block (R % V != 0) and partial K group
+        // (K % M != 0).
+        let rows = v + v / 2 + 1;
+        let cols = m * 3 + m / 2;
+        let (dense, vnm) = compressed(rows, cols, cfg, 60 + i as u64);
+        assert_eq!(vnm.row_blocks(), 2, "{cfg}");
+        assert_eq!(vnm.k_groups(), 4, "{cfg}");
+        assert_eq!(vnm.decompress(), dense, "tail round-trip failed for {cfg}");
+    }
+}
+
+#[test]
+fn buffer_sizes_match_figure3_across_grid() {
+    for (i, &(v, n, m)) in GRID.iter().enumerate() {
+        let cfg = VnmConfig::new(v, n, m);
+        let (rows, cols) = (v * 2, m * 4);
+        let (_, vnm) = compressed(rows, cols, cfg, 80 + i as u64);
+        let k_groups = cols / m;
+        assert_eq!(vnm.values().len(), rows * k_groups * n, "{cfg} values");
+        assert_eq!(vnm.m_indices().len(), rows * k_groups * n, "{cfg} m-indices");
+        assert_eq!(
+            vnm.column_loc().len(),
+            (rows / v) * k_groups * SELECTED_COLUMNS,
+            "{cfg} column-loc"
+        );
+        // 2 bits per m-index, as the hardware metadata format packs them.
+        assert_eq!(vnm.m_indices_bytes(), (vnm.m_indices().len() * 2).div_ceil(8));
+    }
+}
+
+#[test]
+fn m_indices_address_the_selection() {
+    for (i, &(v, n, m)) in GRID.iter().enumerate() {
+        let cfg = VnmConfig::new(v, n, m);
+        let (_, vnm) = compressed(v * 2, m * 4 + m / 2, cfg, 100 + i as u64);
+        // Every m-index fits the 2:4 hardware metadata (2 bits).
+        assert!(
+            vnm.m_indices().iter().all(|&j| (j as usize) < SELECTED_COLUMNS),
+            "{cfg}: m-index out of 2-bit range"
+        );
+        // Live entries of each row-group are strictly increasing: values
+        // stream left-to-right through the 4 selected columns.
+        let nslots = cfg.n;
+        for r in 0..vnm.rows() {
+            for g in 0..vnm.k_groups() {
+                let base = (r * vnm.k_groups() + g) * nslots;
+                let mut prev: Option<u8> = None;
+                for s in 0..nslots {
+                    if vnm.values()[base + s].is_zero() {
+                        continue;
+                    }
+                    let j = vnm.m_indices()[base + s];
+                    if let Some(p) = prev {
+                        assert!(j > p, "{cfg}: m-indices must increase within a group");
+                    }
+                    prev = Some(j);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn column_loc_entries_are_group_relative_and_canonical() {
+    for (i, &(v, n, m)) in GRID.iter().enumerate() {
+        let cfg = VnmConfig::new(v, n, m);
+        let rows = v * 2 - v / 2; // partial second block
+        let cols = m * 3 + m / 2; // partial fourth group
+        let (dense, vnm) = compressed(rows, cols, cfg, 120 + i as u64);
+        for b in 0..vnm.row_blocks() {
+            for g in 0..vnm.k_groups() {
+                let base = (b * vnm.k_groups() + g) * SELECTED_COLUMNS;
+                let entry = &vnm.column_loc()[base..base + SELECTED_COLUMNS];
+                let group_width = m.min(cols - g * m);
+                let mut last_new: Option<u16> = None;
+                for (j, &rel) in entry.iter().enumerate() {
+                    assert!(
+                        (rel as usize) < group_width,
+                        "{cfg}: column-loc {rel} outside its {group_width}-wide group"
+                    );
+                    if entry[..j].contains(&rel) {
+                        // Padding repeats the last live column.
+                        assert_eq!(
+                            Some(rel),
+                            last_new,
+                            "{cfg}: pad entries must repeat the last live column"
+                        );
+                    } else {
+                        // First occurrences strictly ascend.
+                        if let Some(p) = last_new {
+                            assert!(rel > p, "{cfg}: live columns must ascend");
+                        }
+                        last_new = Some(rel);
+                    }
+                }
+                // Absolute B-row view stays in bounds even for tail groups.
+                for abs in vnm.selected_b_rows(b, g) {
+                    assert!(abs < cols, "{cfg}: selected B row {abs} out of bounds");
+                }
+            }
+        }
+        // The mask induced by the raw structures equals the dense nonzeros.
+        let mut seen = Matrix::<Half>::zeros(rows, cols);
+        vnm.for_each_nonzero(|r, c, h| seen.set(r, c, h));
+        assert_eq!(seen, dense, "{cfg}: raw traversal disagrees with dense");
+    }
+}
+
+#[test]
+fn condensed_operand_is_native_2_4_across_grid() {
+    for (i, &(v, n, m)) in GRID.iter().enumerate() {
+        let cfg = VnmConfig::new(v, n, m);
+        let (_, vnm) = compressed(v * 2, m * 4, cfg, 140 + i as u64);
+        let cond = vnm.condensed();
+        assert_eq!(cond.cols(), vnm.k_groups() * SELECTED_COLUMNS);
+        let cmask =
+            SparsityMask::from_fn(cond.rows(), cond.cols(), |r, c| !cond.get(r, c).is_zero());
+        assert!(
+            cmask.complies_nm(venom_format::NmConfig::new(2, 4)),
+            "{cfg}: condensed operand must be 2:4"
+        );
+    }
+}

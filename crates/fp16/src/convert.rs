@@ -122,7 +122,7 @@ mod tests {
         assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF);
         assert_eq!(f32_to_f16_bits(0.5), 0x3800);
         assert_eq!(f32_to_f16_bits(0.099975586), 0x2E66);
-        assert_eq!(f16_bits_to_f32(0x3555), 0.333251953125);
+        assert_eq!(f16_bits_to_f32(0x3555), 0.333_251_95);
     }
 
     #[test]

@@ -138,7 +138,10 @@ impl Half {
         Half(self.0 & 0x7FFF)
     }
 
-    /// Negation (flips the sign bit).
+    /// Negation (flips the sign bit). Also available through
+    /// `core::ops::Neg`; the inherent method saves the trait import in
+    /// numeric call sites.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn neg(self) -> Half {
         Half(self.0 ^ 0x8000)

@@ -110,8 +110,7 @@ mod tests {
     fn sum_accumulates_in_f32() {
         // 1024 halves of value 1.0 plus one 0.5: an f16 accumulator would
         // lose the 0.5 long before the end; the f32 accumulator keeps it.
-        let xs: Vec<Half> = std::iter::repeat(Half::ONE)
-            .take(1024)
+        let xs: Vec<Half> = std::iter::repeat_n(Half::ONE, 1024)
             .chain(std::iter::once(Half::from_f32(0.5)))
             .collect();
         let s: Half = xs.into_iter().sum();

@@ -72,7 +72,9 @@ pub fn prune_vnm_second_order(
     let mut mask = SparsityMask::empty(rows, cols);
 
     // Per-row-block processing is independent: parallelize over blocks.
-    let block_results: Vec<(usize, Vec<(usize, Vec<usize>)>)> = (0..cfg.row_blocks(rows))
+    // One entry per row-group: (row * k_groups + g, kept columns).
+    type RowKeeps = Vec<(usize, Vec<usize>)>;
+    let block_results: Vec<(usize, RowKeeps)> = (0..cfg.row_blocks(rows))
         .into_par_iter()
         .map(|b| {
             let r0 = b * cfg.v;
@@ -291,53 +293,72 @@ mod tests {
 
     #[test]
     fn second_order_beats_magnitude_on_correlated_task() {
-        // Construct a task where the quadratic loss has strong off-diagonal
+        // Construct tasks where the quadratic loss has strong off-diagonal
         // curvature: gradients g = x * (w.x) style with correlated x.
-        // Second-order selection should achieve lower true loss increase
-        // than magnitude selection.
+        // Second-order selection optimises a block-diagonal Fisher while
+        // the evaluation below uses the full one, so on any *single* small
+        // instance magnitude can get lucky; the claim that holds robustly
+        // (and that the paper makes) is aggregate: across a population of
+        // tasks, second-order pruning achieves lower true loss increase on
+        // a clear majority of instances and a much lower total.
         let cfg = VnmConfig::new(4, 2, 8);
         let rows = 8;
         let cols = 16;
-        let w = random::glorot_matrix(rows, cols, 7);
-        // Correlated per-sample gradients: replicate a base direction.
-        let base = random::normal_matrix(1, rows * cols, 0.0, 1.0, 8);
-        let mut g = Matrix::<f32>::zeros(24, rows * cols);
-        let mut sampler = random::NormalSampler::new(9);
-        for s in 0..24 {
-            let scale = sampler.sample_with(1.0, 0.3) as f32;
-            for j in 0..rows * cols {
-                let noise = sampler.sample_with(0.0, 0.2) as f32;
-                g.set(s, j, base.get(0, j) * scale + noise);
-            }
-        }
         let opts = SecondOrderOptions::default();
-        let (mask2, updated) = prune_vnm_second_order(&w, &g, cfg, &opts);
-        let mask1 = crate::magnitude::prune_vnm(&w, cfg);
-
-        // True loss increase proxy: 1/2 dw^T F dw with F from the same
-        // gradients (dense evaluation).
-        let loss_of = |m: &SparsityMask, wp: &Matrix<f32>| {
-            let mut dw = vec![0.0f64; rows * cols];
-            for r in 0..rows {
-                for c in 0..cols {
-                    let wv = if m.get(r, c) { wp.get(r, c) } else { 0.0 };
-                    dw[r * cols + c] = (wv - w.get(r, c)) as f64;
+        let mut wins = 0usize;
+        let mut total_2nd = 0.0f64;
+        let mut total_mag = 0.0f64;
+        let instances = 10u64;
+        for seed in 0..instances {
+            let w = random::glorot_matrix(rows, cols, 7 + seed);
+            // Correlated per-sample gradients: replicate a base direction.
+            let base = random::normal_matrix(1, rows * cols, 0.0, 1.0, 100 + seed);
+            let mut g = Matrix::<f32>::zeros(24, rows * cols);
+            let mut sampler = random::NormalSampler::new(200 + seed);
+            for s in 0..24 {
+                let scale = sampler.sample_with(1.0, 0.3) as f32;
+                for j in 0..rows * cols {
+                    let noise = sampler.sample_with(0.0, 0.2) as f32;
+                    g.set(s, j, base.get(0, j) * scale + noise);
                 }
             }
-            let n = g.rows();
-            let mut acc = 0.0;
-            for s in 0..n {
-                let dot: f64 =
-                    g.row(s).iter().zip(&dw).map(|(&gi, &di)| gi as f64 * di).sum();
-                acc += dot * dot;
+            let (mask2, updated) = prune_vnm_second_order(&w, &g, cfg, &opts);
+            let mask1 = crate::magnitude::prune_vnm(&w, cfg);
+
+            // True loss increase proxy: 1/2 dw^T F dw with F from the same
+            // gradients (dense evaluation).
+            let loss_of = |m: &SparsityMask, wp: &Matrix<f32>| {
+                let mut dw = vec![0.0f64; rows * cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let wv = if m.get(r, c) { wp.get(r, c) } else { 0.0 };
+                        dw[r * cols + c] = (wv - w.get(r, c)) as f64;
+                    }
+                }
+                let n = g.rows();
+                let mut acc = 0.0;
+                for s in 0..n {
+                    let dot: f64 =
+                        g.row(s).iter().zip(&dw).map(|(&gi, &di)| gi as f64 * di).sum();
+                    acc += dot * dot;
+                }
+                acc / n as f64 + opts.lambda * dw.iter().map(|d| d * d).sum::<f64>()
+            };
+            let loss_2nd = loss_of(&mask2, &updated);
+            let loss_mag = loss_of(&mask1, &w);
+            total_2nd += loss_2nd;
+            total_mag += loss_mag;
+            if loss_2nd < loss_mag {
+                wins += 1;
             }
-            acc / n as f64 + opts.lambda * dw.iter().map(|d| d * d).sum::<f64>()
-        };
-        let loss_2nd = loss_of(&mask2, &updated);
-        let loss_mag = loss_of(&mask1, &w);
+        }
         assert!(
-            loss_2nd < loss_mag,
-            "second-order loss {loss_2nd} should beat magnitude {loss_mag}"
+            wins * 2 > instances as usize,
+            "second-order won only {wins}/{instances} instances"
+        );
+        assert!(
+            total_2nd < total_mag,
+            "aggregate second-order loss {total_2nd} should beat magnitude {total_mag}"
         );
     }
 

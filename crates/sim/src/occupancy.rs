@@ -56,12 +56,10 @@ pub fn blocks_per_sm(dev: &DeviceConfig, res: &BlockResources) -> Result<u32, La
     }
 
     let by_threads = dev.max_threads_per_sm / res.threads;
-    let by_smem = if res.smem_bytes == 0 { u32::MAX } else { dev.smem_per_sm / res.smem_bytes };
-    let by_regs = if regs_per_block == 0 {
-        u32::MAX
-    } else {
-        (dev.regs_per_sm as u64 / regs_per_block) as u32
-    };
+    let by_smem = dev.smem_per_sm.checked_div(res.smem_bytes).unwrap_or(u32::MAX);
+    let by_regs = (dev.regs_per_sm as u64)
+        .checked_div(regs_per_block)
+        .map_or(u32::MAX, |q| q.min(u32::MAX as u64) as u32);
     let limit = by_threads.min(by_smem).min(by_regs).min(dev.max_blocks_per_sm);
     debug_assert!(limit >= 1);
     Ok(limit)

@@ -14,7 +14,11 @@ fn vnm_config() -> impl Strategy<Value = VnmConfig> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    // Pinned case count AND seed: CI must explore the identical case set on
+    // every run (the vendored proptest shim is deterministic by default;
+    // the explicit seed makes the contract visible and survives any future
+    // change of the default).
+    #![proptest_config(ProptestConfig::with_cases(12).with_seed(0x56454e4f4d5f5031))]
 
     /// Magnitude V:N:M masks always comply and hit the pattern's sparsity.
     #[test]

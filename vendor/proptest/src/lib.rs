@@ -1,0 +1,541 @@
+//! Offline shim for the subset of the `proptest` crate API this workspace
+//! uses (see `vendor/README.md` for why the real crate is unavailable).
+//!
+//! It is a deterministic property-testing engine:
+//!
+//! * [`strategy::Strategy`] — value generators: numeric ranges (half-open
+//!   and inclusive), `any::<T>()` over the full bit domain, tuples,
+//!   [`sample::select`], and `prop_map`.
+//! * the [`proptest!`] macro — expands each property into a `#[test]` that
+//!   samples its strategies and runs the body for `cases` iterations.
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] — in-case
+//!   verdicts: failures report the generated inputs, assumptions reject
+//!   the case without consuming it.
+//!
+//! Differences from real proptest, on purpose:
+//!
+//! * **No shrinking.** A failing case prints the exact generated inputs
+//!   (everything here is seeded, so re-running reproduces it) instead of a
+//!   minimized counterexample.
+//! * **Determinism by default.** The RNG seed is a fixed constant derived
+//!   from the test name, not OS entropy, so CI runs are reproducible; see
+//!   [`test_runner::Config::with_seed`] to pin a different stream.
+
+pub mod test_runner {
+    //! Case driver: configuration, RNG, and the run loop.
+
+    /// Deterministic RNG handed to strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-property configuration (shim for `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+        /// Base RNG seed; combined with the test name so sibling
+        /// properties in one `proptest!` block see different streams.
+        pub seed: u64,
+        /// Maximum rejected (`prop_assume!`) cases tolerated globally
+        /// before the property errors out.
+        pub max_global_rejects: u32,
+    }
+
+    /// Default seed: ASCII "VENOM-PT" — fixed so runs reproduce.
+    pub const DEFAULT_SEED: u64 = 0x56454e4f4d2d5054;
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, seed: DEFAULT_SEED, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl Config {
+        /// Config running `cases` cases (mirrors
+        /// `ProptestConfig::with_cases`).
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases, ..Config::default() }
+        }
+
+        /// Pins the base RNG seed (shim extension; real proptest seeds from
+        /// the environment instead).
+        pub fn with_seed(self, seed: u64) -> Self {
+            Config { seed, ..self }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: discard the case, draw another.
+        Reject,
+        /// `prop_assert!` failed: the property is falsified.
+        Fail(String),
+    }
+
+    /// Drives one property for the configured number of cases.
+    pub struct TestRunner {
+        config: Config,
+        name: &'static str,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner; `name` disambiguates the RNG stream and
+        /// prefixes failure reports.
+        pub fn new(config: Config, name: &'static str) -> Self {
+            let mut h = config.seed;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001B3);
+            }
+            let rng = TestRng::from_seed(h);
+            TestRunner { config, name, rng }
+        }
+
+        /// Runs the case closure until `cases` successes.
+        ///
+        /// # Panics
+        /// Panics when a case fails (reporting its inputs) or when too many
+        /// cases in a row are rejected by `prop_assume!`.
+        pub fn run<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            let mut successes = 0u32;
+            let mut rejects = 0u32;
+            let mut case_index = 0u64;
+            while successes < self.config.cases {
+                case_index += 1;
+                match case(&mut self.rng) {
+                    Ok(()) => successes += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= self.config.max_global_rejects,
+                            "property {}: too many prop_assume! rejections \
+                             ({rejects}) — strategy and assumption disagree",
+                            self.name,
+                        );
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} falsified at case #{case_index} \
+                             (seed 0x{:016x}):\n{msg}",
+                            self.name, self.config.seed,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value (shim for
+    /// `proptest::strategy::Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as u128).wrapping_sub(self.start as u128);
+                    let off = (rng.next_u64() as u128) % width;
+                    (self.start as u128).wrapping_add(off) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let width = (*self.end() as u128)
+                        .wrapping_sub(*self.start() as u128)
+                        .wrapping_add(1);
+                    let off = (rng.next_u64() as u128) % width;
+                    (*self.start() as u128).wrapping_add(off) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start
+                        + rng.next_unit_f64() as $t * (self.end - self.start);
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Full-bit-domain generation (shim for `proptest::arbitrary`). For
+    /// floats this covers every bit pattern, NaN and infinities included,
+    /// matching real proptest's `any::<f32>()` spirit.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_from_bits {
+        ($($t:ty => $w:expr),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    (rng.next_u64() >> (64 - $w)) as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_from_bits!(u8 => 8, u16 => 16, u32 => 32, u64 => 64, usize => 64);
+
+    impl Arbitrary for i32 {
+        fn arbitrary(rng: &mut TestRng) -> i32 {
+            (rng.next_u64() >> 32) as u32 as i32
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits((rng.next_u64() >> 32) as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy over `T`'s full domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: core::marker::PhantomData }
+    }
+}
+
+pub mod sample {
+    //! Strategies drawing from explicit candidate sets.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list (see [`select`]).
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+
+    /// Strategy choosing uniformly from `options`.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+/// Declares property tests (shim for `proptest::proptest!`).
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner =
+                $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            runner.run(
+                |__proptest_rng| -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            __proptest_rng,
+                        );
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// In-case assertion: on failure the case (with its generated inputs) is
+/// reported and the property panics.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// In-case equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        $crate::prop_assert!($left == $right, $($fmt)*);
+    }};
+}
+
+/// Discards the current case when `cond` is false; the runner draws a
+/// fresh one without counting this against `cases`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject,
+            );
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Config, TestRng};
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..10_000 {
+            let x = (3usize..17).sample(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (1u32..=8).sample(&mut rng);
+            assert!((1..=8).contains(&y));
+            let f = (-2.0f32..5.0).sample(&mut rng);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (1usize..=4, 2usize..10).prop_map(|(a, b)| a * 100 + b);
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..1000 {
+            let v = strat.sample(&mut rng);
+            assert!((100..=409).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn select_draws_all_options() {
+        let strat = crate::sample::select(vec![4usize, 8, 10]);
+        let mut rng = TestRng::from_seed(3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            match strat.sample(&mut rng) {
+                4 => seen[0] = true,
+                8 => seen[1] = true,
+                10 => seen[2] = true,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn same_config_same_stream() {
+        let strat = 0u64..1_000_000;
+        let mut a = TestRng::from_seed(9);
+        let mut b = TestRng::from_seed(9);
+        for _ in 0..100 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(Config::with_cases(64))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..1000, y in any::<u16>()) {
+            prop_assume!(y != 0);
+            prop_assert!(x < 1000);
+            prop_assert_eq!(y, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(Config::with_cases(8))]
+            #[allow(dead_code)]
+            fn inner(x in 0u64..10) {
+                prop_assert!(x < 5, "x={x}");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline shim for the subset of the `rayon` crate API this workspace uses.
+//!
+//! The build environment has no access to crates.io (see `vendor/README.md`),
+//! so this crate re-implements the three parallel-iterator shapes the
+//! kernels actually call, with real data parallelism on scoped OS threads:
+//!
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)` — the SM-grid loops
+//!   of `venom-core::kernel` and `venom-tensor::gemm_parallel`;
+//! * `vec.par_iter().map(f).collect()` — Fisher block inversion;
+//! * `(0..n).into_par_iter().map(f).collect()` — per-block OBS pruning.
+//!
+//! Unlike real rayon there is no work-stealing pool: each call site splits
+//! its items into `available_parallelism()` contiguous batches and runs one
+//! scoped thread per batch. That preserves rayon's two load-bearing
+//! guarantees — disjoint `&mut` chunks and order-preserving `collect` —
+//! with bounded thread counts and no unsafe code.
+
+use std::thread;
+
+/// Number of worker threads a parallel call may use.
+fn max_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over every item, in parallel batches, returning results in the
+/// input order.
+fn par_map_vec<I, B, F>(items: Vec<I>, f: &F) -> Vec<B>
+where
+    I: Send,
+    B: Send,
+    F: Fn(I) -> B + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let per = n.div_ceil(threads);
+    let mut batches: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let batch: Vec<I> = it.by_ref().take(per).collect();
+        if batch.is_empty() {
+            break;
+        }
+        batches.push(batch);
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| s.spawn(move || batch.into_iter().map(f).collect::<Vec<B>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+/// A materialized "parallel" iterator: the full item list plus the deferred
+/// combinator chain. All shim iterators reduce to this.
+pub struct ParIter<I: Send> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pairs each item with its index (order-preserving).
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Deferred map; executed in parallel by the consuming call.
+    pub fn map<B: Send, F: Fn(I) -> B + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        par_map_vec(self.items, &|item| f(item));
+    }
+
+    /// Collects the items (already materialized) into `C`.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator (see [`ParIter::map`]).
+pub struct ParMap<I: Send, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<B, C>(self) -> C
+    where
+        B: Send,
+        F: Fn(I) -> B + Sync,
+        C: FromIterator<B>,
+    {
+        par_map_vec(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// `par_iter()` on slices (and, via deref, `Vec`), mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait ParallelSlice<T: Sync> {
+    /// Borrowing parallel iterator over the elements.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_chunks_mut()` on slices, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of `chunk_size`
+    /// elements (the last chunk may be shorter).
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be nonzero");
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
+/// `into_par_iter()`, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for core::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_covers_whole_slice() {
+        let mut data = vec![0u64; 1003];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 64 + j) as u64;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..10_000).into_par_iter().map(|i| i * i).collect();
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn par_iter_on_vec_by_reference() {
+        let starts: Vec<usize> = (0..97).map(|i| i * 3).collect();
+        let sums: Vec<usize> = starts.par_iter().map(|&s| s + 1).collect();
+        assert_eq!(sums.len(), 97);
+        assert_eq!(sums[96], 96 * 3 + 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut empty: Vec<u8> = Vec::new();
+        empty.par_chunks_mut(8).enumerate().for_each(|_| unreachable!());
+        let v: Vec<u8> = Vec::new().into_par_iter().map(|x: u8| x).collect();
+        assert!(v.is_empty());
+    }
+}
