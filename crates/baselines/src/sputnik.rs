@@ -87,7 +87,7 @@ impl SputnikSpmm {
         let counts = Self::counts(a, b.cols());
         let timing = simulate(dev, &counts).expect("small fixed blocks always fit");
         let c = match mode {
-            Mode::Functional => a.spmm_ref(b),
+            Mode::Functional => a.spmm_parallel(b),
             Mode::ModelOnly => Matrix::<f32>::zeros(a.shape().0, b.cols()),
         };
         BaselineResult { c, timing, counts }

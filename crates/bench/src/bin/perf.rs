@@ -1,0 +1,206 @@
+//! `perf` — CPU wall-clock harness for the functional execution engine.
+//!
+//! Times the *functional* (bit-faithful numerics) paths — Spatha SpMM, the
+//! dense GEMM baseline, and V:N:M compression — at paper-scale transformer
+//! shapes, over fixed iteration counts, and writes `BENCH_SPMM.json`
+//! (median wall-ms per op plus speedup against the retained slow reference
+//! paths). Every PR can regenerate the file, giving the repository a
+//! machine-readable perf trajectory for the staged-operand pipeline.
+//!
+//! Usage: `cargo run --release -p venom-bench --bin perf -- [--quick]
+//! [--iters N] [--ref-iters N] [--out PATH]`
+//!
+//! `--quick` drops to minimal iteration counts (CI smoke); the series list
+//! is identical in both modes so consumers can rely on the keys.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use venom_bench::vnm_weight;
+use venom_core::{spmm, SpmmOptions};
+use venom_format::{VnmConfig, VnmMatrix};
+use venom_pruner::magnitude;
+use venom_sim::DeviceConfig;
+use venom_tensor::{gemm, random};
+
+struct Args {
+    iters: usize,
+    ref_iters: usize,
+    out: String,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { iters: 5, ref_iters: 3, out: "BENCH_SPMM.json".to_string(), quick: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => {
+                args.quick = true;
+                args.iters = 2;
+                args.ref_iters = 1;
+            }
+            "--iters" => {
+                args.iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N");
+            }
+            "--ref-iters" => {
+                args.ref_iters = it.next().and_then(|v| v.parse().ok()).expect("--ref-iters N");
+            }
+            "--out" => {
+                args.out = it.next().expect("--out PATH");
+            }
+            other => panic!("unknown flag {other} (try --quick / --iters / --ref-iters / --out)"),
+        }
+    }
+    assert!(args.iters >= 1 && args.ref_iters >= 1, "iteration counts must be positive");
+    args
+}
+
+/// Median wall-clock milliseconds of `iters` runs of `f` (after one
+/// warm-up run that also primes the decode table and thread pool).
+fn median_ms<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut ts: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ts[ts.len() / 2]
+}
+
+struct Series {
+    op: &'static str,
+    label: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+    config: String,
+    median_ms: f64,
+    /// `(reference name, reference median ms)` where a slow reference path
+    /// is retained for comparison.
+    reference: Option<(&'static str, f64)>,
+}
+
+impl Series {
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        write!(
+            s,
+            "    {{\"op\": \"{}\", \"label\": \"{}\", \"r\": {}, \"k\": {}, \"c\": {}, \
+             \"config\": \"{}\", \"median_ms\": {:.3}",
+            self.op, self.label, self.r, self.k, self.c, self.config, self.median_ms
+        )
+        .unwrap();
+        if let Some((name, ref_ms)) = self.reference {
+            write!(
+                s,
+                ", \"ref\": \"{}\", \"ref_median_ms\": {:.3}, \"speedup_vs_ref\": {:.2}",
+                name,
+                ref_ms,
+                ref_ms / self.median_ms
+            )
+            .unwrap();
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn spmm_series(
+    label: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+    cfg: VnmConfig,
+    args: &Args,
+    with_ref: bool,
+) -> Series {
+    let a = vnm_weight(r, k, cfg, 1);
+    let b = random::normal_matrix(k, c, 0.0, 1.0, 2).to_half();
+    let dev = DeviceConfig::rtx3090();
+    let opts = SpmmOptions::default();
+    let median = median_ms(args.iters, || spmm(&a, &b, &opts, &dev).c);
+    let reference = with_ref
+        .then(|| ("VnmMatrix::spmm_ref", median_ms(args.ref_iters, || a.spmm_ref(&b))));
+    eprintln!("spmm/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    Series { op: "spmm", label, r, k, c, config: cfg.to_string(), median_ms: median, reference }
+}
+
+fn gemm_series(
+    label: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+    args: &Args,
+    with_ref: bool,
+) -> Series {
+    let a = random::glorot_matrix(r, k, 3).to_half();
+    let b = random::normal_matrix(k, c, 0.0, 1.0, 4).to_half();
+    let median = median_ms(args.iters, || gemm::gemm_parallel(&a, &b));
+    let reference =
+        with_ref.then(|| ("gemm_ref", median_ms(args.ref_iters, || gemm::gemm_ref(&a, &b))));
+    eprintln!("gemm/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    Series { op: "gemm", label, r, k, c, config: "dense".to_string(), median_ms: median, reference }
+}
+
+fn compress_series(label: &'static str, r: usize, k: usize, cfg: VnmConfig, args: &Args) -> Series {
+    let w = random::glorot_matrix(r, k, 5);
+    let mask = magnitude::prune_vnm(&w, cfg);
+    let wh = mask.apply_f32(&w).to_half();
+    let median = median_ms(args.iters, || VnmMatrix::compress(&wh, &mask, cfg));
+    eprintln!("compress/{label}: {median:.1} ms");
+    Series {
+        op: "compress",
+        label,
+        r,
+        k,
+        c: 0,
+        config: cfg.to_string(),
+        median_ms: median,
+        reference: None,
+    }
+}
+
+fn ref_note(reference: &Option<(&'static str, f64)>, median_ms: f64) -> String {
+    match reference {
+        Some((name, ms)) => format!(" (ref {name}: {ms:.1} ms, {:.2}x)", ms / median_ms),
+        None => String::new(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Figure 9 fixes the outer dimensions at one BERT-large linear layer
+    // (R = 1024, C = 4096) and sweeps the sparsified K; the harness takes
+    // three points of that sweep plus compression at the same weights.
+    let series = vec![
+        spmm_series("fig09_k768_80pct", 1024, 768, 4096, VnmConfig::new(128, 2, 10), &args, true),
+        spmm_series("fig09_k1536_80pct", 1024, 1536, 4096, VnmConfig::new(128, 2, 10), &args, true),
+        spmm_series("fig09_k3072_90pct", 1024, 3072, 4096, VnmConfig::new(128, 2, 20), &args, true),
+        gemm_series("bert_qkv_768", 1024, 768, 1024, &args, true),
+        gemm_series("bert_ffn_768x4096", 1024, 768, 4096, &args, false),
+        gemm_series("bert_k3072", 1024, 3072, 1024, &args, false),
+        compress_series("bert_1024x4096_80pct", 1024, 4096, VnmConfig::new(128, 2, 10), &args),
+        compress_series("bert_1024x12288_95pct", 1024, 12288, VnmConfig::new(128, 2, 40), &args),
+        compress_series("gpt3_4096x4096_75pct", 4096, 4096, VnmConfig::new(64, 2, 8), &args),
+    ];
+
+    let mut json = String::from("{\n");
+    writeln!(json, "  \"schema\": 1,").unwrap();
+    writeln!(json, "  \"generated_by\": \"venom-bench perf\",").unwrap();
+    writeln!(json, "  \"mode\": \"{}\",", if args.quick { "quick" } else { "full" }).unwrap();
+    writeln!(json, "  \"iters\": {},", args.iters).unwrap();
+    writeln!(json, "  \"ref_iters\": {},", args.ref_iters).unwrap();
+    writeln!(json, "  \"threads\": {threads},").unwrap();
+    writeln!(json, "  \"series\": [").unwrap();
+    let rows: Vec<String> = series.iter().map(Series::to_json).collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    eprintln!("wrote {}", args.out);
+}

@@ -9,6 +9,7 @@
 //! applied to the accumulators.
 
 use crate::kernel::{spmm, SpmmOptions, SpmmResult};
+use rayon::prelude::*;
 use venom_fp16::Half;
 use venom_format::VnmMatrix;
 use venom_sim::DeviceConfig;
@@ -63,13 +64,15 @@ pub fn spmm_fused(
     );
     let mut res = spmm(a, b, opts, dev);
 
-    // Functional epilogue on the accumulators (stage 3 in the real kernel).
-    for r in 0..res.c.rows() {
+    // Functional epilogue on the accumulators (stage 3 in the real kernel),
+    // applied in parallel over output rows like the staged main loop.
+    let cols = res.c.cols();
+    res.c.as_mut_slice().par_chunks_mut(cols).enumerate().for_each(|(r, row)| {
         let bv = bias.get(r).copied().unwrap_or(0.0);
-        for x in res.c.row_mut(r) {
+        for x in row {
             *x = act.apply(*x + bv);
         }
-    }
+    });
 
     // Timing: fusion removes one elementwise kernel — launch plus a DRAM
     // round-trip of C — compared to the unfused sequence. The fused kernel

@@ -5,9 +5,16 @@
 //! each block gathers its selected B rows (stage 1), decomposes its warp
 //! tiles into `mma.sp.m16n8k32` instruction tiles executed by the simulated
 //! tensor core (stage 2), and writes the output tile back (stage 3). The
-//! arithmetic goes through [`venom_sim::tensorcore::mma_sp_f16`], so the
-//! result carries genuine tensor-core numerics (exact fp16 products, f32
-//! accumulation in instruction order).
+//! arithmetic goes through
+//! [`venom_sim::tensorcore::mma_sp_f32_strided`] over *f32-staged*
+//! operands: both the compressed values and the dense RHS are decoded from
+//! fp16 exactly once per call (the conversion is exact), so the result
+//! carries genuine tensor-core numerics (exact fp16 products, f32
+//! accumulation in instruction order) bit-identical to the retained
+//! `Half`-operand reference [`venom_sim::tensorcore::mma_sp_f16`] — at a
+//! fraction of the decode work. Per-block scratch lives in a per-thread
+//! [`Workspace`] instead of fresh allocations, and the block grid is split
+//! over rows *and* columns when there are fewer block rows than cores.
 
 use crate::autotune::default_config;
 use crate::counts::build_counts;
@@ -16,7 +23,7 @@ use rayon::prelude::*;
 use venom_fp16::Half;
 use venom_format::{VnmMatrix, SELECTED_COLUMNS};
 use venom_sim::pipeline::{simulate, KernelCounts, KernelTiming};
-use venom_sim::tensorcore::mma_sp_f16;
+use venom_sim::tensorcore::mma_sp_f32_strided;
 use venom_sim::DeviceConfig;
 use venom_tensor::Matrix;
 
@@ -153,85 +160,215 @@ pub fn spmm_time_tuned(
     simulate(dev, &counts).expect("autotuned configuration fits by construction")
 }
 
-/// Stage 1–3 functional execution over the block grid.
+/// Per-worker scratch of the staged pipeline, reused across every block a
+/// thread executes (the per-block `Vec` allocations of the pre-staging
+/// engine were a measurable fraction of small-shape wall time). Buffers are
+/// reallocated only when the requested sizes change.
+struct Workspace {
+    /// Staged "shared memory" B gather: `k_steps * mma.k` selected rows,
+    /// each padded to a multiple of `mma.n` columns, already decoded to f32.
+    b_tile: Vec<f32>,
+    /// Staged LHS fragment: `mma.m x mma.k/2` pre-decoded stored values.
+    a_vals: Vec<f32>,
+    /// Metadata aligned with `a_vals`.
+    a_meta: Vec<u8>,
+    /// f32 accumulators for the partial-width column-tail fragments (the
+    /// full-width fragments accumulate directly into the output band).
+    d_tail: Vec<f32>,
+}
+
+impl Workspace {
+    const fn new() -> Self {
+        Workspace { b_tile: Vec::new(), a_vals: Vec::new(), a_meta: Vec::new(), d_tail: Vec::new() }
+    }
+
+    fn ensure(&mut self, b_tile_len: usize, frag_len: usize, d_tail_len: usize) {
+        if self.b_tile.len() != b_tile_len {
+            self.b_tile = vec![0.0; b_tile_len];
+        }
+        if self.a_vals.len() != frag_len {
+            self.a_vals = vec![0.0; frag_len];
+            self.a_meta = vec![0; frag_len];
+        }
+        if self.d_tail.len() != d_tail_len {
+            self.d_tail = vec![0.0; d_tail_len];
+        }
+    }
+}
+
+thread_local! {
+    /// One workspace per worker thread; rayon tasks on the same thread
+    /// share it, mirroring how a persistent SM reuses its shared memory.
+    static WORKSPACE: std::cell::RefCell<Workspace> =
+        const { std::cell::RefCell::new(Workspace::new()) };
+}
+
+/// The f32-staged operands of one SpMM call: both the compressed values and
+/// the dense RHS are decoded exactly once (the `f16 -> f32` conversion is
+/// exact, so the staged products — and therefore the results — are
+/// bit-identical to decoding at every multiply-accumulate).
+struct Staged<'a> {
+    a: &'a VnmMatrix,
+    /// `a.values()` decoded to f32; `0.0` still marks padding slots.
+    a_f32: Vec<f32>,
+    /// The dense RHS decoded to f32, row-major `K x c_cols`.
+    b_f32: Vec<f32>,
+    b_cols: usize,
+    tile: TileConfig,
+}
+
+/// Stage 0–3 functional execution over the block grid.
 fn execute_functional(a: &VnmMatrix, b: &Matrix<Half>, tile: &TileConfig) -> Matrix<f32> {
     let (r, _k) = a.shape();
     let c_cols = b.cols();
-    let bs_r = tile.bs_r;
-    let row_tiles = r.div_ceil(bs_r);
+    let row_tiles = r.div_ceil(tile.bs_r);
     let col_tiles = c_cols.div_ceil(tile.bs_c);
 
+    // Stage 0: decode both operands to f32 once, up front.
+    let staged = Staged {
+        a,
+        a_f32: venom_fp16::slice::decode_f32_vec(a.values()),
+        b_f32: venom_fp16::slice::decode_f32_vec(b.as_slice()),
+        b_cols: c_cols,
+        tile: *tile,
+    };
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if col_tiles == 1 || row_tiles >= threads {
+        execute_rows(&staged)
+    } else {
+        // Tall-skinny output (fewer block rows than workers): split the
+        // grid over both dimensions so every core gets work.
+        execute_grid(&staged)
+    }
+}
+
+/// 1-D schedule: one rayon task per block row (grid Y). The B gather
+/// happens once per block row at full output width; every column fragment
+/// slices the same staged tile.
+fn execute_rows(staged: &Staged<'_>) -> Matrix<f32> {
+    let (r, _) = staged.a.shape();
+    let c_cols = staged.b_cols;
+    let bs_r = staged.tile.bs_r;
     let mut out = vec![0.0f32; r * c_cols];
-    // One rayon task per block row (grid Y), mirroring the SM schedule; the
-    // inner loop walks the block columns.
-    out.par_chunks_mut(bs_r * c_cols)
-        .enumerate()
-        .for_each(|(rt, out_band)| {
-            debug_assert!(rt < row_tiles);
-            for ct in 0..col_tiles {
-                execute_block(a, b, tile, rt, ct, out_band);
-            }
-        });
+    out.par_chunks_mut(bs_r * c_cols).enumerate().for_each(|(rt, out_band)| {
+        execute_band(staged, rt, 0, c_cols, out_band, c_cols);
+    });
     Matrix::from_vec(r, c_cols, out)
 }
 
-/// One thread block: computes the `bs_r x bs_c` output tile `(rt, ct)`.
-fn execute_block(
-    a: &VnmMatrix,
-    b: &Matrix<Half>,
-    tile: &TileConfig,
+/// 2-D schedule: one rayon task per `(rt, ct)` block. Each task computes
+/// its tile into a private buffer (the tiles of one band are not contiguous
+/// in the output), which is then assembled sequentially. Identical
+/// arithmetic to [`execute_rows`] — each output element is produced by
+/// exactly one block either way.
+fn execute_grid(staged: &Staged<'_>) -> Matrix<f32> {
+    let (r, _) = staged.a.shape();
+    let c_cols = staged.b_cols;
+    let tile = staged.tile;
+    let row_tiles = r.div_ceil(tile.bs_r);
+    let col_tiles = c_cols.div_ceil(tile.bs_c);
+
+    let tiles: Vec<Vec<f32>> = (0..row_tiles * col_tiles)
+        .into_par_iter()
+        .map(|t| {
+            let (rt, ct) = (t / col_tiles, t % col_tiles);
+            let rows_here = tile.bs_r.min(r - rt * tile.bs_r);
+            let col0 = ct * tile.bs_c;
+            let cols_here = tile.bs_c.min(c_cols - col0);
+            let mut buf = vec![0.0f32; rows_here * cols_here];
+            execute_band(staged, rt, col0, cols_here, &mut buf, cols_here);
+            buf
+        })
+        .collect();
+
+    let mut out = vec![0.0f32; r * c_cols];
+    for (t, buf) in tiles.iter().enumerate() {
+        let (rt, ct) = (t / col_tiles, t % col_tiles);
+        let row0 = rt * tile.bs_r;
+        let rows_here = tile.bs_r.min(r - row0);
+        let col0 = ct * tile.bs_c;
+        let cols_here = tile.bs_c.min(c_cols - col0);
+        for i in 0..rows_here {
+            out[(row0 + i) * c_cols + col0..(row0 + i) * c_cols + col0 + cols_here]
+                .copy_from_slice(&buf[i * cols_here..(i + 1) * cols_here]);
+        }
+    }
+    Matrix::from_vec(r, c_cols, out)
+}
+
+/// One thread block: computes the `bs_r x cols_here` output tile starting
+/// at `(rt * bs_r, col0)` into `out` (row stride `out_stride`, row 0 =
+/// block row 0). `out` must be zero-initialised: the accumulators chain
+/// directly on top of it, in the same per-element order as the reference
+/// paths, so results are bit-identical to [`VnmMatrix::spmm_ref`].
+fn execute_band(
+    staged: &Staged<'_>,
     rt: usize,
-    ct: usize,
-    out_band: &mut [f32],
+    col0: usize,
+    cols_here: usize,
+    out: &mut [f32],
+    out_stride: usize,
 ) {
+    let a = staged.a;
+    let tile = &staged.tile;
     let (r, _) = a.shape();
     let cfg = a.config();
     let n = cfg.n;
     let k_groups = a.k_groups();
-    let c_cols = b.cols();
 
     let row0 = rt * tile.bs_r;
     let rows_here = tile.bs_r.min(r - row0);
-    let col0 = ct * tile.bs_c;
-    let cols_here = tile.bs_c.min(c_cols - col0);
 
-    // Stage 1: gather the selected B rows for every K group into the
-    // "shared memory" tile: groups x 4 selected rows x bs_c columns.
-    let mut b_tile = vec![Half::ZERO; k_groups * SELECTED_COLUMNS * cols_here];
-    for g in 0..k_groups {
-        let sel = a.selected_b_rows(rt, g);
-        for (j, &brow) in sel.iter().enumerate() {
-            let src = &b.row(brow)[col0..col0 + cols_here];
-            let dst_off = (g * SELECTED_COLUMNS + j) * cols_here;
-            b_tile[dst_off..dst_off + cols_here].copy_from_slice(src);
-        }
-    }
-
-    // Stage 2: decompose into mma.sp instruction tiles. Fragment buffers
-    // are reused across instructions (the "register file").
     let shape = tile.mma;
     let groups_per_step = shape.k / SELECTED_COLUMNS; // 8 groups per k-step
     let k_steps = k_groups.div_ceil(groups_per_step);
-    let mut a_vals = vec![Half::ZERO; shape.m * shape.k / 2];
-    let mut a_meta = vec![0u8; shape.m * shape.k / 2];
-    let mut b_frag = vec![Half::ZERO; shape.k * shape.n];
-    let mut d_frag = vec![0.0f32; shape.m * shape.n];
+    // The staged tile pads each gathered row to a multiple of mma.n so
+    // fragment reads never need a column guard; the padding is zero, so a
+    // tail fragment's out-of-range products are exact zeros that the
+    // write-back then drops.
+    let width = cols_here.div_ceil(shape.n) * shape.n;
+    let full_nts = cols_here / shape.n;
+    let tail_cols = cols_here - full_nts * shape.n;
 
-    let values = a.values();
     let m_indices = a.m_indices();
     let slots_per_row = k_groups * n;
+    let frag_len = shape.m * shape.k / 2;
 
-    for mt in 0..tile.bs_r.div_ceil(shape.m) {
-        let frag_row0 = row0 + mt * shape.m;
-        for nt in 0..cols_here.div_ceil(shape.n) {
-            let frag_col0 = nt * shape.n;
-            let frag_cols = shape.n.min(cols_here - frag_col0);
-            d_frag.iter_mut().for_each(|x| *x = 0.0);
+    WORKSPACE.with(|cell| {
+        let ws = &mut *cell.borrow_mut();
+        ws.ensure(k_steps * shape.k * width, frag_len, tile.bs_r * shape.n);
 
-            for ks in 0..k_steps {
-                let g0 = ks * groups_per_step;
+        // Stage 1: gather the selected (pre-decoded) B rows of every K
+        // group into the "shared memory" tile — once per block, shared by
+        // all column fragments.
+        for g in 0..k_groups {
+            let sel = a.selected_b_rows(rt, g);
+            for (j, &brow) in sel.iter().enumerate() {
+                let src = &staged.b_f32[brow * staged.b_cols + col0..][..cols_here];
+                let dst = &mut ws.b_tile[(g * SELECTED_COLUMNS + j) * width..][..width];
+                dst[..cols_here].copy_from_slice(src);
+                dst[cols_here..].fill(0.0);
+            }
+        }
+        if tail_cols > 0 {
+            ws.d_tail[..rows_here * shape.n].fill(0.0);
+        }
 
-                // LHS fragment: 16 rows x (k/2) stored values + metadata.
+        // Stage 2: mma.sp instruction tiles. Loop order (k-step, then row
+        // fragment, then column fragment) builds each LHS fragment once and
+        // reuses it across the whole tile width; every full-width fragment
+        // accumulates straight into the output band.
+        for ks in 0..k_steps {
+            let g0 = ks * groups_per_step;
+            let b_step = &ws.b_tile[ks * shape.k * width..];
+            for mt in 0..tile.bs_r / shape.m {
+                let frag_row0 = row0 + mt * shape.m;
+                if frag_row0 >= row0 + rows_here {
+                    break;
+                }
+
+                // LHS fragment: 16 rows x (k/2) staged values + metadata.
                 for i in 0..shape.m {
                     let row = frag_row0 + i;
                     for gg in 0..groups_per_step {
@@ -240,47 +377,56 @@ fn execute_block(
                             let dst = i * (shape.k / 2) + gg * 2 + s;
                             if row < r && g < k_groups && s < n {
                                 let slot = row * slots_per_row + g * n + s;
-                                a_vals[dst] = values[slot];
-                                a_meta[dst] = m_indices[slot];
+                                ws.a_vals[dst] = staged.a_f32[slot];
+                                ws.a_meta[dst] = m_indices[slot];
                             } else {
-                                a_vals[dst] = Half::ZERO;
-                                a_meta[dst] = 0;
+                                ws.a_vals[dst] = 0.0;
+                                ws.a_meta[dst] = 0;
                             }
                         }
                     }
                 }
 
-                // RHS fragment: the gathered rows of this k-step.
-                for gg in 0..groups_per_step {
-                    let g = g0 + gg;
-                    for j in 0..SELECTED_COLUMNS {
-                        for cc in 0..shape.n {
-                            let dst = (gg * SELECTED_COLUMNS + j) * shape.n + cc;
-                            b_frag[dst] = if g < k_groups && cc < frag_cols {
-                                b_tile[(g * SELECTED_COLUMNS + j) * cols_here + frag_col0 + cc]
-                            } else {
-                                Half::ZERO
-                            };
-                        }
-                    }
+                let d_row0 = mt * shape.m * out_stride;
+                for nt in 0..full_nts {
+                    let frag_col0 = nt * shape.n;
+                    mma_sp_f32_strided(
+                        shape,
+                        &ws.a_vals,
+                        &ws.a_meta,
+                        &b_step[frag_col0..],
+                        width,
+                        &mut out[d_row0 + frag_col0..],
+                        out_stride,
+                    );
                 }
-
-                mma_sp_f16(shape, &a_vals, &a_meta, &b_frag, &mut d_frag);
-            }
-
-            // Stage 3: write the accumulator fragment to the output band.
-            for i in 0..shape.m {
-                let row = frag_row0 + i;
-                if row >= row0 + rows_here || row >= a.shape().0 {
-                    break;
-                }
-                let band_row = row - row0;
-                for cc in 0..frag_cols {
-                    out_band[band_row * c_cols + col0 + frag_col0 + cc] += d_frag[i * shape.n + cc];
+                if tail_cols > 0 {
+                    // The column tail keeps its own accumulators across all
+                    // k-steps (writing back per step would split the f32
+                    // accumulation chain and change the rounding).
+                    mma_sp_f32_strided(
+                        shape,
+                        &ws.a_vals,
+                        &ws.a_meta,
+                        &b_step[full_nts * shape.n..],
+                        width,
+                        &mut ws.d_tail[mt * shape.m * shape.n..],
+                        shape.n,
+                    );
                 }
             }
         }
-    }
+
+        // Stage 3: only the column tail needs an explicit write-back.
+        if tail_cols > 0 {
+            let frag_col0 = full_nts * shape.n;
+            for i in 0..rows_here {
+                for cc in 0..tail_cols {
+                    out[i * out_stride + frag_col0 + cc] += ws.d_tail[i * shape.n + cc];
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -395,6 +541,40 @@ mod tests {
                 > base.counts.smem_epilogue_transactions_per_block
         );
         assert!(narrow.timing.time_ms >= base.timing.time_ms);
+    }
+
+    #[test]
+    fn staged_kernel_is_bitwise_identical_to_spmm_ref() {
+        // The staged pipeline accumulates every output element in the same
+        // (group, slot) order as the compressed-format oracle, with the
+        // same exact products — so the match is exact, not approximate.
+        for (v, n, m) in [(16usize, 2usize, 8usize), (32, 2, 16), (64, 2, 8)] {
+            let cfg = VnmConfig::new(v, n, m);
+            let a = fixture(2 * v + 7, 5 * m + 3, cfg, v as u64);
+            let b = random::normal_matrix(5 * m + 3, 43, 0.0, 1.0, v as u64 + 1).to_half();
+            let got = spmm(&a, &b, &SpmmOptions::default(), &dev());
+            let want = a.spmm_ref(&b);
+            assert_eq!(got.c, want, "V={v} N={n} M={m}");
+        }
+    }
+
+    #[test]
+    fn row_and_grid_schedules_match_bitwise() {
+        let cfg = VnmConfig::new(32, 2, 8);
+        let a = fixture(70, 93, cfg, 21);
+        let b = random::normal_matrix(93, 75, 0.0, 1.0, 22).to_half();
+        let tile = TileConfig::new(32, 32, 32, 32, 32, 2);
+        let staged = Staged {
+            a: &a,
+            a_f32: venom_fp16::slice::decode_f32_vec(a.values()),
+            b_f32: venom_fp16::slice::decode_f32_vec(b.as_slice()),
+            b_cols: b.cols(),
+            tile,
+        };
+        let rows = execute_rows(&staged);
+        let grid = execute_grid(&staged);
+        assert_eq!(rows, grid);
+        assert_eq!(rows, a.spmm_ref(&b));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! K columns, exactly mirroring stage 1's gather in reverse.
 
 use crate::kernel::ExecMode;
+use rayon::prelude::*;
 use venom_fp16::Half;
 use venom_format::{SparsityMask, VnmConfig, VnmMatrix, SELECTED_COLUMNS};
 use venom_sim::pipeline::{simulate, KernelCounts, KernelTiming};
@@ -85,25 +86,47 @@ pub fn sddmm(
 
     let dense = match mode {
         ExecMode::ModelOnly => Matrix::<Half>::zeros(q.rows(), k.cols()),
-        ExecMode::Functional => {
-            let mut out = Matrix::<Half>::zeros(q.rows(), k.cols());
-            for r in 0..q.rows() {
-                for c in 0..k.cols() {
-                    if !pattern.get(r, c) {
-                        continue;
-                    }
-                    let mut acc = 0.0f32;
-                    for kk in 0..q.cols() {
-                        acc = q.get(r, kk).mac_f32(k.get(kk, c), acc);
-                    }
-                    out.set(r, c, Half::from_f32(acc));
-                }
-            }
-            out
-        }
+        ExecMode::Functional => execute_functional(q, k, pattern),
     };
     let out = VnmMatrix::compress(&dense, pattern, cfg);
     SddmmResult { out, timing, counts }
+}
+
+/// Functional SDDMM over f32-staged operands: `Q` is decoded row-major,
+/// `K` is decoded *transposed* (one contiguous column per sampled dot
+/// product), both exactly once. Each sampled position accumulates its dot
+/// product in the same `kk` order as a scalar `mac_f32` chain, so the
+/// rounded `Half` outputs are bit-identical to the pre-staging loop. Rows
+/// of the pattern are processed in parallel.
+fn execute_functional(q: &Matrix<Half>, k: &Matrix<Half>, pattern: &SparsityMask) -> Matrix<Half> {
+    let (rows, d, cols) = (q.rows(), q.cols(), k.cols());
+    let q_f32 = venom_fp16::slice::decode_f32_vec(q.as_slice());
+    // K transposed: kt[c * d + kk] = K[kk][c].
+    let table = venom_fp16::f16_to_f32_table();
+    let mut kt_f32 = vec![0.0f32; d * cols];
+    for kk in 0..d {
+        let krow = k.row(kk);
+        for c in 0..cols {
+            kt_f32[c * d + kk] = table[krow[c].to_bits() as usize];
+        }
+    }
+
+    let mut out = vec![Half::ZERO; rows * cols];
+    out.par_chunks_mut(cols).enumerate().for_each(|(r, orow)| {
+        let qrow = &q_f32[r * d..(r + 1) * d];
+        for (c, o) in orow.iter_mut().enumerate() {
+            if !pattern.get(r, c) {
+                continue;
+            }
+            let kcol = &kt_f32[c * d..(c + 1) * d];
+            let mut acc = 0.0f32;
+            for (&qv, &kv) in qrow.iter().zip(kcol) {
+                acc += qv * kv;
+            }
+            *o = Half::from_f32(acc);
+        }
+    });
+    Matrix::from_vec(rows, cols, out)
 }
 
 #[cfg(test)]

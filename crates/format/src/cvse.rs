@@ -8,6 +8,7 @@
 //! `l`-value vectors, contiguously — the layout that lets a tensor-core
 //! kernel gather whole operand fragments per kept vector.
 
+use rayon::prelude::*;
 use venom_fp16::Half;
 use venom_tensor::Matrix;
 
@@ -157,6 +158,38 @@ impl CvseMatrix {
         }
         out
     }
+
+    /// Parallel SpMM with f32-staged operands: `B` is decoded to f32 once,
+    /// bands (disjoint row ranges) are processed in parallel. Within a band
+    /// the stored vectors accumulate in the same order as
+    /// [`Self::spmm_ref`] with the same exact products, so results are
+    /// bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `B` has the wrong number of rows.
+    pub fn spmm_parallel(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.cols, "B must have {} rows", self.cols);
+        let bcols = b.cols();
+        let b_f32 = venom_fp16::slice::decode_f32_vec(b.as_slice());
+        let table = venom_fp16::f16_to_f32_table();
+        let mut out = vec![0.0f32; self.rows * bcols];
+        out.par_chunks_mut(self.l * bcols).enumerate().for_each(|(band, chunk)| {
+            let rows_here = chunk.len() / bcols;
+            for (c, vals) in self.band(band) {
+                let brow = &b_f32[c as usize * bcols..][..bcols];
+                for (i, &v) in vals.iter().enumerate() {
+                    if i >= rows_here || v.is_zero() {
+                        continue;
+                    }
+                    let vf = table[v.to_bits() as usize];
+                    for (o, &bv) in chunk[i * bcols..(i + 1) * bcols].iter_mut().zip(brow) {
+                        *o += vf * bv;
+                    }
+                }
+            }
+        });
+        Matrix::from_vec(self.rows, bcols, out)
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +253,15 @@ mod tests {
         let via_cvse = CvseMatrix::from_dense(&a, 4).spmm_ref(&b);
         let via_dense = venom_tensor::gemm::gemm_ref(&a, &b);
         assert!(venom_tensor::norms::max_abs_diff(&via_cvse, &via_dense) < 1e-3);
+    }
+
+    #[test]
+    fn parallel_spmm_is_bitwise_identical_to_reference() {
+        // Partial final band (26 % 4 != 0) exercises the padded-row skip.
+        let a = vw_pruned(26, 36, 4, 0.4, 11);
+        let cvse = CvseMatrix::from_dense(&a, 4);
+        let b = random::normal_matrix(36, 17, 0.0, 1.0, 12).to_half();
+        assert_eq!(cvse.spmm_parallel(&b), cvse.spmm_ref(&b));
     }
 
     #[test]

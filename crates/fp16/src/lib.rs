@@ -20,10 +20,12 @@
 //! reproduction builds every substrate from scratch.
 
 mod convert;
+pub mod lut;
 mod ops;
 pub mod slice;
 
 pub use convert::{f16_bits_to_f32, f32_to_f16_bits};
+pub use lut::{f16_bits_to_f32_lut, f16_to_f32_table};
 
 /// IEEE 754 binary16 floating point number.
 ///
@@ -77,9 +79,21 @@ impl Half {
 
     /// Converts to `f32` (always exact: every binary16 value is
     /// representable in binary32).
+    ///
+    /// This is the bit-twiddling *reference* conversion; hot paths that
+    /// decode per element should prefer [`Half::to_f32_lut`], and bulk
+    /// decodes should go through [`slice::decode_f32_into`].
     #[inline]
     pub fn to_f32(self) -> f32 {
         convert::f16_bits_to_f32(self.0)
+    }
+
+    /// Table-backed conversion to `f32`; bit-identical to
+    /// [`Half::to_f32`] for every input (verified exhaustively in
+    /// [`lut`]) but a single indexed load instead of a branchy decode.
+    #[inline]
+    pub fn to_f32_lut(self) -> f32 {
+        lut::f16_bits_to_f32_lut(self.0)
     }
 
     /// Converts an `f64` to `Half` (via `f32`; double rounding is harmless

@@ -1,0 +1,74 @@
+//! 64 Ki-entry `f16 -> f32` decode table.
+//!
+//! [`crate::convert::f16_bits_to_f32`] is exact but pays a branchy
+//! bit-twiddling sequence per call; the functional kernels decode one
+//! operand per multiply-accumulate, so that sequence dominates their inner
+//! loops. Because binary16 has only 65 536 bit patterns, the whole
+//! conversion fits in a table of one `f32` per pattern (256 KiB). The table
+//! is populated once, on first use, *from the bit-exact converter itself*,
+//! so a lookup returns bit-identical results by construction — the
+//! exhaustive test below re-verifies every entry.
+//!
+//! The table is the backing store for the staged-operand pipeline
+//! (`venom-core`, `venom-tensor`): bulk decodes go through
+//! [`crate::slice::decode_f32_into`] / [`crate::slice::decode_f32_vec`],
+//! which hoist the table borrow out of the loop; scattered per-element
+//! decodes use [`crate::Half::to_f32_lut`].
+
+use crate::convert::f16_bits_to_f32;
+use std::sync::OnceLock;
+
+/// Number of entries: one per binary16 bit pattern.
+pub const LUT_ENTRIES: usize = 1 << 16;
+
+static TABLE: OnceLock<Box<[f32; LUT_ENTRIES]>> = OnceLock::new();
+
+/// The decode table itself, for callers that index many values and want the
+/// borrow hoisted out of their loop.
+#[inline]
+pub fn f16_to_f32_table() -> &'static [f32; LUT_ENTRIES] {
+    TABLE.get_or_init(|| {
+        let mut t = vec![0.0f32; LUT_ENTRIES];
+        for (bits, slot) in t.iter_mut().enumerate() {
+            *slot = f16_bits_to_f32(bits as u16);
+        }
+        // The vec has exactly LUT_ENTRIES elements, so the conversion to a
+        // fixed-size boxed array cannot fail.
+        t.into_boxed_slice().try_into().expect("table length is LUT_ENTRIES")
+    })
+}
+
+/// Table-backed `f16 bits -> f32`. Bit-identical to
+/// [`crate::convert::f16_bits_to_f32`] for every input.
+#[inline]
+pub fn f16_bits_to_f32_lut(bits: u16) -> f32 {
+    f16_to_f32_table()[bits as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every one of the 65 536 entries must match the bit-twiddling
+    /// converter exactly — including NaN payloads, compared as raw bits.
+    #[test]
+    fn exhaustive_lut_matches_reference_bitwise() {
+        let table = f16_to_f32_table();
+        for bits in 0..=u16::MAX {
+            let want = f16_bits_to_f32(bits);
+            let got = table[bits as usize];
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "h16 {bits:#06x}: lut {got} != reference {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_entry_points_agree() {
+        for bits in [0x0000u16, 0x8000, 0x3C00, 0x0001, 0x03FF, 0x7BFF, 0x7C00, 0x7E00, 0xFC01] {
+            assert_eq!(f16_bits_to_f32_lut(bits).to_bits(), f16_bits_to_f32(bits).to_bits());
+        }
+    }
+}

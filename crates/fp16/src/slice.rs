@@ -26,6 +26,29 @@ pub fn convert_into(src: &[f32], dst: &mut [Half]) {
     }
 }
 
+/// Bulk table-backed decode of `Half` values into an `f32` destination.
+///
+/// Bit-identical to calling [`Half::to_f32`] per element (the table is
+/// exhaustively verified against it) but hoists the table borrow out of
+/// the loop — this is the stage-1 primitive of the staged-operand
+/// pipeline.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn decode_f32_into(src: &[Half], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "slice length mismatch");
+    let table = crate::lut::f16_to_f32_table();
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = table[s.to_bits() as usize];
+    }
+}
+
+/// Bulk table-backed decode into a freshly allocated `Vec<f32>`.
+pub fn decode_f32_vec(src: &[Half]) -> Vec<f32> {
+    let table = crate::lut::f16_to_f32_table();
+    src.iter().map(|s| table[s.to_bits() as usize]).collect()
+}
+
 /// Dot product with `f32` accumulation (tensor-core numerics).
 ///
 /// # Panics
@@ -101,6 +124,33 @@ mod tests {
         let src = [1.0f32];
         let mut dst = vec![Half::ZERO; 2];
         convert_into(&src, &mut dst);
+    }
+
+    #[test]
+    fn batched_decode_matches_scalar_reference_bitwise() {
+        // Every interesting class: zeros, normals, subnormals, extremes.
+        let patterns: Vec<Half> = [
+            0x0000u16, 0x8000, 0x3C00, 0xBC00, 0x0001, 0x8001, 0x03FF, 0x0400, 0x7BFF, 0xFBFF,
+            0x2E66, 0x3555,
+        ]
+        .iter()
+        .map(|&b| Half::from_bits(b))
+        .collect();
+        let mut dst = vec![0.0f32; patterns.len()];
+        decode_f32_into(&patterns, &mut dst);
+        let vec = decode_f32_vec(&patterns);
+        for (i, h) in patterns.iter().enumerate() {
+            assert_eq!(dst[i].to_bits(), h.to_f32().to_bits());
+            assert_eq!(vec[i].to_bits(), h.to_f32().to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn batched_decode_rejects_length_mismatch() {
+        let src = [Half::ONE];
+        let mut dst = vec![0.0f32; 2];
+        decode_f32_into(&src, &mut dst);
     }
 
     #[test]

@@ -115,6 +115,32 @@ pub fn mma_dense_f16(shape: MmaShape, a: &[Half], b: &[Half], d: &mut [f32]) {
     }
 }
 
+/// [`mma_dense_f16`] with a pre-decoded RHS: `b` holds the exact `f32`
+/// value of each half-precision element (the `f16 -> f32` conversion is
+/// exact, so staging it ahead of time changes nothing). Bit-identical to
+/// the `Half`-RHS version — the products and the accumulation order are
+/// unchanged.
+///
+/// # Panics
+/// Panics if slice lengths do not match the shape.
+pub fn mma_dense_f16_f32b(shape: MmaShape, a: &[Half], b: &[f32], d: &mut [f32]) {
+    assert_eq!(a.len(), shape.m * shape.k, "A fragment size");
+    assert_eq!(b.len(), shape.k * shape.n, "B fragment size");
+    assert_eq!(d.len(), shape.m * shape.n, "D fragment size");
+    for i in 0..shape.m {
+        for kk in 0..shape.k {
+            let av = a[i * shape.k + kk];
+            if av.is_zero() {
+                continue;
+            }
+            let avf = av.to_f32_lut();
+            for j in 0..shape.n {
+                d[i * shape.n + j] += avf * b[kk * shape.n + j];
+            }
+        }
+    }
+}
+
 /// Functional sparse `mma.sp.m16n8kX` (fp16, 2:4).
 ///
 /// * `values`: `m x k/2` stored nonzeros, row-major.
@@ -148,6 +174,77 @@ pub fn mma_sp_f16(shape: MmaShape, values: &[Half], meta: &[u8], b: &[Half], d: 
                 let vf = v.to_f32();
                 for j in 0..shape.n {
                     d[i * shape.n + j] += vf * b[kk * shape.n + j].to_f32();
+                }
+            }
+        }
+    }
+}
+
+/// [`mma_sp_f16`] with a pre-decoded RHS (see [`mma_dense_f16_f32b`]).
+/// Bit-identical to the `Half`-RHS version.
+///
+/// # Panics
+/// See [`mma_sp_f16`].
+pub fn mma_sp_f16_f32b(shape: MmaShape, values: &[Half], meta: &[u8], b: &[f32], d: &mut [f32]) {
+    assert_eq!(b.len(), shape.k * shape.n, "B fragment size");
+    assert_eq!(d.len(), shape.m * shape.n, "D fragment size");
+    let values_f32: Vec<f32> = values.iter().map(|v| v.to_f32_lut()).collect();
+    mma_sp_f32_strided(shape, &values_f32, meta, b, shape.n, d, shape.n);
+}
+
+/// The staged-pipeline workhorse: `mma.sp` over *fully pre-decoded*
+/// operands, reading the RHS and writing the accumulators through row
+/// strides so the caller can point both directly at a staged shared-memory
+/// tile and the output band — no fragment copies at all.
+///
+/// * `values`: `m x k/2` stored nonzeros, pre-decoded to `f32` (exact).
+///   A value of `0.0` marks a padding slot and is skipped, matching the
+///   `Half::is_zero` skip of [`mma_sp_f16`].
+/// * `b`: RHS with `b_stride` elements per logical row; row `kk`, column
+///   `j` is `b[kk * b_stride + j]`.
+/// * `d`: accumulators with `d_stride` elements per logical row.
+///
+/// Bit-identical to [`mma_sp_f16`] over the same operands: the products
+/// are the same exact `f32` values and accumulate in the same order.
+///
+/// # Panics
+/// Panics on size mismatches of `values`/`meta`, `shape.k % 4 != 0`,
+/// strides below `shape.n`, out-of-range metadata, or if a `b`/`d` element
+/// addressed by a nonzero value lies outside the given slice (elements
+/// never addressed — e.g. rows whose values are all padding — may legally
+/// lie beyond the slice, which is what lets the caller pass tile tails).
+pub fn mma_sp_f32_strided(
+    shape: MmaShape,
+    values: &[f32],
+    meta: &[u8],
+    b: &[f32],
+    b_stride: usize,
+    d: &mut [f32],
+    d_stride: usize,
+) {
+    assert_eq!(shape.k % 4, 0, "sparse k must be a multiple of the group size");
+    let half_k = shape.k / 2;
+    assert_eq!(values.len(), shape.m * half_k, "values fragment size");
+    assert_eq!(meta.len(), values.len(), "metadata size");
+    assert!(b_stride >= shape.n, "B stride narrower than the fragment");
+    assert!(d_stride >= shape.n, "D stride narrower than the fragment");
+
+    for i in 0..shape.m {
+        let drow = i * d_stride;
+        for g in 0..shape.k / 4 {
+            for s in 0..2 {
+                let slot = i * half_k + g * 2 + s;
+                let vf = values[slot];
+                if vf == 0.0 {
+                    continue;
+                }
+                let idx = meta[slot] as usize;
+                assert!(idx < 4, "metadata index out of range");
+                let kk = g * 4 + idx;
+                let brow = &b[kk * b_stride..kk * b_stride + shape.n];
+                let dout = &mut d[drow..drow + shape.n];
+                for (o, &bv) in dout.iter_mut().zip(brow) {
+                    *o += vf * bv;
                 }
             }
         }
@@ -246,6 +343,86 @@ mod tests {
         mma_sp_f16(shape, &values, &meta, &b, &mut d);
         // Each output accumulated 16 products of 1.0 on top of 1.0.
         assert!(d.iter().all(|&x| x == 17.0));
+    }
+
+    /// A spread of fp16 operand values covering normals, subnormals, and
+    /// signed zeros (no NaN/inf: the kernels only see finite weights).
+    fn edge_halves(len: usize) -> Vec<Half> {
+        let pool = [
+            0x0001u16, 0x8001, 0x03FF, 0x83FF, 0x0400, 0x3C00, 0xBC00, 0x7BFF, 0xFBFF, 0x0000,
+            0x8000, 0x2E66, 0x3555, 0x0203,
+        ];
+        (0..len).map(|i| Half::from_bits(pool[(i * 7 + i / 3) % pool.len()])).collect()
+    }
+
+    #[test]
+    fn dense_f32b_variant_is_bit_identical() {
+        let shape = MmaShape::new(16, 8, 32);
+        let a = edge_halves(16 * 32);
+        let b = edge_halves(32 * 8);
+        let b_f32: Vec<f32> = b.iter().map(|x| x.to_f32()).collect();
+        let mut d1 = vec![0.5f32; 16 * 8];
+        let mut d2 = d1.clone();
+        mma_dense_f16(shape, &a, &b, &mut d1);
+        mma_dense_f16_f32b(shape, &a, &b_f32, &mut d2);
+        assert_eq!(
+            d1.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            d2.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sparse_f32b_and_strided_variants_are_bit_identical() {
+        let shape = MmaShape::new(16, 8, 32);
+        let values = edge_halves(16 * 16);
+        let meta: Vec<u8> = (0..16 * 16).map(|i| (i % 4) as u8).collect();
+        let b = edge_halves(32 * 8);
+        let b_f32: Vec<f32> = b.iter().map(|x| x.to_f32()).collect();
+        let values_f32: Vec<f32> = values.iter().map(|x| x.to_f32()).collect();
+
+        let mut d_ref = vec![0.25f32; 16 * 8];
+        let mut d_f32b = d_ref.clone();
+        mma_sp_f16(shape, &values, &meta, &b, &mut d_ref);
+        mma_sp_f16_f32b(shape, &values, &meta, &b_f32, &mut d_f32b);
+        assert_eq!(d_ref, d_f32b);
+
+        // Strided access through a wider padded tile must still match: embed
+        // the fragment at column 3 of a stride-13 B and stride-11 D.
+        let (bs, ds) = (13usize, 11usize);
+        let mut b_wide = vec![0.0f32; 32 * bs];
+        for kk in 0..32 {
+            b_wide[kk * bs + 3..kk * bs + 3 + 8].copy_from_slice(&b_f32[kk * 8..kk * 8 + 8]);
+        }
+        let mut d_strided = vec![0.25f32; 16 * ds + 8];
+        mma_sp_f32_strided(shape, &values_f32, &meta, &b_wide[3..], bs, &mut d_strided, ds);
+        for i in 0..16 {
+            for j in 0..8 {
+                assert_eq!(
+                    d_strided[i * ds + j].to_bits(),
+                    d_ref[i * 8 + j].to_bits(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strided_variant_skips_padding_rows_beyond_the_slice() {
+        // Rows whose values are all padding (0.0) are never addressed, so B
+        // may legally end before them — exactly how the kernel passes the
+        // tail of a staged tile.
+        let shape = MmaShape::new(16, 8, 32);
+        let mut values = vec![0.0f32; 16 * 16];
+        let mut meta = vec![0u8; 16 * 16];
+        // Only k-group 0 (rows 0..4 of B) carries data.
+        for i in 0..16 {
+            values[i * 16] = 1.5;
+            meta[i * 16] = 2;
+        }
+        let b = vec![2.0f32; 4 * 8]; // just 4 rows — the rest would be OOB
+        let mut d = vec![0.0f32; 16 * 8];
+        mma_sp_f32_strided(shape, &values, &meta, &b, 8, &mut d, 8);
+        assert!(d.iter().all(|&x| x == 3.0));
     }
 
     #[test]

@@ -22,12 +22,13 @@ use venom_fp16::Half;
 /// Panics if the shapes are incompatible.
 pub fn gemm_ref(a: &Matrix<Half>, b: &Matrix<Half>) -> Matrix<f32> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let (r, k, c) = (a.rows(), a.cols(), b.cols());
+    let (r, c) = (a.rows(), b.cols());
     let mut out = Matrix::<f32>::zeros(r, c);
     for i in 0..r {
         let arow = a.row(i);
         let orow = out.row_mut(i);
-        for (kk, &aval) in arow.iter().enumerate().take(k) {
+        // `arow` is already exactly `k` elements long, one per B row.
+        for (kk, &aval) in arow.iter().enumerate() {
             if aval.is_zero() {
                 continue; // skip explicit zeros: same result, less work
             }
@@ -56,12 +57,36 @@ pub fn gemm_ref_strict(a: &Matrix<Half>, b: &Matrix<Half>) -> Matrix<f32> {
     })
 }
 
-/// Row-blocked parallel GEMM. Splits `C` into row bands processed by rayon;
-/// within a band uses `gemm_ref`'s loop order, so results are bit-identical
-/// to [`gemm_ref`].
+/// Row-blocked parallel GEMM with f32-staged operands. Splits `C` into row
+/// bands processed by rayon; within a band uses `gemm_ref`'s loop order and
+/// zero-skip, so results are bit-identical to [`gemm_ref`] — the RHS is
+/// decoded to `f32` *once* up front (the `f16 -> f32` conversion is exact,
+/// so products and accumulation order are unchanged) instead of once per
+/// multiply-accumulate.
 pub fn gemm_parallel(a: &Matrix<Half>, b: &Matrix<Half>) -> Matrix<f32> {
+    gemm_parallel_with_bias(a, b, None)
+}
+
+/// GEMM with an added row-vector bias: `C = A*B + bias` (bias length = C
+/// columns). Models the fused epilogue of a Linear layer: the bias is added
+/// inside the band pass over the output buffer (one traversal), giving the
+/// same `sum + bias` each element would get from a separate epilogue pass.
+pub fn gemm_bias(a: &Matrix<Half>, b: &Matrix<Half>, bias: &[f32]) -> Matrix<f32> {
+    assert_eq!(bias.len(), b.cols(), "bias length must equal output columns");
+    gemm_parallel_with_bias(a, b, Some(bias))
+}
+
+/// Shared implementation of [`gemm_parallel`] / [`gemm_bias`].
+fn gemm_parallel_with_bias(
+    a: &Matrix<Half>,
+    b: &Matrix<Half>,
+    bias: Option<&[f32]>,
+) -> Matrix<f32> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let (r, k, c) = (a.rows(), a.cols(), b.cols());
+    let (r, c) = (a.rows(), b.cols());
+    // Stage the RHS once: exact per-element decode, shared by every band.
+    let b_f32 = venom_fp16::slice::decode_f32_vec(b.as_slice());
+    let table = venom_fp16::f16_to_f32_table();
     let mut out = vec![0.0f32; r * c];
     // Band height balances parallelism against per-task overhead on small
     // matrices; 16 rows matches the mma tile height.
@@ -72,33 +97,24 @@ pub fn gemm_parallel(a: &Matrix<Half>, b: &Matrix<Half>) -> Matrix<f32> {
         for i in 0..rows_here {
             let arow = a.row(row0 + i);
             let orow = &mut chunk[i * c..(i + 1) * c];
-            for (kk, &aval) in arow.iter().enumerate().take(k) {
+            for (kk, &aval) in arow.iter().enumerate() {
                 if aval.is_zero() {
                     continue;
                 }
-                let av = aval.to_f32();
-                let brow = b.row(kk);
+                let av = table[aval.to_bits() as usize];
+                let brow = &b_f32[kk * c..(kk + 1) * c];
                 for (o, &bval) in orow.iter_mut().zip(brow) {
-                    *o += av * bval.to_f32();
+                    *o += av * bval;
+                }
+            }
+            if let Some(bias) = bias {
+                for (o, &bv) in orow.iter_mut().zip(bias) {
+                    *o += bv;
                 }
             }
         }
     });
     Matrix::from_vec(r, c, out)
-}
-
-/// GEMM with an added row-vector bias: `C = A*B + bias` (bias length = C
-/// columns). Models the fused epilogue of a Linear layer.
-pub fn gemm_bias(a: &Matrix<Half>, b: &Matrix<Half>, bias: &[f32]) -> Matrix<f32> {
-    assert_eq!(bias.len(), b.cols(), "bias length must equal output columns");
-    let mut c = gemm_parallel(a, b);
-    for i in 0..c.rows() {
-        let row = c.row_mut(i);
-        for (o, &bv) in row.iter_mut().zip(bias) {
-            *o += bv;
-        }
-    }
-    c
 }
 
 /// Convenience: GEMM of f32 matrices (converted through half first, as every

@@ -1,0 +1,134 @@
+//! Bitwise-equality regression suite for the f32-staged operand pipeline.
+//!
+//! The staged engine (decode-once operands, LUT-backed scalar decodes,
+//! strided `mma.sp` accumulation, per-thread workspaces) must produce
+//! *bit-identical* results to the retained slow references — `spmm_ref`
+//! over the compressed format, `gemm_ref`/`gemm_ref_strict`, and the
+//! `Half`-operand `mma_sp_f16` — across the V x N:M grid and for edge
+//! fp16 values (subnormals, signed zeros, extreme normals; NaN-free as
+//! the kernels require finite weights).
+
+use venom::fp16::Half;
+use venom::format::{SparsityMask, VnmConfig, VnmMatrix};
+use venom::prelude::*;
+use venom::pruner::magnitude;
+use venom::sim::tensorcore::{mma_sp_f16, mma_sp_f16_f32b, MmaShape};
+use venom::spatha::{spmm, SpmmOptions};
+use venom::tensor::{gemm, random};
+
+/// The grid the suite sweeps: every V the kernels support crossed with the
+/// two N:M patterns the paper's microbenchmarks use most.
+const GRID: [(usize, usize, usize); 6] =
+    [(16, 2, 8), (16, 2, 16), (64, 2, 8), (64, 2, 16), (128, 2, 8), (128, 2, 16)];
+
+/// Edge-case fp16 bit patterns: subnormals (min, max, mixed), smallest and
+/// largest normals, signed zeros, and ordinary values. No NaN/inf.
+const EDGE_BITS: [u16; 14] = [
+    0x0001, 0x8001, 0x03FF, 0x83FF, 0x0203, 0x0400, 0x8400, 0x7BFF, 0xFBFF, 0x0000, 0x8000,
+    0x3C00, 0xBC00, 0x2E66,
+];
+
+fn edge_half(i: usize) -> Half {
+    Half::from_bits(EDGE_BITS[(i * 7 + i / 5) % EDGE_BITS.len()])
+}
+
+fn device() -> DeviceConfig {
+    DeviceConfig::rtx3090()
+}
+
+/// A V:N:M-compliant fixture whose kept weights are edge fp16 values.
+fn edge_fixture(r: usize, k: usize, cfg: VnmConfig, seed: u64) -> (VnmMatrix, SparsityMask) {
+    let w = random::normal_matrix(r, k, 0.0, 1.0, seed);
+    let mask = magnitude::prune_vnm(&w, cfg);
+    let dense = Matrix::from_fn(r, k, |i, j| {
+        if mask.get(i, j) {
+            edge_half(i * k + j)
+        } else {
+            Half::ZERO
+        }
+    });
+    (VnmMatrix::compress(&dense, &mask, cfg), mask)
+}
+
+#[test]
+fn staged_spmm_matches_spmm_ref_bitwise_across_grid() {
+    for (v, n, m) in GRID {
+        let cfg = VnmConfig::new(v, n, m);
+        // Two-plus row blocks with a partial tail, a partial K group, and a
+        // C that is not a multiple of mma.n (exercises the column-tail
+        // accumulators).
+        let (r, k, c) = (2 * v + 16, 9 * m + 3, 43);
+        let (a, _) = edge_fixture(r, k, cfg, v as u64 * 31 + m as u64);
+        let b = Matrix::from_fn(k, c, |i, j| edge_half(i * c + j + 3));
+        let got = spmm(&a, &b, &SpmmOptions::default(), &device());
+        let want = a.spmm_ref(&b);
+        assert_eq!(got.c, want, "staged SpMM diverged at V={v} N={n} M={m}");
+    }
+}
+
+#[test]
+fn staged_spmm_matches_on_random_weights_across_grid() {
+    for (v, n, m) in GRID {
+        let cfg = VnmConfig::new(v, n, m);
+        let (r, k, c) = (2 * v, 8 * m, 64);
+        let w = random::normal_matrix(r, k, 0.0, 1.0, v as u64 + m as u64);
+        let mask = magnitude::prune_vnm(&w, cfg);
+        let a = VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg);
+        let b = random::normal_matrix(k, c, 0.0, 1.0, 7).to_half();
+        let got = spmm(&a, &b, &SpmmOptions::default(), &device());
+        assert_eq!(got.c, a.spmm_ref(&b), "V={v} N={n} M={m}");
+    }
+}
+
+#[test]
+fn staged_gemm_matches_both_references_bitwise() {
+    // Edge values plus explicit zero columns to exercise the zero-skip.
+    let (r, k, c) = (37, 29, 43);
+    let a = Matrix::from_fn(r, k, |i, j| if j % 5 == 2 { Half::ZERO } else { edge_half(i * k + j) });
+    let b = Matrix::from_fn(k, c, |i, j| edge_half(i * c + j + 11));
+    let staged = gemm::gemm_parallel(&a, &b);
+    assert_eq!(staged, gemm::gemm_ref(&a, &b), "staged vs zero-skip reference");
+    assert_eq!(staged, gemm::gemm_ref_strict(&a, &b), "staged vs strict reference");
+}
+
+#[test]
+fn staged_gemm_bias_equals_reference_plus_bias_bitwise() {
+    let (r, k, c) = (24, 31, 19);
+    let a = Matrix::from_fn(r, k, |i, j| edge_half(i * k + j));
+    let b = Matrix::from_fn(k, c, |i, j| edge_half(i + j * k));
+    let bias: Vec<f32> = (0..c).map(|j| j as f32 * 0.25 - 1.0).collect();
+    let fused = gemm::gemm_bias(&a, &b, &bias);
+    let reference = gemm::gemm_ref(&a, &b);
+    for i in 0..r {
+        for j in 0..c {
+            assert_eq!(
+                fused.get(i, j).to_bits(),
+                (reference.get(i, j) + bias[j]).to_bits(),
+                "({i},{j})"
+            );
+        }
+    }
+}
+
+#[test]
+fn staged_mma_variant_matches_retained_half_reference() {
+    let shape = MmaShape::new(16, 8, 32);
+    let values: Vec<Half> = (0..16 * 16).map(edge_half).collect();
+    let meta: Vec<u8> = (0..16 * 16).map(|i| (i % 4) as u8).collect();
+    let b: Vec<Half> = (0..32 * 8).map(|i| edge_half(i + 5)).collect();
+    let b_f32: Vec<f32> = b.iter().map(|x| x.to_f32()).collect();
+    let mut d_ref = vec![0.125f32; 16 * 8];
+    let mut d_staged = d_ref.clone();
+    mma_sp_f16(shape, &values, &meta, &b, &mut d_ref);
+    mma_sp_f16_f32b(shape, &values, &meta, &b_f32, &mut d_staged);
+    let bits = |d: &[f32]| d.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&d_ref), bits(&d_staged));
+}
+
+#[test]
+fn lut_decode_is_exact_for_every_edge_pattern() {
+    for &bits in &EDGE_BITS {
+        let h = Half::from_bits(bits);
+        assert_eq!(h.to_f32_lut().to_bits(), h.to_f32().to_bits(), "bits {bits:#06x}");
+    }
+}
