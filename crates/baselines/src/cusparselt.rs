@@ -20,7 +20,7 @@ use venom_fp16::Half;
 use venom_format::{NmCompressed, NmConfig};
 use venom_sim::pipeline::{simulate, KernelCounts};
 use venom_sim::{BlockResources, DeviceConfig};
-use venom_tensor::{gemm, GemmShape, Matrix};
+use venom_tensor::{GemmShape, Matrix};
 
 /// Steady-state issue efficiency of the vendor sparse kernels.
 pub const SPARSELT_EFFICIENCY: f64 = 0.97;
@@ -94,7 +94,12 @@ impl SparseLtSpmm {
         d.kernel_launch_us = SPARSELT_LAUNCH_US;
         let timing = simulate(&d, &counts).expect("fixed tile fits");
         let c = match mode {
-            Mode::Functional => gemm::gemm_parallel(&a.decompress(), b),
+            // The staged parallel path over the compressed layout — the
+            // same implementation class as the CSR/CVSE baselines, and
+            // bit-identical to the dense GEMM over the decompressed
+            // matrix (both accumulate each element in ascending-k order
+            // with exact fp16 products).
+            Mode::Functional => a.spmm_parallel(b),
             Mode::ModelOnly => Matrix::<f32>::zeros(r, b.cols()),
         };
         BaselineResult { c, timing, counts }
@@ -104,7 +109,7 @@ impl SparseLtSpmm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use venom_tensor::random;
+    use venom_tensor::{gemm, random};
 
     fn dev() -> DeviceConfig {
         DeviceConfig::rtx3090()

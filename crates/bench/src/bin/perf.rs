@@ -1,11 +1,15 @@
 //! `perf` — CPU wall-clock harness for the functional execution engine.
 //!
 //! Times the *functional* (bit-faithful numerics) paths — Spatha SpMM, the
-//! dense GEMM baseline, and V:N:M compression — at paper-scale transformer
-//! shapes, over fixed iteration counts, and writes `BENCH_SPMM.json`
-//! (median wall-ms per op plus speedup against the retained slow reference
-//! paths). Every PR can regenerate the file, giving the repository a
-//! machine-readable perf trajectory for the staged-operand pipeline.
+//! dense GEMM baseline, V:N:M compression, and the end-to-end planned
+//! serving paths (engine-planned SpMM dispatch, batched multi-sequence
+//! dispatch, a full BERT-base encoder layer, and a two-layer model
+//! forward) — at paper-scale transformer shapes, over fixed iteration
+//! counts, and writes `BENCH_SPMM.json` (median wall-ms per op plus
+//! speedup against the retained slow reference paths). Every PR can
+//! regenerate the file, giving the repository a machine-readable perf
+//! trajectory for the staged-operand pipeline and the plan/execute
+//! engine.
 //!
 //! Usage: `cargo run --release -p venom-bench --bin perf -- [--quick]
 //! [--iters N] [--ref-iters N] [--out PATH]`
@@ -17,10 +21,14 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use venom_bench::vnm_weight;
 use venom_core::{spmm, SpmmOptions};
+use venom_dnn::transformer::{EncoderBlock, SparseEncoderBlock, TransformerConfig};
+use venom_dnn::TransformerEncoder;
 use venom_format::{VnmConfig, VnmMatrix};
+use venom_fp16::Half;
 use venom_pruner::magnitude;
+use venom_runtime::Engine;
 use venom_sim::DeviceConfig;
-use venom_tensor::{gemm, random};
+use venom_tensor::{gemm, random, Matrix};
 
 struct Args {
     iters: usize,
@@ -163,6 +171,124 @@ fn compress_series(label: &'static str, r: usize, k: usize, cfg: VnmConfig, args
     }
 }
 
+/// Engine-planned SpMM dispatch versus the per-call `spmm` entry point at
+/// the same shape (the plan-once/run-many split of ISSUE 3).
+fn spmm_plan_series(
+    label: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+    cfg: VnmConfig,
+    args: &Args,
+) -> Series {
+    let a = vnm_weight(r, k, cfg, 1);
+    let b = random::normal_matrix(k, c, 0.0, 1.0, 2).to_half();
+    let dev = DeviceConfig::rtx3090();
+    let opts = SpmmOptions::default();
+    let plan = Engine::new(dev.clone()).with_b_cols_hint(c).plan_spmm(&a);
+    assert_eq!(plan.run(&b), spmm(&a, &b, &opts, &dev).c, "planned dispatch must stay exact");
+    let median = median_ms(args.iters, || plan.run(&b));
+    let reference = Some((
+        "venom_core::spmm (per-call)",
+        median_ms(args.ref_iters, || spmm(&a, &b, &opts, &dev).c),
+    ));
+    eprintln!("spmm_plan/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    Series { op: "spmm_plan", label, r, k, c, config: cfg.to_string(), median_ms: median, reference }
+}
+
+/// Batched serving dispatch: one `run_batch` over `seqs` concatenated
+/// requests versus `seqs` separate per-call `spmm` dispatches.
+fn spmm_plan_batch_series(
+    label: &'static str,
+    r: usize,
+    k: usize,
+    seq_cols: usize,
+    seqs: usize,
+    cfg: VnmConfig,
+    args: &Args,
+) -> Series {
+    let a = vnm_weight(r, k, cfg, 1);
+    let dev = DeviceConfig::rtx3090();
+    let opts = SpmmOptions::default();
+    let bs: Vec<Matrix<Half>> = (0..seqs)
+        .map(|i| random::normal_matrix(k, seq_cols, 0.0, 1.0, 10 + i as u64).to_half())
+        .collect();
+    let refs: Vec<&Matrix<Half>> = bs.iter().collect();
+    let plan = Engine::new(dev.clone()).with_b_cols_hint(seqs * seq_cols).plan_spmm(&a);
+    let median = median_ms(args.iters, || plan.run_batch(&refs));
+    let reference = Some((
+        "venom_core::spmm (per-request)",
+        median_ms(args.ref_iters, || {
+            bs.iter().map(|b| spmm(&a, b, &opts, &dev).c).collect::<Vec<_>>()
+        }),
+    ));
+    eprintln!("spmm_plan_batch/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    Series {
+        op: "spmm_plan_batch",
+        label,
+        r,
+        k,
+        c: seqs * seq_cols,
+        config: cfg.to_string(),
+        median_ms: median,
+        reference,
+    }
+}
+
+/// End-to-end BERT-base encoder layer: planned forward versus the
+/// retained per-call path (every weight op through one-shot `spmm`).
+fn encoder_layer_series(label: &'static str, seq: usize, cfg: VnmConfig, args: &Args) -> Series {
+    let tcfg = TransformerConfig::bert_base();
+    let dev = DeviceConfig::rtx3090();
+    let engine = Engine::new(dev.clone()).with_b_cols_hint(seq);
+    let block = EncoderBlock::dense(&tcfg, 1);
+    let sparse = SparseEncoderBlock::from_dense(&engine, &block, cfg);
+    let x = random::activation_matrix(seq, tcfg.hidden, 2);
+    assert_eq!(sparse.forward(&x), sparse.forward_percall(&x, &dev), "planned layer must stay exact");
+    let median = median_ms(args.iters, || sparse.forward(&x));
+    let reference = Some((
+        "SparseEncoderBlock::forward_percall",
+        median_ms(args.ref_iters, || sparse.forward_percall(&x, &dev)),
+    ));
+    eprintln!("encoder_layer/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    Series {
+        op: "encoder_layer",
+        label,
+        r: tcfg.hidden,
+        k: tcfg.ff_inner,
+        c: seq,
+        config: cfg.to_string(),
+        median_ms: median,
+        reference,
+    }
+}
+
+/// End-to-end model forward: a two-layer BERT-base stack through the
+/// planned path versus the per-call path.
+fn model_forward_series(label: &'static str, seq: usize, cfg: VnmConfig, args: &Args) -> Series {
+    let tcfg = TransformerConfig::new("bert-base-2l", 768, 12, 2, 3072, seq);
+    let dev = DeviceConfig::rtx3090();
+    let engine = Engine::new(dev.clone()).with_b_cols_hint(seq);
+    let sparse = TransformerEncoder::new(tcfg, 3).sparsify(&engine, cfg);
+    let x = random::activation_matrix(seq, tcfg.hidden, 4);
+    let median = median_ms(args.iters, || sparse.forward(&x));
+    let reference = Some((
+        "SparseTransformerEncoder::forward_percall",
+        median_ms(args.ref_iters, || sparse.forward_percall(&x, &dev)),
+    ));
+    eprintln!("model_forward/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    Series {
+        op: "model_forward",
+        label,
+        r: tcfg.hidden,
+        k: tcfg.ff_inner,
+        c: seq,
+        config: cfg.to_string(),
+        median_ms: median,
+        reference,
+    }
+}
+
 fn ref_note(reference: &Option<(&'static str, f64)>, median_ms: f64) -> String {
     match reference {
         Some((name, ms)) => format!(" (ref {name}: {ms:.1} ms, {:.2}x)", ms / median_ms),
@@ -187,6 +313,28 @@ fn main() {
         compress_series("bert_1024x4096_80pct", 1024, 4096, VnmConfig::new(128, 2, 10), &args),
         compress_series("bert_1024x12288_95pct", 1024, 12288, VnmConfig::new(128, 2, 40), &args),
         compress_series("gpt3_4096x4096_75pct", 4096, 4096, VnmConfig::new(64, 2, 8), &args),
+        // Plan-once/run-many serving paths (ISSUE 3): the same weights,
+        // dispatched through the engine instead of the per-call entry
+        // points.
+        spmm_plan_series(
+            "fig09_k768_80pct_planned",
+            1024,
+            768,
+            4096,
+            VnmConfig::new(128, 2, 10),
+            &args,
+        ),
+        spmm_plan_batch_series(
+            "fig09_k768_batch4x128",
+            1024,
+            768,
+            128,
+            4,
+            VnmConfig::new(128, 2, 10),
+            &args,
+        ),
+        encoder_layer_series("bert_base_seq128", 128, VnmConfig::new(64, 2, 10), &args),
+        model_forward_series("bert_base_2layer_seq128", 128, VnmConfig::new(64, 2, 10), &args),
     ];
 
     let mut json = String::from("{\n");

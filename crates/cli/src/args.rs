@@ -39,6 +39,26 @@ pub enum Command {
         /// Target sparsity in (0, 1).
         sparsity: f64,
     },
+    /// `venom infer --model NAME [--layers N] [--seq S] [--batch B]
+    /// [--pattern V:N:M] [--device NAME] [--seed S]` — plan a sparse
+    /// encoder stack once, then serve a batch of sequences through it.
+    Infer {
+        /// Model preset (`bert-base`, `bert-large`, or `mini`).
+        model: String,
+        /// Encoder layers to instantiate (defaults to the preset's count,
+        /// capped for functional execution).
+        layers: Option<usize>,
+        /// Sequence length per request.
+        seq: usize,
+        /// Requests served per dispatch.
+        batch: usize,
+        /// The V:N:M pattern.
+        pattern: (usize, usize, usize),
+        /// Device preset name.
+        device: String,
+        /// RNG seed.
+        seed: u64,
+    },
     /// `venom help`.
     Help,
 }
@@ -52,6 +72,8 @@ USAGE:
   venom compress --rows R --cols K --pattern V:N:M [--seed S]
   venom bench    --shape RxKxC --pattern V:N:M [--device rtx3090|a100]
   venom energy   --rows R --cols K --sparsity S
+  venom infer    --model bert-base|bert-large|mini [--layers N] [--seq S]
+                 [--batch B] [--pattern V:N:M] [--device rtx3090|a100] [--seed S]
   venom help
 ";
 
@@ -122,6 +144,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .parse()
                 .map_err(|_| "--sparsity must be a float".to_string())?,
         }),
+        "infer" => Ok(Command::Infer {
+            model: take_flag(argv, "--model").ok_or("missing --model")?.to_string(),
+            layers: match take_flag(argv, "--layers") {
+                Some(v) => Some(
+                    v.parse().map_err(|_| "--layers must be an integer".to_string())?,
+                ),
+                None => None,
+            },
+            seq: take_flag(argv, "--seq")
+                .unwrap_or("128")
+                .parse()
+                .map_err(|_| "--seq must be an integer".to_string())?,
+            batch: take_flag(argv, "--batch")
+                .unwrap_or("4")
+                .parse()
+                .map_err(|_| "--batch must be an integer".to_string())?,
+            pattern: parse_pattern(take_flag(argv, "--pattern").unwrap_or("64:2:10"))?,
+            device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
+            seed: take_flag(argv, "--seed")
+                .unwrap_or("42")
+                .parse()
+                .map_err(|_| "--seed must be an integer".to_string())?,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     }
@@ -166,6 +211,46 @@ mod tests {
                 device: "rtx3090".into()
             }
         );
+    }
+
+    #[test]
+    fn parses_infer_with_defaults() {
+        let c = parse(&v(&["infer", "--model", "mini"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Infer {
+                model: "mini".into(),
+                layers: None,
+                seq: 128,
+                batch: 4,
+                pattern: (64, 2, 10),
+                device: "rtx3090".into(),
+                seed: 42,
+            }
+        );
+        let c = parse(&v(&[
+            "infer", "--model", "bert-base", "--layers", "2", "--seq", "64", "--batch", "8",
+            "--pattern", "32:2:8", "--device", "a100", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Infer {
+                model: "bert-base".into(),
+                layers: Some(2),
+                seq: 64,
+                batch: 8,
+                pattern: (32, 2, 8),
+                device: "a100".into(),
+                seed: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn infer_requires_model() {
+        let e = parse(&v(&["infer"])).unwrap_err();
+        assert!(e.contains("--model"));
     }
 
     #[test]

@@ -3,10 +3,14 @@
 use crate::args::{Command, USAGE};
 use venom_baselines::cublas::DenseGemm;
 use venom_core::{spmm_time_tuned, SpmmOptions};
+use venom_dnn::attention::Projection;
+use venom_dnn::transformer::TransformerConfig;
+use venom_dnn::TransformerEncoder;
 use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
 use venom_pruner::{energy, magnitude};
+use venom_runtime::Engine;
 use venom_sim::DeviceConfig;
-use venom_tensor::{random, GemmShape};
+use venom_tensor::{random, GemmShape, Matrix};
 
 fn device_by_name(name: &str) -> DeviceConfig {
     match name {
@@ -27,6 +31,15 @@ pub fn execute(cmd: &Command) -> String {
             bench(*shape, *pattern, &device_by_name(device))
         }
         Command::Energy { rows, cols, sparsity } => energy_report(*rows, *cols, *sparsity),
+        Command::Infer { model, layers, seq, batch, pattern, device, seed } => infer(
+            model,
+            *layers,
+            *seq,
+            *batch,
+            *pattern,
+            &device_by_name(device),
+            *seed,
+        ),
     }
 }
 
@@ -96,6 +109,91 @@ fn bench(
     )
 }
 
+/// Serves `batch` sequences through a planned sparse encoder stack: build
+/// once (prune, compress, autotune, stage), run many (one plan replay per
+/// weight op per request) — the end-to-end plan/execute split.
+fn infer(
+    model: &str,
+    layers: Option<usize>,
+    seq: usize,
+    batch: usize,
+    (v, n, m): (usize, usize, usize),
+    dev: &DeviceConfig,
+    seed: u64,
+) -> String {
+    let preset = match model {
+        "bert-base" => TransformerConfig::bert_base(),
+        "bert-large" => TransformerConfig::bert_large(),
+        "mini" => TransformerConfig::new("mini", 64, 4, 2, 128, 128),
+        other => {
+            return format!("unknown model '{other}' (expected bert-base, bert-large, mini)")
+        }
+    };
+    if seq == 0 || batch == 0 {
+        return "both --seq and --batch must be at least 1".to_string();
+    }
+    // Functional execution on a CPU: default to a two-layer slice of the
+    // preset (the per-layer numbers extrapolate; --layers overrides).
+    let layer_count = layers.unwrap_or_else(|| preset.layers.min(2));
+    let cfg = TransformerConfig::new(
+        preset.name,
+        preset.hidden,
+        preset.heads,
+        layer_count,
+        preset.ff_inner,
+        seq,
+    );
+    let pattern = VnmConfig::new(v, n, m);
+
+    let t0 = std::time::Instant::now();
+    let engine = Engine::new(dev.clone()).with_b_cols_hint(seq * batch);
+    let sparse = TransformerEncoder::new(cfg, seed).sparsify(&engine, pattern);
+    let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let xs: Vec<Matrix<f32>> = (0..batch)
+        .map(|i| random::activation_matrix(seq, cfg.hidden, seed + 1 + i as u64))
+        .collect();
+    let refs: Vec<&Matrix<f32>> = xs.iter().collect();
+    let t1 = std::time::Instant::now();
+    let outs = sparse.forward_batch(&refs);
+    let run_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let tokens = batch * seq;
+
+    // Simulated device pricing captured at plan time: the six weight-op
+    // plans of each layer, summed over the stack.
+    let plan_gpu_ms: f64 = sparse
+        .blocks
+        .iter()
+        .flat_map(|b| {
+            [&b.mha.wq, &b.mha.wk, &b.mha.wv, &b.mha.wo]
+                .into_iter()
+                .filter_map(|p| match p {
+                    Projection::Sparse(s) => s.plan.timing().map(|t| t.time_ms),
+                    Projection::Dense(_) => None,
+                })
+                .chain(b.ff1.plan.timing().map(|t| t.time_ms))
+                .chain(b.ff2.plan.timing().map(|t| t.time_ms))
+        })
+        .sum();
+
+    format!(
+        "{} x{layer_count} layer(s), pattern {pattern}, seq {seq}, batch {batch} on {}\n\
+         plan build (prune + compress + autotune + stage) : {plan_ms:9.1} ms (once)\n\
+         serve {batch} request(s), {tokens} tokens        : {run_ms:9.1} ms wall\n\
+         per-request                                      : {:9.1} ms\n\
+         throughput (functional CPU execution)            : {:9.1} tokens/s\n\
+         simulated weight-op time captured in the plans   : {plan_gpu_ms:9.3} ms\n\
+         outputs: {} matrices of {}x{}",
+        cfg.name,
+        dev.name,
+        run_ms / batch as f64,
+        tokens as f64 / (run_ms / 1e3),
+        outs.len(),
+        outs[0].rows(),
+        outs[0].cols(),
+    )
+}
+
 fn energy_report(rows: usize, cols: usize, sparsity: f64) -> String {
     let w = random::glorot_matrix(rows, cols, 2023);
     let mut out = format!("energy at {:.0}% sparsity on {rows}x{cols}:\n", sparsity * 100.0);
@@ -156,6 +254,28 @@ mod tests {
         assert!(s.contains("unstructured"));
         assert!(s.contains("vw_8"));
         assert!(s.contains("128:2:8"));
+    }
+
+    #[test]
+    fn infer_serves_a_planned_mini_stack() {
+        let s = infer(
+            "mini",
+            Some(1),
+            16,
+            2,
+            (16, 2, 8),
+            &DeviceConfig::rtx3090(),
+            1,
+        );
+        assert!(s.contains("plan build"), "{s}");
+        assert!(s.contains("serve 2 request(s), 32 tokens"), "{s}");
+        assert!(s.contains("2 matrices of 16x64"), "{s}");
+    }
+
+    #[test]
+    fn infer_rejects_unknown_model() {
+        let s = infer("nope", None, 8, 1, (16, 2, 8), &DeviceConfig::rtx3090(), 1);
+        assert!(s.contains("unknown model"), "{s}");
     }
 
     #[test]

@@ -2,14 +2,20 @@
 //!
 //! Four weight tensors (`W_Q`, `W_K`, `W_V`, `W_O`) can each be dense or
 //! V:N:M-sparse; the attention matmuls (`Q K^T` and `P V`) stay dense, and
-//! softmax sits between them, exactly as in the figure.
+//! softmax sits between them, exactly as in the figure. The projections
+//! hold execution plans: one forward stages the activations once and runs
+//! the Q/K/V plans over the shared staged operand.
 
 use crate::layers::{softmax_rows, Linear, SparseLinear};
 use venom_format::{SparsityMask, VnmConfig};
+use venom_runtime::{stage, Engine};
 use venom_sim::DeviceConfig;
 use venom_tensor::{gemm, Matrix};
 
 /// A projection that is either dense or Spatha-sparse.
+// The size difference between the variants (the sparse plan carries the
+// priced launch) is irrelevant at four projections per layer.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum Projection {
     /// Dense weights (cuBLAS path).
@@ -19,11 +25,27 @@ pub enum Projection {
 }
 
 impl Projection {
-    /// Forward on `dev`.
-    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+    /// Planned forward.
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
         match self {
             Projection::Dense(l) => l.forward(x),
-            Projection::Sparse(s) => s.forward(x, dev),
+            Projection::Sparse(s) => s.forward(x),
+        }
+    }
+
+    /// Planned forward over a shared staged operand.
+    pub fn forward_staged(&self, staged: &[f32], tokens: usize) -> Matrix<f32> {
+        match self {
+            Projection::Dense(l) => l.forward_staged(staged, tokens),
+            Projection::Sparse(s) => s.forward_staged(staged, tokens),
+        }
+    }
+
+    /// The retained per-call path (the unplanned baseline).
+    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        match self {
+            Projection::Dense(l) => l.forward_percall(x),
+            Projection::Sparse(s) => s.forward_percall(x, dev),
         }
     }
 
@@ -68,13 +90,14 @@ impl MultiHeadAttention {
     }
 
     /// Sparsifies the four projections in place with magnitude V:N:M
-    /// pruning (Fig. 14's four SpMMs).
-    pub fn sparsify(&mut self, cfg: VnmConfig) {
+    /// pruning (Fig. 14's four SpMMs), planning each compressed weight on
+    /// `engine`.
+    pub fn sparsify(&mut self, engine: &Engine, cfg: VnmConfig) {
         for proj in [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo] {
             if let Projection::Dense(lin) = proj {
-                let wf = lin.weight.to_f32();
+                let wf = lin.weight().to_f32();
                 let mask: SparsityMask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
-                *proj = Projection::Sparse(lin.to_sparse(&mask, cfg));
+                *proj = Projection::Sparse(lin.to_sparse(engine, &mask, cfg));
             }
         }
     }
@@ -83,8 +106,8 @@ impl MultiHeadAttention {
     ///
     /// # Panics
     /// Panics on feature mismatch.
-    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        self.forward_inner(x, dev, false)
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_inner(x, false)
     }
 
     /// Causal (decoder) self-attention: position `i` attends only to
@@ -93,18 +116,52 @@ impl MultiHeadAttention {
     ///
     /// # Panics
     /// Panics on feature mismatch.
-    pub fn forward_causal(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        self.forward_inner(x, dev, true)
+    pub fn forward_causal(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_inner(x, true)
     }
 
-    fn forward_inner(&self, x: &Matrix<f32>, dev: &DeviceConfig, causal: bool) -> Matrix<f32> {
+    fn forward_inner(&self, x: &Matrix<f32>, causal: bool) -> Matrix<f32> {
+        // One staging pass feeds all three input projections (they share
+        // the operand; per-plan staging would produce the same bits three
+        // times over).
+        let staged = stage::stage_activations_t(x);
+        let q = self.wq.forward_staged(&staged, x.rows());
+        let k = self.wk.forward_staged(&staged, x.rows());
+        let v = self.wv.forward_staged(&staged, x.rows());
+        drop(staged);
+        let ctx = self.attention_core(x, &q, &k, &v, causal);
+        self.wo.forward(&ctx)
+    }
+
+    /// The retained per-call path: every projection converts, transposes
+    /// and dispatches through the one-shot kernel entry points (the
+    /// unplanned baseline of the serving benchmarks). Bit-identical to
+    /// [`Self::forward`].
+    ///
+    /// # Panics
+    /// Panics on feature mismatch.
+    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        let q = self.wq.forward_percall(x, dev);
+        let k = self.wk.forward_percall(x, dev);
+        let v = self.wv.forward_percall(x, dev);
+        let ctx = self.attention_core(x, &q, &k, &v, false);
+        self.wo.forward_percall(&ctx, dev)
+    }
+
+    /// The attention matmuls between the projections: per-head
+    /// `softmax(Q_h K_h^T / sqrt(d)) V_h`, identical in the planned and
+    /// per-call paths.
+    fn attention_core(
+        &self,
+        x: &Matrix<f32>,
+        q: &Matrix<f32>,
+        k: &Matrix<f32>,
+        v: &Matrix<f32>,
+        causal: bool,
+    ) -> Matrix<f32> {
         let hidden = self.wq.shape().0;
         let d_head = hidden / self.heads;
         let seq = x.rows();
-
-        let q = self.wq.forward(x, dev);
-        let k = self.wk.forward(x, dev);
-        let v = self.wv.forward(x, dev);
 
         let scale = 1.0 / (d_head as f32).sqrt();
         let mut ctx = Matrix::<f32>::zeros(seq, hidden);
@@ -131,7 +188,7 @@ impl MultiHeadAttention {
                 }
             }
         }
-        self.wo.forward(&ctx, dev)
+        ctx
     }
 }
 
@@ -140,15 +197,15 @@ mod tests {
     use super::*;
     use venom_tensor::random;
 
-    fn dev() -> DeviceConfig {
-        DeviceConfig::rtx3090()
+    fn engine() -> Engine {
+        Engine::new(DeviceConfig::rtx3090())
     }
 
     #[test]
     fn forward_shape_is_preserved() {
         let mha = MultiHeadAttention::dense(64, 4, 1);
         let x = random::activation_matrix(16, 64, 2);
-        let y = mha.forward(&x, &dev());
+        let y = mha.forward(&x);
         assert_eq!((y.rows(), y.cols()), (16, 64));
         assert!(y.as_slice().iter().all(|v| v.is_finite()));
     }
@@ -158,8 +215,17 @@ mod tests {
         // Sanity: heads=1 runs the same math without the split.
         let mha = MultiHeadAttention::dense(32, 1, 3);
         let x = random::activation_matrix(8, 32, 4);
-        let y = mha.forward(&x, &dev());
+        let y = mha.forward(&x);
         assert_eq!((y.rows(), y.cols()), (8, 32));
+    }
+
+    #[test]
+    fn planned_forward_is_bit_identical_to_percall() {
+        let dev = DeviceConfig::rtx3090();
+        let mut mha = MultiHeadAttention::dense(64, 4, 13);
+        mha.sparsify(&engine(), VnmConfig::new(16, 2, 4));
+        let x = random::activation_matrix(12, 64, 14);
+        assert_eq!(mha.forward(&x), mha.forward_percall(&x, &dev));
     }
 
     #[test]
@@ -172,15 +238,15 @@ mod tests {
         for proj in [&mut reference.wq, &mut reference.wk, &mut reference.wv, &mut reference.wo]
         {
             if let Projection::Dense(lin) = proj {
-                let wf = lin.weight.to_f32();
+                let wf = lin.weight().to_f32();
                 let mask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
                 *lin = Linear::new(&mask.apply_f32(&wf), lin.bias.clone());
             }
         }
-        mha.sparsify(cfg);
+        mha.sparsify(&engine(), cfg);
         assert!(matches!(mha.wq, Projection::Sparse(_)));
-        let y_sparse = mha.forward(&x, &dev());
-        let y_ref = reference.forward(&x, &dev());
+        let y_sparse = mha.forward(&x);
+        let y_ref = reference.forward(&x);
         assert!(
             venom_tensor::norms::allclose(&y_sparse, &y_ref, 5e-2, 5e-2),
             "max diff {}",
@@ -200,11 +266,11 @@ mod tests {
         // changing later rows must not affect it.
         let mha = MultiHeadAttention::dense(32, 2, 9);
         let mut x = random::activation_matrix(8, 32, 10);
-        let y1 = mha.forward_causal(&x, &dev());
+        let y1 = mha.forward_causal(&x);
         for c in 0..32 {
             x.set(5, c, x.get(5, c) + 7.0);
         }
-        let y2 = mha.forward_causal(&x, &dev());
+        let y2 = mha.forward_causal(&x);
         for c in 0..32 {
             assert!(
                 (y1.get(0, c) - y2.get(0, c)).abs() < 1e-5,
@@ -220,8 +286,8 @@ mod tests {
     fn causal_differs_from_bidirectional() {
         let mha = MultiHeadAttention::dense(32, 4, 11);
         let x = random::activation_matrix(8, 32, 12);
-        let bi = mha.forward(&x, &dev());
-        let causal = mha.forward_causal(&x, &dev());
+        let bi = mha.forward(&x);
+        let causal = mha.forward_causal(&x);
         assert_ne!(bi, causal);
         // Probabilities still normalise: outputs stay finite.
         assert!(causal.as_slice().iter().all(|v| v.is_finite()));

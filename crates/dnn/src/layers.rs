@@ -1,21 +1,26 @@
 //! Neural-network layers with functional forward passes.
 //!
 //! Activations are kept in `f32`; GEMM operands are converted to half at
-//! the layer boundary (standard mixed-precision inference). A [`Linear`]
-//! layer owns a dense half weight; a [`SparseLinear`] owns a V:N:M
-//! compressed weight and forwards through the Spatha kernel.
+//! the layer boundary (standard mixed-precision inference). Layers hold
+//! *execution plans* built by the [`Engine`]: a [`Linear`] owns a
+//! [`GemmPlan`] over its dense half weight, a [`SparseLinear`] owns a
+//! [`SpmmPlan`] over its V:N:M compressed weight, and `forward` replays
+//! the plan with zero per-call setup. The pre-engine per-call paths are
+//! retained as `forward_percall` — they are the bit-identical slow
+//! references the benchmarks compare against.
 
 use venom_core::{spmm, SpmmOptions};
 use venom_fp16::Half;
 use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
+use venom_runtime::{Engine, GemmPlan, SpmmPlan};
 use venom_sim::DeviceConfig;
 use venom_tensor::{gemm, Matrix};
 
 /// A dense linear layer `y = x W^T + b` with `W: [out x in]`.
 #[derive(Clone, Debug)]
 pub struct Linear {
-    /// Weight matrix, `out_features x in_features`.
-    pub weight: Matrix<Half>,
+    /// Planned dense weight, `out_features x in_features`.
+    pub plan: GemmPlan,
     /// Bias, length `out_features`.
     pub bias: Vec<f32>,
 }
@@ -26,8 +31,16 @@ impl Linear {
     /// # Panics
     /// Panics if `bias.len() != weight.rows()`.
     pub fn new(weight: &Matrix<f32>, bias: Vec<f32>) -> Self {
+        Self::from_half(&weight.to_half(), bias)
+    }
+
+    /// Creates a layer from a half weight matrix and bias.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != weight.rows()`.
+    pub fn from_half(weight: &Matrix<Half>, bias: Vec<f32>) -> Self {
         assert_eq!(bias.len(), weight.rows(), "bias must match out_features");
-        Linear { weight: weight.to_half(), bias }
+        Linear { plan: GemmPlan::new(weight), bias }
     }
 
     /// Glorot-initialised layer.
@@ -36,22 +49,43 @@ impl Linear {
         Linear::new(&w, vec![0.0; out_features])
     }
 
+    /// The dense half weight.
+    pub fn weight(&self) -> &Matrix<Half> {
+        self.plan.weight()
+    }
+
     /// `(out_features, in_features)`.
     pub fn shape(&self) -> (usize, usize) {
-        (self.weight.rows(), self.weight.cols())
+        self.plan.shape()
     }
 
     /// Forward pass: `x` is `tokens x in_features`; returns
-    /// `tokens x out_features`.
+    /// `tokens x out_features`. Bit-identical to [`Self::forward_percall`].
     ///
     /// # Panics
     /// Panics on shape mismatch.
     pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        assert_eq!(x.cols(), self.weight.cols(), "input features mismatch");
+        self.plan.run_linear(x, &self.bias)
+    }
+
+    /// Forward over an operand staged once for several sibling layers
+    /// (see [`venom_runtime::stage::stage_activations_t`]).
+    pub fn forward_staged(&self, staged: &[f32], tokens: usize) -> Matrix<f32> {
+        self.plan.run_linear_staged(staged, tokens, &self.bias)
+    }
+
+    /// The retained per-call path: converts, transposes and multiplies on
+    /// every invocation (what `forward` did before the engine existed).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn forward_percall(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        let weight = self.plan.weight();
+        assert_eq!(x.cols(), weight.cols(), "input features mismatch");
         // y^T = W x^T : run the GEMM in the library's (sparse-friendly)
         // orientation, then transpose back.
         let xt = x.to_half().transpose();
-        let yt = gemm::gemm_parallel(&self.weight, &xt);
+        let yt = gemm::gemm_parallel(weight, &xt);
         let mut y = yt.transpose();
         for r in 0..y.rows() {
             for (c, bv) in self.bias.iter().enumerate() {
@@ -61,42 +95,73 @@ impl Linear {
         y
     }
 
-    /// Converts to a sparse layer by pruning with `mask` and compressing.
+    /// Converts to a sparse layer by pruning with `mask` and compressing;
+    /// the engine plans the compressed weight.
     ///
     /// # Panics
     /// Panics if the mask does not comply with `cfg`.
-    pub fn to_sparse(&self, mask: &SparsityMask, cfg: VnmConfig) -> SparseLinear {
-        let pruned = mask.apply_half(&self.weight);
-        SparseLinear {
-            weight: VnmMatrix::compress(&pruned, mask, cfg),
-            bias: self.bias.clone(),
-        }
+    pub fn to_sparse(&self, engine: &Engine, mask: &SparsityMask, cfg: VnmConfig) -> SparseLinear {
+        let pruned = mask.apply_half(self.plan.weight());
+        SparseLinear::new(engine, VnmMatrix::compress(&pruned, mask, cfg), self.bias.clone())
     }
 }
 
-/// A V:N:M-sparse linear layer forwarding through Spatha.
+/// A V:N:M-sparse linear layer forwarding through a planned Spatha
+/// dispatch.
 #[derive(Clone, Debug)]
 pub struct SparseLinear {
-    /// Compressed weight, logically `out_features x in_features`.
-    pub weight: VnmMatrix,
+    /// Planned compressed weight, logically `out_features x in_features`.
+    pub plan: SpmmPlan,
     /// Bias, length `out_features`.
     pub bias: Vec<f32>,
 }
 
 impl SparseLinear {
-    /// `(out_features, in_features)`.
-    pub fn shape(&self) -> (usize, usize) {
-        self.weight.shape()
+    /// Plans `weight` on `engine` and wraps it with `bias`.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != weight.rows()`.
+    pub fn new(engine: &Engine, weight: VnmMatrix, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), weight.shape().0, "bias must match out_features");
+        SparseLinear { plan: engine.plan_spmm(&weight), bias }
     }
 
-    /// Forward pass through the Spatha kernel on `dev`.
+    /// The compressed weight.
+    pub fn weight(&self) -> &VnmMatrix {
+        self.plan.weight()
+    }
+
+    /// `(out_features, in_features)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.plan.shape()
+    }
+
+    /// Forward pass through the plan. Bit-identical to
+    /// [`Self::forward_percall`].
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        assert_eq!(x.cols(), self.weight.cols(), "input features mismatch");
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.plan.run_linear(x, &self.bias)
+    }
+
+    /// Forward over an operand staged once for several sibling layers.
+    pub fn forward_staged(&self, staged: &[f32], tokens: usize) -> Matrix<f32> {
+        self.plan.run_linear_staged(staged, tokens, &self.bias)
+    }
+
+    /// The retained per-call path through [`venom_core::spmm`]: redoes
+    /// tile selection, pricing and operand staging on every invocation
+    /// (what `forward` did before the engine existed). The benchmarks use
+    /// it as the unplanned baseline.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        let weight = self.plan.weight();
+        assert_eq!(x.cols(), weight.cols(), "input features mismatch");
         let xt = x.to_half().transpose();
-        let res = spmm(&self.weight, &xt, &SpmmOptions::default(), dev);
+        let res = spmm(weight, &xt, &SpmmOptions::default(), dev);
         let mut y = res.c.transpose();
         for r in 0..y.rows() {
             for (c, bv) in self.bias.iter().enumerate() {
@@ -146,10 +211,32 @@ impl LayerNorm {
     }
 }
 
-/// GELU activation (tanh approximation, as BERT uses).
+/// GELU activation (tanh approximation, as BERT uses), evaluated in half
+/// precision: the input rounds to f16 — the precision the activation
+/// tensor has in the mixed-precision dataflow, where the preceding GEMM's
+/// epilogue stores half before the activation kernel reads it — and the
+/// result is the exact f32 GELU of that value, read from a table over all
+/// 2^16 half bit patterns (a tanh per element is a measurable slice of
+/// end-to-end serving wall time on the functional path).
 pub fn gelu(x: &Matrix<f32>) -> Matrix<f32> {
-    x.map(|v| {
-        0.5 * v * (1.0 + ((2.0 / core::f32::consts::PI).sqrt() * (v + 0.044715 * v * v * v)).tanh())
+    let table = gelu_table();
+    x.map(|v| table[venom_fp16::f32_to_f16_bits(v) as usize])
+}
+
+/// The f32 GELU (tanh approximation) of one value.
+fn gelu_scalar(v: f32) -> f32 {
+    0.5 * v * (1.0 + ((2.0 / core::f32::consts::PI).sqrt() * (v + 0.044715 * v * v * v)).tanh())
+}
+
+/// Exact GELU values for every f16 bit pattern, built on first use.
+fn gelu_table() -> &'static [f32; 1 << 16] {
+    static TABLE: std::sync::OnceLock<Box<[f32; 1 << 16]>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = vec![0.0f32; 1 << 16];
+        for (bits, slot) in t.iter_mut().enumerate() {
+            *slot = gelu_scalar(venom_fp16::f16_bits_to_f32(bits as u16));
+        }
+        t.try_into().expect("table has 2^16 entries")
     })
 }
 
@@ -177,6 +264,10 @@ mod tests {
     use venom_pruner::magnitude;
     use venom_tensor::random;
 
+    fn engine() -> Engine {
+        Engine::new(DeviceConfig::rtx3090())
+    }
+
     #[test]
     fn linear_forward_matches_manual() {
         let w = Matrix::from_vec(2, 3, vec![1.0f32, 0.0, -1.0, 0.5, 2.0, 0.0]);
@@ -188,15 +279,33 @@ mod tests {
     }
 
     #[test]
-    fn sparse_linear_matches_masked_dense() {
+    fn planned_forward_is_bit_identical_to_percall() {
+        let lin = Linear::glorot(48, 80, 7);
+        let x = random::activation_matrix(21, 80, 8);
+        assert_eq!(lin.forward(&x), lin.forward_percall(&x));
+    }
+
+    #[test]
+    fn sparse_planned_forward_is_bit_identical_to_percall() {
         let dev = DeviceConfig::rtx3090();
         let cfg = VnmConfig::new(32, 2, 8);
         let lin = Linear::glorot(64, 64, 1);
-        let wf = lin.weight.to_f32();
+        let wf = lin.weight().to_f32();
         let mask = magnitude::prune_vnm(&wf, cfg);
-        let sparse = lin.to_sparse(&mask, cfg);
+        let sparse = lin.to_sparse(&engine(), &mask, cfg);
         let x = random::activation_matrix(16, 64, 2);
-        let y_sparse = sparse.forward(&x, &dev);
+        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x, &dev));
+    }
+
+    #[test]
+    fn sparse_linear_matches_masked_dense() {
+        let cfg = VnmConfig::new(32, 2, 8);
+        let lin = Linear::glorot(64, 64, 1);
+        let wf = lin.weight().to_f32();
+        let mask = magnitude::prune_vnm(&wf, cfg);
+        let sparse = lin.to_sparse(&engine(), &mask, cfg);
+        let x = random::activation_matrix(16, 64, 2);
+        let y_sparse = sparse.forward(&x);
         // Reference: dense forward with the pruned weights.
         let pruned = Linear::new(&mask.apply_f32(&wf), lin.bias.clone());
         let y_dense = pruned.forward(&x);

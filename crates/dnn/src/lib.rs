@@ -7,6 +7,10 @@
 //!
 //! * [`layers`] — Linear (dense or V:N:M-sparse), LayerNorm, GELU,
 //!   row-softmax, with functional forward passes in tensor-core numerics.
+//!   Layers hold `venom_runtime` execution plans (built once, replayed
+//!   per request); the pre-engine per-call dispatch survives as the
+//!   `forward_percall` reference paths the serving benchmarks compare
+//!   against.
 //! * [`attention`] — multi-head attention (the pruned MHA of Fig. 14).
 //! * [`transformer`] — encoder blocks and the model configurations the
 //!   paper measures (BERT-base/large, GPT2-large, GPT-3).

@@ -3,11 +3,15 @@
 //! Wraps `layers` encoder blocks plus a final layer norm, with a
 //! one-call [`TransformerEncoder::sparsify`] that converts every weight
 //! tensor to V:N:M (the STen integration path: "users can specify a list
-//! of weights to be made sparse ... with just a few lines of code").
+//! of weights to be made sparse ... with just a few lines of code") and
+//! plans it on the serving engine. The sparse stack also serves batched
+//! multi-sequence requests: [`SparseTransformerEncoder::forward_batch`]
+//! runs every sequence through the same plans.
 
-use crate::transformer::{EncoderBlock, SparseEncoderBlock, TransformerConfig};
 use crate::layers::LayerNorm;
+use crate::transformer::{EncoderBlock, SparseEncoderBlock, TransformerConfig};
 use venom_format::VnmConfig;
+use venom_runtime::Engine;
 use venom_sim::DeviceConfig;
 use venom_tensor::Matrix;
 
@@ -45,23 +49,24 @@ impl TransformerEncoder {
     }
 
     /// Forward over `x` (`seq x hidden`).
-    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
         let mut h = x.clone();
         for block in &self.blocks {
-            h = block.forward(&h, dev);
+            h = block.forward(&h);
         }
         self.ln_final.forward(&h)
     }
 
     /// Sparsifies every weight tensor to `pattern` via magnitude V:N:M
-    /// pruning (the Fig. 14 configuration applied stack-wide).
-    pub fn sparsify(&self, pattern: VnmConfig) -> SparseTransformerEncoder {
+    /// pruning (the Fig. 14 configuration applied stack-wide), planning
+    /// each compressed weight on `engine`.
+    pub fn sparsify(&self, engine: &Engine, pattern: VnmConfig) -> SparseTransformerEncoder {
         SparseTransformerEncoder {
             config: self.config,
             blocks: self
                 .blocks
                 .iter()
-                .map(|b| SparseEncoderBlock::from_dense(b, pattern))
+                .map(|b| SparseEncoderBlock::from_dense(engine, b, pattern))
                 .collect(),
             ln_final: self.ln_final.clone(),
             pattern,
@@ -70,12 +75,29 @@ impl TransformerEncoder {
 }
 
 impl SparseTransformerEncoder {
-    /// Forward over `x` (`seq x hidden`) with every weight GEMM running
-    /// through Spatha.
-    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+    /// Forward over `x` (`seq x hidden`) with every weight GEMM replaying
+    /// its plan.
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
         let mut h = x.clone();
         for block in &self.blocks {
-            h = block.forward(&h, dev);
+            h = block.forward(&h);
+        }
+        self.ln_final.forward(&h)
+    }
+
+    /// Serves a batch of sequences through the same plans. Each sequence
+    /// attends only to itself, so the result equals mapping
+    /// [`Self::forward`] over the batch.
+    pub fn forward_batch(&self, xs: &[&Matrix<f32>]) -> Vec<Matrix<f32>> {
+        xs.iter().map(|x| self.forward(x)).collect()
+    }
+
+    /// The retained per-call path (the unplanned serving baseline);
+    /// bit-identical to [`Self::forward`].
+    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        let mut h = x.clone();
+        for block in &self.blocks {
+            h = block.forward_percall(&h, dev);
         }
         self.ln_final.forward(&h)
     }
@@ -90,13 +112,16 @@ mod tests {
         TransformerConfig::new("mini", 32, 4, 2, 64, 16)
     }
 
+    fn engine() -> Engine {
+        Engine::new(DeviceConfig::rtx3090())
+    }
+
     #[test]
     fn dense_stack_runs_and_normalises() {
-        let dev = DeviceConfig::rtx3090();
         let model = TransformerEncoder::new(mini(), 1);
         assert_eq!(model.blocks.len(), 2);
         let x = random::activation_matrix(16, 32, 2);
-        let y = model.forward(&x, &dev);
+        let y = model.forward(&x);
         assert_eq!((y.rows(), y.cols()), (16, 32));
         // Final layer norm: every row has ~zero mean.
         for r in 0..16 {
@@ -107,12 +132,11 @@ mod tests {
 
     #[test]
     fn sparse_stack_stays_close_to_dense_at_50_percent() {
-        let dev = DeviceConfig::rtx3090();
         let model = TransformerEncoder::new(mini(), 3);
-        let sparse = model.sparsify(VnmConfig::new(16, 2, 4)); // 50%
+        let sparse = model.sparsify(&engine(), VnmConfig::new(16, 2, 4)); // 50%
         let x = random::activation_matrix(16, 32, 4);
-        let yd = model.forward(&x, &dev);
-        let ys = sparse.forward(&x, &dev);
+        let yd = model.forward(&x);
+        let ys = sparse.forward(&x);
         assert_eq!((ys.rows(), ys.cols()), (16, 32));
         assert!(ys.as_slice().iter().all(|v| v.is_finite()));
         // 50% magnitude pruning keeps the bulk of the signal: outputs
@@ -130,12 +154,32 @@ mod tests {
     }
 
     #[test]
+    fn planned_stack_is_bit_identical_to_percall() {
+        let dev = DeviceConfig::rtx3090();
+        let model = TransformerEncoder::new(mini(), 7);
+        let sparse = model.sparsify(&Engine::new(dev.clone()), VnmConfig::new(16, 2, 8));
+        let x = random::activation_matrix(16, 32, 8);
+        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x, &dev));
+    }
+
+    #[test]
+    fn batched_forward_matches_sequential() {
+        let model = TransformerEncoder::new(mini(), 9);
+        let sparse = model.sparsify(&engine(), VnmConfig::new(16, 2, 4));
+        let x1 = random::activation_matrix(16, 32, 10);
+        let x2 = random::activation_matrix(12, 32, 11);
+        let batch = sparse.forward_batch(&[&x1, &x2]);
+        assert_eq!(batch[0], sparse.forward(&x1));
+        assert_eq!(batch[1], sparse.forward(&x2));
+    }
+
+    #[test]
     fn sparsify_records_the_pattern() {
         let model = TransformerEncoder::new(mini(), 5);
         let pattern = VnmConfig::new(16, 2, 8);
-        let sparse = model.sparsify(pattern);
+        let sparse = model.sparsify(&engine(), pattern);
         assert_eq!(sparse.pattern, pattern);
         assert_eq!(sparse.blocks.len(), 2);
-        assert_eq!(sparse.blocks[0].ff1.weight.config(), pattern);
+        assert_eq!(sparse.blocks[0].ff1.weight().config(), pattern);
     }
 }

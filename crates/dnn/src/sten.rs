@@ -6,13 +6,15 @@
 //! implementation. This module is the Rust analogue: a [`Sparsifier`]
 //! trait, the [`VnmSparsifier`] (the paper's `spatha.VNMSparsifier`), and
 //! a [`SparseTensorWrapper`] that keeps the dense original alongside the
-//! compressed form, mirroring `sten.SparseTensorWrapper.wrapped_from_dense`.
+//! *planned* compressed form, mirroring
+//! `sten.SparseTensorWrapper.wrapped_from_dense`. Wrapping plans the
+//! tensor once on the engine; every `spmm` dispatch replays the plan
+//! instead of rebuilding options and re-staging operands per call.
 
-use venom_core::{spmm, SpmmOptions, SpmmResult};
 use venom_fp16::Half;
 use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
 use venom_pruner::magnitude;
-use venom_sim::DeviceConfig;
+use venom_runtime::{Engine, SpmmPlan};
 use venom_tensor::Matrix;
 
 /// Turns dense weights into a compressed sparse form.
@@ -48,38 +50,56 @@ impl Sparsifier for VnmSparsifier {
     }
 }
 
-/// A tensor that remembers both its dense origin and its compressed form —
-/// `sten.SparseTensorWrapper.wrapped_from_dense(...)`.
+/// A tensor that remembers both its dense origin and its planned
+/// compressed form — `sten.SparseTensorWrapper.wrapped_from_dense(...)`.
 #[derive(Clone, Debug)]
 pub struct SparseTensorWrapper {
     /// The dense weights the wrapper was built from (used for gradient
     /// formats in STen; kept here for verification).
     pub dense_origin: Matrix<Half>,
-    /// The compressed V:N:M tensor.
-    pub compressed: VnmMatrix,
+    /// The compressed V:N:M tensor, planned on the wrapping engine.
+    pub plan: SpmmPlan,
 }
 
 impl SparseTensorWrapper {
     /// Wraps `dense` using `sparsifier` (Listing 1's
-    /// `torch_tensor_to_vnm`).
-    pub fn wrapped_from_dense(sparsifier: &VnmSparsifier, dense: &Matrix<Half>) -> Self {
+    /// `torch_tensor_to_vnm`) and plans the compressed tensor on
+    /// `engine` — the single place tile selection and operand staging
+    /// happen.
+    pub fn wrapped_from_dense(
+        sparsifier: &VnmSparsifier,
+        dense: &Matrix<Half>,
+        engine: &Engine,
+    ) -> Self {
         SparseTensorWrapper {
             dense_origin: dense.clone(),
-            compressed: sparsifier.sparsify(dense),
+            plan: engine.plan_spmm(&sparsifier.sparsify(dense)),
         }
     }
 
-    /// Dispatches the SpMM to Spatha (Listing 1's `spatha.spmm(values,
-    /// columns, metadata, input, bias, ...)`).
-    pub fn spmm(&self, input: &Matrix<Half>, dev: &DeviceConfig) -> SpmmResult {
-        spmm(&self.compressed, input, &SpmmOptions::default(), dev)
+    /// The compressed V:N:M tensor.
+    pub fn compressed(&self) -> &VnmMatrix {
+        self.plan.weight()
+    }
+
+    /// Dispatches the SpMM through the plan (Listing 1's
+    /// `spatha.spmm(values, columns, metadata, input, bias, ...)`),
+    /// bit-identical to the one-shot `venom_core::spmm` dispatch it
+    /// replaces.
+    pub fn spmm(&self, input: &Matrix<Half>) -> Matrix<f32> {
+        self.plan.run(input)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use venom_sim::DeviceConfig;
     use venom_tensor::random;
+
+    fn engine() -> Engine {
+        Engine::new(DeviceConfig::rtx3090())
+    }
 
     #[test]
     fn sparsifier_produces_compliant_tensor() {
@@ -100,14 +120,25 @@ mod tests {
 
     #[test]
     fn wrapper_keeps_origin_and_dispatches() {
-        let dev = DeviceConfig::rtx3090();
         let dense = random::glorot_matrix(64, 64, 2).to_half();
         let sp = VnmSparsifier::new(32, 2, 8);
-        let wrapped = SparseTensorWrapper::wrapped_from_dense(&sp, &dense);
+        let wrapped = SparseTensorWrapper::wrapped_from_dense(&sp, &dense, &engine());
         assert_eq!(wrapped.dense_origin, dense);
         let x = random::activation_matrix(64, 16, 3).to_half();
-        let out = wrapped.spmm(&x, &dev);
-        let want = wrapped.compressed.spmm_ref(&x);
-        assert!(venom_tensor::norms::allclose(&out.c, &want, 1e-3, 1e-3));
+        let out = wrapped.spmm(&x);
+        // The planned dispatch is exactly the compressed-format oracle.
+        assert_eq!(out, wrapped.compressed().spmm_ref(&x));
+    }
+
+    #[test]
+    fn repeated_dispatch_reuses_the_plan_exactly() {
+        let dense = random::glorot_matrix(32, 64, 4).to_half();
+        let sp = VnmSparsifier::new(16, 2, 8);
+        let wrapped = SparseTensorWrapper::wrapped_from_dense(&sp, &dense, &engine());
+        let x = random::activation_matrix(64, 8, 5).to_half();
+        let first = wrapped.spmm(&x);
+        for _ in 0..3 {
+            assert_eq!(wrapped.spmm(&x), first);
+        }
     }
 }

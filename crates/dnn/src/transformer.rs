@@ -3,10 +3,13 @@
 //! The presets are the models of the paper's Fig. 15 case study. Weight
 //! shapes follow the standard pre-LN encoder: four `H x H` attention
 //! projections plus the `4H x H` and `H x 4H` feed-forward weights per
-//! layer — the tensors §7.2 sparsifies.
+//! layer — the tensors §7.2 sparsifies. Blocks hold execution plans;
+//! `forward` replays them, and `forward_percall` retains the pre-engine
+//! per-call dispatch as the unplanned baseline.
 
 use crate::attention::MultiHeadAttention;
 use crate::layers::{gelu, LayerNorm, Linear};
+use venom_runtime::Engine;
 use venom_sim::DeviceConfig;
 use venom_tensor::Matrix;
 
@@ -117,8 +120,8 @@ impl EncoderBlock {
     }
 
     /// Forward over `x` (`seq x hidden`) with residual connections.
-    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        let attn = self.mha.forward(&self.ln1.forward(x), dev);
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        let attn = self.mha.forward(&self.ln1.forward(x));
         let mut h = x.clone();
         for (o, a) in h.as_mut_slice().iter_mut().zip(attn.as_slice()) {
             *o += a;
@@ -148,18 +151,23 @@ pub struct SparseEncoderBlock {
 
 impl SparseEncoderBlock {
     /// Sparsifies a dense block with magnitude V:N:M pruning on all six
-    /// weight tensors (the §7.2 configuration).
+    /// weight tensors (the §7.2 configuration), planning every compressed
+    /// weight on `engine`.
     ///
     /// # Panics
     /// Panics if the hidden/ff sizes are incompatible with `cfg`
     /// (dimensions must exceed V).
-    pub fn from_dense(block: &EncoderBlock, cfg: venom_format::VnmConfig) -> Self {
+    pub fn from_dense(
+        engine: &Engine,
+        block: &EncoderBlock,
+        cfg: venom_format::VnmConfig,
+    ) -> Self {
         let mut mha = block.mha.clone();
-        mha.sparsify(cfg);
+        mha.sparsify(engine, cfg);
         let sparsify = |lin: &Linear| {
-            let wf = lin.weight.to_f32();
+            let wf = lin.weight().to_f32();
             let mask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
-            lin.to_sparse(&mask, cfg)
+            lin.to_sparse(engine, &mask, cfg)
         };
         SparseEncoderBlock {
             mha,
@@ -171,16 +179,34 @@ impl SparseEncoderBlock {
     }
 
     /// Forward with the same dataflow as [`EncoderBlock::forward`], every
-    /// weight GEMM running through Spatha.
-    pub fn forward(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        let attn = self.mha.forward(&self.ln1.forward(x), dev);
+    /// weight GEMM replaying its plan.
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        let attn = self.mha.forward(&self.ln1.forward(x));
         let mut h = x.clone();
         for (o, a) in h.as_mut_slice().iter_mut().zip(attn.as_slice()) {
             *o += a;
         }
-        let ff = self
-            .ff2
-            .forward(&gelu(&self.ff1.forward(&self.ln2.forward(&h), dev)), dev);
+        let ff = self.ff2.forward(&gelu(&self.ff1.forward(&self.ln2.forward(&h))));
+        for (o, f) in h.as_mut_slice().iter_mut().zip(ff.as_slice()) {
+            *o += f;
+        }
+        h
+    }
+
+    /// The retained per-call path: every weight op goes through the
+    /// one-shot `spmm` entry point, redoing setup per call — the unplanned
+    /// baseline of the serving benchmarks. Bit-identical to
+    /// [`Self::forward`].
+    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
+        let attn = self.mha.forward_percall(&self.ln1.forward(x), dev);
+        let mut h = x.clone();
+        for (o, a) in h.as_mut_slice().iter_mut().zip(attn.as_slice()) {
+            *o += a;
+        }
+        let ff = self.ff2.forward_percall(
+            &gelu(&self.ff1.forward_percall(&self.ln2.forward(&h), dev)),
+            dev,
+        );
         for (o, f) in h.as_mut_slice().iter_mut().zip(ff.as_slice()) {
             *o += f;
         }
@@ -225,12 +251,24 @@ mod tests {
         let cfg = TransformerConfig::new("mini", 32, 4, 2, 64, 16);
         let block = EncoderBlock::dense(&cfg, 1);
         let x = random::activation_matrix(16, 32, 2);
-        let y = block.forward(&x, &DeviceConfig::rtx3090());
+        let y = block.forward(&x);
         assert_eq!((y.rows(), y.cols()), (16, 32));
         assert!(y.as_slice().iter().all(|v| v.is_finite()));
         // Residual path: output correlates with input (not wiped out).
         let dot: f32 = y.as_slice().iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
         assert!(dot != 0.0);
+    }
+
+    #[test]
+    fn planned_sparse_block_is_bit_identical_to_percall() {
+        let dev = DeviceConfig::rtx3090();
+        let engine = Engine::new(dev.clone());
+        let cfg = TransformerConfig::new("mini", 32, 4, 2, 64, 16);
+        let block = EncoderBlock::dense(&cfg, 3);
+        let sparse =
+            SparseEncoderBlock::from_dense(&engine, &block, venom_format::VnmConfig::new(16, 2, 4));
+        let x = random::activation_matrix(16, 32, 4);
+        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x, &dev));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! compute when block populations are skewed, which is exactly why
 //! performance-aware DL formats (and VENOM) move away from it.
 
+use rayon::prelude::*;
 use venom_fp16::Half;
 use venom_tensor::Matrix;
 
@@ -168,6 +169,47 @@ impl BlockedEllMatrix {
         }
         out
     }
+
+    /// Parallel SpMM with f32-staged operands: `B` is decoded to f32 once,
+    /// block rows (disjoint row ranges) are processed in parallel. Within
+    /// a block row the stored blocks accumulate in the same `(slot, j)`
+    /// order as [`Self::spmm_ref`] with the same exact products, so
+    /// results are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `B` has the wrong number of rows.
+    pub fn spmm_parallel(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.cols, "B must have {} rows", self.cols);
+        let bcols = b.cols();
+        let b_f32 = venom_fp16::slice::decode_f32_vec(b.as_slice());
+        let table = venom_fp16::f16_to_f32_table();
+        let mut out = vec![0.0f32; self.rows * bcols];
+        out.par_chunks_mut(self.bs * bcols).enumerate().for_each(|(br, chunk)| {
+            for slot in 0..self.ell_width {
+                let bc = self.block_cols[br * self.ell_width + slot];
+                if bc == PAD {
+                    continue;
+                }
+                let base = (br * self.ell_width + slot) * self.bs * self.bs;
+                for i in 0..self.bs {
+                    let orow = &mut chunk[i * bcols..(i + 1) * bcols];
+                    for j in 0..self.bs {
+                        let v = self.values[base + i * self.bs + j];
+                        if v.is_zero() {
+                            continue;
+                        }
+                        let vf = table[v.to_bits() as usize];
+                        let k = bc as usize * self.bs + j;
+                        let brow = &b_f32[k * bcols..(k + 1) * bcols];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += vf * bv;
+                        }
+                    }
+                }
+            }
+        });
+        Matrix::from_vec(self.rows, bcols, out)
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +260,18 @@ mod tests {
             err = err.max((x - y).abs());
         }
         assert!(err < 1e-3, "err={err}");
+    }
+
+    #[test]
+    fn spmm_parallel_is_bit_identical_to_spmm_ref() {
+        for (rows, cols, bs, keep, seed) in
+            [(16usize, 32usize, 8usize, 0.3, 2u64), (24, 48, 4, 0.5, 7), (32, 16, 16, 0.9, 9)]
+        {
+            let a = block_sparse(rows, cols, bs, keep, seed);
+            let ell = BlockedEllMatrix::from_dense(&a, bs);
+            let b = random::normal_matrix(cols, 13, 0.0, 1.0, seed + 1).to_half();
+            assert_eq!(ell.spmm_parallel(&b), ell.spmm_ref(&b), "bs={bs} seed={seed}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! mapping ultimately produces over the *selected* columns.
 
 use crate::{NmConfig, SparsityMask};
+use rayon::prelude::*;
 use venom_fp16::Half;
 use venom_tensor::Matrix;
 
@@ -150,6 +151,41 @@ impl NmCompressed {
         out
     }
 
+    /// Parallel SpMM with f32-staged operands: `B` is decoded to f32
+    /// once, output rows are processed in parallel. Each row accumulates
+    /// its stored slots in the same `(group, slot)` order as
+    /// [`Self::spmm_ref`] with the same exact products, so results are
+    /// bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `B` has the wrong number of rows.
+    pub fn spmm_parallel(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.cols, "B must have {} rows", self.cols);
+        let n = self.cfg.n;
+        let bcols = b.cols();
+        let b_f32 = venom_fp16::slice::decode_f32_vec(b.as_slice());
+        let table = venom_fp16::f16_to_f32_table();
+        let mut out = vec![0.0f32; self.rows * bcols];
+        out.par_chunks_mut(bcols).enumerate().for_each(|(r, orow)| {
+            for g in 0..self.groups_per_row {
+                for s in 0..n {
+                    let slot = (r * self.groups_per_row + g) * n + s;
+                    let v = self.values[slot];
+                    if v.is_zero() {
+                        continue;
+                    }
+                    let k = g * self.cfg.m + self.indices[slot] as usize;
+                    let vf = table[v.to_bits() as usize];
+                    let brow = &b_f32[k * bcols..(k + 1) * bcols];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += vf * bv;
+                    }
+                }
+            }
+        });
+        Matrix::from_vec(self.rows, bcols, out)
+    }
+
     /// Reconstructs the dense matrix (pruned entries become zero).
     pub fn decompress(&self) -> Matrix<Half> {
         let mut out = Matrix::<Half>::zeros(self.rows, self.cols);
@@ -275,6 +311,20 @@ mod tests {
             m
         };
         assert!(err < 1e-3, "err={err}");
+    }
+
+    #[test]
+    fn spmm_parallel_is_bit_identical_to_spmm_ref() {
+        for (cfg, rows, cols, seed) in [
+            (NmConfig::new(2, 4), 24usize, 40usize, 11u64),
+            (NmConfig::new(2, 8), 17, 36, 13), // tail group + odd rows
+            (NmConfig::new(1, 4), 8, 16, 15),
+        ] {
+            let (dense, mask) = random_nm(rows, cols, cfg, seed);
+            let comp = NmCompressed::compress(&dense, &mask, cfg);
+            let b = random::normal_matrix(cols, 9, 0.0, 1.0, seed + 1).to_half();
+            assert_eq!(comp.spmm_parallel(&b), comp.spmm_ref(&b), "{cfg} seed={seed}");
+        }
     }
 
     #[test]

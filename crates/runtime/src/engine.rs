@@ -1,0 +1,101 @@
+//! The [`Engine`]: the factory that builds execution plans against one
+//! target device.
+
+use crate::plan::{GemmPlan, SpmmPlan};
+use venom_core::SpmmOptions;
+use venom_format::VnmMatrix;
+use venom_fp16::Half;
+use venom_sim::DeviceConfig;
+use venom_tensor::Matrix;
+
+/// Builds plans for one device configuration. Cheap to clone; layers and
+/// models hold the plans, not the engine.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    dev: DeviceConfig,
+    opts: SpmmOptions,
+    b_cols_hint: usize,
+}
+
+impl Engine {
+    /// Default output-column bound plans are tuned for when the caller
+    /// gives none: the BERT evaluation sequence length of the paper.
+    pub const DEFAULT_B_COLS_HINT: usize = 512;
+
+    /// An engine targeting `dev` with default options.
+    pub fn new(dev: DeviceConfig) -> Self {
+        Engine { dev, opts: SpmmOptions::default(), b_cols_hint: Self::DEFAULT_B_COLS_HINT }
+    }
+
+    /// Overrides the output-column bound used by [`Self::plan_spmm`].
+    #[must_use]
+    pub fn with_b_cols_hint(mut self, b_cols: usize) -> Self {
+        self.b_cols_hint = b_cols;
+        self
+    }
+
+    /// Overrides the kernel options plans are priced with (column-loc /
+    /// epilogue ablations, explicit tile).
+    #[must_use]
+    pub fn with_options(mut self, opts: SpmmOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.dev
+    }
+
+    /// The column bound [`Self::plan_spmm`] tunes for.
+    pub fn b_cols_hint(&self) -> usize {
+        self.b_cols_hint
+    }
+
+    /// Plans a V:N:M SpMM at the engine's column hint.
+    pub fn plan_spmm(&self, a: &VnmMatrix) -> SpmmPlan {
+        self.plan_spmm_bounded(a, self.b_cols_hint)
+    }
+
+    /// Plans a V:N:M SpMM tuned and priced for up to `b_cols_bound`
+    /// output columns (wider runs stay exact; only the captured pricing
+    /// assumes the bound).
+    pub fn plan_spmm_bounded(&self, a: &VnmMatrix, b_cols_bound: usize) -> SpmmPlan {
+        SpmmPlan::build(a, b_cols_bound, &self.opts, &self.dev)
+    }
+
+    /// Plans a dense GEMM (no tile search: the dense model has a single
+    /// implementation).
+    pub fn plan_gemm(&self, w: &Matrix<Half>) -> GemmPlan {
+        GemmPlan::new(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_format::VnmConfig;
+    use venom_pruner::magnitude;
+    use venom_tensor::random;
+
+    #[test]
+    fn engine_builds_tuned_plans() {
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(128);
+        let w = random::normal_matrix(64, 128, 0.0, 1.0, 1);
+        let cfg = VnmConfig::new(32, 2, 8);
+        let mask = magnitude::prune_vnm(&w, cfg);
+        let a = VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg);
+        let plan = engine.plan_spmm(&a);
+        assert_eq!(plan.b_cols_bound(), 128);
+        let tile = plan.tile().expect("V = 32 is kernel-launchable");
+        assert_eq!(tile.bs_r, 32);
+        assert!(plan.timing().expect("priced at build").time_ms > 0.0);
+    }
+
+    #[test]
+    fn hint_default_is_bert_sequence_length() {
+        let engine = Engine::new(DeviceConfig::a100());
+        assert_eq!(engine.b_cols_hint(), 512);
+        assert_eq!(engine.device().name, DeviceConfig::a100().name);
+    }
+}

@@ -1,0 +1,42 @@
+//! The inference engine: plan-once/run-many execution over the Spatha
+//! kernels (the cuSPARSELt-style plan/execute split the paper benchmarks
+//! against, §7.2).
+//!
+//! The per-call [`venom_core::spmm`] entry point redoes tile-config
+//! selection, cost-model pricing and operand staging on every invocation —
+//! the right shape for one-shot benchmarks, the wrong one for serving,
+//! where the compressed weights are static across every forward pass. An
+//! [`Engine`] builds *plans* instead:
+//!
+//! * [`SpmmPlan`] captures, at build time, the autotuned [`TileConfig`]
+//!   for the `(weight, b_cols)` shape, the weight's f32-staged operands
+//!   condensed into a per-row `(value, B-row)` stream in the kernel's
+//!   exact accumulation order, and the priced launch. `plan.run(&b)` then
+//!   executes with zero per-call setup.
+//! * [`GemmPlan`] is the dense analogue for the unpruned layers: the
+//!   weight is decoded and zero-compacted once, and every run replays
+//!   [`venom_tensor::gemm::gemm_parallel`]'s accumulation chain.
+//!
+//! Every plan execution is **bit-identical** to the one-shot path it
+//! amortises: the stream stores each row's nonzeros in the same ascending
+//! `(group, slot)` order the kernel (and `spmm_ref`) accumulate in, with
+//! the same exactly-decoded f32 products, so the f32 additions happen in
+//! the same order with the same values. Batched runs concatenate requests
+//! along the output-column dimension; columns are independent in every
+//! path, so batching changes nothing numerically either.
+//!
+//! Per-call scratch (the staged RHS, intermediate products) leases from a
+//! per-thread [`arena`], so steady-state serving performs no staging
+//! allocations beyond the returned output matrices.
+
+pub mod arena;
+pub mod engine;
+pub mod plan;
+pub mod stage;
+
+pub use engine::Engine;
+pub use plan::{GemmPlan, SpmmPlan};
+
+pub use venom_core::{SpmmOptions, TileConfig};
+pub use venom_format::{VnmConfig, VnmMatrix};
+pub use venom_sim::{DeviceConfig, KernelTiming};

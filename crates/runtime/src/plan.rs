@@ -1,0 +1,544 @@
+//! Execution plans: the condensed instruction streams and their run paths.
+//!
+//! A plan's stream stores, for every output row, the row's nonzero
+//! operands as `(f32 value, source B row)` pairs in the exact order the
+//! one-shot path accumulates them — ascending `(K group, slot)` for the
+//! V:N:M kernel, ascending `k` for the dense GEMM — with explicit zeros
+//! dropped exactly where the one-shot paths skip them. Replaying the
+//! stream therefore reproduces every f32 accumulation chain bit-for-bit
+//! while touching each operand once, at full output width, instead of
+//! through 8-column instruction fragments rebuilt on every call.
+
+use crate::arena;
+use crate::stage;
+use rayon::prelude::*;
+use venom_core::{SpmmOptions, TileConfig};
+use venom_fp16::Half;
+use venom_format::VnmMatrix;
+use venom_sim::pipeline::KernelCounts;
+use venom_sim::{DeviceConfig, KernelTiming};
+use venom_tensor::Matrix;
+
+/// Row height of one parallel task; matches `gemm_parallel`'s banding so
+/// task granularity is comparable across the dense and sparse paths.
+const BAND_ROWS: usize = 16;
+
+/// The shared condensed stream: CSR-like over *staged* f32 values, with
+/// `srcs[i]` naming the RHS row each value multiplies.
+#[derive(Clone, Debug)]
+pub(crate) struct Stream {
+    rows: usize,
+    k: usize,
+    row_ptr: Vec<u32>,
+    vals: Vec<f32>,
+    srcs: Vec<u32>,
+}
+
+impl Stream {
+    /// Builds the stream of a V:N:M weight in kernel accumulation order.
+    fn from_vnm(a: &VnmMatrix) -> Self {
+        let (rows, k) = a.shape();
+        let cfg = a.config();
+        let k_groups = a.k_groups();
+        let a_f32 = venom_fp16::slice::decode_f32_vec(a.values());
+        let m_indices = a.m_indices();
+
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut vals = Vec::new();
+        let mut srcs = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..rows {
+            let blk = r / cfg.v;
+            for g in 0..k_groups {
+                let sel = a.selected_b_rows(blk, g);
+                for s in 0..cfg.n {
+                    let slot = (r * k_groups + g) * cfg.n + s;
+                    let vf = a_f32[slot];
+                    if vf != 0.0 {
+                        vals.push(vf);
+                        srcs.push(sel[m_indices[slot] as usize] as u32);
+                    }
+                }
+            }
+            row_ptr.push(vals.len() as u32);
+        }
+        Stream { rows, k, row_ptr, vals, srcs }
+    }
+
+    /// Builds the stream of a dense half weight in `gemm_ref` order
+    /// (ascending `k`, explicit zeros dropped where `gemm_ref` skips them).
+    fn from_dense(w: &Matrix<Half>) -> Self {
+        let (rows, k) = (w.rows(), w.cols());
+        let table = venom_fp16::f16_to_f32_table();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut vals = Vec::new();
+        let mut srcs = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..rows {
+            for (kk, &h) in w.row(r).iter().enumerate() {
+                if !h.is_zero() {
+                    vals.push(table[h.to_bits() as usize]);
+                    srcs.push(kk as u32);
+                }
+            }
+            row_ptr.push(vals.len() as u32);
+        }
+        Stream { rows, k, row_ptr, vals, srcs }
+    }
+
+    /// Stored operand count.
+    fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `C = A * B` over a staged RHS (`k x b_cols`, row-major f32) into
+    /// `out` (`rows x b_cols`, zero-initialised). Output rows are disjoint
+    /// across parallel bands and each element accumulates sequentially in
+    /// stream order, so the result is bit-identical regardless of the
+    /// worker count.
+    ///
+    /// The inner loop walks four stream entries at a time, reading and
+    /// writing the output row once per quad. The per-element sum is
+    /// evaluated left to right (`((o + v0*b0) + v1*b1) + ...`), which is
+    /// exactly the accumulation chain of one-entry-at-a-time iteration —
+    /// the unroll changes traffic, not bits.
+    fn run_into(&self, b_f32: &[f32], b_cols: usize, out: &mut [f32]) {
+        assert_eq!(b_f32.len(), self.k * b_cols, "staged RHS size mismatch");
+        assert_eq!(out.len(), self.rows * b_cols, "output size mismatch");
+        out.par_chunks_mut(BAND_ROWS * b_cols).enumerate().for_each(|(band, chunk)| {
+            let row0 = band * BAND_ROWS;
+            for (i, orow) in chunk.chunks_mut(b_cols).enumerate() {
+                let r = row0 + i;
+                let lo = self.row_ptr[r] as usize;
+                let hi = self.row_ptr[r + 1] as usize;
+                let mut s = lo;
+                while s + 4 <= hi {
+                    let v = &self.vals[s..s + 4];
+                    let b0 = &b_f32[self.srcs[s] as usize * b_cols..][..b_cols];
+                    let b1 = &b_f32[self.srcs[s + 1] as usize * b_cols..][..b_cols];
+                    let b2 = &b_f32[self.srcs[s + 2] as usize * b_cols..][..b_cols];
+                    let b3 = &b_f32[self.srcs[s + 3] as usize * b_cols..][..b_cols];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o = *o + v[0] * b0[j] + v[1] * b1[j] + v[2] * b2[j] + v[3] * b3[j];
+                    }
+                    s += 4;
+                }
+                for (vf, src) in self.vals[s..hi].iter().zip(&self.srcs[s..hi]) {
+                    let brow = &b_f32[*src as usize * b_cols..][..b_cols];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += vf * bv;
+                    }
+                }
+            }
+        });
+    }
+
+    /// [`Self::run_into`] with an owned result matrix.
+    fn run(&self, b_f32: &[f32], b_cols: usize) -> Matrix<f32> {
+        let mut out = vec![0.0f32; self.rows * b_cols];
+        self.run_into(b_f32, b_cols, &mut out);
+        Matrix::from_vec(self.rows, b_cols, out)
+    }
+
+    /// The fused layer path: stages `x` (`tokens x k` f32) through f16
+    /// rounding into the kernel orientation, multiplies, and returns
+    /// `(A * x^T)^T + bias` (`tokens x rows`) — element-for-element the
+    /// chain `transpose(A * x.to_half().transpose()) + bias` of the
+    /// per-call layer forward, in two fused passes.
+    fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+        assert_eq!(x.cols(), self.k, "input features mismatch");
+        let mut staged = arena::lease(x.len());
+        stage::stage_activations_t_into(x, &mut staged);
+        let y = self.run_linear_staged(&staged, x.rows(), bias);
+        arena::release(staged);
+        y
+    }
+
+    /// [`Self::run_linear`] over an already-staged RHS (shared by sibling
+    /// plans of one layer, e.g. Q/K/V over the same activations).
+    fn run_linear_staged(&self, b_f32: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
+        assert_eq!(bias.len(), self.rows, "bias must match out_features");
+        let mut c = arena::lease(self.rows * tokens);
+        self.run_into(b_f32, tokens, &mut c);
+        // Tiled transpose+bias epilogue: 32x32 blocks keep both the
+        // strided reads from `c` and the writes to `y` inside the cache
+        // (a row-by-row transpose touches a fresh cache line per element).
+        const TILE: usize = 32;
+        let mut y = vec![0.0f32; tokens * self.rows];
+        for t0 in (0..tokens).step_by(TILE) {
+            let t1 = (t0 + TILE).min(tokens);
+            for r0 in (0..self.rows).step_by(TILE) {
+                let r1 = (r0 + TILE).min(self.rows);
+                for t in t0..t1 {
+                    let yrow = &mut y[t * self.rows..][r0..r1];
+                    for (r, o) in (r0..r1).zip(yrow.iter_mut()) {
+                        *o = c[r * tokens + t] + bias[r];
+                    }
+                }
+            }
+        }
+        arena::release(c);
+        Matrix::from_vec(tokens, self.rows, y)
+    }
+}
+
+/// A plan for `C = A * B` with a static V:N:M weight `A` — built once,
+/// run on every request.
+#[derive(Clone, Debug)]
+pub struct SpmmPlan {
+    weight: VnmMatrix,
+    stream: Stream,
+    dev: DeviceConfig,
+    b_cols_bound: usize,
+    /// Autotuned instantiation at the planned bound; `None` when `V` is
+    /// below the kernel's 16-row fragment contract (the stream executes
+    /// any `V`; only the GPU pricing needs a launchable tile).
+    tile: Option<TileConfig>,
+    timing: Option<KernelTiming>,
+    counts: Option<KernelCounts>,
+}
+
+impl SpmmPlan {
+    /// Builds a plan; prefer [`crate::Engine::plan_spmm`].
+    pub(crate) fn build(
+        a: &VnmMatrix,
+        b_cols_bound: usize,
+        opts: &SpmmOptions,
+        dev: &DeviceConfig,
+    ) -> Self {
+        let stream = Stream::from_vnm(a);
+        let v = a.config().v;
+        let (tile, timing, counts) = if v >= 16 && v.is_multiple_of(16) {
+            let tile = opts
+                .tile
+                .unwrap_or_else(|| venom_core::autotune(a, b_cols_bound, opts, dev).0);
+            let counts = venom_core::build_counts(a, b_cols_bound, &tile, opts);
+            let timing = venom_sim::pipeline::simulate(dev, &counts).unwrap_or_else(|e| {
+                panic!("planned configuration {tile} cannot launch on {}: {e:?}", dev.name)
+            });
+            (Some(tile), Some(timing), Some(counts))
+        } else {
+            (None, None, None)
+        };
+        SpmmPlan { weight: a.clone(), stream, dev: dev.clone(), b_cols_bound, tile, timing, counts }
+    }
+
+    /// The compressed weight the plan executes.
+    pub fn weight(&self) -> &VnmMatrix {
+        &self.weight
+    }
+
+    /// Logical weight shape `(rows, k)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.weight.shape()
+    }
+
+    /// Stored nonzeros in the condensed stream.
+    pub fn nnz(&self) -> usize {
+        self.stream.nnz()
+    }
+
+    /// The output-column bound the tile was tuned (and priced) for. Runs
+    /// beyond the bound stay exact; only the captured pricing assumes it.
+    pub fn b_cols_bound(&self) -> usize {
+        self.b_cols_bound
+    }
+
+    /// The autotuned template instantiation (`None` for V < 16 patterns,
+    /// which only the functional stream supports).
+    pub fn tile(&self) -> Option<TileConfig> {
+        self.tile
+    }
+
+    /// Simulated timing of one dispatch at the planned bound.
+    pub fn timing(&self) -> Option<&KernelTiming> {
+        self.timing.as_ref()
+    }
+
+    /// Priced resource counts at the planned bound.
+    pub fn counts(&self) -> Option<&KernelCounts> {
+        self.counts.as_ref()
+    }
+
+    /// Prices a dispatch at a different width with the planned tile.
+    pub fn price(&self, b_cols: usize, opts: &SpmmOptions) -> Option<KernelTiming> {
+        let tile = self.tile?;
+        let (r, k) = self.weight.shape();
+        let counts =
+            venom_core::build_counts_shape(r, k, b_cols, self.weight.config(), &tile, opts);
+        venom_sim::pipeline::simulate(&self.dev, &counts).ok()
+    }
+
+    /// Executes `C = A * B`; bit-identical to
+    /// `venom_core::spmm(&a, &b, ..).c` (and to `a.spmm_ref(&b)`).
+    ///
+    /// # Panics
+    /// Panics if `B` has a row count different from the planned K.
+    pub fn run(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.stream.k, "B must have K = {} rows", self.stream.k);
+        let mut staged = arena::lease(b.len());
+        stage::decode_rhs_into(b, &mut staged);
+        let c = self.stream.run(&staged, b.cols());
+        arena::release(staged);
+        c
+    }
+
+    /// One dispatch over many requests: concatenates the operands along
+    /// the output-column dimension, multiplies once, and splits the
+    /// result. Bit-identical to running each operand separately (columns
+    /// are independent in every path).
+    ///
+    /// # Panics
+    /// Panics if any operand has a row count different from the planned K.
+    pub fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
+        if bs.is_empty() {
+            return Vec::new();
+        }
+        let k = self.stream.k;
+        let total: usize = bs.iter().map(|b| b.cols()).sum();
+        let mut staged = arena::lease(k * total);
+        let mut col0 = 0usize;
+        for b in bs {
+            assert_eq!(b.rows(), k, "B must have K = {k} rows");
+            let cols = b.cols();
+            for r in 0..k {
+                venom_fp16::slice::decode_f32_into(
+                    b.row(r),
+                    &mut staged[r * total + col0..r * total + col0 + cols],
+                );
+            }
+            col0 += cols;
+        }
+        let c = self.stream.run(&staged, total);
+        arena::release(staged);
+
+        let mut out = Vec::with_capacity(bs.len());
+        let rows = self.stream.rows;
+        let mut col0 = 0usize;
+        for b in bs {
+            let cols = b.cols();
+            let mut part = vec![0.0f32; rows * cols];
+            for r in 0..rows {
+                part[r * cols..(r + 1) * cols]
+                    .copy_from_slice(&c.as_slice()[r * total + col0..r * total + col0 + cols]);
+            }
+            out.push(Matrix::from_vec(rows, cols, part));
+            col0 += cols;
+        }
+        out
+    }
+
+    /// The fused layer forward `y = x W^T + b`: stages `x` through f16
+    /// rounding into the kernel orientation, runs the stream, and returns
+    /// the transposed-plus-bias output — bit-identical to the per-call
+    /// chain `spmm(&w, &x.to_half().transpose(), ..).c.transpose()` with
+    /// the bias added row-wise afterwards.
+    ///
+    /// # Panics
+    /// Panics on feature or bias length mismatch.
+    pub fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+        self.stream.run_linear(x, bias)
+    }
+
+    /// [`Self::run_linear`] over a pre-staged operand (see
+    /// [`crate::stage::stage_activations_t`]); `tokens` is the activation
+    /// row count the buffer was staged from.
+    pub fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
+        assert_eq!(staged.len(), self.stream.k * tokens, "staged operand size mismatch");
+        self.stream.run_linear_staged(staged, tokens, bias)
+    }
+}
+
+/// A plan for a dense half weight — the unpruned layers of a partially
+/// sparsified model go through the same plan/execute seam.
+#[derive(Clone, Debug)]
+pub struct GemmPlan {
+    weight: Matrix<Half>,
+    stream: Stream,
+}
+
+impl GemmPlan {
+    /// Plans a dense weight. Needs no device: the dense functional path
+    /// has a single implementation ([`Engine::plan_gemm`] exists for
+    /// symmetry).
+    ///
+    /// [`Engine::plan_gemm`]: crate::Engine::plan_gemm
+    pub fn new(w: &Matrix<Half>) -> Self {
+        GemmPlan { weight: w.clone(), stream: Stream::from_dense(w) }
+    }
+
+    /// The dense weight the plan executes.
+    pub fn weight(&self) -> &Matrix<Half> {
+        &self.weight
+    }
+
+    /// Logical weight shape `(rows, k)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.weight.rows(), self.weight.cols())
+    }
+
+    /// Executes `C = W * B`; bit-identical to
+    /// `venom_tensor::gemm::gemm_parallel(&w, &b)` (and `gemm_ref`).
+    ///
+    /// # Panics
+    /// Panics if `B` has a row count different from the weight columns.
+    pub fn run(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.stream.k, "B must have K = {} rows", self.stream.k);
+        let mut staged = arena::lease(b.len());
+        stage::decode_rhs_into(b, &mut staged);
+        let c = self.stream.run(&staged, b.cols());
+        arena::release(staged);
+        c
+    }
+
+    /// The fused layer forward `y = x W^T + b`; bit-identical to the
+    /// per-call chain through `gemm_parallel` (see
+    /// [`SpmmPlan::run_linear`]).
+    ///
+    /// # Panics
+    /// Panics on feature or bias length mismatch.
+    pub fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+        self.stream.run_linear(x, bias)
+    }
+
+    /// [`Self::run_linear`] over a pre-staged operand.
+    pub fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
+        assert_eq!(staged.len(), self.stream.k * tokens, "staged operand size mismatch");
+        self.stream.run_linear_staged(staged, tokens, bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_core::spmm;
+    use venom_format::VnmConfig;
+    use venom_pruner::magnitude;
+    use venom_tensor::{gemm, random};
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::rtx3090()
+    }
+
+    fn vnm_fixture(r: usize, k: usize, cfg: VnmConfig, seed: u64) -> VnmMatrix {
+        let w = random::normal_matrix(r, k, 0.0, 1.0, seed);
+        let mask = magnitude::prune_vnm(&w, cfg);
+        VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg)
+    }
+
+    #[test]
+    fn plan_run_is_bit_identical_to_one_shot_spmm() {
+        let cfg = VnmConfig::new(64, 2, 10);
+        let a = vnm_fixture(70, 93, cfg, 1);
+        let b = random::normal_matrix(93, 37, 0.0, 1.0, 2).to_half();
+        let plan = SpmmPlan::build(&a, 64, &SpmmOptions::default(), &dev());
+        let got = plan.run(&b);
+        let want = spmm(&a, &b, &SpmmOptions::default(), &dev()).c;
+        assert_eq!(got, want);
+        assert_eq!(got, a.spmm_ref(&b));
+    }
+
+    #[test]
+    fn plan_supports_sub_fragment_v() {
+        // V = 8 has no launchable tile (the kernel needs 16-row
+        // fragments) but the functional stream executes it exactly.
+        let cfg = VnmConfig::new(8, 2, 8);
+        let a = vnm_fixture(24, 40, cfg, 3);
+        let b = random::normal_matrix(40, 9, 0.0, 1.0, 4).to_half();
+        let plan = SpmmPlan::build(&a, 16, &SpmmOptions::default(), &dev());
+        assert!(plan.tile().is_none());
+        assert_eq!(plan.run(&b), a.spmm_ref(&b));
+    }
+
+    #[test]
+    fn batched_run_matches_separate_runs() {
+        let cfg = VnmConfig::new(32, 2, 8);
+        let a = vnm_fixture(64, 64, cfg, 5);
+        let plan = SpmmPlan::build(&a, 48, &SpmmOptions::default(), &dev());
+        let b1 = random::normal_matrix(64, 11, 0.0, 1.0, 6).to_half();
+        let b2 = random::normal_matrix(64, 24, 0.0, 1.0, 7).to_half();
+        let b3 = random::normal_matrix(64, 1, 0.0, 1.0, 8).to_half();
+        let batch = plan.run_batch(&[&b1, &b2, &b3]);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], plan.run(&b1));
+        assert_eq!(batch[1], plan.run(&b2));
+        assert_eq!(batch[2], plan.run(&b3));
+    }
+
+    #[test]
+    fn fused_linear_matches_per_call_chain() {
+        let cfg = VnmConfig::new(16, 2, 8);
+        let a = vnm_fixture(32, 48, cfg, 9);
+        let bias: Vec<f32> = (0..32).map(|i| i as f32 * 0.25 - 4.0).collect();
+        let x = random::activation_matrix(19, 48, 10);
+        let plan = SpmmPlan::build(&a, 32, &SpmmOptions::default(), &dev());
+        let got = plan.run_linear(&x, &bias);
+        // The per-call layer chain.
+        let xt = x.to_half().transpose();
+        let mut want = spmm(&a, &xt, &SpmmOptions::default(), &dev()).c.transpose();
+        for r in 0..want.rows() {
+            for (c, bv) in bias.iter().enumerate() {
+                want.set(r, c, want.get(r, c) + bv);
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn gemm_plan_matches_gemm_parallel() {
+        let w = random::normal_matrix(33, 29, 0.0, 1.0, 11).to_half();
+        let b = random::normal_matrix(29, 21, 0.0, 1.0, 12).to_half();
+        let plan = GemmPlan::new(&w);
+        assert_eq!(plan.run(&b), gemm::gemm_parallel(&w, &b));
+    }
+
+    #[test]
+    fn gemm_plan_fused_linear_matches_per_call_chain() {
+        let w = random::normal_matrix(24, 40, 0.0, 1.0, 13).to_half();
+        let bias: Vec<f32> = (0..24).map(|i| (i as f32).sin()).collect();
+        let x = random::activation_matrix(15, 40, 14);
+        let plan = GemmPlan::new(&w);
+        let got = plan.run_linear(&x, &bias);
+        let xt = x.to_half().transpose();
+        let mut want = gemm::gemm_parallel(&w, &xt).transpose();
+        for r in 0..want.rows() {
+            for (c, bv) in bias.iter().enumerate() {
+                want.set(r, c, want.get(r, c) + bv);
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shared_staging_matches_unshared() {
+        let cfg = VnmConfig::new(16, 2, 8);
+        let a = vnm_fixture(32, 32, cfg, 15);
+        let plan = SpmmPlan::build(&a, 16, &SpmmOptions::default(), &dev());
+        let x = random::activation_matrix(9, 32, 16);
+        let bias = vec![0.5f32; 32];
+        let staged = stage::stage_activations_t(&x);
+        let got = plan.run_linear_staged(&staged, x.rows(), &bias);
+        assert_eq!(got, plan.run_linear(&x, &bias));
+    }
+
+    #[test]
+    fn repeated_runs_are_stable() {
+        let cfg = VnmConfig::new(32, 2, 16);
+        let a = vnm_fixture(32, 64, cfg, 17);
+        let b = random::normal_matrix(64, 13, 0.0, 1.0, 18).to_half();
+        let plan = SpmmPlan::build(&a, 16, &SpmmOptions::default(), &dev());
+        let first = plan.run(&b);
+        for _ in 0..3 {
+            assert_eq!(plan.run(&b), first);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "B must have K")]
+    fn run_rejects_shape_mismatch() {
+        let cfg = VnmConfig::new(16, 2, 8);
+        let a = vnm_fixture(16, 32, cfg, 19);
+        let plan = SpmmPlan::build(&a, 8, &SpmmOptions::default(), &dev());
+        let _ = plan.run(&Matrix::<Half>::zeros(16, 4));
+    }
+}

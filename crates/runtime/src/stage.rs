@@ -1,0 +1,59 @@
+//! Operand staging for plan execution.
+//!
+//! Layers keep activations in `f32` and convert to half at the matmul
+//! boundary; the engine fuses that rounding with the transpose into the
+//! kernel's `K x tokens` orientation, producing in one pass exactly the
+//! values the per-call path gets from `x.to_half().transpose()` followed
+//! by the kernel's f16 -> f32 decode (rounding through f16 bits, then the
+//! exact decode table).
+
+use venom_fp16::{f16_to_f32_table, f32_to_f16_bits, Half};
+use venom_tensor::Matrix;
+
+/// Decodes a half matrix into `dst` (row-major, exact f16 -> f32).
+///
+/// # Panics
+/// Panics if `dst.len() != b.len()`.
+pub fn decode_rhs_into(b: &Matrix<Half>, dst: &mut [f32]) {
+    venom_fp16::slice::decode_f32_into(b.as_slice(), dst);
+}
+
+/// Stages `x` (`tokens x features`, f32) as the kernel RHS: transposed to
+/// `features x tokens` and rounded through f16, written into `dst`.
+/// Element-for-element identical to `x.to_half().transpose()` followed by
+/// the f32 decode of the staged pipeline.
+///
+/// # Panics
+/// Panics if `dst.len() != x.len()`.
+pub fn stage_activations_t_into(x: &Matrix<f32>, dst: &mut [f32]) {
+    assert_eq!(dst.len(), x.len(), "staging buffer size mismatch");
+    let table = f16_to_f32_table();
+    let (tokens, features) = (x.rows(), x.cols());
+    for (i, row) in x.as_slice().chunks_exact(features).enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            dst[j * tokens + i] = table[f32_to_f16_bits(v) as usize];
+        }
+    }
+}
+
+/// Owned-buffer variant of [`stage_activations_t_into`], for callers that
+/// share one staged operand across several plans (e.g. the Q/K/V
+/// projections of one attention layer).
+pub fn stage_activations_t(x: &Matrix<f32>) -> Vec<f32> {
+    let mut buf = vec![0.0; x.len()];
+    stage_activations_t_into(x, &mut buf);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_matches_to_half_transpose_decode() {
+        let x = Matrix::from_fn(5, 7, |r, c| (r * 13 + c) as f32 * 0.137 - 2.0);
+        let want = venom_fp16::slice::decode_f32_vec(x.to_half().transpose().as_slice());
+        let got = stage_activations_t(&x);
+        assert_eq!(got, want);
+    }
+}

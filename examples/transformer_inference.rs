@@ -18,12 +18,14 @@ fn main() {
     let mini = TransformerConfig::new("mini", 64, 4, 2, 128, 32);
     let block = EncoderBlock::dense(&mini, 1);
     let x = random::activation_matrix(32, 64, 9);
-    let y_dense = block.forward(&x, &device);
+    let y_dense = block.forward(&x);
 
-    // Sparsify the attention projections to 16:2:8 and re-run.
+    // Sparsify the attention projections to 16:2:8 (planning the
+    // compressed weights on the serving engine) and re-run.
+    let engine = Engine::new(device.clone()).with_b_cols_hint(32);
     let mut sparse_mha = MultiHeadAttention::dense(64, 4, 1);
-    sparse_mha.sparsify(VnmConfig::new(16, 2, 8));
-    let y_attn = sparse_mha.forward(&x, &device);
+    sparse_mha.sparsify(&engine, VnmConfig::new(16, 2, 8));
+    let y_attn = sparse_mha.forward(&x);
     println!(
         "mini encoder: dense output norm {:.3}, sparse-MHA output norm {:.3} (both finite: {})",
         venom::tensor::norms::frobenius(&y_dense),

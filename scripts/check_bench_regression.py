@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate a freshly generated BENCH_SPMM.json and gate perf regressions.
+
+Two jobs:
+
+1. **Schema/content validation** — the series list is a stable contract
+   (consumers key on labels); every expected label must be present with a
+   positive median, and the planned serving paths must actually beat
+   their per-call references (`speedup_vs_ref > 1`).
+
+2. **Regression gate** — compares the fresh run against the committed
+   baseline on the labels both files share. CI machines differ from the
+   machine that produced the committed file, so raw milliseconds are not
+   directly comparable; a label fails only when BOTH hold:
+
+   * its raw ratio ``new/old`` exceeds ``--tolerance`` (it is actually
+     slower than the committed number), and
+   * its ratio exceeds ``--tolerance`` times the median ratio across all
+     shared labels (it is slower *relative to the rest of the suite*,
+     so a uniformly slower CI machine does not trip it).
+
+   A uniform across-the-board slowdown fails the first test on every
+   label and the gate reports it; a PR that legitimately speeds up most
+   of the suite leaves untouched labels near raw ratio 1.0, below the
+   first threshold.
+
+Usage:
+    check_bench_regression.py --baseline BENCH_SPMM.json \
+        --new BENCH_SPMM.new.json [--tolerance 1.25]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+EXPECTED_LABELS = [
+    "fig09_k768_80pct",
+    "fig09_k1536_80pct",
+    "fig09_k3072_90pct",
+    "bert_qkv_768",
+    "bert_ffn_768x4096",
+    "bert_k3072",
+    "bert_1024x4096_80pct",
+    "bert_1024x12288_95pct",
+    "gpt3_4096x4096_75pct",
+    # Plan-once/run-many serving series (ISSUE 3).
+    "fig09_k768_80pct_planned",
+    "fig09_k768_batch4x128",
+    "bert_base_seq128",
+    "bert_base_2layer_seq128",
+]
+
+# Labels whose speedup over the retained reference path is the point of
+# the series; a ratio at or below 1.0 means the fast path stopped being
+# fast regardless of machine.
+SPEEDUP_FLOORS = {
+    "fig09_k768_80pct": 1.0,
+    "fig09_k768_80pct_planned": 1.0,
+    "fig09_k768_batch4x128": 1.0,
+    "bert_base_seq128": 1.0,
+    "bert_base_2layer_seq128": 1.0,
+}
+
+
+def load_series(path):
+    with open(path) as f:
+        data = json.load(f)
+    assert data.get("schema") == 1, f"{path}: unexpected schema {data.get('schema')}"
+    return {s["label"]: s for s in data["series"]}
+
+
+def validate(series):
+    missing = [label for label in EXPECTED_LABELS if label not in series]
+    assert not missing, f"missing series: {missing}"
+    for s in series.values():
+        assert s["median_ms"] > 0, f"non-positive median: {s}"
+    for label, floor in SPEEDUP_FLOORS.items():
+        speedup = series[label].get("speedup_vs_ref", 0.0)
+        assert speedup > floor, (
+            f"{label}: speedup_vs_ref {speedup} is not above {floor} "
+            f"(the fast path lost to its reference)"
+        )
+
+
+def check_regressions(baseline, new, tolerance):
+    shared = sorted(set(baseline) & set(new))
+    assert shared, "no shared series labels between baseline and new run"
+    ratios = {label: new[label]["median_ms"] / baseline[label]["median_ms"] for label in shared}
+    machine_factor = statistics.median(ratios.values())
+    failures = []
+    for label, ratio in sorted(ratios.items()):
+        rel = ratio / machine_factor
+        regressed = ratio > tolerance and rel > tolerance
+        marker = " <-- REGRESSION" if regressed else ""
+        print(f"  {label:32s} new/old {ratio:6.2f}  vs suite median {rel:5.2f}x{marker}")
+        if regressed:
+            failures.append(label)
+    print(f"machine-speed factor (median new/old): {machine_factor:.2f}")
+    # Backstop against a change that taxes every path at once, which the
+    # per-label rel test alone cannot see. The threshold is deliberately
+    # loose (3x) because the factor also absorbs the honest speed gap
+    # between the CI runner and the machine that produced the committed
+    # file; machine-independent health is covered by the same-machine
+    # speedup_vs_ref floors in validate().
+    if machine_factor > 3.0:
+        print(f"FAIL: suite-wide slowdown {machine_factor:.2f}x vs the committed baseline")
+        failures.append("(suite-wide)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_SPMM.json")
+    ap.add_argument("--new", required=True, help="freshly generated BENCH_SPMM.json")
+    ap.add_argument("--tolerance", type=float, default=1.25,
+                    help="allowed slowdown versus the suite median ratio (default 1.25)")
+    args = ap.parse_args()
+
+    baseline = load_series(args.baseline)
+    new = load_series(args.new)
+    validate(new)
+
+    failures = check_regressions(baseline, new, args.tolerance)
+    if failures:
+        print(f"FAIL: {len(failures)} series regressed more than "
+              f"{(args.tolerance - 1) * 100:.0f}% vs the committed baseline: {failures}")
+        return 1
+    enc = new["bert_base_seq128"]
+    print(f"ok: {len(new)} series; encoder_layer planned speedup "
+          f"{enc['speedup_vs_ref']}x vs {enc['ref']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

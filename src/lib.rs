@@ -11,6 +11,7 @@
 //! * [`sim`] — the Ampere-class GPU simulator (occupancy, memory hierarchy,
 //!   shared-memory banks, tensor-core pipeline).
 //! * [`spatha`] — the Spatha SpMM library (the paper's contribution).
+//! * [`runtime`] — the plan-once/run-many inference engine over Spatha.
 //! * [`baselines`] — cuBLAS-, cuSparseLt-, Sputnik- and CLASP-like models.
 //! * [`pruner`] — magnitude and second-order (OBS) pruning, energy metric,
 //!   gradual structure-decay scheduling.
@@ -41,6 +42,7 @@ pub use venom_dnn as dnn;
 pub use venom_format as format;
 pub use venom_fp16 as fp16;
 pub use venom_pruner as pruner;
+pub use venom_runtime as runtime;
 pub use venom_sim as sim;
 pub use venom_tensor as tensor;
 
@@ -49,6 +51,7 @@ pub mod prelude {
     pub use venom_core::{spmm, SpmmOptions, SpmmResult, TileConfig};
     pub use venom_format::{NmConfig, SparsityMask, VnmConfig, VnmMatrix};
     pub use venom_fp16::Half;
+    pub use venom_runtime::{Engine, GemmPlan, SpmmPlan};
     pub use venom_sim::{DeviceConfig, KernelTiming};
     pub use venom_tensor::{GemmShape, Matrix};
 }

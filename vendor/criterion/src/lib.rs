@@ -193,8 +193,9 @@ mod tests {
             x = x.wrapping_add(1);
             x
         });
+        // A single add can measure as 0 ns under a coarse monotonic clock,
+        // so only the sample count is contractual.
         assert_eq!(b.samples.len(), 5);
-        assert!(b.samples.iter().all(|d| d.as_nanos() > 0));
     }
 
     #[test]
