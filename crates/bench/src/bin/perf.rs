@@ -1,15 +1,16 @@
 //! `perf` — CPU wall-clock harness for the functional execution engine.
 //!
 //! Times the *functional* (bit-faithful numerics) paths — Spatha SpMM, the
-//! dense GEMM baseline, V:N:M compression, and the end-to-end planned
+//! dense GEMM baseline, V:N:M compression, the end-to-end planned
 //! serving paths (engine-planned SpMM dispatch, batched multi-sequence
 //! dispatch, a full BERT-base encoder layer, and a two-layer model
-//! forward) — at paper-scale transformer shapes, over fixed iteration
-//! counts, and writes `BENCH_SPMM.json` (median wall-ms per op plus
-//! speedup against the retained slow reference paths). Every PR can
-//! regenerate the file, giving the repository a machine-readable perf
-//! trajectory for the staged-operand pipeline and the plan/execute
-//! engine.
+//! forward), the auto-selected plan (`plan_auto` picks the format), and
+//! one planned dispatch per non-V:N:M storage format — at paper-scale
+//! transformer shapes, over fixed iteration counts, and writes
+//! `BENCH_SPMM.json` (median wall-ms per op plus speedup against the
+//! retained slow reference paths). Every PR can regenerate the file,
+//! giving the repository a machine-readable perf trajectory for the
+//! staged-operand pipeline and the plan/execute engine.
 //!
 //! Usage: `cargo run --release -p venom-bench --bin perf -- [--quick]
 //! [--iters N] [--ref-iters N] [--out PATH]`
@@ -23,7 +24,7 @@ use venom_bench::vnm_weight;
 use venom_core::{spmm, SpmmOptions};
 use venom_dnn::transformer::{EncoderBlock, SparseEncoderBlock, TransformerConfig};
 use venom_dnn::TransformerEncoder;
-use venom_format::{VnmConfig, VnmMatrix};
+use venom_format::{MatmulFormat, VnmConfig, VnmMatrix};
 use venom_fp16::Half;
 use venom_pruner::magnitude;
 use venom_runtime::Engine;
@@ -244,11 +245,11 @@ fn encoder_layer_series(label: &'static str, seq: usize, cfg: VnmConfig, args: &
     let block = EncoderBlock::dense(&tcfg, 1);
     let sparse = SparseEncoderBlock::from_dense(&engine, &block, cfg);
     let x = random::activation_matrix(seq, tcfg.hidden, 2);
-    assert_eq!(sparse.forward(&x), sparse.forward_percall(&x, &dev), "planned layer must stay exact");
+    assert_eq!(sparse.forward(&x), sparse.forward_percall(&x), "planned layer must stay exact");
     let median = median_ms(args.iters, || sparse.forward(&x));
     let reference = Some((
         "SparseEncoderBlock::forward_percall",
-        median_ms(args.ref_iters, || sparse.forward_percall(&x, &dev)),
+        median_ms(args.ref_iters, || sparse.forward_percall(&x)),
     ));
     eprintln!("encoder_layer/{label}: {median:.1} ms{}", ref_note(&reference, median));
     Series {
@@ -274,7 +275,7 @@ fn model_forward_series(label: &'static str, seq: usize, cfg: VnmConfig, args: &
     let median = median_ms(args.iters, || sparse.forward(&x));
     let reference = Some((
         "SparseTransformerEncoder::forward_percall",
-        median_ms(args.ref_iters, || sparse.forward_percall(&x, &dev)),
+        median_ms(args.ref_iters, || sparse.forward_percall(&x)),
     ));
     eprintln!("model_forward/{label}: {median:.1} ms{}", ref_note(&reference, median));
     Series {
@@ -284,6 +285,89 @@ fn model_forward_series(label: &'static str, seq: usize, cfg: VnmConfig, args: &
         k: tcfg.ff_inner,
         c: seq,
         config: cfg.to_string(),
+        median_ms: median,
+        reference,
+    }
+}
+
+/// A magnitude-pruned dense half weight (the input `plan_auto` and
+/// `plan_with_format` consume).
+fn pruned_weight(r: usize, k: usize, cfg: VnmConfig, seed: u64) -> Matrix<Half> {
+    let w = random::glorot_matrix(r, k, seed);
+    let mask = magnitude::prune_vnm(&w, cfg);
+    mask.apply_f32(&w).to_half()
+}
+
+/// Auto-selected plan at the fig09 shape: `plan_auto` compresses the
+/// pruned weight into every eligible format, prices each, and serves the
+/// winner; the series records which format won in `config`.
+fn spmm_auto_series(
+    label: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+    cfg: VnmConfig,
+    args: &Args,
+) -> Series {
+    let w = pruned_weight(r, k, cfg, 1);
+    let b = random::normal_matrix(k, c, 0.0, 1.0, 2).to_half();
+    let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(c);
+    let plan = engine.plan_auto(&engine.descriptor(r, k), &w);
+    assert_eq!(plan.run(&b), plan.run_oneshot(&b), "auto plan must stay exact");
+    let median = median_ms(args.iters, || plan.run(&b));
+    let reference = Some((
+        "MatmulPlan::run_oneshot (per-call)",
+        median_ms(args.ref_iters, || plan.run_oneshot(&b)),
+    ));
+    eprintln!(
+        "spmm_auto/{label}: {median:.1} ms (chose {}){}",
+        plan.format(),
+        ref_note(&reference, median)
+    );
+    Series {
+        op: "spmm_auto",
+        label,
+        r,
+        k,
+        c,
+        config: format!("{cfg}->{}", plan.format()),
+        median_ms: median,
+        reference,
+    }
+}
+
+/// One planned dispatch in a forced storage format — the per-format
+/// series of the unified surface (V:N:M and dense are covered by the
+/// `spmm_plan`/`gemm` series; these are the other four backends).
+fn spmm_format_series(
+    label: &'static str,
+    format: MatmulFormat,
+    r: usize,
+    k: usize,
+    c: usize,
+    cfg: VnmConfig,
+    args: &Args,
+) -> Series {
+    let w = pruned_weight(r, k, cfg, 1);
+    let b = random::normal_matrix(k, c, 0.0, 1.0, 2).to_half();
+    let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(c);
+    let plan = engine
+        .plan_with_format(format, &engine.descriptor(r, k), &w)
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(plan.run(&b), plan.run_oneshot(&b), "format plan must stay exact");
+    let median = median_ms(args.iters, || plan.run(&b));
+    let reference = Some((
+        "SparseKernel::spmm_parallel (per-call)",
+        median_ms(args.ref_iters, || plan.run_oneshot(&b)),
+    ));
+    eprintln!("spmm_format/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    Series {
+        op: "spmm_format",
+        label,
+        r,
+        k,
+        c,
+        config: format.name().to_string(),
         median_ms: median,
         reference,
     }
@@ -335,6 +419,46 @@ fn main() {
         ),
         encoder_layer_series("bert_base_seq128", 128, VnmConfig::new(64, 2, 10), &args),
         model_forward_series("bert_base_2layer_seq128", 128, VnmConfig::new(64, 2, 10), &args),
+        // The unified-surface series (ISSUE 4): plan_auto's chosen format
+        // at the fig09 shape, plus one planned dispatch per non-V:N:M
+        // backend at a lighter column count.
+        spmm_auto_series("fig09_k768_auto", 1024, 768, 4096, VnmConfig::new(128, 2, 10), &args),
+        spmm_format_series(
+            "fmt_nm24_k768",
+            MatmulFormat::Nm,
+            1024,
+            768,
+            1024,
+            VnmConfig::new(128, 2, 4),
+            &args,
+        ),
+        spmm_format_series(
+            "fmt_csr_k768",
+            MatmulFormat::Csr,
+            1024,
+            768,
+            1024,
+            VnmConfig::new(128, 2, 10),
+            &args,
+        ),
+        spmm_format_series(
+            "fmt_cvse_k768",
+            MatmulFormat::Cvse,
+            1024,
+            768,
+            1024,
+            VnmConfig::new(128, 2, 10),
+            &args,
+        ),
+        spmm_format_series(
+            "fmt_blocked_ell_k768",
+            MatmulFormat::BlockedEll,
+            1024,
+            768,
+            1024,
+            VnmConfig::new(128, 2, 10),
+            &args,
+        ),
     ];
 
     let mut json = String::from("{\n");

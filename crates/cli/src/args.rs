@@ -2,6 +2,47 @@
 //! the grammar is small enough that a table-driven parser is clearer
 //! anyway).
 
+use venom_format::MatmulFormat;
+
+/// A validated `--format` value: automatic selection or one concrete
+/// storage format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FormatChoice {
+    /// Let the engine pick the cost-model-cheapest eligible format.
+    Auto,
+    /// Force one storage format.
+    Fixed(MatmulFormat),
+}
+
+impl FormatChoice {
+    /// Parses a `--format` value.
+    ///
+    /// # Errors
+    /// Returns a message listing the valid choices.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "auto" {
+            return Ok(FormatChoice::Auto);
+        }
+        MatmulFormat::parse(s).map(FormatChoice::Fixed).map_err(|_| {
+            format!("invalid --format '{s}' (valid: auto, {})", MatmulFormat::valid_names())
+        })
+    }
+
+    /// The name as the CLI spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FormatChoice::Auto => "auto",
+            FormatChoice::Fixed(f) => f.name(),
+        }
+    }
+}
+
+impl core::fmt::Display for FormatChoice {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -21,12 +62,15 @@ pub enum Command {
         /// RNG seed.
         seed: u64,
     },
-    /// `venom bench --shape RxKxC --pattern V:N:M [--device NAME]`.
+    /// `venom bench --shape RxKxC --pattern V:N:M [--format F]
+    /// [--device NAME]`.
     Bench {
         /// GEMM shape.
         shape: (usize, usize, usize),
         /// The V:N:M pattern.
         pattern: (usize, usize, usize),
+        /// Storage format to plan (`auto` or a concrete format name).
+        format: FormatChoice,
         /// Device preset name.
         device: String,
     },
@@ -40,8 +84,10 @@ pub enum Command {
         sparsity: f64,
     },
     /// `venom infer --model NAME [--layers N] [--seq S] [--batch B]
-    /// [--pattern V:N:M] [--device NAME] [--seed S]` — plan a sparse
-    /// encoder stack once, then serve a batch of sequences through it.
+    /// [--pattern V:N:M] [--format F] [--device NAME] [--seed S]` — plan
+    /// a sparse encoder stack once (each weight in the chosen storage
+    /// format, or the cost-model-cheapest one with `--format auto`),
+    /// then serve a batch of sequences through it.
     Infer {
         /// Model preset (`bert-base`, `bert-large`, or `mini`).
         model: String,
@@ -54,6 +100,8 @@ pub enum Command {
         batch: usize,
         /// The V:N:M pattern.
         pattern: (usize, usize, usize),
+        /// Storage format to plan (`auto` or a concrete format name).
+        format: FormatChoice,
         /// Device preset name.
         device: String,
         /// RNG seed.
@@ -70,12 +118,18 @@ venom — V:N:M sparsity toolkit (simulated Sparse Tensor Cores)
 USAGE:
   venom info     [--device rtx3090|a100]
   venom compress --rows R --cols K --pattern V:N:M [--seed S]
-  venom bench    --shape RxKxC --pattern V:N:M [--device rtx3090|a100]
+  venom bench    --shape RxKxC --pattern V:N:M [--format F] [--device rtx3090|a100]
   venom energy   --rows R --cols K --sparsity S
   venom infer    --model bert-base|bert-large|mini [--layers N] [--seq S]
-                 [--batch B] [--pattern V:N:M] [--device rtx3090|a100] [--seed S]
+                 [--batch B] [--pattern V:N:M] [--format F]
+                 [--device rtx3090|a100] [--seed S]
   venom help
+
+  --format F chooses the weight storage format planned by the engine:
+  auto, vnm, nm, csr, cvse, blocked-ell, dense (default vnm).
 ";
+
+
 
 fn take_flag<'a>(argv: &'a [String], name: &str) -> Option<&'a str> {
     argv.iter()
@@ -134,6 +188,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             pattern: parse_pattern(
                 take_flag(argv, "--pattern").ok_or("missing --pattern")?,
             )?,
+            format: FormatChoice::parse(take_flag(argv, "--format").unwrap_or("vnm"))?,
             device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
         }),
         "energy" => Ok(Command::Energy {
@@ -161,6 +216,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .parse()
                 .map_err(|_| "--batch must be an integer".to_string())?,
             pattern: parse_pattern(take_flag(argv, "--pattern").unwrap_or("64:2:10"))?,
+            format: FormatChoice::parse(take_flag(argv, "--format").unwrap_or("vnm"))?,
             device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
             seed: take_flag(argv, "--seed")
                 .unwrap_or("42")
@@ -208,9 +264,33 @@ mod tests {
             Command::Bench {
                 shape: (1024, 4096, 4096),
                 pattern: (128, 2, 16),
+                format: FormatChoice::Fixed(venom_format::MatmulFormat::Vnm),
                 device: "rtx3090".into()
             }
         );
+    }
+
+    #[test]
+    fn parses_format_choices() {
+        for f in ["auto", "vnm", "nm", "csr", "cvse", "blocked-ell", "dense"] {
+            let c = parse(&v(&["bench", "--shape", "8x8x8", "--pattern", "16:2:8", "--format", f]))
+                .unwrap();
+            assert!(matches!(c, Command::Bench { format, .. } if format.name() == f));
+        }
+        let c = parse(&v(&["infer", "--model", "mini", "--format", "auto"])).unwrap();
+        assert!(matches!(c, Command::Infer { format, .. } if format == FormatChoice::Auto));
+    }
+
+    #[test]
+    fn rejects_unknown_format_listing_choices() {
+        let e = parse(&v(&[
+            "bench", "--shape", "8x8x8", "--pattern", "16:2:8", "--format", "elll",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("invalid --format 'elll'"), "{e}");
+        for name in ["auto", "vnm", "nm", "csr", "cvse", "blocked-ell", "dense"] {
+            assert!(e.contains(name), "error must list '{name}': {e}");
+        }
     }
 
     #[test]
@@ -224,13 +304,14 @@ mod tests {
                 seq: 128,
                 batch: 4,
                 pattern: (64, 2, 10),
+                format: FormatChoice::Fixed(venom_format::MatmulFormat::Vnm),
                 device: "rtx3090".into(),
                 seed: 42,
             }
         );
         let c = parse(&v(&[
             "infer", "--model", "bert-base", "--layers", "2", "--seq", "64", "--batch", "8",
-            "--pattern", "32:2:8", "--device", "a100", "--seed", "7",
+            "--pattern", "32:2:8", "--format", "csr", "--device", "a100", "--seed", "7",
         ]))
         .unwrap();
         assert_eq!(
@@ -241,6 +322,7 @@ mod tests {
                 seq: 64,
                 batch: 8,
                 pattern: (32, 2, 8),
+                format: FormatChoice::Fixed(venom_format::MatmulFormat::Csr),
                 device: "a100".into(),
                 seed: 7,
             }

@@ -1,12 +1,12 @@
 //! Command implementations for the `venom` CLI.
 
-use crate::args::{Command, USAGE};
+use crate::args::{Command, FormatChoice, USAGE};
 use venom_baselines::cublas::DenseGemm;
 use venom_core::{spmm_time_tuned, SpmmOptions};
-use venom_dnn::attention::Projection;
+use venom_dnn::layers::PlanStrategy;
 use venom_dnn::transformer::TransformerConfig;
 use venom_dnn::TransformerEncoder;
-use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
+use venom_format::{MatmulFormat, SparsityMask, VnmConfig, VnmMatrix};
 use venom_pruner::{energy, magnitude};
 use venom_runtime::Engine;
 use venom_sim::DeviceConfig;
@@ -19,6 +19,15 @@ fn device_by_name(name: &str) -> DeviceConfig {
     }
 }
 
+/// Maps a validated `--format` value onto the planning strategy.
+fn strategy_of(format: FormatChoice) -> PlanStrategy {
+    match format {
+        FormatChoice::Auto => PlanStrategy::Auto,
+        FormatChoice::Fixed(MatmulFormat::Vnm) => PlanStrategy::Vnm,
+        FormatChoice::Fixed(f) => PlanStrategy::Format(f),
+    }
+}
+
 /// Runs a parsed command and returns the report text.
 pub fn execute(cmd: &Command) -> String {
     match cmd {
@@ -27,16 +36,17 @@ pub fn execute(cmd: &Command) -> String {
         Command::Compress { rows, cols, pattern, seed } => {
             compress(*rows, *cols, *pattern, *seed)
         }
-        Command::Bench { shape, pattern, device } => {
-            bench(*shape, *pattern, &device_by_name(device))
+        Command::Bench { shape, pattern, format, device } => {
+            bench(*shape, *pattern, *format, &device_by_name(device))
         }
         Command::Energy { rows, cols, sparsity } => energy_report(*rows, *cols, *sparsity),
-        Command::Infer { model, layers, seq, batch, pattern, device, seed } => infer(
+        Command::Infer { model, layers, seq, batch, pattern, format, device, seed } => infer(
             model,
             *layers,
             *seq,
             *batch,
             *pattern,
+            *format,
             &device_by_name(device),
             *seed,
         ),
@@ -88,36 +98,82 @@ fn compress(rows: usize, cols: usize, (v, n, m): (usize, usize, usize), seed: u6
 fn bench(
     (r, k, c): (usize, usize, usize),
     (v, n, m): (usize, usize, usize),
+    format: FormatChoice,
     dev: &DeviceConfig,
 ) -> String {
     let cfg = VnmConfig::new(v, n, m);
     let dense = DenseGemm::time(GemmShape::new(r, k, c), dev);
-    let sparse = spmm_time_tuned(r, k, c, cfg, &SpmmOptions::default(), dev);
-    format!(
-        "{} — GEMM {r}x{k}x{c}, pattern {cfg}\n\
-         cuBLAS (dense)  : {:8.3} ms  ({:.1} TFLOP/s)\n\
-         Spatha ({cfg})  : {:8.3} ms  ({:.1} effective TFLOP/s, {:?}-limited)\n\
-         speedup         : {:.2}x (theoretical cap {:.0}x)",
+    if format == FormatChoice::Fixed(MatmulFormat::Vnm) {
+        // The paper's headline comparison: Spatha's tuned kernel on the
+        // shape-only cost model (no weight needs materialising).
+        let sparse = spmm_time_tuned(r, k, c, cfg, &SpmmOptions::default(), dev);
+        return format!(
+            "{} — GEMM {r}x{k}x{c}, pattern {cfg}\n\
+             cuBLAS (dense)  : {:8.3} ms  ({:.1} TFLOP/s)\n\
+             Spatha ({cfg})  : {:8.3} ms  ({:.1} effective TFLOP/s, {:?}-limited)\n\
+             speedup         : {:.2}x (theoretical cap {:.0}x)",
+            dev.name,
+            dense.time_ms,
+            dense.tflops,
+            sparse.time_ms,
+            sparse.tflops,
+            sparse.limiter,
+            dense.time_ms / sparse.time_ms,
+            cfg.theoretical_speedup_cap(),
+        );
+    }
+    // Any other format goes through the unified plan surface: prune a
+    // weight to the pattern, plan it in the requested (or auto-chosen)
+    // format, and report the priced launch against dense.
+    let w = random::glorot_matrix(r, k, 2023);
+    let mask = magnitude::prune_vnm(&w, cfg);
+    let pruned = mask.apply_f32(&w).to_half();
+    let engine = Engine::new(dev.clone()).with_b_cols_hint(c);
+    let desc = engine.descriptor(r, k);
+    let plan = match format {
+        FormatChoice::Auto => engine.plan_auto_hinted(&desc, &pruned, Some(cfg)),
+        FormatChoice::Fixed(f) => match engine.plan_with_format(f, &desc, &pruned) {
+            Ok(p) => p,
+            Err(e) => return format!("{e}"),
+        },
+    };
+    let mut out = format!(
+        "{} — GEMM {r}x{k}x{c}, pattern {cfg}, format {}\n\
+         cuBLAS (dense)  : {:8.3} ms  ({:.1} TFLOP/s)",
         dev.name,
+        plan.format(),
         dense.time_ms,
         dense.tflops,
-        sparse.time_ms,
-        sparse.tflops,
-        sparse.limiter,
-        dense.time_ms / sparse.time_ms,
-        cfg.theoretical_speedup_cap(),
-    )
+    );
+    match plan.timing() {
+        Some(t) => {
+            out += &format!(
+                "\n{:<16}: {:8.3} ms  ({:.1} effective TFLOP/s, {:?}-limited)\n\
+                 speedup         : {:.2}x vs dense",
+                plan.format().to_string(),
+                t.time_ms,
+                t.tflops,
+                t.limiter,
+                dense.time_ms / t.time_ms,
+            );
+        }
+        None => out += "\n(no launchable configuration to price)",
+    }
+    out
 }
 
 /// Serves `batch` sequences through a planned sparse encoder stack: build
-/// once (prune, compress, autotune, stage), run many (one plan replay per
-/// weight op per request) — the end-to-end plan/execute split.
+/// once (prune, compress, plan each weight in the chosen format), run
+/// many (one plan replay per weight op per request) — the end-to-end
+/// descriptor/plan split.
+#[allow(clippy::too_many_arguments)]
 fn infer(
     model: &str,
     layers: Option<usize>,
     seq: usize,
     batch: usize,
     (v, n, m): (usize, usize, usize),
+    format: FormatChoice,
     dev: &DeviceConfig,
     seed: u64,
 ) -> String {
@@ -144,10 +200,15 @@ fn infer(
         seq,
     );
     let pattern = VnmConfig::new(v, n, m);
+    let strategy = strategy_of(format);
 
     let t0 = std::time::Instant::now();
     let engine = Engine::new(dev.clone()).with_b_cols_hint(seq * batch);
-    let sparse = TransformerEncoder::new(cfg, seed).sparsify(&engine, pattern);
+    let sparse = match TransformerEncoder::new(cfg, seed).sparsify_with(&engine, pattern, strategy)
+    {
+        Ok(s) => s,
+        Err(e) => return format!("{e}"),
+    };
     let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let xs: Vec<Matrix<f32>> = (0..batch)
@@ -159,26 +220,21 @@ fn infer(
     let run_ms = t1.elapsed().as_secs_f64() * 1e3;
     let tokens = batch * seq;
 
-    // Simulated device pricing captured at plan time: the six weight-op
-    // plans of each layer, summed over the stack.
-    let plan_gpu_ms: f64 = sparse
-        .blocks
+    // Which storage formats the engine actually chose, weight by weight.
+    let census = sparse
+        .format_census()
         .iter()
-        .flat_map(|b| {
-            [&b.mha.wq, &b.mha.wk, &b.mha.wv, &b.mha.wo]
-                .into_iter()
-                .filter_map(|p| match p {
-                    Projection::Sparse(s) => s.plan.timing().map(|t| t.time_ms),
-                    Projection::Dense(_) => None,
-                })
-                .chain(b.ff1.plan.timing().map(|t| t.time_ms))
-                .chain(b.ff2.plan.timing().map(|t| t.time_ms))
-        })
-        .sum();
+        .map(|(f, count)| format!("{f} x{count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    // Simulated device pricing captured at plan time, summed over every
+    // weight-op plan of the stack.
+    let plan_gpu_ms = sparse.planned_weight_op_ms();
 
     format!(
         "{} x{layer_count} layer(s), pattern {pattern}, seq {seq}, batch {batch} on {}\n\
-         plan build (prune + compress + autotune + stage) : {plan_ms:9.1} ms (once)\n\
+         weight formats (--format {format})             : {census}\n\
+         plan build (prune + compress + tune + stage)     : {plan_ms:9.1} ms (once)\n\
          serve {batch} request(s), {tokens} tokens        : {run_ms:9.1} ms wall\n\
          per-request                                      : {:9.1} ms\n\
          throughput (functional CPU execution)            : {:9.1} tokens/s\n\
@@ -243,9 +299,27 @@ mod tests {
 
     #[test]
     fn bench_reports_speedup_and_cap() {
-        let s = bench((256, 1024, 512), (64, 2, 8), &DeviceConfig::rtx3090());
+        let s = bench(
+            (256, 1024, 512),
+            (64, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Vnm),
+            &DeviceConfig::rtx3090(),
+        );
         assert!(s.contains("speedup"));
         assert!(s.contains("cap 4x"));
+    }
+
+    #[test]
+    fn bench_prices_other_formats_through_the_plan_surface() {
+        let dev = DeviceConfig::rtx3090();
+        let s = bench((128, 256, 128), (32, 2, 8), FormatChoice::Fixed(MatmulFormat::Csr), &dev);
+        assert!(s.contains("format csr"), "{s}");
+        assert!(s.contains("speedup"), "{s}");
+        let s = bench((128, 256, 128), (32, 2, 8), FormatChoice::Auto, &dev);
+        assert!(s.contains("format "), "{s}");
+        // A forced format the structure cannot serve reports the reason.
+        let s = bench((128, 256, 128), (32, 2, 10), FormatChoice::Fixed(MatmulFormat::Nm), &dev);
+        assert!(s.contains("2:4"), "{s}");
     }
 
     #[test]
@@ -264,17 +338,57 @@ mod tests {
             16,
             2,
             (16, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Vnm),
             &DeviceConfig::rtx3090(),
             1,
         );
         assert!(s.contains("plan build"), "{s}");
         assert!(s.contains("serve 2 request(s), 32 tokens"), "{s}");
         assert!(s.contains("2 matrices of 16x64"), "{s}");
+        assert!(s.contains("vnm x6"), "{s}");
+    }
+
+    #[test]
+    fn infer_with_auto_format_reports_the_census() {
+        let s = infer(
+            "mini",
+            Some(1),
+            16,
+            1,
+            (16, 2, 8),
+            FormatChoice::Auto,
+            &DeviceConfig::rtx3090(),
+            2,
+        );
+        // The census line must exist and its per-format counts must sum
+        // to the six weight tensors of the single layer.
+        let line = s.lines().find(|l| l.contains("weight formats")).unwrap_or_else(|| {
+            panic!("missing census line in {s}")
+        });
+        assert!(line.contains("--format auto"), "{line}");
+        let census = line.split(':').nth(1).unwrap_or_else(|| panic!("malformed: {line}"));
+        let total: usize = census
+            .split(" x")
+            .skip(1)
+            .filter_map(|t| {
+                t.chars().take_while(char::is_ascii_digit).collect::<String>().parse::<usize>().ok()
+            })
+            .sum();
+        assert_eq!(total, 6, "census counts must cover all six weights: {line}");
     }
 
     #[test]
     fn infer_rejects_unknown_model() {
-        let s = infer("nope", None, 8, 1, (16, 2, 8), &DeviceConfig::rtx3090(), 1);
+        let s = infer(
+            "nope",
+            None,
+            8,
+            1,
+            (16, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Vnm),
+            &DeviceConfig::rtx3090(),
+            1,
+        );
         assert!(s.contains("unknown model"), "{s}");
     }
 

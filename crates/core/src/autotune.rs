@@ -88,7 +88,8 @@ pub fn default_config_shape(
     }
 }
 
-/// Exhaustive cost-model search over [`candidates`]; returns the fastest
+/// Exhaustive cost-model search over the candidate template space;
+/// returns the fastest
 /// launchable configuration and its predicted milliseconds.
 ///
 /// # Panics

@@ -13,7 +13,7 @@
 //! accumulation in instruction order) bit-identical to the retained
 //! `Half`-operand reference [`venom_sim::tensorcore::mma_sp_f16`] — at a
 //! fraction of the decode work. Per-block scratch lives in a per-thread
-//! [`Workspace`] instead of fresh allocations, and the block grid is split
+//! workspace instead of fresh allocations, and the block grid is split
 //! over rows *and* columns when there are fewer block rows than cores.
 
 use crate::autotune::default_config;

@@ -16,7 +16,7 @@
 //! The library is template-based like the CUDA original: a [`TileConfig`]
 //! fixes the thread-block tile (`BSr x BSk x BSc`), the warp tile
 //! (`WSr x WSc`), the `mma` shape and the pipeline depth, and
-//! [`autotune`] searches that space with the cost model.
+//! [`fn@autotune`] searches that space with the cost model.
 
 pub mod autotune;
 pub mod counts;

@@ -1,74 +1,33 @@
 //! Multi-head attention — the pruned MHA of Fig. 14.
 //!
-//! Four weight tensors (`W_Q`, `W_K`, `W_V`, `W_O`) can each be dense or
-//! V:N:M-sparse; the attention matmuls (`Q K^T` and `P V`) stay dense, and
-//! softmax sits between them, exactly as in the figure. The projections
-//! hold execution plans: one forward stages the activations once and runs
-//! the Q/K/V plans over the shared staged operand.
+//! Four weight projections (`W_Q`, `W_K`, `W_V`, `W_O`), each a
+//! [`PlannedLinear`] over the format-erased [`MatmulPlan`] surface — so
+//! a projection can be dense, V:N:M, or any other planned format, and
+//! one attention layer can mix them. The attention matmuls (`Q K^T` and
+//! `P V`) stay dense, and softmax sits between them, exactly as in the
+//! figure. The planned forward stages the activations once and runs the
+//! Q/K/V plans over the shared staged operand; the per-call path
+//! ([`ExecPath::PerCall`]) re-stages per projection — both paths share
+//! one body and are bit-identical.
+//!
+//! [`MatmulPlan`]: venom_runtime::MatmulPlan
 
-use crate::layers::{softmax_rows, Linear, SparseLinear};
-use venom_format::{SparsityMask, VnmConfig};
-use venom_runtime::{stage, Engine};
-use venom_sim::DeviceConfig;
+use crate::layers::{softmax_rows, ExecPath, Linear, PlanStrategy, PlannedLinear};
+use venom_format::VnmConfig;
+use venom_runtime::{stage, Engine, PlanError};
 use venom_tensor::{gemm, Matrix};
-
-/// A projection that is either dense or Spatha-sparse.
-// The size difference between the variants (the sparse plan carries the
-// priced launch) is irrelevant at four projections per layer.
-#[allow(clippy::large_enum_variant)]
-#[derive(Clone, Debug)]
-pub enum Projection {
-    /// Dense weights (cuBLAS path).
-    Dense(Linear),
-    /// V:N:M weights (Spatha path).
-    Sparse(SparseLinear),
-}
-
-impl Projection {
-    /// Planned forward.
-    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        match self {
-            Projection::Dense(l) => l.forward(x),
-            Projection::Sparse(s) => s.forward(x),
-        }
-    }
-
-    /// Planned forward over a shared staged operand.
-    pub fn forward_staged(&self, staged: &[f32], tokens: usize) -> Matrix<f32> {
-        match self {
-            Projection::Dense(l) => l.forward_staged(staged, tokens),
-            Projection::Sparse(s) => s.forward_staged(staged, tokens),
-        }
-    }
-
-    /// The retained per-call path (the unplanned baseline).
-    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        match self {
-            Projection::Dense(l) => l.forward_percall(x),
-            Projection::Sparse(s) => s.forward_percall(x, dev),
-        }
-    }
-
-    /// `(out_features, in_features)`.
-    pub fn shape(&self) -> (usize, usize) {
-        match self {
-            Projection::Dense(l) => l.shape(),
-            Projection::Sparse(s) => s.shape(),
-        }
-    }
-}
 
 /// Multi-head self-attention over a single sequence.
 #[derive(Clone, Debug)]
 pub struct MultiHeadAttention {
     /// Query projection.
-    pub wq: Projection,
+    pub wq: PlannedLinear,
     /// Key projection.
-    pub wk: Projection,
+    pub wk: PlannedLinear,
     /// Value projection.
-    pub wv: Projection,
+    pub wv: PlannedLinear,
     /// Output projection.
-    pub wo: Projection,
+    pub wo: PlannedLinear,
     /// Number of heads (must divide the hidden size).
     pub heads: usize,
 }
@@ -80,26 +39,56 @@ impl MultiHeadAttention {
     /// Panics unless `heads` divides `hidden`.
     pub fn dense(hidden: usize, heads: usize, seed: u64) -> Self {
         assert_eq!(hidden % heads, 0, "heads must divide the hidden size");
+        let dense_proj = |s: u64| {
+            let lin = Linear::glorot(hidden, hidden, s);
+            PlannedLinear { plan: std::sync::Arc::new(lin.plan), bias: lin.bias }
+        };
         MultiHeadAttention {
-            wq: Projection::Dense(Linear::glorot(hidden, hidden, seed)),
-            wk: Projection::Dense(Linear::glorot(hidden, hidden, seed + 1)),
-            wv: Projection::Dense(Linear::glorot(hidden, hidden, seed + 2)),
-            wo: Projection::Dense(Linear::glorot(hidden, hidden, seed + 3)),
+            wq: dense_proj(seed),
+            wk: dense_proj(seed + 1),
+            wv: dense_proj(seed + 2),
+            wo: dense_proj(seed + 3),
             heads,
         }
+    }
+
+    /// The four projections.
+    pub fn projections(&self) -> [&PlannedLinear; 4] {
+        [&self.wq, &self.wk, &self.wv, &self.wo]
     }
 
     /// Sparsifies the four projections in place with magnitude V:N:M
     /// pruning (Fig. 14's four SpMMs), planning each compressed weight on
     /// `engine`.
     pub fn sparsify(&mut self, engine: &Engine, cfg: VnmConfig) {
+        self.sparsify_with(engine, cfg, PlanStrategy::Vnm)
+            .expect("V:N:M planning accepts any complying mask");
+    }
+
+    /// Prunes the four projections by magnitude to `cfg` and plans each
+    /// pruned weight per `strategy` — letting one attention layer mix
+    /// storage formats. Projections that are already sparse are left
+    /// untouched (repeated sparsification must not compound pruning).
+    ///
+    /// # Errors
+    /// Returns [`PlanError`] when a forced format cannot serve a pruned
+    /// projection.
+    pub fn sparsify_with(
+        &mut self,
+        engine: &Engine,
+        cfg: VnmConfig,
+        strategy: PlanStrategy,
+    ) -> Result<(), PlanError> {
         for proj in [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo] {
-            if let Projection::Dense(lin) = proj {
-                let wf = lin.weight().to_f32();
-                let mask: SparsityMask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
-                *proj = Projection::Sparse(lin.to_sparse(engine, &mask, cfg));
+            if proj.format() != venom_format::MatmulFormat::Dense {
+                continue;
             }
+            let w = proj.plan.weight_dense();
+            let lin = Linear::from_half(&w, proj.bias.clone());
+            let mask = venom_pruner::magnitude::prune_vnm(&w.to_f32(), cfg);
+            *proj = lin.to_sparse_with(engine, &mask, cfg, strategy)?;
         }
+        Ok(())
     }
 
     /// Self-attention forward over `x` (`seq x hidden`).
@@ -107,7 +96,7 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics on feature mismatch.
     pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        self.forward_inner(x, false)
+        self.forward_inner(x, false, ExecPath::Planned)
     }
 
     /// Causal (decoder) self-attention: position `i` attends only to
@@ -117,20 +106,15 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics on feature mismatch.
     pub fn forward_causal(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        self.forward_inner(x, true)
+        self.forward_inner(x, true, ExecPath::Planned)
     }
 
-    fn forward_inner(&self, x: &Matrix<f32>, causal: bool) -> Matrix<f32> {
-        // One staging pass feeds all three input projections (they share
-        // the operand; per-plan staging would produce the same bits three
-        // times over).
-        let staged = stage::stage_activations_t(x);
-        let q = self.wq.forward_staged(&staged, x.rows());
-        let k = self.wk.forward_staged(&staged, x.rows());
-        let v = self.wv.forward_staged(&staged, x.rows());
-        drop(staged);
-        let ctx = self.attention_core(x, &q, &k, &v, causal);
-        self.wo.forward(&ctx)
+    /// Forward through the chosen execution path (bidirectional).
+    ///
+    /// # Panics
+    /// Panics on feature mismatch.
+    pub fn forward_via(&self, path: ExecPath, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_inner(x, false, path)
     }
 
     /// The retained per-call path: every projection converts, transposes
@@ -140,12 +124,32 @@ impl MultiHeadAttention {
     ///
     /// # Panics
     /// Panics on feature mismatch.
-    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        let q = self.wq.forward_percall(x, dev);
-        let k = self.wk.forward_percall(x, dev);
-        let v = self.wv.forward_percall(x, dev);
-        let ctx = self.attention_core(x, &q, &k, &v, false);
-        self.wo.forward_percall(&ctx, dev)
+    pub fn forward_percall(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_inner(x, false, ExecPath::PerCall)
+    }
+
+    /// The single forward body both execution paths share.
+    fn forward_inner(&self, x: &Matrix<f32>, causal: bool, path: ExecPath) -> Matrix<f32> {
+        let (q, k, v) = match path {
+            ExecPath::Planned => {
+                // One staging pass feeds all three input projections (they
+                // share the operand; per-plan staging would produce the
+                // same bits three times over).
+                let staged = stage::stage_activations_t(x);
+                (
+                    self.wq.forward_staged(&staged, x.rows()),
+                    self.wk.forward_staged(&staged, x.rows()),
+                    self.wv.forward_staged(&staged, x.rows()),
+                )
+            }
+            ExecPath::PerCall => (
+                self.wq.forward_percall(x),
+                self.wk.forward_percall(x),
+                self.wv.forward_percall(x),
+            ),
+        };
+        let ctx = self.attention_core(x, &q, &k, &v, causal);
+        self.wo.forward_via(path, &ctx)
     }
 
     /// The attention matmuls between the projections: per-head
@@ -195,6 +199,8 @@ impl MultiHeadAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use venom_format::MatmulFormat;
+    use venom_sim::DeviceConfig;
     use venom_tensor::random;
 
     fn engine() -> Engine {
@@ -208,6 +214,7 @@ mod tests {
         let y = mha.forward(&x);
         assert_eq!((y.rows(), y.cols()), (16, 64));
         assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!(mha.projections().iter().all(|p| p.format() == MatmulFormat::Dense));
     }
 
     #[test]
@@ -221,11 +228,36 @@ mod tests {
 
     #[test]
     fn planned_forward_is_bit_identical_to_percall() {
-        let dev = DeviceConfig::rtx3090();
         let mut mha = MultiHeadAttention::dense(64, 4, 13);
         mha.sparsify(&engine(), VnmConfig::new(16, 2, 4));
         let x = random::activation_matrix(12, 64, 14);
-        assert_eq!(mha.forward(&x), mha.forward_percall(&x, &dev));
+        assert_eq!(mha.forward(&x), mha.forward_percall(&x));
+    }
+
+    #[test]
+    fn auto_strategy_mixes_formats_and_stays_exact() {
+        let mut mha = MultiHeadAttention::dense(64, 4, 21);
+        mha.sparsify_with(&engine(), VnmConfig::new(16, 2, 8), PlanStrategy::Auto).unwrap();
+        let x = random::activation_matrix(10, 64, 22);
+        assert_eq!(mha.forward(&x), mha.forward_percall(&x));
+        // Every projection carries a priced plan in some chosen format.
+        for p in mha.projections() {
+            assert!(p.plan.cost_ms().is_some(), "auto plans are priced ({})", p.format());
+        }
+    }
+
+    #[test]
+    fn repeated_sparsify_does_not_compound_pruning() {
+        // Sparsifying twice (even with a different pattern) must leave
+        // the first pass's weights untouched, as the pre-redesign
+        // Dense-only conversion did.
+        let mut mha = MultiHeadAttention::dense(64, 4, 31);
+        mha.sparsify(&engine(), VnmConfig::new(16, 2, 8));
+        let x = random::activation_matrix(9, 64, 32);
+        let first = mha.forward(&x);
+        mha.sparsify(&engine(), VnmConfig::new(16, 2, 16));
+        assert_eq!(mha.forward(&x), first, "second sparsify must be a no-op");
+        assert_eq!(mha.wq.format(), MatmulFormat::Vnm);
     }
 
     #[test]
@@ -237,14 +269,13 @@ mod tests {
         let mut reference = mha.clone();
         for proj in [&mut reference.wq, &mut reference.wk, &mut reference.wv, &mut reference.wo]
         {
-            if let Projection::Dense(lin) = proj {
-                let wf = lin.weight().to_f32();
-                let mask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
-                *lin = Linear::new(&mask.apply_f32(&wf), lin.bias.clone());
-            }
+            let wf = proj.plan.weight_dense().to_f32();
+            let mask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
+            let lin = Linear::new(&mask.apply_f32(&wf), proj.bias.clone());
+            *proj = PlannedLinear { plan: std::sync::Arc::new(lin.plan), bias: lin.bias };
         }
         mha.sparsify(&engine(), cfg);
-        assert!(matches!(mha.wq, Projection::Sparse(_)));
+        assert_eq!(mha.wq.format(), MatmulFormat::Vnm);
         let y_sparse = mha.forward(&x);
         let y_ref = reference.forward(&x);
         assert!(

@@ -2,19 +2,47 @@
 //!
 //! Activations are kept in `f32`; GEMM operands are converted to half at
 //! the layer boundary (standard mixed-precision inference). Layers hold
-//! *execution plans* built by the [`Engine`]: a [`Linear`] owns a
-//! [`GemmPlan`] over its dense half weight, a [`SparseLinear`] owns a
-//! [`SpmmPlan`] over its V:N:M compressed weight, and `forward` replays
-//! the plan with zero per-call setup. The pre-engine per-call paths are
-//! retained as `forward_percall` — they are the bit-identical slow
-//! references the benchmarks compare against.
+//! *execution plans* built by the [`Engine`] behind the format-erased
+//! [`MatmulPlan`] surface: a [`Linear`] owns a [`GemmPlan`] over its
+//! dense half weight, a [`PlannedLinear`] owns an `Arc<dyn MatmulPlan>`
+//! in whatever storage format the engine chose — so one model mixes
+//! V:N:M, 2:4, CSR, CVSE, Blocked-ELL and dense weights per layer.
+//!
+//! Both execution paths of every layer go through the same trait: the
+//! planned fast path replays the condensed stream, and the retained
+//! per-call baseline ([`ExecPath::PerCall`]) re-stages and re-dispatches
+//! on every invocation via [`MatmulPlan::run_linear_percall`]. The two
+//! are bit-identical; the serving benchmarks time them against each
+//! other.
 
-use venom_core::{spmm, SpmmOptions};
+use std::sync::Arc;
 use venom_fp16::Half;
-use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
-use venom_runtime::{Engine, GemmPlan, SpmmPlan};
-use venom_sim::DeviceConfig;
-use venom_tensor::{gemm, Matrix};
+use venom_format::{MatmulFormat, SparsityMask, VnmConfig, VnmMatrix};
+use venom_runtime::{Engine, Epilogue, GemmPlan, MatmulPlan, PlanError};
+use venom_tensor::Matrix;
+
+/// Which of a layer's two bit-identical execution paths to take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Replay the plan built at construction (the serving fast path).
+    Planned,
+    /// Re-stage and re-dispatch per call (the unplanned baseline the
+    /// benchmarks compare against).
+    PerCall,
+}
+
+/// How a pruned weight is planned for execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanStrategy {
+    /// Compress to the pruned V:N:M pattern and plan on the Spatha
+    /// kernel (the paper's configuration).
+    Vnm,
+    /// Let [`Engine::plan_auto`] pick the cost-model-cheapest eligible
+    /// format per weight.
+    Auto,
+    /// Force one storage format for every weight.
+    Format(MatmulFormat),
+}
 
 /// A dense linear layer `y = x W^T + b` with `W: [out x in]`.
 #[derive(Clone, Debug)]
@@ -59,13 +87,24 @@ impl Linear {
         self.plan.shape()
     }
 
+    /// Forward through the chosen execution path; both are bit-identical.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn forward_via(&self, path: ExecPath, x: &Matrix<f32>) -> Matrix<f32> {
+        match path {
+            ExecPath::Planned => self.plan.run_linear(x, &self.bias),
+            ExecPath::PerCall => MatmulPlan::run_linear_percall(&self.plan, x, &self.bias),
+        }
+    }
+
     /// Forward pass: `x` is `tokens x in_features`; returns
     /// `tokens x out_features`. Bit-identical to [`Self::forward_percall`].
     ///
     /// # Panics
     /// Panics on shape mismatch.
     pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        self.plan.run_linear(x, &self.bias)
+        self.forward_via(ExecPath::Planned, x)
     }
 
     /// Forward over an operand staged once for several sibling layers
@@ -75,65 +114,152 @@ impl Linear {
     }
 
     /// The retained per-call path: converts, transposes and multiplies on
-    /// every invocation (what `forward` did before the engine existed).
+    /// every invocation, via the trait's per-call chain.
     ///
     /// # Panics
     /// Panics on shape mismatch.
     pub fn forward_percall(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        let weight = self.plan.weight();
-        assert_eq!(x.cols(), weight.cols(), "input features mismatch");
-        // y^T = W x^T : run the GEMM in the library's (sparse-friendly)
-        // orientation, then transpose back.
-        let xt = x.to_half().transpose();
-        let yt = gemm::gemm_parallel(weight, &xt);
-        let mut y = yt.transpose();
-        for r in 0..y.rows() {
-            for (c, bv) in self.bias.iter().enumerate() {
-                y.set(r, c, y.get(r, c) + bv);
-            }
-        }
-        y
+        self.forward_via(ExecPath::PerCall, x)
     }
 
-    /// Converts to a sparse layer by pruning with `mask` and compressing;
-    /// the engine plans the compressed weight.
+    /// Converts to a planned sparse layer by pruning with `mask`,
+    /// compressing to V:N:M and planning on `engine` (the paper's
+    /// configuration; see [`Self::to_sparse_with`] for other formats).
     ///
     /// # Panics
     /// Panics if the mask does not comply with `cfg`.
-    pub fn to_sparse(&self, engine: &Engine, mask: &SparsityMask, cfg: VnmConfig) -> SparseLinear {
+    pub fn to_sparse(&self, engine: &Engine, mask: &SparsityMask, cfg: VnmConfig) -> PlannedLinear {
+        self.to_sparse_with(engine, mask, cfg, PlanStrategy::Vnm)
+            .expect("V:N:M planning accepts any complying mask")
+    }
+
+    /// Prunes with `mask` and plans the pruned weight per `strategy` —
+    /// fixed V:N:M, automatic format selection, or a forced format.
+    ///
+    /// # Errors
+    /// Returns [`PlanError`] when a forced format cannot serve the
+    /// pruned weight's structure.
+    ///
+    /// # Panics
+    /// Panics if the mask shape mismatches, or (for
+    /// [`PlanStrategy::Vnm`]) violates `cfg`.
+    pub fn to_sparse_with(
+        &self,
+        engine: &Engine,
+        mask: &SparsityMask,
+        cfg: VnmConfig,
+        strategy: PlanStrategy,
+    ) -> Result<PlannedLinear, PlanError> {
         let pruned = mask.apply_half(self.plan.weight());
-        SparseLinear::new(engine, VnmMatrix::compress(&pruned, mask, cfg), self.bias.clone())
+        let plan: Arc<dyn MatmulPlan> = match strategy {
+            PlanStrategy::Vnm => {
+                Arc::new(engine.plan_spmm(&VnmMatrix::compress(&pruned, mask, cfg)))
+            }
+            PlanStrategy::Auto => {
+                let desc = engine
+                    .descriptor(pruned.rows(), pruned.cols())
+                    .with_epilogue(Epilogue::Bias);
+                // The prune pattern is known here — seed the V:N:M
+                // candidate with it so patterns outside the engine's
+                // re-detection grid still compete.
+                engine.plan_auto_hinted(&desc, &pruned, Some(cfg))
+            }
+            PlanStrategy::Format(f) => {
+                let desc = engine
+                    .descriptor(pruned.rows(), pruned.cols())
+                    .with_epilogue(Epilogue::Bias);
+                engine.plan_with_format(f, &desc, &pruned)?
+            }
+        };
+        Ok(PlannedLinear { plan, bias: self.bias.clone() })
     }
 }
 
-/// A V:N:M-sparse linear layer forwarding through a planned Spatha
-/// dispatch.
+/// A linear layer over a format-erased execution plan — the layer type
+/// sparsified models hold, in whatever storage format the engine chose.
 #[derive(Clone, Debug)]
-pub struct SparseLinear {
-    /// Planned compressed weight, logically `out_features x in_features`.
-    pub plan: SpmmPlan,
+pub struct PlannedLinear {
+    /// The planned weight, logically `out_features x in_features`.
+    pub plan: Arc<dyn MatmulPlan>,
     /// Bias, length `out_features`.
     pub bias: Vec<f32>,
 }
 
-impl SparseLinear {
-    /// Plans `weight` on `engine` and wraps it with `bias`.
+impl PlannedLinear {
+    /// Wraps an already-built plan with its bias.
+    ///
+    /// # Panics
+    /// Panics if `bias.len()` mismatches the plan's output features.
+    pub fn new(plan: Arc<dyn MatmulPlan>, bias: Vec<f32>) -> Self {
+        assert_eq!(bias.len(), plan.descriptor().out_features, "bias must match out_features");
+        PlannedLinear { plan, bias }
+    }
+
+    /// Plans a compressed V:N:M weight on `engine` (the Spatha path).
     ///
     /// # Panics
     /// Panics if `bias.len() != weight.rows()`.
-    pub fn new(engine: &Engine, weight: VnmMatrix, bias: Vec<f32>) -> Self {
-        assert_eq!(bias.len(), weight.shape().0, "bias must match out_features");
-        SparseLinear { plan: engine.plan_spmm(&weight), bias }
+    pub fn vnm(engine: &Engine, weight: VnmMatrix, bias: Vec<f32>) -> Self {
+        Self::new(Arc::new(engine.plan_spmm(&weight)), bias)
     }
 
-    /// The compressed weight.
-    pub fn weight(&self) -> &VnmMatrix {
-        self.plan.weight()
+    /// Plans dense half weights priced on `engine`'s device.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != weight.rows()`.
+    pub fn dense(engine: &Engine, weight: &Matrix<Half>, bias: Vec<f32>) -> Self {
+        Self::new(Arc::new(engine.plan_gemm(weight)), bias)
+    }
+
+    /// Plans `weight` in the cost-model-cheapest eligible format.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != weight.rows()`.
+    pub fn auto(engine: &Engine, weight: &Matrix<Half>, bias: Vec<f32>) -> Self {
+        let desc =
+            engine.descriptor(weight.rows(), weight.cols()).with_epilogue(Epilogue::Bias);
+        Self::new(engine.plan_auto(&desc, weight), bias)
+    }
+
+    /// Plans `weight` in a forced storage format.
+    ///
+    /// # Errors
+    /// Returns [`PlanError`] when the weight's structure cannot serve
+    /// `format`.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != weight.rows()`.
+    pub fn with_format(
+        engine: &Engine,
+        format: MatmulFormat,
+        weight: &Matrix<Half>,
+        bias: Vec<f32>,
+    ) -> Result<Self, PlanError> {
+        let desc =
+            engine.descriptor(weight.rows(), weight.cols()).with_epilogue(Epilogue::Bias);
+        Ok(Self::new(engine.plan_with_format(format, &desc, weight)?, bias))
+    }
+
+    /// The storage format the plan executes.
+    pub fn format(&self) -> MatmulFormat {
+        self.plan.format()
     }
 
     /// `(out_features, in_features)`.
     pub fn shape(&self) -> (usize, usize) {
-        self.plan.shape()
+        let d = self.plan.descriptor();
+        (d.out_features, d.in_features)
+    }
+
+    /// Forward through the chosen execution path; both are bit-identical.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn forward_via(&self, path: ExecPath, x: &Matrix<f32>) -> Matrix<f32> {
+        match path {
+            ExecPath::Planned => self.plan.run_linear(x, &self.bias),
+            ExecPath::PerCall => self.plan.run_linear_percall(x, &self.bias),
+        }
     }
 
     /// Forward pass through the plan. Bit-identical to
@@ -142,7 +268,7 @@ impl SparseLinear {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        self.plan.run_linear(x, &self.bias)
+        self.forward_via(ExecPath::Planned, x)
     }
 
     /// Forward over an operand staged once for several sibling layers.
@@ -150,25 +276,14 @@ impl SparseLinear {
         self.plan.run_linear_staged(staged, tokens, &self.bias)
     }
 
-    /// The retained per-call path through [`venom_core::spmm`]: redoes
-    /// tile selection, pricing and operand staging on every invocation
-    /// (what `forward` did before the engine existed). The benchmarks use
-    /// it as the unplanned baseline.
+    /// The retained per-call path: re-stages and re-dispatches through
+    /// the one-shot entry points on every invocation (the unplanned
+    /// baseline of the serving benchmarks).
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        let weight = self.plan.weight();
-        assert_eq!(x.cols(), weight.cols(), "input features mismatch");
-        let xt = x.to_half().transpose();
-        let res = spmm(weight, &xt, &SpmmOptions::default(), dev);
-        let mut y = res.c.transpose();
-        for r in 0..y.rows() {
-            for (c, bv) in self.bias.iter().enumerate() {
-                y.set(r, c, y.get(r, c) + bv);
-            }
-        }
-        y
+    pub fn forward_percall(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_via(ExecPath::PerCall, x)
     }
 }
 
@@ -262,6 +377,7 @@ pub fn softmax_rows(x: &Matrix<f32>) -> Matrix<f32> {
 mod tests {
     use super::*;
     use venom_pruner::magnitude;
+    use venom_sim::DeviceConfig;
     use venom_tensor::random;
 
     fn engine() -> Engine {
@@ -287,14 +403,58 @@ mod tests {
 
     #[test]
     fn sparse_planned_forward_is_bit_identical_to_percall() {
-        let dev = DeviceConfig::rtx3090();
         let cfg = VnmConfig::new(32, 2, 8);
         let lin = Linear::glorot(64, 64, 1);
         let wf = lin.weight().to_f32();
         let mask = magnitude::prune_vnm(&wf, cfg);
         let sparse = lin.to_sparse(&engine(), &mask, cfg);
+        assert_eq!(sparse.format(), MatmulFormat::Vnm);
         let x = random::activation_matrix(16, 64, 2);
-        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x, &dev));
+        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x));
+    }
+
+    #[test]
+    fn every_strategy_stays_bit_identical_across_paths() {
+        // The dedup contract: whatever format a layer plans in, the
+        // planned and per-call paths produce the same bits.
+        let cfg = VnmConfig::new(16, 2, 4); // 2:4 so the nm format is eligible
+        let lin = Linear::glorot(32, 32, 5);
+        let wf = lin.weight().to_f32();
+        let mask = magnitude::prune_vnm(&wf, cfg);
+        let x = random::activation_matrix(9, 32, 6);
+        for strategy in [
+            PlanStrategy::Vnm,
+            PlanStrategy::Auto,
+            PlanStrategy::Format(MatmulFormat::Nm),
+            PlanStrategy::Format(MatmulFormat::Csr),
+            PlanStrategy::Format(MatmulFormat::Cvse),
+            PlanStrategy::Format(MatmulFormat::BlockedEll),
+            PlanStrategy::Format(MatmulFormat::Dense),
+        ] {
+            let planned = lin.to_sparse_with(&engine(), &mask, cfg, strategy).unwrap();
+            assert_eq!(
+                planned.forward(&x),
+                planned.forward_percall(&x),
+                "paths diverged for {strategy:?} ({})",
+                planned.format()
+            );
+        }
+    }
+
+    #[test]
+    fn forced_format_error_names_the_reason() {
+        let lin = Linear::glorot(32, 40, 9);
+        let wf = lin.weight().to_f32();
+        let mask = magnitude::prune_vnm(&wf, VnmConfig::new(16, 2, 10));
+        let err = lin
+            .to_sparse_with(
+                &engine(),
+                &mask,
+                VnmConfig::new(16, 2, 10),
+                PlanStrategy::Format(MatmulFormat::Nm),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("2:4"), "{err}");
     }
 
     #[test]

@@ -5,12 +5,14 @@
 //! post-pruning accuracy (Table 2). This crate provides everything those
 //! experiments need:
 //!
-//! * [`layers`] — Linear (dense or V:N:M-sparse), LayerNorm, GELU,
-//!   row-softmax, with functional forward passes in tensor-core numerics.
-//!   Layers hold `venom_runtime` execution plans (built once, replayed
-//!   per request); the pre-engine per-call dispatch survives as the
-//!   `forward_percall` reference paths the serving benchmarks compare
-//!   against.
+//! * [`layers`] — Linear and the format-erased [`layers::PlannedLinear`],
+//!   LayerNorm, GELU, row-softmax, with functional forward passes in
+//!   tensor-core numerics. Layers hold `venom_runtime` execution plans
+//!   behind the `MatmulPlan` trait (built once, replayed per request), so
+//!   one model mixes storage formats per weight; the per-call dispatch
+//!   survives as the bit-identical `forward_percall` baseline the serving
+//!   benchmarks compare against — expressed through the same trait, not a
+//!   hand-written twin.
 //! * [`attention`] — multi-head attention (the pruned MHA of Fig. 14).
 //! * [`transformer`] — encoder blocks and the model configurations the
 //!   paper measures (BERT-base/large, GPT2-large, GPT-3).
@@ -29,7 +31,7 @@ pub mod sten;
 pub mod train;
 pub mod transformer;
 
-pub use layers::{Linear, SparseLinear};
+pub use layers::{ExecPath, Linear, PlanStrategy, PlannedLinear};
 pub use model::{SparseTransformerEncoder, TransformerEncoder};
 pub use profile::{profile_model, LatencyBreakdown, WeightSparsity};
 pub use transformer::TransformerConfig;

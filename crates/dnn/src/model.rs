@@ -4,15 +4,18 @@
 //! one-call [`TransformerEncoder::sparsify`] that converts every weight
 //! tensor to V:N:M (the STen integration path: "users can specify a list
 //! of weights to be made sparse ... with just a few lines of code") and
-//! plans it on the serving engine. The sparse stack also serves batched
-//! multi-sequence requests: [`SparseTransformerEncoder::forward_batch`]
-//! runs every sequence through the same plans.
+//! plans it on the serving engine. [`TransformerEncoder::sparsify_with`]
+//! generalises the conversion over the unified plan surface: with
+//! [`PlanStrategy::Auto`] every weight lands in the
+//! cost-model-cheapest storage format, so one stack mixes formats per
+//! layer. The sparse stack also serves batched multi-sequence requests:
+//! [`SparseTransformerEncoder::forward_batch`] runs every sequence
+//! through the same plans.
 
-use crate::layers::LayerNorm;
+use crate::layers::{ExecPath, LayerNorm, PlanStrategy};
 use crate::transformer::{EncoderBlock, SparseEncoderBlock, TransformerConfig};
-use venom_format::VnmConfig;
-use venom_runtime::Engine;
-use venom_sim::DeviceConfig;
+use venom_format::{MatmulFormat, VnmConfig};
+use venom_runtime::{Engine, PlanError};
 use venom_tensor::Matrix;
 
 /// A dense encoder stack.
@@ -61,28 +64,50 @@ impl TransformerEncoder {
     /// pruning (the Fig. 14 configuration applied stack-wide), planning
     /// each compressed weight on `engine`.
     pub fn sparsify(&self, engine: &Engine, pattern: VnmConfig) -> SparseTransformerEncoder {
-        SparseTransformerEncoder {
+        self.sparsify_with(engine, pattern, PlanStrategy::Vnm)
+            .expect("V:N:M planning accepts any complying mask")
+    }
+
+    /// Prunes every weight tensor to `pattern` and plans it per
+    /// `strategy` on the unified surface — [`PlanStrategy::Auto`] lets
+    /// every weight land in its cost-model-cheapest format.
+    ///
+    /// # Errors
+    /// Returns [`PlanError`] when a forced format cannot serve one of
+    /// the pruned weights.
+    pub fn sparsify_with(
+        &self,
+        engine: &Engine,
+        pattern: VnmConfig,
+        strategy: PlanStrategy,
+    ) -> Result<SparseTransformerEncoder, PlanError> {
+        Ok(SparseTransformerEncoder {
             config: self.config,
             blocks: self
                 .blocks
                 .iter()
-                .map(|b| SparseEncoderBlock::from_dense(engine, b, pattern))
-                .collect(),
+                .map(|b| SparseEncoderBlock::from_dense_with(engine, b, pattern, strategy))
+                .collect::<Result<_, _>>()?,
             ln_final: self.ln_final.clone(),
             pattern,
-        }
+        })
     }
 }
 
 impl SparseTransformerEncoder {
-    /// Forward over `x` (`seq x hidden`) with every weight GEMM replaying
-    /// its plan.
-    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+    /// The shared forward body over `x` (`seq x hidden`); both execution
+    /// paths are bit-identical.
+    pub fn forward_with(&self, x: &Matrix<f32>, path: ExecPath) -> Matrix<f32> {
         let mut h = x.clone();
         for block in &self.blocks {
-            h = block.forward(&h);
+            h = block.forward_with(&h, path);
         }
         self.ln_final.forward(&h)
+    }
+
+    /// Forward with every weight GEMM replaying its plan.
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_with(x, ExecPath::Planned)
     }
 
     /// Serves a batch of sequences through the same plans. Each sequence
@@ -94,18 +119,42 @@ impl SparseTransformerEncoder {
 
     /// The retained per-call path (the unplanned serving baseline);
     /// bit-identical to [`Self::forward`].
-    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        let mut h = x.clone();
+    pub fn forward_percall(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_with(x, ExecPath::PerCall)
+    }
+
+    /// How many weight tensors landed in each storage format — the
+    /// mix report for auto-planned stacks.
+    pub fn format_census(&self) -> Vec<(MatmulFormat, usize)> {
+        let mut counts: Vec<(MatmulFormat, usize)> = Vec::new();
         for block in &self.blocks {
-            h = block.forward_percall(&h, dev);
+            for plan in block.plans() {
+                let f = plan.format();
+                match counts.iter_mut().find(|(g, _)| *g == f) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((f, 1)),
+                }
+            }
         }
-        self.ln_final.forward(&h)
+        counts
+    }
+
+    /// Total simulated weight-op time captured in the plans, in
+    /// milliseconds (plans without a launchable configuration are
+    /// skipped).
+    pub fn planned_weight_op_ms(&self) -> f64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.plans())
+            .filter_map(|p| p.plan.timing().map(|t| t.time_ms))
+            .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use venom_runtime::DeviceConfig;
     use venom_tensor::random;
 
     fn mini() -> TransformerConfig {
@@ -155,11 +204,23 @@ mod tests {
 
     #[test]
     fn planned_stack_is_bit_identical_to_percall() {
-        let dev = DeviceConfig::rtx3090();
         let model = TransformerEncoder::new(mini(), 7);
-        let sparse = model.sparsify(&Engine::new(dev.clone()), VnmConfig::new(16, 2, 8));
+        let sparse = model.sparsify(&engine(), VnmConfig::new(16, 2, 8));
         let x = random::activation_matrix(16, 32, 8);
-        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x, &dev));
+        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x));
+    }
+
+    #[test]
+    fn auto_planned_stack_is_exact_and_reports_its_mix() {
+        let model = TransformerEncoder::new(mini(), 11);
+        let sparse = model
+            .sparsify_with(&engine(), VnmConfig::new(16, 2, 8), PlanStrategy::Auto)
+            .unwrap();
+        let x = random::activation_matrix(16, 32, 12);
+        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x));
+        let census = sparse.format_census();
+        let total: usize = census.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 12, "2 blocks x 6 weights: {census:?}");
     }
 
     #[test]
@@ -180,6 +241,7 @@ mod tests {
         let sparse = model.sparsify(&engine(), pattern);
         assert_eq!(sparse.pattern, pattern);
         assert_eq!(sparse.blocks.len(), 2);
-        assert_eq!(sparse.blocks[0].ff1.weight().config(), pattern);
+        assert_eq!(sparse.blocks[0].ff1.format(), MatmulFormat::Vnm);
+        assert!(sparse.planned_weight_op_ms() > 0.0);
     }
 }

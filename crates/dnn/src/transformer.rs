@@ -3,14 +3,18 @@
 //! The presets are the models of the paper's Fig. 15 case study. Weight
 //! shapes follow the standard pre-LN encoder: four `H x H` attention
 //! projections plus the `4H x H` and `H x 4H` feed-forward weights per
-//! layer — the tensors §7.2 sparsifies. Blocks hold execution plans;
-//! `forward` replays them, and `forward_percall` retains the pre-engine
-//! per-call dispatch as the unplanned baseline.
+//! layer — the tensors §7.2 sparsifies. Blocks hold format-erased
+//! execution plans ([`PlannedLinear`]), so one block can mix V:N:M, 2:4,
+//! CSR, CVSE, Blocked-ELL and dense weights; `forward` replays the
+//! plans, and the per-call dispatch survives as the bit-identical
+//! unplanned baseline behind the same shared body
+//! ([`Self::forward_with`]).
+//!
+//! [`Self::forward_with`]: SparseEncoderBlock::forward_with
 
 use crate::attention::MultiHeadAttention;
-use crate::layers::{gelu, LayerNorm, Linear};
-use venom_runtime::Engine;
-use venom_sim::DeviceConfig;
+use crate::layers::{gelu, ExecPath, LayerNorm, Linear, PlanStrategy, PlannedLinear};
+use venom_runtime::{Engine, PlanError};
 use venom_tensor::Matrix;
 
 /// Architecture hyperparameters of a transformer.
@@ -134,15 +138,16 @@ impl EncoderBlock {
     }
 }
 
-/// A fully sparsified encoder block: all six weight tensors in V:N:M.
+/// A fully sparsified encoder block: all six weight tensors planned
+/// through the format-erased surface.
 #[derive(Clone, Debug)]
 pub struct SparseEncoderBlock {
-    /// Self-attention with sparse projections.
+    /// Self-attention with planned projections.
     pub mha: MultiHeadAttention,
-    /// Sparse feed-forward linears.
-    pub ff1: crate::layers::SparseLinear,
-    /// Second feed-forward linear.
-    pub ff2: crate::layers::SparseLinear,
+    /// First planned feed-forward linear.
+    pub ff1: PlannedLinear,
+    /// Second planned feed-forward linear.
+    pub ff2: PlannedLinear,
     /// Pre-attention layer norm.
     pub ln1: LayerNorm,
     /// Pre-FFN layer norm.
@@ -162,61 +167,81 @@ impl SparseEncoderBlock {
         block: &EncoderBlock,
         cfg: venom_format::VnmConfig,
     ) -> Self {
-        let mut mha = block.mha.clone();
-        mha.sparsify(engine, cfg);
-        let sparsify = |lin: &Linear| {
-            let wf = lin.weight().to_f32();
-            let mask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
-            lin.to_sparse(engine, &mask, cfg)
-        };
-        SparseEncoderBlock {
-            mha,
-            ff1: sparsify(&block.ff1),
-            ff2: sparsify(&block.ff2),
-            ln1: block.ln1.clone(),
-            ln2: block.ln2.clone(),
-        }
+        Self::from_dense_with(engine, block, cfg, PlanStrategy::Vnm)
+            .expect("V:N:M planning accepts any complying mask")
     }
 
-    /// Forward with the same dataflow as [`EncoderBlock::forward`], every
-    /// weight GEMM replaying its plan.
-    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        let attn = self.mha.forward(&self.ln1.forward(x));
+    /// Prunes all six weight tensors by magnitude to `cfg` and plans each
+    /// per `strategy` — a block built with [`PlanStrategy::Auto`] mixes
+    /// storage formats per weight.
+    ///
+    /// # Errors
+    /// Returns [`PlanError`] when a forced format cannot serve a pruned
+    /// weight.
+    pub fn from_dense_with(
+        engine: &Engine,
+        block: &EncoderBlock,
+        cfg: venom_format::VnmConfig,
+        strategy: PlanStrategy,
+    ) -> Result<Self, PlanError> {
+        let mut mha = block.mha.clone();
+        mha.sparsify_with(engine, cfg, strategy)?;
+        let sparsify = |lin: &Linear| -> Result<PlannedLinear, PlanError> {
+            let wf = lin.weight().to_f32();
+            let mask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
+            lin.to_sparse_with(engine, &mask, cfg, strategy)
+        };
+        Ok(SparseEncoderBlock {
+            mha,
+            ff1: sparsify(&block.ff1)?,
+            ff2: sparsify(&block.ff2)?,
+            ln1: block.ln1.clone(),
+            ln2: block.ln2.clone(),
+        })
+    }
+
+    /// The six planned weight tensors of the block.
+    pub fn plans(&self) -> [&PlannedLinear; 6] {
+        [&self.mha.wq, &self.mha.wk, &self.mha.wv, &self.mha.wo, &self.ff1, &self.ff2]
+    }
+
+    /// The shared forward body: the same dataflow as
+    /// [`EncoderBlock::forward`], every weight op dispatched through the
+    /// chosen execution path. Both paths are bit-identical.
+    pub fn forward_with(&self, x: &Matrix<f32>, path: ExecPath) -> Matrix<f32> {
+        let attn = self.mha.forward_via(path, &self.ln1.forward(x));
         let mut h = x.clone();
         for (o, a) in h.as_mut_slice().iter_mut().zip(attn.as_slice()) {
             *o += a;
         }
-        let ff = self.ff2.forward(&gelu(&self.ff1.forward(&self.ln2.forward(&h))));
+        let ff = self
+            .ff2
+            .forward_via(path, &gelu(&self.ff1.forward_via(path, &self.ln2.forward(&h))));
         for (o, f) in h.as_mut_slice().iter_mut().zip(ff.as_slice()) {
             *o += f;
         }
         h
+    }
+
+    /// Forward with every weight GEMM replaying its plan.
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_with(x, ExecPath::Planned)
     }
 
     /// The retained per-call path: every weight op goes through the
-    /// one-shot `spmm` entry point, redoing setup per call — the unplanned
+    /// one-shot entry points, redoing setup per call — the unplanned
     /// baseline of the serving benchmarks. Bit-identical to
     /// [`Self::forward`].
-    pub fn forward_percall(&self, x: &Matrix<f32>, dev: &DeviceConfig) -> Matrix<f32> {
-        let attn = self.mha.forward_percall(&self.ln1.forward(x), dev);
-        let mut h = x.clone();
-        for (o, a) in h.as_mut_slice().iter_mut().zip(attn.as_slice()) {
-            *o += a;
-        }
-        let ff = self.ff2.forward_percall(
-            &gelu(&self.ff1.forward_percall(&self.ln2.forward(&h), dev)),
-            dev,
-        );
-        for (o, f) in h.as_mut_slice().iter_mut().zip(ff.as_slice()) {
-            *o += f;
-        }
-        h
+    pub fn forward_percall(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_with(x, ExecPath::PerCall)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use venom_format::MatmulFormat;
+    use venom_runtime::DeviceConfig;
     use venom_tensor::random;
 
     #[test]
@@ -261,14 +286,33 @@ mod tests {
 
     #[test]
     fn planned_sparse_block_is_bit_identical_to_percall() {
-        let dev = DeviceConfig::rtx3090();
-        let engine = Engine::new(dev.clone());
+        let engine = Engine::new(DeviceConfig::rtx3090());
         let cfg = TransformerConfig::new("mini", 32, 4, 2, 64, 16);
         let block = EncoderBlock::dense(&cfg, 3);
         let sparse =
             SparseEncoderBlock::from_dense(&engine, &block, venom_format::VnmConfig::new(16, 2, 4));
         let x = random::activation_matrix(16, 32, 4);
-        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x, &dev));
+        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x));
+        assert!(sparse.plans().iter().all(|p| p.format() == MatmulFormat::Vnm));
+    }
+
+    #[test]
+    fn forced_format_block_is_bit_identical_to_percall() {
+        let engine = Engine::new(DeviceConfig::rtx3090());
+        let cfg = TransformerConfig::new("mini", 32, 4, 2, 64, 16);
+        let block = EncoderBlock::dense(&cfg, 5);
+        for format in [MatmulFormat::Csr, MatmulFormat::Cvse, MatmulFormat::Dense] {
+            let sparse = SparseEncoderBlock::from_dense_with(
+                &engine,
+                &block,
+                venom_format::VnmConfig::new(16, 2, 8),
+                PlanStrategy::Format(format),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
+            let x = random::activation_matrix(16, 32, 6);
+            assert_eq!(sparse.forward(&x), sparse.forward_percall(&x), "{format}");
+            assert!(sparse.plans().iter().all(|p| p.format() == format));
+        }
     }
 
     #[test]

@@ -135,6 +135,31 @@ impl BlockedEllMatrix {
         out
     }
 
+    /// Calls `f(row, col, value)` for every stored nonzero, visiting each
+    /// row's blocks in stored-slot order then in-block column order — the
+    /// per-row accumulation order of [`Self::spmm_ref`].
+    pub fn for_each_nonzero(&self, mut f: impl FnMut(usize, usize, Half)) {
+        let brs = self.rows / self.bs;
+        for br in 0..brs {
+            for i in 0..self.bs {
+                let r = br * self.bs + i;
+                for slot in 0..self.ell_width {
+                    let bc = self.block_cols[br * self.ell_width + slot];
+                    if bc == PAD {
+                        continue;
+                    }
+                    let base = (br * self.ell_width + slot) * self.bs * self.bs;
+                    for j in 0..self.bs {
+                        let v = self.values[base + i * self.bs + j];
+                        if !v.is_zero() {
+                            f(r, bc as usize * self.bs + j, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Reference SpMM `C = self * B` with f32 accumulation (padding blocks
     /// are multiplied too — that is the format's honest cost).
     ///

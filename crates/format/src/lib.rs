@@ -24,6 +24,7 @@ pub mod csr;
 pub mod cvse;
 pub mod mask;
 pub mod nm;
+pub mod sparse_kernel;
 pub mod storage;
 pub mod vnm;
 
@@ -32,6 +33,7 @@ pub use csr::CsrMatrix;
 pub use cvse::CvseMatrix;
 pub use mask::SparsityMask;
 pub use nm::NmCompressed;
+pub use sparse_kernel::{MatmulFormat, SparseKernel};
 pub use storage::StorageOrder;
 pub use vnm::VnmMatrix;
 

@@ -13,7 +13,7 @@
 //!   the product of two halves is computed *exactly* (it always fits in
 //!   `f32`: 11 × 11 significant bits ≤ 24) and accumulated in `f32`,
 //!   matching `mma`/`mma.sp` with an `f32` accumulator.
-//! * [`slice`] — bulk conversion and reduction helpers used by the tensor
+//! * [`mod@slice`] — bulk conversion and reduction helpers used by the tensor
 //!   and format crates.
 //!
 //! The implementation is self-contained (no `half` crate) because the

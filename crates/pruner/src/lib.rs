@@ -5,7 +5,7 @@
 //! * **Magnitude pruning** ([`magnitude`]) — unstructured, row-wise N:M,
 //!   the two-stage V:N:M policy (vector-wise column selection + N:M within
 //!   the selected columns, Fig. 2), vector-wise (`vw_l`) and block-wise.
-//!   These drive the energy study of §5 ([`energy`]).
+//!   These drive the energy study of §5 ([`fn@energy`]).
 //! * **Second-order pruning** ([`fisher`], [`obs`], [`vnm2nd`]) — the
 //!   paper's §6: an empirical-Fisher approximation of the loss curvature,
 //!   OBS saliency `rho_Q = 1/2 w_Q^T ([F^-1]_QQ)^-1 w_Q` minimised over

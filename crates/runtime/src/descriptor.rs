@@ -1,0 +1,180 @@
+//! The matmul descriptor — the cuSPARSELt-style problem description the
+//! unified plan surface is built around.
+//!
+//! A [`MatmulDescriptor`] says *what* is being computed (`y = x W^T (+
+//! bias)(+ activation)` over a `out_features x in_features` weight, up to
+//! `b_cols` output columns per dispatch, in which dtype); the
+//! [`crate::Engine`] decides *how* (which storage format, which tile)
+//! and returns a [`crate::MatmulPlan`]. Describing the epilogue and the
+//! column bound up front is what lets planning price candidates fairly:
+//! every format is tuned and timed for the same dispatch.
+
+use venom_fp16::Half;
+use venom_tensor::{GemmShape, Matrix};
+
+/// Operand precision of a planned matmul.
+///
+/// The functional engine executes tensor-core numerics — exact fp16
+/// products accumulated in f32 — so `F16` is currently the only operand
+/// dtype; the enum exists so descriptors stay forward-compatible when
+/// other input precisions (bf16, fp8) are added.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// IEEE half-precision operands, f32 accumulation.
+    #[default]
+    F16,
+}
+
+impl core::fmt::Display for DType {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DType::F16 => f.write_str("f16"),
+        }
+    }
+}
+
+/// The fused tail of the planned matmul.
+///
+/// `Bias` is executed by [`crate::MatmulPlan::run_linear`] (the bias add
+/// fuses into the plan's transpose epilogue); `BiasGelu` additionally
+/// names the activation the caller applies after the linear — recorded
+/// so plans describe the full layer op they serve, and so future pricing
+/// can charge the epilogue traffic where a backend would fuse it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Epilogue {
+    /// Plain `C = A * B`.
+    #[default]
+    None,
+    /// Row-bias added in the output epilogue (`y = x W^T + b`).
+    Bias,
+    /// Bias followed by the GELU activation (the FFN-1 layer shape).
+    BiasGelu,
+}
+
+impl core::fmt::Display for Epilogue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Epilogue::None => f.write_str("none"),
+            Epilogue::Bias => f.write_str("bias"),
+            Epilogue::BiasGelu => f.write_str("bias+gelu"),
+        }
+    }
+}
+
+/// Describes one weight matmul for planning: logical weight shape,
+/// operand dtype, epilogue, and the output-column bound the plan is
+/// tuned and priced for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatmulDescriptor {
+    /// Weight rows — the layer's output features.
+    pub out_features: usize,
+    /// Weight columns — the reduction dimension K.
+    pub in_features: usize,
+    /// Output-column bound the plan is tuned and priced for. Wider runs
+    /// stay exact; only the captured pricing assumes the bound.
+    pub b_cols: usize,
+    /// Operand precision.
+    pub dtype: DType,
+    /// The fused tail the plan serves.
+    pub epilogue: Epilogue,
+}
+
+impl MatmulDescriptor {
+    /// Default column bound when the caller gives none: the BERT
+    /// evaluation sequence length of the paper (matches
+    /// [`crate::Engine::DEFAULT_B_COLS_HINT`]).
+    pub const DEFAULT_B_COLS: usize = 512;
+
+    /// A descriptor for a `out_features x in_features` weight with the
+    /// default column bound, f16 operands and no epilogue.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(out_features: usize, in_features: usize) -> Self {
+        assert!(out_features > 0 && in_features > 0, "descriptor dimensions must be nonzero");
+        MatmulDescriptor {
+            out_features,
+            in_features,
+            b_cols: Self::DEFAULT_B_COLS,
+            dtype: DType::F16,
+            epilogue: Epilogue::None,
+        }
+    }
+
+    /// A descriptor matching a concrete weight matrix.
+    pub fn for_weight(w: &Matrix<Half>) -> Self {
+        Self::new(w.rows(), w.cols())
+    }
+
+    /// Overrides the output-column bound.
+    ///
+    /// # Panics
+    /// Panics if `b_cols` is zero.
+    #[must_use]
+    pub fn with_b_cols(mut self, b_cols: usize) -> Self {
+        assert!(b_cols > 0, "the column bound must be nonzero");
+        self.b_cols = b_cols;
+        self
+    }
+
+    /// Overrides the epilogue.
+    #[must_use]
+    pub fn with_epilogue(mut self, epilogue: Epilogue) -> Self {
+        self.epilogue = epilogue;
+        self
+    }
+
+    /// The dense-equivalent GEMM shape at the planned bound
+    /// (`out_features x in_features x b_cols`).
+    pub fn gemm_shape(&self) -> GemmShape {
+        GemmShape::new(self.out_features, self.in_features, self.b_cols)
+    }
+
+    /// Checks a weight matrix against the described shape.
+    ///
+    /// # Panics
+    /// Panics if `w` is not `out_features x in_features`.
+    pub fn assert_matches(&self, w: &Matrix<Half>) {
+        assert_eq!(
+            (w.rows(), w.cols()),
+            (self.out_features, self.in_features),
+            "weight shape does not match the descriptor"
+        );
+    }
+}
+
+impl core::fmt::Display for MatmulDescriptor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}x{} (<= {} cols, {}, epilogue {})",
+            self.out_features, self.in_features, self.b_cols, self.dtype, self.epilogue
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let d = MatmulDescriptor::new(64, 128).with_b_cols(96).with_epilogue(Epilogue::Bias);
+        assert_eq!((d.out_features, d.in_features, d.b_cols), (64, 128, 96));
+        assert_eq!(d.epilogue, Epilogue::Bias);
+        assert_eq!(d.dtype, DType::F16);
+        assert_eq!(d.gemm_shape(), GemmShape::new(64, 128, 96));
+        assert!(d.to_string().contains("64x128"));
+    }
+
+    #[test]
+    fn default_bound_is_bert_sequence_length() {
+        assert_eq!(MatmulDescriptor::new(8, 8).b_cols, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_dims() {
+        let _ = MatmulDescriptor::new(0, 8);
+    }
+}

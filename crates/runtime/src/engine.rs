@@ -1,12 +1,34 @@
 //! The [`Engine`]: the factory that builds execution plans against one
-//! target device.
+//! target device — including the automatic format selection of the
+//! unified matmul surface.
 
-use crate::plan::{GemmPlan, SpmmPlan};
+use crate::descriptor::MatmulDescriptor;
+use crate::matmul::{MatmulPlan, PlanError};
+use crate::plan::{FormatPlan, GemmPlan, SpmmPlan};
+use crate::pricing;
+use std::sync::Arc;
 use venom_core::SpmmOptions;
-use venom_format::VnmMatrix;
+use venom_format::{
+    BlockedEllMatrix, CsrMatrix, CvseMatrix, MatmulFormat, NmCompressed, NmConfig, SparsityMask,
+    VnmConfig, VnmMatrix,
+};
 use venom_fp16::Half;
 use venom_sim::DeviceConfig;
 use venom_tensor::Matrix;
+
+/// Vector heights `plan_auto` probes for V:N:M compliance, largest (most
+/// reuse) first. All are kernel-launchable multiples of 16.
+const AUTO_V: [usize; 4] = [128, 64, 32, 16];
+
+/// Group widths probed for N = 2 compliance, sparsest first, so the
+/// first complying pattern is the cheapest-to-execute one.
+const AUTO_M: [usize; 7] = [100, 40, 20, 16, 10, 8, 4];
+
+/// Vector lengths probed for the CVSE encoding.
+const AUTO_CVSE_L: [usize; 3] = [16, 8, 4];
+
+/// Block sizes probed for Blocked-ELL (must divide both dimensions).
+const AUTO_ELL_BS: [usize; 4] = [32, 16, 8, 4];
 
 /// Builds plans for one device configuration. Cheap to clone; layers and
 /// models hold the plans, not the engine.
@@ -20,14 +42,15 @@ pub struct Engine {
 impl Engine {
     /// Default output-column bound plans are tuned for when the caller
     /// gives none: the BERT evaluation sequence length of the paper.
-    pub const DEFAULT_B_COLS_HINT: usize = 512;
+    pub const DEFAULT_B_COLS_HINT: usize = MatmulDescriptor::DEFAULT_B_COLS;
 
     /// An engine targeting `dev` with default options.
     pub fn new(dev: DeviceConfig) -> Self {
         Engine { dev, opts: SpmmOptions::default(), b_cols_hint: Self::DEFAULT_B_COLS_HINT }
     }
 
-    /// Overrides the output-column bound used by [`Self::plan_spmm`].
+    /// Overrides the output-column bound used by [`Self::plan_spmm`],
+    /// [`Self::plan_gemm`] and [`Self::descriptor`].
     #[must_use]
     pub fn with_b_cols_hint(mut self, b_cols: usize) -> Self {
         self.b_cols_hint = b_cols;
@@ -52,6 +75,11 @@ impl Engine {
         self.b_cols_hint
     }
 
+    /// A descriptor for a `out x in` weight at the engine's column hint.
+    pub fn descriptor(&self, out_features: usize, in_features: usize) -> MatmulDescriptor {
+        MatmulDescriptor::new(out_features, in_features).with_b_cols(self.b_cols_hint)
+    }
+
     /// Plans a V:N:M SpMM at the engine's column hint.
     pub fn plan_spmm(&self, a: &VnmMatrix) -> SpmmPlan {
         self.plan_spmm_bounded(a, self.b_cols_hint)
@@ -61,22 +89,260 @@ impl Engine {
     /// output columns (wider runs stay exact; only the captured pricing
     /// assumes the bound).
     pub fn plan_spmm_bounded(&self, a: &VnmMatrix, b_cols_bound: usize) -> SpmmPlan {
-        SpmmPlan::build(a, b_cols_bound, &self.opts, &self.dev)
+        let (r, k) = a.shape();
+        let desc = MatmulDescriptor::new(r, k).with_b_cols(b_cols_bound);
+        SpmmPlan::build(a, desc, &self.opts, &self.dev)
     }
 
-    /// Plans a dense GEMM (no tile search: the dense model has a single
-    /// implementation).
+    /// Plans a dense GEMM priced on the cuBLAS model for this engine's
+    /// device at the engine's column hint — the same pricing seam sparse
+    /// plans get, so dense-vs-sparse comparisons in [`Self::plan_auto`]
+    /// are fair.
     pub fn plan_gemm(&self, w: &Matrix<Half>) -> GemmPlan {
-        GemmPlan::new(w)
+        self.plan_gemm_bounded(w, self.b_cols_hint)
     }
+
+    /// [`Self::plan_gemm`] priced for up to `b_cols_bound` output columns.
+    pub fn plan_gemm_bounded(&self, w: &Matrix<Half>, b_cols_bound: usize) -> GemmPlan {
+        let desc = MatmulDescriptor::for_weight(w).with_b_cols(b_cols_bound);
+        GemmPlan::build(w, desc, &self.dev)
+    }
+
+    /// Plans `weights` in an explicitly chosen storage format.
+    ///
+    /// The weight's *nonzero structure* decides eligibility: `vnm` and
+    /// `nm` require the zeros to comply with a supported pattern
+    /// (`V:2:M` over the probed grid, resp. the hardware 2:4);
+    /// `blocked-ell` requires a block size dividing both dimensions;
+    /// `csr`, `cvse` and `dense` accept anything.
+    ///
+    /// # Errors
+    /// Returns [`PlanError::Incompatible`] with the reason when the
+    /// weights cannot be served in `format`.
+    ///
+    /// # Panics
+    /// Panics if `weights` does not match the descriptor's shape.
+    pub fn plan_with_format(
+        &self,
+        format: MatmulFormat,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+    ) -> Result<Arc<dyn MatmulPlan>, PlanError> {
+        desc.assert_matches(weights);
+        let incompatible = |reason: String| PlanError::Incompatible { format, reason };
+        match format {
+            MatmulFormat::Dense => Ok(Arc::new(GemmPlan::build(weights, *desc, &self.dev))),
+            MatmulFormat::Vnm => self.plan_vnm_detected(desc, weights, None),
+            MatmulFormat::Nm => {
+                let mask = nonzero_mask(weights);
+                let nm = NmConfig::new(2, 4);
+                if !mask.complies_nm(nm) {
+                    return Err(incompatible(
+                        "nonzero pattern violates the hardware 2:4 pattern cuSPARSELt consumes"
+                            .to_string(),
+                    ));
+                }
+                let a = NmCompressed::compress(weights, &mask, nm);
+                let timing = pricing::price_nm(&a, desc.b_cols, &self.dev);
+                Ok(Arc::new(FormatPlan::build(Arc::new(a), *desc, Some(timing))))
+            }
+            MatmulFormat::Csr => {
+                let a = CsrMatrix::from_dense(weights);
+                let timing = pricing::price_csr(&a, desc.b_cols, &self.dev);
+                Ok(Arc::new(FormatPlan::build(Arc::new(a), *desc, Some(timing))))
+            }
+            MatmulFormat::Cvse => {
+                // Probe the vector-length ladder and keep the cheapest
+                // encoding (the format's one tuning knob).
+                let best = AUTO_CVSE_L
+                    .iter()
+                    .map(|&l| {
+                        let a = CvseMatrix::from_dense(weights, l);
+                        let t = pricing::price_cvse(&a, desc.b_cols, &self.dev);
+                        (a, t)
+                    })
+                    .min_by(|x, y| x.1.time_ms.partial_cmp(&y.1.time_ms).unwrap())
+                    .expect("the ladder is nonempty");
+                Ok(Arc::new(FormatPlan::build(Arc::new(best.0), *desc, Some(best.1))))
+            }
+            MatmulFormat::BlockedEll => {
+                let (r, k) = (weights.rows(), weights.cols());
+                let bs = AUTO_ELL_BS
+                    .iter()
+                    .copied()
+                    .find(|&bs| r % bs == 0 && k % bs == 0)
+                    .ok_or_else(|| {
+                        incompatible(format!(
+                            "no probed block size {AUTO_ELL_BS:?} divides both {r} and {k}"
+                        ))
+                    })?;
+                let a = BlockedEllMatrix::from_dense(weights, bs);
+                let timing = pricing::price_blocked_ell(&a, desc.b_cols, &self.dev);
+                Ok(Arc::new(FormatPlan::build(Arc::new(a), *desc, Some(timing))))
+            }
+        }
+    }
+
+    /// Plans the V:N:M format, preferring a caller-supplied pattern over
+    /// grid re-detection (a pruner that knows its pattern should not
+    /// depend on the probed grid containing it).
+    fn plan_vnm_detected(
+        &self,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+        pattern: Option<VnmConfig>,
+    ) -> Result<Arc<dyn MatmulPlan>, PlanError> {
+        let mask = nonzero_mask(weights);
+        let cfg = pattern
+            .filter(|&cfg| mask.complies_vnm(cfg))
+            .or_else(|| self.vnm_candidates(&mask, weights).into_iter().next())
+            .ok_or_else(|| PlanError::Incompatible {
+                format: MatmulFormat::Vnm,
+                reason: format!(
+                    "nonzero pattern complies with no probed V:2:M pattern \
+                     (V in {AUTO_V:?}, M in {AUTO_M:?})"
+                ),
+            })?;
+        let a = VnmMatrix::compress(weights, &mask, cfg);
+        Ok(Arc::new(SpmmPlan::build(&a, *desc, &self.opts, &self.dev)))
+    }
+
+    /// Plans `weights` in the cost-model-cheapest eligible format.
+    ///
+    /// Every format the nonzero structure is eligible for is compressed,
+    /// tuned (V:N:M autotunes its template space, CVSE its vector
+    /// length) and priced for the descriptor's shape on this engine's
+    /// device; the cheapest plan wins. The dense path always competes,
+    /// so a weight that is not sparse enough to pay off simply plans
+    /// dense — the FlashSparse-style per-shape layout choice.
+    ///
+    /// # Panics
+    /// Panics if `weights` does not match the descriptor's shape.
+    pub fn plan_auto(
+        &self,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+    ) -> Arc<dyn MatmulPlan> {
+        self.plan_auto_hinted(desc, weights, None)
+    }
+
+    /// [`Self::plan_auto`] with a known prune pattern: when the caller
+    /// pruned the weights itself (e.g. a magnitude V:N:M pruner), the
+    /// pattern seeds the V:N:M candidate directly instead of relying on
+    /// the probed re-detection grid — so patterns outside the grid
+    /// (other N, unusual M) still compete as V:N:M.
+    ///
+    /// # Panics
+    /// Panics if `weights` does not match the descriptor's shape.
+    pub fn plan_auto_hinted(
+        &self,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+        pattern: Option<VnmConfig>,
+    ) -> Arc<dyn MatmulPlan> {
+        self.auto_candidates(desc, weights, pattern)
+            .into_iter()
+            .min_by(|a, b| {
+                let ca = a.cost_ms().unwrap_or(f64::INFINITY);
+                let cb = b.cost_ms().unwrap_or(f64::INFINITY);
+                ca.partial_cmp(&cb).unwrap()
+            })
+            .expect("the dense path is always eligible")
+    }
+
+    /// [`Self::plan_auto`] with a measured micro-autotune: every eligible
+    /// candidate plan is additionally *run* `iters` times on a synthetic
+    /// probe operand, and the lowest measured wall-clock wins. Slower to
+    /// plan, but immune to cost-model bias on the functional CPU path.
+    ///
+    /// # Panics
+    /// Panics if `iters` is zero or the shapes mismatch.
+    pub fn plan_auto_measured(
+        &self,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+        iters: usize,
+    ) -> Arc<dyn MatmulPlan> {
+        assert!(iters >= 1, "the micro-autotune needs at least one iteration");
+        // A small deterministic probe: measuring at full bound would make
+        // planning cost as much as serving.
+        let probe_cols = desc.b_cols.clamp(1, 32);
+        let probe = Matrix::from_fn(desc.in_features, probe_cols, |r, c| {
+            ((r * 31 + c * 17) % 13) as f32 * 0.17 - 1.0
+        })
+        .to_half();
+        self.auto_candidates(desc, weights, None)
+            .into_iter()
+            .map(|plan| {
+                let _ = plan.run(&probe); // warm-up primes tables and pools
+                let mut best = f64::INFINITY;
+                for _ in 0..iters {
+                    let t0 = std::time::Instant::now();
+                    std::hint::black_box(plan.run(&probe));
+                    best = best.min(t0.elapsed().as_secs_f64());
+                }
+                (plan, best)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("the dense path is always eligible")
+            .0
+    }
+
+    /// Every plan the weight structure is eligible for, priced; the
+    /// V:N:M candidate honours a caller-supplied pattern hint.
+    fn auto_candidates(
+        &self,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+        pattern: Option<VnmConfig>,
+    ) -> Vec<Arc<dyn MatmulPlan>> {
+        MatmulFormat::ALL
+            .iter()
+            .filter_map(|&f| match f {
+                MatmulFormat::Vnm => self.plan_vnm_detected(desc, weights, pattern).ok(),
+                _ => self.plan_with_format(f, desc, weights).ok(),
+            })
+            .collect()
+    }
+
+    /// The V:2:M patterns the nonzero mask complies with, best (largest
+    /// V, sparsest M) first. A pattern with larger V also complies at
+    /// every smaller probed V, so the first hit is the strongest
+    /// structure the weight actually has.
+    fn vnm_candidates(&self, mask: &SparsityMask, weights: &Matrix<Half>) -> Vec<VnmConfig> {
+        let (r, k) = (weights.rows(), weights.cols());
+        let mut out = Vec::new();
+        for &v in AUTO_V.iter().filter(|&&v| v <= r) {
+            for &m in AUTO_M.iter().filter(|&&m| m <= k) {
+                let cfg = VnmConfig::new(v, 2, m);
+                if mask.complies_vnm(cfg) {
+                    out.push(cfg);
+                }
+            }
+            if !out.is_empty() {
+                break; // smaller V adds no structure the largest V lacks
+            }
+        }
+        out
+    }
+}
+
+/// The mask of stored nonzeros — the structure `plan_auto` inspects.
+fn nonzero_mask(w: &Matrix<Half>) -> SparsityMask {
+    SparsityMask::from_fn(w.rows(), w.cols(), |r, c| !w.get(r, c).is_zero())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use venom_format::VnmConfig;
     use venom_pruner::magnitude;
     use venom_tensor::random;
+
+    fn vnm_weight(r: usize, k: usize, cfg: VnmConfig, seed: u64) -> Matrix<Half> {
+        let w = random::normal_matrix(r, k, 0.0, 1.0, seed);
+        let mask = magnitude::prune_vnm(&w, cfg);
+        mask.apply_f32(&w).to_half()
+    }
 
     #[test]
     fn engine_builds_tuned_plans() {
@@ -97,5 +363,119 @@ mod tests {
         let engine = Engine::new(DeviceConfig::a100());
         assert_eq!(engine.b_cols_hint(), 512);
         assert_eq!(engine.device().name, DeviceConfig::a100().name);
+    }
+
+    #[test]
+    fn plan_gemm_is_priced_on_the_engines_device() {
+        // The satellite fix: dense plans get cost-model timing like
+        // sparse plans, from the engine's DeviceConfig.
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(256);
+        let w = random::glorot_matrix(128, 256, 2).to_half();
+        let plan = engine.plan_gemm(&w);
+        let t = plan.timing().expect("plan_gemm attaches pricing");
+        assert!(t.time_ms > 0.0);
+        assert_eq!(plan.descriptor().b_cols, 256);
+        // A wider bound prices at least as much work.
+        let wide = engine.plan_gemm_bounded(&w, 4096);
+        assert!(wide.timing().unwrap().time_ms >= t.time_ms);
+    }
+
+    #[test]
+    fn plan_with_format_respects_structure() {
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(64);
+        let w = vnm_weight(64, 80, VnmConfig::new(32, 2, 10), 3);
+        let desc = engine.descriptor(64, 80);
+        // The V:N:M-pruned weight plans in every always-eligible format...
+        for f in [MatmulFormat::Vnm, MatmulFormat::Csr, MatmulFormat::Cvse, MatmulFormat::Dense] {
+            let plan = engine.plan_with_format(f, &desc, &w).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(plan.format(), f);
+            assert!(plan.cost_ms().unwrap() > 0.0, "{f} is priced");
+        }
+        // ...but not 2:4 (a 2:10 pattern leaves 8-wide gaps).
+        let err = engine.plan_with_format(MatmulFormat::Nm, &desc, &w).unwrap_err();
+        assert!(err.to_string().contains("2:4"), "{err}");
+        // Blocked-ELL rejects non-dividing shapes with the probed list.
+        let odd = random::glorot_matrix(63, 80, 4).to_half();
+        let e2 = engine
+            .plan_with_format(MatmulFormat::BlockedEll, &engine.descriptor(63, 80), &odd)
+            .unwrap_err();
+        assert!(e2.to_string().contains("block size"), "{e2}");
+    }
+
+    #[test]
+    fn every_format_plans_and_runs_bitwise_vs_its_oracle() {
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(32);
+        // 2:4-pruned weights are eligible for all six formats.
+        let dense = random::normal_matrix(64, 64, 0.0, 1.0, 5).to_half();
+        let w = {
+            let a = NmCompressed::compress_magnitude(&dense, NmConfig::new(2, 4));
+            a.decompress()
+        };
+        let desc = engine.descriptor(64, 64);
+        let b = random::normal_matrix(64, 13, 0.0, 1.0, 6).to_half();
+        for f in MatmulFormat::ALL {
+            let plan = engine.plan_with_format(f, &desc, &w).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(plan.format(), f);
+            assert_eq!(plan.run(&b), plan.run_oneshot(&b), "planned vs per-call for {f}");
+        }
+    }
+
+    #[test]
+    fn plan_auto_picks_vnm_on_a_paper_shape() {
+        // Fig. 9's BERT-large linear layer at 80% sparsity: Spatha beats
+        // the dense model and every baseline format, so auto must land
+        // on vnm.
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(4096);
+        let cfg = VnmConfig::new(128, 2, 10);
+        let w = vnm_weight(1024, 768, cfg, 7);
+        let desc = engine.descriptor(1024, 768);
+        let plan = engine.plan_auto(&desc, &w);
+        assert_eq!(plan.format(), MatmulFormat::Vnm, "cost {:?}", plan.cost_ms());
+        // And the winner is genuinely the cheapest candidate.
+        let dense_cost =
+            engine.plan_with_format(MatmulFormat::Dense, &desc, &w).unwrap().cost_ms().unwrap();
+        assert!(plan.cost_ms().unwrap() < dense_cost);
+    }
+
+    #[test]
+    fn pattern_hint_beats_grid_redetection() {
+        // 2:12 is outside the probed M grid. Re-detection still finds a
+        // *containing* 2:4 pattern (any aligned-divisor group holds at
+        // most the sparser pattern's nonzeros) but that prices the weight
+        // as if it were only 50% sparse; the hint restores the true
+        // pattern and must plan strictly cheaper.
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(4096);
+        let cfg = VnmConfig::new(64, 2, 12);
+        let w = vnm_weight(1024, 768, cfg, 11);
+        let desc = engine.descriptor(1024, 768);
+        let unhinted = engine.plan_auto(&desc, &w);
+        let hinted = engine.plan_auto_hinted(&desc, &w, Some(cfg));
+        assert_eq!(hinted.format(), MatmulFormat::Vnm);
+        assert!(
+            hinted.cost_ms().unwrap() < unhinted.cost_ms().unwrap(),
+            "hinted {:?} must beat re-detected {:?} ({})",
+            hinted.cost_ms(),
+            unhinted.cost_ms(),
+            unhinted.format(),
+        );
+    }
+
+    #[test]
+    fn plan_auto_picks_dense_for_dense_weights() {
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(1024);
+        let w = random::glorot_matrix(256, 512, 8).to_half();
+        let plan = engine.plan_auto(&engine.descriptor(256, 512), &w);
+        assert_eq!(plan.format(), MatmulFormat::Dense);
+    }
+
+    #[test]
+    fn plan_auto_measured_returns_an_eligible_plan() {
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(32);
+        let w = vnm_weight(64, 64, VnmConfig::new(16, 2, 8), 9);
+        let desc = engine.descriptor(64, 64);
+        let plan = engine.plan_auto_measured(&desc, &w, 2);
+        // Whatever won the measurement, it must execute exactly.
+        let b = random::normal_matrix(64, 8, 0.0, 1.0, 10).to_half();
+        assert_eq!(plan.run(&b), plan.run_oneshot(&b));
     }
 }

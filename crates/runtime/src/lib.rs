@@ -1,42 +1,58 @@
-//! The inference engine: plan-once/run-many execution over the Spatha
-//! kernels (the cuSPARSELt-style plan/execute split the paper benchmarks
-//! against, §7.2).
+//! The inference engine: the cuSPARSELt-style descriptor/plan workflow
+//! the paper benchmarks against (§7.2), over every storage format the
+//! repository ships.
 //!
 //! The per-call [`venom_core::spmm`] entry point redoes tile-config
 //! selection, cost-model pricing and operand staging on every invocation —
 //! the right shape for one-shot benchmarks, the wrong one for serving,
 //! where the compressed weights are static across every forward pass. An
-//! [`Engine`] builds *plans* instead:
+//! [`Engine`] builds *plans* instead, behind one format-erased surface:
 //!
-//! * [`SpmmPlan`] captures, at build time, the autotuned [`TileConfig`]
-//!   for the `(weight, b_cols)` shape, the weight's f32-staged operands
-//!   condensed into a per-row `(value, B-row)` stream in the kernel's
-//!   exact accumulation order, and the priced launch. `plan.run(&b)` then
-//!   executes with zero per-call setup.
-//! * [`GemmPlan`] is the dense analogue for the unpruned layers: the
-//!   weight is decoded and zero-compacted once, and every run replays
-//!   [`venom_tensor::gemm::gemm_parallel`]'s accumulation chain.
+//! * A [`MatmulDescriptor`] describes the matmul — weight shape, dtype,
+//!   bias/activation epilogue, and the output-column bound the plan is
+//!   tuned and priced for.
+//! * [`Engine::plan_auto`] compresses the weights into every format
+//!   their nonzero structure is eligible for (V:N:M, 2:4, CSR, CVSE,
+//!   Blocked-ELL, dense), prices each with its cost model on the target
+//!   device, and returns the cheapest as an `Arc<dyn `[`MatmulPlan`]`>` —
+//!   so a model mixes formats per layer and callers never name one.
+//!   [`Engine::plan_auto_measured`] adds a measured micro-autotune on
+//!   top of the cost model; [`Engine::plan_with_format`] pins a format
+//!   explicitly and reports *why* when the weights cannot serve it.
+//! * The specialised builders remain: [`SpmmPlan`] captures, at build
+//!   time, the autotuned [`TileConfig`] for the `(weight, b_cols)`
+//!   shape, the weight's f32-staged operands condensed into a per-row
+//!   `(value, B-row)` stream in the kernel's exact accumulation order,
+//!   and the priced launch. [`GemmPlan`] is the dense analogue, priced
+//!   on the cuBLAS model by [`Engine::plan_gemm`]; [`FormatPlan`] hosts
+//!   the remaining formats through the same condensed stream.
 //!
 //! Every plan execution is **bit-identical** to the one-shot path it
-//! amortises: the stream stores each row's nonzeros in the same ascending
-//! `(group, slot)` order the kernel (and `spmm_ref`) accumulate in, with
-//! the same exactly-decoded f32 products, so the f32 additions happen in
-//! the same order with the same values. Batched runs concatenate requests
-//! along the output-column dimension; columns are independent in every
-//! path, so batching changes nothing numerically either.
+//! amortises: the stream stores each row's nonzeros in the same order the
+//! format's reference kernel accumulates in (pinned by
+//! [`venom_format::SparseKernel::for_each_operand`]), with the same
+//! exactly-decoded f32 products, so the f32 additions happen in the same
+//! order with the same values. Batched runs concatenate requests along
+//! the output-column dimension; columns are independent in every path, so
+//! batching changes nothing numerically either.
 //!
 //! Per-call scratch (the staged RHS, intermediate products) leases from a
 //! per-thread [`arena`], so steady-state serving performs no staging
 //! allocations beyond the returned output matrices.
 
 pub mod arena;
+pub mod descriptor;
 pub mod engine;
+pub mod matmul;
 pub mod plan;
+pub mod pricing;
 pub mod stage;
 
+pub use descriptor::{DType, Epilogue, MatmulDescriptor};
 pub use engine::Engine;
-pub use plan::{GemmPlan, SpmmPlan};
+pub use matmul::{MatmulPlan, PlanError};
+pub use plan::{FormatPlan, GemmPlan, SpmmPlan};
 
 pub use venom_core::{SpmmOptions, TileConfig};
-pub use venom_format::{VnmConfig, VnmMatrix};
+pub use venom_format::{MatmulFormat, SparseKernel, VnmConfig, VnmMatrix};
 pub use venom_sim::{DeviceConfig, KernelTiming};

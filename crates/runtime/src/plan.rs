@@ -2,19 +2,30 @@
 //!
 //! A plan's stream stores, for every output row, the row's nonzero
 //! operands as `(f32 value, source B row)` pairs in the exact order the
-//! one-shot path accumulates them — ascending `(K group, slot)` for the
-//! V:N:M kernel, ascending `k` for the dense GEMM — with explicit zeros
-//! dropped exactly where the one-shot paths skip them. Replaying the
+//! format's one-shot path accumulates them — ascending `(K group, slot)`
+//! for the V:N:M kernel, ascending `k` for the dense GEMM, stored order
+//! for CSR/CVSE/Blocked-ELL — with explicit zeros dropped exactly where
+//! the one-shot paths skip them (see
+//! [`venom_format::SparseKernel::for_each_operand`]). Replaying the
 //! stream therefore reproduces every f32 accumulation chain bit-for-bit
 //! while touching each operand once, at full output width, instead of
-//! through 8-column instruction fragments rebuilt on every call.
+//! through per-call staging rebuilt on every dispatch.
+//!
+//! Three plan types share the stream and implement the format-erased
+//! [`MatmulPlan`] trait: [`SpmmPlan`] (V:N:M, autotuned and priced on
+//! the Spatha cost model), [`GemmPlan`] (dense, priced on the cuBLAS
+//! model), and [`FormatPlan`] (any other [`SparseKernel`], priced by its
+//! format's baseline model).
 
 use crate::arena;
+use crate::descriptor::MatmulDescriptor;
+use crate::matmul::MatmulPlan;
 use crate::stage;
 use rayon::prelude::*;
+use std::sync::Arc;
 use venom_core::{SpmmOptions, TileConfig};
+use venom_format::{MatmulFormat, SparseKernel, VnmMatrix};
 use venom_fp16::Half;
-use venom_format::VnmMatrix;
 use venom_sim::pipeline::KernelCounts;
 use venom_sim::{DeviceConfig, KernelTiming};
 use venom_tensor::Matrix;
@@ -35,54 +46,29 @@ pub(crate) struct Stream {
 }
 
 impl Stream {
-    /// Builds the stream of a V:N:M weight in kernel accumulation order.
-    fn from_vnm(a: &VnmMatrix) -> Self {
-        let (rows, k) = a.shape();
-        let cfg = a.config();
-        let k_groups = a.k_groups();
-        let a_f32 = venom_fp16::slice::decode_f32_vec(a.values());
-        let m_indices = a.m_indices();
-
-        let mut row_ptr = Vec::with_capacity(rows + 1);
-        let mut vals = Vec::new();
-        let mut srcs = Vec::new();
-        row_ptr.push(0u32);
-        for r in 0..rows {
-            let blk = r / cfg.v;
-            for g in 0..k_groups {
-                let sel = a.selected_b_rows(blk, g);
-                for s in 0..cfg.n {
-                    let slot = (r * k_groups + g) * cfg.n + s;
-                    let vf = a_f32[slot];
-                    if vf != 0.0 {
-                        vals.push(vf);
-                        srcs.push(sel[m_indices[slot] as usize] as u32);
-                    }
-                }
-            }
-            row_ptr.push(vals.len() as u32);
+    /// Condenses any [`SparseKernel`] into its accumulation-order stream.
+    ///
+    /// The kernel may emit rows interleaved (band-major formats); two
+    /// visitor passes bucket the operands per row while preserving each
+    /// row's emission order — which the trait contract pins to the
+    /// format's `spmm_ref` accumulation order.
+    fn from_kernel(kernel: &dyn SparseKernel) -> Self {
+        let (rows, k) = kernel.shape();
+        let mut row_ptr = vec![0u32; rows + 1];
+        kernel.for_each_operand(&mut |r, _, _| row_ptr[r + 1] += 1);
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
         }
-        Stream { rows, k, row_ptr, vals, srcs }
-    }
-
-    /// Builds the stream of a dense half weight in `gemm_ref` order
-    /// (ascending `k`, explicit zeros dropped where `gemm_ref` skips them).
-    fn from_dense(w: &Matrix<Half>) -> Self {
-        let (rows, k) = (w.rows(), w.cols());
-        let table = venom_fp16::f16_to_f32_table();
-        let mut row_ptr = Vec::with_capacity(rows + 1);
-        let mut vals = Vec::new();
-        let mut srcs = Vec::new();
-        row_ptr.push(0u32);
-        for r in 0..rows {
-            for (kk, &h) in w.row(r).iter().enumerate() {
-                if !h.is_zero() {
-                    vals.push(table[h.to_bits() as usize]);
-                    srcs.push(kk as u32);
-                }
-            }
-            row_ptr.push(vals.len() as u32);
-        }
+        let nnz = row_ptr[rows] as usize;
+        let mut vals = vec![0.0f32; nnz];
+        let mut srcs = vec![0u32; nnz];
+        let mut cursor: Vec<u32> = row_ptr[..rows].to_vec();
+        kernel.for_each_operand(&mut |r, v, s| {
+            let i = cursor[r] as usize;
+            vals[i] = v;
+            srcs[i] = s as u32;
+            cursor[r] += 1;
+        });
         Stream { rows, k, row_ptr, vals, srcs }
     }
 
@@ -140,6 +126,58 @@ impl Stream {
         Matrix::from_vec(self.rows, b_cols, out)
     }
 
+    /// `C = A * B` over a half RHS, staged through the arena.
+    fn run_half(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.k, "B must have K = {} rows", self.k);
+        let mut staged = arena::lease(b.len());
+        stage::decode_rhs_into(b, &mut staged);
+        let c = self.run(&staged, b.cols());
+        arena::release(staged);
+        c
+    }
+
+    /// One dispatch over many requests: concatenates the operands along
+    /// the output-column dimension, multiplies once, and splits the
+    /// result. Bit-identical to running each operand separately (columns
+    /// are independent in every path).
+    fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
+        if bs.is_empty() {
+            return Vec::new();
+        }
+        let k = self.k;
+        let total: usize = bs.iter().map(|b| b.cols()).sum();
+        let mut staged = arena::lease(k * total);
+        let mut col0 = 0usize;
+        for b in bs {
+            assert_eq!(b.rows(), k, "B must have K = {k} rows");
+            let cols = b.cols();
+            for r in 0..k {
+                venom_fp16::slice::decode_f32_into(
+                    b.row(r),
+                    &mut staged[r * total + col0..r * total + col0 + cols],
+                );
+            }
+            col0 += cols;
+        }
+        let c = self.run(&staged, total);
+        arena::release(staged);
+
+        let mut out = Vec::with_capacity(bs.len());
+        let rows = self.rows;
+        let mut col0 = 0usize;
+        for b in bs {
+            let cols = b.cols();
+            let mut part = vec![0.0f32; rows * cols];
+            for r in 0..rows {
+                part[r * cols..(r + 1) * cols]
+                    .copy_from_slice(&c.as_slice()[r * total + col0..r * total + col0 + cols]);
+            }
+            out.push(Matrix::from_vec(rows, cols, part));
+            col0 += cols;
+        }
+        out
+    }
+
     /// The fused layer path: stages `x` (`tokens x k` f32) through f16
     /// rounding into the kernel orientation, multiplies, and returns
     /// `(A * x^T)^T + bias` (`tokens x rows`) — element-for-element the
@@ -189,7 +227,8 @@ pub struct SpmmPlan {
     weight: VnmMatrix,
     stream: Stream,
     dev: DeviceConfig,
-    b_cols_bound: usize,
+    desc: MatmulDescriptor,
+    opts: SpmmOptions,
     /// Autotuned instantiation at the planned bound; `None` when `V` is
     /// below the kernel's 16-row fragment contract (the stream executes
     /// any `V`; only the GPU pricing needs a launchable tile).
@@ -202,17 +241,22 @@ impl SpmmPlan {
     /// Builds a plan; prefer [`crate::Engine::plan_spmm`].
     pub(crate) fn build(
         a: &VnmMatrix,
-        b_cols_bound: usize,
+        desc: MatmulDescriptor,
         opts: &SpmmOptions,
         dev: &DeviceConfig,
     ) -> Self {
-        let stream = Stream::from_vnm(a);
+        assert_eq!(
+            a.shape(),
+            (desc.out_features, desc.in_features),
+            "weight shape does not match the descriptor"
+        );
+        let stream = Stream::from_kernel(a);
         let v = a.config().v;
         let (tile, timing, counts) = if v >= 16 && v.is_multiple_of(16) {
             let tile = opts
                 .tile
-                .unwrap_or_else(|| venom_core::autotune(a, b_cols_bound, opts, dev).0);
-            let counts = venom_core::build_counts(a, b_cols_bound, &tile, opts);
+                .unwrap_or_else(|| venom_core::autotune(a, desc.b_cols, opts, dev).0);
+            let counts = venom_core::build_counts(a, desc.b_cols, &tile, opts);
             let timing = venom_sim::pipeline::simulate(dev, &counts).unwrap_or_else(|e| {
                 panic!("planned configuration {tile} cannot launch on {}: {e:?}", dev.name)
             });
@@ -220,7 +264,7 @@ impl SpmmPlan {
         } else {
             (None, None, None)
         };
-        SpmmPlan { weight: a.clone(), stream, dev: dev.clone(), b_cols_bound, tile, timing, counts }
+        SpmmPlan { weight: a.clone(), stream, dev: dev.clone(), desc, opts: *opts, tile, timing, counts }
     }
 
     /// The compressed weight the plan executes.
@@ -241,7 +285,7 @@ impl SpmmPlan {
     /// The output-column bound the tile was tuned (and priced) for. Runs
     /// beyond the bound stay exact; only the captured pricing assumes it.
     pub fn b_cols_bound(&self) -> usize {
-        self.b_cols_bound
+        self.desc.b_cols
     }
 
     /// The autotuned template instantiation (`None` for V < 16 patterns,
@@ -275,12 +319,7 @@ impl SpmmPlan {
     /// # Panics
     /// Panics if `B` has a row count different from the planned K.
     pub fn run(&self, b: &Matrix<Half>) -> Matrix<f32> {
-        assert_eq!(b.rows(), self.stream.k, "B must have K = {} rows", self.stream.k);
-        let mut staged = arena::lease(b.len());
-        stage::decode_rhs_into(b, &mut staged);
-        let c = self.stream.run(&staged, b.cols());
-        arena::release(staged);
-        c
+        self.stream.run_half(b)
     }
 
     /// One dispatch over many requests: concatenates the operands along
@@ -291,41 +330,7 @@ impl SpmmPlan {
     /// # Panics
     /// Panics if any operand has a row count different from the planned K.
     pub fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
-        if bs.is_empty() {
-            return Vec::new();
-        }
-        let k = self.stream.k;
-        let total: usize = bs.iter().map(|b| b.cols()).sum();
-        let mut staged = arena::lease(k * total);
-        let mut col0 = 0usize;
-        for b in bs {
-            assert_eq!(b.rows(), k, "B must have K = {k} rows");
-            let cols = b.cols();
-            for r in 0..k {
-                venom_fp16::slice::decode_f32_into(
-                    b.row(r),
-                    &mut staged[r * total + col0..r * total + col0 + cols],
-                );
-            }
-            col0 += cols;
-        }
-        let c = self.stream.run(&staged, total);
-        arena::release(staged);
-
-        let mut out = Vec::with_capacity(bs.len());
-        let rows = self.stream.rows;
-        let mut col0 = 0usize;
-        for b in bs {
-            let cols = b.cols();
-            let mut part = vec![0.0f32; rows * cols];
-            for r in 0..rows {
-                part[r * cols..(r + 1) * cols]
-                    .copy_from_slice(&c.as_slice()[r * total + col0..r * total + col0 + cols]);
-            }
-            out.push(Matrix::from_vec(rows, cols, part));
-            col0 += cols;
-        }
-        out
+        self.stream.run_batch(bs)
     }
 
     /// The fused layer forward `y = x W^T + b`: stages `x` through f16
@@ -349,22 +354,91 @@ impl SpmmPlan {
     }
 }
 
+impl MatmulPlan for SpmmPlan {
+    fn format(&self) -> MatmulFormat {
+        MatmulFormat::Vnm
+    }
+
+    fn descriptor(&self) -> &MatmulDescriptor {
+        &self.desc
+    }
+
+    fn timing(&self) -> Option<&KernelTiming> {
+        SpmmPlan::timing(self)
+    }
+
+    fn stored_values(&self) -> usize {
+        self.stream.nnz()
+    }
+
+    fn weight_dense(&self) -> Matrix<Half> {
+        self.weight.decompress()
+    }
+
+    fn run(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        SpmmPlan::run(self, b)
+    }
+
+    fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
+        SpmmPlan::run_batch(self, bs)
+    }
+
+    fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+        SpmmPlan::run_linear(self, x, bias)
+    }
+
+    fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
+        SpmmPlan::run_linear_staged(self, staged, tokens, bias)
+    }
+
+    fn run_oneshot(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        if self.tile.is_some() {
+            // The full per-call entry point: tile selection, pricing and
+            // staging redone on every dispatch.
+            venom_core::spmm(&self.weight, b, &self.opts, &self.dev).c
+        } else {
+            // V below the fragment contract has no launchable kernel; the
+            // compressed-format oracle is the per-call reference there.
+            self.weight.spmm_ref(b)
+        }
+    }
+}
+
 /// A plan for a dense half weight — the unpruned layers of a partially
 /// sparsified model go through the same plan/execute seam.
 #[derive(Clone, Debug)]
 pub struct GemmPlan {
     weight: Matrix<Half>,
     stream: Stream,
+    desc: MatmulDescriptor,
+    timing: Option<KernelTiming>,
 }
 
 impl GemmPlan {
-    /// Plans a dense weight. Needs no device: the dense functional path
-    /// has a single implementation ([`Engine::plan_gemm`] exists for
-    /// symmetry).
+    /// Plans a dense weight without pricing (no device in scope). Prefer
+    /// [`Engine::plan_gemm`], which attaches cost-model timing for the
+    /// engine's device.
     ///
     /// [`Engine::plan_gemm`]: crate::Engine::plan_gemm
     pub fn new(w: &Matrix<Half>) -> Self {
-        GemmPlan { weight: w.clone(), stream: Stream::from_dense(w) }
+        GemmPlan {
+            weight: w.clone(),
+            stream: Stream::from_kernel(w),
+            desc: MatmulDescriptor::for_weight(w),
+            timing: None,
+        }
+    }
+
+    /// Plans a dense weight priced on the cuBLAS model at the
+    /// descriptor's column bound; prefer [`crate::Engine::plan_gemm`].
+    pub(crate) fn build(w: &Matrix<Half>, desc: MatmulDescriptor, dev: &DeviceConfig) -> Self {
+        desc.assert_matches(w);
+        GemmPlan {
+            weight: w.clone(),
+            stream: Stream::from_kernel(w),
+            desc,
+            timing: Some(crate::pricing::price_dense(desc.gemm_shape(), dev)),
+        }
     }
 
     /// The dense weight the plan executes.
@@ -377,18 +451,25 @@ impl GemmPlan {
         (self.weight.rows(), self.weight.cols())
     }
 
+    /// Cost-model timing of one dispatch at the planned bound (`None`
+    /// for plans built without a device via [`Self::new`]).
+    pub fn timing(&self) -> Option<&KernelTiming> {
+        self.timing.as_ref()
+    }
+
     /// Executes `C = W * B`; bit-identical to
     /// `venom_tensor::gemm::gemm_parallel(&w, &b)` (and `gemm_ref`).
     ///
     /// # Panics
     /// Panics if `B` has a row count different from the weight columns.
     pub fn run(&self, b: &Matrix<Half>) -> Matrix<f32> {
-        assert_eq!(b.rows(), self.stream.k, "B must have K = {} rows", self.stream.k);
-        let mut staged = arena::lease(b.len());
-        stage::decode_rhs_into(b, &mut staged);
-        let c = self.stream.run(&staged, b.cols());
-        arena::release(staged);
-        c
+        self.stream.run_half(b)
+    }
+
+    /// Batched dispatch over concatenated requests (see
+    /// [`SpmmPlan::run_batch`]).
+    pub fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
+        self.stream.run_batch(bs)
     }
 
     /// The fused layer forward `y = x W^T + b`; bit-identical to the
@@ -405,6 +486,129 @@ impl GemmPlan {
     pub fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
         assert_eq!(staged.len(), self.stream.k * tokens, "staged operand size mismatch");
         self.stream.run_linear_staged(staged, tokens, bias)
+    }
+}
+
+impl MatmulPlan for GemmPlan {
+    fn format(&self) -> MatmulFormat {
+        MatmulFormat::Dense
+    }
+
+    fn descriptor(&self) -> &MatmulDescriptor {
+        &self.desc
+    }
+
+    fn timing(&self) -> Option<&KernelTiming> {
+        GemmPlan::timing(self)
+    }
+
+    fn stored_values(&self) -> usize {
+        self.stream.nnz()
+    }
+
+    fn weight_dense(&self) -> Matrix<Half> {
+        self.weight.clone()
+    }
+
+    fn run(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        GemmPlan::run(self, b)
+    }
+
+    fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
+        GemmPlan::run_batch(self, bs)
+    }
+
+    fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+        GemmPlan::run_linear(self, x, bias)
+    }
+
+    fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
+        GemmPlan::run_linear_staged(self, staged, tokens, bias)
+    }
+
+    fn run_oneshot(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        venom_tensor::gemm::gemm_parallel(&self.weight, b)
+    }
+}
+
+/// A plan over any [`SparseKernel`] — the N:M, CSR, CVSE and Blocked-ELL
+/// backends execute through it (V:N:M and dense have the specialised
+/// [`SpmmPlan`]/[`GemmPlan`], which capture extra format state).
+#[derive(Clone, Debug)]
+pub struct FormatPlan {
+    kernel: Arc<dyn SparseKernel>,
+    stream: Stream,
+    desc: MatmulDescriptor,
+    timing: Option<KernelTiming>,
+}
+
+impl FormatPlan {
+    /// Wraps a compressed kernel with its priced launch; built by
+    /// [`crate::Engine::plan_with_format`] / [`crate::Engine::plan_auto`].
+    pub(crate) fn build(
+        kernel: Arc<dyn SparseKernel>,
+        desc: MatmulDescriptor,
+        timing: Option<KernelTiming>,
+    ) -> Self {
+        let (r, k) = kernel.shape();
+        assert_eq!((r, k), (desc.out_features, desc.in_features), "kernel/descriptor mismatch");
+        let stream = Stream::from_kernel(kernel.as_ref());
+        FormatPlan { kernel, stream, desc, timing }
+    }
+
+    /// The compressed weight the plan executes.
+    pub fn kernel(&self) -> &dyn SparseKernel {
+        self.kernel.as_ref()
+    }
+
+    /// Logical weight shape `(rows, k)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.kernel.shape()
+    }
+}
+
+impl MatmulPlan for FormatPlan {
+    fn format(&self) -> MatmulFormat {
+        self.kernel.format()
+    }
+
+    fn descriptor(&self) -> &MatmulDescriptor {
+        &self.desc
+    }
+
+    fn timing(&self) -> Option<&KernelTiming> {
+        self.timing.as_ref()
+    }
+
+    fn stored_values(&self) -> usize {
+        self.stream.nnz()
+    }
+
+    fn weight_dense(&self) -> Matrix<Half> {
+        self.kernel.to_dense()
+    }
+
+    fn run(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        self.stream.run_half(b)
+    }
+
+    fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
+        self.stream.run_batch(bs)
+    }
+
+    fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+        self.stream.run_linear(x, bias)
+    }
+
+    fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
+        assert_eq!(staged.len(), self.stream.k * tokens, "staged operand size mismatch");
+        self.stream.run_linear_staged(staged, tokens, bias)
+    }
+
+    fn run_oneshot(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        // The format's own per-call staged path (bit-identical to its
+        // spmm_ref, re-staging B on every dispatch).
+        self.kernel.spmm_parallel(b)
     }
 }
 
@@ -426,12 +630,17 @@ mod tests {
         VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg)
     }
 
+    fn build(a: &VnmMatrix, b_cols: usize) -> SpmmPlan {
+        let desc = MatmulDescriptor::new(a.shape().0, a.shape().1).with_b_cols(b_cols);
+        SpmmPlan::build(a, desc, &SpmmOptions::default(), &dev())
+    }
+
     #[test]
     fn plan_run_is_bit_identical_to_one_shot_spmm() {
         let cfg = VnmConfig::new(64, 2, 10);
         let a = vnm_fixture(70, 93, cfg, 1);
         let b = random::normal_matrix(93, 37, 0.0, 1.0, 2).to_half();
-        let plan = SpmmPlan::build(&a, 64, &SpmmOptions::default(), &dev());
+        let plan = build(&a, 64);
         let got = plan.run(&b);
         let want = spmm(&a, &b, &SpmmOptions::default(), &dev()).c;
         assert_eq!(got, want);
@@ -445,16 +654,18 @@ mod tests {
         let cfg = VnmConfig::new(8, 2, 8);
         let a = vnm_fixture(24, 40, cfg, 3);
         let b = random::normal_matrix(40, 9, 0.0, 1.0, 4).to_half();
-        let plan = SpmmPlan::build(&a, 16, &SpmmOptions::default(), &dev());
+        let plan = build(&a, 16);
         assert!(plan.tile().is_none());
         assert_eq!(plan.run(&b), a.spmm_ref(&b));
+        // The erased per-call path falls back to the oracle there.
+        assert_eq!(MatmulPlan::run_oneshot(&plan, &b), a.spmm_ref(&b));
     }
 
     #[test]
     fn batched_run_matches_separate_runs() {
         let cfg = VnmConfig::new(32, 2, 8);
         let a = vnm_fixture(64, 64, cfg, 5);
-        let plan = SpmmPlan::build(&a, 48, &SpmmOptions::default(), &dev());
+        let plan = build(&a, 48);
         let b1 = random::normal_matrix(64, 11, 0.0, 1.0, 6).to_half();
         let b2 = random::normal_matrix(64, 24, 0.0, 1.0, 7).to_half();
         let b3 = random::normal_matrix(64, 1, 0.0, 1.0, 8).to_half();
@@ -471,17 +682,19 @@ mod tests {
         let a = vnm_fixture(32, 48, cfg, 9);
         let bias: Vec<f32> = (0..32).map(|i| i as f32 * 0.25 - 4.0).collect();
         let x = random::activation_matrix(19, 48, 10);
-        let plan = SpmmPlan::build(&a, 32, &SpmmOptions::default(), &dev());
+        let plan = build(&a, 32);
         let got = plan.run_linear(&x, &bias);
-        // The per-call layer chain.
+        // The per-call layer chain — also the trait's default method.
+        let want = MatmulPlan::run_linear_percall(&plan, &x, &bias);
+        assert_eq!(got, want);
         let xt = x.to_half().transpose();
-        let mut want = spmm(&a, &xt, &SpmmOptions::default(), &dev()).c.transpose();
-        for r in 0..want.rows() {
+        let mut manual = spmm(&a, &xt, &SpmmOptions::default(), &dev()).c.transpose();
+        for r in 0..manual.rows() {
             for (c, bv) in bias.iter().enumerate() {
-                want.set(r, c, want.get(r, c) + bv);
+                manual.set(r, c, manual.get(r, c) + bv);
             }
         }
-        assert_eq!(got, want);
+        assert_eq!(got, manual);
     }
 
     #[test]
@@ -490,6 +703,11 @@ mod tests {
         let b = random::normal_matrix(29, 21, 0.0, 1.0, 12).to_half();
         let plan = GemmPlan::new(&w);
         assert_eq!(plan.run(&b), gemm::gemm_parallel(&w, &b));
+        assert!(plan.timing().is_none(), "unpriced without a device");
+        // Batched dense dispatch equals separate runs too.
+        let batch = plan.run_batch(&[&b, &b]);
+        assert_eq!(batch[0], plan.run(&b));
+        assert_eq!(batch[1], plan.run(&b));
     }
 
     #[test]
@@ -499,6 +717,7 @@ mod tests {
         let x = random::activation_matrix(15, 40, 14);
         let plan = GemmPlan::new(&w);
         let got = plan.run_linear(&x, &bias);
+        assert_eq!(got, MatmulPlan::run_linear_percall(&plan, &x, &bias));
         let xt = x.to_half().transpose();
         let mut want = gemm::gemm_parallel(&w, &xt).transpose();
         for r in 0..want.rows() {
@@ -510,10 +729,31 @@ mod tests {
     }
 
     #[test]
+    fn format_plan_is_bit_identical_to_its_kernel_oracle() {
+        use venom_format::{CsrMatrix, SparsityMask};
+        let dense = {
+            let w = random::normal_matrix(37, 53, 0.0, 1.0, 15);
+            let mask = SparsityMask::from_fn(37, 53, |r, c| (r * 31 + c * 17) % 10 < 4);
+            mask.apply_f32(&w).to_half()
+        };
+        let csr = CsrMatrix::from_dense(&dense);
+        let desc = MatmulDescriptor::new(37, 53).with_b_cols(21);
+        let plan = FormatPlan::build(Arc::new(csr.clone()), desc, None);
+        let b = random::normal_matrix(53, 21, 0.0, 1.0, 16).to_half();
+        assert_eq!(plan.run(&b), csr.spmm_ref(&b));
+        assert_eq!(plan.run_oneshot(&b), csr.spmm_ref(&b));
+        assert_eq!(plan.format(), MatmulFormat::Csr);
+        // The fused layer path equals the per-call chain.
+        let x = random::activation_matrix(9, 53, 17);
+        let bias = vec![0.25f32; 37];
+        assert_eq!(plan.run_linear(&x, &bias), plan.run_linear_percall(&x, &bias));
+    }
+
+    #[test]
     fn shared_staging_matches_unshared() {
         let cfg = VnmConfig::new(16, 2, 8);
         let a = vnm_fixture(32, 32, cfg, 15);
-        let plan = SpmmPlan::build(&a, 16, &SpmmOptions::default(), &dev());
+        let plan = build(&a, 16);
         let x = random::activation_matrix(9, 32, 16);
         let bias = vec![0.5f32; 32];
         let staged = stage::stage_activations_t(&x);
@@ -526,7 +766,7 @@ mod tests {
         let cfg = VnmConfig::new(32, 2, 16);
         let a = vnm_fixture(32, 64, cfg, 17);
         let b = random::normal_matrix(64, 13, 0.0, 1.0, 18).to_half();
-        let plan = SpmmPlan::build(&a, 16, &SpmmOptions::default(), &dev());
+        let plan = build(&a, 16);
         let first = plan.run(&b);
         for _ in 0..3 {
             assert_eq!(plan.run(&b), first);
@@ -538,7 +778,7 @@ mod tests {
     fn run_rejects_shape_mismatch() {
         let cfg = VnmConfig::new(16, 2, 8);
         let a = vnm_fixture(16, 32, cfg, 19);
-        let plan = SpmmPlan::build(&a, 8, &SpmmOptions::default(), &dev());
+        let plan = build(&a, 8);
         let _ = plan.run(&Matrix::<Half>::zeros(16, 4));
     }
 }

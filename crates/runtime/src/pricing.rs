@@ -1,0 +1,183 @@
+//! Cost-model pricing for every plannable format.
+//!
+//! `plan_auto` compares formats by the same currency: simulated
+//! milliseconds of one dispatch at the descriptor's column bound on the
+//! engine's device. Four models come straight from the baseline crate
+//! (each encodes its library's published performance character); the
+//! V:N:M path autotunes the Spatha template space; Blocked-ELL gets the
+//! cuSPARSE-style block-kernel model defined here (dense tensor-core
+//! `mma` over every stored block, padding included — the format's honest
+//! cost).
+
+use venom_baselines::{ClaspSpmm, DenseGemm, SparseLtSpmm, SputnikSpmm};
+use venom_core::SpmmOptions;
+use venom_format::{BlockedEllMatrix, CsrMatrix, CvseMatrix, NmCompressed, VnmMatrix};
+use venom_sim::pipeline::{simulate, KernelCounts};
+use venom_sim::{BlockResources, DeviceConfig, KernelTiming};
+use venom_tensor::GemmShape;
+
+/// Output columns per thread block of the Blocked-ELL model.
+pub const ELL_COLS_PER_BLOCK: usize = 64;
+
+/// Prices a dense GEMM of `shape` via the cuBLAS model.
+pub fn price_dense(shape: GemmShape, dev: &DeviceConfig) -> KernelTiming {
+    DenseGemm::time(shape, dev)
+}
+
+/// Prices a V:N:M SpMM by autotuning the Spatha template space; `None`
+/// when `V` violates the kernel's 16-row fragment contract (the
+/// functional stream still executes such weights — they just have no
+/// launchable configuration to price).
+pub fn price_vnm(
+    a: &VnmMatrix,
+    b_cols: usize,
+    opts: &SpmmOptions,
+    dev: &DeviceConfig,
+) -> Option<KernelTiming> {
+    let v = a.config().v;
+    if v < 16 || !v.is_multiple_of(16) {
+        return None;
+    }
+    let tile = opts.tile.unwrap_or_else(|| venom_core::autotune(a, b_cols, opts, dev).0);
+    let counts = venom_core::build_counts(a, b_cols, &tile, opts);
+    simulate(dev, &counts).ok()
+}
+
+/// Prices an N:M SpMM via the cuSPARSELt model (the vendor kernel
+/// skeleton; its hardware-native pattern is 2:4).
+pub fn price_nm(a: &NmCompressed, b_cols: usize, dev: &DeviceConfig) -> KernelTiming {
+    let (r, k) = a.shape();
+    SparseLtSpmm::time(GemmShape::new(r, k, b_cols), dev)
+}
+
+/// Prices a CSR SpMM via the Sputnik model (CUDA cores, measured load
+/// imbalance).
+pub fn price_csr(a: &CsrMatrix, b_cols: usize, dev: &DeviceConfig) -> KernelTiming {
+    SputnikSpmm::time(a, b_cols, dev)
+}
+
+/// Prices a CVSE SpMM via the CLASP model (dense tensor cores over
+/// gathered column vectors).
+pub fn price_cvse(a: &CvseMatrix, b_cols: usize, dev: &DeviceConfig) -> KernelTiming {
+    ClaspSpmm::time(a, b_cols, dev)
+}
+
+/// Builds the kernel counts of the Blocked-ELL model from the actual
+/// stored structure.
+///
+/// One thread block covers one block row x [`ELL_COLS_PER_BLOCK`] output
+/// columns and iterates the row's `ell_width` stored blocks. Every
+/// stored block — padding included — costs dense `mma.m16n8k16`
+/// instructions (`bs < 16` pads the fragment rows, so the instruction
+/// count does not shrink with small blocks), its value bytes, and the
+/// gather of its `bs` B rows. That is exactly the regular-layout waste
+/// that makes the format lose at skewed DL sparsity.
+pub fn blocked_ell_counts(a: &BlockedEllMatrix, b_cols: usize) -> KernelCounts {
+    let (r, k) = a.shape();
+    let bs = a.block_size();
+    let brs = (r / bs).max(1);
+    let width = a.ell_width().max(1);
+    let grid = (brs * b_cols.div_ceil(ELL_COLS_PER_BLOCK)) as u64;
+    // Per stored block: bs/16 fragment rows x 64/8 fragment cols x bs/16
+    // K steps of dense mma (ceil: partial fragments cost full issues).
+    let mma = (width * bs.div_ceil(16) * ELL_COLS_PER_BLOCK.div_ceil(8) * bs.div_ceil(16)) as u64;
+    // Loads: the row's stored block payloads + block indices + one bs-row
+    // B panel per stored block.
+    let a_bytes = (width * bs * bs * 2 + width * 4) as u64;
+    let b_bytes = (width * bs * ELL_COLS_PER_BLOCK * 2) as u64;
+    KernelCounts {
+        name: format!("blocked_ell[{bs}x{bs}]"),
+        grid_blocks: grid,
+        block: BlockResources::new(128, 32 * 1024, 96),
+        k_iters: width as u64,
+        pipeline_stages: 2,
+        mma_dense_per_block: mma,
+        gmem_load_bytes_per_block: a_bytes + b_bytes,
+        gmem_store_bytes_per_block: (bs * ELL_COLS_PER_BLOCK * 2) as u64,
+        // Blocks in different grid columns re-read the same stored blocks'
+        // B rows; the regular layout prefetches well.
+        l2_hit_fraction: 0.5,
+        smem_transactions_per_block: (a_bytes + b_bytes) / 128 * 2,
+        prologue_cycles_per_wave: 1000,
+        efficiency: 0.6,
+        effective_flops: 2 * (r * k * b_cols) as u64,
+        ..KernelCounts::named("blocked_ell")
+    }
+}
+
+/// Prices a Blocked-ELL SpMM on `dev`.
+pub fn price_blocked_ell(a: &BlockedEllMatrix, b_cols: usize, dev: &DeviceConfig) -> KernelTiming {
+    simulate(dev, &blocked_ell_counts(a, b_cols)).expect("small fixed blocks always fit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_format::SparsityMask;
+    use venom_fp16::Half;
+    use venom_tensor::{random, Matrix};
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::rtx3090()
+    }
+
+    fn block_sparse(r: usize, k: usize, bs: usize, keep: f64, seed: u64) -> Matrix<Half> {
+        let dense = random::normal_matrix(r, k, 0.0, 1.0, seed);
+        let mask = SparsityMask::from_fn(r, k, |i, j| {
+            ((i / bs * 31 + j / bs * 17 + seed as usize) % 100) as f64 / 100.0 < keep
+        });
+        mask.apply_f32(&dense).to_half()
+    }
+
+    #[test]
+    fn blocked_ell_speeds_up_with_block_sparsity() {
+        let sparse = BlockedEllMatrix::from_dense(&block_sparse(1024, 4096, 32, 0.2, 1), 32);
+        let denser = BlockedEllMatrix::from_dense(&block_sparse(1024, 4096, 32, 0.8, 2), 32);
+        let t_sparse = price_blocked_ell(&sparse, 4096, &dev());
+        let t_denser = price_blocked_ell(&denser, 4096, &dev());
+        assert!(
+            t_sparse.time_ms < t_denser.time_ms,
+            "20% kept {} !< 80% kept {}",
+            t_sparse.time_ms,
+            t_denser.time_ms
+        );
+    }
+
+    #[test]
+    fn blocked_ell_charges_padding() {
+        // One crowded block row forces padding everywhere: the priced
+        // time must track ell_width, not the true population.
+        let mut skewed = Matrix::<Half>::zeros(256, 1024);
+        for c in 0..1024 {
+            skewed.set(0, c, Half::ONE);
+        }
+        for br in 1..(256 / 16) {
+            skewed.set(br * 16, 0, Half::ONE);
+        }
+        let skew = BlockedEllMatrix::from_dense(&skewed, 16);
+        let mut uniform = Matrix::<Half>::zeros(256, 1024);
+        for br in 0..(256 / 16) {
+            uniform.set(br * 16, (br * 16) % 1024, Half::ONE);
+        }
+        let uni = BlockedEllMatrix::from_dense(&uniform, 16);
+        assert!(skew.ell_width() > uni.ell_width());
+        let t_skew = price_blocked_ell(&skew, 512, &dev());
+        let t_uni = price_blocked_ell(&uni, 512, &dev());
+        assert!(t_skew.time_ms > t_uni.time_ms);
+    }
+
+    #[test]
+    fn format_prices_are_positive_and_ranked_sanely() {
+        // At 50% unstructured sparsity every sparse CUDA-core path loses
+        // to the dense tensor-core GEMM (the Fig. 13 shape).
+        let shape = GemmShape::new(1024, 4096, 4096);
+        let dense_ms = price_dense(shape, &dev()).time_ms;
+        let w = {
+            let d = random::normal_matrix(1024, 4096, 0.0, 1.0, 3);
+            let mask = SparsityMask::from_fn(1024, 4096, |i, j| (i * 131 + j * 37) % 2 == 0);
+            mask.apply_f32(&d).to_half()
+        };
+        let csr_ms = price_csr(&CsrMatrix::from_dense(&w), 4096, &dev()).time_ms;
+        assert!(dense_ms > 0.0 && csr_ms > dense_ms, "dense {dense_ms} vs csr {csr_ms}");
+    }
+}

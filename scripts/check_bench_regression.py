@@ -49,6 +49,13 @@ EXPECTED_LABELS = [
     "fig09_k768_batch4x128",
     "bert_base_seq128",
     "bert_base_2layer_seq128",
+    # Unified matmul surface series (ISSUE 4): plan_auto's winner plus one
+    # planned dispatch per non-V:N:M storage format.
+    "fig09_k768_auto",
+    "fmt_nm24_k768",
+    "fmt_csr_k768",
+    "fmt_cvse_k768",
+    "fmt_blocked_ell_k768",
 ]
 
 # Labels whose speedup over the retained reference path is the point of
@@ -60,6 +67,9 @@ SPEEDUP_FLOORS = {
     "fig09_k768_batch4x128": 1.0,
     "bert_base_seq128": 1.0,
     "bert_base_2layer_seq128": 1.0,
+    # The auto-selected plan replays a condensed stream; its per-call
+    # reference redoes tile selection and staging every dispatch.
+    "fig09_k768_auto": 1.0,
 }
 
 

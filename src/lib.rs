@@ -6,12 +6,15 @@
 //!
 //! * [`fp16`] — software half-precision arithmetic (tensor-core numerics).
 //! * [`tensor`] — dense matrices, reference/parallel GEMM, RNG fills.
-//! * [`format`] — sparsity masks, the 2:4 and V:N:M compressed formats,
-//!   CSR and column-vector encodings for the baselines.
+//! * [`mod@format`] — sparsity masks, the 2:4 and V:N:M compressed
+//!   formats, CSR and column-vector encodings for the baselines, and the
+//!   [`format::SparseKernel`] trait every format executes through.
 //! * [`sim`] — the Ampere-class GPU simulator (occupancy, memory hierarchy,
 //!   shared-memory banks, tensor-core pipeline).
 //! * [`spatha`] — the Spatha SpMM library (the paper's contribution).
-//! * [`runtime`] — the plan-once/run-many inference engine over Spatha.
+//! * [`runtime`] — the plan-once/run-many inference engine: descriptor
+//!   in, format-erased [`runtime::MatmulPlan`] out, with automatic
+//!   format selection ([`runtime::Engine::plan_auto`]).
 //! * [`baselines`] — cuBLAS-, cuSparseLt-, Sputnik- and CLASP-like models.
 //! * [`pruner`] — magnitude and second-order (OBS) pruning, energy metric,
 //!   gradual structure-decay scheduling.
@@ -49,9 +52,11 @@ pub use venom_tensor as tensor;
 /// Commonly used types, re-exported for `use venom::prelude::*`.
 pub mod prelude {
     pub use venom_core::{spmm, SpmmOptions, SpmmResult, TileConfig};
-    pub use venom_format::{NmConfig, SparsityMask, VnmConfig, VnmMatrix};
+    pub use venom_format::{MatmulFormat, NmConfig, SparsityMask, VnmConfig, VnmMatrix};
     pub use venom_fp16::Half;
-    pub use venom_runtime::{Engine, GemmPlan, SpmmPlan};
+    pub use venom_runtime::{
+        Engine, GemmPlan, MatmulDescriptor, MatmulPlan, PlanError, SpmmPlan,
+    };
     pub use venom_sim::{DeviceConfig, KernelTiming};
     pub use venom_tensor::{GemmShape, Matrix};
 }

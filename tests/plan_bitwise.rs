@@ -10,7 +10,7 @@
 //! one-shot comparison there is the oracle).
 
 use proptest::prelude::*;
-use venom::dnn::layers::{Linear, SparseLinear};
+use venom::dnn::layers::{Linear, PlannedLinear};
 use venom::prelude::*;
 use venom::pruner::magnitude;
 use venom::spatha::spmm;
@@ -101,7 +101,6 @@ fn batched_runs_match_per_request_dispatch_across_grid() {
 fn fused_layer_forward_matches_percall_across_grid() {
     // The layer-level contract: the engine's fused stage->run->transpose
     // chain equals the per-call convert/transpose/spmm/transpose chain.
-    let dev = device();
     for v in GRID_V {
         if v < 16 {
             continue; // forward_percall dispatches the kernel: V >= 16
@@ -113,11 +112,11 @@ fn fused_layer_forward_matches_percall_across_grid() {
             let w = random::normal_matrix(out_f, in_f, 0.0, 1.0, v as u64 + n as u64);
             let mask = magnitude::prune_vnm(&w, cfg);
             let lin = Linear::new(&w, (0..out_f).map(|i| i as f32 * 0.01).collect());
-            let sparse: SparseLinear = lin.to_sparse(&engine(), &mask, cfg);
+            let sparse: PlannedLinear = lin.to_sparse(&engine(), &mask, cfg);
             let x = random::activation_matrix(19, in_f, 3);
             assert_eq!(
                 sparse.forward(&x),
-                sparse.forward_percall(&x, &dev),
+                sparse.forward_percall(&x),
                 "fused layer at V={v} {n}:{m}"
             );
         }
