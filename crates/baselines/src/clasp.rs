@@ -12,8 +12,8 @@
 //! * no sparse tensor cores (dense `mma` only).
 
 use crate::{BaselineResult, Mode};
-use venom_fp16::Half;
 use venom_format::CvseMatrix;
+use venom_fp16::Half;
 use venom_sim::pipeline::{simulate, KernelCounts};
 use venom_sim::{BlockResources, DeviceConfig};
 use venom_tensor::Matrix;
@@ -44,8 +44,7 @@ impl ClaspSpmm {
         let k_steps = (vectors_per_band / 16.0).ceil() as u64;
         let mma = k_steps * (COLS_PER_BLOCK / 8) as u64;
         // Loads: vector values (l halves each) + one B row per vector.
-        let a_bytes = (vectors_per_band * (l * 2) as f64) as u64
-            + (vectors_per_band * 4.0) as u64;
+        let a_bytes = (vectors_per_band * (l * 2) as f64) as u64 + (vectors_per_band * 4.0) as u64;
         let b_bytes = (vectors_per_band * (COLS_PER_BLOCK * 2) as f64) as u64;
         let imbalance = a.imbalance();
         let mma_charged = (mma as f64 * imbalance) as u64;
@@ -156,7 +155,8 @@ mod tests {
         let dense =
             crate::cublas::DenseGemm::time(venom_tensor::GemmShape::new(1024, 4096, 4096), &dev());
         let at = |keep: f64, seed: u64| {
-            dense.time_ms / ClaspSpmm::time(&vw_matrix(1024, 4096, 8, keep, seed), 4096, &dev()).time_ms
+            dense.time_ms
+                / ClaspSpmm::time(&vw_matrix(1024, 4096, 8, keep, seed), 4096, &dev()).time_ms
         };
         assert!(at(0.5, 6) < 1.0, "50% sparsity must lose to cuBLAS");
         assert!(at(0.05, 8) > 1.0, "95% sparsity should win");

@@ -20,8 +20,13 @@ pub const CUBLAS_EFFICIENCY: f64 = 0.97;
 pub const CUBLAS_L2_HIT: f64 = 0.75;
 
 /// The tile candidates the heuristic evaluates (CUTLASS-style shapes).
-const TILE_CANDIDATES: [(usize, usize, usize); 5] =
-    [(256, 128, 32), (128, 128, 32), (128, 64, 32), (64, 64, 32), (64, 32, 32)];
+const TILE_CANDIDATES: [(usize, usize, usize); 5] = [
+    (256, 128, 32),
+    (128, 128, 32),
+    (128, 64, 32),
+    (64, 64, 32),
+    (64, 32, 32),
+];
 
 /// cuBLAS-like dense GEMM.
 pub struct DenseGemm;
@@ -83,7 +88,11 @@ impl DenseGemm {
     /// problems — the attention-matmul workload). Each candidate tile's
     /// grid is replicated `batch` times before wave accounting, matching
     /// how `cublasGemmStridedBatched` schedules.
-    pub fn time_batched(shape: GemmShape, batch: usize, dev: &DeviceConfig) -> venom_sim::KernelTiming {
+    pub fn time_batched(
+        shape: GemmShape,
+        batch: usize,
+        dev: &DeviceConfig,
+    ) -> venom_sim::KernelTiming {
         assert!(batch >= 1, "batch must be positive");
         TILE_CANDIDATES
             .iter()
@@ -101,7 +110,12 @@ impl DenseGemm {
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
-    pub fn run(a: &Matrix<Half>, b: &Matrix<Half>, dev: &DeviceConfig, mode: Mode) -> BaselineResult {
+    pub fn run(
+        a: &Matrix<Half>,
+        b: &Matrix<Half>,
+        dev: &DeviceConfig,
+        mode: Mode,
+    ) -> BaselineResult {
         let shape = gemm::shape_of(a, b);
         let counts = Self::select(shape, dev);
         let timing = simulate(dev, &counts).expect("selected configuration fits");

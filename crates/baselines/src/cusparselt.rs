@@ -16,8 +16,8 @@
 //! * higher launch overhead (cuSparseLt plans/selects kernels at runtime).
 
 use crate::{BaselineResult, Mode};
-use venom_fp16::Half;
 use venom_format::{NmCompressed, NmConfig};
+use venom_fp16::Half;
 use venom_sim::pipeline::{simulate, KernelCounts};
 use venom_sim::{BlockResources, DeviceConfig};
 use venom_tensor::{GemmShape, Matrix};
@@ -85,7 +85,11 @@ impl SparseLtSpmm {
         dev: &DeviceConfig,
         mode: Mode,
     ) -> BaselineResult {
-        assert_eq!(a.config(), NmConfig::new(2, 4), "cuSparseLt accepts only the 2:4 format");
+        assert_eq!(
+            a.config(),
+            NmConfig::new(2, 4),
+            "cuSparseLt accepts only the 2:4 format"
+        );
         let (r, k) = a.shape();
         assert_eq!(b.rows(), k, "B must have K rows");
         let shape = GemmShape::new(r, k, b.cols());
@@ -142,7 +146,12 @@ mod tests {
         // relative efficiency must drop versus the large-K case.
         let small = SparseLtSpmm::time(GemmShape::new(768, 768, 512), &dev());
         let large = SparseLtSpmm::time(GemmShape::new(1024, 12288, 4096), &dev());
-        assert!(small.tflops < large.tflops * 0.6, "small={} large={}", small.tflops, large.tflops);
+        assert!(
+            small.tflops < large.tflops * 0.6,
+            "small={} large={}",
+            small.tflops,
+            large.tflops
+        );
     }
 
     #[test]

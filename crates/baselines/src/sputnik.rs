@@ -12,8 +12,8 @@
 //! * wins over dense GEMM only above ~90 % sparsity.
 
 use crate::{BaselineResult, Mode};
-use venom_fp16::Half;
 use venom_format::CsrMatrix;
+use venom_fp16::Half;
 use venom_sim::pipeline::{simulate, KernelCounts};
 use venom_sim::{BlockResources, DeviceConfig};
 use venom_tensor::Matrix;
@@ -35,8 +35,7 @@ impl SputnikSpmm {
     pub fn counts(a: &CsrMatrix, b_cols: usize) -> KernelCounts {
         let (r, k) = a.shape();
         let nnz = a.nnz().max(1);
-        let grid =
-            (r.div_ceil(ROWS_PER_BLOCK) * b_cols.div_ceil(COLS_PER_BLOCK)) as u64;
+        let grid = (r.div_ceil(ROWS_PER_BLOCK) * b_cols.div_ceil(COLS_PER_BLOCK)) as u64;
         let nnz_per_block = nnz as u64 * ROWS_PER_BLOCK as u64 / r as u64;
         // Each nonzero: one FMA per output column of the tile.
         let fma = nnz_per_block * COLS_PER_BLOCK as u64;
@@ -157,16 +156,14 @@ mod tests {
                 }
             }
         }
-        let t_uniform =
-            SputnikSpmm::time(&CsrMatrix::from_masked(&dense, &uniform), 512, &dev());
-        let t_skewed =
-            SputnikSpmm::time(&CsrMatrix::from_masked(&dense, &skewed), 512, &dev());
+        let t_uniform = SputnikSpmm::time(&CsrMatrix::from_masked(&dense, &uniform), 512, &dev());
+        let t_skewed = SputnikSpmm::time(&CsrMatrix::from_masked(&dense, &skewed), 512, &dev());
         // The skewed matrix has slightly MORE nnz but the point is the
         // imbalance multiplier, visible in the priced FMA count.
         let c_uniform = SputnikSpmm::counts(&CsrMatrix::from_masked(&dense, &uniform), 512);
         let c_skewed = SputnikSpmm::counts(&CsrMatrix::from_masked(&dense, &skewed), 512);
-        let per_nnz_uniform = c_uniform.fma_per_block as f64
-            / CsrMatrix::from_masked(&dense, &uniform).nnz() as f64;
+        let per_nnz_uniform =
+            c_uniform.fma_per_block as f64 / CsrMatrix::from_masked(&dense, &uniform).nnz() as f64;
         let per_nnz_skewed =
             c_skewed.fma_per_block as f64 / CsrMatrix::from_masked(&dense, &skewed).nnz() as f64;
         assert!(per_nnz_skewed > per_nnz_uniform * 2.0);

@@ -13,13 +13,17 @@ fn bench_vnm_roundtrip(c: &mut Criterion) {
         let w = random::glorot_matrix(512, 1024, 1);
         let mask: SparsityMask = magnitude::prune_vnm(&w, cfg);
         let dense = mask.apply_f32(&w).to_half();
-        group.bench_with_input(BenchmarkId::new("compress", format!("2:{m}")), &m, |bench, _| {
-            bench.iter(|| black_box(VnmMatrix::compress(&dense, &mask, cfg)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("2:{m}")),
+            &m,
+            |bench, _| bench.iter(|| black_box(VnmMatrix::compress(&dense, &mask, cfg))),
+        );
         let vnm = VnmMatrix::compress(&dense, &mask, cfg);
-        group.bench_with_input(BenchmarkId::new("decompress", format!("2:{m}")), &m, |bench, _| {
-            bench.iter(|| black_box(vnm.decompress()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decompress", format!("2:{m}")),
+            &m,
+            |bench, _| bench.iter(|| black_box(vnm.decompress())),
+        );
     }
     group.finish();
 }
@@ -29,7 +33,12 @@ fn bench_nm24_and_csr(c: &mut Criterion) {
     let w = random::glorot_matrix(512, 1024, 2);
     let dense = w.to_half();
     group.bench_function("nm24_compress_magnitude", |bench| {
-        bench.iter(|| black_box(NmCompressed::compress_magnitude(&dense, NmConfig::new(2, 4))))
+        bench.iter(|| {
+            black_box(NmCompressed::compress_magnitude(
+                &dense,
+                NmConfig::new(2, 4),
+            ))
+        })
     });
     let mask = magnitude::prune_unstructured(&w, 0.9);
     let sparse = mask.apply_f32(&w).to_half();
@@ -47,5 +56,10 @@ fn bench_storage_order(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_vnm_roundtrip, bench_nm24_and_csr, bench_storage_order);
+criterion_group!(
+    benches,
+    bench_vnm_roundtrip,
+    bench_nm24_and_csr,
+    bench_storage_order
+);
 criterion_main!(benches);

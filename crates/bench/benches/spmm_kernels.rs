@@ -26,15 +26,21 @@ fn bench_spmm_vs_dense(c: &mut Criterion) {
 
     for m in [8usize, 16, 32] {
         let a = vnm_weight(r, k, VnmConfig::new(64, 2, m), 7);
-        group.bench_with_input(BenchmarkId::new("spatha_functional", format!("2:{m}")), &m, |bench, _| {
-            bench.iter(|| {
-                black_box(spmm(&a, &b, &SpmmOptions::default(), &dev));
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("spatha_functional", format!("2:{m}")),
+            &m,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(spmm(&a, &b, &SpmmOptions::default(), &dev));
+                })
+            },
+        );
         let csr = CsrMatrix::from_dense(&a.decompress());
-        group.bench_with_input(BenchmarkId::new("csr_reference", format!("2:{m}")), &m, |bench, _| {
-            bench.iter(|| black_box(csr.spmm_ref(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("csr_reference", format!("2:{m}")),
+            &m,
+            |bench, _| bench.iter(|| black_box(csr.spmm_ref(&b))),
+        );
     }
     group.finish();
 }
@@ -50,7 +56,10 @@ fn bench_model_only_pricing(c: &mut Criterion) {
             black_box(spmm(
                 &a,
                 &b,
-                &SpmmOptions { mode: ExecMode::ModelOnly, ..SpmmOptions::default() },
+                &SpmmOptions {
+                    mode: ExecMode::ModelOnly,
+                    ..SpmmOptions::default()
+                },
                 &dev,
             ));
         })

@@ -32,8 +32,15 @@ fn main() {
     let da = DeviceConfig::a100();
     let s = |dev: &DeviceConfig| {
         DenseGemm::time(GemmShape::new(r, k, c), dev).time_ms
-            / spmm_time_tuned(r, k, c, VnmConfig::new(128, 2, 32), &SpmmOptions::default(), dev)
-                .time_ms
+            / spmm_time_tuned(
+                r,
+                k,
+                c,
+                VnmConfig::new(128, 2, 32),
+                &SpmmOptions::default(),
+                dev,
+            )
+            .time_ms
     };
     println!(
         "2:32 speedup — RTX 3090: {:.1}x, A100: {:.1}x (both < cap 16x; both devices benefit)",

@@ -31,13 +31,22 @@ fn main() {
     let opts = SpmmOptions::default();
     let (best, best_ms) = autotune_shape(r, k, c, cfg, &opts, &dev);
 
-    banner(&format!("Tile ablation on {r}x{k}x{c} at {cfg}; optimum {best} = {best_ms:.3} ms"));
+    banner(&format!(
+        "Tile ablation on {r}x{k}x{c} at {cfg}; optimum {best} = {best_ms:.3} ms"
+    ));
 
     banner("Output-column tile BSc (others at optimum)");
     csv_header(&["bs_c", "ws_c", "time_ms", "slowdown_vs_best"]);
     for bs_c in [32usize, 64, 128] {
         let ws_c = best.ws_c.min(bs_c);
-        let t = TileConfig::new(best.bs_r, bs_c, best.bs_k_cond, best.ws_r, ws_c, best.stages);
+        let t = TileConfig::new(
+            best.bs_r,
+            bs_c,
+            best.bs_k_cond,
+            best.ws_r,
+            ws_c,
+            best.stages,
+        );
         if let Some(ms) = time_of(r, k, c, cfg, &t, &dev) {
             csv_row(&format!("{bs_c},{ws_c}"), &[ms, ms / best_ms]);
         }
@@ -49,7 +58,14 @@ fn main() {
         if bs_k % 32 != 0 {
             continue;
         }
-        let t = TileConfig::new(best.bs_r, best.bs_c, bs_k, best.ws_r, best.ws_c, best.stages);
+        let t = TileConfig::new(
+            best.bs_r,
+            best.bs_c,
+            bs_k,
+            best.ws_r,
+            best.ws_c,
+            best.stages,
+        );
         if let Some(ms) = time_of(r, k, c, cfg, &t, &dev) {
             csv_row(&bs_k.to_string(), &[ms, ms / best_ms]);
         }
@@ -58,7 +74,14 @@ fn main() {
     banner("Pipeline depth (batchSize)");
     csv_header(&["stages", "time_ms", "slowdown_vs_best"]);
     for stages in 1..=5u32 {
-        let t = TileConfig::new(best.bs_r, best.bs_c, best.bs_k_cond, best.ws_r, best.ws_c, stages);
+        let t = TileConfig::new(
+            best.bs_r,
+            best.bs_c,
+            best.bs_k_cond,
+            best.ws_r,
+            best.ws_c,
+            stages,
+        );
         if let Some(ms) = time_of(r, k, c, cfg, &t, &dev) {
             csv_row(&stages.to_string(), &[ms, ms / best_ms]);
         }
@@ -71,12 +94,22 @@ fn main() {
             if best.bs_r % ws_r != 0 || best.bs_c % ws_c != 0 {
                 continue;
             }
-            let t = TileConfig::new(best.bs_r, best.bs_c, best.bs_k_cond, ws_r, ws_c, best.stages);
+            let t = TileConfig::new(
+                best.bs_r,
+                best.bs_c,
+                best.bs_k_cond,
+                ws_r,
+                ws_c,
+                best.stages,
+            );
             if t.warps() > 16 || t.warps() < 2 {
                 continue;
             }
             if let Some(ms) = time_of(r, k, c, cfg, &t, &dev) {
-                csv_row(&format!("{ws_r}x{ws_c}"), &[t.warps() as f64, ms, ms / best_ms]);
+                csv_row(
+                    &format!("{ws_r}x{ws_c}"),
+                    &[t.warps() as f64, ms, ms / best_ms],
+                );
             }
         }
     }

@@ -21,10 +21,21 @@ fn main() {
     let dev = DeviceConfig::rtx3090();
     let (r, c) = (1024usize, 4096usize);
     let ks: Vec<usize> = (1..=16).map(|i| i * 768).collect();
-    let patterns = [(10usize, "80% [128:2:10]"), (20, "90% [128:2:20]"), (40, "95% [128:2:40]"), (100, "98% [128:2:100]")];
+    let patterns = [
+        (10usize, "80% [128:2:10]"),
+        (20, "90% [128:2:20]"),
+        (40, "95% [128:2:40]"),
+        (100, "98% [128:2:100]"),
+    ];
 
     banner("Figure 9: Spatha speedup vs cuBLAS, with/without column-loc (R=1024, C=4096, V=128)");
-    csv_header(&["series", "K", "speedup_with_colloc", "speedup_without_colloc", "theoretical_cap"]);
+    csv_header(&[
+        "series",
+        "K",
+        "speedup_with_colloc",
+        "speedup_without_colloc",
+        "theoretical_cap",
+    ]);
 
     for (m, label) in patterns {
         let cfg = VnmConfig::new(128, 2, m);
@@ -36,7 +47,10 @@ fn main() {
                 k,
                 c,
                 cfg,
-                &SpmmOptions { use_column_loc: false, ..SpmmOptions::default() },
+                &SpmmOptions {
+                    use_column_loc: false,
+                    ..SpmmOptions::default()
+                },
                 &dev,
             )
             .time_ms;

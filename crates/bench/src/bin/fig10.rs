@@ -19,7 +19,14 @@ use venom_tensor::GemmShape;
 fn speedups(r: usize, k: usize, c: usize, dev: &DeviceConfig) {
     csv_header(&["sparsity", "V", "speedup_32bit", "speedup_128bit"]);
     let dense = DenseGemm::time(GemmShape::new(r, k, c), dev).time_ms;
-    for (m, label) in [(7usize, "71% [V:2:7]"), (8, "75% [V:2:8]"), (10, "80% [V:2:10]"), (20, "90% [V:2:20]"), (40, "95% [V:2:40]"), (100, "98% [V:2:100]")] {
+    for (m, label) in [
+        (7usize, "71% [V:2:7]"),
+        (8, "75% [V:2:8]"),
+        (10, "80% [V:2:10]"),
+        (20, "90% [V:2:20]"),
+        (40, "95% [V:2:40]"),
+        (100, "98% [V:2:100]"),
+    ] {
         for v in [32usize, 64, 128] {
             let cfg = VnmConfig::new(v, 2, m);
             let wide = spmm_time_tuned(r, k, c, cfg, &SpmmOptions::default(), dev).time_ms;
@@ -28,7 +35,10 @@ fn speedups(r: usize, k: usize, c: usize, dev: &DeviceConfig) {
                 k,
                 c,
                 cfg,
-                &SpmmOptions { wide_smem_store: false, ..SpmmOptions::default() },
+                &SpmmOptions {
+                    wide_smem_store: false,
+                    ..SpmmOptions::default()
+                },
                 dev,
             )
             .time_ms;
@@ -47,7 +57,10 @@ fn main() {
     speedups(36864, 12288, 4096, &dev);
 
     banner("Store-width effect summary (ratio 128-bit/32-bit speedup at 98%)");
-    for (r, k, c, name) in [(1024, 4096, 4096, "BERT-large"), (36864, 12288, 4096, "GPT-3")] {
+    for (r, k, c, name) in [
+        (1024, 4096, 4096, "BERT-large"),
+        (36864, 12288, 4096, "GPT-3"),
+    ] {
         let cfg = VnmConfig::new(128, 2, 100);
         let wide = spmm_time_tuned(r, k, c, cfg, &SpmmOptions::default(), &dev).time_ms;
         let narrow = spmm_time_tuned(
@@ -55,10 +68,16 @@ fn main() {
             k,
             c,
             cfg,
-            &SpmmOptions { wide_smem_store: false, ..SpmmOptions::default() },
+            &SpmmOptions {
+                wide_smem_store: false,
+                ..SpmmOptions::default()
+            },
             &dev,
         )
         .time_ms;
-        println!("{name}: 128-bit is {:.2}x faster (paper: ~2x on BERT-large, attenuated on GPT-3)", narrow / wide);
+        println!(
+            "{name}: 128-bit is {:.2}x faster (paper: ~2x on BERT-large, attenuated on GPT-3)",
+            narrow / wide
+        );
     }
 }

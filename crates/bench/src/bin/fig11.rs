@@ -19,7 +19,14 @@ fn main() {
     // linear layer (documented substitution: no BERT checkpoint offline).
     let w = random::glorot_matrix(768, 768, 2023);
 
-    let levels = [(2usize, 4usize, "50% (2:4)"), (2, 5, "60% (2:5)"), (2, 8, "75% (2:8)"), (2, 10, "80% (2:10)"), (2, 20, "90% (2:20)"), (2, 40, "95% (2:40)")];
+    let levels = [
+        (2usize, 4usize, "50% (2:4)"),
+        (2, 5, "60% (2:5)"),
+        (2, 8, "75% (2:8)"),
+        (2, 10, "80% (2:10)"),
+        (2, 20, "90% (2:20)"),
+        (2, 40, "95% (2:40)"),
+    ];
     let vs = [1usize, 16, 32, 64, 128];
     let vws = [4usize, 8, 16, 32];
 
@@ -58,5 +65,8 @@ fn main() {
     println!(
         "75%: 128:N:M = {v128:.3} vs vw_8 = {vw8:.3} vs vw_4 = {vw4:.3} (paper: 128:N:M above both)"
     );
-    assert!(v128 > vw8 && v128 > vw4, "V:N:M must preserve more energy than vector-wise");
+    assert!(
+        v128 > vw8 && v128 > vw4,
+        "V:N:M must preserve more energy than vector-wise"
+    );
 }

@@ -48,7 +48,10 @@ fn main() {
     let dev = DeviceConfig::rtx3090();
     let ks: Vec<usize> = (1..=16).map(|i| i * 768).collect();
 
-    for (r, c, model) in [(768usize, 4096usize, "BERT-base (M=768, N=4096)"), (1024, 4096, "BERT-large (M=1024, N=4096)")] {
+    for (r, c, model) in [
+        (768usize, 4096usize, "BERT-base (M=768, N=4096)"),
+        (1024, 4096, "BERT-large (M=1024, N=4096)"),
+    ] {
         banner(&format!("Figure 12: {model}"));
         csv_header(&[
             "K",
@@ -73,7 +76,9 @@ fn main() {
         }
     }
 
-    banner("Checks (paper: Spatha ahead at small K, similar at large K, up to 1.38x over cuSparseLt)");
+    banner(
+        "Checks (paper: Spatha ahead at small K, similar at large K, up to 1.38x over cuSparseLt)",
+    );
     let small = {
         let shape = GemmShape::new(1024, 768, 4096);
         SparseLtSpmm::time(shape, &dev).time_ms / spatha_24_ms(1024, 768, 4096, &dev)

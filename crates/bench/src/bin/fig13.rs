@@ -74,8 +74,15 @@ fn main() {
                 for (n, m, label) in SPARSITY_LADDER {
                     let sparsity = 1.0 - n as f64 / m as f64;
                     let spatha = layer_speedup(hidden, c_cols, &dev, |r, k| {
-                        spmm_time_tuned(r, k, c_cols, VnmConfig::new(v, n, m), &SpmmOptions::default(), &dev)
-                            .time_ms
+                        spmm_time_tuned(
+                            r,
+                            k,
+                            c_cols,
+                            VnmConfig::new(v, n, m),
+                            &SpmmOptions::default(),
+                            &dev,
+                        )
+                        .time_ms
                     });
                     let cusparselt = if m == 4 {
                         layer_speedup(hidden, c_cols, &dev, |r, k| {
@@ -101,12 +108,26 @@ fn main() {
     banner("Checks");
     // Spatha ~2x at 50% enables the high-sparsity scaling (paper).
     let s50 = layer_speedup(1024, 512 * 16, &dev, |r, k| {
-        spmm_time_tuned(r, k, 512 * 16, VnmConfig::new(128, 2, 4), &SpmmOptions::default(), &dev)
-            .time_ms
+        spmm_time_tuned(
+            r,
+            k,
+            512 * 16,
+            VnmConfig::new(128, 2, 4),
+            &SpmmOptions::default(),
+            &dev,
+        )
+        .time_ms
     });
     let s98 = layer_speedup(1024, 512 * 16, &dev, |r, k| {
-        spmm_time_tuned(r, k, 512 * 16, VnmConfig::new(128, 2, 100), &SpmmOptions::default(), &dev)
-            .time_ms
+        spmm_time_tuned(
+            r,
+            k,
+            512 * 16,
+            VnmConfig::new(128, 2, 100),
+            &SpmmOptions::default(),
+            &dev,
+        )
+        .time_ms
     });
     println!("Spatha BERT-large bs=16: {s50:.2}x at 50% (paper ~2x), {s98:.1}x at 98% (paper up to ~27x)");
 }

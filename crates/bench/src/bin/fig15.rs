@@ -18,8 +18,18 @@ use venom_sim::DeviceConfig;
 
 fn report(model: &TransformerConfig, batch: usize, layers: usize, dev: &DeviceConfig) {
     for v in [64usize, 128] {
-        banner(&format!("Figure 15: {} (bs={batch}, {layers} layer(s)), V={v}", model.name));
-        csv_header(&["config", "others_ms", "softmax_ms", "matmul_ms", "gemms_ms", "total_ms"]);
+        banner(&format!(
+            "Figure 15: {} (bs={batch}, {layers} layer(s)), V={v}",
+            model.name
+        ));
+        csv_header(&[
+            "config",
+            "others_ms",
+            "softmax_ms",
+            "matmul_ms",
+            "gemms_ms",
+            "total_ms",
+        ]);
         let mut dense_bd = LatencyBreakdown::default();
         for (label, ws) in [
             ("dense", WeightSparsity::Dense),
@@ -33,10 +43,22 @@ fn report(model: &TransformerConfig, batch: usize, layers: usize, dev: &DeviceCo
             }
             csv_row(
                 &format!("{v}:{label}"),
-                &[bd.others_ms, bd.softmax_ms, bd.attn_matmul_ms, bd.gemms_ms, bd.total_ms()],
+                &[
+                    bd.others_ms,
+                    bd.softmax_ms,
+                    bd.attn_matmul_ms,
+                    bd.gemms_ms,
+                    bd.total_ms(),
+                ],
             );
         }
-        let sparse = profile_model(model, batch, layers, WeightSparsity::Vnm(VnmConfig::new(v, 2, 32)), dev);
+        let sparse = profile_model(
+            model,
+            batch,
+            layers,
+            WeightSparsity::Vnm(VnmConfig::new(v, 2, 32)),
+            dev,
+        );
         println!(
             "GEMM share dense: {:.0}% | GEMM speedup at 2:32: {:.2}x | total speedup: {:.2}x",
             100.0 * dense_bd.gemms_ms / dense_bd.total_ms(),

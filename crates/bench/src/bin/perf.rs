@@ -13,10 +13,15 @@
 //! staged-operand pipeline and the plan/execute engine.
 //!
 //! Usage: `cargo run --release -p venom-bench --bin perf -- [--quick]
-//! [--iters N] [--ref-iters N] [--out PATH]`
+//! [--iters N] [--ref-iters N] [--only SUBSTR] [--out PATH]`
 //!
 //! `--quick` drops to minimal iteration counts (CI smoke); the series list
 //! is identical in both modes so consumers can rely on the keys.
+//! `--only SUBSTR` runs just the series whose label contains the
+//! substring — for local iteration on one series; the emitted JSON then
+//! carries a partial series list, so don't commit it as the baseline
+//! (the regression gate fails on series missing versus the committed
+//! file).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -36,10 +41,25 @@ struct Args {
     ref_iters: usize,
     out: String,
     quick: bool,
+    /// Run only series whose label contains this substring.
+    only: Option<String>,
+}
+
+impl Args {
+    /// Whether the series with `label` is selected by `--only`.
+    fn selected(&self, label: &str) -> bool {
+        self.only.as_deref().is_none_or(|o| label.contains(o))
+    }
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { iters: 5, ref_iters: 3, out: "BENCH_SPMM.json".to_string(), quick: false };
+    let mut args = Args {
+        iters: 5,
+        ref_iters: 3,
+        out: "BENCH_SPMM.json".to_string(),
+        quick: false,
+        only: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -52,15 +72,26 @@ fn parse_args() -> Args {
                 args.iters = it.next().and_then(|v| v.parse().ok()).expect("--iters N");
             }
             "--ref-iters" => {
-                args.ref_iters = it.next().and_then(|v| v.parse().ok()).expect("--ref-iters N");
+                args.ref_iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ref-iters N");
             }
             "--out" => {
                 args.out = it.next().expect("--out PATH");
             }
-            other => panic!("unknown flag {other} (try --quick / --iters / --ref-iters / --out)"),
+            "--only" => {
+                args.only = Some(it.next().expect("--only SUBSTR"));
+            }
+            other => panic!(
+                "unknown flag {other} (try --quick / --iters / --ref-iters / --only / --out)"
+            ),
         }
     }
-    assert!(args.iters >= 1 && args.ref_iters >= 1, "iteration counts must be positive");
+    assert!(
+        args.iters >= 1 && args.ref_iters >= 1,
+        "iteration counts must be positive"
+    );
     args
 }
 
@@ -131,10 +162,26 @@ fn spmm_series(
     let dev = DeviceConfig::rtx3090();
     let opts = SpmmOptions::default();
     let median = median_ms(args.iters, || spmm(&a, &b, &opts, &dev).c);
-    let reference = with_ref
-        .then(|| ("VnmMatrix::spmm_ref", median_ms(args.ref_iters, || a.spmm_ref(&b))));
-    eprintln!("spmm/{label}: {median:.1} ms{}", ref_note(&reference, median));
-    Series { op: "spmm", label, r, k, c, config: cfg.to_string(), median_ms: median, reference }
+    let reference = with_ref.then(|| {
+        (
+            "VnmMatrix::spmm_ref",
+            median_ms(args.ref_iters, || a.spmm_ref(&b)),
+        )
+    });
+    eprintln!(
+        "spmm/{label}: {median:.1} ms{}",
+        ref_note(&reference, median)
+    );
+    Series {
+        op: "spmm",
+        label,
+        r,
+        k,
+        c,
+        config: cfg.to_string(),
+        median_ms: median,
+        reference,
+    }
 }
 
 fn gemm_series(
@@ -148,10 +195,26 @@ fn gemm_series(
     let a = random::glorot_matrix(r, k, 3).to_half();
     let b = random::normal_matrix(k, c, 0.0, 1.0, 4).to_half();
     let median = median_ms(args.iters, || gemm::gemm_parallel(&a, &b));
-    let reference =
-        with_ref.then(|| ("gemm_ref", median_ms(args.ref_iters, || gemm::gemm_ref(&a, &b))));
-    eprintln!("gemm/{label}: {median:.1} ms{}", ref_note(&reference, median));
-    Series { op: "gemm", label, r, k, c, config: "dense".to_string(), median_ms: median, reference }
+    let reference = with_ref.then(|| {
+        (
+            "gemm_ref",
+            median_ms(args.ref_iters, || gemm::gemm_ref(&a, &b)),
+        )
+    });
+    eprintln!(
+        "gemm/{label}: {median:.1} ms{}",
+        ref_note(&reference, median)
+    );
+    Series {
+        op: "gemm",
+        label,
+        r,
+        k,
+        c,
+        config: "dense".to_string(),
+        median_ms: median,
+        reference,
+    }
 }
 
 fn compress_series(label: &'static str, r: usize, k: usize, cfg: VnmConfig, args: &Args) -> Series {
@@ -187,14 +250,30 @@ fn spmm_plan_series(
     let dev = DeviceConfig::rtx3090();
     let opts = SpmmOptions::default();
     let plan = Engine::new(dev.clone()).with_b_cols_hint(c).plan_spmm(&a);
-    assert_eq!(plan.run(&b), spmm(&a, &b, &opts, &dev).c, "planned dispatch must stay exact");
+    assert_eq!(
+        plan.run(&b),
+        spmm(&a, &b, &opts, &dev).c,
+        "planned dispatch must stay exact"
+    );
     let median = median_ms(args.iters, || plan.run(&b));
     let reference = Some((
         "venom_core::spmm (per-call)",
         median_ms(args.ref_iters, || spmm(&a, &b, &opts, &dev).c),
     ));
-    eprintln!("spmm_plan/{label}: {median:.1} ms{}", ref_note(&reference, median));
-    Series { op: "spmm_plan", label, r, k, c, config: cfg.to_string(), median_ms: median, reference }
+    eprintln!(
+        "spmm_plan/{label}: {median:.1} ms{}",
+        ref_note(&reference, median)
+    );
+    Series {
+        op: "spmm_plan",
+        label,
+        r,
+        k,
+        c,
+        config: cfg.to_string(),
+        median_ms: median,
+        reference,
+    }
 }
 
 /// Batched serving dispatch: one `run_batch` over `seqs` concatenated
@@ -215,15 +294,22 @@ fn spmm_plan_batch_series(
         .map(|i| random::normal_matrix(k, seq_cols, 0.0, 1.0, 10 + i as u64).to_half())
         .collect();
     let refs: Vec<&Matrix<Half>> = bs.iter().collect();
-    let plan = Engine::new(dev.clone()).with_b_cols_hint(seqs * seq_cols).plan_spmm(&a);
+    let plan = Engine::new(dev.clone())
+        .with_b_cols_hint(seqs * seq_cols)
+        .plan_spmm(&a);
     let median = median_ms(args.iters, || plan.run_batch(&refs));
     let reference = Some((
         "venom_core::spmm (per-request)",
         median_ms(args.ref_iters, || {
-            bs.iter().map(|b| spmm(&a, b, &opts, &dev).c).collect::<Vec<_>>()
+            bs.iter()
+                .map(|b| spmm(&a, b, &opts, &dev).c)
+                .collect::<Vec<_>>()
         }),
     ));
-    eprintln!("spmm_plan_batch/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    eprintln!(
+        "spmm_plan_batch/{label}: {median:.1} ms{}",
+        ref_note(&reference, median)
+    );
     Series {
         op: "spmm_plan_batch",
         label,
@@ -245,13 +331,20 @@ fn encoder_layer_series(label: &'static str, seq: usize, cfg: VnmConfig, args: &
     let block = EncoderBlock::dense(&tcfg, 1);
     let sparse = SparseEncoderBlock::from_dense(&engine, &block, cfg);
     let x = random::activation_matrix(seq, tcfg.hidden, 2);
-    assert_eq!(sparse.forward(&x), sparse.forward_percall(&x), "planned layer must stay exact");
+    assert_eq!(
+        sparse.forward(&x),
+        sparse.forward_percall(&x),
+        "planned layer must stay exact"
+    );
     let median = median_ms(args.iters, || sparse.forward(&x));
     let reference = Some((
         "SparseEncoderBlock::forward_percall",
         median_ms(args.ref_iters, || sparse.forward_percall(&x)),
     ));
-    eprintln!("encoder_layer/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    eprintln!(
+        "encoder_layer/{label}: {median:.1} ms{}",
+        ref_note(&reference, median)
+    );
     Series {
         op: "encoder_layer",
         label,
@@ -277,7 +370,10 @@ fn model_forward_series(label: &'static str, seq: usize, cfg: VnmConfig, args: &
         "SparseTransformerEncoder::forward_percall",
         median_ms(args.ref_iters, || sparse.forward_percall(&x)),
     ));
-    eprintln!("model_forward/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    eprintln!(
+        "model_forward/{label}: {median:.1} ms{}",
+        ref_note(&reference, median)
+    );
     Series {
         op: "model_forward",
         label,
@@ -313,7 +409,11 @@ fn spmm_auto_series(
     let b = random::normal_matrix(k, c, 0.0, 1.0, 2).to_half();
     let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(c);
     let plan = engine.plan_auto(&engine.descriptor(r, k), &w);
-    assert_eq!(plan.run(&b), plan.run_oneshot(&b), "auto plan must stay exact");
+    assert_eq!(
+        plan.run(&b),
+        plan.run_oneshot(&b),
+        "auto plan must stay exact"
+    );
     let median = median_ms(args.iters, || plan.run(&b));
     let reference = Some((
         "MatmulPlan::run_oneshot (per-call)",
@@ -354,13 +454,20 @@ fn spmm_format_series(
     let plan = engine
         .plan_with_format(format, &engine.descriptor(r, k), &w)
         .unwrap_or_else(|e| panic!("{e}"));
-    assert_eq!(plan.run(&b), plan.run_oneshot(&b), "format plan must stay exact");
+    assert_eq!(
+        plan.run(&b),
+        plan.run_oneshot(&b),
+        "format plan must stay exact"
+    );
     let median = median_ms(args.iters, || plan.run(&b));
     let reference = Some((
         "SparseKernel::spmm_parallel (per-call)",
         median_ms(args.ref_iters, || plan.run_oneshot(&b)),
     ));
-    eprintln!("spmm_format/{label}: {median:.1} ms{}", ref_note(&reference, median));
+    eprintln!(
+        "spmm_format/{label}: {median:.1} ms{}",
+        ref_note(&reference, median)
+    );
     Series {
         op: "spmm_format",
         label,
@@ -368,6 +475,96 @@ fn spmm_format_series(
         k,
         c,
         config: format.name().to_string(),
+        median_ms: median,
+        reference,
+    }
+}
+
+/// The quantized int8 dispatch versus the f16 functional path at the
+/// same shape: the planned i8 stream (per-call operand quantization,
+/// exact i32 accumulation, fused dequant) against the per-call f16
+/// `venom_core::spmm` entry point — the same functional baseline the
+/// `spmm_plan` series references, so the two series decompose the gain
+/// into plan-replay and operand-width effects.
+fn spmm_i8_series(
+    label: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+    cfg: VnmConfig,
+    args: &Args,
+) -> Series {
+    let a = vnm_weight(r, k, cfg, 1);
+    let b = random::normal_matrix(k, c, 0.0, 1.0, 2).to_half();
+    let dev = DeviceConfig::rtx3090();
+    let opts = SpmmOptions::default();
+    let engine = Engine::new(dev.clone()).with_b_cols_hint(c);
+    let qplan = engine.plan_quant_spmm(&a);
+    // The quantized output must track the f16 path (exact equality is not
+    // the contract here — the conformance suite bounds the error).
+    let rel = venom_tensor::norms::rel_frobenius_error(
+        &venom_runtime::MatmulPlan::run(&qplan, &b),
+        &spmm(&a, &b, &opts, &dev).c,
+    );
+    assert!(rel < 0.05, "quantized output drifted: rel {rel}");
+    let median = median_ms(args.iters, || venom_runtime::MatmulPlan::run(&qplan, &b));
+    let reference = Some((
+        "venom_core::spmm (f16 per-call)",
+        median_ms(args.ref_iters, || spmm(&a, &b, &opts, &dev).c),
+    ));
+    eprintln!(
+        "spmm_i8/{label}: {median:.1} ms{}",
+        ref_note(&reference, median)
+    );
+    Series {
+        op: "spmm_i8",
+        label,
+        r,
+        k,
+        c,
+        config: format!("{cfg}-i8"),
+        median_ms: median,
+        reference,
+    }
+}
+
+/// Plan-once/run-many on the int8 path: the planned i8 stream replay
+/// versus the per-call int8 dispatch (re-quantizes the operand and runs
+/// the container's one-shot parallel kernel every invocation).
+fn spmm_i8_plan_series(
+    label: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+    cfg: VnmConfig,
+    args: &Args,
+) -> Series {
+    use venom_runtime::MatmulPlan;
+    let a = vnm_weight(r, k, cfg, 1);
+    let b = random::normal_matrix(k, c, 0.0, 1.0, 2).to_half();
+    let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(c);
+    let plan = engine.plan_quant_spmm(&a);
+    assert_eq!(
+        plan.run(&b),
+        plan.run_oneshot(&b),
+        "planned i8 dispatch must stay exact"
+    );
+    let median = median_ms(args.iters, || plan.run(&b));
+    let reference = Some((
+        "QuantSpmmPlan::run_oneshot (per-call)",
+        median_ms(args.ref_iters, || plan.run_oneshot(&b)),
+    ));
+    eprintln!(
+        "spmm_i8_plan/{label}: {median:.1} ms{}",
+        ref_note(&reference, median)
+    );
+    Series {
+        op: "spmm_i8_plan",
+        label,
+        r,
+        k,
+        c,
+        config: format!("{cfg}-i8"),
         median_ms: median,
         reference,
     }
@@ -382,89 +579,170 @@ fn ref_note(reference: &Option<(&'static str, f64)>, median_ms: f64) -> String {
 
 fn main() {
     let args = parse_args();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     // Figure 9 fixes the outer dimensions at one BERT-large linear layer
     // (R = 1024, C = 4096) and sweeps the sparsified K; the harness takes
     // three points of that sweep plus compression at the same weights.
-    let series = vec![
-        spmm_series("fig09_k768_80pct", 1024, 768, 4096, VnmConfig::new(128, 2, 10), &args, true),
-        spmm_series("fig09_k1536_80pct", 1024, 1536, 4096, VnmConfig::new(128, 2, 10), &args, true),
-        spmm_series("fig09_k3072_90pct", 1024, 3072, 4096, VnmConfig::new(128, 2, 20), &args, true),
-        gemm_series("bert_qkv_768", 1024, 768, 1024, &args, true),
-        gemm_series("bert_ffn_768x4096", 1024, 768, 4096, &args, false),
-        gemm_series("bert_k3072", 1024, 3072, 1024, &args, false),
-        compress_series("bert_1024x4096_80pct", 1024, 4096, VnmConfig::new(128, 2, 10), &args),
-        compress_series("bert_1024x12288_95pct", 1024, 12288, VnmConfig::new(128, 2, 40), &args),
-        compress_series("gpt3_4096x4096_75pct", 4096, 4096, VnmConfig::new(64, 2, 8), &args),
+    //
+    // One catalogue row per series: the label is written once and passed
+    // to the builder, so the `--only` selection can never drift from the
+    // emitted label.
+    type Builder = Box<dyn FnOnce(&'static str, &Args) -> Series>;
+    let catalogue: Vec<(&'static str, Builder)> = vec![
+        (
+            "fig09_k768_80pct",
+            Box::new(|l, a| spmm_series(l, 1024, 768, 4096, VnmConfig::new(128, 2, 10), a, true)),
+        ),
+        (
+            "fig09_k1536_80pct",
+            Box::new(|l, a| spmm_series(l, 1024, 1536, 4096, VnmConfig::new(128, 2, 10), a, true)),
+        ),
+        (
+            "fig09_k3072_90pct",
+            Box::new(|l, a| spmm_series(l, 1024, 3072, 4096, VnmConfig::new(128, 2, 20), a, true)),
+        ),
+        (
+            "bert_qkv_768",
+            Box::new(|l, a| gemm_series(l, 1024, 768, 1024, a, true)),
+        ),
+        (
+            "bert_ffn_768x4096",
+            Box::new(|l, a| gemm_series(l, 1024, 768, 4096, a, false)),
+        ),
+        (
+            "bert_k3072",
+            Box::new(|l, a| gemm_series(l, 1024, 3072, 1024, a, false)),
+        ),
+        (
+            "bert_1024x4096_80pct",
+            Box::new(|l, a| compress_series(l, 1024, 4096, VnmConfig::new(128, 2, 10), a)),
+        ),
+        (
+            "bert_1024x12288_95pct",
+            Box::new(|l, a| compress_series(l, 1024, 12288, VnmConfig::new(128, 2, 40), a)),
+        ),
+        (
+            "gpt3_4096x4096_75pct",
+            Box::new(|l, a| compress_series(l, 4096, 4096, VnmConfig::new(64, 2, 8), a)),
+        ),
         // Plan-once/run-many serving paths (ISSUE 3): the same weights,
         // dispatched through the engine instead of the per-call entry
         // points.
-        spmm_plan_series(
+        (
             "fig09_k768_80pct_planned",
-            1024,
-            768,
-            4096,
-            VnmConfig::new(128, 2, 10),
-            &args,
+            Box::new(|l, a| spmm_plan_series(l, 1024, 768, 4096, VnmConfig::new(128, 2, 10), a)),
         ),
-        spmm_plan_batch_series(
+        (
             "fig09_k768_batch4x128",
-            1024,
-            768,
-            128,
-            4,
-            VnmConfig::new(128, 2, 10),
-            &args,
+            Box::new(|l, a| {
+                spmm_plan_batch_series(l, 1024, 768, 128, 4, VnmConfig::new(128, 2, 10), a)
+            }),
         ),
-        encoder_layer_series("bert_base_seq128", 128, VnmConfig::new(64, 2, 10), &args),
-        model_forward_series("bert_base_2layer_seq128", 128, VnmConfig::new(64, 2, 10), &args),
+        (
+            "bert_base_seq128",
+            Box::new(|l, a| encoder_layer_series(l, 128, VnmConfig::new(64, 2, 10), a)),
+        ),
+        (
+            "bert_base_2layer_seq128",
+            Box::new(|l, a| model_forward_series(l, 128, VnmConfig::new(64, 2, 10), a)),
+        ),
         // The unified-surface series (ISSUE 4): plan_auto's chosen format
         // at the fig09 shape, plus one planned dispatch per non-V:N:M
         // backend at a lighter column count.
-        spmm_auto_series("fig09_k768_auto", 1024, 768, 4096, VnmConfig::new(128, 2, 10), &args),
-        spmm_format_series(
+        (
+            "fig09_k768_auto",
+            Box::new(|l, a| spmm_auto_series(l, 1024, 768, 4096, VnmConfig::new(128, 2, 10), a)),
+        ),
+        (
             "fmt_nm24_k768",
-            MatmulFormat::Nm,
-            1024,
-            768,
-            1024,
-            VnmConfig::new(128, 2, 4),
-            &args,
+            Box::new(|l, a| {
+                spmm_format_series(
+                    l,
+                    MatmulFormat::Nm,
+                    1024,
+                    768,
+                    1024,
+                    VnmConfig::new(128, 2, 4),
+                    a,
+                )
+            }),
         ),
-        spmm_format_series(
+        (
             "fmt_csr_k768",
-            MatmulFormat::Csr,
-            1024,
-            768,
-            1024,
-            VnmConfig::new(128, 2, 10),
-            &args,
+            Box::new(|l, a| {
+                spmm_format_series(
+                    l,
+                    MatmulFormat::Csr,
+                    1024,
+                    768,
+                    1024,
+                    VnmConfig::new(128, 2, 10),
+                    a,
+                )
+            }),
         ),
-        spmm_format_series(
+        (
             "fmt_cvse_k768",
-            MatmulFormat::Cvse,
-            1024,
-            768,
-            1024,
-            VnmConfig::new(128, 2, 10),
-            &args,
+            Box::new(|l, a| {
+                spmm_format_series(
+                    l,
+                    MatmulFormat::Cvse,
+                    1024,
+                    768,
+                    1024,
+                    VnmConfig::new(128, 2, 10),
+                    a,
+                )
+            }),
         ),
-        spmm_format_series(
+        (
             "fmt_blocked_ell_k768",
-            MatmulFormat::BlockedEll,
-            1024,
-            768,
-            1024,
-            VnmConfig::new(128, 2, 10),
-            &args,
+            Box::new(|l, a| {
+                spmm_format_series(
+                    l,
+                    MatmulFormat::BlockedEll,
+                    1024,
+                    768,
+                    1024,
+                    VnmConfig::new(128, 2, 10),
+                    a,
+                )
+            }),
+        ),
+        // The int8 series (ISSUE 5): the quantized stream versus the f16
+        // functional path, and plan-once/run-many on the integer path.
+        (
+            "fig09_k768_i8",
+            Box::new(|l, a| spmm_i8_series(l, 1024, 768, 4096, VnmConfig::new(128, 2, 10), a)),
+        ),
+        (
+            "fig09_k768_i8_plan",
+            Box::new(|l, a| spmm_i8_plan_series(l, 1024, 768, 4096, VnmConfig::new(128, 2, 10), a)),
         ),
     ];
+    let series: Vec<Series> = catalogue
+        .into_iter()
+        .filter(|(label, _)| args.selected(label))
+        .map(|(label, build)| build(label, &args))
+        .collect();
+    assert!(
+        !series.is_empty(),
+        "--only {:?} matched no series labels",
+        args.only
+    );
 
     let mut json = String::from("{\n");
     writeln!(json, "  \"schema\": 1,").unwrap();
     writeln!(json, "  \"generated_by\": \"venom-bench perf\",").unwrap();
-    writeln!(json, "  \"mode\": \"{}\",", if args.quick { "quick" } else { "full" }).unwrap();
+    writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if args.quick { "quick" } else { "full" }
+    )
+    .unwrap();
     writeln!(json, "  \"iters\": {},", args.iters).unwrap();
     writeln!(json, "  \"ref_iters\": {},", args.ref_iters).unwrap();
     writeln!(json, "  \"threads\": {threads},").unwrap();

@@ -27,14 +27,30 @@ fn main() {
 
     // The checks that motivate the paper.
     let half_24 = SpPattern { n: 2, m: 4 };
-    assert!(is_supported_sp(Precision::Fp16, MmaShape::new(16, 8, 32), half_24));
-    assert!(is_supported_sp(Precision::Fp16, MmaShape::new(16, 8, 16), half_24));
+    assert!(is_supported_sp(
+        Precision::Fp16,
+        MmaShape::new(16, 8, 32),
+        half_24
+    ));
+    assert!(is_supported_sp(
+        Precision::Fp16,
+        MmaShape::new(16, 8, 16),
+        half_24
+    ));
     assert!(
-        !is_supported_sp(Precision::Fp16, MmaShape::new(16, 8, 32), SpPattern { n: 2, m: 8 }),
+        !is_supported_sp(
+            Precision::Fp16,
+            MmaShape::new(16, 8, 32),
+            SpPattern { n: 2, m: 8 }
+        ),
         "2:8 must NOT be natively supported — that is VENOM's contribution"
     );
     assert!(
-        !is_supported_sp(Precision::Fp16, MmaShape::new(16, 8, 32), SpPattern { n: 2, m: 16 }),
+        !is_supported_sp(
+            Precision::Fp16,
+            MmaShape::new(16, 8, 32),
+            SpPattern { n: 2, m: 16 }
+        ),
         "2:16 must NOT be natively supported"
     );
     println!("\nverified: only 2:4 (half) is native; arbitrary N:M requires the V:N:M mapping");

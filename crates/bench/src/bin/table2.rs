@@ -32,7 +32,15 @@ const LR: f32 = 0.4;
 fn apply_mask(mlp: &mut Mlp, mask: &SparsityMask, weights: &Matrix<f32>) {
     for j in 0..HIDDEN {
         for d in 0..DIM {
-            mlp.w1.set(j, d, if mask.get(j, d) { weights.get(j, d) } else { 0.0 });
+            mlp.w1.set(
+                j,
+                d,
+                if mask.get(j, d) {
+                    weights.get(j, d)
+                } else {
+                    0.0
+                },
+            );
         }
     }
 }
@@ -76,7 +84,10 @@ fn main() {
     dense.train(&train, 600, LR, None);
     let dense_acc = dense.accuracy(&test);
 
-    println!("=== Table 2 (proxy): accuracy after 2nd-order pruning; dense = {:.4} ===", dense_acc);
+    println!(
+        "=== Table 2 (proxy): accuracy after 2nd-order pruning; dense = {:.4} ===",
+        dense_acc
+    );
     println!("(paper reference: dense F1 = 88.43 on SQuAD v1.1 with BERT-base)");
     println!("sparsity,1:N:M,64:N:M,128:N:M,vw_8");
 

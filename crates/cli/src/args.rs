@@ -3,6 +3,7 @@
 //! anyway).
 
 use venom_format::MatmulFormat;
+use venom_runtime::DType;
 
 /// A validated `--format` value: automatic selection or one concrete
 /// storage format.
@@ -23,9 +24,14 @@ impl FormatChoice {
         if s == "auto" {
             return Ok(FormatChoice::Auto);
         }
-        MatmulFormat::parse(s).map(FormatChoice::Fixed).map_err(|_| {
-            format!("invalid --format '{s}' (valid: auto, {})", MatmulFormat::valid_names())
-        })
+        MatmulFormat::parse(s)
+            .map(FormatChoice::Fixed)
+            .map_err(|_| {
+                format!(
+                    "invalid --format '{s}' (valid: auto, {})",
+                    MatmulFormat::valid_names()
+                )
+            })
     }
 
     /// The name as the CLI spells it.
@@ -63,7 +69,7 @@ pub enum Command {
         seed: u64,
     },
     /// `venom bench --shape RxKxC --pattern V:N:M [--format F]
-    /// [--device NAME]`.
+    /// [--dtype D] [--device NAME]`.
     Bench {
         /// GEMM shape.
         shape: (usize, usize, usize),
@@ -71,6 +77,8 @@ pub enum Command {
         pattern: (usize, usize, usize),
         /// Storage format to plan (`auto` or a concrete format name).
         format: FormatChoice,
+        /// Operand dtype of the planned dispatch (`f16` or `i8`).
+        dtype: DType,
         /// Device preset name.
         device: String,
     },
@@ -84,9 +92,10 @@ pub enum Command {
         sparsity: f64,
     },
     /// `venom infer --model NAME [--layers N] [--seq S] [--batch B]
-    /// [--pattern V:N:M] [--format F] [--device NAME] [--seed S]` — plan
-    /// a sparse encoder stack once (each weight in the chosen storage
-    /// format, or the cost-model-cheapest one with `--format auto`),
+    /// [--pattern V:N:M] [--format F] [--dtype D] [--device NAME]
+    /// [--seed S]` — plan a sparse encoder stack once (each weight in
+    /// the chosen storage format, or the cost-model-cheapest one with
+    /// `--format auto`; `--dtype i8` serves the calibrated int8 path),
     /// then serve a batch of sequences through it.
     Infer {
         /// Model preset (`bert-base`, `bert-large`, or `mini`).
@@ -102,6 +111,8 @@ pub enum Command {
         pattern: (usize, usize, usize),
         /// Storage format to plan (`auto` or a concrete format name).
         format: FormatChoice,
+        /// Operand dtype of the planned weights (`f16` or `i8`).
+        dtype: DType,
         /// Device preset name.
         device: String,
         /// RNG seed.
@@ -118,18 +129,19 @@ venom — V:N:M sparsity toolkit (simulated Sparse Tensor Cores)
 USAGE:
   venom info     [--device rtx3090|a100]
   venom compress --rows R --cols K --pattern V:N:M [--seed S]
-  venom bench    --shape RxKxC --pattern V:N:M [--format F] [--device rtx3090|a100]
+  venom bench    --shape RxKxC --pattern V:N:M [--format F] [--dtype D]
+                 [--device rtx3090|a100]
   venom energy   --rows R --cols K --sparsity S
   venom infer    --model bert-base|bert-large|mini [--layers N] [--seq S]
-                 [--batch B] [--pattern V:N:M] [--format F]
+                 [--batch B] [--pattern V:N:M] [--format F] [--dtype D]
                  [--device rtx3090|a100] [--seed S]
   venom help
 
   --format F chooses the weight storage format planned by the engine:
   auto, vnm, nm, csr, cvse, blocked-ell, dense (default vnm).
+  --dtype D chooses the operand precision: f16 (exact mixed precision)
+  or i8 (calibrated int8, i32 accumulation; vnm/auto formats only).
 ";
-
-
 
 fn take_flag<'a>(argv: &'a [String], name: &str) -> Option<&'a str> {
     argv.iter()
@@ -178,17 +190,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "compress" => Ok(Command::Compress {
             rows: req_usize(argv, "--rows")?,
             cols: req_usize(argv, "--cols")?,
-            pattern: parse_pattern(
-                take_flag(argv, "--pattern").ok_or("missing --pattern")?,
-            )?,
-            seed: take_flag(argv, "--seed").unwrap_or("42").parse().map_err(|_| "--seed must be an integer".to_string())?,
+            pattern: parse_pattern(take_flag(argv, "--pattern").ok_or("missing --pattern")?)?,
+            seed: take_flag(argv, "--seed")
+                .unwrap_or("42")
+                .parse()
+                .map_err(|_| "--seed must be an integer".to_string())?,
         }),
         "bench" => Ok(Command::Bench {
             shape: parse_shape(take_flag(argv, "--shape").ok_or("missing --shape")?)?,
-            pattern: parse_pattern(
-                take_flag(argv, "--pattern").ok_or("missing --pattern")?,
-            )?,
+            pattern: parse_pattern(take_flag(argv, "--pattern").ok_or("missing --pattern")?)?,
             format: FormatChoice::parse(take_flag(argv, "--format").unwrap_or("vnm"))?,
+            dtype: DType::parse(take_flag(argv, "--dtype").unwrap_or("f16"))?,
             device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
         }),
         "energy" => Ok(Command::Energy {
@@ -200,10 +212,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .map_err(|_| "--sparsity must be a float".to_string())?,
         }),
         "infer" => Ok(Command::Infer {
-            model: take_flag(argv, "--model").ok_or("missing --model")?.to_string(),
+            model: take_flag(argv, "--model")
+                .ok_or("missing --model")?
+                .to_string(),
             layers: match take_flag(argv, "--layers") {
                 Some(v) => Some(
-                    v.parse().map_err(|_| "--layers must be an integer".to_string())?,
+                    v.parse()
+                        .map_err(|_| "--layers must be an integer".to_string())?,
                 ),
                 None => None,
             },
@@ -217,6 +232,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .map_err(|_| "--batch must be an integer".to_string())?,
             pattern: parse_pattern(take_flag(argv, "--pattern").unwrap_or("64:2:10"))?,
             format: FormatChoice::parse(take_flag(argv, "--format").unwrap_or("vnm"))?,
+            dtype: DType::parse(take_flag(argv, "--dtype").unwrap_or("f16"))?,
             device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
             seed: take_flag(argv, "--seed")
                 .unwrap_or("42")
@@ -238,33 +254,60 @@ mod tests {
 
     #[test]
     fn parses_info_with_default_device() {
-        assert_eq!(parse(&v(&["info"])).unwrap(), Command::Info { device: "rtx3090".into() });
+        assert_eq!(
+            parse(&v(&["info"])).unwrap(),
+            Command::Info {
+                device: "rtx3090".into()
+            }
+        );
         assert_eq!(
             parse(&v(&["info", "--device", "a100"])).unwrap(),
-            Command::Info { device: "a100".into() }
+            Command::Info {
+                device: "a100".into()
+            }
         );
     }
 
     #[test]
     fn parses_compress() {
-        let c = parse(&v(&["compress", "--rows", "128", "--cols", "256", "--pattern", "64:2:8"]))
-            .unwrap();
+        let c = parse(&v(&[
+            "compress",
+            "--rows",
+            "128",
+            "--cols",
+            "256",
+            "--pattern",
+            "64:2:8",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
-            Command::Compress { rows: 128, cols: 256, pattern: (64, 2, 8), seed: 42 }
+            Command::Compress {
+                rows: 128,
+                cols: 256,
+                pattern: (64, 2, 8),
+                seed: 42
+            }
         );
     }
 
     #[test]
     fn parses_bench_shape() {
-        let c = parse(&v(&["bench", "--shape", "1024x4096x4096", "--pattern", "128:2:16"]))
-            .unwrap();
+        let c = parse(&v(&[
+            "bench",
+            "--shape",
+            "1024x4096x4096",
+            "--pattern",
+            "128:2:16",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
             Command::Bench {
                 shape: (1024, 4096, 4096),
                 pattern: (128, 2, 16),
                 format: FormatChoice::Fixed(venom_format::MatmulFormat::Vnm),
+                dtype: DType::F16,
                 device: "rtx3090".into()
             }
         );
@@ -273,8 +316,16 @@ mod tests {
     #[test]
     fn parses_format_choices() {
         for f in ["auto", "vnm", "nm", "csr", "cvse", "blocked-ell", "dense"] {
-            let c = parse(&v(&["bench", "--shape", "8x8x8", "--pattern", "16:2:8", "--format", f]))
-                .unwrap();
+            let c = parse(&v(&[
+                "bench",
+                "--shape",
+                "8x8x8",
+                "--pattern",
+                "16:2:8",
+                "--format",
+                f,
+            ]))
+            .unwrap();
             assert!(matches!(c, Command::Bench { format, .. } if format.name() == f));
         }
         let c = parse(&v(&["infer", "--model", "mini", "--format", "auto"])).unwrap();
@@ -282,9 +333,50 @@ mod tests {
     }
 
     #[test]
+    fn parses_dtype_choices() {
+        for d in ["f16", "i8"] {
+            let c = parse(&v(&[
+                "bench",
+                "--shape",
+                "8x8x8",
+                "--pattern",
+                "16:2:8",
+                "--dtype",
+                d,
+            ]))
+            .unwrap();
+            assert!(matches!(c, Command::Bench { dtype, .. } if dtype.name() == d));
+        }
+        let c = parse(&v(&["infer", "--model", "mini", "--dtype", "i8"])).unwrap();
+        assert!(matches!(c, Command::Infer { dtype, .. } if dtype == DType::I8));
+    }
+
+    #[test]
+    fn rejects_unknown_dtype_listing_choices() {
+        let e = parse(&v(&[
+            "bench",
+            "--shape",
+            "8x8x8",
+            "--pattern",
+            "16:2:8",
+            "--dtype",
+            "int4",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("unknown dtype 'int4'"), "{e}");
+        assert!(e.contains("f16") && e.contains("i8"), "{e}");
+    }
+
+    #[test]
     fn rejects_unknown_format_listing_choices() {
         let e = parse(&v(&[
-            "bench", "--shape", "8x8x8", "--pattern", "16:2:8", "--format", "elll",
+            "bench",
+            "--shape",
+            "8x8x8",
+            "--pattern",
+            "16:2:8",
+            "--format",
+            "elll",
         ]))
         .unwrap_err();
         assert!(e.contains("invalid --format 'elll'"), "{e}");
@@ -305,13 +397,29 @@ mod tests {
                 batch: 4,
                 pattern: (64, 2, 10),
                 format: FormatChoice::Fixed(venom_format::MatmulFormat::Vnm),
+                dtype: DType::F16,
                 device: "rtx3090".into(),
                 seed: 42,
             }
         );
         let c = parse(&v(&[
-            "infer", "--model", "bert-base", "--layers", "2", "--seq", "64", "--batch", "8",
-            "--pattern", "32:2:8", "--format", "csr", "--device", "a100", "--seed", "7",
+            "infer",
+            "--model",
+            "bert-base",
+            "--layers",
+            "2",
+            "--seq",
+            "64",
+            "--batch",
+            "8",
+            "--pattern",
+            "32:2:8",
+            "--format",
+            "csr",
+            "--device",
+            "a100",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert_eq!(
@@ -323,6 +431,7 @@ mod tests {
                 batch: 8,
                 pattern: (32, 2, 8),
                 format: FormatChoice::Fixed(venom_format::MatmulFormat::Csr),
+                dtype: DType::F16,
                 device: "a100".into(),
                 seed: 7,
             }

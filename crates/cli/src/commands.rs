@@ -8,7 +8,8 @@ use venom_dnn::transformer::TransformerConfig;
 use venom_dnn::TransformerEncoder;
 use venom_format::{MatmulFormat, SparsityMask, VnmConfig, VnmMatrix};
 use venom_pruner::{energy, magnitude};
-use venom_runtime::Engine;
+use venom_quant::Calibration;
+use venom_runtime::{DType, Engine};
 use venom_sim::DeviceConfig;
 use venom_tensor::{random, GemmShape, Matrix};
 
@@ -19,12 +20,24 @@ fn device_by_name(name: &str) -> DeviceConfig {
     }
 }
 
-/// Maps a validated `--format` value onto the planning strategy.
-fn strategy_of(format: FormatChoice) -> PlanStrategy {
-    match format {
-        FormatChoice::Auto => PlanStrategy::Auto,
-        FormatChoice::Fixed(MatmulFormat::Vnm) => PlanStrategy::Vnm,
-        FormatChoice::Fixed(f) => PlanStrategy::Format(f),
+/// Maps a validated `--format`/`--dtype` pair onto the planning strategy.
+///
+/// # Errors
+/// Returns a message when the pair has no execution path (int8 runs in
+/// the quantized V:N:M container, so `--dtype i8` needs `vnm` or `auto`).
+fn strategy_of(format: FormatChoice, dtype: DType) -> Result<PlanStrategy, String> {
+    match (dtype, format) {
+        (DType::F16, FormatChoice::Auto) => Ok(PlanStrategy::Auto),
+        (DType::F16, FormatChoice::Fixed(MatmulFormat::Vnm)) => Ok(PlanStrategy::Vnm),
+        (DType::F16, FormatChoice::Fixed(f)) => Ok(PlanStrategy::Format(f)),
+        (DType::I8, FormatChoice::Fixed(MatmulFormat::Vnm)) => {
+            Ok(PlanStrategy::Quantized(Calibration::AbsMax))
+        }
+        (DType::I8, FormatChoice::Auto) => Ok(PlanStrategy::AutoQuantized(Calibration::AbsMax)),
+        (DType::I8, FormatChoice::Fixed(f)) => Err(format!(
+            "--dtype i8 has no '{f}' execution path: the int8 pipeline runs in the \
+             quantized V:N:M container (use --format vnm or --format auto)"
+        )),
     }
 }
 
@@ -33,20 +46,42 @@ pub fn execute(cmd: &Command) -> String {
     match cmd {
         Command::Help => USAGE.to_string(),
         Command::Info { device } => info(&device_by_name(device)),
-        Command::Compress { rows, cols, pattern, seed } => {
-            compress(*rows, *cols, *pattern, *seed)
-        }
-        Command::Bench { shape, pattern, format, device } => {
-            bench(*shape, *pattern, *format, &device_by_name(device))
-        }
-        Command::Energy { rows, cols, sparsity } => energy_report(*rows, *cols, *sparsity),
-        Command::Infer { model, layers, seq, batch, pattern, format, device, seed } => infer(
+        Command::Compress {
+            rows,
+            cols,
+            pattern,
+            seed,
+        } => compress(*rows, *cols, *pattern, *seed),
+        Command::Bench {
+            shape,
+            pattern,
+            format,
+            dtype,
+            device,
+        } => bench(*shape, *pattern, *format, *dtype, &device_by_name(device)),
+        Command::Energy {
+            rows,
+            cols,
+            sparsity,
+        } => energy_report(*rows, *cols, *sparsity),
+        Command::Infer {
+            model,
+            layers,
+            seq,
+            batch,
+            pattern,
+            format,
+            dtype,
+            device,
+            seed,
+        } => infer(
             model,
             *layers,
             *seq,
             *batch,
             *pattern,
             *format,
+            *dtype,
             &device_by_name(device),
             *seed,
         ),
@@ -99,11 +134,12 @@ fn bench(
     (r, k, c): (usize, usize, usize),
     (v, n, m): (usize, usize, usize),
     format: FormatChoice,
+    dtype: DType,
     dev: &DeviceConfig,
 ) -> String {
     let cfg = VnmConfig::new(v, n, m);
     let dense = DenseGemm::time(GemmShape::new(r, k, c), dev);
-    if format == FormatChoice::Fixed(MatmulFormat::Vnm) {
+    if format == FormatChoice::Fixed(MatmulFormat::Vnm) && dtype == DType::F16 {
         // The paper's headline comparison: Spatha's tuned kernel on the
         // shape-only cost model (no weight needs materialising).
         let sparse = spmm_time_tuned(r, k, c, cfg, &SpmmOptions::default(), dev);
@@ -129,7 +165,7 @@ fn bench(
     let mask = magnitude::prune_vnm(&w, cfg);
     let pruned = mask.apply_f32(&w).to_half();
     let engine = Engine::new(dev.clone()).with_b_cols_hint(c);
-    let desc = engine.descriptor(r, k);
+    let desc = engine.descriptor(r, k).with_dtype(dtype);
     let plan = match format {
         FormatChoice::Auto => engine.plan_auto_hinted(&desc, &pruned, Some(cfg)),
         FormatChoice::Fixed(f) => match engine.plan_with_format(f, &desc, &pruned) {
@@ -138,10 +174,11 @@ fn bench(
         },
     };
     let mut out = format!(
-        "{} — GEMM {r}x{k}x{c}, pattern {cfg}, format {}\n\
+        "{} — GEMM {r}x{k}x{c}, pattern {cfg}, format {}, dtype {}\n\
          cuBLAS (dense)  : {:8.3} ms  ({:.1} TFLOP/s)",
         dev.name,
         plan.format(),
+        plan.descriptor().dtype,
         dense.time_ms,
         dense.tflops,
     );
@@ -174,6 +211,7 @@ fn infer(
     batch: usize,
     (v, n, m): (usize, usize, usize),
     format: FormatChoice,
+    dtype: DType,
     dev: &DeviceConfig,
     seed: u64,
 ) -> String {
@@ -181,9 +219,7 @@ fn infer(
         "bert-base" => TransformerConfig::bert_base(),
         "bert-large" => TransformerConfig::bert_large(),
         "mini" => TransformerConfig::new("mini", 64, 4, 2, 128, 128),
-        other => {
-            return format!("unknown model '{other}' (expected bert-base, bert-large, mini)")
-        }
+        other => return format!("unknown model '{other}' (expected bert-base, bert-large, mini)"),
     };
     if seq == 0 || batch == 0 {
         return "both --seq and --batch must be at least 1".to_string();
@@ -200,7 +236,10 @@ fn infer(
         seq,
     );
     let pattern = VnmConfig::new(v, n, m);
-    let strategy = strategy_of(format);
+    let strategy = match strategy_of(format, dtype) {
+        Ok(s) => s,
+        Err(e) => return e,
+    };
 
     let t0 = std::time::Instant::now();
     let engine = Engine::new(dev.clone()).with_b_cols_hint(seq * batch);
@@ -233,7 +272,7 @@ fn infer(
 
     format!(
         "{} x{layer_count} layer(s), pattern {pattern}, seq {seq}, batch {batch} on {}\n\
-         weight formats (--format {format})             : {census}\n\
+         weight formats (--format {format}, --dtype {dtype})   : {census}\n\
          plan build (prune + compress + tune + stage)     : {plan_ms:9.1} ms (once)\n\
          serve {batch} request(s), {tokens} tokens        : {run_ms:9.1} ms wall\n\
          per-request                                      : {:9.1} ms\n\
@@ -252,7 +291,10 @@ fn infer(
 
 fn energy_report(rows: usize, cols: usize, sparsity: f64) -> String {
     let w = random::glorot_matrix(rows, cols, 2023);
-    let mut out = format!("energy at {:.0}% sparsity on {rows}x{cols}:\n", sparsity * 100.0);
+    let mut out = format!(
+        "energy at {:.0}% sparsity on {rows}x{cols}:\n",
+        sparsity * 100.0
+    );
     out += &format!(
         "  unstructured : {:.3}\n",
         energy(&w, &magnitude::prune_unstructured(&w, sparsity))
@@ -303,6 +345,7 @@ mod tests {
             (256, 1024, 512),
             (64, 2, 8),
             FormatChoice::Fixed(MatmulFormat::Vnm),
+            DType::F16,
             &DeviceConfig::rtx3090(),
         );
         assert!(s.contains("speedup"));
@@ -312,13 +355,31 @@ mod tests {
     #[test]
     fn bench_prices_other_formats_through_the_plan_surface() {
         let dev = DeviceConfig::rtx3090();
-        let s = bench((128, 256, 128), (32, 2, 8), FormatChoice::Fixed(MatmulFormat::Csr), &dev);
+        let s = bench(
+            (128, 256, 128),
+            (32, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Csr),
+            DType::F16,
+            &dev,
+        );
         assert!(s.contains("format csr"), "{s}");
         assert!(s.contains("speedup"), "{s}");
-        let s = bench((128, 256, 128), (32, 2, 8), FormatChoice::Auto, &dev);
+        let s = bench(
+            (128, 256, 128),
+            (32, 2, 8),
+            FormatChoice::Auto,
+            DType::F16,
+            &dev,
+        );
         assert!(s.contains("format "), "{s}");
         // A forced format the structure cannot serve reports the reason.
-        let s = bench((128, 256, 128), (32, 2, 10), FormatChoice::Fixed(MatmulFormat::Nm), &dev);
+        let s = bench(
+            (128, 256, 128),
+            (32, 2, 10),
+            FormatChoice::Fixed(MatmulFormat::Nm),
+            DType::F16,
+            &dev,
+        );
         assert!(s.contains("2:4"), "{s}");
     }
 
@@ -339,6 +400,7 @@ mod tests {
             2,
             (16, 2, 8),
             FormatChoice::Fixed(MatmulFormat::Vnm),
+            DType::F16,
             &DeviceConfig::rtx3090(),
             1,
         );
@@ -357,24 +419,111 @@ mod tests {
             1,
             (16, 2, 8),
             FormatChoice::Auto,
+            DType::F16,
             &DeviceConfig::rtx3090(),
             2,
         );
         // The census line must exist and its per-format counts must sum
         // to the six weight tensors of the single layer.
-        let line = s.lines().find(|l| l.contains("weight formats")).unwrap_or_else(|| {
-            panic!("missing census line in {s}")
-        });
+        let line = s
+            .lines()
+            .find(|l| l.contains("weight formats"))
+            .unwrap_or_else(|| panic!("missing census line in {s}"));
         assert!(line.contains("--format auto"), "{line}");
-        let census = line.split(':').nth(1).unwrap_or_else(|| panic!("malformed: {line}"));
+        let census = line
+            .split(':')
+            .nth(1)
+            .unwrap_or_else(|| panic!("malformed: {line}"));
         let total: usize = census
             .split(" x")
             .skip(1)
             .filter_map(|t| {
-                t.chars().take_while(char::is_ascii_digit).collect::<String>().parse::<usize>().ok()
+                t.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse::<usize>()
+                    .ok()
             })
             .sum();
         assert_eq!(total, 6, "census counts must cover all six weights: {line}");
+    }
+
+    #[test]
+    fn bench_prices_the_i8_path() {
+        let dev = DeviceConfig::rtx3090();
+        let i8 = bench(
+            (256, 1024, 512),
+            (64, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Vnm),
+            DType::I8,
+            &dev,
+        );
+        assert!(i8.contains("dtype i8"), "{i8}");
+        // i8 must price strictly below f16 at the same shape.
+        let extract = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("vnm"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.split_whitespace().next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("no vnm line in {s}"))
+        };
+        let f16 = bench(
+            (256, 1024, 512),
+            (64, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Vnm),
+            DType::F16,
+            &dev,
+        );
+        // The f16 vnm path prints through the headline branch; compare
+        // the i8 priced line against its Spatha line instead.
+        let f16_ms: f64 = f16
+            .lines()
+            .find(|l| l.contains("Spatha"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no Spatha line in {f16}"));
+        assert!(extract(&i8) < f16_ms, "i8 {i8}\nvs f16 {f16}");
+        // An i8 descriptor on a format with no int8 path reports why.
+        let e = bench(
+            (128, 256, 128),
+            (32, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Csr),
+            DType::I8,
+            &dev,
+        );
+        assert!(e.contains("dtype i8"), "{e}");
+    }
+
+    #[test]
+    fn infer_serves_the_quantized_stack() {
+        let s = infer(
+            "mini",
+            Some(1),
+            16,
+            2,
+            (16, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Vnm),
+            DType::I8,
+            &DeviceConfig::rtx3090(),
+            3,
+        );
+        assert!(s.contains("--dtype i8"), "{s}");
+        assert!(s.contains("vnm x6"), "{s}");
+        // i8 with a format that has no int8 path is rejected up front.
+        let e = infer(
+            "mini",
+            Some(1),
+            16,
+            1,
+            (16, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Csr),
+            DType::I8,
+            &DeviceConfig::rtx3090(),
+            3,
+        );
+        assert!(e.contains("--format vnm or --format auto"), "{e}");
     }
 
     #[test]
@@ -386,6 +535,7 @@ mod tests {
             1,
             (16, 2, 8),
             FormatChoice::Fixed(MatmulFormat::Vnm),
+            DType::F16,
             &DeviceConfig::rtx3090(),
             1,
         );

@@ -16,7 +16,11 @@ use crate::counts::build_counts;
 /// column tile, the K tile, the warp tile split and the pipeline depth.
 fn candidates(v: usize) -> Vec<TileConfig> {
     let mut out = Vec::new();
-    let ws_r_opts: &[usize] = if v.is_multiple_of(32) { &[32, 16] } else { &[16] };
+    let ws_r_opts: &[usize] = if v.is_multiple_of(32) {
+        &[32, 16]
+    } else {
+        &[16]
+    };
     for &bs_c in &[32usize, 64, 128] {
         for &bs_k_cond in &[32usize, 64] {
             for &ws_r in ws_r_opts {
@@ -65,7 +69,10 @@ pub fn default_config_shape(
     dev: &DeviceConfig,
 ) -> TileConfig {
     let v = cfg.v;
-    assert!(v.is_multiple_of(16) && v >= 16, "the Spatha kernel requires V to be a multiple of 16");
+    assert!(
+        v.is_multiple_of(16) && v >= 16,
+        "the Spatha kernel requires V to be a multiple of 16"
+    );
 
     let k_cond = cfg.k_groups(k) * venom_format::SELECTED_COLUMNS;
     let bs_c = if b_cols >= 2048 {
@@ -120,11 +127,16 @@ pub fn autotune_shape(
     dev: &DeviceConfig,
 ) -> (TileConfig, f64) {
     let v = cfg.v;
-    assert!(v.is_multiple_of(16) && v >= 16, "the Spatha kernel requires V to be a multiple of 16");
+    assert!(
+        v.is_multiple_of(16) && v >= 16,
+        "the Spatha kernel requires V to be a multiple of 16"
+    );
     let mut best: Option<(TileConfig, f64)> = None;
     for t in candidates(v) {
         let counts = crate::counts::build_counts_shape(r, k, b_cols, cfg, &t, opts);
-        let Ok(timing) = simulate(dev, &counts) else { continue };
+        let Ok(timing) = simulate(dev, &counts) else {
+            continue;
+        };
         match best {
             Some((_, ms)) if ms <= timing.time_ms => {}
             _ => best = Some((t, timing.time_ms)),
@@ -174,9 +186,13 @@ mod tests {
         let d = dev();
         let (tuned, tuned_ms) = autotune(&a, 4096, &opts, &d);
         let def = default_config(&a, 4096, &d);
-        let def_ms =
-            simulate(&d, &build_counts(&a, 4096, &def, &opts)).unwrap().time_ms;
-        assert!(tuned_ms <= def_ms + 1e-12, "tuned {tuned_ms} vs default {def_ms} ({tuned})");
+        let def_ms = simulate(&d, &build_counts(&a, 4096, &def, &opts))
+            .unwrap()
+            .time_ms;
+        assert!(
+            tuned_ms <= def_ms + 1e-12,
+            "tuned {tuned_ms} vs default {def_ms} ({tuned})"
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub fn epilogue_conflict_factor(bs_c: usize, wide: bool) -> f64 {
     if wide {
         // Thread t stores 16 bytes; every 8 threads a 16-byte pad is
         // inserted (the PAD cells of Fig. 8).
-        let addrs: Vec<u64> = (0..32u64).map(|t| (t / 8) * (128 + 16) + (t % 8) * 16).collect();
+        let addrs: Vec<u64> = (0..32u64)
+            .map(|t| (t / 8) * (128 + 16) + (t % 8) * 16)
+            .collect();
         banks::warp_access(&addrs, 16).conflict_factor()
     } else {
         // Thread t stores 4 bytes at (row = t/4, col = (t%4)*2) of an
@@ -82,8 +84,68 @@ pub fn build_counts_shape(
     tile: &TileConfig,
     opts: &SpmmOptions,
 ) -> KernelCounts {
+    build_counts_dtyped(r, k, b_cols, cfg, tile, opts, OperandDtype::F16)
+}
+
+/// [`build_counts`] for the int8-quantized container: same metadata and
+/// tile decomposition, 1-byte operand planes and the `Uint8` table row's
+/// doubled k-depth per `mma.sp` issue.
+///
+/// # Panics
+/// Panics if `tile.bs_r` differs from the format's `V`.
+pub fn build_counts_i8(
+    a: &venom_format::QuantVnmMatrix,
+    b_cols: usize,
+    tile: &TileConfig,
+    opts: &SpmmOptions,
+) -> KernelCounts {
+    let (r, k) = a.shape();
+    build_counts_shape_i8(r, k, b_cols, a.config(), tile, opts)
+}
+
+/// Shape-only variant of [`build_counts_i8`].
+///
+/// # Panics
+/// Panics if `tile.bs_r != cfg.v`.
+pub fn build_counts_shape_i8(
+    r: usize,
+    k: usize,
+    b_cols: usize,
+    cfg: venom_format::VnmConfig,
+    tile: &TileConfig,
+    opts: &SpmmOptions,
+) -> KernelCounts {
+    build_counts_dtyped(r, k, b_cols, cfg, tile, opts, OperandDtype::I8)
+}
+
+/// Operand precision of a counted Spatha launch.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OperandDtype {
+    /// 2-byte operands, `mma.sp.m16n8k{16,32}` (Table 1's Fp16 row).
+    F16,
+    /// 1-byte operands, `mma.sp.m16n8k{32,64}` (Table 1's Uint8 row):
+    /// half the value/B bytes, double the k-depth per instruction, plus
+    /// one 4-byte dequantization scale per block row.
+    I8,
+}
+
+fn build_counts_dtyped(
+    r: usize,
+    k: usize,
+    b_cols: usize,
+    cfg: venom_format::VnmConfig,
+    tile: &TileConfig,
+    opts: &SpmmOptions,
+    dtype: OperandDtype,
+) -> KernelCounts {
     assert_eq!(tile.bs_r, cfg.v, "Spatha requires BSr == V (paper §4.1.1)");
     let c = b_cols;
+    // Bytes per stored value / RHS element, and how many of the f16
+    // shape's k-steps one instruction covers.
+    let (elem_bytes, k_per_mma) = match dtype {
+        OperandDtype::F16 => (2usize, 1u64),
+        OperandDtype::I8 => (1usize, 2u64),
+    };
 
     let k_groups = cfg.k_groups(k);
     let k_cond = k_groups * SELECTED_COLUMNS;
@@ -96,14 +158,21 @@ pub fn build_counts_shape(
     // --- Instructions -----------------------------------------------------
     let m_tiles = tile.bs_r.div_ceil(tile.mma.m) as u64;
     let n_tiles = tile.bs_c.div_ceil(tile.mma.n) as u64;
-    let k_steps = (k_cond.div_ceil(tile.mma.k)) as u64;
+    // Int8 `mma.sp` covers twice the k-depth per issue (Table 1: k32/64
+    // versus the f16 row's k16/32), halving the instruction count.
+    let k_steps = (k_cond.div_ceil(tile.mma.k) as u64).div_ceil(k_per_mma);
     let mma_sp_per_block = m_tiles * n_tiles * k_steps;
 
     // --- Global memory traffic --------------------------------------------
-    // A values: BSr rows x K_cond/2 stored halves (2 B each).
-    let a_values = (tile.bs_r * k_cond / 2 * 2) as u64;
-    // m-indices: 2 bits per stored value.
+    // A values: BSr rows x K_cond/2 stored values (2 B halves, 1 B i8).
+    let a_values = (tile.bs_r * k_cond / 2 * elem_bytes) as u64;
+    // m-indices: 2 bits per stored value (dtype-independent).
     let a_meta = ((tile.bs_r * k_cond / 2 * 2) / 8) as u64;
+    // Per-row dequantization scales of the int8 path (4 B per block row).
+    let a_scales = match dtype {
+        OperandDtype::F16 => 0u64,
+        OperandDtype::I8 => (tile.bs_r * 4) as u64,
+    };
     // column-loc: 4 entries per group for this block row (1 B each for
     // M <= 256), loaded once per block. Absent in the "fixed indices"
     // ablation variant (Fig. 9 w/o column-loc).
@@ -112,15 +181,16 @@ pub fn build_counts_shape(
     } else {
         0
     };
-    // Gathered B: 4 rows per group x BSc columns (2 B each).
-    let b_bytes = (k_cond * tile.bs_c * 2) as u64;
-    let gmem_load = a_values + a_meta + col_loc + b_bytes;
-    // Output: half-precision C tile.
+    // Gathered B: 4 rows per group x BSc columns (2 B f16, 1 B i8).
+    let b_bytes = (k_cond * tile.bs_c * elem_bytes) as u64;
+    let gmem_load = a_values + a_meta + a_scales + col_loc + b_bytes;
+    // Output: half-precision C tile (the int8 path dequantizes in the
+    // epilogue and stores the same half tile).
     let gmem_store = (tile.bs_r * tile.bs_c * 2) as u64;
 
     // Weighted L2 hit: A structures are re-read by every block in the same
     // grid row (first read misses), B follows the gather model above.
-    let a_bytes_total = (a_values + a_meta + col_loc) as f64;
+    let a_bytes_total = (a_values + a_meta + a_scales + col_loc) as f64;
     let a_hit = 1.0 - 1.0 / col_tiles as f64;
     let bh = b_l2_hit(cfg.m);
     let l2_hit = (a_bytes_total * a_hit + b_bytes as f64 * bh) / (a_bytes_total + b_bytes as f64);
@@ -144,8 +214,12 @@ pub fn build_counts_shape(
     // Two-level column-loc prefetch + pipeline fill (§4.1.1 step 11).
     let prologue = 600 + 400 * tile.stages as u64;
 
+    let dtype_tag = match dtype {
+        OperandDtype::F16 => "",
+        OperandDtype::I8 => "-i8",
+    };
     KernelCounts {
-        name: format!("spatha[{}]{}", cfg, tile),
+        name: format!("spatha{dtype_tag}[{}]{}", cfg, tile),
         grid_blocks,
         block: tile.block_resources(),
         k_iters,
@@ -214,11 +288,17 @@ mod tests {
             &a,
             256,
             &tile,
-            &SpmmOptions { use_column_loc: false, ..SpmmOptions::default() },
+            &SpmmOptions {
+                use_column_loc: false,
+                ..SpmmOptions::default()
+            },
         );
         assert!(with.gmem_load_bytes_per_block > without.gmem_load_bytes_per_block);
         assert_eq!(with.mma_sp_per_block, without.mma_sp_per_block);
-        assert_eq!(with.smem_transactions_per_block, without.smem_transactions_per_block);
+        assert_eq!(
+            with.smem_transactions_per_block,
+            without.smem_transactions_per_block
+        );
     }
 
     #[test]
@@ -230,14 +310,19 @@ mod tests {
             &a,
             256,
             &tile,
-            &SpmmOptions { wide_smem_store: false, ..SpmmOptions::default() },
+            &SpmmOptions {
+                wide_smem_store: false,
+                ..SpmmOptions::default()
+            },
         );
         assert!(
-            narrow.smem_epilogue_transactions_per_block
-                > wide.smem_epilogue_transactions_per_block
+            narrow.smem_epilogue_transactions_per_block > wide.smem_epilogue_transactions_per_block
         );
         // The main loop is unaffected by the store width.
-        assert_eq!(narrow.smem_transactions_per_block, wide.smem_transactions_per_block);
+        assert_eq!(
+            narrow.smem_transactions_per_block,
+            wide.smem_transactions_per_block
+        );
     }
 
     #[test]
@@ -253,6 +338,28 @@ mod tests {
             assert!(t < prev, "m={m}: {t} !< {prev}");
             prev = t;
         }
+    }
+
+    #[test]
+    fn int8_counts_halve_bytes_and_instructions() {
+        use venom_format::QuantVnmMatrix;
+        let tile = TileConfig::new(64, 64, 32, 32, 32, 2);
+        let opts = SpmmOptions::default();
+        let a = vnm_fixture(128, 1024, VnmConfig::new(64, 2, 8), 7);
+        let q = QuantVnmMatrix::quantize(&a, venom_quant::Calibration::AbsMax);
+        let f16 = build_counts(&a, 256, &tile, &opts);
+        let i8c = build_counts_i8(&q, 256, &tile, &opts);
+        // Double k per mma.sp halves the instruction count exactly.
+        assert_eq!(i8c.mma_sp_per_block * 2, f16.mma_sp_per_block);
+        // Value and B planes halve; metadata and the small scale vector
+        // keep the total strictly above half.
+        assert!(i8c.gmem_load_bytes_per_block < f16.gmem_load_bytes_per_block);
+        assert!(i8c.gmem_load_bytes_per_block * 2 > f16.gmem_load_bytes_per_block);
+        // And the priced launch is strictly cheaper on the same device.
+        let dev = DeviceConfig::rtx3090();
+        let t16 = simulate(&dev, &f16).unwrap().time_ms;
+        let t8 = simulate(&dev, &i8c).unwrap().time_ms;
+        assert!(t8 < t16, "i8 {t8} !< f16 {t16}");
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use crate::kernel::{spmm, SpmmOptions, SpmmResult};
 use rayon::prelude::*;
-use venom_fp16::Half;
 use venom_format::VnmMatrix;
+use venom_fp16::Half;
 use venom_sim::DeviceConfig;
 use venom_tensor::Matrix;
 
@@ -67,12 +67,16 @@ pub fn spmm_fused(
     // Functional epilogue on the accumulators (stage 3 in the real kernel),
     // applied in parallel over output rows like the staged main loop.
     let cols = res.c.cols();
-    res.c.as_mut_slice().par_chunks_mut(cols).enumerate().for_each(|(r, row)| {
-        let bv = bias.get(r).copied().unwrap_or(0.0);
-        for x in row {
-            *x = act.apply(*x + bv);
-        }
-    });
+    res.c
+        .as_mut_slice()
+        .par_chunks_mut(cols)
+        .enumerate()
+        .for_each(|(r, row)| {
+            let bv = bias.get(r).copied().unwrap_or(0.0);
+            for x in row {
+                *x = act.apply(*x + bv);
+            }
+        });
 
     // Timing: fusion removes one elementwise kernel — launch plus a DRAM
     // round-trip of C — compared to the unfused sequence. The fused kernel

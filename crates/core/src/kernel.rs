@@ -20,8 +20,8 @@ use crate::autotune::default_config;
 use crate::counts::build_counts;
 use crate::tile::TileConfig;
 use rayon::prelude::*;
-use venom_fp16::Half;
 use venom_format::{VnmMatrix, SELECTED_COLUMNS};
+use venom_fp16::Half;
 use venom_sim::pipeline::{simulate, KernelCounts, KernelTiming};
 use venom_sim::tensorcore::mma_sp_f32_strided;
 use venom_sim::DeviceConfig;
@@ -87,7 +87,9 @@ pub struct SpmmResult {
 /// Panics if `B` has a row count different from `A`'s K, or if the
 /// selected configuration cannot launch on `dev`.
 pub fn spmm(a: &VnmMatrix, b: &Matrix<Half>, opts: &SpmmOptions, dev: &DeviceConfig) -> SpmmResult {
-    let tile = opts.tile.unwrap_or_else(|| default_config(a, b.cols(), dev));
+    let tile = opts
+        .tile
+        .unwrap_or_else(|| default_config(a, b.cols(), dev));
     spmm_with_config(a, b, tile, opts, dev)
 }
 
@@ -107,16 +109,20 @@ pub fn spmm_with_config(
     let c_cols = b.cols();
 
     let counts = build_counts(a, c_cols, &tile, opts);
-    let timing = simulate(dev, &counts).unwrap_or_else(|e| {
-        panic!("configuration {tile} cannot launch on {}: {e:?}", dev.name)
-    });
+    let timing = simulate(dev, &counts)
+        .unwrap_or_else(|e| panic!("configuration {tile} cannot launch on {}: {e:?}", dev.name));
 
     let c = match opts.mode {
         ExecMode::ModelOnly => Matrix::<f32>::zeros(r, c_cols),
         ExecMode::Functional => execute_functional(a, b, &tile),
     };
 
-    SpmmResult { c, timing, counts, tile }
+    SpmmResult {
+        c,
+        timing,
+        counts,
+        tile,
+    }
 }
 
 /// Prices a Spatha SpMM for a *hypothetical* `R x K` matrix in pattern
@@ -179,7 +185,12 @@ struct Workspace {
 
 impl Workspace {
     const fn new() -> Self {
-        Workspace { b_tile: Vec::new(), a_vals: Vec::new(), a_meta: Vec::new(), d_tail: Vec::new() }
+        Workspace {
+            b_tile: Vec::new(),
+            a_vals: Vec::new(),
+            a_meta: Vec::new(),
+            d_tail: Vec::new(),
+        }
     }
 
     fn ensure(&mut self, b_tile_len: usize, frag_len: usize, d_tail_len: usize) {
@@ -233,7 +244,9 @@ fn execute_functional(a: &VnmMatrix, b: &Matrix<Half>, tile: &TileConfig) -> Mat
         tile: *tile,
     };
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if col_tiles == 1 || row_tiles >= threads {
         execute_rows(&staged)
     } else {
@@ -251,9 +264,11 @@ fn execute_rows(staged: &Staged<'_>) -> Matrix<f32> {
     let c_cols = staged.b_cols;
     let bs_r = staged.tile.bs_r;
     let mut out = vec![0.0f32; r * c_cols];
-    out.par_chunks_mut(bs_r * c_cols).enumerate().for_each(|(rt, out_band)| {
-        execute_band(staged, rt, 0, c_cols, out_band, c_cols);
-    });
+    out.par_chunks_mut(bs_r * c_cols)
+        .enumerate()
+        .for_each(|(rt, out_band)| {
+            execute_band(staged, rt, 0, c_cols, out_band, c_cols);
+        });
     Matrix::from_vec(r, c_cols, out)
 }
 
@@ -454,9 +469,7 @@ mod tests {
                 let sel: Vec<usize> = cols.into_iter().take(SELECTED_COLUMNS).collect();
                 for r in r0..r1 {
                     let mut sc = sel.clone();
-                    sc.sort_by(|&x, &y| {
-                        w.get(r, y).abs().partial_cmp(&w.get(r, x).abs()).unwrap()
-                    });
+                    sc.sort_by(|&x, &y| w.get(r, y).abs().partial_cmp(&w.get(r, x).abs()).unwrap());
                     for &c in sc.iter().take(cfg.n) {
                         mask.set(r, c, true);
                     }
@@ -532,7 +545,10 @@ mod tests {
         let narrow = spmm(
             &a,
             &b,
-            &SpmmOptions { wide_smem_store: false, ..SpmmOptions::default() },
+            &SpmmOptions {
+                wide_smem_store: false,
+                ..SpmmOptions::default()
+            },
             &dev(),
         );
         assert_eq!(base.c, narrow.c, "store width must not change the math");
@@ -585,7 +601,10 @@ mod tests {
         let res = spmm(
             &a,
             &b,
-            &SpmmOptions { mode: ExecMode::ModelOnly, ..SpmmOptions::default() },
+            &SpmmOptions {
+                mode: ExecMode::ModelOnly,
+                ..SpmmOptions::default()
+            },
             &dev(),
         );
         assert!(res.c.as_slice().iter().all(|&x| x == 0.0));

@@ -26,11 +26,11 @@ pub mod sddmm;
 pub mod tile;
 
 pub use autotune::{autotune, autotune_shape, default_config, default_config_shape};
-pub use counts::{build_counts, build_counts_shape};
+pub use counts::{build_counts, build_counts_i8, build_counts_shape, build_counts_shape_i8};
+pub use fused::{spmm_fused, Epilogue};
 pub use kernel::{
     spmm, spmm_time_shape, spmm_time_tuned, spmm_with_config, ExecMode, SpmmOptions, SpmmResult,
 };
-pub use fused::{spmm_fused, Epilogue};
 pub use sddmm::{sddmm, SddmmResult};
 pub use tile::TileConfig;
 

@@ -13,8 +13,8 @@
 
 use crate::kernel::ExecMode;
 use rayon::prelude::*;
-use venom_fp16::Half;
 use venom_format::{SparsityMask, VnmConfig, VnmMatrix, SELECTED_COLUMNS};
+use venom_fp16::Half;
 use venom_sim::pipeline::{simulate, KernelCounts, KernelTiming};
 use venom_sim::{BlockResources, DeviceConfig};
 use venom_tensor::Matrix;
@@ -89,7 +89,11 @@ pub fn sddmm(
         ExecMode::Functional => execute_functional(q, k, pattern),
     };
     let out = VnmMatrix::compress(&dense, pattern, cfg);
-    SddmmResult { out, timing, counts }
+    SddmmResult {
+        out,
+        timing,
+        counts,
+    }
 }
 
 /// Functional SDDMM over f32-staged operands: `Q` is decoded row-major,
@@ -227,6 +231,13 @@ mod tests {
         let q = Matrix::<Half>::zeros(8, 4);
         let k = Matrix::<Half>::zeros(8, 8);
         let mask = SparsityMask::empty(8, 8);
-        let _ = sddmm(&q, &k, &mask, VnmConfig::new(16, 2, 8), ExecMode::ModelOnly, &dev());
+        let _ = sddmm(
+            &q,
+            &k,
+            &mask,
+            VnmConfig::new(16, 2, 8),
+            ExecMode::ModelOnly,
+            &dev(),
+        );
     }
 }

@@ -54,14 +54,25 @@ impl TileConfig {
         stages: u32,
     ) -> Self {
         let mma = Self::MMA_SP_HALF;
-        assert!(bs_r > 0 && bs_c > 0 && bs_k_cond > 0, "tile dims must be nonzero");
+        assert!(
+            bs_r > 0 && bs_c > 0 && bs_k_cond > 0,
+            "tile dims must be nonzero"
+        );
         assert_eq!(bs_r % ws_r, 0, "BSr must be a multiple of WSr");
         assert_eq!(bs_c % ws_c, 0, "BSc must be a multiple of WSc");
         assert_eq!(ws_r % mma.m, 0, "WSr must be a multiple of mma.m");
         assert_eq!(ws_c % mma.n, 0, "WSc must be a multiple of mma.n");
         assert_eq!(bs_k_cond % mma.k, 0, "BSk must be a multiple of mma.k");
         assert!(stages >= 1, "pipeline depth is at least 1");
-        TileConfig { bs_r, bs_c, bs_k_cond, ws_r, ws_c, mma, stages }
+        TileConfig {
+            bs_r,
+            bs_c,
+            bs_k_cond,
+            ws_r,
+            ws_c,
+            mma,
+            stages,
+        }
     }
 
     /// Warps per thread block.

@@ -4,9 +4,9 @@
 
 use venom_core::{spmm_with_config, SpmmOptions, TileConfig};
 use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
+use venom_fp16::Half;
 use venom_sim::DeviceConfig;
 use venom_tensor::{norms, random, Matrix};
-use venom_fp16::Half;
 
 fn fixture(r: usize, k: usize, cfg: VnmConfig, seed: u64) -> VnmMatrix {
     let w = random::glorot_matrix(r, k, seed);
@@ -40,8 +40,7 @@ fn every_legal_tile_produces_the_same_result() {
                     }
                     for stages in [1u32, 2, 4] {
                         let tile = TileConfig::new(32, bs_c, bs_k, ws_r, ws_c, stages);
-                        let out =
-                            spmm_with_config(&a, &b, tile, &SpmmOptions::default(), &dev);
+                        let out = spmm_with_config(&a, &b, tile, &SpmmOptions::default(), &dev);
                         assert!(
                             norms::allclose(&out.c, &reference, 1e-3, 1e-3),
                             "{tile}: max diff {}",
@@ -53,7 +52,10 @@ fn every_legal_tile_produces_the_same_result() {
             }
         }
     }
-    assert!(tried >= 30, "the sweep must actually cover the space ({tried})");
+    assert!(
+        tried >= 30,
+        "the sweep must actually cover the space ({tried})"
+    );
 }
 
 #[test]
@@ -96,7 +98,10 @@ fn timing_varies_across_tiles_but_work_is_constant() {
         times.push(out.timing.time_ms);
         total_mma.push(out.counts.mma_sp_per_block * out.counts.grid_blocks);
     }
-    assert!(times.iter().any(|&t| (t - times[0]).abs() > 1e-9), "tiles must differ in time");
+    assert!(
+        times.iter().any(|&t| (t - times[0]).abs() > 1e-9),
+        "tiles must differ in time"
+    );
     assert!(
         total_mma.iter().all(|&m| m == total_mma[0]),
         "total instruction count is tile-invariant: {total_mma:?}"

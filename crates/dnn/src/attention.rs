@@ -41,7 +41,10 @@ impl MultiHeadAttention {
         assert_eq!(hidden % heads, 0, "heads must divide the hidden size");
         let dense_proj = |s: u64| {
             let lin = Linear::glorot(hidden, hidden, s);
-            PlannedLinear { plan: std::sync::Arc::new(lin.plan), bias: lin.bias }
+            PlannedLinear {
+                plan: std::sync::Arc::new(lin.plan),
+                bias: lin.bias,
+            }
         };
         MultiHeadAttention {
             wq: dense_proj(seed),
@@ -214,7 +217,10 @@ mod tests {
         let y = mha.forward(&x);
         assert_eq!((y.rows(), y.cols()), (16, 64));
         assert!(y.as_slice().iter().all(|v| v.is_finite()));
-        assert!(mha.projections().iter().all(|p| p.format() == MatmulFormat::Dense));
+        assert!(mha
+            .projections()
+            .iter()
+            .all(|p| p.format() == MatmulFormat::Dense));
     }
 
     #[test]
@@ -237,12 +243,17 @@ mod tests {
     #[test]
     fn auto_strategy_mixes_formats_and_stays_exact() {
         let mut mha = MultiHeadAttention::dense(64, 4, 21);
-        mha.sparsify_with(&engine(), VnmConfig::new(16, 2, 8), PlanStrategy::Auto).unwrap();
+        mha.sparsify_with(&engine(), VnmConfig::new(16, 2, 8), PlanStrategy::Auto)
+            .unwrap();
         let x = random::activation_matrix(10, 64, 22);
         assert_eq!(mha.forward(&x), mha.forward_percall(&x));
         // Every projection carries a priced plan in some chosen format.
         for p in mha.projections() {
-            assert!(p.plan.cost_ms().is_some(), "auto plans are priced ({})", p.format());
+            assert!(
+                p.plan.cost_ms().is_some(),
+                "auto plans are priced ({})",
+                p.format()
+            );
         }
     }
 
@@ -267,12 +278,19 @@ mod tests {
         // Build the dense-with-masked-weights reference BEFORE sparsifying.
         let cfg = VnmConfig::new(16, 2, 4); // 50%: mild pruning
         let mut reference = mha.clone();
-        for proj in [&mut reference.wq, &mut reference.wk, &mut reference.wv, &mut reference.wo]
-        {
+        for proj in [
+            &mut reference.wq,
+            &mut reference.wk,
+            &mut reference.wv,
+            &mut reference.wo,
+        ] {
             let wf = proj.plan.weight_dense().to_f32();
             let mask = venom_pruner::magnitude::prune_vnm(&wf, cfg);
             let lin = Linear::new(&mask.apply_f32(&wf), proj.bias.clone());
-            *proj = PlannedLinear { plan: std::sync::Arc::new(lin.plan), bias: lin.bias };
+            *proj = PlannedLinear {
+                plan: std::sync::Arc::new(lin.plan),
+                bias: lin.bias,
+            };
         }
         mha.sparsify(&engine(), cfg);
         assert_eq!(mha.wq.format(), MatmulFormat::Vnm);

@@ -16,9 +16,9 @@
 //! other.
 
 use std::sync::Arc;
-use venom_fp16::Half;
 use venom_format::{MatmulFormat, SparsityMask, VnmConfig, VnmMatrix};
-use venom_runtime::{Engine, Epilogue, GemmPlan, MatmulPlan, PlanError};
+use venom_fp16::Half;
+use venom_runtime::{Calibration, DType, Engine, Epilogue, GemmPlan, MatmulPlan, PlanError};
 use venom_tensor::Matrix;
 
 /// Which of a layer's two bit-identical execution paths to take.
@@ -32,7 +32,7 @@ pub enum ExecPath {
 }
 
 /// How a pruned weight is planned for execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum PlanStrategy {
     /// Compress to the pruned V:N:M pattern and plan on the Spatha
     /// kernel (the paper's configuration).
@@ -42,6 +42,14 @@ pub enum PlanStrategy {
     Auto,
     /// Force one storage format for every weight.
     Format(MatmulFormat),
+    /// Compress to V:N:M and quantize to the calibrated int8 container:
+    /// the i32-accumulating plan with the dequantization scale folded
+    /// into the epilogue (the [`crate::QuantizedLinear`] path).
+    Quantized(Calibration),
+    /// Automatic selection with int8 allowed: every f16 format competes
+    /// with the quantized V:N:M candidate on the same cost currency, per
+    /// weight.
+    AutoQuantized(Calibration),
 }
 
 /// A dense linear layer `y = x W^T + b` with `W: [out x in]`.
@@ -68,7 +76,10 @@ impl Linear {
     /// Panics if `bias.len() != weight.rows()`.
     pub fn from_half(weight: &Matrix<Half>, bias: Vec<f32>) -> Self {
         assert_eq!(bias.len(), weight.rows(), "bias must match out_features");
-        Linear { plan: GemmPlan::new(weight), bias }
+        Linear {
+            plan: GemmPlan::new(weight),
+            bias,
+        }
     }
 
     /// Glorot-initialised layer.
@@ -170,8 +181,25 @@ impl Linear {
                     .with_epilogue(Epilogue::Bias);
                 engine.plan_with_format(f, &desc, &pruned)?
             }
+            PlanStrategy::Quantized(calib) => {
+                let e = engine.clone().with_calibration(calib);
+                Arc::new(e.plan_quant_spmm(&VnmMatrix::compress(&pruned, mask, cfg)))
+            }
+            PlanStrategy::AutoQuantized(calib) => {
+                let desc = engine
+                    .descriptor(pruned.rows(), pruned.cols())
+                    .with_epilogue(Epilogue::Bias)
+                    .with_dtype(DType::I8);
+                engine
+                    .clone()
+                    .with_calibration(calib)
+                    .plan_auto_hinted(&desc, &pruned, Some(cfg))
+            }
         };
-        Ok(PlannedLinear { plan, bias: self.bias.clone() })
+        Ok(PlannedLinear {
+            plan,
+            bias: self.bias.clone(),
+        })
     }
 }
 
@@ -191,7 +219,11 @@ impl PlannedLinear {
     /// # Panics
     /// Panics if `bias.len()` mismatches the plan's output features.
     pub fn new(plan: Arc<dyn MatmulPlan>, bias: Vec<f32>) -> Self {
-        assert_eq!(bias.len(), plan.descriptor().out_features, "bias must match out_features");
+        assert_eq!(
+            bias.len(),
+            plan.descriptor().out_features,
+            "bias must match out_features"
+        );
         PlannedLinear { plan, bias }
     }
 
@@ -216,8 +248,9 @@ impl PlannedLinear {
     /// # Panics
     /// Panics if `bias.len() != weight.rows()`.
     pub fn auto(engine: &Engine, weight: &Matrix<Half>, bias: Vec<f32>) -> Self {
-        let desc =
-            engine.descriptor(weight.rows(), weight.cols()).with_epilogue(Epilogue::Bias);
+        let desc = engine
+            .descriptor(weight.rows(), weight.cols())
+            .with_epilogue(Epilogue::Bias);
         Self::new(engine.plan_auto(&desc, weight), bias)
     }
 
@@ -235,9 +268,13 @@ impl PlannedLinear {
         weight: &Matrix<Half>,
         bias: Vec<f32>,
     ) -> Result<Self, PlanError> {
-        let desc =
-            engine.descriptor(weight.rows(), weight.cols()).with_epilogue(Epilogue::Bias);
-        Ok(Self::new(engine.plan_with_format(format, &desc, weight)?, bias))
+        let desc = engine
+            .descriptor(weight.rows(), weight.cols())
+            .with_epilogue(Epilogue::Bias);
+        Ok(Self::new(
+            engine.plan_with_format(format, &desc, weight)?,
+            bias,
+        ))
     }
 
     /// The storage format the plan executes.
@@ -301,7 +338,11 @@ pub struct LayerNorm {
 impl LayerNorm {
     /// Identity-initialised layer norm.
     pub fn new(features: usize) -> Self {
-        LayerNorm { gamma: vec![1.0; features], beta: vec![0.0; features], eps: 1e-5 }
+        LayerNorm {
+            gamma: vec![1.0; features],
+            beta: vec![0.0; features],
+            eps: 1e-5,
+        }
     }
 
     /// Normalises each row of `x`.
@@ -430,6 +471,9 @@ mod tests {
             PlanStrategy::Format(MatmulFormat::Cvse),
             PlanStrategy::Format(MatmulFormat::BlockedEll),
             PlanStrategy::Format(MatmulFormat::Dense),
+            PlanStrategy::Quantized(Calibration::AbsMax),
+            PlanStrategy::Quantized(Calibration::Percentile(99.5)),
+            PlanStrategy::AutoQuantized(Calibration::AbsMax),
         ] {
             let planned = lin.to_sparse_with(&engine(), &mask, cfg, strategy).unwrap();
             assert_eq!(

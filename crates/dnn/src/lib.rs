@@ -13,6 +13,12 @@
 //!   survives as the bit-identical `forward_percall` baseline the serving
 //!   benchmarks compare against — expressed through the same trait, not a
 //!   hand-written twin.
+//! * [`quantized`] — the int8 layer path: [`quantized::QuantizedLinear`]
+//!   over the calibrated i32-accumulating plan, activations quantized
+//!   per call at the boundary and the dequant scale folded into the
+//!   epilogue ([`layers::PlanStrategy::Quantized`] /
+//!   [`layers::PlanStrategy::AutoQuantized`] select it during
+//!   sparsification).
 //! * [`attention`] — multi-head attention (the pruned MHA of Fig. 14).
 //! * [`transformer`] — encoder blocks and the model configurations the
 //!   paper measures (BERT-base/large, GPT2-large, GPT-3).
@@ -27,6 +33,7 @@ pub mod attention;
 pub mod layers;
 pub mod model;
 pub mod profile;
+pub mod quantized;
 pub mod sten;
 pub mod train;
 pub mod transformer;
@@ -34,4 +41,5 @@ pub mod transformer;
 pub use layers::{ExecPath, Linear, PlanStrategy, PlannedLinear};
 pub use model::{SparseTransformerEncoder, TransformerEncoder};
 pub use profile::{profile_model, LatencyBreakdown, WeightSparsity};
+pub use quantized::QuantizedLinear;
 pub use transformer::TransformerConfig;

@@ -48,7 +48,11 @@ impl TransformerEncoder {
         let blocks = (0..config.layers)
             .map(|i| EncoderBlock::dense(&config, seed + 100 * i as u64))
             .collect();
-        TransformerEncoder { blocks, ln_final: LayerNorm::new(config.hidden), config }
+        TransformerEncoder {
+            blocks,
+            ln_final: LayerNorm::new(config.hidden),
+            config,
+        }
     }
 
     /// Forward over `x` (`seq x hidden`).
@@ -196,8 +200,18 @@ mod tests {
             .zip(ys.as_slice())
             .map(|(a, b)| (*a as f64) * (*b as f64))
             .sum();
-        let nd: f64 = yd.as_slice().iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
-        let ns: f64 = ys.as_slice().iter().map(|a| (*a as f64).powi(2)).sum::<f64>().sqrt();
+        let nd: f64 = yd
+            .as_slice()
+            .iter()
+            .map(|a| (*a as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let ns: f64 = ys
+            .as_slice()
+            .iter()
+            .map(|a| (*a as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let cosine = dot / (nd * ns);
         assert!(cosine > 0.7, "cosine similarity {cosine}");
     }

@@ -127,10 +127,10 @@ pub fn profile_layer(
     let d = cfg.head_dim();
     let s = cfg.seq_len;
     let bh = batch * cfg.heads;
-    out.attn_matmul_ms += DenseGemm::time_batched(GemmShape::new(s, d, s), bh, dev).time_ms
-        * BATCHED_MATMUL_DERATE;
-    out.attn_matmul_ms += DenseGemm::time_batched(GemmShape::new(s, s, d), bh, dev).time_ms
-        * BATCHED_MATMUL_DERATE;
+    out.attn_matmul_ms +=
+        DenseGemm::time_batched(GemmShape::new(s, d, s), bh, dev).time_ms * BATCHED_MATMUL_DERATE;
+    out.attn_matmul_ms +=
+        DenseGemm::time_batched(GemmShape::new(s, s, d), bh, dev).time_ms * BATCHED_MATMUL_DERATE;
 
     // --- Softmax ------------------------------------------------------------
     // Scores tensor: B x h x S x S halves; each unfused pass reads and
@@ -144,8 +144,7 @@ pub fn profile_layer(
     // Two layer norms (read x3 for stats+apply, write x1), GELU (r+w on the
     // FF activation), two residual adds (2 reads + 1 write), QKV/output
     // reshapes (r+w x4) — all scaled by the eager-execution factor.
-    let others_bytes = (2.0 * h_bytes * 4.0 + ff_bytes * 2.0 + 2.0 * h_bytes * 3.0
-        + h_bytes * 8.0)
+    let others_bytes = (2.0 * h_bytes * 4.0 + ff_bytes * 2.0 + 2.0 * h_bytes * 3.0 + h_bytes * 8.0)
         * EAGER_TRAFFIC_FACTOR;
     out.others_ms =
         elementwise_ms(others_bytes, dev) + LAUNCHES_PER_LAYER * dev.kernel_launch_us * 1e-3;
@@ -188,8 +187,12 @@ mod tests {
         // Fig. 15 GPT-3: tensor contraction improved up to ~11x at 2:32.
         let cfg = TransformerConfig::gpt3_175b();
         let dense = profile_layer(&cfg, 1, WeightSparsity::Dense, &dev());
-        let sparse =
-            profile_layer(&cfg, 1, WeightSparsity::Vnm(VnmConfig::new(64, 2, 32)), &dev());
+        let sparse = profile_layer(
+            &cfg,
+            1,
+            WeightSparsity::Vnm(VnmConfig::new(64, 2, 32)),
+            &dev(),
+        );
         let gemm_speedup = dense.gemms_ms / sparse.gemms_ms;
         assert!(
             gemm_speedup > 6.0 && gemm_speedup < 16.0,
@@ -239,7 +242,12 @@ mod tests {
 
     #[test]
     fn scaling_and_adding_breakdowns() {
-        let a = LatencyBreakdown { gemms_ms: 1.0, attn_matmul_ms: 2.0, softmax_ms: 3.0, others_ms: 4.0 };
+        let a = LatencyBreakdown {
+            gemms_ms: 1.0,
+            attn_matmul_ms: 2.0,
+            softmax_ms: 3.0,
+            others_ms: 4.0,
+        };
         assert_eq!(a.total_ms(), 10.0);
         assert_eq!(a.scale(2.0).total_ms(), 20.0);
         assert_eq!(a.add(&a).gemms_ms, 2.0);

@@ -11,8 +11,8 @@
 //! tensor once on the engine; every `spmm` dispatch replays the plan
 //! instead of rebuilding options and re-staging operands per call.
 
-use venom_fp16::Half;
 use venom_format::{SparsityMask, VnmConfig, VnmMatrix};
+use venom_fp16::Half;
 use venom_pruner::magnitude;
 use venom_runtime::{Engine, SpmmPlan};
 use venom_tensor::Matrix;
@@ -36,7 +36,9 @@ pub struct VnmSparsifier {
 impl VnmSparsifier {
     /// Creates the sparsifier for `v:n:m`.
     pub fn new(v: usize, n: usize, m: usize) -> Self {
-        VnmSparsifier { cfg: VnmConfig::new(v, n, m) }
+        VnmSparsifier {
+            cfg: VnmConfig::new(v, n, m),
+        }
     }
 }
 

@@ -54,10 +54,17 @@ pub fn gaussian_clusters_split(
     separation: f32,
     seed: u64,
 ) -> (Dataset, Dataset) {
-    assert!(n_train_per_class > 0 && dim > 0 && classes > 1, "degenerate dataset");
+    assert!(
+        n_train_per_class > 0 && dim > 0 && classes > 1,
+        "degenerate dataset"
+    );
     let mut s = NormalSampler::new(seed);
     let centres: Vec<Vec<f32>> = (0..classes)
-        .map(|_| (0..dim).map(|_| s.sample_with(0.0, separation as f64) as f32).collect())
+        .map(|_| {
+            (0..dim)
+                .map(|_| s.sample_with(0.0, separation as f64) as f32)
+                .collect()
+        })
         .collect();
     let mut make = |per_class: usize| -> Dataset {
         let n = per_class * classes;
@@ -120,8 +127,9 @@ mod tests {
             let mt = mean(&train, c);
             let me = mean(&test, c);
             let d_same: f32 = (0..8).map(|j| (mt[j] - me[j]).powi(2)).sum();
-            let d_other: f32 =
-                (0..8).map(|j| (mt[j] - mean(&train, (c + 1) % 3)[j]).powi(2)).sum();
+            let d_other: f32 = (0..8)
+                .map(|j| (mt[j] - mean(&train, (c + 1) % 3)[j]).powi(2))
+                .sum();
             assert!(d_same < d_other, "class {c}: {d_same} !< {d_other}");
         }
     }
@@ -157,9 +165,7 @@ mod tests {
         let (m0, m1) = (mean(0), mean(1));
         let mut correct = 0;
         for (i, &y) in d.y.iter().enumerate() {
-            let dist = |m: &[f32]| -> f32 {
-                (0..16).map(|j| (d.x.get(i, j) - m[j]).powi(2)).sum()
-            };
+            let dist = |m: &[f32]| -> f32 { (0..16).map(|j| (d.x.get(i, j) - m[j]).powi(2)).sum() };
             let pred = if dist(&m0) < dist(&m1) { 0 } else { 1 };
             if pred == y {
                 correct += 1;

@@ -99,7 +99,12 @@ impl Mlp {
         let mut correct = 0usize;
         for (i, &y) in data.y.iter().enumerate() {
             let pred = (0..data.classes)
-                .max_by(|&a, &b| fwd.probs.get(i, a).partial_cmp(&fwd.probs.get(i, b)).unwrap())
+                .max_by(|&a, &b| {
+                    fwd.probs
+                        .get(i, a)
+                        .partial_cmp(&fwd.probs.get(i, b))
+                        .unwrap()
+                })
                 .unwrap();
             if pred == y {
                 correct += 1;
@@ -186,7 +191,13 @@ impl Mlp {
     }
 
     /// Trains for `epochs` full-batch steps.
-    pub fn train(&mut self, data: &Dataset, epochs: usize, lr: f32, w1_mask: Option<&SparsityMask>) {
+    pub fn train(
+        &mut self,
+        data: &Dataset,
+        epochs: usize,
+        lr: f32,
+        w1_mask: Option<&SparsityMask>,
+    ) {
         for _ in 0..epochs {
             self.sgd_step(data, lr, w1_mask);
         }
@@ -277,8 +288,10 @@ mod tests {
         let n = data.len() as f32;
         for j in 0..32 {
             for d in 0..16 {
-                let mean_g: f32 =
-                    (0..data.len()).map(|i| per_sample.get(i, j * 16 + d)).sum::<f32>() / n;
+                let mean_g: f32 = (0..data.len())
+                    .map(|i| per_sample.get(i, j * 16 + d))
+                    .sum::<f32>()
+                    / n;
                 let delta = mlp.w1.get(j, d) - trained.w1.get(j, d);
                 assert!(
                     (delta - mean_g).abs() < 1e-4,
@@ -307,7 +320,10 @@ mod tests {
         let mut tuned = pruned.clone();
         tuned.train(&data, 200, 0.5, Some(&mask));
         let tuned_acc = tuned.accuracy(&data);
-        assert!(tuned_acc >= oneshot_acc, "finetune {tuned_acc} vs oneshot {oneshot_acc}");
+        assert!(
+            tuned_acc >= oneshot_acc,
+            "finetune {tuned_acc} vs oneshot {oneshot_acc}"
+        );
         assert!(dense_acc >= tuned_acc - 0.05);
     }
 }

@@ -130,7 +130,9 @@ impl EncoderBlock {
         for (o, a) in h.as_mut_slice().iter_mut().zip(attn.as_slice()) {
             *o += a;
         }
-        let ff = self.ff2.forward(&gelu(&self.ff1.forward(&self.ln2.forward(&h))));
+        let ff = self
+            .ff2
+            .forward(&gelu(&self.ff1.forward(&self.ln2.forward(&h))));
         for (o, f) in h.as_mut_slice().iter_mut().zip(ff.as_slice()) {
             *o += f;
         }
@@ -162,11 +164,7 @@ impl SparseEncoderBlock {
     /// # Panics
     /// Panics if the hidden/ff sizes are incompatible with `cfg`
     /// (dimensions must exceed V).
-    pub fn from_dense(
-        engine: &Engine,
-        block: &EncoderBlock,
-        cfg: venom_format::VnmConfig,
-    ) -> Self {
+    pub fn from_dense(engine: &Engine, block: &EncoderBlock, cfg: venom_format::VnmConfig) -> Self {
         Self::from_dense_with(engine, block, cfg, PlanStrategy::Vnm)
             .expect("V:N:M planning accepts any complying mask")
     }
@@ -202,7 +200,14 @@ impl SparseEncoderBlock {
 
     /// The six planned weight tensors of the block.
     pub fn plans(&self) -> [&PlannedLinear; 6] {
-        [&self.mha.wq, &self.mha.wk, &self.mha.wv, &self.mha.wo, &self.ff1, &self.ff2]
+        [
+            &self.mha.wq,
+            &self.mha.wk,
+            &self.mha.wv,
+            &self.mha.wo,
+            &self.ff1,
+            &self.ff2,
+        ]
     }
 
     /// The shared forward body: the same dataflow as
@@ -214,9 +219,10 @@ impl SparseEncoderBlock {
         for (o, a) in h.as_mut_slice().iter_mut().zip(attn.as_slice()) {
             *o += a;
         }
-        let ff = self
-            .ff2
-            .forward_via(path, &gelu(&self.ff1.forward_via(path, &self.ln2.forward(&h))));
+        let ff = self.ff2.forward_via(
+            path,
+            &gelu(&self.ff1.forward_via(path, &self.ln2.forward(&h))),
+        );
         for (o, f) in h.as_mut_slice().iter_mut().zip(ff.as_slice()) {
             *o += f;
         }
@@ -255,7 +261,10 @@ mod tests {
         // GPT-3's total parameters ~ 175B: layers x layer_params plus
         // embeddings; the matrix part alone is ~174B.
         let total = g3.layers * g3.layer_params;
-        assert!(total > 170_000_000_000 && total < 180_000_000_000, "total={total}");
+        assert!(
+            total > 170_000_000_000 && total < 180_000_000_000,
+            "total={total}"
+        );
     }
 
     #[test]
@@ -280,7 +289,12 @@ mod tests {
         assert_eq!((y.rows(), y.cols()), (16, 32));
         assert!(y.as_slice().iter().all(|v| v.is_finite()));
         // Residual path: output correlates with input (not wiped out).
-        let dot: f32 = y.as_slice().iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        let dot: f32 = y
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!(dot != 0.0);
     }
 
@@ -293,7 +307,10 @@ mod tests {
             SparseEncoderBlock::from_dense(&engine, &block, venom_format::VnmConfig::new(16, 2, 4));
         let x = random::activation_matrix(16, 32, 4);
         assert_eq!(sparse.forward(&x), sparse.forward_percall(&x));
-        assert!(sparse.plans().iter().all(|p| p.format() == MatmulFormat::Vnm));
+        assert!(sparse
+            .plans()
+            .iter()
+            .all(|p| p.format() == MatmulFormat::Vnm));
     }
 
     #[test]

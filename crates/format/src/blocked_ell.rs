@@ -47,9 +47,8 @@ impl BlockedEllMatrix {
         let mut populated: Vec<Vec<u32>> = vec![Vec::new(); brs];
         for br in 0..brs {
             for bc in 0..bcs {
-                let nonzero = (0..bs).any(|i| {
-                    (0..bs).any(|j| !dense.get(br * bs + i, bc * bs + j).is_zero())
-                });
+                let nonzero = (0..bs)
+                    .any(|i| (0..bs).any(|j| !dense.get(br * bs + i, bc * bs + j).is_zero()));
                 if nonzero {
                     populated[br].push(bc as u32);
                 }
@@ -78,7 +77,14 @@ impl BlockedEllMatrix {
                 }
             }
         }
-        BlockedEllMatrix { bs, rows, cols, ell_width, block_cols, values }
+        BlockedEllMatrix {
+            bs,
+            rows,
+            cols,
+            ell_width,
+            block_cols,
+            values,
+        }
     }
 
     /// Block size.
@@ -209,30 +215,32 @@ impl BlockedEllMatrix {
         let b_f32 = venom_fp16::slice::decode_f32_vec(b.as_slice());
         let table = venom_fp16::f16_to_f32_table();
         let mut out = vec![0.0f32; self.rows * bcols];
-        out.par_chunks_mut(self.bs * bcols).enumerate().for_each(|(br, chunk)| {
-            for slot in 0..self.ell_width {
-                let bc = self.block_cols[br * self.ell_width + slot];
-                if bc == PAD {
-                    continue;
-                }
-                let base = (br * self.ell_width + slot) * self.bs * self.bs;
-                for i in 0..self.bs {
-                    let orow = &mut chunk[i * bcols..(i + 1) * bcols];
-                    for j in 0..self.bs {
-                        let v = self.values[base + i * self.bs + j];
-                        if v.is_zero() {
-                            continue;
-                        }
-                        let vf = table[v.to_bits() as usize];
-                        let k = bc as usize * self.bs + j;
-                        let brow = &b_f32[k * bcols..(k + 1) * bcols];
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += vf * bv;
+        out.par_chunks_mut(self.bs * bcols)
+            .enumerate()
+            .for_each(|(br, chunk)| {
+                for slot in 0..self.ell_width {
+                    let bc = self.block_cols[br * self.ell_width + slot];
+                    if bc == PAD {
+                        continue;
+                    }
+                    let base = (br * self.ell_width + slot) * self.bs * self.bs;
+                    for i in 0..self.bs {
+                        let orow = &mut chunk[i * bcols..(i + 1) * bcols];
+                        for j in 0..self.bs {
+                            let v = self.values[base + i * self.bs + j];
+                            if v.is_zero() {
+                                continue;
+                            }
+                            let vf = table[v.to_bits() as usize];
+                            let k = bc as usize * self.bs + j;
+                            let brow = &b_f32[k * bcols..(k + 1) * bcols];
+                            for (o, &bv) in orow.iter_mut().zip(brow) {
+                                *o += vf * bv;
+                            }
                         }
                     }
                 }
-            }
-        });
+            });
         Matrix::from_vec(self.rows, bcols, out)
     }
 }
@@ -289,13 +297,19 @@ mod tests {
 
     #[test]
     fn spmm_parallel_is_bit_identical_to_spmm_ref() {
-        for (rows, cols, bs, keep, seed) in
-            [(16usize, 32usize, 8usize, 0.3, 2u64), (24, 48, 4, 0.5, 7), (32, 16, 16, 0.9, 9)]
-        {
+        for (rows, cols, bs, keep, seed) in [
+            (16usize, 32usize, 8usize, 0.3, 2u64),
+            (24, 48, 4, 0.5, 7),
+            (32, 16, 16, 0.9, 9),
+        ] {
             let a = block_sparse(rows, cols, bs, keep, seed);
             let ell = BlockedEllMatrix::from_dense(&a, bs);
             let b = random::normal_matrix(cols, 13, 0.0, 1.0, seed + 1).to_half();
-            assert_eq!(ell.spmm_parallel(&b), ell.spmm_ref(&b), "bs={bs} seed={seed}");
+            assert_eq!(
+                ell.spmm_parallel(&b),
+                ell.spmm_ref(&b),
+                "bs={bs} seed={seed}"
+            );
         }
     }
 

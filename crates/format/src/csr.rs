@@ -33,7 +33,13 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Builds CSR keeping the entries selected by `mask`.
@@ -41,7 +47,11 @@ impl CsrMatrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn from_masked(dense: &Matrix<Half>, mask: &SparsityMask) -> Self {
-        assert_eq!((dense.rows(), dense.cols()), (mask.rows(), mask.cols()), "shape mismatch");
+        assert_eq!(
+            (dense.rows(), dense.cols()),
+            (mask.rows(), mask.cols()),
+            "shape mismatch"
+        );
         Self::from_dense(&mask.apply_half(dense))
     }
 
@@ -73,7 +83,10 @@ impl CsrMatrix {
     /// `(col_idx, value)` pairs of one row.
     pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, Half)> + '_ {
         let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
-        self.col_idx[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+        self.col_idx[s..e]
+            .iter()
+            .copied()
+            .zip(self.values[s..e].iter().copied())
     }
 
     /// Nonzeros in row `r`.

@@ -49,13 +49,24 @@ impl CvseMatrix {
                 if (r0..r1).any(|r| !dense.get(r, c).is_zero()) {
                     col_idx.push(c as u32);
                     for r in r0..r0 + l {
-                        values.push(if r < rows { dense.get(r, c) } else { Half::ZERO });
+                        values.push(if r < rows {
+                            dense.get(r, c)
+                        } else {
+                            Half::ZERO
+                        });
                     }
                 }
             }
             band_ptr.push(col_idx.len());
         }
-        CvseMatrix { l, rows, cols, band_ptr, col_idx, values }
+        CvseMatrix {
+            l,
+            rows,
+            cols,
+            band_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Vector length.
@@ -102,7 +113,10 @@ impl CvseMatrix {
         if self.col_idx.is_empty() {
             return 1.0;
         }
-        let max = (0..self.bands()).map(|b| self.band_nnz_vectors(b)).max().unwrap_or(0);
+        let max = (0..self.bands())
+            .map(|b| self.band_nnz_vectors(b))
+            .max()
+            .unwrap_or(0);
         let mean = self.col_idx.len() as f64 / self.bands() as f64;
         (max as f64 / mean).max(1.0)
     }
@@ -173,21 +187,23 @@ impl CvseMatrix {
         let b_f32 = venom_fp16::slice::decode_f32_vec(b.as_slice());
         let table = venom_fp16::f16_to_f32_table();
         let mut out = vec![0.0f32; self.rows * bcols];
-        out.par_chunks_mut(self.l * bcols).enumerate().for_each(|(band, chunk)| {
-            let rows_here = chunk.len() / bcols;
-            for (c, vals) in self.band(band) {
-                let brow = &b_f32[c as usize * bcols..][..bcols];
-                for (i, &v) in vals.iter().enumerate() {
-                    if i >= rows_here || v.is_zero() {
-                        continue;
-                    }
-                    let vf = table[v.to_bits() as usize];
-                    for (o, &bv) in chunk[i * bcols..(i + 1) * bcols].iter_mut().zip(brow) {
-                        *o += vf * bv;
+        out.par_chunks_mut(self.l * bcols)
+            .enumerate()
+            .for_each(|(band, chunk)| {
+                let rows_here = chunk.len() / bcols;
+                for (c, vals) in self.band(band) {
+                    let brow = &b_f32[c as usize * bcols..][..bcols];
+                    for (i, &v) in vals.iter().enumerate() {
+                        if i >= rows_here || v.is_zero() {
+                            continue;
+                        }
+                        let vf = table[v.to_bits() as usize];
+                        for (o, &bv) in chunk[i * bcols..(i + 1) * bcols].iter_mut().zip(brow) {
+                            *o += vf * bv;
+                        }
                     }
                 }
-            }
-        });
+            });
         Matrix::from_vec(self.rows, bcols, out)
     }
 }

@@ -8,6 +8,8 @@
 //! * [`VnmMatrix`] — the paper's V:N:M format (Fig. 3): values, `m-indices`
 //!   (2-bit, relative to the four selected columns) and `column-loc`
 //!   (which 4 of each block's M columns survived vector-wise pruning).
+//! * [`QuantVnmMatrix`] — the int8-quantized V:N:M container: the same
+//!   metadata with a 1-byte value plane and per-row symmetric scales.
 //! * [`storage`] — the interleaved kernel storage order of Fig. 7 (128-bit
 //!   per-thread chunks, coalesced, no `ldmatrix` required).
 //! * [`CsrMatrix`] — compressed sparse rows, the Sputnik baseline format.
@@ -24,6 +26,7 @@ pub mod csr;
 pub mod cvse;
 pub mod mask;
 pub mod nm;
+pub mod qvnm;
 pub mod sparse_kernel;
 pub mod storage;
 pub mod vnm;
@@ -33,6 +36,7 @@ pub use csr::CsrMatrix;
 pub use cvse::CvseMatrix;
 pub use mask::SparsityMask;
 pub use nm::NmCompressed;
+pub use qvnm::QuantVnmMatrix;
 pub use sparse_kernel::{MatmulFormat, SparseKernel};
 pub use storage::StorageOrder;
 pub use vnm::VnmMatrix;

@@ -32,7 +32,12 @@ impl SparsityMask {
     pub fn empty(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "mask dimensions must be nonzero");
         let words_per_row = cols.div_ceil(64);
-        SparsityMask { rows, cols, words_per_row, bits: vec![0; rows * words_per_row] }
+        SparsityMask {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
     }
 
     /// Builds a mask from a predicate of `(row, col)`.
@@ -173,8 +178,18 @@ impl SparsityMask {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn apply_f32(&self, m: &Matrix<f32>) -> Matrix<f32> {
-        assert_eq!((m.rows(), m.cols()), (self.rows, self.cols), "shape mismatch");
-        Matrix::from_fn(self.rows, self.cols, |r, c| if self.get(r, c) { m.get(r, c) } else { 0.0 })
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (self.rows, self.cols),
+            "shape mismatch"
+        );
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            if self.get(r, c) {
+                m.get(r, c)
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Applies the mask to a half matrix, zeroing pruned entries.
@@ -182,12 +197,18 @@ impl SparsityMask {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn apply_half(&self, m: &Matrix<Half>) -> Matrix<Half> {
-        assert_eq!((m.rows(), m.cols()), (self.rows, self.cols), "shape mismatch");
-        Matrix::from_fn(
-            self.rows,
-            self.cols,
-            |r, c| if self.get(r, c) { m.get(r, c) } else { Half::ZERO },
-        )
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (self.rows, self.cols),
+            "shape mismatch"
+        );
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            if self.get(r, c) {
+                m.get(r, c)
+            } else {
+                Half::ZERO
+            }
+        })
     }
 
     /// Element-wise AND of two equal-shape masks.
@@ -195,7 +216,11 @@ impl SparsityMask {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn and(&self, other: &SparsityMask) -> SparsityMask {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let mut out = self.clone();
         for (a, b) in out.bits.iter_mut().zip(&other.bits) {
             *a &= b;
@@ -254,7 +279,11 @@ mod tests {
     fn vnm_compliance_requires_shared_columns() {
         let cfg = VnmConfig::new(2, 2, 8);
         // Both rows use columns {0,1,2,3}: 4 distinct columns, compliant.
-        let ok = SparsityMask::from_fn(2, 8, |r, c| if r == 0 { c < 2 } else { (2..4).contains(&c) });
+        let ok = SparsityMask::from_fn(
+            2,
+            8,
+            |r, c| if r == 0 { c < 2 } else { (2..4).contains(&c) },
+        );
         assert!(ok.complies_vnm(cfg));
         // Rows use {0,1} and {4,5}... plus row 0 also uses {6}: > 4 distinct.
         let mut bad = SparsityMask::empty(2, 8);

@@ -36,7 +36,11 @@ impl NmCompressed {
     /// Panics if shapes mismatch, the mask violates the N:M pattern, or
     /// `cfg.m > 256` (indices are stored as bytes).
     pub fn compress(dense: &Matrix<Half>, mask: &SparsityMask, cfg: NmConfig) -> Self {
-        assert_eq!((dense.rows(), dense.cols()), (mask.rows(), mask.cols()), "shape mismatch");
+        assert_eq!(
+            (dense.rows(), dense.cols()),
+            (mask.rows(), mask.cols()),
+            "shape mismatch"
+        );
         assert!(cfg.m <= 256, "group width must fit a byte index");
         assert!(mask.complies_nm(cfg), "mask violates the {cfg} pattern");
 
@@ -69,7 +73,14 @@ impl NmCompressed {
             }
         }
 
-        NmCompressed { cfg, rows, cols, groups_per_row, values, indices }
+        NmCompressed {
+            cfg,
+            rows,
+            cols,
+            groups_per_row,
+            values,
+            indices,
+        }
     }
 
     /// One-step magnitude compression: prunes to N:M by keeping the
@@ -118,7 +129,8 @@ impl NmCompressed {
     /// Bytes of the metadata when packed at the hardware's 2 bits per index
     /// (valid for m = 4; for larger m we charge ceil(log2(m)) bits).
     pub fn metadata_bytes(&self) -> usize {
-        let bits_per_index = usize::max(2, (usize::BITS - (self.cfg.m - 1).leading_zeros()) as usize);
+        let bits_per_index =
+            usize::max(2, (usize::BITS - (self.cfg.m - 1).leading_zeros()) as usize);
         (self.indices.len() * bits_per_index).div_ceil(8)
     }
 
@@ -217,9 +229,7 @@ pub fn magnitude_nm_mask(w: &Matrix<f32>, cfg: NmConfig) -> SparsityMask {
             let c0 = g * cfg.m;
             let c1 = (c0 + cfg.m).min(w.cols());
             let mut cols: Vec<usize> = (c0..c1).collect();
-            cols.sort_by(|&a, &b| {
-                w.get(r, b).abs().partial_cmp(&w.get(r, a).abs()).unwrap()
-            });
+            cols.sort_by(|&a, &b| w.get(r, b).abs().partial_cmp(&w.get(r, a).abs()).unwrap());
             for &c in cols.iter().take(cfg.n) {
                 mask.set(r, c, true);
             }
@@ -233,7 +243,12 @@ mod tests {
     use super::*;
     use venom_tensor::random;
 
-    fn random_nm(rows: usize, cols: usize, cfg: NmConfig, seed: u64) -> (Matrix<Half>, SparsityMask) {
+    fn random_nm(
+        rows: usize,
+        cols: usize,
+        cfg: NmConfig,
+        seed: u64,
+    ) -> (Matrix<Half>, SparsityMask) {
         let dense = random::normal_matrix(rows, cols, 0.0, 1.0, seed);
         let mask = magnitude_nm_mask(&dense, cfg);
         (mask.apply_f32(&dense).to_half(), mask)
@@ -323,7 +338,11 @@ mod tests {
             let (dense, mask) = random_nm(rows, cols, cfg, seed);
             let comp = NmCompressed::compress(&dense, &mask, cfg);
             let b = random::normal_matrix(cols, 9, 0.0, 1.0, seed + 1).to_half();
-            assert_eq!(comp.spmm_parallel(&b), comp.spmm_ref(&b), "{cfg} seed={seed}");
+            assert_eq!(
+                comp.spmm_parallel(&b),
+                comp.spmm_ref(&b),
+                "{cfg} seed={seed}"
+            );
         }
     }
 

@@ -65,7 +65,11 @@ impl MatmulFormat {
     /// The comma-separated list of valid format names (for error
     /// messages and usage text).
     pub fn valid_names() -> String {
-        Self::ALL.iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
+        Self::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 
     /// Parses a format name as the CLI spells it.
@@ -177,7 +181,7 @@ impl SparseKernel for VnmMatrix {
 /// emitted operands per row (preserving each row's accumulation order)
 /// and replays rows in parallel — bit-identical to the kernel's
 /// `spmm_ref` by the `for_each_operand` contract.
-fn parallel_from_operands(kernel: &dyn SparseKernel, b: &Matrix<Half>) -> Matrix<f32> {
+pub(crate) fn parallel_from_operands(kernel: &dyn SparseKernel, b: &Matrix<Half>) -> Matrix<f32> {
     let (rows, k) = kernel.shape();
     assert_eq!(b.rows(), k, "B must have {k} rows");
     let bcols = b.cols();
@@ -443,7 +447,10 @@ mod tests {
             assert_eq!(f.to_string(), f.name());
         }
         let err = MatmulFormat::parse("sparse-ish").unwrap_err();
-        assert!(err.contains("blocked-ell") && err.contains("dense"), "{err}");
+        assert!(
+            err.contains("blocked-ell") && err.contains("dense"),
+            "{err}"
+        );
         assert!("csr".parse::<MatmulFormat>().is_ok());
     }
 
@@ -484,7 +491,10 @@ mod tests {
 
         let kernels: Vec<Box<dyn SparseKernel>> = vec![
             Box::new(VnmMatrix::compress(&pruned, &mask, cfg)),
-            Box::new(NmCompressed::compress_magnitude(&pruned, NmConfig::new(2, 4))),
+            Box::new(NmCompressed::compress_magnitude(
+                &pruned,
+                NmConfig::new(2, 4),
+            )),
             Box::new(CsrMatrix::from_dense(&pruned)),
             Box::new(CvseMatrix::from_dense(&pruned, 8)),
             Box::new(BlockedEllMatrix::from_dense(&pruned, 8)),
@@ -492,8 +502,18 @@ mod tests {
         ];
         for k in &kernels {
             let want = k.spmm_ref(&b);
-            assert_eq!(replay(k.as_ref(), &b), want, "stream replay for {}", k.format());
-            assert_eq!(k.spmm_parallel(&b), want, "parallel path for {}", k.format());
+            assert_eq!(
+                replay(k.as_ref(), &b),
+                want,
+                "stream replay for {}",
+                k.format()
+            );
+            assert_eq!(
+                k.spmm_parallel(&b),
+                want,
+                "parallel path for {}",
+                k.format()
+            );
             assert_eq!(k.shape(), (32, 32));
             assert!(k.compressed_bytes() > 0);
         }

@@ -75,7 +75,11 @@ pub fn to_interleaved<T: Copy>(data: &[T], rows: usize, slots: usize, fill: T) -
 /// # Panics
 /// Panics if `data.len() != interleaved_len(rows, slots)`.
 pub fn from_interleaved<T: Copy + Default>(data: &[T], rows: usize, slots: usize) -> Vec<T> {
-    assert_eq!(data.len(), interleaved_len(rows, slots), "buffer length must be padded tiles");
+    assert_eq!(
+        data.len(),
+        interleaved_len(rows, slots),
+        "buffer length must be padded tiles"
+    );
     let mut out = vec![T::default(); rows * slots];
     for r in 0..rows {
         for s in 0..slots {

@@ -45,8 +45,15 @@ impl VnmMatrix {
     /// Panics if shapes mismatch, `cfg.m > 65535`, or the mask violates
     /// the V:N:M pattern.
     pub fn compress(dense: &Matrix<Half>, mask: &SparsityMask, cfg: VnmConfig) -> Self {
-        assert_eq!((dense.rows(), dense.cols()), (mask.rows(), mask.cols()), "shape mismatch");
-        assert!(cfg.m <= u16::MAX as usize, "group width must fit u16 column-loc entries");
+        assert_eq!(
+            (dense.rows(), dense.cols()),
+            (mask.rows(), mask.cols()),
+            "shape mismatch"
+        );
+        assert!(
+            cfg.m <= u16::MAX as usize,
+            "group width must fit u16 column-loc entries"
+        );
         assert!(mask.complies_vnm(cfg), "mask violates the {cfg} pattern");
 
         let rows = dense.rows();
@@ -104,7 +111,16 @@ impl VnmMatrix {
             }
         }
 
-        VnmMatrix { cfg, rows, cols, k_groups, row_blocks, values, m_indices, column_loc }
+        VnmMatrix {
+            cfg,
+            rows,
+            cols,
+            k_groups,
+            row_blocks,
+            values,
+            m_indices,
+            column_loc,
+        }
     }
 
     /// The pattern descriptor.
@@ -263,8 +279,7 @@ impl VnmMatrix {
                         continue;
                     }
                     let j = self.m_indices[slot] as usize;
-                    let rel =
-                        self.column_loc[(blk * self.k_groups + g) * SELECTED_COLUMNS + j];
+                    let rel = self.column_loc[(blk * self.k_groups + g) * SELECTED_COLUMNS + j];
                     let k = g * self.cfg.m + rel as usize;
                     let vf = v.to_f32();
                     for (o, &bv) in orow.iter_mut().zip(b.row(k)) {
@@ -289,8 +304,7 @@ impl VnmMatrix {
                         continue;
                     }
                     let j = self.m_indices[slot] as usize;
-                    let rel =
-                        self.column_loc[(b * self.k_groups + g) * SELECTED_COLUMNS + j];
+                    let rel = self.column_loc[(b * self.k_groups + g) * SELECTED_COLUMNS + j];
                     f(r, g * self.cfg.m + rel as usize, v);
                 }
             }
@@ -396,7 +410,8 @@ mod tests {
         let cond = vnm.condensed();
         assert_eq!(cond.cols(), vnm.k_groups() * SELECTED_COLUMNS);
         // Every aligned group of 4 condensed columns has <= 2 nonzeros.
-        let cmask = SparsityMask::from_fn(cond.rows(), cond.cols(), |r, c| !cond.get(r, c).is_zero());
+        let cmask =
+            SparsityMask::from_fn(cond.rows(), cond.cols(), |r, c| !cond.get(r, c).is_zero());
         assert!(cmask.complies_nm(crate::NmConfig::new(2, 4)));
     }
 

@@ -13,14 +13,20 @@
 //! * Buffer sizes are exactly `R x K/M*N` (values, m-indices) and
 //!   `R/V x K/M*4` (column-loc).
 
-use venom_fp16::Half;
 use venom_format::{SparsityMask, VnmConfig, VnmMatrix, SELECTED_COLUMNS};
+use venom_fp16::Half;
 use venom_tensor::{random, Matrix};
 
 /// The satellite grid: every V the paper's kernels tile by, at 75% (2:8)
 /// and 87.5% (2:16) sparsity.
-const GRID: [(usize, usize, usize); 6] =
-    [(8, 2, 8), (8, 2, 16), (64, 2, 8), (64, 2, 16), (128, 2, 8), (128, 2, 16)];
+const GRID: [(usize, usize, usize); 6] = [
+    (8, 2, 8),
+    (8, 2, 16),
+    (64, 2, 8),
+    (64, 2, 16),
+    (128, 2, 8),
+    (128, 2, 16),
+];
 
 /// Miniature magnitude V:N:M pruner (kept local so format tests do not
 /// depend on the pruner crate).
@@ -41,9 +47,7 @@ fn vnm_mask(w: &Matrix<f32>, cfg: VnmConfig) -> SparsityMask {
             let sel: Vec<usize> = cols.into_iter().take(SELECTED_COLUMNS).collect();
             for r in r0..r1 {
                 let mut sc = sel.clone();
-                sc.sort_by(|&a, &bc| {
-                    w.get(r, bc).abs().partial_cmp(&w.get(r, a).abs()).unwrap()
-                });
+                sc.sort_by(|&a, &bc| w.get(r, bc).abs().partial_cmp(&w.get(r, a).abs()).unwrap());
                 for &c in sc.iter().take(cfg.n) {
                     mask.set(r, c, true);
                 }
@@ -68,7 +72,10 @@ fn roundtrip_across_config_grid() {
         // Two row blocks and four K groups of exact size.
         let (dense, vnm) = compressed(v * 2, m * 4, cfg, 40 + i as u64);
         assert_eq!(vnm.decompress(), dense, "round-trip failed for {cfg}");
-        assert_eq!(vnm.nnz(), dense.as_slice().iter().filter(|h| !h.is_zero()).count());
+        assert_eq!(
+            vnm.nnz(),
+            dense.as_slice().iter().filter(|h| !h.is_zero()).count()
+        );
     }
 }
 
@@ -95,14 +102,21 @@ fn buffer_sizes_match_figure3_across_grid() {
         let (_, vnm) = compressed(rows, cols, cfg, 80 + i as u64);
         let k_groups = cols / m;
         assert_eq!(vnm.values().len(), rows * k_groups * n, "{cfg} values");
-        assert_eq!(vnm.m_indices().len(), rows * k_groups * n, "{cfg} m-indices");
+        assert_eq!(
+            vnm.m_indices().len(),
+            rows * k_groups * n,
+            "{cfg} m-indices"
+        );
         assert_eq!(
             vnm.column_loc().len(),
             (rows / v) * k_groups * SELECTED_COLUMNS,
             "{cfg} column-loc"
         );
         // 2 bits per m-index, as the hardware metadata format packs them.
-        assert_eq!(vnm.m_indices_bytes(), (vnm.m_indices().len() * 2).div_ceil(8));
+        assert_eq!(
+            vnm.m_indices_bytes(),
+            (vnm.m_indices().len() * 2).div_ceil(8)
+        );
     }
 }
 
@@ -113,7 +127,9 @@ fn m_indices_address_the_selection() {
         let (_, vnm) = compressed(v * 2, m * 4 + m / 2, cfg, 100 + i as u64);
         // Every m-index fits the 2:4 hardware metadata (2 bits).
         assert!(
-            vnm.m_indices().iter().all(|&j| (j as usize) < SELECTED_COLUMNS),
+            vnm.m_indices()
+                .iter()
+                .all(|&j| (j as usize) < SELECTED_COLUMNS),
             "{cfg}: m-index out of 2-bit range"
         );
         // Live entries of each row-group are strictly increasing: values

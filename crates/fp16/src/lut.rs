@@ -34,7 +34,9 @@ pub fn f16_to_f32_table() -> &'static [f32; LUT_ENTRIES] {
         }
         // The vec has exactly LUT_ENTRIES elements, so the conversion to a
         // fixed-size boxed array cannot fail.
-        t.into_boxed_slice().try_into().expect("table length is LUT_ENTRIES")
+        t.into_boxed_slice()
+            .try_into()
+            .expect("table length is LUT_ENTRIES")
     })
 }
 
@@ -67,8 +69,13 @@ mod tests {
 
     #[test]
     fn scalar_entry_points_agree() {
-        for bits in [0x0000u16, 0x8000, 0x3C00, 0x0001, 0x03FF, 0x7BFF, 0x7C00, 0x7E00, 0xFC01] {
-            assert_eq!(f16_bits_to_f32_lut(bits).to_bits(), f16_bits_to_f32(bits).to_bits());
+        for bits in [
+            0x0000u16, 0x8000, 0x3C00, 0x0001, 0x03FF, 0x7BFF, 0x7C00, 0x7E00, 0xFC01,
+        ] {
+            assert_eq!(
+                f16_bits_to_f32_lut(bits).to_bits(),
+                f16_bits_to_f32(bits).to_bits()
+            );
         }
     }
 }

@@ -18,7 +18,11 @@ use venom_tensor::Matrix;
 /// # Panics
 /// Panics on shape mismatch.
 pub fn energy(w: &Matrix<f32>, mask: &SparsityMask) -> f64 {
-    assert_eq!((w.rows(), w.cols()), (mask.rows(), mask.cols()), "shape mismatch");
+    assert_eq!(
+        (w.rows(), w.cols()),
+        (mask.rows(), mask.cols()),
+        "shape mismatch"
+    );
     let mut kept = 0.0f64;
     let mut total = 0.0f64;
     for r in 0..w.rows() {

@@ -18,7 +18,11 @@ use venom_tensor::Matrix;
 /// Mean gradient over the per-sample gradient matrix (`n x (rows*cols)`),
 /// reshaped to the weight's shape.
 fn mean_gradient(grads: &Matrix<f32>, rows: usize, cols: usize) -> Matrix<f32> {
-    assert_eq!(grads.cols(), rows * cols, "gradients must cover every weight");
+    assert_eq!(
+        grads.cols(),
+        rows * cols,
+        "gradients must cover every weight"
+    );
     let n = grads.rows() as f32;
     Matrix::from_fn(rows, cols, |r, c| {
         let j = r * cols + c;

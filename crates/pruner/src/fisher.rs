@@ -81,7 +81,11 @@ impl FisherInverse {
             })
             .collect();
 
-        FisherInverse { block_size, d, blocks }
+        FisherInverse {
+            block_size,
+            d,
+            blocks,
+        }
     }
 
     /// Number of weights covered.
@@ -104,7 +108,9 @@ impl FisherInverse {
 
     /// Iterates `(start, len, inverse)` over all blocks.
     pub fn blocks(&self) -> impl Iterator<Item = (usize, usize, &[f64])> {
-        self.blocks.iter().map(|b| (b.start, b.len, b.inv.as_slice()))
+        self.blocks
+            .iter()
+            .map(|b| (b.start, b.len, b.inv.as_slice()))
     }
 
     /// Diagonal entry `[F^-1]_ii` for weight `idx` (used by the pair-wise

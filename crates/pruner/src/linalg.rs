@@ -76,7 +76,9 @@ pub fn quadratic_form(a: &[f64], x: &[f64], n: usize) -> f64 {
 pub fn matvec(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
     assert_eq!(a.len(), n * n);
     assert_eq!(x.len(), n);
-    (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect()
+    (0..n)
+        .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+        .collect()
 }
 
 #[cfg(test)]
@@ -114,7 +116,8 @@ mod tests {
         let mut a = vec![0.0f64; n * n];
         for i in 0..n {
             for j in 0..n {
-                a[i * n + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 2.0 } else { 0.0 };
+                a[i * n + j] =
+                    1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 2.0 } else { 0.0 };
             }
         }
         let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();

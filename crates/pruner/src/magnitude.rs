@@ -55,9 +55,7 @@ pub fn prune_vnm(w: &Matrix<f32>, cfg: VnmConfig) -> SparsityMask {
             // Stage 2: N:M within the selected columns, per row.
             for r in r0..r1 {
                 let mut sc = sel.clone();
-                sc.sort_by(|&a, &bc| {
-                    w.get(r, bc).abs().partial_cmp(&w.get(r, a).abs()).unwrap()
-                });
+                sc.sort_by(|&a, &bc| w.get(r, bc).abs().partial_cmp(&w.get(r, a).abs()).unwrap());
                 for &c in sc.iter().take(cfg.n) {
                     mask.set(r, c, true);
                 }
@@ -179,7 +177,10 @@ mod tests {
         for band in 0..8 {
             for c in 0..80 {
                 let states: Vec<bool> = (band * 8..band * 8 + 8).map(|r| mask.get(r, c)).collect();
-                assert!(states.iter().all(|&s| s == states[0]), "band {band} col {c}");
+                assert!(
+                    states.iter().all(|&s| s == states[0]),
+                    "band {band} col {c}"
+                );
             }
         }
     }

@@ -203,7 +203,9 @@ fn select_pairwise(w: &[f64], inv: &[f64], len: usize, n: usize) -> Vec<usize> {
         }
     }
     let s_tot: f64 = s.iter().sum();
-    let p_tot: f64 = (0..len).map(|i| (i + 1..len).map(|j| inter[i * len + j]).sum::<f64>()).sum();
+    let p_tot: f64 = (0..len)
+        .map(|i| (i + 1..len).map(|j| inter[i * len + j]).sum::<f64>())
+        .sum();
     let score_keep = |keep: &[usize]| -> f64 {
         // rho of pruning the complement under the approximation.
         let kept_s: f64 = keep.iter().map(|&k| s[k]).sum();
@@ -264,7 +266,9 @@ mod tests {
     #[test]
     fn saliency_with_identity_fisher_is_separable() {
         let len = 4;
-        let inv: Vec<f64> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let inv: Vec<f64> = (0..16)
+            .map(|i| if i % 5 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let w = vec![1.0, 2.0, 3.0, 4.0];
         let rho = saliency(&w, &inv, len, &[1, 3]);
         assert!((rho - (4.0 + 16.0) / 2.0).abs() < 1e-12);
@@ -302,7 +306,10 @@ mod tests {
         // *together* because the compensation shifts weight between them.
         let rho_pair = saliency(&w, &inv, len, &[0, 1]);
         let rho_mixed = saliency(&w, &inv, len, &[0, 2]);
-        assert!(rho_pair < rho_mixed, "correlated pair should be cheaper: {rho_pair} vs {rho_mixed}");
+        assert!(
+            rho_pair < rho_mixed,
+            "correlated pair should be cheaper: {rho_pair} vs {rho_mixed}"
+        );
         let keep = select_keep_set(&w, &inv, len, 1, KeepSelectMode::Exact);
         assert_eq!(keep, vec![2], "keep the uncorrelated weight");
     }

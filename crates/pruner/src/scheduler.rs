@@ -81,7 +81,11 @@ impl StructureDecayScheduler {
             n_sequence.windows(2).all(|w| w[0] > w[1]),
             "N sequence must be strictly decreasing"
         );
-        assert_eq!(*n_sequence.last().unwrap(), target.n, "schedule must end at the target N");
+        assert_eq!(
+            *n_sequence.last().unwrap(),
+            target.n,
+            "schedule must end at the target N"
+        );
         Self::from_n_sequence(target, n_sequence)
     }
 
@@ -153,7 +157,10 @@ mod tests {
         let sched = StructureDecayScheduler::halving(VnmConfig::new(128, 2, 8));
         let ns: Vec<usize> = sched.steps().iter().map(|s| s.n()).collect();
         assert_eq!(ns, vec![4, 2]);
-        assert!(matches!(sched.steps()[0], DecayStep::Vnm(_)), "N=4 already fits the V structure");
+        assert!(
+            matches!(sched.steps()[0], DecayStep::Vnm(_)),
+            "N=4 already fits the V structure"
+        );
     }
 
     #[test]
@@ -170,7 +177,10 @@ mod tests {
         let target = VnmConfig::new(64, 2, 16);
         let sched = StructureDecayScheduler::explicit(target, &[6, 4, 2]);
         assert_eq!(sched.len(), 3);
-        assert!(matches!(sched.steps()[0], DecayStep::Nm(_)), "N=6 exceeds the column budget");
+        assert!(
+            matches!(sched.steps()[0], DecayStep::Nm(_)),
+            "N=6 exceeds the column budget"
+        );
     }
 
     #[test]

@@ -60,8 +60,16 @@ pub fn prune_vnm_second_order(
     opts: &SecondOrderOptions,
 ) -> (SparsityMask, Matrix<f32>) {
     let (rows, cols) = (w.rows(), w.cols());
-    assert_eq!(grads.cols(), rows * cols, "gradients must cover every weight");
-    assert_eq!(cols % cfg.m, 0, "K must be a multiple of M so Fisher blocks align with groups");
+    assert_eq!(
+        grads.cols(),
+        rows * cols,
+        "gradients must cover every weight"
+    );
+    assert_eq!(
+        cols % cfg.m,
+        0,
+        "K must be a multiple of M so Fisher blocks align with groups"
+    );
 
     // 1. Row-group Fisher blocks (block size M never straddles a row
     //    because M divides K).
@@ -87,8 +95,7 @@ pub fn prune_vnm_second_order(
                     let base = r * cols + g * cfg.m;
                     let (start, len, inv) = fisher.block_for(base);
                     debug_assert_eq!(start, base);
-                    let wrow: Vec<f64> =
-                        (0..len).map(|i| w.get(r, g * cfg.m + i) as f64).collect();
+                    let wrow: Vec<f64> = (0..len).map(|i| w.get(r, g * cfg.m + i) as f64).collect();
                     for (c, score) in col_scores.iter_mut().enumerate() {
                         *score += obs::single_saliency(&wrow, inv, len, c);
                     }
@@ -102,8 +109,7 @@ pub fn prune_vnm_second_order(
                 for r in r0..r1 {
                     let base = r * cols + g * cfg.m;
                     let (_, len, inv) = fisher.block_for(base);
-                    let wrow: Vec<f64> =
-                        (0..len).map(|i| w.get(r, g * cfg.m + i) as f64).collect();
+                    let wrow: Vec<f64> = (0..len).map(|i| w.get(r, g * cfg.m + i) as f64).collect();
                     // Project to the 4 selected columns and pick n with the
                     // block's sub-inverse.
                     let ns = selected.len();
@@ -141,8 +147,9 @@ pub fn prune_vnm_second_order(
             if opts.update_weights {
                 let base = r * cols + g * cfg.m;
                 let (_, len, inv) = fisher.block_for(base);
-                let mut wrow: Vec<f64> =
-                    (0..len).map(|i| updated.get(r, g * cfg.m + i) as f64).collect();
+                let mut wrow: Vec<f64> = (0..len)
+                    .map(|i| updated.get(r, g * cfg.m + i) as f64)
+                    .collect();
                 let q: Vec<usize> = (0..len).filter(|i| !keep.contains(i)).collect();
                 obs::obs_update(&mut wrow, inv, len, &q);
                 for (i, &wv) in wrow.iter().enumerate() {
@@ -176,8 +183,16 @@ pub fn prune_nm_second_order(
     opts: &SecondOrderOptions,
 ) -> (SparsityMask, Matrix<f32>) {
     let (rows, cols) = (w.rows(), w.cols());
-    assert_eq!(grads.cols(), rows * cols, "gradients must cover every weight");
-    assert_eq!(cols % nm.m, 0, "K must be a multiple of M so Fisher blocks align with groups");
+    assert_eq!(
+        grads.cols(),
+        rows * cols,
+        "gradients must cover every weight"
+    );
+    assert_eq!(
+        cols % nm.m,
+        0,
+        "K must be a multiple of M so Fisher blocks align with groups"
+    );
 
     let fisher = FisherInverse::compute(grads, nm.m, opts.lambda);
     let k_groups = cols / nm.m;
@@ -205,8 +220,9 @@ pub fn prune_nm_second_order(
         let base = r * cols + g * nm.m;
         let (_, len, inv) = fisher.block_for(base);
         if opts.update_weights {
-            let mut wrow: Vec<f64> =
-                (0..len).map(|i| updated.get(r, g * nm.m + i) as f64).collect();
+            let mut wrow: Vec<f64> = (0..len)
+                .map(|i| updated.get(r, g * nm.m + i) as f64)
+                .collect();
             let q: Vec<usize> = (0..len).filter(|i| !keep.contains(i)).collect();
             obs::obs_update(&mut wrow, inv, len, &q);
             for (i, &wv) in wrow.iter().enumerate() {
@@ -270,15 +286,24 @@ mod tests {
             &w,
             &grads,
             cfg,
-            &SecondOrderOptions { update_weights: true, ..Default::default() },
+            &SecondOrderOptions {
+                update_weights: true,
+                ..Default::default()
+            },
         );
         let without = prune_vnm_second_order(
             &w,
             &grads,
             cfg,
-            &SecondOrderOptions { update_weights: false, ..Default::default() },
+            &SecondOrderOptions {
+                update_weights: false,
+                ..Default::default()
+            },
         );
-        assert_eq!(with.0, without.0, "selection must not depend on the update flag");
+        assert_eq!(
+            with.0, without.0,
+            "selection must not depend on the update flag"
+        );
         // At least one surviving weight must differ (the OBS delta).
         let mut changed = 0;
         for r in 0..8 {
@@ -338,8 +363,12 @@ mod tests {
                 let n = g.rows();
                 let mut acc = 0.0;
                 for s in 0..n {
-                    let dot: f64 =
-                        g.row(s).iter().zip(&dw).map(|(&gi, &di)| gi as f64 * di).sum();
+                    let dot: f64 = g
+                        .row(s)
+                        .iter()
+                        .zip(&dw)
+                        .map(|(&gi, &di)| gi as f64 * di)
+                        .sum();
                     acc += dot * dot;
                 }
                 acc / n as f64 + opts.lambda * dw.iter().map(|d| d * d).sum::<f64>()
@@ -375,8 +404,7 @@ mod tests {
         // N = 6 of M = 16: a structure-decay intermediate step (N > 4).
         let nm = venom_format::NmConfig::new(6, 16);
         let (w, grads) = toy(8, 32, 10, 6);
-        let (mask, updated) =
-            prune_nm_second_order(&w, &grads, nm, &SecondOrderOptions::default());
+        let (mask, updated) = prune_nm_second_order(&w, &grads, nm, &SecondOrderOptions::default());
         assert!(mask.complies_nm(nm));
         assert!((mask.sparsity() - nm.sparsity()).abs() < 0.02);
         for r in 0..8 {

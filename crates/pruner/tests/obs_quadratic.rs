@@ -115,7 +115,12 @@ fn exact_selection_is_globally_optimal_on_the_quadratic() {
 
     let keep = obs::select_keep_set(&w_star, &inv, n, keep_n, KeepSelectMode::Exact);
     let chosen_q: Vec<usize> = (0..n).filter(|i| !keep.contains(i)).collect();
-    let chosen_loss = loss(&h, &constrained_minimum(&h, &w_star, n, &chosen_q), &w_star, n);
+    let chosen_loss = loss(
+        &h,
+        &constrained_minimum(&h, &w_star, n, &chosen_q),
+        &w_star,
+        n,
+    );
 
     // Brute force all keep-sets.
     let mut best = f64::INFINITY;
@@ -162,5 +167,8 @@ fn fisher_inverse_feeds_obs_consistently() {
     let keep_fisher = obs::select_keep_set(&w_star, inv, n, 2, KeepSelectMode::Exact);
     let h_inv = invert(&h, n);
     let keep_true = obs::select_keep_set(&w_star, &h_inv, n, 2, KeepSelectMode::Exact);
-    assert_eq!(keep_fisher, keep_true, "selection should agree on benign curvature");
+    assert_eq!(
+        keep_fisher, keep_true,
+        "selection should agree on benign curvature"
+    );
 }

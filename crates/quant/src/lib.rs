@@ -1,0 +1,499 @@
+//! Calibrated symmetric int8 quantization for the sparse pipeline.
+//!
+//! Low-precision sparse kernels (Magicube; Table 1's `Uint8` rows) win on
+//! tensor cores because int8 halves operand bytes and doubles the k-depth
+//! of every `mma.sp` issue. This crate provides the numeric substrate for
+//! that path:
+//!
+//! * [`QuantParams`] — one symmetric scale (`x ≈ q * scale`, zero-point 0,
+//!   `q ∈ [-127, 127]`), the per-output-channel granularity the int8
+//!   weight plane stores.
+//! * [`Calibration`] — how the scale is derived from data: plain absolute
+//!   maximum, or a percentile of the magnitude distribution that clips
+//!   outliers in exchange for finer resolution of the bulk.
+//! * quantize/dequantize of weight matrices (per-row channels) and
+//!   activation slices (per-tensor).
+//! * [`gemm_ref_i8`] — the scalar `i32`-accumulating reference every int8
+//!   execution path in the workspace is validated against bit-for-bit.
+//!   Integer accumulation is exact, so the reference is order-independent:
+//!   any traversal of the same products must land on identical bits.
+//!
+//! The crate deliberately depends only on `venom-fp16`/`venom-tensor`; the
+//! quantized V:N:M container lives in `venom-format` and the
+//! i32-accumulating execution plan in `venom-runtime`, both on top of
+//! these primitives.
+
+use venom_fp16::Half;
+use venom_tensor::Matrix;
+
+/// Largest quantized magnitude of the symmetric i8 grid. `-128` is left
+/// unused so the grid is symmetric and negation stays exact.
+pub const QMAX: i32 = 127;
+
+/// Symmetric quantization parameters of one channel (or one tensor):
+/// `real ≈ quant * scale` with zero-point fixed at 0.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantParams {
+    /// Step size of the int8 grid; always positive and finite.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Parameters that map the range `[-absmax, absmax]` onto the i8 grid.
+    /// An all-zero channel (absmax 0) gets scale 1.0: everything quantizes
+    /// to 0 and dequantizes back to exactly 0.
+    pub fn from_absmax(absmax: f32) -> Self {
+        assert!(
+            absmax.is_finite() && absmax >= 0.0,
+            "absmax must be finite and non-negative"
+        );
+        let scale = if absmax > 0.0 {
+            absmax / QMAX as f32
+        } else {
+            1.0
+        };
+        QuantParams { scale }
+    }
+
+    /// Quantizes one value: round-to-nearest onto the grid, saturating at
+    /// `±QMAX` (values beyond the calibrated range clip).
+    #[inline]
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round();
+        q.clamp(-(QMAX as f32), QMAX as f32) as i8
+    }
+
+    /// Dequantizes one grid point (exact product: `|q| <= 127` has 7
+    /// significant bits, far inside f32).
+    #[inline]
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// The largest representable magnitude, `QMAX * scale`.
+    pub fn range(&self) -> f32 {
+        QMAX as f32 * self.scale
+    }
+}
+
+/// How a quantization scale is derived from observed values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Calibration {
+    /// Scale from the absolute maximum: no clipping, coarsest grid.
+    AbsMax,
+    /// Scale from the given percentile (in `(0, 100]`) of the magnitude
+    /// distribution: values beyond the threshold clip to `±QMAX`, the
+    /// bulk gets a finer grid. `Percentile(100.0)` equals [`Self::AbsMax`]
+    /// up to percentile interpolation.
+    Percentile(f64),
+}
+
+impl Calibration {
+    /// The CLI/report name of the calibrator.
+    pub fn name(&self) -> String {
+        match self {
+            Calibration::AbsMax => "absmax".to_string(),
+            Calibration::Percentile(p) => format!("p{p:.1}"),
+        }
+    }
+}
+
+impl core::fmt::Display for Calibration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Derives [`QuantParams`] from observed magnitudes under `calib`.
+///
+/// Zero values carry no calibration information (they quantize to 0 under
+/// any symmetric scale), so callers conventionally pass the *stored
+/// nonzeros* of a sparse channel; for dense activation tensors, pass
+/// everything.
+///
+/// # Panics
+/// Panics if a percentile is outside `(0, 100]` or a value is non-finite.
+pub fn calibrate(values: &[f32], calib: Calibration) -> QuantParams {
+    let absmax = values.iter().fold(0.0f32, |m, &v| {
+        assert!(v.is_finite(), "calibration values must be finite");
+        m.max(v.abs())
+    });
+    match calib {
+        Calibration::AbsMax => QuantParams::from_absmax(absmax),
+        Calibration::Percentile(p) => {
+            assert!(
+                p > 0.0 && p <= 100.0,
+                "percentile must be in (0, 100], got {p}"
+            );
+            if values.is_empty() || absmax == 0.0 {
+                return QuantParams::from_absmax(0.0);
+            }
+            let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+            mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // Nearest-rank percentile over the sorted magnitudes.
+            let rank = ((p / 100.0) * mags.len() as f64).ceil() as usize;
+            let clip = mags[rank.clamp(1, mags.len()) - 1];
+            // A degenerate threshold (all bulk values are 0) falls back to
+            // the absolute maximum rather than collapsing the grid.
+            QuantParams::from_absmax(if clip > 0.0 { clip } else { absmax })
+        }
+    }
+}
+
+/// The elementwise absolute error bound `|x - dequant(quantize(x))|` the
+/// calibrator guarantees for the observed values: half a grid step for
+/// everything inside the calibrated range, plus the clipped excess
+/// (`absmax - range`) when the calibrator clips.
+///
+/// This is the *a-priori* bound accuracy tests check dequantized outputs
+/// against — derived from the calibrator, not measured after the fact.
+pub fn quant_error_bound(values: &[f32], calib: Calibration) -> f32 {
+    let params = calibrate(values, calib);
+    let absmax = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let clip_excess = (absmax - params.range()).max(0.0);
+    (0.5 * params.scale).max(clip_excess)
+}
+
+/// A weight matrix quantized per output channel (one scale per row).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowQuantized {
+    /// The int8 value plane, same shape as the source.
+    pub values: Matrix<i8>,
+    /// One scale per row (output channel).
+    pub params: Vec<QuantParams>,
+}
+
+impl RowQuantized {
+    /// Dequantizes back to f32 (`values[r][c] * params[r].scale`).
+    pub fn dequantize(&self) -> Matrix<f32> {
+        Matrix::from_fn(self.values.rows(), self.values.cols(), |r, c| {
+            self.params[r].dequantize(self.values.get(r, c))
+        })
+    }
+}
+
+/// Quantizes a half weight matrix with one symmetric scale per row
+/// (per-output-channel calibration over the row's *nonzero* entries, so a
+/// pruned row's scale is not diluted by structural zeros).
+pub fn quantize_rows(w: &Matrix<Half>, calib: Calibration) -> RowQuantized {
+    let mut params = Vec::with_capacity(w.rows());
+    let mut data = Vec::with_capacity(w.len());
+    for r in 0..w.rows() {
+        let nonzeros: Vec<f32> = w
+            .row(r)
+            .iter()
+            .filter(|h| !h.is_zero())
+            .map(|h| h.to_f32())
+            .collect();
+        let p = calibrate(&nonzeros, calib);
+        params.push(p);
+        data.extend(w.row(r).iter().map(|h| p.quantize(h.to_f32())));
+    }
+    RowQuantized {
+        values: Matrix::from_vec(w.rows(), w.cols(), data),
+        params,
+    }
+}
+
+/// Slice length from which the histogram calibrator and the
+/// bits-to-code table pay for themselves: below it, the sort-based
+/// calibrator and the elementwise quantizer do strictly less work than
+/// zeroing a 2^15-entry histogram resp. evaluating 2^16 table entries.
+/// Both sides are bit-identical (tested), so the threshold is purely a
+/// cost knob.
+const BULK_THRESHOLD: usize = 1 << 16;
+
+/// [`calibrate`] over a half slice. Large slices take one histogram
+/// pass instead of a sort: f16 magnitudes are monotone in the 15-bit
+/// ordinal `bits & 0x7FFF`, so the absolute maximum is the largest
+/// populated ordinal and the nearest-rank percentile is a
+/// cumulative-count walk — the same element (hence bit-identical
+/// [`QuantParams`]) the sort-based reference selects. Small slices
+/// simply decode and delegate to [`calibrate`].
+///
+/// # Panics
+/// Panics on non-finite values or a percentile outside `(0, 100]`.
+pub fn calibrate_halves(x: &[Half], calib: Calibration) -> QuantParams {
+    if x.len() < BULK_THRESHOLD / 2 {
+        let f32s: Vec<f32> = x.iter().map(|h| h.to_f32()).collect();
+        return calibrate(&f32s, calib);
+    }
+    if let Calibration::Percentile(p) = calib {
+        assert!(
+            p > 0.0 && p <= 100.0,
+            "percentile must be in (0, 100], got {p}"
+        );
+    }
+    let mut hist = vec![0u32; 1 << 15];
+    let mut max_ord = 0u16;
+    for h in x {
+        let ord = h.to_bits() & 0x7FFF;
+        assert!(ord < 0x7C00, "calibration values must be finite");
+        hist[ord as usize] += 1;
+        max_ord = max_ord.max(ord);
+    }
+    let absmax = Half::from_bits(max_ord).to_f32();
+    match calib {
+        Calibration::AbsMax => QuantParams::from_absmax(absmax),
+        Calibration::Percentile(p) => {
+            if x.is_empty() || absmax == 0.0 {
+                return QuantParams::from_absmax(0.0);
+            }
+            let rank = ((p / 100.0) * x.len() as f64).ceil() as usize;
+            let rank = rank.clamp(1, x.len()) as u32;
+            let mut cum = 0u32;
+            let mut clip = 0.0f32;
+            for (ord, &n) in hist.iter().enumerate() {
+                cum += n;
+                if cum >= rank {
+                    clip = Half::from_bits(ord as u16).to_f32();
+                    break;
+                }
+            }
+            QuantParams::from_absmax(if clip > 0.0 { clip } else { absmax })
+        }
+    }
+}
+
+/// The full bits-to-code table of one [`QuantParams`]: entry `b` is
+/// `params.quantize(Half::from_bits(b).to_f32())`, so a table lookup is
+/// bit-identical to the scalar quantizer for every finite half.
+pub fn quant_code_table(params: QuantParams) -> Vec<i8> {
+    (0..=u16::MAX)
+        .map(|b| params.quantize(Half::from_bits(b).to_f32()))
+        .collect()
+}
+
+/// Quantizes an activation slice with one per-tensor scale (the per-call
+/// boundary quantization of the serving path). Large slices go through
+/// the histogram calibrator and the bits-to-code table; the result is
+/// bit-identical to the elementwise path at any size.
+pub fn quantize_slice(x: &[Half], calib: Calibration) -> (Vec<i8>, QuantParams) {
+    let params = calibrate_halves(x, calib);
+    if x.len() >= BULK_THRESHOLD {
+        let table = quant_code_table(params);
+        (
+            x.iter().map(|h| table[h.to_bits() as usize]).collect(),
+            params,
+        )
+    } else {
+        (
+            x.iter().map(|h| params.quantize(h.to_f32())).collect(),
+            params,
+        )
+    }
+}
+
+/// [`quantize_slice`] with the codes widened to `i16` — the staged
+/// operand width of the CPU integer pipeline, where i8 x i8 products fit
+/// exactly in an `i16` multiply (the vectorizable SSE2 shape) before the
+/// i32 accumulate. The codes are numerically identical to
+/// [`quantize_slice`]'s.
+pub fn quantize_slice_i16(x: &[Half], calib: Calibration) -> (Vec<i16>, QuantParams) {
+    let params = calibrate_halves(x, calib);
+    if x.len() >= BULK_THRESHOLD {
+        let table = quant_code_table(params);
+        (
+            x.iter()
+                .map(|h| table[h.to_bits() as usize] as i16)
+                .collect(),
+            params,
+        )
+    } else {
+        (
+            x.iter()
+                .map(|h| params.quantize(h.to_f32()) as i16)
+                .collect(),
+            params,
+        )
+    }
+}
+
+/// Dequantizes an i8 slice under one set of parameters.
+pub fn dequantize_slice(q: &[i8], params: QuantParams) -> Vec<f32> {
+    q.iter().map(|&v| params.dequantize(v)).collect()
+}
+
+/// Scalar int8 GEMM reference `C = A * B` with exact `i32` accumulation —
+/// the oracle of every int8 execution path. `i8` products are at most
+/// `127^2 = 16129`; a K dimension beyond 2^17 could overflow `i32`, far
+/// above any shape in this workspace, and debug builds would catch it.
+///
+/// # Panics
+/// Panics if `b.rows() != a.cols()`.
+pub fn gemm_ref_i8(a: &Matrix<i8>, b: &Matrix<i8>) -> Matrix<i32> {
+    assert_eq!(b.rows(), a.cols(), "B must have {} rows", a.cols());
+    let mut out = Matrix::<i32>::zeros(a.rows(), b.cols());
+    for r in 0..a.rows() {
+        let orow = out.row_mut(r);
+        for (k, &av) in a.row(r).iter().enumerate() {
+            if av == 0 {
+                continue;
+            }
+            let avi = av as i32;
+            for (o, &bv) in orow.iter_mut().zip(b.row(k)) {
+                *o += avi * bv as i32;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn halves(xs: &[f32]) -> Vec<Half> {
+        xs.iter().map(|&x| Half::from_f32(x)).collect()
+    }
+
+    #[test]
+    fn absmax_roundtrip_error_is_within_half_step() {
+        let vals = [0.8f32, -0.25, 0.01, -1.6, 0.33];
+        let p = calibrate(&vals, Calibration::AbsMax);
+        assert_eq!(p.scale, 1.6 / 127.0);
+        let bound = quant_error_bound(&vals, Calibration::AbsMax);
+        assert_eq!(bound, 0.5 * p.scale, "no clipping under absmax");
+        for v in vals {
+            let err = (v - p.dequantize(p.quantize(v))).abs();
+            assert!(err <= bound, "v={v} err={err} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn percentile_clips_outliers_but_honours_its_bound() {
+        // 99 small values and one huge outlier: p99 calibration must give
+        // a much finer grid than absmax, clipping only the outlier.
+        let mut vals: Vec<f32> = (0..99).map(|i| (i as f32 - 49.0) / 100.0).collect();
+        vals.push(50.0);
+        let pct = calibrate(&vals, Calibration::Percentile(99.0));
+        let amx = calibrate(&vals, Calibration::AbsMax);
+        assert!(
+            pct.scale < amx.scale / 50.0,
+            "pct {} vs absmax {}",
+            pct.scale,
+            amx.scale
+        );
+        assert_eq!(pct.quantize(50.0), 127, "the outlier saturates");
+        let bound = quant_error_bound(&vals, Calibration::Percentile(99.0));
+        for &v in &vals {
+            let err = (v - pct.dequantize(pct.quantize(v))).abs();
+            assert!(err <= bound, "v={v} err={err} bound={bound}");
+        }
+    }
+
+    #[test]
+    fn zero_channel_quantizes_to_zero() {
+        let p = calibrate(&[], Calibration::AbsMax);
+        assert_eq!(p.quantize(0.0), 0);
+        assert_eq!(p.dequantize(0), 0.0);
+        let p = calibrate(&[0.0, 0.0], Calibration::Percentile(50.0));
+        assert_eq!(p.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn quantize_rows_uses_per_row_scales() {
+        let w = Matrix::from_vec(2, 3, halves(&[1.0, -0.5, 0.25, 100.0, -50.0, 25.0]));
+        let q = quantize_rows(&w, Calibration::AbsMax);
+        // Row 1 is 100x row 0: identical codes, 100x the scale.
+        assert_eq!(q.values.row(0), q.values.row(1));
+        assert!((q.params[1].scale / q.params[0].scale - 100.0).abs() < 1e-3);
+        let d = q.dequantize();
+        assert!((d.get(0, 0) - 1.0).abs() <= 0.5 * q.params[0].scale);
+        assert!((d.get(1, 0) - 100.0).abs() <= 0.5 * q.params[1].scale);
+    }
+
+    #[test]
+    fn row_calibration_ignores_structural_zeros() {
+        // A 75%-pruned row: the percentile is taken over stored nonzeros,
+        // so the scale reflects the surviving weights, not the zeros.
+        let w = Matrix::from_vec(1, 8, halves(&[0.0, 0.0, 0.0, 0.5, 0.0, 0.0, 0.0, -1.0]));
+        let q = quantize_rows(&w, Calibration::Percentile(50.0));
+        assert_eq!(q.params[0].scale, 0.5 / 127.0);
+        assert_eq!(q.values.get(0, 0), 0);
+    }
+
+    #[test]
+    fn slice_quantization_roundtrips_within_bound() {
+        let x = halves(&[0.1, -0.9, 0.42, 2.0, -1.3]);
+        let (q, p) = quantize_slice(&x, Calibration::AbsMax);
+        let back = dequantize_slice(&q, p);
+        for (orig, got) in x.iter().zip(&back) {
+            assert!((orig.to_f32() - got).abs() <= 0.5 * p.scale);
+        }
+    }
+
+    #[test]
+    fn histogram_calibrator_matches_the_sort_based_reference() {
+        // A spread including subnormals, negative zero and duplicates.
+        let pool = [
+            0x0001u16, 0x8001, 0x03FF, 0x3C00, 0xBC00, 0x2E66, 0x0000, 0x8000, 0x5640,
+        ];
+        let x: Vec<Half> = (0..2500)
+            .map(|i| Half::from_bits(pool[(i * 7 + i / 5) % pool.len()]))
+            .collect();
+        let f32s: Vec<f32> = x.iter().map(|h| h.to_f32()).collect();
+        for calib in [
+            Calibration::AbsMax,
+            Calibration::Percentile(50.0),
+            Calibration::Percentile(99.0),
+        ] {
+            assert_eq!(
+                calibrate_halves(&x, calib),
+                calibrate(&f32s, calib),
+                "{calib}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_quantization_is_bit_identical_to_elementwise() {
+        let pool = [
+            0x0001u16, 0x8001, 0x03FF, 0x3C00, 0xBC00, 0x2E66, 0x0000, 0x8000, 0x5640,
+        ];
+        // Above the table threshold so quantize_slice takes the LUT path.
+        let x: Vec<Half> = (0..5000)
+            .map(|i| Half::from_bits(pool[(i * 11 + i / 3) % pool.len()]))
+            .collect();
+        for calib in [Calibration::AbsMax, Calibration::Percentile(99.0)] {
+            let (q, params) = quantize_slice(&x, calib);
+            let elementwise: Vec<i8> = x.iter().map(|h| params.quantize(h.to_f32())).collect();
+            assert_eq!(q, elementwise, "{calib}");
+            let (q16, p16) = quantize_slice_i16(&x, calib);
+            assert_eq!(p16, params);
+            assert!(q16.iter().zip(&q).all(|(&w, &n)| w == n as i16));
+        }
+    }
+
+    #[test]
+    fn gemm_ref_i8_small_example() {
+        let a = Matrix::from_vec(2, 2, vec![1i8, 2, 3, 4]);
+        let b = Matrix::from_vec(2, 2, vec![5i8, 6, 7, 8]);
+        let c = gemm_ref_i8(&a, &b);
+        assert_eq!(c.as_slice(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn gemm_ref_i8_is_exact_at_saturation() {
+        // 127 * 127 accumulated 2048 times: exact in i32, beyond f32's
+        // 2^24 integer window — the reason the int8 path accumulates i32.
+        let a = Matrix::from_vec(1, 2048, vec![127i8; 2048]);
+        let b = Matrix::from_vec(2048, 1, vec![127i8; 2048]);
+        let want: i32 = 127 * 127 * 2048; // 33_032_192 > 2^24 = 16_777_216
+        assert_eq!(gemm_ref_i8(&a, &b).get(0, 0), want);
+        // The same chain accumulated in f32 rounds once the running sum
+        // leaves the 2^24 integer window (odd increments of 16129 stop
+        // being representable) — the divergence i32 accumulation exists
+        // to rule out.
+        let f32_chain = (0..2048).fold(0.0f32, |acc, _| acc + (127 * 127) as f32);
+        assert_ne!(f32_chain as i32, want, "f32 accumulation must have rounded");
+    }
+
+    #[test]
+    fn negation_is_exact_on_the_symmetric_grid() {
+        let p = QuantParams::from_absmax(3.0);
+        for v in [-3.0f32, -1.234, 0.0, 0.5, 3.0] {
+            assert_eq!(p.quantize(v), -p.quantize(-v), "v={v}");
+        }
+    }
+}

@@ -7,29 +7,80 @@
 //! [`crate::Engine`] decides *how* (which storage format, which tile)
 //! and returns a [`crate::MatmulPlan`]. Describing the epilogue and the
 //! column bound up front is what lets planning price candidates fairly:
-//! every format is tuned and timed for the same dispatch.
+//! every format is tuned and timed for the same dispatch — and the dtype
+//! selects between genuinely different execution paths: `f16` plans
+//! replay exact fp16-product/f32-accumulation streams, `i8` plans run the
+//! calibrated int8 container with exact i32 accumulation and a fused
+//! dequantization epilogue.
 
 use venom_fp16::Half;
 use venom_tensor::{GemmShape, Matrix};
 
 /// Operand precision of a planned matmul.
 ///
-/// The functional engine executes tensor-core numerics — exact fp16
-/// products accumulated in f32 — so `F16` is currently the only operand
-/// dtype; the enum exists so descriptors stay forward-compatible when
-/// other input precisions (bf16, fp8) are added.
+/// `F16` is the exact mixed-precision path (fp16 products, f32
+/// accumulation). `I8` opts the descriptor into the calibrated int8
+/// path: per-output-channel symmetric weight quantization, per-call
+/// activation quantization, exact i32 accumulation (Table 1's `Uint8`
+/// `mma.sp` row) and a dequantization scale folded into the epilogue.
+/// [`crate::Engine::plan_auto`] prices i8 candidates alongside the f16
+/// formats whenever the descriptor allows them.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum DType {
     /// IEEE half-precision operands, f32 accumulation.
     #[default]
     F16,
+    /// Symmetric int8 operands, exact i32 accumulation.
+    I8,
+}
+
+impl DType {
+    /// Every operand dtype, in listing order.
+    pub const ALL: [DType; 2] = [DType::F16, DType::I8];
+
+    /// The CLI/report name — the single spelling [`core::fmt::Display`]
+    /// prints and [`core::str::FromStr`] accepts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DType::F16 => "f16",
+            DType::I8 => "i8",
+        }
+    }
+
+    /// The comma-separated list of valid dtype names (for error messages
+    /// and usage text).
+    pub fn valid_names() -> String {
+        Self::ALL
+            .iter()
+            .map(|d| d.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Parses a dtype name as the CLI spells it.
+    ///
+    /// # Errors
+    /// Returns a message listing the valid choices.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Self::ALL
+            .iter()
+            .find(|d| d.name() == s)
+            .copied()
+            .ok_or_else(|| format!("unknown dtype '{s}' (valid: {})", Self::valid_names()))
+    }
 }
 
 impl core::fmt::Display for DType {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            DType::F16 => f.write_str("f16"),
-        }
+        f.write_str(self.name())
+    }
+}
+
+impl core::str::FromStr for DType {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
     }
 }
 
@@ -91,7 +142,10 @@ impl MatmulDescriptor {
     /// # Panics
     /// Panics if either dimension is zero.
     pub fn new(out_features: usize, in_features: usize) -> Self {
-        assert!(out_features > 0 && in_features > 0, "descriptor dimensions must be nonzero");
+        assert!(
+            out_features > 0 && in_features > 0,
+            "descriptor dimensions must be nonzero"
+        );
         MatmulDescriptor {
             out_features,
             in_features,
@@ -121,6 +175,13 @@ impl MatmulDescriptor {
     #[must_use]
     pub fn with_epilogue(mut self, epilogue: Epilogue) -> Self {
         self.epilogue = epilogue;
+        self
+    }
+
+    /// Overrides the operand dtype.
+    #[must_use]
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
         self
     }
 
@@ -159,7 +220,9 @@ mod tests {
 
     #[test]
     fn builder_sets_fields() {
-        let d = MatmulDescriptor::new(64, 128).with_b_cols(96).with_epilogue(Epilogue::Bias);
+        let d = MatmulDescriptor::new(64, 128)
+            .with_b_cols(96)
+            .with_epilogue(Epilogue::Bias);
         assert_eq!((d.out_features, d.in_features, d.b_cols), (64, 128, 96));
         assert_eq!(d.epilogue, Epilogue::Bias);
         assert_eq!(d.dtype, DType::F16);
@@ -176,5 +239,26 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn rejects_zero_dims() {
         let _ = MatmulDescriptor::new(0, 8);
+    }
+
+    #[test]
+    fn dtype_display_and_fromstr_are_an_exhaustive_pairing() {
+        // One source of truth: every variant's Display output parses back
+        // to the variant, through both the inherent parse and FromStr.
+        for d in DType::ALL {
+            assert_eq!(DType::parse(&d.to_string()).unwrap(), d);
+            assert_eq!(d.to_string().parse::<DType>().unwrap(), d);
+            assert_eq!(d.to_string(), d.name());
+        }
+        let err = DType::parse("fp42").unwrap_err();
+        assert!(err.contains("f16") && err.contains("i8"), "{err}");
+        assert!("int8".parse::<DType>().is_err());
+    }
+
+    #[test]
+    fn with_dtype_threads_through_display() {
+        let d = MatmulDescriptor::new(8, 8).with_dtype(DType::I8);
+        assert_eq!(d.dtype, DType::I8);
+        assert!(d.to_string().contains("i8"), "{d}");
     }
 }

@@ -2,10 +2,11 @@
 //! target device — including the automatic format selection of the
 //! unified matmul surface.
 
-use crate::descriptor::MatmulDescriptor;
+use crate::descriptor::{DType, MatmulDescriptor};
 use crate::matmul::{MatmulPlan, PlanError};
 use crate::plan::{FormatPlan, GemmPlan, SpmmPlan};
 use crate::pricing;
+use crate::qplan::QuantSpmmPlan;
 use std::sync::Arc;
 use venom_core::SpmmOptions;
 use venom_format::{
@@ -13,6 +14,7 @@ use venom_format::{
     VnmConfig, VnmMatrix,
 };
 use venom_fp16::Half;
+use venom_quant::Calibration;
 use venom_sim::DeviceConfig;
 use venom_tensor::Matrix;
 
@@ -37,6 +39,7 @@ pub struct Engine {
     dev: DeviceConfig,
     opts: SpmmOptions,
     b_cols_hint: usize,
+    calibration: Calibration,
 }
 
 impl Engine {
@@ -44,9 +47,15 @@ impl Engine {
     /// gives none: the BERT evaluation sequence length of the paper.
     pub const DEFAULT_B_COLS_HINT: usize = MatmulDescriptor::DEFAULT_B_COLS;
 
-    /// An engine targeting `dev` with default options.
+    /// An engine targeting `dev` with default options (int8 plans
+    /// calibrate with [`Calibration::AbsMax`] unless overridden).
     pub fn new(dev: DeviceConfig) -> Self {
-        Engine { dev, opts: SpmmOptions::default(), b_cols_hint: Self::DEFAULT_B_COLS_HINT }
+        Engine {
+            dev,
+            opts: SpmmOptions::default(),
+            b_cols_hint: Self::DEFAULT_B_COLS_HINT,
+            calibration: Calibration::AbsMax,
+        }
     }
 
     /// Overrides the output-column bound used by [`Self::plan_spmm`],
@@ -63,6 +72,19 @@ impl Engine {
     pub fn with_options(mut self, opts: SpmmOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Overrides the calibrator int8 plans quantize weights and
+    /// activations with.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// The calibrator of the engine's int8 plans.
+    pub fn calibration(&self) -> Calibration {
+        self.calibration
     }
 
     /// The target device.
@@ -94,6 +116,30 @@ impl Engine {
         SpmmPlan::build(a, desc, &self.opts, &self.dev)
     }
 
+    /// Quantizes a compressed V:N:M weight with the engine's calibrator
+    /// and plans its i32-accumulating int8 dispatch at the engine's
+    /// column hint.
+    pub fn plan_quant_spmm(&self, a: &VnmMatrix) -> QuantSpmmPlan {
+        self.plan_quant_spmm_bounded(a, self.b_cols_hint)
+    }
+
+    /// [`Self::plan_quant_spmm`] tuned and priced for up to
+    /// `b_cols_bound` output columns.
+    pub fn plan_quant_spmm_bounded(&self, a: &VnmMatrix, b_cols_bound: usize) -> QuantSpmmPlan {
+        let (r, k) = a.shape();
+        let desc = MatmulDescriptor::new(r, k)
+            .with_b_cols(b_cols_bound)
+            .with_dtype(DType::I8);
+        QuantSpmmPlan::build(
+            a,
+            self.calibration,
+            self.calibration,
+            desc,
+            &self.opts,
+            &self.dev,
+        )
+    }
+
     /// Plans a dense GEMM priced on the cuBLAS model for this engine's
     /// device at the engine's column hint — the same pricing seam sparse
     /// plans get, so dense-vs-sparse comparisons in [`Self::plan_auto`]
@@ -114,11 +160,15 @@ impl Engine {
     /// `nm` require the zeros to comply with a supported pattern
     /// (`V:2:M` over the probed grid, resp. the hardware 2:4);
     /// `blocked-ell` requires a block size dividing both dimensions;
-    /// `csr`, `cvse` and `dense` accept anything.
+    /// `csr`, `cvse` and `dense` accept anything. The descriptor's
+    /// *dtype* decides the execution path on top: `i8` descriptors plan
+    /// the calibrated quantized container, which only the V:N:M format
+    /// implements — any other format reports the dtype as ineligible.
     ///
     /// # Errors
     /// Returns [`PlanError::Incompatible`] with the reason when the
-    /// weights cannot be served in `format`.
+    /// weights cannot be served in `format` (structure mismatch, or an
+    /// `i8` descriptor on a format with no int8 path).
     ///
     /// # Panics
     /// Panics if `weights` does not match the descriptor's shape.
@@ -129,6 +179,20 @@ impl Engine {
         weights: &Matrix<Half>,
     ) -> Result<Arc<dyn MatmulPlan>, PlanError> {
         desc.assert_matches(weights);
+        if desc.dtype == DType::I8 {
+            return match format {
+                MatmulFormat::Vnm => self.plan_vnm_i8(desc, weights, None),
+                other => Err(PlanError::Incompatible {
+                    format: other,
+                    reason: format!(
+                        "dtype i8 is ineligible for '{other}': the int8 path \
+                         (i32-accumulating stream, Uint8 mma.sp pricing) is only \
+                         implemented for the quantized V:N:M container — \
+                         request format 'vnm' or dtype 'f16'"
+                    ),
+                }),
+            };
+        }
         let incompatible = |reason: String| PlanError::Incompatible { format, reason };
         match format {
             MatmulFormat::Dense => Ok(Arc::new(GemmPlan::build(weights, *desc, &self.dev))),
@@ -144,12 +208,20 @@ impl Engine {
                 }
                 let a = NmCompressed::compress(weights, &mask, nm);
                 let timing = pricing::price_nm(&a, desc.b_cols, &self.dev);
-                Ok(Arc::new(FormatPlan::build(Arc::new(a), *desc, Some(timing))))
+                Ok(Arc::new(FormatPlan::build(
+                    Arc::new(a),
+                    *desc,
+                    Some(timing),
+                )))
             }
             MatmulFormat::Csr => {
                 let a = CsrMatrix::from_dense(weights);
                 let timing = pricing::price_csr(&a, desc.b_cols, &self.dev);
-                Ok(Arc::new(FormatPlan::build(Arc::new(a), *desc, Some(timing))))
+                Ok(Arc::new(FormatPlan::build(
+                    Arc::new(a),
+                    *desc,
+                    Some(timing),
+                )))
             }
             MatmulFormat::Cvse => {
                 // Probe the vector-length ladder and keep the cheapest
@@ -163,7 +235,11 @@ impl Engine {
                     })
                     .min_by(|x, y| x.1.time_ms.partial_cmp(&y.1.time_ms).unwrap())
                     .expect("the ladder is nonempty");
-                Ok(Arc::new(FormatPlan::build(Arc::new(best.0), *desc, Some(best.1))))
+                Ok(Arc::new(FormatPlan::build(
+                    Arc::new(best.0),
+                    *desc,
+                    Some(best.1),
+                )))
             }
             MatmulFormat::BlockedEll => {
                 let (r, k) = (weights.rows(), weights.cols());
@@ -178,20 +254,24 @@ impl Engine {
                     })?;
                 let a = BlockedEllMatrix::from_dense(weights, bs);
                 let timing = pricing::price_blocked_ell(&a, desc.b_cols, &self.dev);
-                Ok(Arc::new(FormatPlan::build(Arc::new(a), *desc, Some(timing))))
+                Ok(Arc::new(FormatPlan::build(
+                    Arc::new(a),
+                    *desc,
+                    Some(timing),
+                )))
             }
         }
     }
 
-    /// Plans the V:N:M format, preferring a caller-supplied pattern over
-    /// grid re-detection (a pruner that knows its pattern should not
-    /// depend on the probed grid containing it).
-    fn plan_vnm_detected(
+    /// Detects a complying V:2:M pattern and compresses, preferring a
+    /// caller-supplied pattern over grid re-detection (a pruner that
+    /// knows its pattern should not depend on the probed grid containing
+    /// it).
+    fn compress_vnm_detected(
         &self,
-        desc: &MatmulDescriptor,
         weights: &Matrix<Half>,
         pattern: Option<VnmConfig>,
-    ) -> Result<Arc<dyn MatmulPlan>, PlanError> {
+    ) -> Result<VnmMatrix, PlanError> {
         let mask = nonzero_mask(weights);
         let cfg = pattern
             .filter(|&cfg| mask.complies_vnm(cfg))
@@ -203,8 +283,37 @@ impl Engine {
                      (V in {AUTO_V:?}, M in {AUTO_M:?})"
                 ),
             })?;
-        let a = VnmMatrix::compress(weights, &mask, cfg);
+        Ok(VnmMatrix::compress(weights, &mask, cfg))
+    }
+
+    /// Plans the f16 V:N:M format over the detected (or hinted) pattern.
+    fn plan_vnm_detected(
+        &self,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+        pattern: Option<VnmConfig>,
+    ) -> Result<Arc<dyn MatmulPlan>, PlanError> {
+        let a = self.compress_vnm_detected(weights, pattern)?;
         Ok(Arc::new(SpmmPlan::build(&a, *desc, &self.opts, &self.dev)))
+    }
+
+    /// Plans the int8-quantized V:N:M container over the detected (or
+    /// hinted) pattern, calibrated with the engine's calibrator.
+    fn plan_vnm_i8(
+        &self,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+        pattern: Option<VnmConfig>,
+    ) -> Result<Arc<dyn MatmulPlan>, PlanError> {
+        let a = self.compress_vnm_detected(weights, pattern)?;
+        Ok(Arc::new(QuantSpmmPlan::build(
+            &a,
+            self.calibration,
+            self.calibration,
+            *desc,
+            &self.opts,
+            &self.dev,
+        )))
     }
 
     /// Plans `weights` in the cost-model-cheapest eligible format.
@@ -215,6 +324,13 @@ impl Engine {
     /// device; the cheapest plan wins. The dense path always competes,
     /// so a weight that is not sparse enough to pay off simply plans
     /// dense — the FlashSparse-style per-shape layout choice.
+    ///
+    /// The descriptor's dtype widens the candidate set: an `i8`
+    /// descriptor *allows* the quantized int8 V:N:M plan, which is then
+    /// priced against every f16 format on the same currency — so auto
+    /// mode compares f16 vs i8 and a weight with no complying V:N:M
+    /// structure still plans in the cheapest f16 format instead of
+    /// failing.
     ///
     /// # Panics
     /// Panics if `weights` does not match the descriptor's shape.
@@ -263,7 +379,10 @@ impl Engine {
         weights: &Matrix<Half>,
         iters: usize,
     ) -> Arc<dyn MatmulPlan> {
-        assert!(iters >= 1, "the micro-autotune needs at least one iteration");
+        assert!(
+            iters >= 1,
+            "the micro-autotune needs at least one iteration"
+        );
         // A small deterministic probe: measuring at full bound would make
         // planning cost as much as serving.
         let probe_cols = desc.b_cols.clamp(1, 32);
@@ -289,20 +408,58 @@ impl Engine {
     }
 
     /// Every plan the weight structure is eligible for, priced; the
-    /// V:N:M candidate honours a caller-supplied pattern hint.
+    /// V:N:M candidate honours a caller-supplied pattern hint, and an
+    /// `i8` descriptor adds the quantized V:N:M candidate to the pool.
     fn auto_candidates(
         &self,
         desc: &MatmulDescriptor,
         weights: &Matrix<Half>,
         pattern: Option<VnmConfig>,
     ) -> Vec<Arc<dyn MatmulPlan>> {
-        MatmulFormat::ALL
-            .iter()
-            .filter_map(|&f| match f {
-                MatmulFormat::Vnm => self.plan_vnm_detected(desc, weights, pattern).ok(),
-                _ => self.plan_with_format(f, desc, weights).ok(),
-            })
-            .collect()
+        let f16_desc = desc.with_dtype(DType::F16);
+        // Detect and compress the V:N:M structure once; the f16 and (for
+        // i8 descriptors) quantized candidates share the compression and
+        // the autotuned tile instead of redoing mask detection and the
+        // template sweep per candidate.
+        let f16_vnm = self
+            .compress_vnm_detected(weights, pattern)
+            .ok()
+            .map(|a| (SpmmPlan::build(&a, f16_desc, &self.opts, &self.dev), a));
+        let mut out: Vec<Arc<dyn MatmulPlan>> = Vec::new();
+        if desc.dtype == DType::I8 {
+            if let Some((f16_plan, a)) = &f16_vnm {
+                // Seed the i8 build with the f16 plan's autotuned tile:
+                // the sweep is deterministic on the same inputs, so this
+                // removes the repeated work without changing the result.
+                let opts = SpmmOptions {
+                    tile: f16_plan.tile().or(self.opts.tile),
+                    ..self.opts
+                };
+                out.push(Arc::new(QuantSpmmPlan::build(
+                    a,
+                    self.calibration,
+                    self.calibration,
+                    *desc,
+                    &opts,
+                    &self.dev,
+                )));
+            }
+        }
+        for &f in &MatmulFormat::ALL {
+            match f {
+                MatmulFormat::Vnm => {
+                    if let Some((plan, _)) = &f16_vnm {
+                        out.push(Arc::new(plan.clone()));
+                    }
+                }
+                _ => {
+                    if let Ok(plan) = self.plan_with_format(f, &f16_desc, weights) {
+                        out.push(plan);
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// The V:2:M patterns the nonzero mask complies with, best (largest
@@ -386,13 +543,22 @@ mod tests {
         let w = vnm_weight(64, 80, VnmConfig::new(32, 2, 10), 3);
         let desc = engine.descriptor(64, 80);
         // The V:N:M-pruned weight plans in every always-eligible format...
-        for f in [MatmulFormat::Vnm, MatmulFormat::Csr, MatmulFormat::Cvse, MatmulFormat::Dense] {
-            let plan = engine.plan_with_format(f, &desc, &w).unwrap_or_else(|e| panic!("{e}"));
+        for f in [
+            MatmulFormat::Vnm,
+            MatmulFormat::Csr,
+            MatmulFormat::Cvse,
+            MatmulFormat::Dense,
+        ] {
+            let plan = engine
+                .plan_with_format(f, &desc, &w)
+                .unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(plan.format(), f);
             assert!(plan.cost_ms().unwrap() > 0.0, "{f} is priced");
         }
         // ...but not 2:4 (a 2:10 pattern leaves 8-wide gaps).
-        let err = engine.plan_with_format(MatmulFormat::Nm, &desc, &w).unwrap_err();
+        let err = engine
+            .plan_with_format(MatmulFormat::Nm, &desc, &w)
+            .unwrap_err();
         assert!(err.to_string().contains("2:4"), "{err}");
         // Blocked-ELL rejects non-dividing shapes with the probed list.
         let odd = random::glorot_matrix(63, 80, 4).to_half();
@@ -414,9 +580,15 @@ mod tests {
         let desc = engine.descriptor(64, 64);
         let b = random::normal_matrix(64, 13, 0.0, 1.0, 6).to_half();
         for f in MatmulFormat::ALL {
-            let plan = engine.plan_with_format(f, &desc, &w).unwrap_or_else(|e| panic!("{e}"));
+            let plan = engine
+                .plan_with_format(f, &desc, &w)
+                .unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(plan.format(), f);
-            assert_eq!(plan.run(&b), plan.run_oneshot(&b), "planned vs per-call for {f}");
+            assert_eq!(
+                plan.run(&b),
+                plan.run_oneshot(&b),
+                "planned vs per-call for {f}"
+            );
         }
     }
 
@@ -430,10 +602,18 @@ mod tests {
         let w = vnm_weight(1024, 768, cfg, 7);
         let desc = engine.descriptor(1024, 768);
         let plan = engine.plan_auto(&desc, &w);
-        assert_eq!(plan.format(), MatmulFormat::Vnm, "cost {:?}", plan.cost_ms());
+        assert_eq!(
+            plan.format(),
+            MatmulFormat::Vnm,
+            "cost {:?}",
+            plan.cost_ms()
+        );
         // And the winner is genuinely the cheapest candidate.
-        let dense_cost =
-            engine.plan_with_format(MatmulFormat::Dense, &desc, &w).unwrap().cost_ms().unwrap();
+        let dense_cost = engine
+            .plan_with_format(MatmulFormat::Dense, &desc, &w)
+            .unwrap()
+            .cost_ms()
+            .unwrap();
         assert!(plan.cost_ms().unwrap() < dense_cost);
     }
 
@@ -458,6 +638,96 @@ mod tests {
             unhinted.cost_ms(),
             unhinted.format(),
         );
+    }
+
+    #[test]
+    fn i8_descriptor_plans_the_quantized_container() {
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(64);
+        let w = vnm_weight(64, 80, VnmConfig::new(32, 2, 10), 13);
+        let desc = engine.descriptor(64, 80).with_dtype(DType::I8);
+        let plan = engine
+            .plan_with_format(MatmulFormat::Vnm, &desc, &w)
+            .unwrap();
+        assert_eq!(plan.descriptor().dtype, DType::I8);
+        assert_eq!(plan.format(), MatmulFormat::Vnm);
+        // Planned and per-call int8 paths stay bit-identical.
+        let b = random::normal_matrix(80, 9, 0.0, 1.0, 14).to_half();
+        assert_eq!(plan.run(&b), plan.run_oneshot(&b));
+    }
+
+    #[test]
+    fn i8_descriptor_reports_why_other_formats_are_ineligible() {
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(64);
+        let w = vnm_weight(64, 64, VnmConfig::new(32, 2, 4), 15); // 2:4, nm-eligible in f16
+        let desc = engine.descriptor(64, 64).with_dtype(DType::I8);
+        for f in [MatmulFormat::Nm, MatmulFormat::Csr, MatmulFormat::Dense] {
+            let err = engine.plan_with_format(f, &desc, &w).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("dtype i8"), "{msg}");
+            assert!(msg.contains("vnm") || msg.contains("V:N:M"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn plan_auto_prices_i8_below_f16_when_allowed() {
+        // Fig. 9 shape: the i8 V:N:M candidate must beat every f16 format
+        // (half the bytes on a bandwidth-bound dispatch) and win auto.
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(4096);
+        let cfg = VnmConfig::new(128, 2, 10);
+        let w = vnm_weight(1024, 768, cfg, 16);
+        let f16_plan = engine.plan_auto(&engine.descriptor(1024, 768), &w);
+        let i8_desc = engine.descriptor(1024, 768).with_dtype(DType::I8);
+        let i8_plan = engine.plan_auto(&i8_desc, &w);
+        assert_eq!(
+            i8_plan.descriptor().dtype,
+            DType::I8,
+            "auto must pick the i8 candidate"
+        );
+        assert!(
+            i8_plan.cost_ms().unwrap() < f16_plan.cost_ms().unwrap(),
+            "i8 {:?} !< f16 {:?}",
+            i8_plan.cost_ms(),
+            f16_plan.cost_ms()
+        );
+    }
+
+    #[test]
+    fn i8_auto_falls_back_to_f16_formats_for_unstructured_weights() {
+        // 50% unstructured sparsity violates every probed V:2:M pattern
+        // (three-in-a-group rows are everywhere): the i8 candidate is
+        // ineligible, and auto still returns a plan (the cheapest f16
+        // format) instead of failing.
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(512);
+        let w = {
+            let d = random::normal_matrix(256, 512, 0.0, 1.0, 17);
+            let mask = SparsityMask::from_fn(256, 512, |i, j| {
+                let h = (i * 2654435761) ^ (j * 0x9E37_79B9);
+                ((h ^ (h >> 7)) ^ (h >> 13)) % 2 == 0
+            });
+            mask.apply_f32(&d).to_half()
+        };
+        let desc = engine.descriptor(256, 512).with_dtype(DType::I8);
+        let plan = engine.plan_auto(&desc, &w);
+        assert_eq!(plan.descriptor().dtype, DType::F16, "fallback stays f16");
+    }
+
+    #[test]
+    fn plan_quant_spmm_builds_priced_i8_plans() {
+        let engine = Engine::new(DeviceConfig::rtx3090())
+            .with_b_cols_hint(128)
+            .with_calibration(venom_quant::Calibration::Percentile(99.5));
+        let cfg = VnmConfig::new(32, 2, 8);
+        let w = random::normal_matrix(64, 128, 0.0, 1.0, 18);
+        let mask = magnitude::prune_vnm(&w, cfg);
+        let a = VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg);
+        let plan = engine.plan_quant_spmm(&a);
+        assert_eq!(plan.descriptor().b_cols, 128);
+        assert_eq!(
+            plan.weight().calibration(),
+            venom_quant::Calibration::Percentile(99.5),
+            "the engine's calibrator reaches the container"
+        );
+        assert!(plan.timing().expect("V=32 is launchable").time_ms > 0.0);
     }
 
     #[test]

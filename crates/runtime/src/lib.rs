@@ -25,7 +25,12 @@
 //!   `(value, B-row)` stream in the kernel's exact accumulation order,
 //!   and the priced launch. [`GemmPlan`] is the dense analogue, priced
 //!   on the cuBLAS model by [`Engine::plan_gemm`]; [`FormatPlan`] hosts
-//!   the remaining formats through the same condensed stream.
+//!   the remaining formats through the same condensed stream; and
+//!   [`QuantSpmmPlan`] is the int8 sibling — descriptors with
+//!   [`descriptor::DType::I8`] plan the calibrated quantized V:N:M
+//!   container, execute with exact i32 accumulation, and are priced on
+//!   the `Uint8` `mma.sp` profile (half the operand bytes, half the
+//!   instruction count).
 //!
 //! Every plan execution is **bit-identical** to the one-shot path it
 //! amortises: the stream stores each row's nonzeros in the same order the
@@ -46,13 +51,16 @@ pub mod engine;
 pub mod matmul;
 pub mod plan;
 pub mod pricing;
+pub mod qplan;
 pub mod stage;
 
 pub use descriptor::{DType, Epilogue, MatmulDescriptor};
 pub use engine::Engine;
 pub use matmul::{MatmulPlan, PlanError};
 pub use plan::{FormatPlan, GemmPlan, SpmmPlan};
+pub use qplan::QuantSpmmPlan;
 
 pub use venom_core::{SpmmOptions, TileConfig};
-pub use venom_format::{MatmulFormat, SparseKernel, VnmConfig, VnmMatrix};
+pub use venom_format::{MatmulFormat, QuantVnmMatrix, SparseKernel, VnmConfig, VnmMatrix};
+pub use venom_quant::Calibration;
 pub use venom_sim::{DeviceConfig, KernelTiming};

@@ -128,7 +128,11 @@ pub trait MatmulPlan: Send + Sync + std::fmt::Debug {
     fn run_linear_percall(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
         let desc = self.descriptor();
         assert_eq!(x.cols(), desc.in_features, "input features mismatch");
-        assert_eq!(bias.len(), desc.out_features, "bias must match out_features");
+        assert_eq!(
+            bias.len(),
+            desc.out_features,
+            "bias must match out_features"
+        );
         // y^T = W x^T in the library's sparse-friendly orientation, then
         // transpose back and add the bias row-wise.
         let xt = x.to_half().transpose();

@@ -69,7 +69,13 @@ impl Stream {
             srcs[i] = s as u32;
             cursor[r] += 1;
         });
-        Stream { rows, k, row_ptr, vals, srcs }
+        Stream {
+            rows,
+            k,
+            row_ptr,
+            vals,
+            srcs,
+        }
     }
 
     /// Stored operand count.
@@ -91,32 +97,34 @@ impl Stream {
     fn run_into(&self, b_f32: &[f32], b_cols: usize, out: &mut [f32]) {
         assert_eq!(b_f32.len(), self.k * b_cols, "staged RHS size mismatch");
         assert_eq!(out.len(), self.rows * b_cols, "output size mismatch");
-        out.par_chunks_mut(BAND_ROWS * b_cols).enumerate().for_each(|(band, chunk)| {
-            let row0 = band * BAND_ROWS;
-            for (i, orow) in chunk.chunks_mut(b_cols).enumerate() {
-                let r = row0 + i;
-                let lo = self.row_ptr[r] as usize;
-                let hi = self.row_ptr[r + 1] as usize;
-                let mut s = lo;
-                while s + 4 <= hi {
-                    let v = &self.vals[s..s + 4];
-                    let b0 = &b_f32[self.srcs[s] as usize * b_cols..][..b_cols];
-                    let b1 = &b_f32[self.srcs[s + 1] as usize * b_cols..][..b_cols];
-                    let b2 = &b_f32[self.srcs[s + 2] as usize * b_cols..][..b_cols];
-                    let b3 = &b_f32[self.srcs[s + 3] as usize * b_cols..][..b_cols];
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o = *o + v[0] * b0[j] + v[1] * b1[j] + v[2] * b2[j] + v[3] * b3[j];
+        out.par_chunks_mut(BAND_ROWS * b_cols)
+            .enumerate()
+            .for_each(|(band, chunk)| {
+                let row0 = band * BAND_ROWS;
+                for (i, orow) in chunk.chunks_mut(b_cols).enumerate() {
+                    let r = row0 + i;
+                    let lo = self.row_ptr[r] as usize;
+                    let hi = self.row_ptr[r + 1] as usize;
+                    let mut s = lo;
+                    while s + 4 <= hi {
+                        let v = &self.vals[s..s + 4];
+                        let b0 = &b_f32[self.srcs[s] as usize * b_cols..][..b_cols];
+                        let b1 = &b_f32[self.srcs[s + 1] as usize * b_cols..][..b_cols];
+                        let b2 = &b_f32[self.srcs[s + 2] as usize * b_cols..][..b_cols];
+                        let b3 = &b_f32[self.srcs[s + 3] as usize * b_cols..][..b_cols];
+                        for (j, o) in orow.iter_mut().enumerate() {
+                            *o = *o + v[0] * b0[j] + v[1] * b1[j] + v[2] * b2[j] + v[3] * b3[j];
+                        }
+                        s += 4;
                     }
-                    s += 4;
-                }
-                for (vf, src) in self.vals[s..hi].iter().zip(&self.srcs[s..hi]) {
-                    let brow = &b_f32[*src as usize * b_cols..][..b_cols];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += vf * bv;
+                    for (vf, src) in self.vals[s..hi].iter().zip(&self.srcs[s..hi]) {
+                        let brow = &b_f32[*src as usize * b_cols..][..b_cols];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += vf * bv;
+                        }
                     }
                 }
-            }
-        });
+            });
     }
 
     /// [`Self::run_into`] with an owned result matrix.
@@ -258,13 +266,25 @@ impl SpmmPlan {
                 .unwrap_or_else(|| venom_core::autotune(a, desc.b_cols, opts, dev).0);
             let counts = venom_core::build_counts(a, desc.b_cols, &tile, opts);
             let timing = venom_sim::pipeline::simulate(dev, &counts).unwrap_or_else(|e| {
-                panic!("planned configuration {tile} cannot launch on {}: {e:?}", dev.name)
+                panic!(
+                    "planned configuration {tile} cannot launch on {}: {e:?}",
+                    dev.name
+                )
             });
             (Some(tile), Some(timing), Some(counts))
         } else {
             (None, None, None)
         };
-        SpmmPlan { weight: a.clone(), stream, dev: dev.clone(), desc, opts: *opts, tile, timing, counts }
+        SpmmPlan {
+            weight: a.clone(),
+            stream,
+            dev: dev.clone(),
+            desc,
+            opts: *opts,
+            tile,
+            timing,
+            counts,
+        }
     }
 
     /// The compressed weight the plan executes.
@@ -349,7 +369,11 @@ impl SpmmPlan {
     /// [`crate::stage::stage_activations_t`]); `tokens` is the activation
     /// row count the buffer was staged from.
     pub fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
-        assert_eq!(staged.len(), self.stream.k * tokens, "staged operand size mismatch");
+        assert_eq!(
+            staged.len(),
+            self.stream.k * tokens,
+            "staged operand size mismatch"
+        );
         self.stream.run_linear_staged(staged, tokens, bias)
     }
 }
@@ -484,7 +508,11 @@ impl GemmPlan {
 
     /// [`Self::run_linear`] over a pre-staged operand.
     pub fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
-        assert_eq!(staged.len(), self.stream.k * tokens, "staged operand size mismatch");
+        assert_eq!(
+            staged.len(),
+            self.stream.k * tokens,
+            "staged operand size mismatch"
+        );
         self.stream.run_linear_staged(staged, tokens, bias)
     }
 }
@@ -551,9 +579,18 @@ impl FormatPlan {
         timing: Option<KernelTiming>,
     ) -> Self {
         let (r, k) = kernel.shape();
-        assert_eq!((r, k), (desc.out_features, desc.in_features), "kernel/descriptor mismatch");
+        assert_eq!(
+            (r, k),
+            (desc.out_features, desc.in_features),
+            "kernel/descriptor mismatch"
+        );
         let stream = Stream::from_kernel(kernel.as_ref());
-        FormatPlan { kernel, stream, desc, timing }
+        FormatPlan {
+            kernel,
+            stream,
+            desc,
+            timing,
+        }
     }
 
     /// The compressed weight the plan executes.
@@ -601,7 +638,11 @@ impl MatmulPlan for FormatPlan {
     }
 
     fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
-        assert_eq!(staged.len(), self.stream.k * tokens, "staged operand size mismatch");
+        assert_eq!(
+            staged.len(),
+            self.stream.k * tokens,
+            "staged operand size mismatch"
+        );
         self.stream.run_linear_staged(staged, tokens, bias)
     }
 
@@ -746,7 +787,10 @@ mod tests {
         // The fused layer path equals the per-call chain.
         let x = random::activation_matrix(9, 53, 17);
         let bias = vec![0.25f32; 37];
-        assert_eq!(plan.run_linear(&x, &bias), plan.run_linear_percall(&x, &bias));
+        assert_eq!(
+            plan.run_linear(&x, &bias),
+            plan.run_linear_percall(&x, &bias)
+        );
     }
 
     #[test]

@@ -38,8 +38,34 @@ pub fn price_vnm(
     if v < 16 || !v.is_multiple_of(16) {
         return None;
     }
-    let tile = opts.tile.unwrap_or_else(|| venom_core::autotune(a, b_cols, opts, dev).0);
+    let tile = opts
+        .tile
+        .unwrap_or_else(|| venom_core::autotune(a, b_cols, opts, dev).0);
     let counts = venom_core::build_counts(a, b_cols, &tile, opts);
+    simulate(dev, &counts).ok()
+}
+
+/// Prices the int8-quantized V:N:M SpMM: the same autotuned template as
+/// [`price_vnm`], counted with the `Uint8` operand profile — 1-byte
+/// value/B planes (half the bytes) and Table 1's doubled k-depth per
+/// `mma.sp` (half the instructions), plus the per-row dequantization
+/// scales. `None` under the same 16-row fragment contract as the f16
+/// model.
+pub fn price_vnm_i8(
+    a: &VnmMatrix,
+    b_cols: usize,
+    opts: &SpmmOptions,
+    dev: &DeviceConfig,
+) -> Option<KernelTiming> {
+    let v = a.config().v;
+    if v < 16 || !v.is_multiple_of(16) {
+        return None;
+    }
+    let tile = opts
+        .tile
+        .unwrap_or_else(|| venom_core::autotune(a, b_cols, opts, dev).0);
+    let (r, k) = a.shape();
+    let counts = venom_core::build_counts_shape_i8(r, k, b_cols, a.config(), &tile, opts);
     simulate(dev, &counts).ok()
 }
 
@@ -178,6 +204,9 @@ mod tests {
             mask.apply_f32(&d).to_half()
         };
         let csr_ms = price_csr(&CsrMatrix::from_dense(&w), 4096, &dev()).time_ms;
-        assert!(dense_ms > 0.0 && csr_ms > dense_ms, "dense {dense_ms} vs csr {csr_ms}");
+        assert!(
+            dense_ms > 0.0 && csr_ms > dense_ms,
+            "dense {dense_ms} vs csr {csr_ms}"
+        );
     }
 }

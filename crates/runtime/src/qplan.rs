@@ -1,0 +1,582 @@
+//! The int8-quantized execution plan: the i32-accumulating sibling of
+//! [`crate::SpmmPlan`].
+//!
+//! A [`QuantSpmmPlan`] captures, at build time, the calibrated
+//! [`QuantVnmMatrix`] (per-output-channel symmetric scales), its operand
+//! stream condensed into a per-row `(i8 value, B row)` CSR — half the
+//! bytes of the f32 stream — and the int8-priced launch (Table 1's
+//! `Uint8` `mma.sp` row: half the operand bytes, double the k-depth per
+//! instruction).
+//!
+//! Numerics contract, stated precisely because it differs from the f16
+//! plans:
+//!
+//! * The **integer core** is exact: [`QuantSpmmPlan::run_i8`] equals
+//!   [`QuantVnmMatrix::spmm_ref_i8`] (and [`venom_quant::gemm_ref_i8`]
+//!   over the dense i8 plane) bit-for-bit, for any worker count —
+//!   integer accumulation never rounds, so ordering is irrelevant.
+//! * The **f16-facing surface** ([`crate::MatmulPlan`]) quantizes the
+//!   activation operand per call at the boundary (one per-tensor scale
+//!   under the plan's calibrator), runs the integer core, and dequantizes
+//!   through the single expression `acc as f32 * (row_scale * act_scale)`
+//!   — folded into the transpose/bias epilogue on the linear path. The
+//!   planned and per-call paths share the quantizer and that expression,
+//!   so they stay bit-identical *to each other*; versus the f16 oracle
+//!   they carry the calibrator-bounded quantization error the accuracy
+//!   suites measure.
+
+use crate::descriptor::{DType, MatmulDescriptor};
+use crate::matmul::MatmulPlan;
+use crate::stage;
+use rayon::prelude::*;
+use venom_core::{SpmmOptions, TileConfig};
+use venom_format::{MatmulFormat, QuantVnmMatrix, VnmMatrix};
+use venom_fp16::Half;
+use venom_quant::{calibrate, Calibration};
+use venom_sim::pipeline::KernelCounts;
+use venom_sim::{DeviceConfig, KernelTiming};
+use venom_tensor::Matrix;
+
+/// Row height of one parallel task (matches the f32 stream's banding).
+const BAND_ROWS: usize = 16;
+
+/// The condensed int8 stream: CSR-like over quantized values, with
+/// `srcs[i]` naming the RHS row each value multiplies.
+///
+/// Codes are stored widened to `i16` — the integer analogue of the f16
+/// pipeline's f32 staging: an i8 x i8 product fits exactly in an i16
+/// multiply, the operation SSE2-class vector units execute natively,
+/// where a 32-bit integer multiply would fall back to scalar code. The
+/// widening changes no value (`|code| <= 127`).
+#[derive(Clone, Debug)]
+struct IntStream {
+    rows: usize,
+    k: usize,
+    row_ptr: Vec<u32>,
+    vals: Vec<i16>,
+    srcs: Vec<u32>,
+}
+
+impl IntStream {
+    /// Condenses the quantized container into its operand stream (two
+    /// visitor passes, like the f32 `Stream`).
+    fn from_quant(a: &QuantVnmMatrix) -> Self {
+        let (rows, k) = a.shape();
+        let mut row_ptr = vec![0u32; rows + 1];
+        a.for_each_operand_i8(&mut |r, _, _| row_ptr[r + 1] += 1);
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let nnz = row_ptr[rows] as usize;
+        let mut vals = vec![0i16; nnz];
+        let mut srcs = vec![0u32; nnz];
+        let mut cursor: Vec<u32> = row_ptr[..rows].to_vec();
+        a.for_each_operand_i8(&mut |r, q, s| {
+            let i = cursor[r] as usize;
+            vals[i] = q as i16;
+            srcs[i] = s as u32;
+            cursor[r] += 1;
+        });
+        IntStream {
+            rows,
+            k,
+            row_ptr,
+            vals,
+            srcs,
+        }
+    }
+
+    fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Accumulates one output row's stream chain into `orow` — THE
+    /// integer kernel: a 4-way-unrolled walk multiplying i16 codes
+    /// (exact: both factors are i8-ranged) before the widening add, the
+    /// shape baseline vector ISAs execute without a 32-bit integer
+    /// multiply. Both run paths call this one body, which is what keeps
+    /// fused-dequant and plain runs bit-identical by construction.
+    #[inline]
+    fn accumulate_row(&self, r: usize, b_i16: &[i16], b_cols: usize, orow: &mut [i32]) {
+        let lo = self.row_ptr[r] as usize;
+        let hi = self.row_ptr[r + 1] as usize;
+        let mut s = lo;
+        while s + 4 <= hi {
+            let v0 = self.vals[s];
+            let v1 = self.vals[s + 1];
+            let v2 = self.vals[s + 2];
+            let v3 = self.vals[s + 3];
+            let b0 = &b_i16[self.srcs[s] as usize * b_cols..][..b_cols];
+            let b1 = &b_i16[self.srcs[s + 1] as usize * b_cols..][..b_cols];
+            let b2 = &b_i16[self.srcs[s + 2] as usize * b_cols..][..b_cols];
+            let b3 = &b_i16[self.srcs[s + 3] as usize * b_cols..][..b_cols];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o += (v0 * b0[j]) as i32
+                    + (v1 * b1[j]) as i32
+                    + (v2 * b2[j]) as i32
+                    + (v3 * b3[j]) as i32;
+            }
+            s += 4;
+        }
+        for (vq, src) in self.vals[s..hi].iter().zip(&self.srcs[s..hi]) {
+            let vi = *vq;
+            let brow = &b_i16[*src as usize * b_cols..][..b_cols];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += (vi * bv) as i32;
+            }
+        }
+    }
+
+    /// `C = A * B` over a staged RHS (`k x b_cols`, row-major i16 codes)
+    /// into `out` (`rows x b_cols` i32, zero-initialised). Accumulation
+    /// is exact, so neither the banding parallelism nor the unroll can
+    /// change a bit.
+    fn run_into(&self, b_i16: &[i16], b_cols: usize, out: &mut [i32]) {
+        assert_eq!(b_i16.len(), self.k * b_cols, "staged RHS size mismatch");
+        assert_eq!(out.len(), self.rows * b_cols, "output size mismatch");
+        out.par_chunks_mut(BAND_ROWS * b_cols)
+            .enumerate()
+            .for_each(|(band, chunk)| {
+                let row0 = band * BAND_ROWS;
+                for (i, orow) in chunk.chunks_mut(b_cols).enumerate() {
+                    self.accumulate_row(row0 + i, b_i16, b_cols, orow);
+                }
+            });
+    }
+
+    fn run(&self, b_i16: &[i16], b_cols: usize) -> Matrix<i32> {
+        let mut out = vec![0i32; self.rows * b_cols];
+        self.run_into(b_i16, b_cols, &mut out);
+        Matrix::from_vec(self.rows, b_cols, out)
+    }
+
+    /// [`Self::run`] with the dequantization fused into the band loop:
+    /// each band accumulates into a cache-resident i32 scratch and then
+    /// writes `acc as f32 * scales[r]` straight into the f32 output —
+    /// one pass over the 4-byte output instead of an i32 store pass plus
+    /// a dequantize pass. The integer accumulation and the per-element
+    /// dequant expression are exactly those of the unfused path, so the
+    /// result is bit-identical to `run` followed by elementwise
+    /// dequantization.
+    fn run_dequant(&self, b_i16: &[i16], b_cols: usize, scales: &[f32]) -> Matrix<f32> {
+        assert_eq!(b_i16.len(), self.k * b_cols, "staged RHS size mismatch");
+        assert_eq!(scales.len(), self.rows, "one dequant scale per row");
+        let mut out = vec![0.0f32; self.rows * b_cols];
+        out.par_chunks_mut(BAND_ROWS * b_cols)
+            .enumerate()
+            .for_each(|(band, chunk)| {
+                let row0 = band * BAND_ROWS;
+                let band_rows = chunk.len() / b_cols;
+                // The same accumulation kernel, into a cache-resident
+                // band scratch.
+                let mut acc = vec![0i32; band_rows * b_cols];
+                for (i, arow) in acc.chunks_mut(b_cols).enumerate() {
+                    self.accumulate_row(row0 + i, b_i16, b_cols, arow);
+                }
+                for (i, (orow, arow)) in
+                    chunk.chunks_mut(b_cols).zip(acc.chunks(b_cols)).enumerate()
+                {
+                    let sc = scales[row0 + i];
+                    for (o, &a) in orow.iter_mut().zip(arow) {
+                        *o = a as f32 * sc;
+                    }
+                }
+            });
+        Matrix::from_vec(self.rows, b_cols, out)
+    }
+}
+
+/// A plan for `C = A * B` with a static calibrated int8 V:N:M weight —
+/// built once, run on every request with exact i32 accumulation.
+#[derive(Clone, Debug)]
+pub struct QuantSpmmPlan {
+    weight: QuantVnmMatrix,
+    stream: IntStream,
+    desc: MatmulDescriptor,
+    /// Per-call calibrator of the activation operand.
+    act_calib: Calibration,
+    tile: Option<TileConfig>,
+    timing: Option<KernelTiming>,
+    counts: Option<KernelCounts>,
+}
+
+impl QuantSpmmPlan {
+    /// Quantizes a compressed f16 V:N:M weight under `weight_calib` and
+    /// builds its int8 plan; prefer [`crate::Engine::plan_quant_spmm`].
+    pub(crate) fn build(
+        a: &VnmMatrix,
+        weight_calib: Calibration,
+        act_calib: Calibration,
+        desc: MatmulDescriptor,
+        opts: &SpmmOptions,
+        dev: &DeviceConfig,
+    ) -> Self {
+        assert_eq!(
+            a.shape(),
+            (desc.out_features, desc.in_features),
+            "weight shape does not match the descriptor"
+        );
+        let desc = desc.with_dtype(DType::I8);
+        let weight = QuantVnmMatrix::quantize(a, weight_calib);
+        let stream = IntStream::from_quant(&weight);
+        let v = a.config().v;
+        let (tile, timing, counts) = if v >= 16 && v.is_multiple_of(16) {
+            let tile = opts
+                .tile
+                .unwrap_or_else(|| venom_core::autotune(a, desc.b_cols, opts, dev).0);
+            let counts = venom_core::build_counts_i8(&weight, desc.b_cols, &tile, opts);
+            let timing = venom_sim::pipeline::simulate(dev, &counts).unwrap_or_else(|e| {
+                panic!(
+                    "planned configuration {tile} cannot launch on {}: {e:?}",
+                    dev.name
+                )
+            });
+            (Some(tile), Some(timing), Some(counts))
+        } else {
+            (None, None, None)
+        };
+        QuantSpmmPlan {
+            weight,
+            stream,
+            desc,
+            act_calib,
+            tile,
+            timing,
+            counts,
+        }
+    }
+
+    /// The quantized weight the plan executes.
+    pub fn weight(&self) -> &QuantVnmMatrix {
+        &self.weight
+    }
+
+    /// Logical weight shape `(rows, k)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.weight.shape()
+    }
+
+    /// Stored nonzeros in the condensed int8 stream.
+    pub fn nnz(&self) -> usize {
+        self.stream.nnz()
+    }
+
+    /// The autotuned template instantiation (`None` for V < 16 patterns).
+    pub fn tile(&self) -> Option<TileConfig> {
+        self.tile
+    }
+
+    /// Int8 cost-model timing of one dispatch at the planned bound.
+    pub fn timing(&self) -> Option<&KernelTiming> {
+        self.timing.as_ref()
+    }
+
+    /// Priced int8 resource counts at the planned bound.
+    pub fn counts(&self) -> Option<&KernelCounts> {
+        self.counts.as_ref()
+    }
+
+    /// The per-call activation calibrator.
+    pub fn activation_calibration(&self) -> Calibration {
+        self.act_calib
+    }
+
+    /// The exact integer entry point: `C = A_q * B_q` with i32
+    /// accumulation, bit-identical to
+    /// [`QuantVnmMatrix::spmm_ref_i8`] on the planned weight (the codes
+    /// are staged to i16 internally; `|code| <= 127` makes the widening
+    /// value-preserving).
+    ///
+    /// # Panics
+    /// Panics if `B` has a row count different from the planned K.
+    pub fn run_i8(&self, b: &Matrix<i8>) -> Matrix<i32> {
+        assert_eq!(
+            b.rows(),
+            self.stream.k,
+            "B must have K = {} rows",
+            self.stream.k
+        );
+        let staged: Vec<i16> = b.as_slice().iter().map(|&q| q as i16).collect();
+        self.stream.run(&staged, b.cols())
+    }
+
+    /// Quantizes an activation operand with the plan's per-call
+    /// calibrator: one per-tensor scale over the exactly-decoded halves.
+    pub fn quantize_operand(&self, b: &Matrix<Half>) -> (Matrix<i8>, f32) {
+        let (q, params) = venom_quant::quantize_slice(b.as_slice(), self.act_calib);
+        (Matrix::from_vec(b.rows(), b.cols(), q), params.scale)
+    }
+
+    /// [`Self::quantize_operand`] staged directly to the i16 codes the
+    /// stream consumes — numerically identical codes, one pass.
+    fn quantize_operand_i16(&self, b: &Matrix<Half>) -> (Vec<i16>, f32) {
+        let (q, params) = venom_quant::quantize_slice_i16(b.as_slice(), self.act_calib);
+        (q, params.scale)
+    }
+
+    /// The dequantization factor of row `r` for an operand quantized at
+    /// `act_scale` — the one expression every f32-facing path multiplies
+    /// the integer accumulators by.
+    #[inline]
+    fn dequant_scale(&self, r: usize, act_scale: f32) -> f32 {
+        self.weight.scales()[r] * act_scale
+    }
+
+    /// Dequantizes an integer result into f32 (`acc * row_scale *
+    /// act_scale`, one rounding per element).
+    fn dequantize(&self, acc: Matrix<i32>, act_scale: f32) -> Matrix<f32> {
+        let (rows, cols) = (acc.rows(), acc.cols());
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let s = self.dequant_scale(r, act_scale);
+            for (o, &a) in out[r * cols..(r + 1) * cols].iter_mut().zip(acc.row(r)) {
+                *o = a as f32 * s;
+            }
+        }
+        Matrix::from_vec(rows, cols, out)
+    }
+}
+
+impl MatmulPlan for QuantSpmmPlan {
+    fn format(&self) -> MatmulFormat {
+        MatmulFormat::Vnm
+    }
+
+    fn descriptor(&self) -> &MatmulDescriptor {
+        &self.desc
+    }
+
+    fn timing(&self) -> Option<&KernelTiming> {
+        QuantSpmmPlan::timing(self)
+    }
+
+    fn stored_values(&self) -> usize {
+        self.stream.nnz()
+    }
+
+    fn weight_dense(&self) -> Matrix<Half> {
+        venom_format::SparseKernel::to_dense(&self.weight)
+    }
+
+    fn run(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(
+            b.rows(),
+            self.stream.k,
+            "B must have K = {} rows",
+            self.stream.k
+        );
+        let (b_q, act_scale) = self.quantize_operand_i16(b);
+        let scales: Vec<f32> = (0..self.stream.rows)
+            .map(|r| self.dequant_scale(r, act_scale))
+            .collect();
+        self.stream.run_dequant(&b_q, b.cols(), &scales)
+    }
+
+    fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
+        if bs.is_empty() {
+            return Vec::new();
+        }
+        let k = self.stream.k;
+        let total: usize = bs.iter().map(|b| b.cols()).sum();
+        // Each request keeps its own per-tensor scale; the concatenated
+        // integer dispatch is column-independent, so one multiply and a
+        // per-block dequantization is bit-identical to separate runs.
+        let mut staged = vec![0i16; k * total];
+        let mut scales = Vec::with_capacity(bs.len());
+        let mut col0 = 0usize;
+        for b in bs {
+            assert_eq!(b.rows(), k, "B must have K = {k} rows");
+            let (b_q, s) = self.quantize_operand_i16(b);
+            scales.push(s);
+            let cols = b.cols();
+            for r in 0..k {
+                staged[r * total + col0..r * total + col0 + cols]
+                    .copy_from_slice(&b_q[r * cols..(r + 1) * cols]);
+            }
+            col0 += cols;
+        }
+        let acc = self.stream.run(&staged, total);
+        let rows = self.stream.rows;
+        let mut out = Vec::with_capacity(bs.len());
+        let mut col0 = 0usize;
+        for (b, &act_scale) in bs.iter().zip(&scales) {
+            let cols = b.cols();
+            let mut part = vec![0.0f32; rows * cols];
+            for r in 0..rows {
+                let s = self.dequant_scale(r, act_scale);
+                let arow = &acc.as_slice()[r * total + col0..r * total + col0 + cols];
+                for (o, &a) in part[r * cols..(r + 1) * cols].iter_mut().zip(arow) {
+                    *o = a as f32 * s;
+                }
+            }
+            out.push(Matrix::from_vec(rows, cols, part));
+            col0 += cols;
+        }
+        out
+    }
+
+    fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+        assert_eq!(x.cols(), self.stream.k, "input features mismatch");
+        let staged = stage::stage_activations_t(x);
+        self.run_linear_staged(&staged, x.rows(), bias)
+    }
+
+    fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
+        assert_eq!(
+            staged.len(),
+            self.stream.k * tokens,
+            "staged operand size mismatch"
+        );
+        assert_eq!(bias.len(), self.stream.rows, "bias must match out_features");
+        // The staged buffer holds exact f16 decodes, so calibrating it
+        // equals calibrating the half operand, and mapping each value's
+        // f16 bits through the code table lands on the same codes the
+        // per-call chain gets.
+        let params = calibrate(staged, self.act_calib);
+        let table = venom_quant::quant_code_table(params);
+        let b_q: Vec<i16> = staged
+            .iter()
+            .map(|&v| table[venom_fp16::f32_to_f16_bits(v) as usize] as i16)
+            .collect();
+        let mut acc = vec![0i32; self.stream.rows * tokens];
+        self.stream.run_into(&b_q, tokens, &mut acc);
+        // Dequantization folded into the tiled transpose+bias epilogue:
+        // y[t][r] = acc[r][t] * s_r + bias[r], the exact expression of
+        // the per-call chain (`run_oneshot` dequant, transpose, bias).
+        const TILE: usize = 32;
+        let rows = self.stream.rows;
+        let mut y = vec![0.0f32; tokens * rows];
+        for t0 in (0..tokens).step_by(TILE) {
+            let t1 = (t0 + TILE).min(tokens);
+            for r0 in (0..rows).step_by(TILE) {
+                let r1 = (r0 + TILE).min(rows);
+                for t in t0..t1 {
+                    let yrow = &mut y[t * rows..][r0..r1];
+                    for (r, o) in (r0..r1).zip(yrow.iter_mut()) {
+                        *o = acc[r * tokens + t] as f32 * self.dequant_scale(r, params.scale)
+                            + bias[r];
+                    }
+                }
+            }
+        }
+        Matrix::from_vec(tokens, rows, y)
+    }
+
+    fn run_oneshot(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        // Per-call: re-quantize the operand and run the container's own
+        // parallel integer kernel, then dequantize through the shared
+        // expression — bit-identical to the planned `run`.
+        let (b_q, act_scale) = self.quantize_operand(b);
+        let acc = self.weight.spmm_parallel_i8(&b_q);
+        self.dequantize(acc, act_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_format::{SparsityMask, VnmConfig};
+    use venom_quant::gemm_ref_i8;
+    use venom_tensor::random;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::rtx3090()
+    }
+
+    fn vnm_fixture(r: usize, k: usize, cfg: VnmConfig, seed: u64) -> VnmMatrix {
+        let w = random::normal_matrix(r, k, 0.0, 1.0, seed);
+        let mask = SparsityMask::from_fn(r, k, |_, c| c % cfg.m < cfg.n);
+        VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg)
+    }
+
+    fn build(a: &VnmMatrix, b_cols: usize) -> QuantSpmmPlan {
+        let desc = MatmulDescriptor::new(a.shape().0, a.shape().1).with_b_cols(b_cols);
+        QuantSpmmPlan::build(
+            a,
+            Calibration::AbsMax,
+            Calibration::AbsMax,
+            desc,
+            &SpmmOptions::default(),
+            &dev(),
+        )
+    }
+
+    #[test]
+    fn integer_core_is_bit_identical_to_the_i8_oracle() {
+        let a = vnm_fixture(70, 93, VnmConfig::new(16, 2, 10), 1);
+        let plan = build(&a, 64);
+        let b = Matrix::from_fn(93, 37, |r, c| ((r * 19 + c * 7) % 255) as i32 as u8 as i8);
+        let got = plan.run_i8(&b);
+        assert_eq!(got, plan.weight().spmm_ref_i8(&b));
+        assert_eq!(got, gemm_ref_i8(&plan.weight().dense_i8(), &b));
+    }
+
+    #[test]
+    fn planned_and_per_call_paths_are_bit_identical() {
+        let a = vnm_fixture(64, 64, VnmConfig::new(32, 2, 8), 2);
+        let plan = build(&a, 32);
+        let b = random::normal_matrix(64, 13, 0.0, 1.0, 3).to_half();
+        assert_eq!(MatmulPlan::run(&plan, &b), plan.run_oneshot(&b));
+    }
+
+    #[test]
+    fn batched_run_matches_separate_runs() {
+        let a = vnm_fixture(48, 64, VnmConfig::new(16, 2, 8), 4);
+        let plan = build(&a, 48);
+        let b1 = random::normal_matrix(64, 11, 0.0, 1.0, 5).to_half();
+        let b2 = random::normal_matrix(64, 24, 0.0, 1.0, 6).to_half();
+        let batch = plan.run_batch(&[&b1, &b2]);
+        assert_eq!(batch[0], MatmulPlan::run(&plan, &b1));
+        assert_eq!(batch[1], MatmulPlan::run(&plan, &b2));
+    }
+
+    #[test]
+    fn fused_linear_matches_the_per_call_chain() {
+        let a = vnm_fixture(32, 48, VnmConfig::new(16, 2, 8), 7);
+        let plan = build(&a, 32);
+        let bias: Vec<f32> = (0..32).map(|i| i as f32 * 0.25 - 4.0).collect();
+        let x = random::activation_matrix(19, 48, 8);
+        assert_eq!(
+            plan.run_linear(&x, &bias),
+            MatmulPlan::run_linear_percall(&plan, &x, &bias)
+        );
+    }
+
+    #[test]
+    fn descriptor_reports_i8_and_pricing_beats_f16() {
+        let a = vnm_fixture(128, 1024, VnmConfig::new(64, 2, 8), 9);
+        let plan = build(&a, 1024);
+        assert_eq!(plan.descriptor().dtype, DType::I8);
+        let t8 = plan.timing().expect("launchable V is priced").time_ms;
+        let f16 = crate::plan::SpmmPlan::build(
+            &a,
+            MatmulDescriptor::new(128, 1024).with_b_cols(1024),
+            &SpmmOptions::default(),
+            &dev(),
+        );
+        let t16 = f16.timing().expect("priced").time_ms;
+        assert!(t8 > 0.0 && t8 < t16, "i8 {t8} !< f16 {t16}");
+    }
+
+    #[test]
+    fn sub_fragment_v_still_executes_exactly() {
+        let a = vnm_fixture(24, 40, VnmConfig::new(8, 2, 8), 10);
+        let plan = build(&a, 16);
+        assert!(plan.tile().is_none());
+        let b = Matrix::from_fn(40, 9, |r, c| ((r + c * 3) % 100) as i8);
+        assert_eq!(plan.run_i8(&b), plan.weight().spmm_ref_i8(&b));
+    }
+
+    #[test]
+    fn dequantized_output_tracks_the_f16_oracle() {
+        // Sanity (the precise bound check lives in the conformance
+        // suite): absmax-quantized output stays close to the f16 path.
+        let a = vnm_fixture(64, 80, VnmConfig::new(16, 2, 10), 11);
+        let plan = build(&a, 16);
+        let b = random::normal_matrix(80, 16, 0.0, 1.0, 12).to_half();
+        let got = MatmulPlan::run(&plan, &b);
+        let oracle = a.spmm_ref(&b);
+        let rel = venom_tensor::norms::rel_frobenius_error(&got, &oracle);
+        assert!(rel < 0.05, "relative error {rel} too large");
+    }
+}

@@ -49,7 +49,11 @@ pub fn warp_access(addrs: &[u64], access_bytes: u32) -> AccessCost {
         "shared memory accesses are 4, 8 or 16 bytes wide"
     );
     for &a in addrs {
-        assert_eq!(a % access_bytes as u64, 0, "misaligned shared-memory access");
+        assert_eq!(
+            a % access_bytes as u64,
+            0,
+            "misaligned shared-memory access"
+        );
     }
 
     let threads_per_phase = match access_bytes {
@@ -78,7 +82,10 @@ pub fn warp_access(addrs: &[u64], access_bytes: u32) -> AccessCost {
         let worst = per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(0);
         transactions += worst.max(1);
     }
-    AccessCost { transactions, minimum: phases }
+    AccessCost {
+        transactions,
+        minimum: phases,
+    }
 }
 
 /// Cost of a warp storing one row-segment of `lanes x width_bytes` into a

@@ -22,7 +22,11 @@ impl BlockResources {
     /// Creates a footprint.
     pub fn new(threads: u32, smem_bytes: u32, regs_per_thread: u32) -> Self {
         assert!(threads > 0, "blocks must have at least one thread");
-        BlockResources { threads, smem_bytes, regs_per_thread }
+        BlockResources {
+            threads,
+            smem_bytes,
+            regs_per_thread,
+        }
     }
 
     /// Warps per block (rounded up).
@@ -56,11 +60,17 @@ pub fn blocks_per_sm(dev: &DeviceConfig, res: &BlockResources) -> Result<u32, La
     }
 
     let by_threads = dev.max_threads_per_sm / res.threads;
-    let by_smem = dev.smem_per_sm.checked_div(res.smem_bytes).unwrap_or(u32::MAX);
+    let by_smem = dev
+        .smem_per_sm
+        .checked_div(res.smem_bytes)
+        .unwrap_or(u32::MAX);
     let by_regs = (dev.regs_per_sm as u64)
         .checked_div(regs_per_block)
         .map_or(u32::MAX, |q| q.min(u32::MAX as u64) as u32);
-    let limit = by_threads.min(by_smem).min(by_regs).min(dev.max_blocks_per_sm);
+    let limit = by_threads
+        .min(by_smem)
+        .min(by_regs)
+        .min(dev.max_blocks_per_sm);
     debug_assert!(limit >= 1);
     Ok(limit)
 }

@@ -148,7 +148,10 @@ impl KernelTiming {
 /// Returns the launch error if the block cannot fit on an SM.
 pub fn simulate(dev: &DeviceConfig, counts: &KernelCounts) -> Result<KernelTiming, LaunchError> {
     assert!(counts.grid_blocks > 0, "empty grid");
-    assert!(counts.efficiency > 0.0 && counts.efficiency <= 1.0, "efficiency in (0,1]");
+    assert!(
+        counts.efficiency > 0.0 && counts.efficiency <= 1.0,
+        "efficiency in (0,1]"
+    );
 
     let bps = blocks_per_sm(dev, &counts.block)? as u64;
     let sm = dev.sm_count as u64;
@@ -167,7 +170,11 @@ pub fn simulate(dev: &DeviceConfig, counts: &KernelCounts) -> Result<KernelTimin
     };
     let waves = full_waves as f64 + tail_fraction;
     let ideal_waves = blocks as f64 / concurrent as f64;
-    let wave_imbalance = if ideal_waves > 0.0 { (waves / ideal_waves).max(1.0) } else { 1.0 };
+    let wave_imbalance = if ideal_waves > 0.0 {
+        (waves / ideal_waves).max(1.0)
+    } else {
+        1.0
+    };
 
     // --- Pipeline fill ---------------------------------------------------
     // Filling the software pipeline costs ~stages iterations; the drain
@@ -196,8 +203,7 @@ pub fn simulate(dev: &DeviceConfig, counts: &KernelCounts) -> Result<KernelTimin
 
     let load_bytes = counts.gmem_load_bytes_per_block as f64 * blocks as f64;
     let store_bytes = counts.gmem_store_bytes_per_block as f64 * blocks as f64;
-    let dram_s =
-        (load_bytes * (1.0 - counts.l2_hit_fraction) + store_bytes) / dev.dram_bw_bytes();
+    let dram_s = (load_bytes * (1.0 - counts.l2_hit_fraction) + store_bytes) / dev.dram_bw_bytes();
     let l2_s = (load_bytes + store_bytes) / (dev.dram_bw_bytes() * dev.l2_bw_multiplier);
 
     let roofs = [tensor_s, cuda_s, smem_s, dram_s, l2_s];
@@ -209,8 +215,8 @@ pub fn simulate(dev: &DeviceConfig, counts: &KernelCounts) -> Result<KernelTimin
 
     // Stage-3 epilogue: runs after the k-loop behind a block-wide barrier,
     // serialized on the SM's shared-memory unit — additive, not hidden.
-    let epilogue_s = counts.smem_epilogue_transactions_per_block as f64 * blocks as f64
-        / (sm as f64 * clock);
+    let epilogue_s =
+        counts.smem_epilogue_transactions_per_block as f64 * blocks as f64 / (sm as f64 * clock);
 
     let main_s = (steady_s + epilogue_s) * wave_imbalance;
 
@@ -235,7 +241,11 @@ pub fn simulate(dev: &DeviceConfig, counts: &KernelCounts) -> Result<KernelTimin
     Ok(KernelTiming {
         time_ms: total_s * 1e3,
         limiter,
-        tflops: if total_s > 0.0 { counts.effective_flops as f64 / total_s / 1e12 } else { 0.0 },
+        tflops: if total_s > 0.0 {
+            counts.effective_flops as f64 / total_s / 1e12
+        } else {
+            0.0
+        },
         roofs_ms: roofs.map(|r| r * 1e3),
         wave_imbalance,
         pipeline_efficiency,
@@ -318,7 +328,11 @@ mod tests {
         big.grid_blocks = 96;
         big.block = BlockResources::new(256, 80 * 1024, 96); // bps = 1
         let t_big = simulate(&dev(), &big).unwrap();
-        assert!(t_big.wave_imbalance > 1.5, "imbalance={}", t_big.wave_imbalance);
+        assert!(
+            t_big.wave_imbalance > 1.5,
+            "imbalance={}",
+            t_big.wave_imbalance
+        );
         let t_small = simulate(&dev(), &dense_counts(4096)).unwrap();
         assert!(t_small.wave_imbalance < 1.3);
     }

@@ -45,7 +45,11 @@ pub fn analyze(dev: &DeviceConfig, counts: &KernelCounts) -> Roofline {
     let dram_bytes = (counts.gmem_load_bytes_per_block as f64 * (1.0 - counts.l2_hit_fraction)
         + counts.gmem_store_bytes_per_block as f64)
         * blocks;
-    let intensity = if dram_bytes > 0.0 { flops / dram_bytes } else { f64::INFINITY };
+    let intensity = if dram_bytes > 0.0 {
+        flops / dram_bytes
+    } else {
+        f64::INFINITY
+    };
     let roof = compute_roof(dev, counts);
     let ridge = roof / dev.dram_bw_bytes();
     let attainable = roof.min(intensity * dev.dram_bw_bytes());
@@ -66,7 +70,11 @@ impl Roofline {
             "AI {:.1} FLOP/B vs ridge {:.1} -> {} bound, attainable {:.1} TFLOP/s",
             self.intensity,
             self.ridge,
-            if self.memory_bound { "bandwidth" } else { "compute" },
+            if self.memory_bound {
+                "bandwidth"
+            } else {
+                "compute"
+            },
             self.attainable_flops / 1e12
         )
     }

@@ -69,10 +69,26 @@ pub struct MmaSpSupport {
 
 /// Table 1 of the paper: matrix shapes for `mma.sp` on SPTCs.
 pub const MMA_SP_TABLE: [MmaSpSupport; 4] = [
-    MmaSpSupport { precision: Precision::Fp32, pattern: SpPattern { n: 1, m: 2 }, k_values: [8, 16] },
-    MmaSpSupport { precision: Precision::Fp16, pattern: SpPattern { n: 2, m: 4 }, k_values: [16, 32] },
-    MmaSpSupport { precision: Precision::Uint8, pattern: SpPattern { n: 2, m: 4 }, k_values: [32, 64] },
-    MmaSpSupport { precision: Precision::Uint4, pattern: SpPattern { n: 2, m: 4 }, k_values: [64, 128] },
+    MmaSpSupport {
+        precision: Precision::Fp32,
+        pattern: SpPattern { n: 1, m: 2 },
+        k_values: [8, 16],
+    },
+    MmaSpSupport {
+        precision: Precision::Fp16,
+        pattern: SpPattern { n: 2, m: 4 },
+        k_values: [16, 32],
+    },
+    MmaSpSupport {
+        precision: Precision::Uint8,
+        pattern: SpPattern { n: 2, m: 4 },
+        k_values: [32, 64],
+    },
+    MmaSpSupport {
+        precision: Precision::Uint4,
+        pattern: SpPattern { n: 2, m: 4 },
+        k_values: [64, 128],
+    },
 ];
 
 /// Fixed `m` dimension of every `mma.sp` shape.
@@ -86,9 +102,7 @@ pub fn is_supported_sp(precision: Precision, shape: MmaShape, pattern: SpPattern
         return false;
     }
     MMA_SP_TABLE.iter().any(|row| {
-        row.precision == precision
-            && row.pattern == pattern
-            && row.k_values.contains(&shape.k)
+        row.precision == precision && row.pattern == pattern && row.k_values.contains(&shape.k)
     })
 }
 
@@ -153,7 +167,11 @@ pub fn mma_dense_f16_f32b(shape: MmaShape, a: &[Half], b: &[f32], d: &mut [f32])
 /// # Panics
 /// Panics on size mismatches, `shape.k % 4 != 0`, or out-of-range metadata.
 pub fn mma_sp_f16(shape: MmaShape, values: &[Half], meta: &[u8], b: &[Half], d: &mut [f32]) {
-    assert_eq!(shape.k % 4, 0, "sparse k must be a multiple of the group size");
+    assert_eq!(
+        shape.k % 4,
+        0,
+        "sparse k must be a multiple of the group size"
+    );
     let half_k = shape.k / 2;
     assert_eq!(values.len(), shape.m * half_k, "values fragment size");
     assert_eq!(meta.len(), values.len(), "metadata size");
@@ -222,7 +240,11 @@ pub fn mma_sp_f32_strided(
     d: &mut [f32],
     d_stride: usize,
 ) {
-    assert_eq!(shape.k % 4, 0, "sparse k must be a multiple of the group size");
+    assert_eq!(
+        shape.k % 4,
+        0,
+        "sparse k must be a multiple of the group size"
+    );
     let half_k = shape.k / 2;
     assert_eq!(values.len(), shape.m * half_k, "values fragment size");
     assert_eq!(meta.len(), values.len(), "metadata size");
@@ -251,6 +273,80 @@ pub fn mma_sp_f32_strided(
     }
 }
 
+/// Functional dense int8 `mma.m16n8kX` (i8 in, exact i32 accumulate):
+/// `d[m][n] += a[m][k] * b[k][n]`, all row-major.
+///
+/// Integer accumulation never rounds, so — unlike the fp16 executors,
+/// whose bit-exactness contract has to pin an accumulation order — any
+/// traversal of the same products is bit-identical. Zero operands are
+/// skipped to mirror [`mma_dense_f16`]'s padding-slot semantics (a zero
+/// contributes nothing either way).
+///
+/// # Panics
+/// Panics if slice lengths do not match the shape.
+pub fn mma_dense_i8(shape: MmaShape, a: &[i8], b: &[i8], d: &mut [i32]) {
+    assert_eq!(a.len(), shape.m * shape.k, "A fragment size");
+    assert_eq!(b.len(), shape.k * shape.n, "B fragment size");
+    assert_eq!(d.len(), shape.m * shape.n, "D fragment size");
+    for i in 0..shape.m {
+        for kk in 0..shape.k {
+            let av = a[i * shape.k + kk];
+            if av == 0 {
+                continue;
+            }
+            let avi = av as i32;
+            for j in 0..shape.n {
+                d[i * shape.n + j] += avi * b[kk * shape.n + j] as i32;
+            }
+        }
+    }
+}
+
+/// Functional sparse int8 `mma.sp.m16n8kX` (2:4, exact i32 accumulation)
+/// — the `Uint8` rows of Table 1 (k ∈ {32, 64}).
+///
+/// Operand layout matches [`mma_sp_f16`]: `values` holds the `m x k/2`
+/// stored nonzeros, `meta` the 2-bit position of each value inside its
+/// group of four k columns, `b` the dense `k x n` fragment. A stored value
+/// of 0 marks a padding slot and is skipped (identical result either way
+/// in exact integer arithmetic; the skip keeps the executor's traversal
+/// aligned with the fp16 variant).
+///
+/// # Panics
+/// Panics on size mismatches, `shape.k % 4 != 0`, or out-of-range
+/// metadata.
+pub fn mma_sp_i8(shape: MmaShape, values: &[i8], meta: &[u8], b: &[i8], d: &mut [i32]) {
+    assert_eq!(
+        shape.k % 4,
+        0,
+        "sparse k must be a multiple of the group size"
+    );
+    let half_k = shape.k / 2;
+    assert_eq!(values.len(), shape.m * half_k, "values fragment size");
+    assert_eq!(meta.len(), values.len(), "metadata size");
+    assert_eq!(b.len(), shape.k * shape.n, "B fragment size");
+    assert_eq!(d.len(), shape.m * shape.n, "D fragment size");
+
+    for i in 0..shape.m {
+        for g in 0..shape.k / 4 {
+            for s in 0..2 {
+                let slot = i * half_k + g * 2 + s;
+                let v = values[slot];
+                if v == 0 {
+                    continue;
+                }
+                let idx = meta[slot] as usize;
+                assert!(idx < 4, "metadata index out of range");
+                let kk = g * 4 + idx;
+                let vi = v as i32;
+                for j in 0..shape.n {
+                    d[i * shape.n + j] += vi * b[kk * shape.n + j] as i32;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,8 +365,16 @@ mod tests {
             SpPattern { n: 2, m: 4 }
         ));
         // fp32 only supports 1:2.
-        assert!(is_supported_sp(Precision::Fp32, MmaShape::new(16, 8, 8), SpPattern { n: 1, m: 2 }));
-        assert!(!is_supported_sp(Precision::Fp32, MmaShape::new(16, 8, 8), SpPattern { n: 2, m: 4 }));
+        assert!(is_supported_sp(
+            Precision::Fp32,
+            MmaShape::new(16, 8, 8),
+            SpPattern { n: 1, m: 2 }
+        ));
+        assert!(!is_supported_sp(
+            Precision::Fp32,
+            MmaShape::new(16, 8, 8),
+            SpPattern { n: 2, m: 4 }
+        ));
         // uint4 reaches k128.
         assert!(is_supported_sp(
             Precision::Uint4,
@@ -325,7 +429,11 @@ mod tests {
                 }
             }
         }
-        let b = f16s(&(0..32 * 8).map(|x| (x % 13) as f32 * 0.5 - 3.0).collect::<Vec<_>>());
+        let b = f16s(
+            &(0..32 * 8)
+                .map(|x| (x % 13) as f32 * 0.5 - 3.0)
+                .collect::<Vec<_>>(),
+        );
         let mut d_sparse = vec![0.0f32; 16 * 8];
         mma_sp_f16(shape, &values, &meta, &b, &mut d_sparse);
         let mut d_dense = vec![0.0f32; 16 * 8];
@@ -352,7 +460,9 @@ mod tests {
             0x0001u16, 0x8001, 0x03FF, 0x83FF, 0x0400, 0x3C00, 0xBC00, 0x7BFF, 0xFBFF, 0x0000,
             0x8000, 0x2E66, 0x3555, 0x0203,
         ];
-        (0..len).map(|i| Half::from_bits(pool[(i * 7 + i / 3) % pool.len()])).collect()
+        (0..len)
+            .map(|i| Half::from_bits(pool[(i * 7 + i / 3) % pool.len()]))
+            .collect()
     }
 
     #[test]
@@ -394,7 +504,15 @@ mod tests {
             b_wide[kk * bs + 3..kk * bs + 3 + 8].copy_from_slice(&b_f32[kk * 8..kk * 8 + 8]);
         }
         let mut d_strided = vec![0.25f32; 16 * ds + 8];
-        mma_sp_f32_strided(shape, &values_f32, &meta, &b_wide[3..], bs, &mut d_strided, ds);
+        mma_sp_f32_strided(
+            shape,
+            &values_f32,
+            &meta,
+            &b_wide[3..],
+            bs,
+            &mut d_strided,
+            ds,
+        );
         for i in 0..16 {
             for j in 0..8 {
                 assert_eq!(
@@ -423,6 +541,101 @@ mod tests {
         let mut d = vec![0.0f32; 16 * 8];
         mma_sp_f32_strided(shape, &values, &meta, &b, 8, &mut d, 8);
         assert!(d.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn int8_shapes_come_from_the_uint8_table_row() {
+        // The Uint8 row of Table 1: 2:4 at k32 and k64, double the k-depth
+        // of the fp16 row — the instruction-count halving the int8 cost
+        // model charges.
+        for k in [32usize, 64] {
+            assert!(is_supported_sp(
+                Precision::Uint8,
+                MmaShape::new(16, 8, k),
+                SpPattern { n: 2, m: 4 }
+            ));
+        }
+        assert!(!is_supported_sp(
+            Precision::Uint8,
+            MmaShape::new(16, 8, 16),
+            SpPattern { n: 2, m: 4 }
+        ));
+    }
+
+    #[test]
+    fn dense_i8_mma_small_example() {
+        let shape = MmaShape::new(2, 2, 2);
+        let a = vec![1i8, 2, 3, 4];
+        let b = vec![5i8, 6, 7, 8];
+        let mut d = vec![0i32; 4];
+        mma_dense_i8(shape, &a, &b, &mut d);
+        assert_eq!(d, vec![19, 22, 43, 50]);
+    }
+
+    #[test]
+    fn sparse_i8_mma_matches_dense_expansion_at_table_shapes() {
+        // Both Uint8 k-depths with a known 2:4 pattern: the sparse
+        // executor must equal the dense expansion exactly (i32 exact).
+        for k in [32usize, 64] {
+            let shape = MmaShape::new(16, 8, k);
+            assert!(is_supported_sp(
+                Precision::Uint8,
+                shape,
+                SpPattern { n: 2, m: 4 }
+            ));
+            let half_k = k / 2;
+            let mut a_dense = vec![0i8; 16 * k];
+            let mut values = vec![0i8; 16 * half_k];
+            let mut meta = vec![0u8; 16 * half_k];
+            for i in 0..16 {
+                for g in 0..k / 4 {
+                    for (s, idx) in [1usize, 3].iter().enumerate() {
+                        let v = ((i * 31 + g * 7 + s * 13) % 255) as i32 - 127;
+                        a_dense[i * k + g * 4 + idx] = v as i8;
+                        values[i * half_k + g * 2 + s] = v as i8;
+                        meta[i * half_k + g * 2 + s] = *idx as u8;
+                    }
+                }
+            }
+            let b: Vec<i8> = (0..k * 8)
+                .map(|x| ((x * 37) % 255) as i32 as u8 as i8)
+                .collect();
+            let mut d_sparse = vec![7i32; 16 * 8];
+            let mut d_dense = vec![7i32; 16 * 8];
+            mma_sp_i8(shape, &values, &meta, &b, &mut d_sparse);
+            mma_dense_i8(shape, &a_dense, &b, &mut d_dense);
+            assert_eq!(d_sparse, d_dense, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sparse_i8_accumulation_is_exact_past_the_f32_window() {
+        // Saturated operands at k64, accumulated over many issues: the
+        // running sum leaves f32's 2^24 exact-integer window but stays
+        // exact in i32.
+        let shape = MmaShape::new(16, 8, 64);
+        let values = vec![127i8; 16 * 32];
+        let meta: Vec<u8> = (0..16 * 32).map(|i| ((i % 2) * 2) as u8).collect();
+        let b = vec![127i8; 64 * 8];
+        let mut d = vec![0i32; 16 * 8];
+        let issues = 40; // 32 products/issue * 127^2 * 40 = 20.6M > 2^24
+        for _ in 0..issues {
+            mma_sp_i8(shape, &values, &meta, &b, &mut d);
+        }
+        let want = 127 * 127 * 32 * issues;
+        assert!(want > 1 << 24);
+        assert!(d.iter().all(|&x| x == want));
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata index")]
+    fn sparse_i8_rejects_bad_metadata() {
+        let shape = MmaShape::new(16, 8, 32);
+        let values = vec![1i8; 16 * 16];
+        let meta = vec![4u8; 16 * 16];
+        let b = vec![1i8; 32 * 8];
+        let mut d = vec![0i32; 16 * 8];
+        mma_sp_i8(shape, &values, &meta, &b, &mut d);
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl WarpTrace {
 
     /// Appends one warp access.
     pub fn push(&mut self, addrs: Vec<u64>, width: u32, is_store: bool) {
-        self.accesses.push(WarpAccess { addrs, width, is_store });
+        self.accesses.push(WarpAccess {
+            addrs,
+            width,
+            is_store,
+        });
     }
 
     /// Number of recorded accesses.
@@ -79,12 +83,19 @@ pub fn replay(trace: &WarpTrace) -> TraceCost {
     let mut minimum = 0u32;
     let mut bytes = 0u64;
     for a in trace.accesses() {
-        let AccessCost { transactions: t, minimum: m } = warp_access(&a.addrs, a.width);
+        let AccessCost {
+            transactions: t,
+            minimum: m,
+        } = warp_access(&a.addrs, a.width);
         transactions += t;
         minimum += m;
         bytes += a.addrs.len() as u64 * a.width as u64;
     }
-    TraceCost { transactions, minimum, bytes }
+    TraceCost {
+        transactions,
+        minimum,
+        bytes,
+    }
 }
 
 /// Builds the trace of a warp loading one Fig. 7 interleaved value tile
@@ -142,7 +153,11 @@ mod tests {
     fn fig8_epilogue_is_conflict_free_across_iterations() {
         // Each thread stores 8 partial results (BSc/MMAc = 64/8, Fig. 8).
         let cost = replay(&fig8_epilogue_store_trace(0, 8));
-        assert_eq!(cost.conflict_factor(), 1.0, "padded layout must be conflict-free");
+        assert_eq!(
+            cost.conflict_factor(),
+            1.0,
+            "padded layout must be conflict-free"
+        );
         assert_eq!(cost.transactions, 8 * 4);
     }
 

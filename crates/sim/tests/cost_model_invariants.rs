@@ -123,8 +123,11 @@ fn roofline_consistency_with_simulation() {
     let roof = venom_sim::roofline::analyze(&dev(), &c);
     assert!(roof.memory_bound);
     let t = simulate(&dev(), &c).unwrap();
-    assert!(matches!(t.limiter, venom_sim::Limiter::Dram | venom_sim::Limiter::L2),
-        "limiter {:?}", t.limiter);
+    assert!(
+        matches!(t.limiter, venom_sim::Limiter::Dram | venom_sim::Limiter::L2),
+        "limiter {:?}",
+        t.limiter
+    );
 }
 
 #[test]

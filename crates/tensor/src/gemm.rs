@@ -72,7 +72,11 @@ pub fn gemm_parallel(a: &Matrix<Half>, b: &Matrix<Half>) -> Matrix<f32> {
 /// inside the band pass over the output buffer (one traversal), giving the
 /// same `sum + bias` each element would get from a separate epilogue pass.
 pub fn gemm_bias(a: &Matrix<Half>, b: &Matrix<Half>, bias: &[f32]) -> Matrix<f32> {
-    assert_eq!(bias.len(), b.cols(), "bias length must equal output columns");
+    assert_eq!(
+        bias.len(),
+        b.cols(),
+        "bias length must equal output columns"
+    );
     gemm_parallel_with_bias(a, b, Some(bias))
 }
 
@@ -91,29 +95,31 @@ fn gemm_parallel_with_bias(
     // Band height balances parallelism against per-task overhead on small
     // matrices; 16 rows matches the mma tile height.
     let band = 16usize;
-    out.par_chunks_mut(band * c).enumerate().for_each(|(bi, chunk)| {
-        let row0 = bi * band;
-        let rows_here = chunk.len() / c;
-        for i in 0..rows_here {
-            let arow = a.row(row0 + i);
-            let orow = &mut chunk[i * c..(i + 1) * c];
-            for (kk, &aval) in arow.iter().enumerate() {
-                if aval.is_zero() {
-                    continue;
+    out.par_chunks_mut(band * c)
+        .enumerate()
+        .for_each(|(bi, chunk)| {
+            let row0 = bi * band;
+            let rows_here = chunk.len() / c;
+            for i in 0..rows_here {
+                let arow = a.row(row0 + i);
+                let orow = &mut chunk[i * c..(i + 1) * c];
+                for (kk, &aval) in arow.iter().enumerate() {
+                    if aval.is_zero() {
+                        continue;
+                    }
+                    let av = table[aval.to_bits() as usize];
+                    let brow = &b_f32[kk * c..(kk + 1) * c];
+                    for (o, &bval) in orow.iter_mut().zip(brow) {
+                        *o += av * bval;
+                    }
                 }
-                let av = table[aval.to_bits() as usize];
-                let brow = &b_f32[kk * c..(kk + 1) * c];
-                for (o, &bval) in orow.iter_mut().zip(brow) {
-                    *o += av * bval;
+                if let Some(bias) = bias {
+                    for (o, &bv) in orow.iter_mut().zip(bias) {
+                        *o += bv;
+                    }
                 }
             }
-            if let Some(bias) = bias {
-                for (o, &bv) in orow.iter_mut().zip(bias) {
-                    *o += bv;
-                }
-            }
-        }
-    });
+        });
     Matrix::from_vec(r, c, out)
 }
 
@@ -151,8 +157,16 @@ mod tests {
 
     #[test]
     fn known_2x2_product() {
-        let a = Matrix::from_vec(2, 2, venom_fp16::slice::from_f32_slice(&[1.0, 2.0, 3.0, 4.0]));
-        let b = Matrix::from_vec(2, 2, venom_fp16::slice::from_f32_slice(&[5.0, 6.0, 7.0, 8.0]));
+        let a = Matrix::from_vec(
+            2,
+            2,
+            venom_fp16::slice::from_f32_slice(&[1.0, 2.0, 3.0, 4.0]),
+        );
+        let b = Matrix::from_vec(
+            2,
+            2,
+            venom_fp16::slice::from_f32_slice(&[5.0, 6.0, 7.0, 8.0]),
+        );
         let c = gemm_ref(&a, &b);
         assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
     }

@@ -18,7 +18,11 @@ impl<T: Copy + Default> Matrix<T> {
     /// Creates a matrix filled with `T::default()`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
-        Matrix { rows, cols, data: vec![T::default(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
     }
 }
 
@@ -29,7 +33,11 @@ impl<T: Copy> Matrix<T> {
     /// Panics if `data.len() != rows * cols` or either dimension is zero.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -122,7 +130,11 @@ impl<T: Copy> Matrix<T> {
                 out.push(self.get(r, c));
             }
         }
-        Matrix { rows: self.cols, cols: self.rows, data: out }
+        Matrix {
+            rows: self.cols,
+            cols: self.rows,
+            data: out,
+        }
     }
 
     /// Copies a `row_count x col_count` block starting at `(row0, col0)`.
@@ -137,7 +149,11 @@ impl<T: Copy> Matrix<T> {
 
     /// Applies `f` to every element, producing a new matrix.
     pub fn map<U: Copy>(&self, f: impl Fn(T) -> U) -> Matrix<U> {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 }
 

@@ -18,7 +18,11 @@ pub fn max_abs_diff(a: &Matrix<f32>, b: &Matrix<f32>) -> f32 {
 /// Frobenius norm of a matrix, computed in f64 to avoid overflow at
 /// benchmark sizes.
 pub fn frobenius(a: &Matrix<f32>) -> f64 {
-    a.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    a.as_slice()
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Relative Frobenius error `||a - b||_F / ||b||_F` (0 when both are zero).

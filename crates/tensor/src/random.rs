@@ -18,7 +18,10 @@ pub struct NormalSampler {
 impl NormalSampler {
     /// Creates a sampler from a seed.
     pub fn new(seed: u64) -> Self {
-        NormalSampler { rng: StdRng::seed_from_u64(seed), cached: None }
+        NormalSampler {
+            rng: StdRng::seed_from_u64(seed),
+            cached: None,
+        }
     }
 
     /// Draws one standard-normal sample.
@@ -44,7 +47,9 @@ impl NormalSampler {
 /// `rows x cols` matrix of N(mean, std^2) samples.
 pub fn normal_matrix(rows: usize, cols: usize, mean: f32, std: f32, seed: u64) -> Matrix<f32> {
     let mut s = NormalSampler::new(seed);
-    Matrix::from_fn(rows, cols, |_, _| s.sample_with(mean as f64, std as f64) as f32)
+    Matrix::from_fn(rows, cols, |_, _| {
+        s.sample_with(mean as f64, std as f64) as f32
+    })
 }
 
 /// `rows x cols` matrix of uniform samples in `[lo, hi)`.
@@ -85,8 +90,12 @@ mod tests {
         let m = normal_matrix(200, 200, 3.0, 2.0, 1);
         let n = m.len() as f64;
         let mean: f64 = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var: f64 =
-            m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "std={}", var.sqrt());
     }
@@ -104,7 +113,12 @@ mod tests {
         let std = |m: &Matrix<f32>| {
             let n = m.len() as f64;
             let mean: f64 = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
-            (m.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n).sqrt()
+            (m.as_slice()
+                .iter()
+                .map(|&x| (x as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n)
+                .sqrt()
         };
         assert!(std(&small) > std(&large) * 2.0);
     }

@@ -26,17 +26,19 @@ fn main() {
         let opts = SpmmOptions::default();
         let def = default_config(&a, c, &device);
         let def_counts = build_counts(&a, c, &def, &opts);
-        let def_ms = venom::sim::pipeline::simulate(&device, &def_counts).unwrap().time_ms;
+        let def_ms = venom::sim::pipeline::simulate(&device, &def_counts)
+            .unwrap()
+            .time_ms;
 
         let (best, best_ms) = autotune(&a, c, &opts, &device);
         println!("default  {def}: {def_ms:.3} ms");
-        println!("autotuned {best}: {best_ms:.3} ms ({:.1}% faster)", 100.0 * (def_ms - best_ms) / def_ms);
+        println!(
+            "autotuned {best}: {best_ms:.3} ms ({:.1}% faster)",
+            100.0 * (def_ms - best_ms) / def_ms
+        );
 
-        let timing = venom::sim::pipeline::simulate(
-            &device,
-            &build_counts(&a, c, &best, &opts),
-        )
-        .unwrap();
+        let timing =
+            venom::sim::pipeline::simulate(&device, &build_counts(&a, c, &best, &opts)).unwrap();
         println!(
             "  limiter {:?}, waves {:.2}, pipeline efficiency {:.2}, {:.1} TFLOP/s effective",
             timing.limiter, timing.waves, timing.pipeline_efficiency, timing.tflops

@@ -21,7 +21,15 @@ const CLASSES: usize = 6;
 fn apply(mlp: &mut Mlp, mask: &SparsityMask, weights: &Matrix<f32>) {
     for j in 0..HIDDEN {
         for d in 0..DIM {
-            mlp.w1.set(j, d, if mask.get(j, d) { weights.get(j, d) } else { 0.0 });
+            mlp.w1.set(
+                j,
+                d,
+                if mask.get(j, d) {
+                    weights.get(j, d)
+                } else {
+                    0.0
+                },
+            );
         }
     }
 }
@@ -41,7 +49,11 @@ fn main() {
     let sched = StructureDecayScheduler::halving(target);
     println!(
         "structure decay schedule: {:?}",
-        sched.steps().iter().map(|s| format!("N={} ({:.0}%)", s.n(), 100.0 * s.sparsity())).collect::<Vec<_>>()
+        sched
+            .steps()
+            .iter()
+            .map(|s| format!("N={} ({:.0}%)", s.n(), 100.0 * s.sparsity()))
+            .collect::<Vec<_>>()
     );
     for step in sched.steps() {
         let grads = gradual.per_sample_w1_grads(&train);
@@ -73,7 +85,10 @@ fn main() {
     apply(&mut mag, &mask_mag, &snapshot);
     mag.train(&train, 450, 0.4, Some(&mask_mag));
 
-    println!("\nfinal accuracy at {target} ({:.1}% sparsity):", 100.0 * target.sparsity());
+    println!(
+        "\nfinal accuracy at {target} ({:.1}% sparsity):",
+        100.0 * target.sparsity()
+    );
     println!("  gradual 2nd-order : {:.3}", gradual.accuracy(&test));
     println!("  one-shot 2nd-order: {:.3}", oneshot.accuracy(&test));
     println!("  one-shot magnitude: {:.3}", mag.accuracy(&test));

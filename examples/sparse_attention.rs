@@ -36,7 +36,10 @@ fn main() {
 
     // 1. Sampled score computation.
     let scores = sddmm(&q, &kt, &mask, cfg, ExecMode::Functional, &device);
-    println!("sddmm: {:.4} ms simulated ({:?})", scores.timing.time_ms, scores.timing.limiter);
+    println!(
+        "sddmm: {:.4} ms simulated ({:?})",
+        scores.timing.time_ms, scores.timing.limiter
+    );
 
     // 2. Softmax over the surviving entries (dense staging for clarity).
     let scale = 1.0 / (d_head as f32).sqrt();
@@ -66,16 +69,24 @@ fn main() {
 
     // 3. Probabilities x values through Spatha.
     let out = spmm(&probs, &v, &SpmmOptions::default(), &device);
-    println!("spmm:  {:.4} ms simulated ({:?})", out.timing.time_ms, out.timing.limiter);
+    println!(
+        "spmm:  {:.4} ms simulated ({:?})",
+        out.timing.time_ms, out.timing.limiter
+    );
 
     // Verify against the dense attention on the same (masked) scores.
     let reference = gemm::gemm_ref(&probs.decompress(), &v);
     let err = norms::rel_frobenius_error(&out.c, &reference);
-    println!("output {}x{}, relative error vs reference: {err:.2e}", out.c.rows(), out.c.cols());
+    println!(
+        "output {}x{}, relative error vs reference: {err:.2e}",
+        out.c.rows(),
+        out.c.cols()
+    );
     assert!(err < 1e-5);
 
     // Compare with fully dense attention cost at the same sizes.
-    let dense_scores_t = venom::baselines::DenseGemm::time(GemmShape::new(seq, d_head, seq), &device);
+    let dense_scores_t =
+        venom::baselines::DenseGemm::time(GemmShape::new(seq, d_head, seq), &device);
     let dense_ctx_t = venom::baselines::DenseGemm::time(GemmShape::new(seq, seq, d_head), &device);
     println!(
         "dense attention matmuls would cost {:.4} ms; sparse pipeline {:.4} ms",

@@ -8,10 +8,12 @@ Two jobs:
    positive median, and the planned serving paths must actually beat
    their per-call references (`speedup_vs_ref > 1`).
 
-2. **Regression gate** — compares the fresh run against the committed
-   baseline on the labels both files share. CI machines differ from the
-   machine that produced the committed file, so raw milliseconds are not
-   directly comparable; a label fails only when BOTH hold:
+2. **Regression gate** — first fails if any series of the committed
+   baseline is missing from the fresh run (a dropped series cannot
+   regress, so silence must be an error), then compares the fresh run
+   against the baseline on the shared labels. CI machines differ from
+   the machine that produced the committed file, so raw milliseconds are
+   not directly comparable; a label fails only when BOTH hold:
 
    * its raw ratio ``new/old`` exceeds ``--tolerance`` (it is actually
      slower than the committed number), and
@@ -56,6 +58,11 @@ EXPECTED_LABELS = [
     "fmt_csr_k768",
     "fmt_cvse_k768",
     "fmt_blocked_ell_k768",
+    # Int8 quantized path (ISSUE 5): the planned i8 stream vs the f16
+    # functional per-call path, and plan-once/run-many on the integer
+    # path.
+    "fig09_k768_i8",
+    "fig09_k768_i8_plan",
 ]
 
 # Labels whose speedup over the retained reference path is the point of
@@ -70,6 +77,11 @@ SPEEDUP_FLOORS = {
     # The auto-selected plan replays a condensed stream; its per-call
     # reference redoes tile selection and staging every dispatch.
     "fig09_k768_auto": 1.0,
+    # The int8 series must beat their references: the planned i8 stream
+    # vs the per-call f16 functional path, and the planned i8 replay vs
+    # per-call re-quantization.
+    "fig09_k768_i8": 1.0,
+    "fig09_k768_i8_plan": 1.0,
 }
 
 
@@ -94,6 +106,14 @@ def validate(series):
 
 
 def check_regressions(baseline, new, tolerance):
+    # A series present in the committed baseline but absent from the
+    # fresh run cannot regress by definition — so its disappearance must
+    # itself fail the gate (a silently dropped series used to pass).
+    dropped = sorted(set(baseline) - set(new))
+    if dropped:
+        print(f"FAIL: series present in the baseline but missing from the "
+              f"fresh run: {dropped}")
+        return dropped
     shared = sorted(set(baseline) & set(new))
     assert shared, "no shared series labels between baseline and new run"
     ratios = {label: new[label]["median_ms"] / baseline[label]["median_ms"] for label in shared}

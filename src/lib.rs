@@ -18,6 +18,9 @@
 //! * [`baselines`] — cuBLAS-, cuSparseLt-, Sputnik- and CLASP-like models.
 //! * [`pruner`] — magnitude and second-order (OBS) pruning, energy metric,
 //!   gradual structure-decay scheduling.
+//! * [`quant`] — calibrated symmetric int8 quantization (absmax and
+//!   percentile calibrators) and the exact i32 references behind the
+//!   engine's `i8` descriptor path.
 //! * [`dnn`] — transformer inference substrate and latency profiling.
 //!
 //! ## Quickstart
@@ -45,6 +48,7 @@ pub use venom_dnn as dnn;
 pub use venom_format as format;
 pub use venom_fp16 as fp16;
 pub use venom_pruner as pruner;
+pub use venom_quant as quant;
 pub use venom_runtime as runtime;
 pub use venom_sim as sim;
 pub use venom_tensor as tensor;
@@ -52,10 +56,13 @@ pub use venom_tensor as tensor;
 /// Commonly used types, re-exported for `use venom::prelude::*`.
 pub mod prelude {
     pub use venom_core::{spmm, SpmmOptions, SpmmResult, TileConfig};
-    pub use venom_format::{MatmulFormat, NmConfig, SparsityMask, VnmConfig, VnmMatrix};
+    pub use venom_format::{
+        MatmulFormat, NmConfig, QuantVnmMatrix, SparsityMask, VnmConfig, VnmMatrix,
+    };
     pub use venom_fp16::Half;
+    pub use venom_quant::Calibration;
     pub use venom_runtime::{
-        Engine, GemmPlan, MatmulDescriptor, MatmulPlan, PlanError, SpmmPlan,
+        DType, Engine, GemmPlan, MatmulDescriptor, MatmulPlan, PlanError, QuantSpmmPlan, SpmmPlan,
     };
     pub use venom_sim::{DeviceConfig, KernelTiming};
     pub use venom_tensor::{GemmShape, Matrix};

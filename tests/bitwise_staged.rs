@@ -8,8 +8,8 @@
 //! fp16 values (subnormals, signed zeros, extreme normals; NaN-free as
 //! the kernels require finite weights).
 
-use venom::fp16::Half;
 use venom::format::{SparsityMask, VnmConfig, VnmMatrix};
+use venom::fp16::Half;
 use venom::prelude::*;
 use venom::pruner::magnitude;
 use venom::sim::tensorcore::{mma_sp_f16, mma_sp_f16_f32b, MmaShape};
@@ -18,14 +18,20 @@ use venom::tensor::{gemm, random};
 
 /// The grid the suite sweeps: every V the kernels support crossed with the
 /// two N:M patterns the paper's microbenchmarks use most.
-const GRID: [(usize, usize, usize); 6] =
-    [(16, 2, 8), (16, 2, 16), (64, 2, 8), (64, 2, 16), (128, 2, 8), (128, 2, 16)];
+const GRID: [(usize, usize, usize); 6] = [
+    (16, 2, 8),
+    (16, 2, 16),
+    (64, 2, 8),
+    (64, 2, 16),
+    (128, 2, 8),
+    (128, 2, 16),
+];
 
 /// Edge-case fp16 bit patterns: subnormals (min, max, mixed), smallest and
 /// largest normals, signed zeros, and ordinary values. No NaN/inf.
 const EDGE_BITS: [u16; 14] = [
-    0x0001, 0x8001, 0x03FF, 0x83FF, 0x0203, 0x0400, 0x8400, 0x7BFF, 0xFBFF, 0x0000, 0x8000,
-    0x3C00, 0xBC00, 0x2E66,
+    0x0001, 0x8001, 0x03FF, 0x83FF, 0x0203, 0x0400, 0x8400, 0x7BFF, 0xFBFF, 0x0000, 0x8000, 0x3C00,
+    0xBC00, 0x2E66,
 ];
 
 fn edge_half(i: usize) -> Half {
@@ -84,11 +90,25 @@ fn staged_spmm_matches_on_random_weights_across_grid() {
 fn staged_gemm_matches_both_references_bitwise() {
     // Edge values plus explicit zero columns to exercise the zero-skip.
     let (r, k, c) = (37, 29, 43);
-    let a = Matrix::from_fn(r, k, |i, j| if j % 5 == 2 { Half::ZERO } else { edge_half(i * k + j) });
+    let a = Matrix::from_fn(r, k, |i, j| {
+        if j % 5 == 2 {
+            Half::ZERO
+        } else {
+            edge_half(i * k + j)
+        }
+    });
     let b = Matrix::from_fn(k, c, |i, j| edge_half(i * c + j + 11));
     let staged = gemm::gemm_parallel(&a, &b);
-    assert_eq!(staged, gemm::gemm_ref(&a, &b), "staged vs zero-skip reference");
-    assert_eq!(staged, gemm::gemm_ref_strict(&a, &b), "staged vs strict reference");
+    assert_eq!(
+        staged,
+        gemm::gemm_ref(&a, &b),
+        "staged vs zero-skip reference"
+    );
+    assert_eq!(
+        staged,
+        gemm::gemm_ref_strict(&a, &b),
+        "staged vs strict reference"
+    );
 }
 
 #[test]
@@ -129,6 +149,10 @@ fn staged_mma_variant_matches_retained_half_reference() {
 fn lut_decode_is_exact_for_every_edge_pattern() {
     for &bits in &EDGE_BITS {
         let h = Half::from_bits(bits);
-        assert_eq!(h.to_f32_lut().to_bits(), h.to_f32().to_bits(), "bits {bits:#06x}");
+        assert_eq!(
+            h.to_f32_lut().to_bits(),
+            h.to_f32().to_bits(),
+            "bits {bits:#06x}"
+        );
     }
 }

@@ -25,8 +25,12 @@ fn engine() -> Engine {
 
 /// Formats whose eligibility never depends on the nonzero structure
 /// (given block-divisible shapes for Blocked-ELL).
-const ALWAYS_ELIGIBLE: [MatmulFormat; 4] =
-    [MatmulFormat::Csr, MatmulFormat::Cvse, MatmulFormat::BlockedEll, MatmulFormat::Dense];
+const ALWAYS_ELIGIBLE: [MatmulFormat; 4] = [
+    MatmulFormat::Csr,
+    MatmulFormat::Cvse,
+    MatmulFormat::BlockedEll,
+    MatmulFormat::Dense,
+];
 
 /// The generic conformance check: plans `weights` in `format` through
 /// the engine and asserts every run path against the plan's own dense
@@ -59,7 +63,9 @@ fn check_format(engine: &Engine, format: MatmulFormat, weights: &Matrix<Half>, t
 
     // The fused layer chain equals the per-call layer chain.
     let x = random::activation_matrix(11, weights.cols(), 9);
-    let bias: Vec<f32> = (0..weights.rows()).map(|i| (i as f32) * 0.01 - 0.2).collect();
+    let bias: Vec<f32> = (0..weights.rows())
+        .map(|i| (i as f32) * 0.01 - 0.2)
+        .collect();
     assert_eq!(
         plan.run_linear(&x, &bias),
         plan.run_linear_percall(&x, &bias),
@@ -69,7 +75,11 @@ fn check_format(engine: &Engine, format: MatmulFormat, weights: &Matrix<Half>, t
 
 /// Direct trait-level oracle check for a concrete kernel value.
 fn check_kernel_oracle(kernel: &dyn SparseKernel, b: &Matrix<Half>, tag: &str) {
-    assert_eq!(kernel.spmm_parallel(b), kernel.spmm_ref(b), "{tag}: parallel vs ref");
+    assert_eq!(
+        kernel.spmm_parallel(b),
+        kernel.spmm_ref(b),
+        "{tag}: parallel vs ref"
+    );
 }
 
 #[test]
@@ -100,7 +110,12 @@ fn every_format_conforms_across_the_vnm_grid() {
             // only for kernel-launchable V (the probed grid starts at 16;
             // V=8 weights plan through `plan_spmm` as above).
             if v >= 16 {
-                check_format(&engine, MatmulFormat::Vnm, &pruned, &format!("{tag} vnm-redetect"));
+                check_format(
+                    &engine,
+                    MatmulFormat::Vnm,
+                    &pruned,
+                    &format!("{tag} vnm-redetect"),
+                );
             }
         }
     }
@@ -146,7 +161,10 @@ fn all_dense_weights_conform_where_eligible() {
     let desc = engine.descriptor(32, 32);
     for f in [MatmulFormat::Vnm, MatmulFormat::Nm] {
         let err = engine.plan_with_format(f, &desc, &w).unwrap_err();
-        assert!(!err.to_string().is_empty(), "{f} must explain ineligibility");
+        assert!(
+            !err.to_string().is_empty(),
+            "{f} must explain ineligibility"
+        );
     }
 }
 
@@ -165,7 +183,12 @@ fn plan_auto_picks_csr_for_unstructured_high_sparsity() {
         mask.apply_f32(&d).to_half()
     };
     let plan = engine.plan_auto(&engine.descriptor(1024, 4096), &w);
-    assert_eq!(plan.format(), MatmulFormat::Csr, "cost {:?}", plan.cost_ms());
+    assert_eq!(
+        plan.format(),
+        MatmulFormat::Csr,
+        "cost {:?}",
+        plan.cost_ms()
+    );
     // And it genuinely beats the dense plan's price.
     let dense = engine
         .plan_with_format(MatmulFormat::Dense, &engine.descriptor(1024, 4096), &w)
@@ -181,8 +204,13 @@ fn fully_empty_weight_conforms() {
     let w = Matrix::<Half>::zeros(16, 16);
     let b = random::normal_matrix(16, 7, 0.0, 1.0, 15).to_half();
     for f in ALWAYS_ELIGIBLE {
-        let plan = engine.plan_with_format(f, &engine.descriptor(16, 16), &w).unwrap();
+        let plan = engine
+            .plan_with_format(f, &engine.descriptor(16, 16), &w)
+            .unwrap();
         let out = plan.run(&b);
-        assert!(out.as_slice().iter().all(|&x| x == 0.0), "{f}: zero weight, zero output");
+        assert!(
+            out.as_slice().iter().all(|&x| x == 0.0),
+            "{f}: zero weight, zero output"
+        );
     }
 }

@@ -15,7 +15,11 @@ const DIM: usize = 32;
 const HIDDEN: usize = 64;
 const CLASSES: usize = 4;
 
-fn trained_model() -> (Mlp, venom::dnn::train::data::Dataset, venom::dnn::train::data::Dataset) {
+fn trained_model() -> (
+    Mlp,
+    venom::dnn::train::data::Dataset,
+    venom::dnn::train::data::Dataset,
+) {
     let (train, test) = gaussian_clusters_split(40, 20, DIM, CLASSES, 2.5, 5);
     let mut mlp = Mlp::new(DIM, HIDDEN, CLASSES, 7);
     mlp.train(&train, 400, 0.5, None);
@@ -25,7 +29,15 @@ fn trained_model() -> (Mlp, venom::dnn::train::data::Dataset, venom::dnn::train:
 fn apply(mlp: &mut Mlp, mask: &SparsityMask, weights: &Matrix<f32>) {
     for j in 0..HIDDEN {
         for d in 0..DIM {
-            mlp.w1.set(j, d, if mask.get(j, d) { weights.get(j, d) } else { 0.0 });
+            mlp.w1.set(
+                j,
+                d,
+                if mask.get(j, d) {
+                    weights.get(j, d)
+                } else {
+                    0.0
+                },
+            );
         }
     }
 }
@@ -34,7 +46,10 @@ fn apply(mlp: &mut Mlp, mask: &SparsityMask, weights: &Matrix<f32>) {
 fn gradual_second_order_preserves_accuracy_at_2_8() {
     let (dense, train, test) = trained_model();
     let dense_acc = dense.accuracy(&test);
-    assert!(dense_acc > 0.9, "dense model must be good (got {dense_acc})");
+    assert!(
+        dense_acc > 0.9,
+        "dense model must be good (got {dense_acc})"
+    );
 
     let target = VnmConfig::new(16, 2, 8);
     let sched = StructureDecayScheduler::halving(target);
@@ -78,12 +93,7 @@ fn second_order_energy_not_worse_than_magnitude_much() {
     let (dense, train, _) = trained_model();
     let grads = dense.per_sample_w1_grads(&train);
     let cfg = VnmConfig::new(16, 2, 8);
-    let (mask2, _) = prune_vnm_second_order(
-        &dense.w1,
-        &grads,
-        cfg,
-        &SecondOrderOptions::default(),
-    );
+    let (mask2, _) = prune_vnm_second_order(&dense.w1, &grads, cfg, &SecondOrderOptions::default());
     let mask_mag = magnitude::prune_vnm(&dense.w1, cfg);
     let e2 = energy(&dense.w1, &mask2);
     let em = energy(&dense.w1, &mask_mag);

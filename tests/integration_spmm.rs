@@ -49,14 +49,8 @@ fn simulated_speedup_grows_with_sparsity_at_scale() {
     let mut prev_speedup = 0.0;
     for m in [4usize, 8, 16, 32, 64] {
         let cfg = VnmConfig::new(128, 2, m);
-        let t = venom::spatha::spmm_time_tuned(
-            1024,
-            8192,
-            4096,
-            cfg,
-            &SpmmOptions::default(),
-            &dev,
-        );
+        let t =
+            venom::spatha::spmm_time_tuned(1024, 8192, 4096, cfg, &SpmmOptions::default(), &dev);
         let speedup = dense / t.time_ms;
         assert!(
             speedup > prev_speedup,
@@ -71,7 +65,10 @@ fn simulated_speedup_grows_with_sparsity_at_scale() {
         prev_speedup = speedup;
     }
     // And it must be a real speedup from 2:4 onwards.
-    assert!(prev_speedup > 10.0, "2:64 should be >10x (got {prev_speedup})");
+    assert!(
+        prev_speedup > 10.0,
+        "2:64 should be >10x (got {prev_speedup})"
+    );
 }
 
 #[test]

@@ -27,7 +27,10 @@ fn spatha_speedup(r: usize, k: usize, c: usize, cfg: VnmConfig) -> f64 {
 #[test]
 fn headline_37x_at_98_percent() {
     let s = spatha_speedup(1024, 12288, 4096, VnmConfig::new(128, 2, 100));
-    assert!(s > 25.0 && s < 50.0, "98% sparsity speedup {s} (paper: 37x, cap 50x)");
+    assert!(
+        s > 25.0 && s < 50.0,
+        "98% sparsity speedup {s} (paper: 37x, cap 50x)"
+    );
 }
 
 /// Fig. 9: speedups approach but stay below the theoretical caps, and
@@ -39,7 +42,10 @@ fn fig9_caps_and_k_scaling() {
         let s = spatha_speedup(1024, 12288, 4096, cfg);
         let cap = cfg.theoretical_speedup_cap();
         assert!(s < cap, "2:{m}: {s} must stay below cap {cap}");
-        assert!(s > 0.55 * paper, "2:{m}: {s} too far below the paper's {paper}");
+        assert!(
+            s > 0.55 * paper,
+            "2:{m}: {s} too far below the paper's {paper}"
+        );
         // K scaling: bigger K, bigger speedup.
         let s_small = spatha_speedup(1024, 1536, 4096, cfg);
         assert!(s > s_small, "2:{m}: speedup must grow with K");
@@ -56,12 +62,18 @@ fn fig9_column_loc_overhead_negligible() {
         8192,
         4096,
         cfg,
-        &SpmmOptions { use_column_loc: false, ..SpmmOptions::default() },
+        &SpmmOptions {
+            use_column_loc: false,
+            ..SpmmOptions::default()
+        },
         &dev(),
     )
     .time_ms;
     let overhead = with / without - 1.0;
-    assert!(overhead < 0.05, "column-loc overhead {overhead} should be < 5%");
+    assert!(
+        overhead < 0.05,
+        "column-loc overhead {overhead} should be < 5%"
+    );
 }
 
 /// Fig. 10: the 128-bit epilogue beats the 32-bit one, most visibly at
@@ -76,7 +88,10 @@ fn fig10_store_width_effect() {
             k,
             4096,
             cfg,
-            &SpmmOptions { wide_smem_store: false, ..SpmmOptions::default() },
+            &SpmmOptions {
+                wide_smem_store: false,
+                ..SpmmOptions::default()
+            },
             &dev(),
         )
         .time_ms;
@@ -84,9 +99,15 @@ fn fig10_store_width_effect() {
     };
     let bert = effect(1024, 4096);
     let gpt3 = effect(36864, 12288);
-    assert!(bert > 1.1, "128-bit stores must matter on BERT-large ({bert})");
+    assert!(
+        bert > 1.1,
+        "128-bit stores must matter on BERT-large ({bert})"
+    );
     assert!(bert <= 2.5, "but not beyond the paper's ~2x ({bert})");
-    assert!(gpt3 < bert, "the effect must attenuate on GPT-3 ({gpt3} vs {bert})");
+    assert!(
+        gpt3 < bert,
+        "the effect must attenuate on GPT-3 ({gpt3} vs {bert})"
+    );
 }
 
 /// Abstract/Fig. 12: up to 1.38x over cuSparseLt at 2:4, similar at
@@ -95,15 +116,27 @@ fn fig10_store_width_effect() {
 fn fig12_spatha_vs_cusparselt() {
     let at = |k: usize| {
         let lt = SparseLtSpmm::time(GemmShape::new(1024, k, 4096), &dev()).time_ms;
-        let sp =
-            spmm_time_tuned(1024, k, 4096, VnmConfig::new(128, 2, 4), &SpmmOptions::default(), &dev())
-                .time_ms;
+        let sp = spmm_time_tuned(
+            1024,
+            k,
+            4096,
+            VnmConfig::new(128, 2, 4),
+            &SpmmOptions::default(),
+            &dev(),
+        )
+        .time_ms;
         lt / sp
     };
     let small_k = at(768);
     let large_k = at(12288);
-    assert!(small_k > 1.15 && small_k < 1.6, "small-K advantage {small_k} (paper up to 1.38x)");
-    assert!(large_k < small_k, "advantage must shrink with K ({large_k} vs {small_k})");
+    assert!(
+        small_k > 1.15 && small_k < 1.6,
+        "small-K advantage {small_k} (paper up to 1.38x)"
+    );
+    assert!(
+        large_k < small_k,
+        "advantage must shrink with K ({large_k} vs {small_k})"
+    );
     assert!(large_k > 0.9 && large_k < 1.25, "large-K parity {large_k}");
 }
 
@@ -152,7 +185,10 @@ fn fig13_crossovers() {
     };
     assert!(clasp(0.5, 3) < 1.0, "CLASP must lose at 50%");
     let c95 = clasp(0.95, 4);
-    assert!(c95 > 1.0 && c95 < 8.0, "CLASP at 95%: {c95} (paper: a few x at best)");
+    assert!(
+        c95 > 1.0 && c95 < 8.0,
+        "CLASP at 95%: {c95} (paper: a few x at best)"
+    );
 
     // Spatha wins across the board.
     for m in [4usize, 10, 40] {
@@ -169,11 +205,22 @@ fn fig15_gpt3_encoder() {
     use venom::dnn::transformer::TransformerConfig;
     let cfg = TransformerConfig::gpt3_175b();
     let dense = profile_layer(&cfg, 1, WeightSparsity::Dense, &dev());
-    let sparse = profile_layer(&cfg, 1, WeightSparsity::Vnm(VnmConfig::new(64, 2, 32)), &dev());
+    let sparse = profile_layer(
+        &cfg,
+        1,
+        WeightSparsity::Vnm(VnmConfig::new(64, 2, 32)),
+        &dev(),
+    );
     let gemm_speedup = dense.gemms_ms / sparse.gemms_ms;
     let total_speedup = dense.total_ms() / sparse.total_ms();
-    assert!(gemm_speedup > 7.0 && gemm_speedup < 16.0, "GEMM speedup {gemm_speedup} (paper ~11x)");
-    assert!(total_speedup > 2.0 && total_speedup < 5.0, "total {total_speedup} (paper ~3.2x)");
+    assert!(
+        gemm_speedup > 7.0 && gemm_speedup < 16.0,
+        "GEMM speedup {gemm_speedup} (paper ~11x)"
+    );
+    assert!(
+        total_speedup > 2.0 && total_speedup < 5.0,
+        "total {total_speedup} (paper ~3.2x)"
+    );
 }
 
 /// Fig. 11 / §5: energy ordering ideal > small-V > large-V > vector-wise.
@@ -187,6 +234,12 @@ fn fig11_energy_ordering() {
     let v128 = venom::pruner::energy(&w, &magnitude::prune_vnm(&w, VnmConfig::new(128, 2, 8)));
     let vw8 = venom::pruner::energy(&w, &magnitude::prune_vectorwise(&w, 8, s));
     let vw4 = venom::pruner::energy(&w, &magnitude::prune_vectorwise(&w, 4, s));
-    assert!(ideal >= v1 && v1 >= v64 && v64 >= v128, "{ideal} {v1} {v64} {v128}");
-    assert!(v128 > vw8 && v128 > vw4, "V:N:M above vector-wise: {v128} vs {vw8}/{vw4}");
+    assert!(
+        ideal >= v1 && v1 >= v64 && v64 >= v128,
+        "{ideal} {v1} {v64} {v128}"
+    );
+    assert!(
+        v128 > vw8 && v128 > vw4,
+        "V:N:M above vector-wise: {v128} vs {vw8}/{vw4}"
+    );
 }

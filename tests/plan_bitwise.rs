@@ -83,8 +83,7 @@ fn batched_runs_match_per_request_dispatch_across_grid() {
             let plan = engine().plan_spmm(&a);
             let seqs: Vec<_> = (0..3)
                 .map(|i| {
-                    random::normal_matrix(a.cols(), 11 + 5 * i, 0.0, 1.0, 40 + i as u64)
-                        .to_half()
+                    random::normal_matrix(a.cols(), 11 + 5 * i, 0.0, 1.0, 40 + i as u64).to_half()
                 })
                 .collect();
             let refs: Vec<&Matrix<Half>> = seqs.iter().collect();

@@ -9,7 +9,10 @@ use venom::tensor::{gemm, norms, random};
 /// Strategy: a valid V:N:M configuration with V a multiple of 16 (the
 /// kernel's requirement) and M in the paper's range.
 fn vnm_config() -> impl Strategy<Value = VnmConfig> {
-    (1usize..=4, prop::sample::select(vec![4usize, 5, 7, 8, 10, 16, 20]))
+    (
+        1usize..=4,
+        prop::sample::select(vec![4usize, 5, 7, 8, 10, 16, 20]),
+    )
         .prop_map(|(vmul, m)| VnmConfig::new(16 * vmul, 2, m))
 }
 

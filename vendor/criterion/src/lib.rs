@@ -69,7 +69,9 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id rendered as `function/parameter`.
     pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
     }
 }
 
@@ -119,7 +121,10 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { samples: Vec::new(), sample_size };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut b);
     b.report(label);
 }
@@ -134,7 +139,11 @@ impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.effective_sample_size();
-        BenchmarkGroup { name: name.into(), sample_size, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
     }
 
     /// Runs one stand-alone benchmark.
@@ -154,7 +163,11 @@ impl Criterion {
     }
 
     fn effective_sample_size(&self) -> usize {
-        if self.sample_size == 0 { 20 } else { self.sample_size }
+        if self.sample_size == 0 {
+            20
+        } else {
+            self.sample_size
+        }
     }
 }
 
@@ -187,7 +200,10 @@ mod tests {
 
     #[test]
     fn bencher_collects_requested_samples() {
-        let mut b = Bencher { samples: Vec::new(), sample_size: 5 };
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_add(1);
@@ -204,9 +220,7 @@ mod tests {
         let mut g = c.benchmark_group("shim");
         g.sample_size(2);
         g.bench_function("noop", |b| b.iter(|| 1 + 1));
-        g.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &v| {
-            b.iter(|| v * 2)
-        });
+        g.bench_with_input(BenchmarkId::new("param", 42), &42, |b, &v| b.iter(|| v * 2));
         g.finish();
         c.bench_function("toplevel", |b| b.iter(|| black_box(3)));
     }
@@ -214,7 +228,8 @@ mod tests {
     criterion_group!(demo_group, demo_bench);
 
     fn demo_bench(c: &mut Criterion) {
-        c.sample_size(2).bench_function("macro_path", |b| b.iter(|| 0u8));
+        c.sample_size(2)
+            .bench_function("macro_path", |b| b.iter(|| 0u8));
     }
 
     #[test]

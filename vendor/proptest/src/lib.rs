@@ -69,7 +69,11 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 256, seed: DEFAULT_SEED, max_global_rejects: 65_536 }
+            Config {
+                cases: 256,
+                seed: DEFAULT_SEED,
+                max_global_rejects: 65_536,
+            }
         }
     }
 
@@ -77,7 +81,10 @@ pub mod test_runner {
         /// Config running `cases` cases (mirrors
         /// `ProptestConfig::with_cases`).
         pub fn with_cases(cases: u32) -> Self {
-            Config { cases, ..Config::default() }
+            Config {
+                cases,
+                ..Config::default()
+            }
         }
 
         /// Pins the base RNG seed (shim extension; real proptest seeds from
@@ -326,7 +333,9 @@ pub mod strategy {
 
     /// Strategy over `T`'s full domain.
     pub fn any<T: Arbitrary>() -> Any<T> {
-        Any { _marker: core::marker::PhantomData }
+        Any {
+            _marker: core::marker::PhantomData,
+        }
     }
 }
 
@@ -445,9 +454,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::core::result::Result::Err(
-                $crate::test_runner::TestCaseError::Reject,
-            );
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
         }
     };
 }

@@ -95,14 +95,22 @@ impl SampleUniform for f32 {
         let u = f64::sample(rng) as f32;
         // Clamp below end: rounding of start + u*width can hit end exactly.
         let v = range.start + u * (range.end - range.start);
-        if v >= range.end { range.start } else { v }
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
     }
 }
 
 impl SampleUniform for f64 {
     fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: core::ops::Range<f64>) -> f64 {
         let v = range.start + f64::sample(rng) * (range.end - range.start);
-        if v >= range.end { range.start } else { v }
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
     }
 }
 

@@ -19,7 +19,9 @@ use std::thread;
 
 /// Number of worker threads a parallel call may use.
 fn max_threads() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `f` over every item, in parallel batches, returning results in the
@@ -66,12 +68,17 @@ pub struct ParIter<I: Send> {
 impl<I: Send> ParIter<I> {
     /// Pairs each item with its index (order-preserving).
     pub fn enumerate(self) -> ParIter<(usize, I)> {
-        ParIter { items: self.items.into_iter().enumerate().collect() }
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
     }
 
     /// Deferred map; executed in parallel by the consuming call.
     pub fn map<B: Send, F: Fn(I) -> B + Sync>(self, f: F) -> ParMap<I, F> {
-        ParMap { items: self.items, f }
+        ParMap {
+            items: self.items,
+            f,
+        }
     }
 
     /// Runs `f` on every item in parallel.
@@ -112,7 +119,9 @@ pub trait ParallelSlice<T: Sync> {
 
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_iter(&self) -> ParIter<&T> {
-        ParIter { items: self.iter().collect() }
+        ParIter {
+            items: self.iter().collect(),
+        }
     }
 }
 
@@ -129,7 +138,9 @@ pub trait ParallelSliceMut<T: Send> {
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
         assert!(chunk_size > 0, "chunk size must be nonzero");
-        ParIter { items: self.chunks_mut(chunk_size).collect() }
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
     }
 }
 
@@ -151,7 +162,9 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
 impl IntoParallelIterator for core::ops::Range<usize> {
     type Item = usize;
     fn into_par_iter(self) -> ParIter<usize> {
-        ParIter { items: self.collect() }
+        ParIter {
+            items: self.collect(),
+        }
     }
 }
 
@@ -196,7 +209,10 @@ mod tests {
     #[test]
     fn empty_inputs_are_fine() {
         let mut empty: Vec<u8> = Vec::new();
-        empty.par_chunks_mut(8).enumerate().for_each(|_| unreachable!());
+        empty
+            .par_chunks_mut(8)
+            .enumerate()
+            .for_each(|_| unreachable!());
         let v: Vec<u8> = Vec::new().into_par_iter().map(|x: u8| x).collect();
         assert!(v.is_empty());
     }
