@@ -23,7 +23,10 @@
 //! (the regression gate fails on series missing versus the committed
 //! file).
 
+use std::cell::OnceCell;
 use std::fmt::Write as _;
+use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use venom_bench::vnm_weight;
 use venom_core::{spmm, SpmmOptions};
@@ -32,7 +35,7 @@ use venom_dnn::TransformerEncoder;
 use venom_format::{MatmulFormat, VnmConfig, VnmMatrix};
 use venom_fp16::Half;
 use venom_pruner::magnitude;
-use venom_runtime::Engine;
+use venom_runtime::{Engine, PlanCache, PlanKey, ServeConfig, Server};
 use venom_sim::DeviceConfig;
 use venom_tensor::{gemm, random, Matrix};
 
@@ -570,6 +573,162 @@ fn spmm_i8_plan_series(
     }
 }
 
+/// The serving-under-load numbers one scenario yields: concurrent and
+/// sequential wall time plus the per-request latency tail.
+struct ServeNumbers {
+    conc_ms: f64,
+    seq_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Shape of the serving scenario: `SERVE_REQUESTS` operands of
+/// `K x SERVE_REQ_COLS` against one fig09-shaped V:N:M weight, served by
+/// `SERVE_CONCURRENCY` workers coalescing up to `SERVE_MAX_BATCH`.
+const SERVE_REQUESTS: usize = 64;
+const SERVE_CONCURRENCY: usize = 4;
+const SERVE_MAX_BATCH: usize = 8;
+const SERVE_REQ_COLS: usize = 8;
+
+/// Runs the serving scenario: a sequential per-request baseline on one
+/// thread, then `args.iters` timed passes through [`Server`] — all
+/// sharing one [`PlanCache`], so every pass after the first build runs
+/// at a steady-state hit ratio. Outputs are checked bit-identical to the
+/// baseline and the hit ratio is asserted ≥ 90%.
+fn serve_numbers(args: &Args) -> ServeNumbers {
+    let (r, k) = (1024, 768);
+    let cfg = VnmConfig::new(128, 2, 10);
+    let w = pruned_weight(r, k, cfg, 1);
+    let engine =
+        Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(SERVE_MAX_BATCH * SERVE_REQ_COLS);
+    let plan = engine
+        .plan_with_format(MatmulFormat::Vnm, &engine.descriptor(r, k), &w)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let key = PlanKey::for_weight(*plan.descriptor(), &w);
+    let operands: Vec<Matrix<Half>> = (0..SERVE_REQUESTS)
+        .map(|i| random::activation_matrix(k, SERVE_REQ_COLS, 2 + i as u64).to_half())
+        .collect();
+
+    let seq_ms = median_ms(args.ref_iters, || {
+        operands.iter().map(|b| plan.run(b)).collect::<Vec<_>>()
+    });
+    let baseline: Vec<Matrix<f32>> = operands.iter().map(|b| plan.run(b)).collect();
+
+    let cache = Arc::new(PlanCache::new());
+    let run_once = |check: bool| -> (f64, f64, f64) {
+        let server = Server::start(
+            ServeConfig::default()
+                .with_concurrency(SERVE_CONCURRENCY)
+                .with_max_batch(SERVE_MAX_BATCH)
+                .with_queue_capacity(SERVE_REQUESTS),
+            Arc::clone(&cache),
+        );
+        let registered = Arc::clone(&plan);
+        server.register(key, move || Arc::clone(&registered));
+        let t0 = Instant::now();
+        let outs: Vec<(usize, Matrix<f32>)> = std::thread::scope(|s| {
+            let clients: Vec<_> = (0..SERVE_CONCURRENCY)
+                .map(|c| {
+                    let (server, operands) = (&server, &operands);
+                    s.spawn(move || {
+                        // Submit the whole stripe before waiting: the
+                        // queue fills, so the coalescer sees full
+                        // batches instead of whatever happens to be
+                        // in flight.
+                        let handles: Vec<_> = (c..operands.len())
+                            .step_by(SERVE_CONCURRENCY)
+                            .map(|i| (i, server.submit(key, operands[i].clone()).expect("submit")))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|(i, h)| (i, h.wait().expect("serve")))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            clients
+                .into_iter()
+                .flat_map(|c| c.join().expect("client thread panicked"))
+                .collect()
+        });
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let report = server.shutdown();
+        if check {
+            for (i, out) in &outs {
+                assert_eq!(out, &baseline[*i], "served output drifted from plan.run");
+            }
+        }
+        (wall, report.p50_ms, report.p99_ms)
+    };
+
+    // One checked warm-up pass, then the timed passes.
+    run_once(true);
+    let (mut walls, mut p50s, mut p99s) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..args.iters {
+        let (wall, p50, p99) = run_once(false);
+        walls.push(wall);
+        p50s.push(p50);
+        p99s.push(p99);
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.hit_ratio() >= 0.9,
+        "steady-state plan-cache hit ratio {:.3} below 0.9 ({stats:?})",
+        stats.hit_ratio()
+    );
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    ServeNumbers {
+        conc_ms: median(walls),
+        seq_ms,
+        p50_ms: median(p50s),
+        p99_ms: median(p99s),
+    }
+}
+
+/// The serving wall-clock series: one request stream through the
+/// concurrent server versus the same stream dispatched per-request on a
+/// single thread.
+fn serve_throughput_series(label: &'static str, n: &ServeNumbers) -> Series {
+    let reference = Some(("MatmulPlan::run (sequential per-request)", n.seq_ms));
+    eprintln!(
+        "serve/{label}: {:.1} ms{}",
+        n.conc_ms,
+        ref_note(&reference, n.conc_ms)
+    );
+    Series {
+        op: "serve",
+        label,
+        r: 1024,
+        k: 768,
+        c: SERVE_REQ_COLS,
+        config: serve_config_string(),
+        median_ms: n.conc_ms,
+        reference,
+    }
+}
+
+/// A latency-under-load percentile of the serving scenario.
+fn serve_latency_series(label: &'static str, percentile_ms: f64) -> Series {
+    eprintln!("serve/{label}: {percentile_ms:.2} ms");
+    Series {
+        op: "serve",
+        label,
+        r: 1024,
+        k: 768,
+        c: SERVE_REQ_COLS,
+        config: serve_config_string(),
+        median_ms: percentile_ms,
+        reference: None,
+    }
+}
+
+fn serve_config_string() -> String {
+    format!("128:2:10 x{SERVE_REQUESTS}req c{SERVE_CONCURRENCY} b{SERVE_MAX_BATCH}")
+}
+
 fn ref_note(reference: &Option<(&'static str, f64)>, median_ms: f64) -> String {
     match reference {
         Some((name, ms)) => format!(" (ref {name}: {ms:.1} ms, {:.2}x)", ms / median_ms),
@@ -591,6 +750,15 @@ fn main() {
     // to the builder, so the `--only` selection can never drift from the
     // emitted label.
     type Builder = Box<dyn FnOnce(&'static str, &Args) -> Series>;
+    // The three serve_* series come from one scenario run: the cell is
+    // filled by whichever of them executes first (and never filled when
+    // `--only` deselects all three).
+    let serve_cell: Rc<OnceCell<ServeNumbers>> = Rc::new(OnceCell::new());
+    let (serve_a, serve_b, serve_c) = (
+        Rc::clone(&serve_cell),
+        Rc::clone(&serve_cell),
+        Rc::clone(&serve_cell),
+    );
     let catalogue: Vec<(&'static str, Builder)> = vec![
         (
             "fig09_k768_80pct",
@@ -721,6 +889,28 @@ fn main() {
         (
             "fig09_k768_i8_plan",
             Box::new(|l, a| spmm_i8_plan_series(l, 1024, 768, 4096, VnmConfig::new(128, 2, 10), a)),
+        ),
+        // The serving-under-load series (ISSUE 6): one request stream
+        // through the concurrent server (bounded queue, coalescer, shared
+        // plan cache) versus sequential per-request dispatch, plus the
+        // latency tail the concurrent path delivers.
+        (
+            "serve_throughput_c4",
+            Box::new(move |l, a| {
+                serve_throughput_series(l, serve_a.get_or_init(|| serve_numbers(a)))
+            }),
+        ),
+        (
+            "serve_p50_c4",
+            Box::new(move |l, a| {
+                serve_latency_series(l, serve_b.get_or_init(|| serve_numbers(a)).p50_ms)
+            }),
+        ),
+        (
+            "serve_p99_c4",
+            Box::new(move |l, a| {
+                serve_latency_series(l, serve_c.get_or_init(|| serve_numbers(a)).p99_ms)
+            }),
         ),
     ];
     let series: Vec<Series> = catalogue

@@ -118,6 +118,33 @@ pub enum Command {
         /// RNG seed.
         seed: u64,
     },
+    /// `venom serve [--requests N] [--concurrency T] [--max-batch B]
+    /// [--queue Q] [--shape RxK] [--req-cols C] [--pattern V:N:M]
+    /// [--device NAME] [--seed S]` — run the concurrent serving loop:
+    /// plan one V:N:M weight, warm the shared plan cache, then serve N
+    /// requests through T workers with same-descriptor requests
+    /// coalesced into batched dispatches, against a sequential
+    /// per-request baseline.
+    Serve {
+        /// Total requests to serve.
+        requests: usize,
+        /// Worker threads (and client submitter threads).
+        concurrency: usize,
+        /// Most requests one coalesced dispatch may pack.
+        max_batch: usize,
+        /// Request-queue bound (admission control).
+        queue: usize,
+        /// Weight shape `RxK`.
+        shape: (usize, usize),
+        /// Operand columns per request (decoder-style small dispatches).
+        req_cols: usize,
+        /// The V:N:M pattern.
+        pattern: (usize, usize, usize),
+        /// Device preset name.
+        device: String,
+        /// RNG seed.
+        seed: u64,
+    },
     /// `venom help`.
     Help,
 }
@@ -135,6 +162,9 @@ USAGE:
   venom infer    --model bert-base|bert-large|mini [--layers N] [--seq S]
                  [--batch B] [--pattern V:N:M] [--format F] [--dtype D]
                  [--device rtx3090|a100] [--seed S]
+  venom serve    [--requests N] [--concurrency T] [--max-batch B]
+                 [--queue Q] [--shape RxK] [--req-cols C]
+                 [--pattern V:N:M] [--device rtx3090|a100] [--seed S]
   venom help
 
   --format F chooses the weight storage format planned by the engine:
@@ -177,6 +207,36 @@ fn req_usize(argv: &[String], name: &str) -> Result<usize, String> {
         .map_err(|_| format!("{name} must be an integer"))
 }
 
+/// A weight shape `RxK` (two dimensions — the serve command's weight).
+fn parse_weight_shape(s: &str) -> Result<(usize, usize), String> {
+    let parts: Vec<&str> = s.split('x').collect();
+    if parts.len() != 2 {
+        return Err(format!("shape must be RxK, got '{s}'"));
+    }
+    let nums: Result<Vec<usize>, _> = parts.iter().map(|p| p.parse::<usize>()).collect();
+    let nums = nums.map_err(|_| format!("shape must be numeric, got '{s}'"))?;
+    if nums[0] == 0 || nums[1] == 0 {
+        return Err(format!("invalid --shape '{s}' (valid: RxK with R, K >= 1)"));
+    }
+    Ok((nums[0], nums[1]))
+}
+
+/// An optional integer flag with a lower bound. Degenerate serving
+/// inputs (`--batch 0`, `--requests 0`, an empty `--seq` token stream)
+/// are rejected at parse time with the valid range spelled out,
+/// mirroring the `--format` error style.
+fn bounded_usize(argv: &[String], name: &str, default: usize, min: usize) -> Result<usize, String> {
+    let Some(raw) = take_flag(argv, name) else {
+        return Ok(default);
+    };
+    match raw.parse::<usize>() {
+        Ok(v) if v >= min => Ok(v),
+        _ => Err(format!(
+            "invalid {name} '{raw}' (valid: an integer >= {min})"
+        )),
+    }
+}
+
 /// Parses `argv` (without the program name).
 ///
 /// # Errors
@@ -216,23 +276,28 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .ok_or("missing --model")?
                 .to_string(),
             layers: match take_flag(argv, "--layers") {
-                Some(v) => Some(
-                    v.parse()
-                        .map_err(|_| "--layers must be an integer".to_string())?,
-                ),
+                Some(_) => Some(bounded_usize(argv, "--layers", 1, 1)?),
                 None => None,
             },
-            seq: take_flag(argv, "--seq")
-                .unwrap_or("128")
-                .parse()
-                .map_err(|_| "--seq must be an integer".to_string())?,
-            batch: take_flag(argv, "--batch")
-                .unwrap_or("4")
-                .parse()
-                .map_err(|_| "--batch must be an integer".to_string())?,
+            seq: bounded_usize(argv, "--seq", 128, 1)?,
+            batch: bounded_usize(argv, "--batch", 4, 1)?,
             pattern: parse_pattern(take_flag(argv, "--pattern").unwrap_or("64:2:10"))?,
             format: FormatChoice::parse(take_flag(argv, "--format").unwrap_or("vnm"))?,
             dtype: DType::parse(take_flag(argv, "--dtype").unwrap_or("f16"))?,
+            device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
+            seed: take_flag(argv, "--seed")
+                .unwrap_or("42")
+                .parse()
+                .map_err(|_| "--seed must be an integer".to_string())?,
+        }),
+        "serve" => Ok(Command::Serve {
+            requests: bounded_usize(argv, "--requests", 64, 1)?,
+            concurrency: bounded_usize(argv, "--concurrency", 4, 1)?,
+            max_batch: bounded_usize(argv, "--max-batch", 8, 1)?,
+            queue: bounded_usize(argv, "--queue", 64, 1)?,
+            shape: parse_weight_shape(take_flag(argv, "--shape").unwrap_or("1024x768"))?,
+            req_cols: bounded_usize(argv, "--req-cols", 8, 1)?,
+            pattern: parse_pattern(take_flag(argv, "--pattern").unwrap_or("128:2:10"))?,
             device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
             seed: take_flag(argv, "--seed")
                 .unwrap_or("42")
@@ -436,6 +501,90 @@ mod tests {
                 seed: 7,
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_with_defaults() {
+        assert_eq!(
+            parse(&v(&["serve"])).unwrap(),
+            Command::Serve {
+                requests: 64,
+                concurrency: 4,
+                max_batch: 8,
+                queue: 64,
+                shape: (1024, 768),
+                req_cols: 8,
+                pattern: (128, 2, 10),
+                device: "rtx3090".into(),
+                seed: 42,
+            }
+        );
+        let c = parse(&v(&[
+            "serve",
+            "--requests",
+            "32",
+            "--concurrency",
+            "2",
+            "--max-batch",
+            "4",
+            "--queue",
+            "16",
+            "--shape",
+            "256x512",
+            "--req-cols",
+            "12",
+            "--pattern",
+            "64:2:8",
+            "--device",
+            "a100",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                requests: 32,
+                concurrency: 2,
+                max_batch: 4,
+                queue: 16,
+                shape: (256, 512),
+                req_cols: 12,
+                pattern: (64, 2, 8),
+                device: "a100".into(),
+                seed: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_serving_inputs_listing_valid_ranges() {
+        // The satellite contract: `--batch 0`, zero requests, or an
+        // empty token stream fail at parse time with the valid range
+        // spelled out, in the `--format` error style.
+        for (args, flag) in [
+            (vec!["infer", "--model", "mini", "--batch", "0"], "--batch"),
+            (vec!["infer", "--model", "mini", "--seq", "0"], "--seq"),
+            (
+                vec!["infer", "--model", "mini", "--layers", "0"],
+                "--layers",
+            ),
+            (vec!["serve", "--requests", "0"], "--requests"),
+            (vec!["serve", "--concurrency", "0"], "--concurrency"),
+            (vec!["serve", "--max-batch", "0"], "--max-batch"),
+            (vec!["serve", "--queue", "0"], "--queue"),
+            (vec!["serve", "--req-cols", "0"], "--req-cols"),
+        ] {
+            let e = parse(&v(&args)).unwrap_err();
+            assert!(e.contains(&format!("invalid {flag} '0'")), "{flag}: {e}");
+            assert!(e.contains("an integer >= 1"), "{flag}: {e}");
+        }
+        // Non-numeric values get the same message shape.
+        let e = parse(&v(&["serve", "--requests", "many"])).unwrap_err();
+        assert!(e.contains("invalid --requests 'many'"), "{e}");
+        // A zero weight dimension cannot be served either.
+        let e = parse(&v(&["serve", "--shape", "0x768"])).unwrap_err();
+        assert!(e.contains("invalid --shape '0x768'"), "{e}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Command implementations for the `venom` CLI.
 
 use crate::args::{Command, FormatChoice, USAGE};
+use std::sync::Arc;
 use venom_baselines::cublas::DenseGemm;
 use venom_core::{spmm_time_tuned, SpmmOptions};
 use venom_dnn::layers::PlanStrategy;
@@ -9,9 +10,9 @@ use venom_dnn::TransformerEncoder;
 use venom_format::{MatmulFormat, SparsityMask, VnmConfig, VnmMatrix};
 use venom_pruner::{energy, magnitude};
 use venom_quant::Calibration;
-use venom_runtime::{DType, Engine};
+use venom_runtime::{DType, Engine, MatmulPlan, PlanCache, PlanKey, ServeConfig, Server};
 use venom_sim::DeviceConfig;
-use venom_tensor::{random, GemmShape, Matrix};
+use venom_tensor::{random, GemmShape, Half, Matrix};
 
 fn device_by_name(name: &str) -> DeviceConfig {
     match name {
@@ -64,6 +65,27 @@ pub fn execute(cmd: &Command) -> String {
             cols,
             sparsity,
         } => energy_report(*rows, *cols, *sparsity),
+        Command::Serve {
+            requests,
+            concurrency,
+            max_batch,
+            queue,
+            shape,
+            req_cols,
+            pattern,
+            device,
+            seed,
+        } => serve(
+            *requests,
+            *concurrency,
+            *max_batch,
+            *queue,
+            *shape,
+            *req_cols,
+            *pattern,
+            &device_by_name(device),
+            *seed,
+        ),
         Command::Infer {
             model,
             layers,
@@ -286,6 +308,125 @@ fn infer(
         outs.len(),
         outs[0].rows(),
         outs[0].cols(),
+    )
+}
+
+/// Drives the concurrent serving runtime end to end: plans one V:N:M
+/// weight, times a sequential per-request baseline on a single thread,
+/// then replays the same request stream through [`Server`] — bounded
+/// queue, coalescer, shared [`PlanCache`] — and reports throughput,
+/// tail latency, batch shape and cache counters. Every concurrent
+/// output is checked bit-identical against the sequential baseline.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    requests: usize,
+    concurrency: usize,
+    max_batch: usize,
+    queue: usize,
+    (r, k): (usize, usize),
+    req_cols: usize,
+    (v, n, m): (usize, usize, usize),
+    dev: &DeviceConfig,
+    seed: u64,
+) -> String {
+    let cfg = VnmConfig::new(v, n, m);
+    let w = random::glorot_matrix(r, k, seed);
+    let mask = magnitude::prune_vnm(&w, cfg);
+    let pruned = mask.apply_f32(&w).to_half();
+    let engine = Engine::new(dev.clone()).with_b_cols_hint(max_batch * req_cols);
+    let plan: Arc<dyn MatmulPlan> =
+        match engine.plan_with_format(MatmulFormat::Vnm, &engine.descriptor(r, k), &pruned) {
+            Ok(p) => p,
+            Err(e) => return format!("{e}"),
+        };
+    let key = PlanKey::for_weight(*plan.descriptor(), &pruned);
+
+    let operands: Vec<Matrix<Half>> = (0..requests)
+        .map(|i| random::activation_matrix(k, req_cols, seed + 1 + i as u64).to_half())
+        .collect();
+
+    // Sequential per-request baseline: one thread, one dispatch per
+    // request, no batching — what a naive caller pays.
+    let t0 = std::time::Instant::now();
+    let baseline: Vec<Matrix<f32>> = operands.iter().map(|b| plan.run(b)).collect();
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let server = Server::start(
+        ServeConfig::default()
+            .with_concurrency(concurrency)
+            .with_max_batch(max_batch)
+            .with_queue_capacity(queue),
+        Arc::new(PlanCache::new()),
+    );
+    let warm_plan = Arc::clone(&plan);
+    let warm = server.register_warm(key, move || Arc::clone(&warm_plan));
+    let _ = warm.join();
+
+    // `concurrency` client threads stripe the request stream; blocking
+    // submission exercises backpressure when `requests` exceeds `queue`.
+    let t1 = std::time::Instant::now();
+    let mut results: Vec<Option<Matrix<f32>>> = vec![None; requests];
+    let mut errors: Vec<String> = Vec::new();
+    std::thread::scope(|s| {
+        let clients: Vec<_> = (0..concurrency.max(1))
+            .map(|c| {
+                let server = &server;
+                let operands = &operands;
+                s.spawn(move || {
+                    let handles: Vec<_> = (c..operands.len())
+                        .step_by(concurrency.max(1))
+                        .map(|i| (i, server.submit(key, operands[i].clone())))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(i, h)| (i, h.and_then(|h| h.wait())))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for client in clients {
+            for (i, res) in client.join().expect("client thread panicked") {
+                match res {
+                    Ok(out) => results[i] = Some(out),
+                    Err(e) => errors.push(format!("request {i}: {e}")),
+                }
+            }
+        }
+    });
+    let conc_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let stats = server.cache().stats();
+    let report = server.shutdown();
+
+    if !errors.is_empty() {
+        return format!("serving failed: {}", errors.join("; "));
+    }
+    let identical = results
+        .iter()
+        .zip(&baseline)
+        .all(|(got, want)| got.as_ref() == Some(want));
+    format!(
+        "serving {requests} requests of {k}x{req_cols} through {r}x{k} ({cfg}) on {}\n\
+         workers {concurrency}, max batch {max_batch}, queue capacity {queue}\n\
+         sequential baseline : {seq_ms:9.2} ms wall ({:8.0} req/s)\n\
+         concurrent serving  : {conc_ms:9.2} ms wall ({:8.0} req/s, {:.2}x vs sequential)\n\
+         batches dispatched  : {} (mean {:.2} requests/batch)\n\
+         latency p50 / p99 / max : {:.3} / {:.3} / {:.3} ms\n\
+         plan cache          : {} hit(s), {} miss(es), {} build(s), hit ratio {:.1}%\n\
+         outputs bit-identical to per-request baseline: {}",
+        dev.name,
+        requests as f64 / (seq_ms / 1e3),
+        requests as f64 / (conc_ms / 1e3),
+        seq_ms / conc_ms,
+        report.batches,
+        report.mean_batch,
+        report.p50_ms,
+        report.p99_ms,
+        report.max_ms,
+        stats.hits,
+        stats.misses,
+        stats.builds,
+        100.0 * stats.hit_ratio(),
+        if identical { "yes" } else { "NO — MISMATCH" },
     )
 }
 
@@ -540,6 +681,53 @@ mod tests {
             1,
         );
         assert!(s.contains("unknown model"), "{s}");
+    }
+
+    #[test]
+    fn serve_reports_throughput_and_bit_identical_outputs() {
+        let s = serve(
+            16,
+            2,
+            4,
+            8,
+            (128, 96),
+            4,
+            (32, 2, 8),
+            &DeviceConfig::rtx3090(),
+            5,
+        );
+        assert!(s.contains("serving 16 requests of 96x4"), "{s}");
+        assert!(s.contains("sequential baseline"), "{s}");
+        assert!(s.contains("concurrent serving"), "{s}");
+        assert!(s.contains("batches dispatched"), "{s}");
+        assert!(s.contains("latency p50 / p99 / max"), "{s}");
+        assert!(s.contains("plan cache"), "{s}");
+        assert!(
+            s.contains("outputs bit-identical to per-request baseline: yes"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn serve_backpressures_when_requests_exceed_queue_capacity() {
+        // 12 requests through a 2-slot queue: blocking submission must
+        // still complete every request with outputs intact.
+        let s = serve(
+            12,
+            3,
+            2,
+            2,
+            (64, 64),
+            2,
+            (16, 2, 8),
+            &DeviceConfig::rtx3090(),
+            6,
+        );
+        assert!(s.contains("serving 12 requests"), "{s}");
+        assert!(
+            s.contains("outputs bit-identical to per-request baseline: yes"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::layers::{softmax_rows, ExecPath, Linear, PlanStrategy, PlannedLinear};
 use venom_format::VnmConfig;
-use venom_runtime::{stage, Engine, PlanError};
+use venom_runtime::{stage, Engine, PlanCache, PlanError};
 use venom_tensor::{gemm, Matrix};
 
 /// Multi-head self-attention over a single sequence.
@@ -82,6 +82,41 @@ impl MultiHeadAttention {
         cfg: VnmConfig,
         strategy: PlanStrategy,
     ) -> Result<(), PlanError> {
+        self.sparsify_inner(cfg, |lin, mask| {
+            lin.to_sparse_with(engine, mask, cfg, strategy)
+        })
+    }
+
+    /// [`Self::sparsify_with`] resolving every projection's plan through
+    /// a shared [`PlanCache`] — projections already planned under the
+    /// same strategy (by any thread or replica stack) reuse the cached
+    /// plan instead of re-compressing and re-tuning.
+    ///
+    /// # Errors
+    /// Returns [`PlanError`] when a forced format cannot serve a pruned
+    /// projection.
+    pub fn sparsify_cached(
+        &mut self,
+        engine: &Engine,
+        cfg: VnmConfig,
+        strategy: PlanStrategy,
+        cache: &PlanCache,
+    ) -> Result<(), PlanError> {
+        self.sparsify_inner(cfg, |lin, mask| {
+            lin.to_sparse_cached(engine, mask, cfg, strategy, cache)
+        })
+    }
+
+    /// The shared sparsify body: prune each still-dense projection and
+    /// plan it through `plan_one`.
+    fn sparsify_inner(
+        &mut self,
+        cfg: VnmConfig,
+        mut plan_one: impl FnMut(
+            &Linear,
+            &venom_format::SparsityMask,
+        ) -> Result<PlannedLinear, PlanError>,
+    ) -> Result<(), PlanError> {
         for proj in [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo] {
             if proj.format() != venom_format::MatmulFormat::Dense {
                 continue;
@@ -89,7 +124,7 @@ impl MultiHeadAttention {
             let w = proj.plan.weight_dense();
             let lin = Linear::from_half(&w, proj.bias.clone());
             let mask = venom_pruner::magnitude::prune_vnm(&w.to_f32(), cfg);
-            *proj = lin.to_sparse_with(engine, &mask, cfg, strategy)?;
+            *proj = plan_one(&lin, &mask)?;
         }
         Ok(())
     }

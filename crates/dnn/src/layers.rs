@@ -18,7 +18,9 @@
 use std::sync::Arc;
 use venom_format::{MatmulFormat, SparsityMask, VnmConfig, VnmMatrix};
 use venom_fp16::Half;
-use venom_runtime::{Calibration, DType, Engine, Epilogue, GemmPlan, MatmulPlan, PlanError};
+use venom_runtime::{
+    Calibration, DType, Engine, Epilogue, GemmPlan, MatmulPlan, PlanCache, PlanError, PlanKey,
+};
 use venom_tensor::Matrix;
 
 /// Which of a layer's two bit-identical execution paths to take.
@@ -162,9 +164,74 @@ impl Linear {
         strategy: PlanStrategy,
     ) -> Result<PlannedLinear, PlanError> {
         let pruned = mask.apply_half(self.plan.weight());
+        Ok(PlannedLinear {
+            plan: Self::plan_pruned(engine, &pruned, mask, cfg, strategy)?,
+            bias: self.bias.clone(),
+        })
+    }
+
+    /// [`Self::to_sparse_with`] resolved through a shared [`PlanCache`]:
+    /// a weight already planned under the same strategy (by any thread,
+    /// in any stack) reuses the cached plan instead of re-pruning,
+    /// re-compressing and re-tuning — the path serving stacks take so
+    /// identical models cost one planning pass, not one per replica.
+    ///
+    /// # Errors
+    /// Returns [`PlanError`] when a forced format cannot serve the
+    /// pruned weight's structure (failed builds are not cached).
+    pub fn to_sparse_cached(
+        &self,
+        engine: &Engine,
+        mask: &SparsityMask,
+        cfg: VnmConfig,
+        strategy: PlanStrategy,
+        cache: &PlanCache,
+    ) -> Result<PlannedLinear, PlanError> {
+        let pruned = mask.apply_half(self.plan.weight());
+        let key = PlanKey::for_weight(Self::cache_descriptor(engine, &pruned, strategy), &pruned)
+            .with_salt(strategy_salt(strategy, cfg));
+        let plan = cache.try_get_or_plan(key, || {
+            Self::plan_pruned(engine, &pruned, mask, cfg, strategy)
+        })?;
+        Ok(PlannedLinear {
+            plan,
+            bias: self.bias.clone(),
+        })
+    }
+
+    /// The canonical descriptor a layer's plan is cached under: the
+    /// pruned weight's shape with the bias epilogue, in the dtype the
+    /// strategy executes in. Strategy details beyond the dtype (format
+    /// pin, calibration, prune pattern) are disambiguated by the cache
+    /// key's salt, not the descriptor.
+    fn cache_descriptor(
+        engine: &Engine,
+        pruned: &Matrix<Half>,
+        strategy: PlanStrategy,
+    ) -> venom_runtime::MatmulDescriptor {
+        let desc = engine
+            .descriptor(pruned.rows(), pruned.cols())
+            .with_epilogue(Epilogue::Bias);
+        match strategy {
+            PlanStrategy::Quantized(_) | PlanStrategy::AutoQuantized(_) => {
+                desc.with_dtype(DType::I8)
+            }
+            _ => desc,
+        }
+    }
+
+    /// Plans an already-pruned weight per `strategy` — the shared body
+    /// of the direct and cache-resolved sparsify paths.
+    fn plan_pruned(
+        engine: &Engine,
+        pruned: &Matrix<Half>,
+        mask: &SparsityMask,
+        cfg: VnmConfig,
+        strategy: PlanStrategy,
+    ) -> Result<Arc<dyn MatmulPlan>, PlanError> {
         let plan: Arc<dyn MatmulPlan> = match strategy {
             PlanStrategy::Vnm => {
-                Arc::new(engine.plan_spmm(&VnmMatrix::compress(&pruned, mask, cfg)))
+                Arc::new(engine.plan_spmm(&VnmMatrix::compress(pruned, mask, cfg)))
             }
             PlanStrategy::Auto => {
                 let desc = engine
@@ -173,17 +240,17 @@ impl Linear {
                 // The prune pattern is known here — seed the V:N:M
                 // candidate with it so patterns outside the engine's
                 // re-detection grid still compete.
-                engine.plan_auto_hinted(&desc, &pruned, Some(cfg))
+                engine.plan_auto_hinted(&desc, pruned, Some(cfg))
             }
             PlanStrategy::Format(f) => {
                 let desc = engine
                     .descriptor(pruned.rows(), pruned.cols())
                     .with_epilogue(Epilogue::Bias);
-                engine.plan_with_format(f, &desc, &pruned)?
+                engine.plan_with_format(f, &desc, pruned)?
             }
             PlanStrategy::Quantized(calib) => {
                 let e = engine.clone().with_calibration(calib);
-                Arc::new(e.plan_quant_spmm(&VnmMatrix::compress(&pruned, mask, cfg)))
+                Arc::new(e.plan_quant_spmm(&VnmMatrix::compress(pruned, mask, cfg)))
             }
             PlanStrategy::AutoQuantized(calib) => {
                 let desc = engine
@@ -193,14 +260,24 @@ impl Linear {
                 engine
                     .clone()
                     .with_calibration(calib)
-                    .plan_auto_hinted(&desc, &pruned, Some(cfg))
+                    .plan_auto_hinted(&desc, pruned, Some(cfg))
             }
         };
-        Ok(PlannedLinear {
-            plan,
-            bias: self.bias.clone(),
-        })
+        Ok(plan)
     }
+}
+
+/// The cache-key salt disambiguating *how* a weight is planned: the
+/// strategy discriminant (including its calibration) and the prune
+/// pattern, FNV-1a-folded — so the same weight planned as, say, forced
+/// CSR and auto never alias one cache line.
+fn strategy_salt(strategy: PlanStrategy, cfg: VnmConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{strategy:?}/{cfg}").bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// A linear layer over a format-erased execution plan — the layer type

@@ -233,7 +233,7 @@ impl Engine {
                         let t = pricing::price_cvse(&a, desc.b_cols, &self.dev);
                         (a, t)
                     })
-                    .min_by(|x, y| x.1.time_ms.partial_cmp(&y.1.time_ms).unwrap())
+                    .min_by(|x, y| pricing::cost_cmp(x.1.time_ms, y.1.time_ms))
                     .expect("the ladder is nonempty");
                 Ok(Arc::new(FormatPlan::build(
                     Arc::new(best.0),
@@ -361,7 +361,7 @@ impl Engine {
             .min_by(|a, b| {
                 let ca = a.cost_ms().unwrap_or(f64::INFINITY);
                 let cb = b.cost_ms().unwrap_or(f64::INFINITY);
-                ca.partial_cmp(&cb).unwrap()
+                pricing::cost_cmp(ca, cb)
             })
             .expect("the dense path is always eligible")
     }
@@ -402,7 +402,7 @@ impl Engine {
                 }
                 (plan, best)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| pricing::cost_cmp(a.1, b.1))
             .expect("the dense path is always eligible")
             .0
     }
@@ -513,6 +513,28 @@ mod tests {
         let tile = plan.tile().expect("V = 32 is kernel-launchable");
         assert_eq!(tile.bs_r, 32);
         assert!(plan.timing().expect("priced at build").time_ms > 0.0);
+    }
+
+    #[test]
+    fn plan_auto_survives_degenerate_weights() {
+        // Regression for the NaN-unsafe cost comparisons: selection used
+        // to `partial_cmp(..).unwrap()`, so any candidate whose priced
+        // cost came out NaN panicked `plan_auto` mid-`min_by`. Degenerate
+        // inputs (an all-zero weight has zero stored values everywhere)
+        // must instead plan cleanly, and measured autotuning — whose
+        // comparator had the same bug — must survive them too.
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(32);
+        let zero = Matrix::from_fn(64, 64, |_, _| 0.0f32).to_half();
+        let desc = engine.descriptor(64, 64);
+        let plan = engine.plan_auto(&desc, &zero);
+        let b = random::normal_matrix(64, 8, 0.0, 1.0, 7).to_half();
+        assert!(plan.run(&b).as_slice().iter().all(|&v| v == 0.0));
+        let measured = engine.plan_auto_measured(&desc, &zero, 1);
+        assert!(measured.run(&b).as_slice().iter().all(|&v| v == 0.0));
+        // The CVSE ladder (the third fixed site) prices the degenerate
+        // weight without panicking as well.
+        let cvse = engine.plan_with_format(MatmulFormat::Cvse, &desc, &zero);
+        assert!(cvse.is_ok(), "{cvse:?}");
     }
 
     #[test]

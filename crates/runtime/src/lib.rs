@@ -52,6 +52,7 @@ pub mod matmul;
 pub mod plan;
 pub mod pricing;
 pub mod qplan;
+pub mod serve;
 pub mod stage;
 
 pub use descriptor::{DType, Epilogue, MatmulDescriptor};
@@ -59,6 +60,7 @@ pub use engine::Engine;
 pub use matmul::{MatmulPlan, PlanError};
 pub use plan::{FormatPlan, GemmPlan, SpmmPlan};
 pub use qplan::QuantSpmmPlan;
+pub use serve::{CacheStats, PlanCache, PlanKey, ServeConfig, ServeError, ServeReport, Server};
 
 pub use venom_core::{SpmmOptions, TileConfig};
 pub use venom_format::{MatmulFormat, QuantVnmMatrix, SparseKernel, VnmConfig, VnmMatrix};

@@ -76,6 +76,14 @@ pub trait MatmulPlan: Send + Sync + std::fmt::Debug {
     /// Stored operand count of the condensed stream.
     fn stored_values(&self) -> usize;
 
+    /// Approximate resident bytes of the plan — the condensed stream's
+    /// per-operand value (`f32`) and source-row index (`u32`) planes
+    /// plus a fixed structural overhead. The currency of the serving
+    /// plan cache's byte budget ([`crate::serve::PlanCache`]).
+    fn approx_bytes(&self) -> usize {
+        64 + self.stored_values() * (core::mem::size_of::<f32>() + core::mem::size_of::<u32>())
+    }
+
     /// Reconstructs the dense weight (pruned entries are zero) — used to
     /// re-plan a weight in another format.
     fn weight_dense(&self) -> Matrix<Half>;

@@ -136,6 +136,15 @@ pub fn price_blocked_ell(a: &BlockedEllMatrix, b_cols: usize, dev: &DeviceConfig
     simulate(dev, &blocked_ell_counts(a, b_cols)).expect("small fixed blocks always fit")
 }
 
+/// NaN-safe total order on candidate costs: a NaN cost (a degenerate
+/// descriptor or a cost model dividing 0 by 0) sorts as infinitely
+/// expensive — the candidate loses the selection instead of panicking it
+/// mid-`min_by`, so `plan_auto` always returns a servable plan.
+pub fn cost_cmp(a: f64, b: f64) -> core::cmp::Ordering {
+    let sane = |x: f64| if x.is_nan() { f64::INFINITY } else { x };
+    sane(a).total_cmp(&sane(b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +162,29 @@ mod tests {
             ((i / bs * 31 + j / bs * 17 + seed as usize) % 100) as f64 / 100.0 < keep
         });
         mask.apply_f32(&dense).to_half()
+    }
+
+    #[test]
+    fn cost_cmp_is_nan_safe_and_total() {
+        use core::cmp::Ordering;
+        // NaN sorts as infinitely expensive — never panics, never wins.
+        assert_eq!(cost_cmp(f64::NAN, 1.0), Ordering::Greater);
+        assert_eq!(cost_cmp(1.0, f64::NAN), Ordering::Less);
+        // Two NaNs (or a NaN vs infinity) compare equal, keeping min_by
+        // deterministic instead of order-dependent.
+        assert_eq!(cost_cmp(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(cost_cmp(f64::NAN, f64::INFINITY), Ordering::Equal);
+        // Finite costs keep their numeric order.
+        assert_eq!(cost_cmp(0.5, 2.0), Ordering::Less);
+        assert_eq!(cost_cmp(2.0, 0.5), Ordering::Greater);
+        assert_eq!(cost_cmp(1.5, 1.5), Ordering::Equal);
+        // The regression that motivated the helper: min_by over a pool
+        // containing a NaN cost must pick the cheapest finite candidate.
+        let best = [f64::NAN, 3.0, 1.0, f64::INFINITY]
+            .into_iter()
+            .min_by(|a, b| cost_cmp(*a, *b))
+            .unwrap();
+        assert_eq!(best, 1.0);
     }
 
     #[test]

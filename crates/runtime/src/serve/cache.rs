@@ -1,0 +1,395 @@
+//! The process-wide plan cache: descriptor-keyed, build-once, LRU under
+//! a byte budget.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::descriptor::MatmulDescriptor;
+use crate::matmul::MatmulPlan;
+use venom_fp16::Half;
+use venom_tensor::Matrix;
+
+/// The cache key: the planned matmul's descriptor plus a fingerprint of
+/// the weight bits (and an optional caller salt).
+///
+/// The descriptor alone names the *problem* (shape, dtype, epilogue,
+/// column bound) — exactly what concurrent requests must share to be
+/// coalesced into one dispatch. The fingerprint disambiguates the
+/// *instance*: two models with the same layer shape must not serve each
+/// other's weights. [`PlanKey::bare`] keys on the descriptor alone for
+/// single-tenant serving; [`PlanKey::for_weight`] folds in an FNV-1a
+/// hash of the weight's half bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The matmul being served.
+    pub desc: MatmulDescriptor,
+    /// FNV-1a over the weight's f16 bit patterns (0 for [`Self::bare`]).
+    pub fingerprint: u64,
+}
+
+impl PlanKey {
+    /// Keys on the descriptor alone — for serving setups where one
+    /// descriptor maps to one registered weight.
+    pub fn bare(desc: MatmulDescriptor) -> Self {
+        PlanKey {
+            desc,
+            fingerprint: 0,
+        }
+    }
+
+    /// Keys on the descriptor plus a fingerprint of the weight bits, so
+    /// same-shape weights occupy distinct cache lines.
+    pub fn for_weight(desc: MatmulDescriptor, w: &Matrix<Half>) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        mix(w.rows() as u64);
+        mix(w.cols() as u64);
+        for v in w.as_slice() {
+            mix(v.to_bits() as u64);
+        }
+        PlanKey {
+            desc,
+            fingerprint: h,
+        }
+    }
+
+    /// Folds caller context (e.g. a planning-strategy discriminant) into
+    /// the fingerprint, so the same weight planned two different ways
+    /// occupies two cache lines.
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.fingerprint = (self.fingerprint ^ salt).wrapping_mul(0x0000_0100_0000_01b3);
+        self
+    }
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a built plan (including waiters that arrived
+    /// while another thread was building the same key — they reuse the
+    /// build, they do not trigger one).
+    pub hits: u64,
+    /// Lookups that found no entry for the key.
+    pub misses: u64,
+    /// Plans removed by the byte-budget LRU sweep.
+    pub evictions: u64,
+    /// Plan builds actually executed (the exactly-once contract: one per
+    /// resident key however many threads raced it).
+    pub builds: u64,
+    /// Plans currently resident.
+    pub resident_plans: usize,
+    /// Approximate bytes currently resident (see
+    /// [`MatmulPlan::approx_bytes`]).
+    pub resident_bytes: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 before any lookup.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One key's build slot. The slot-level mutex is what makes builds
+/// exactly-once *without* serialising the whole cache: the first thread
+/// for a key inserts the slot and builds while holding only this mutex,
+/// so concurrent requests for the same key wait for that one build while
+/// requests for other keys proceed through the map untouched.
+#[derive(Debug, Default)]
+struct Slot {
+    plan: Mutex<Option<Arc<dyn MatmulPlan>>>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    slot: Arc<Slot>,
+    /// LRU clock value of the last lookup.
+    last_used: u64,
+    /// [`MatmulPlan::approx_bytes`] once built, 0 while building.
+    bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<PlanKey, Entry>,
+    /// Monotonic lookup clock driving the LRU order.
+    tick: u64,
+}
+
+/// A thread-safe, build-once plan cache with LRU eviction under a byte
+/// budget.
+///
+/// See the module docs for the role it plays in serving; see
+/// [`PlanCache::global`] for the process-wide instance.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    builds: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_budget(Self::DEFAULT_BYTE_BUDGET)
+    }
+}
+
+impl PlanCache {
+    /// Default byte budget of [`PlanCache::new`] and the global cache:
+    /// roomy enough for every layer plan of a BERT-large-scale stack.
+    pub const DEFAULT_BYTE_BUDGET: usize = 512 << 20;
+
+    /// A cache with the default byte budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache evicting least-recently-used plans once the resident
+    /// approximate bytes exceed `budget` (in-use plans are never
+    /// evicted, so the budget can be transiently exceeded).
+    pub fn with_budget(budget: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache every serving entry point shares by
+    /// default — hot models stay planned across servers and threads.
+    pub fn global() -> &'static Arc<PlanCache> {
+        static GLOBAL: OnceLock<Arc<PlanCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(PlanCache::new()))
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Looks up a built plan without building; counts a hit or miss.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<dyn MatmulPlan>> {
+        let slot = {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.entries.get_mut(key) {
+                Some(e) => {
+                    e.last_used = tick;
+                    Arc::clone(&e.slot)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            }
+        };
+        let plan = slot.plan.lock().expect("plan slot poisoned").clone();
+        match plan {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                // Entry exists but a racing build has not finished (or
+                // failed and is being torn down) — a miss to this caller.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns the cached plan for `key`, building it with `build` on
+    /// first use. However many threads race the same cold key, exactly
+    /// one executes `build`; the rest block on that key's slot (builds
+    /// for *other* keys proceed concurrently) and reuse the result.
+    pub fn get_or_plan(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> Arc<dyn MatmulPlan>,
+    ) -> Arc<dyn MatmulPlan> {
+        self.try_get_or_plan(key, || Ok::<_, core::convert::Infallible>(build()))
+            .unwrap_or_else(|never| match never {})
+    }
+
+    /// [`Self::get_or_plan`] with a fallible builder. A failed build
+    /// removes the key's (empty) entry so a later request can retry; the
+    /// error is returned to the caller that ran the build, while racing
+    /// waiters fall back to running their own builder.
+    ///
+    /// # Errors
+    /// Propagates the builder's error.
+    pub fn try_get_or_plan<E>(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> Result<Arc<dyn MatmulPlan>, E>,
+    ) -> Result<Arc<dyn MatmulPlan>, E> {
+        let slot = {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.entries.get_mut(&key) {
+                Some(e) => {
+                    e.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(&e.slot)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let slot = Arc::new(Slot::default());
+                    inner.entries.insert(
+                        key,
+                        Entry {
+                            slot: Arc::clone(&slot),
+                            last_used: tick,
+                            bytes: 0,
+                        },
+                    );
+                    slot
+                }
+            }
+        };
+        let mut guard = slot.plan.lock().expect("plan slot poisoned");
+        if let Some(plan) = guard.as_ref() {
+            return Ok(Arc::clone(plan));
+        }
+        match build() {
+            Ok(plan) => {
+                self.builds.fetch_add(1, Ordering::Relaxed);
+                *guard = Some(Arc::clone(&plan));
+                drop(guard);
+                self.note_built(&key, plan.approx_bytes());
+                Ok(plan)
+            }
+            Err(e) => {
+                drop(guard);
+                self.remove_if_unbuilt(&key, &slot);
+                Err(e)
+            }
+        }
+    }
+
+    /// Builds `key` on a background thread (if not already resident) —
+    /// warm-up for descriptors that are known to be requested soon.
+    pub fn warm(
+        self: &Arc<Self>,
+        key: PlanKey,
+        build: impl FnOnce() -> Arc<dyn MatmulPlan> + Send + 'static,
+    ) -> std::thread::JoinHandle<()> {
+        let cache = Arc::clone(self);
+        std::thread::spawn(move || {
+            let _ = cache.get_or_plan(key, build);
+        })
+    }
+
+    /// Counter and residency snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let (resident_plans, resident_bytes) = {
+            let inner = self.inner.lock().expect("plan cache poisoned");
+            let built = inner.entries.values().filter(|e| e.bytes > 0);
+            (built.clone().count(), built.map(|e| e.bytes).sum())
+        };
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            resident_plans,
+            resident_bytes,
+        }
+    }
+
+    /// Resident entry count (including slots still building).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a finished build's size and runs the LRU sweep.
+    fn note_built(&self, key: &PlanKey, bytes: usize) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if let Some(e) = inner.entries.get_mut(key) {
+            e.bytes = bytes;
+        }
+        self.evict_over_budget(&mut inner);
+    }
+
+    /// Drops a failed build's empty entry — unless a concurrent retry
+    /// already replaced the slot (checked by identity, not emptiness).
+    fn remove_if_unbuilt(&self, key: &PlanKey, slot: &Arc<Slot>) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if let Some(e) = inner.entries.get(key) {
+            let same_slot = Arc::ptr_eq(&e.slot, slot);
+            let unbuilt = e.slot.plan.try_lock().map(|g| g.is_none()).unwrap_or(false);
+            if same_slot && unbuilt {
+                inner.entries.remove(key);
+            }
+        }
+    }
+
+    /// Evicts least-recently-used *idle* plans until the resident bytes
+    /// fit the budget. A plan is idle when no caller holds its `Arc` and
+    /// no thread is mid-lookup on its slot — an in-flight plan is never
+    /// dropped, so the budget is a soft ceiling under load.
+    fn evict_over_budget(&self, inner: &mut Inner) {
+        loop {
+            let total: usize = inner.entries.values().map(|e| e.bytes).sum();
+            if total <= self.budget {
+                return;
+            }
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.bytes > 0 && Self::is_idle(e))
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    inner.entries.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Everything over budget is in use: keep it resident.
+                None => return,
+            }
+        }
+    }
+
+    /// Whether no thread can observe this entry's plan except through a
+    /// fresh map lookup: the cache holds the only slot reference, the
+    /// slot is not locked, and the cache holds the only plan reference.
+    fn is_idle(e: &Entry) -> bool {
+        if Arc::strong_count(&e.slot) != 1 {
+            return false;
+        }
+        match e.slot.plan.try_lock() {
+            Ok(guard) => guard
+                .as_ref()
+                .is_none_or(|plan| Arc::strong_count(plan) == 1),
+            Err(_) => false,
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The concurrent serving runtime: queue → coalescer → planned dispatch.
+//!
+//! Serving is where the plan-once/run-many split finally pays out: the
+//! measured batched-SpMM win (`spmm_plan_batch` in BENCH_SPMM.json) only
+//! materialises when *concurrent* requests against the same weight are
+//! dispatched together instead of one at a time. This module is that
+//! layer, in three pieces:
+//!
+//! * [`PlanCache`] — a process-wide, thread-safe plan cache keyed by
+//!   [`crate::MatmulDescriptor`] (plus a weight fingerprint, so two
+//!   same-shape models never alias). Plans build exactly once per key
+//!   no matter how many threads race the first request; eviction is LRU
+//!   under a configurable byte budget and never drops a plan a caller
+//!   still holds; hit/miss/eviction/build counters are exposed for the
+//!   steady-state hit-ratio contract. [`PlanCache::warm`] builds a cold
+//!   descriptor on a background thread before the first request lands.
+//! * [`RequestQueue`] — a bounded MPMC queue with two admission modes:
+//!   [`Server::try_submit`] rejects when full (admission control), and
+//!   [`Server::submit`] blocks until a slot frees (backpressure). The
+//!   dequeue side is the *coalescer*: [`RequestQueue::pop_coalesced`]
+//!   pops the oldest request and greedily packs queued requests for the
+//!   same plan key into one batch, up to the configured bound.
+//! * [`Server`] — worker threads that drain coalesced batches, resolve
+//!   the plan through the cache, and execute one
+//!   [`crate::MatmulPlan::run_batch`] dispatch per batch. Batching is
+//!   bit-identical to serving each request alone (columns are
+//!   independent in every execution path), so coalescing changes
+//!   throughput and nothing else. Per-request latency and batch-size
+//!   metrics come back from [`Server::shutdown`].
+
+mod cache;
+mod queue;
+mod server;
+
+pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use queue::{RequestQueue, ResponseHandle, ServeError, ServeRequest};
+pub use server::{ServeConfig, ServeReport, Server};

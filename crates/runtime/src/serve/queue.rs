@@ -1,0 +1,260 @@
+//! The bounded request queue and its dequeue-side coalescer.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use super::cache::PlanKey;
+use venom_fp16::Half;
+use venom_tensor::Matrix;
+
+/// A serving failure delivered to the submitting client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the queue held `capacity`
+    /// requests already (use the blocking submit to wait instead).
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// No plan or builder is registered for the request's key.
+    UnknownKey,
+    /// The server is shutting down and accepts no new requests.
+    ShuttingDown,
+    /// The operand's row count does not match the planned reduction
+    /// dimension K.
+    OperandShape {
+        /// The planned K.
+        expected_k: usize,
+        /// The operand's row count.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue is full (capacity {capacity})")
+            }
+            ServeError::UnknownKey => f.write_str("no plan registered for the request's key"),
+            ServeError::ShuttingDown => f.write_str("the server is shutting down"),
+            ServeError::OperandShape { expected_k, got } => write!(
+                f,
+                "operand has {got} rows but the plan's reduction dimension is {expected_k}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The one-shot channel a worker answers a request through.
+#[derive(Debug, Default)]
+pub(crate) struct ResponseSlot {
+    result: Mutex<Option<Result<Matrix<f32>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    pub(crate) fn fulfill(&self, result: Result<Matrix<f32>, ServeError>) {
+        let mut guard = self.result.lock().expect("response slot poisoned");
+        *guard = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// The client's handle to one submitted request; [`Self::wait`] blocks
+/// until a worker delivers the output (or a serving error).
+#[derive(Debug)]
+pub struct ResponseHandle {
+    pub(crate) slot: Arc<ResponseSlot>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request is served.
+    ///
+    /// # Errors
+    /// Returns the [`ServeError`] the worker delivered.
+    pub fn wait(self) -> Result<Matrix<f32>, ServeError> {
+        let mut guard = self.slot.result.lock().expect("response slot poisoned");
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.slot.ready.wait(guard).expect("response slot poisoned");
+        }
+    }
+}
+
+/// One queued matmul request: which plan to run, the operand to run it
+/// on, and where to deliver the output.
+#[derive(Debug)]
+pub struct ServeRequest {
+    /// The plan the request is against — the coalescing key.
+    pub key: PlanKey,
+    /// The `K x cols` operand.
+    pub operand: Matrix<Half>,
+    /// When the request entered the queue (drives the latency metrics).
+    pub submitted: Instant,
+    pub(crate) responder: Arc<ResponseSlot>,
+}
+
+impl ServeRequest {
+    /// A request plus the handle its output arrives through.
+    pub fn new(key: PlanKey, operand: Matrix<Half>) -> (Self, ResponseHandle) {
+        let responder = Arc::new(ResponseSlot::default());
+        (
+            ServeRequest {
+                key,
+                operand,
+                submitted: Instant::now(),
+                responder: Arc::clone(&responder),
+            },
+            ResponseHandle { slot: responder },
+        )
+    }
+
+    /// Delivers the result to the waiting client.
+    pub(crate) fn fulfill(&self, result: Result<Matrix<f32>, ServeError>) {
+        self.responder.fulfill(result);
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    queue: VecDeque<ServeRequest>,
+    closed: bool,
+}
+
+/// A bounded MPMC request queue. Submission is the admission-control
+/// point (reject when full, or block for backpressure); the dequeue side
+/// coalesces same-key requests into one batch.
+#[derive(Debug)]
+pub struct RequestQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    /// A queue admitting at most `capacity` requests.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        RequestQueue {
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").queue.len()
+    }
+
+    /// Whether no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: enqueues `req`, or rejects it when the
+    /// queue is full or closed (the request is handed back so the caller
+    /// can retry or fail its client).
+    ///
+    /// # Errors
+    /// [`ServeError::QueueFull`] at capacity, [`ServeError::ShuttingDown`]
+    /// after [`Self::close`].
+    // The Err variant deliberately carries the rejected request back to
+    // the caller (retry/fail-the-client semantics); boxing it would put
+    // an allocation on every rejection of an already-allocated operand.
+    #[allow(clippy::result_large_err)]
+    pub fn try_submit(&self, req: ServeRequest) -> Result<(), (ServeError, ServeRequest)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err((ServeError::ShuttingDown, req));
+        }
+        if state.queue.len() >= self.capacity {
+            return Err((
+                ServeError::QueueFull {
+                    capacity: self.capacity,
+                },
+                req,
+            ));
+        }
+        state.queue.push_back(req);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking admission (backpressure): waits for a free slot instead
+    /// of rejecting.
+    ///
+    /// # Errors
+    /// [`ServeError::ShuttingDown`] if the queue closes while waiting.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, req: ServeRequest) -> Result<(), (ServeError, ServeRequest)> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while !state.closed && state.queue.len() >= self.capacity {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        if state.closed {
+            return Err((ServeError::ShuttingDown, req));
+        }
+        state.queue.push_back(req);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// The coalescer: blocks for the oldest request, then greedily packs
+    /// queued requests with the same plan key into the batch, up to
+    /// `max_batch` total. Requests for other keys keep their queue
+    /// positions. Returns `None` once the queue is closed *and* drained
+    /// (workers use this as their exit signal).
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn pop_coalesced(&self, max_batch: usize) -> Option<Vec<ServeRequest>> {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(first) = state.queue.pop_front() {
+                let key = first.key;
+                let mut batch = vec![first];
+                let mut i = 0;
+                while batch.len() < max_batch && i < state.queue.len() {
+                    if state.queue[i].key == key {
+                        batch.push(state.queue.remove(i).expect("index checked"));
+                    } else {
+                        i += 1;
+                    }
+                }
+                self.not_full.notify_all();
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending requests still drain, new submissions
+    /// fail with [`ServeError::ShuttingDown`], and waiting workers wake.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}

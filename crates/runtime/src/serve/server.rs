@@ -1,0 +1,321 @@
+//! The serving loop: worker threads draining coalesced batches through
+//! cached plans.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+use super::cache::{PlanCache, PlanKey};
+use super::queue::{RequestQueue, ResponseHandle, ServeError, ServeRequest};
+use crate::matmul::MatmulPlan;
+use venom_fp16::Half;
+use venom_tensor::Matrix;
+
+/// Serving-loop knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub concurrency: usize,
+    /// Most requests one coalesced dispatch may pack.
+    pub max_batch: usize,
+    /// Bound of the request queue (the admission-control limit).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            concurrency: 4,
+            max_batch: 8,
+            queue_capacity: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Overrides the worker count.
+    ///
+    /// # Panics
+    /// Panics if `concurrency` is zero.
+    #[must_use]
+    pub fn with_concurrency(mut self, concurrency: usize) -> Self {
+        assert!(concurrency >= 1, "concurrency must be at least 1");
+        self.concurrency = concurrency;
+        self
+    }
+
+    /// Overrides the coalescing bound.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Overrides the queue capacity.
+    ///
+    /// # Panics
+    /// Panics if `queue_capacity` is zero.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        assert!(queue_capacity >= 1, "queue capacity must be at least 1");
+        self.queue_capacity = queue_capacity;
+        self
+    }
+}
+
+/// What one serving session did: request counts, batch shape, and the
+/// latency distribution under load.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeReport {
+    /// Requests served successfully.
+    pub served: u64,
+    /// Requests answered with an error.
+    pub errored: u64,
+    /// Coalesced dispatches executed.
+    pub batches: u64,
+    /// `served / batches` — how well the coalescer packed.
+    pub mean_batch: f64,
+    /// Median submit-to-response latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile submit-to-response latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst submit-to-response latency, milliseconds.
+    pub max_ms: f64,
+}
+
+#[derive(Debug, Default)]
+struct Metrics {
+    latencies_ms: Vec<f64>,
+    served: u64,
+    errored: u64,
+    batches: u64,
+}
+
+impl Metrics {
+    fn report(&self) -> ServeReport {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx]
+        };
+        ServeReport {
+            served: self.served,
+            errored: self.errored,
+            batches: self.batches,
+            mean_batch: if self.batches == 0 {
+                0.0
+            } else {
+                self.served as f64 / self.batches as f64
+            },
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+            max_ms: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+type PlanBuilder = Arc<dyn Fn() -> Arc<dyn MatmulPlan> + Send + Sync>;
+
+/// A multi-tenant serving loop: submissions enter a bounded queue, the
+/// coalescer packs same-key requests, worker threads resolve plans
+/// through the shared [`PlanCache`] and dispatch one
+/// [`MatmulPlan::run_batch`] per batch. See the module docs for the
+/// architecture.
+pub struct Server {
+    queue: Arc<RequestQueue>,
+    cache: Arc<PlanCache>,
+    registry: Arc<RwLock<HashMap<PlanKey, PlanBuilder>>>,
+    metrics: Arc<Mutex<Metrics>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `config.concurrency` workers against `cache`.
+    pub fn start(config: ServeConfig, cache: Arc<PlanCache>) -> Self {
+        let queue = Arc::new(RequestQueue::bounded(config.queue_capacity));
+        let registry: Arc<RwLock<HashMap<PlanKey, PlanBuilder>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+        let metrics = Arc::new(Mutex::new(Metrics::default()));
+        let workers = (0..config.concurrency.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&cache);
+                let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
+                let max_batch = config.max_batch.max(1);
+                std::thread::spawn(move || {
+                    worker_loop(&queue, &cache, &registry, &metrics, max_batch);
+                })
+            })
+            .collect();
+        Server {
+            queue,
+            cache,
+            registry,
+            metrics,
+            workers,
+        }
+    }
+
+    /// Starts a server with its own default-budget cache.
+    pub fn with_default_cache(config: ServeConfig) -> Self {
+        Self::start(config, Arc::new(PlanCache::new()))
+    }
+
+    /// The shared plan cache (for stats or warm-up).
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Registers how to build `key`'s plan when the cache is cold. The
+    /// builder runs at most once per cache residency (the cache's
+    /// exactly-once contract).
+    pub fn register(
+        &self,
+        key: PlanKey,
+        build: impl Fn() -> Arc<dyn MatmulPlan> + Send + Sync + 'static,
+    ) {
+        self.registry
+            .write()
+            .expect("registry poisoned")
+            .insert(key, Arc::new(build));
+    }
+
+    /// [`Self::register`] plus background warm-up: the plan starts
+    /// building on a spare thread immediately, so the first request
+    /// finds a hot cache instead of paying the build.
+    pub fn register_warm(
+        &self,
+        key: PlanKey,
+        build: impl Fn() -> Arc<dyn MatmulPlan> + Send + Sync + 'static,
+    ) -> JoinHandle<()> {
+        let build: PlanBuilder = Arc::new(build);
+        self.registry
+            .write()
+            .expect("registry poisoned")
+            .insert(key, Arc::clone(&build));
+        self.cache.warm(key, move || build())
+    }
+
+    /// Non-blocking submission (admission control): rejects immediately
+    /// when the queue is at capacity.
+    ///
+    /// # Errors
+    /// [`ServeError::QueueFull`] at capacity, [`ServeError::ShuttingDown`]
+    /// after shutdown began.
+    pub fn try_submit(
+        &self,
+        key: PlanKey,
+        operand: Matrix<Half>,
+    ) -> Result<ResponseHandle, ServeError> {
+        let (req, handle) = ServeRequest::new(key, operand);
+        self.queue
+            .try_submit(req)
+            .map(|()| handle)
+            .map_err(|(e, _)| e)
+    }
+
+    /// Blocking submission (backpressure): waits for queue space.
+    ///
+    /// # Errors
+    /// [`ServeError::ShuttingDown`] if the server closes while waiting.
+    pub fn submit(
+        &self,
+        key: PlanKey,
+        operand: Matrix<Half>,
+    ) -> Result<ResponseHandle, ServeError> {
+        let (req, handle) = ServeRequest::new(key, operand);
+        self.queue.submit(req).map(|()| handle).map_err(|(e, _)| e)
+    }
+
+    /// Requests currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stops admissions, drains the queue, joins the workers and returns
+    /// the session's metrics.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.metrics.lock().expect("metrics poisoned").report()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(
+    queue: &RequestQueue,
+    cache: &PlanCache,
+    registry: &RwLock<HashMap<PlanKey, PlanBuilder>>,
+    metrics: &Mutex<Metrics>,
+    max_batch: usize,
+) {
+    while let Some(batch) = queue.pop_coalesced(max_batch) {
+        let key = batch[0].key;
+        let builder = registry
+            .read()
+            .expect("registry poisoned")
+            .get(&key)
+            .cloned();
+        let plan = match builder {
+            Some(build) => Some(cache.get_or_plan(key, || build())),
+            // No registered builder: serve from the cache if someone
+            // planted the plan there directly, else fail the batch.
+            None => cache.get(&key),
+        };
+        let Some(plan) = plan else {
+            for req in &batch {
+                req.fulfill(Err(ServeError::UnknownKey));
+            }
+            let mut m = metrics.lock().expect("metrics poisoned");
+            m.errored += batch.len() as u64;
+            continue;
+        };
+        let expected_k = plan.descriptor().in_features;
+        let (good, bad): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|req| req.operand.rows() == expected_k);
+        for req in &bad {
+            req.fulfill(Err(ServeError::OperandShape {
+                expected_k,
+                got: req.operand.rows(),
+            }));
+        }
+        let outputs = if good.is_empty() {
+            Vec::new()
+        } else {
+            let operands: Vec<&Matrix<Half>> = good.iter().map(|req| &req.operand).collect();
+            plan.run_batch(&operands)
+        };
+        let mut latencies = Vec::with_capacity(good.len());
+        for (req, out) in good.iter().zip(outputs) {
+            latencies.push(req.submitted.elapsed().as_secs_f64() * 1e3);
+            req.fulfill(Ok(out));
+        }
+        let mut m = metrics.lock().expect("metrics poisoned");
+        m.served += latencies.len() as u64;
+        m.errored += bad.len() as u64;
+        if !latencies.is_empty() {
+            m.batches += 1;
+        }
+        m.latencies_ms.extend(latencies);
+    }
+}

@@ -63,6 +63,12 @@ EXPECTED_LABELS = [
     # path.
     "fig09_k768_i8",
     "fig09_k768_i8_plan",
+    # Serving under load (ISSUE 6): the concurrent server (bounded queue,
+    # coalescer, shared plan cache) vs sequential per-request dispatch,
+    # plus the p50/p99 latency tail of the same scenario.
+    "serve_throughput_c4",
+    "serve_p50_c4",
+    "serve_p99_c4",
 ]
 
 # Labels whose speedup over the retained reference path is the point of
@@ -82,6 +88,12 @@ SPEEDUP_FLOORS = {
     # per-call re-quantization.
     "fig09_k768_i8": 1.0,
     "fig09_k768_i8_plan": 1.0,
+    # The serving acceptance bar: dynamic batching plus the shared plan
+    # cache must at least double sequential per-request throughput. The
+    # floor sits below the 2x target by the same margin the other floors
+    # allow, so scheduler noise on a loaded CI runner cannot flake the
+    # gate while a real loss of batching still fails it.
+    "serve_throughput_c4": 1.5,
 }
 
 
