@@ -35,7 +35,7 @@ use venom_dnn::TransformerEncoder;
 use venom_format::{MatmulFormat, VnmConfig, VnmMatrix};
 use venom_fp16::Half;
 use venom_pruner::magnitude;
-use venom_runtime::{Engine, PlanCache, PlanKey, ServeConfig, Server};
+use venom_runtime::{Engine, PlanCache, PlanKey, RetryPolicy, ServeConfig, Server};
 use venom_sim::DeviceConfig;
 use venom_tensor::{gemm, random, Matrix};
 
@@ -729,6 +729,110 @@ fn serve_config_string() -> String {
     format!("128:2:10 x{SERVE_REQUESTS}req c{SERVE_CONCURRENCY} b{SERVE_MAX_BATCH}")
 }
 
+/// The graceful-degradation series (ISSUE 7): the serving scenario with
+/// the plan build disabled, so every dispatch rides the per-call
+/// `run_oneshot` fallback. The reference is the same per-call path on a
+/// single thread — the series prices what degraded mode still buys
+/// (worker parallelism) once the planned path is gone.
+fn serve_degraded_series(label: &'static str, args: &Args) -> Series {
+    let (r, k) = (1024, 768);
+    let cfg = VnmConfig::new(128, 2, 10);
+    let w = pruned_weight(r, k, cfg, 1);
+    let engine =
+        Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(SERVE_MAX_BATCH * SERVE_REQ_COLS);
+    let plan = engine
+        .plan_with_format(MatmulFormat::Vnm, &engine.descriptor(r, k), &w)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let key = PlanKey::for_weight(*plan.descriptor(), &w);
+    let operands: Vec<Matrix<Half>> = (0..SERVE_REQUESTS)
+        .map(|i| random::activation_matrix(k, SERVE_REQ_COLS, 2 + i as u64).to_half())
+        .collect();
+
+    let seq_ms = median_ms(args.ref_iters, || {
+        operands
+            .iter()
+            .map(|b| plan.run_oneshot(b))
+            .collect::<Vec<_>>()
+    });
+    let baseline: Vec<Matrix<f32>> = operands.iter().map(|b| plan.run_oneshot(b)).collect();
+
+    let run_once = |check: bool| -> f64 {
+        // A fresh cache per pass: the build must fail again each time,
+        // so every pass serves the whole stream degraded.
+        let server = Server::start(
+            ServeConfig::default()
+                .with_concurrency(SERVE_CONCURRENCY)
+                .with_max_batch(SERVE_MAX_BATCH)
+                .with_queue_capacity(SERVE_REQUESTS)
+                .with_retry(RetryPolicy::none()),
+            Arc::new(PlanCache::new()),
+        );
+        let fallback = Arc::clone(&plan);
+        server.register_degradable(
+            key,
+            || Err("bench: planned path disabled".to_string()),
+            fallback,
+        );
+        let t0 = Instant::now();
+        let outs: Vec<(usize, Matrix<f32>)> = std::thread::scope(|s| {
+            let clients: Vec<_> = (0..SERVE_CONCURRENCY)
+                .map(|c| {
+                    let (server, operands) = (&server, &operands);
+                    s.spawn(move || {
+                        let handles: Vec<_> = (c..operands.len())
+                            .step_by(SERVE_CONCURRENCY)
+                            .map(|i| (i, server.submit(key, operands[i].clone()).expect("submit")))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|(i, h)| (i, h.wait().expect("degraded serve")))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            clients
+                .into_iter()
+                .flat_map(|c| c.join().expect("client thread panicked"))
+                .collect()
+        });
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        let report = server.shutdown();
+        assert_eq!(
+            report.degraded, SERVE_REQUESTS as u64,
+            "every dispatch must ride the degraded path"
+        );
+        if check {
+            for (i, out) in &outs {
+                assert_eq!(
+                    out, &baseline[*i],
+                    "degraded output drifted from run_oneshot"
+                );
+            }
+        }
+        wall
+    };
+
+    run_once(true);
+    let mut walls: Vec<f64> = (0..args.iters).map(|_| run_once(false)).collect();
+    walls.sort_by(f64::total_cmp);
+    let conc_ms = walls[walls.len() / 2];
+    let reference = Some(("MatmulPlan::run_oneshot (sequential per-request)", seq_ms));
+    eprintln!(
+        "serve/{label}: {conc_ms:.1} ms{}",
+        ref_note(&reference, conc_ms)
+    );
+    Series {
+        op: "serve",
+        label,
+        r: 1024,
+        k: 768,
+        c: SERVE_REQ_COLS,
+        config: serve_config_string(),
+        median_ms: conc_ms,
+        reference,
+    }
+}
+
 fn ref_note(reference: &Option<(&'static str, f64)>, median_ms: f64) -> String {
     match reference {
         Some((name, ms)) => format!(" (ref {name}: {ms:.1} ms, {:.2}x)", ms / median_ms),
@@ -912,6 +1016,10 @@ fn main() {
                 serve_latency_series(l, serve_c.get_or_init(|| serve_numbers(a)).p99_ms)
             }),
         ),
+        // The fault-tolerance series (ISSUE 7): the same stream with the
+        // planned path disabled — what graceful degradation still
+        // delivers over naive sequential per-call fallback.
+        ("serve_degraded_c4", Box::new(serve_degraded_series)),
     ];
     let series: Vec<Series> = catalogue
         .into_iter()

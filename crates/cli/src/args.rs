@@ -3,7 +3,7 @@
 //! anyway).
 
 use venom_format::MatmulFormat;
-use venom_runtime::DType;
+use venom_runtime::{DType, FaultConfig};
 
 /// A validated `--format` value: automatic selection or one concrete
 /// storage format.
@@ -120,11 +120,14 @@ pub enum Command {
     },
     /// `venom serve [--requests N] [--concurrency T] [--max-batch B]
     /// [--queue Q] [--shape RxK] [--req-cols C] [--pattern V:N:M]
-    /// [--device NAME] [--seed S]` — run the concurrent serving loop:
-    /// plan one V:N:M weight, warm the shared plan cache, then serve N
-    /// requests through T workers with same-descriptor requests
-    /// coalesced into batched dispatches, against a sequential
-    /// per-request baseline.
+    /// [--device NAME] [--seed S] [--deadline-ms D] [--inject SPEC]` —
+    /// run the concurrent serving loop: plan one V:N:M weight, warm the
+    /// shared plan cache, then serve N requests through T workers with
+    /// same-descriptor requests coalesced into batched dispatches,
+    /// against a sequential per-request baseline. `--inject` turns on
+    /// the deterministic fault harness (seeded build failures/stalls,
+    /// run panics, slow runs) to demonstrate that every request still
+    /// resolves; `--deadline-ms` bounds each request's queue life.
     Serve {
         /// Total requests to serve.
         requests: usize,
@@ -144,6 +147,10 @@ pub enum Command {
         device: String,
         /// RNG seed.
         seed: u64,
+        /// Per-request deadline in milliseconds (`None` = no deadline).
+        deadline_ms: Option<u64>,
+        /// Fault-injection schedule (`None` = no faults).
+        inject: Option<FaultConfig>,
     },
     /// `venom help`.
     Help,
@@ -165,12 +172,17 @@ USAGE:
   venom serve    [--requests N] [--concurrency T] [--max-batch B]
                  [--queue Q] [--shape RxK] [--req-cols C]
                  [--pattern V:N:M] [--device rtx3090|a100] [--seed S]
+                 [--deadline-ms D] [--inject SPEC]
   venom help
 
   --format F chooses the weight storage format planned by the engine:
   auto, vnm, nm, csr, cvse, blocked-ell, dense (default vnm).
   --dtype D chooses the operand precision: f16 (exact mixed precision)
   or i8 (calibrated int8, i32 accumulation; vnm/auto formats only).
+  --inject SPEC enables deterministic fault injection while serving:
+  comma-separated key=value from seed, build-fail, build-stall,
+  stall-ms, run-panic, run-slow, slow-ms (probabilities in [0, 1]),
+  e.g. --inject seed=7,build-fail=0.4,run-panic=0.25.
 ";
 
 fn take_flag<'a>(argv: &'a [String], name: &str) -> Option<&'a str> {
@@ -303,6 +315,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .unwrap_or("42")
                 .parse()
                 .map_err(|_| "--seed must be an integer".to_string())?,
+            deadline_ms: match take_flag(argv, "--deadline-ms") {
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(ms) if ms >= 1 => Some(ms),
+                    _ => {
+                        return Err(format!(
+                            "invalid --deadline-ms '{raw}' (valid: an integer >= 1)"
+                        ))
+                    }
+                },
+                None => None,
+            },
+            inject: match take_flag(argv, "--inject") {
+                Some(spec) => Some(
+                    FaultConfig::parse(spec).map_err(|e| format!("invalid --inject spec: {e}"))?,
+                ),
+                None => None,
+            },
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
@@ -517,6 +546,8 @@ mod tests {
                 pattern: (128, 2, 10),
                 device: "rtx3090".into(),
                 seed: 42,
+                deadline_ms: None,
+                inject: None,
             }
         );
         let c = parse(&v(&[
@@ -553,8 +584,47 @@ mod tests {
                 pattern: (64, 2, 8),
                 device: "a100".into(),
                 seed: 7,
+                deadline_ms: None,
+                inject: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_fault_injection_and_deadlines() {
+        let c = parse(&v(&[
+            "serve",
+            "--deadline-ms",
+            "250",
+            "--inject",
+            "seed=7,build-fail=0.4,run-panic=0.25",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                deadline_ms,
+                inject: Some(cfg),
+                ..
+            } => {
+                assert_eq!(deadline_ms, Some(250));
+                assert_eq!(cfg.seed, 7);
+                assert_eq!(cfg.build_fail, 0.4);
+                assert_eq!(cfg.run_panic, 0.25);
+                assert_eq!(cfg.run_slow, 0.0);
+            }
+            other => panic!("expected Serve with injection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_injection_specs_and_deadlines() {
+        let e = parse(&v(&["serve", "--inject", "run-panic=2"])).unwrap_err();
+        assert!(e.contains("invalid --inject spec"), "{e}");
+        assert!(e.contains("[0, 1]"), "{e}");
+        let e = parse(&v(&["serve", "--inject", "bogus=1"])).unwrap_err();
+        assert!(e.contains("unknown fault key"), "{e}");
+        let e = parse(&v(&["serve", "--deadline-ms", "0"])).unwrap_err();
+        assert!(e.contains("invalid --deadline-ms '0'"), "{e}");
     }
 
     #[test]

@@ -10,7 +10,9 @@ use venom_dnn::TransformerEncoder;
 use venom_format::{MatmulFormat, SparsityMask, VnmConfig, VnmMatrix};
 use venom_pruner::{energy, magnitude};
 use venom_quant::Calibration;
-use venom_runtime::{DType, Engine, MatmulPlan, PlanCache, PlanKey, ServeConfig, Server};
+use venom_runtime::{
+    DType, Engine, FaultConfig, MatmulPlan, PlanCache, PlanKey, RetryPolicy, ServeConfig, Server,
+};
 use venom_sim::DeviceConfig;
 use venom_tensor::{random, GemmShape, Half, Matrix};
 
@@ -75,6 +77,8 @@ pub fn execute(cmd: &Command) -> String {
             pattern,
             device,
             seed,
+            deadline_ms,
+            inject,
         } => serve(
             *requests,
             *concurrency,
@@ -85,6 +89,8 @@ pub fn execute(cmd: &Command) -> String {
             *pattern,
             &device_by_name(device),
             *seed,
+            *deadline_ms,
+            *inject,
         ),
         Command::Infer {
             model,
@@ -311,12 +317,34 @@ fn infer(
     )
 }
 
+/// Injected worker panics are caught and answered by the supervisor,
+/// but the default panic hook would still print a backtrace per event;
+/// filter those (and only those) out so the fault report stays legible.
+fn silence_injected_panics() {
+    use venom_runtime::serve::InjectedPanic;
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
 /// Drives the concurrent serving runtime end to end: plans one V:N:M
 /// weight, times a sequential per-request baseline on a single thread,
 /// then replays the same request stream through [`Server`] — bounded
 /// queue, coalescer, shared [`PlanCache`] — and reports throughput,
 /// tail latency, batch shape and cache counters. Every concurrent
 /// output is checked bit-identical against the sequential baseline.
+///
+/// With `--inject` the builder and plan are wrapped in the seeded
+/// [`FaultConfig`], the plan is registered with the pristine plan as a
+/// per-call degradation baseline, and clients switch to retrying
+/// submission plus bounded waits; the report then also accounts every
+/// request as resolved (a result or a typed error — never lost).
 #[allow(clippy::too_many_arguments)]
 fn serve(
     requests: usize,
@@ -328,6 +356,8 @@ fn serve(
     (v, n, m): (usize, usize, usize),
     dev: &DeviceConfig,
     seed: u64,
+    deadline_ms: Option<u64>,
+    inject: Option<FaultConfig>,
 ) -> String {
     let cfg = VnmConfig::new(v, n, m);
     let w = random::glorot_matrix(r, k, seed);
@@ -351,19 +381,49 @@ fn serve(
     let baseline: Vec<Matrix<f32>> = operands.iter().map(|b| plan.run(b)).collect();
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    let server = Server::start(
-        ServeConfig::default()
-            .with_concurrency(concurrency)
-            .with_max_batch(max_batch)
-            .with_queue_capacity(queue),
-        Arc::new(PlanCache::new()),
-    );
-    let warm_plan = Arc::clone(&plan);
-    let warm = server.register_warm(key, move || Arc::clone(&warm_plan));
-    let _ = warm.join();
+    let faulted = inject.is_some_and(|f| f.any_enabled());
+    if faulted {
+        silence_injected_panics();
+    }
+    let mut config = ServeConfig::default()
+        .with_concurrency(concurrency)
+        .with_max_batch(max_batch)
+        .with_queue_capacity(queue);
+    if faulted {
+        // Injected run panics can keep killing workers, and stalled
+        // builds must not wedge the stream: budget a respawn per
+        // request and keep the build timeout short so degraded
+        // dispatch kicks in quickly.
+        config = config
+            .with_restart_budget((requests + concurrency) as u32)
+            .with_build_timeout(std::time::Duration::from_millis(50));
+    }
+    let server = Server::start(config, Arc::new(PlanCache::new()));
+    match inject {
+        Some(faults) if faulted => {
+            // The pristine plan doubles as the per-call degradation
+            // baseline, so even a build that never lands still serves
+            // bit-identical results through `run_oneshot`.
+            let inner = Arc::clone(&plan);
+            server.register_degradable(
+                key,
+                faults.wrap_builder(move || Arc::clone(&inner)),
+                Arc::clone(&plan),
+            );
+        }
+        _ => {
+            let warm_plan = Arc::clone(&plan);
+            let warm = server.register_warm(key, move || Arc::clone(&warm_plan));
+            let _ = warm.join();
+        }
+    }
 
     // `concurrency` client threads stripe the request stream; blocking
     // submission exercises backpressure when `requests` exceeds `queue`.
+    // Under injection, clients retry rejected submissions with seeded
+    // backoff and bound every wait, so a faulty server can never hang
+    // the client side.
+    let deadline = deadline_ms.map(std::time::Duration::from_millis);
     let t1 = std::time::Instant::now();
     let mut results: Vec<Option<Matrix<f32>>> = vec![None; requests];
     let mut errors: Vec<String> = Vec::new();
@@ -375,11 +435,34 @@ fn serve(
                 s.spawn(move || {
                     let handles: Vec<_> = (c..operands.len())
                         .step_by(concurrency.max(1))
-                        .map(|i| (i, server.submit(key, operands[i].clone())))
+                        .map(|i| {
+                            let operand = operands[i].clone();
+                            let submitted = if let Some(d) = deadline {
+                                server.submit_with_deadline(
+                                    key,
+                                    operand,
+                                    std::time::Instant::now() + d,
+                                )
+                            } else if faulted {
+                                server.submit_retry(key, operand, RetryPolicy::default())
+                            } else {
+                                server.submit(key, operand)
+                            };
+                            (i, submitted)
+                        })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|(i, h)| (i, h.and_then(|h| h.wait())))
+                        .map(|(i, h)| {
+                            let res = h.and_then(|h| {
+                                if faulted {
+                                    h.wait_timeout(std::time::Duration::from_secs(30))
+                                } else {
+                                    h.wait()
+                                }
+                            });
+                            (i, res)
+                        })
                         .collect::<Vec<_>>()
                 })
             })
@@ -397,14 +480,18 @@ fn serve(
     let stats = server.cache().stats();
     let report = server.shutdown();
 
-    if !errors.is_empty() {
+    // Errors are a hard failure only on a clean run; with faults
+    // injected (or client deadlines) they are expected outcomes the
+    // resolution accounting below reports.
+    if !errors.is_empty() && !faulted && deadline.is_none() {
         return format!("serving failed: {}", errors.join("; "));
     }
     let identical = results
         .iter()
         .zip(&baseline)
-        .all(|(got, want)| got.as_ref() == Some(want));
-    format!(
+        .all(|(got, want)| got.as_ref().is_none_or(|g| g == want));
+    let resolved = results.iter().filter(|r| r.is_some()).count() + errors.len();
+    let mut out = format!(
         "serving {requests} requests of {k}x{req_cols} through {r}x{k} ({cfg}) on {}\n\
          workers {concurrency}, max batch {max_batch}, queue capacity {queue}\n\
          sequential baseline : {seq_ms:9.2} ms wall ({:8.0} req/s)\n\
@@ -427,7 +514,36 @@ fn serve(
         stats.builds,
         100.0 * stats.hit_ratio(),
         if identical { "yes" } else { "NO — MISMATCH" },
-    )
+    );
+    if let Some(faults) = inject {
+        out += &format!(
+            "\nfault injection     : seed {} (build-fail {:.2}, build-stall {:.2}, \
+             run-panic {:.2}, run-slow {:.2})\n\
+             degraded / restarts : {} degraded dispatch(es), {} worker restart(s)",
+            faults.seed,
+            faults.build_fail,
+            faults.build_stall,
+            faults.run_panic,
+            faults.run_slow,
+            report.degraded,
+            report.worker_restarts,
+        );
+    }
+    out += &format!(
+        "\n{}: {resolved}/{requests} resolved (served {}, degraded {}, shed {}, expired {}, \
+         errors {})",
+        if resolved == requests {
+            "no requests lost"
+        } else {
+            "REQUESTS LOST"
+        },
+        report.served,
+        report.degraded,
+        report.shed,
+        report.deadline_expired,
+        report.errored,
+    );
+    out
 }
 
 fn energy_report(rows: usize, cols: usize, sparsity: f64) -> String {
@@ -695,6 +811,8 @@ mod tests {
             (32, 2, 8),
             &DeviceConfig::rtx3090(),
             5,
+            None,
+            None,
         );
         assert!(s.contains("serving 16 requests of 96x4"), "{s}");
         assert!(s.contains("sequential baseline"), "{s}");
@@ -722,8 +840,41 @@ mod tests {
             (16, 2, 8),
             &DeviceConfig::rtx3090(),
             6,
+            None,
+            None,
         );
         assert!(s.contains("serving 12 requests"), "{s}");
+        assert!(
+            s.contains("outputs bit-identical to per-request baseline: yes"),
+            "{s}"
+        );
+        assert!(s.contains("no requests lost: 12/12 resolved"), "{s}");
+    }
+
+    #[test]
+    fn serve_resolves_every_request_under_injected_faults() {
+        // Builds fail or stall, runs panic or crawl — yet every request
+        // must resolve (planned, degraded-bit-identical, or a typed
+        // error) and the report must say so.
+        let faults = FaultConfig::parse(
+            "seed=9,build-fail=0.5,build-stall=0.4,stall-ms=20,run-panic=0.3,run-slow=0.3,slow-ms=2",
+        )
+        .expect("valid spec");
+        let s = serve(
+            16,
+            2,
+            4,
+            8,
+            (64, 64),
+            2,
+            (16, 2, 8),
+            &DeviceConfig::rtx3090(),
+            7,
+            None,
+            Some(faults),
+        );
+        assert!(s.contains("fault injection"), "{s}");
+        assert!(s.contains("no requests lost: 16/16 resolved"), "{s}");
         assert!(
             s.contains("outputs bit-identical to per-request baseline: yes"),
             "{s}"

@@ -366,6 +366,34 @@ impl Engine {
             .expect("the dense path is always eligible")
     }
 
+    /// Packages this engine's planning as the *fallible builder* the
+    /// serving stack consumes ([`crate::Server::register_fallible`] /
+    /// [`crate::Server::register_degradable`], the [`crate::PlanCache`]
+    /// deadline path): the returned closure owns a clone of the engine
+    /// plus the planning inputs, replans on every call, and maps
+    /// [`PlanError`] onto the reason string the server's retry and
+    /// degradation machinery surfaces in
+    /// [`crate::ServeError::BuildFailed`].
+    ///
+    /// # Panics
+    /// The *returned closure* panics if `weights` does not match the
+    /// descriptor's shape (same contract as [`Self::plan_with_format`]).
+    pub fn serve_builder(
+        &self,
+        format: MatmulFormat,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+    ) -> impl Fn() -> Result<Arc<dyn MatmulPlan>, String> + Send + Sync + 'static {
+        let engine = self.clone();
+        let desc = *desc;
+        let weights = weights.clone();
+        move || {
+            engine
+                .plan_with_format(format, &desc, &weights)
+                .map_err(|e| e.to_string())
+        }
+    }
+
     /// [`Self::plan_auto`] with a measured micro-autotune: every eligible
     /// candidate plan is additionally *run* `iters` times on a synthetic
     /// probe operand, and the lowest measured wall-clock wins. Slower to
@@ -675,6 +703,31 @@ mod tests {
         // Planned and per-call int8 paths stay bit-identical.
         let b = random::normal_matrix(80, 9, 0.0, 1.0, 14).to_half();
         assert_eq!(plan.run(&b), plan.run_oneshot(&b));
+    }
+
+    #[test]
+    fn serve_builder_replans_identically_and_reports_reasons() {
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(64);
+        let w = vnm_weight(64, 80, VnmConfig::new(32, 2, 10), 13);
+        let desc = engine.descriptor(64, 80);
+
+        // The builder replans on every call, bit-identical to planning
+        // directly — what the serving stack relies on when a cache miss
+        // (or an eviction) rebuilds behind a registered key.
+        let build = engine.serve_builder(MatmulFormat::Vnm, &desc, &w);
+        let rebuilt = build().expect("eligible weight must plan");
+        let direct = engine
+            .plan_with_format(MatmulFormat::Vnm, &desc, &w)
+            .unwrap();
+        let b = random::normal_matrix(80, 5, 0.0, 1.0, 21).to_half();
+        assert_eq!(rebuilt.run(&b), direct.run(&b));
+
+        // An ineligible pairing surfaces the planner's reason as the
+        // string `ServeError::BuildFailed` carries to clients.
+        let dense = random::normal_matrix(64, 80, 0.0, 1.0, 22).to_half();
+        let bad = engine.serve_builder(MatmulFormat::Nm, &desc, &dense);
+        let reason = bad().expect_err("dense weight cannot plan as 2:4");
+        assert!(reason.contains("2:4"), "{reason}");
     }
 
     #[test]

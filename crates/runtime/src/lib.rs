@@ -60,7 +60,10 @@ pub use engine::Engine;
 pub use matmul::{MatmulPlan, PlanError};
 pub use plan::{FormatPlan, GemmPlan, SpmmPlan};
 pub use qplan::QuantSpmmPlan;
-pub use serve::{CacheStats, PlanCache, PlanKey, ServeConfig, ServeError, ServeReport, Server};
+pub use serve::{
+    CacheStats, FaultConfig, FaultPlan, HealthReport, PlanBuildError, PlanCache, PlanKey,
+    RetryPolicy, ServeConfig, ServeError, ServeReport, Server,
+};
 
 pub use venom_core::{SpmmOptions, TileConfig};
 pub use venom_format::{MatmulFormat, QuantVnmMatrix, SparseKernel, VnmConfig, VnmMatrix};

@@ -120,7 +120,10 @@ pub trait MatmulPlan: Send + Sync + std::fmt::Debug {
     /// The retained per-call dispatch: redoes operand staging (and, for
     /// the Spatha path, tile selection and pricing) on every invocation.
     /// Bit-identical to [`Self::run`]; the serving benchmarks use it as
-    /// the unplanned baseline.
+    /// the unplanned baseline, and the server's graceful degradation
+    /// rides it when a plan build fails or times out — that fallback is
+    /// only sound because this bit-identity holds for every format
+    /// (enforced by the conformance harness).
     ///
     /// # Panics
     /// Panics if `B` has a row count different from the planned K.

@@ -1,10 +1,14 @@
 //! The process-wide plan cache: descriptor-keyed, build-once, LRU under
-//! a byte budget.
+//! a byte budget, with bounded-wait builds so one stuck builder cannot
+//! wedge a key.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
+use super::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use crate::descriptor::MatmulDescriptor;
 use crate::matmul::MatmulPlan;
 use venom_fp16::Half;
@@ -67,6 +71,35 @@ impl PlanKey {
     }
 }
 
+/// Why a bounded-wait build ([`PlanCache::get_or_plan_deadline`]) did
+/// not produce a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanBuildError {
+    /// The builder returned an error (or panicked — a panicking builder
+    /// is contained and reported as a failure, not propagated).
+    Failed(String),
+    /// The build did not finish within the caller's timeout. The build
+    /// keeps running on its background thread; if it eventually
+    /// succeeds, the plan becomes resident for later requests.
+    TimedOut {
+        /// How long the caller waited.
+        waited: Duration,
+    },
+}
+
+impl core::fmt::Display for PlanBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlanBuildError::Failed(reason) => write!(f, "plan build failed: {reason}"),
+            PlanBuildError::TimedOut { waited } => {
+                write!(f, "plan build still running after {waited:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanBuildError {}
+
 /// A point-in-time snapshot of the cache counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -81,6 +114,10 @@ pub struct CacheStats {
     /// Plan builds actually executed (the exactly-once contract: one per
     /// resident key however many threads raced it).
     pub builds: u64,
+    /// Plan builds that failed (builder error or contained panic).
+    pub failed_builds: u64,
+    /// Bounded waits that gave up before their build finished.
+    pub build_timeouts: u64,
     /// Plans currently resident.
     pub resident_plans: usize,
     /// Approximate bytes currently resident (see
@@ -100,14 +137,27 @@ impl CacheStats {
     }
 }
 
-/// One key's build slot. The slot-level mutex is what makes builds
-/// exactly-once *without* serialising the whole cache: the first thread
-/// for a key inserts the slot and builds while holding only this mutex,
-/// so concurrent requests for the same key wait for that one build while
-/// requests for other keys proceed through the map untouched.
+/// One key's build state. Builds are exactly-once *without* serialising
+/// the whole cache: the first thread for a key flips `building` and runs
+/// (or spawns) the build outside every lock, so concurrent requests for
+/// the same key wait on this slot's condvar while other keys proceed
+/// through the map untouched. Critically, the slot mutex is only held
+/// for state flips — never across a build — so a stuck build cannot
+/// wedge the slot: bounded waiters time out and fall back.
+#[derive(Debug, Default)]
+struct SlotState {
+    plan: Option<Arc<dyn MatmulPlan>>,
+    /// Whether some thread is currently running this key's build.
+    building: bool,
+    /// The most recent build failure, for waiters that never ran the
+    /// builder themselves.
+    last_error: Option<String>,
+}
+
 #[derive(Debug, Default)]
 struct Slot {
-    plan: Mutex<Option<Arc<dyn MatmulPlan>>>,
+    state: Mutex<SlotState>,
+    ready: std::sync::Condvar,
 }
 
 #[derive(Debug)]
@@ -139,6 +189,8 @@ pub struct PlanCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     builds: AtomicU64,
+    failed_builds: AtomicU64,
+    build_timeouts: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -168,6 +220,8 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             builds: AtomicU64::new(0),
+            failed_builds: AtomicU64::new(0),
+            build_timeouts: AtomicU64::new(0),
         }
     }
 
@@ -186,7 +240,7 @@ impl PlanCache {
     /// Looks up a built plan without building; counts a hit or miss.
     pub fn get(&self, key: &PlanKey) -> Option<Arc<dyn MatmulPlan>> {
         let slot = {
-            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            let mut inner = lock_recover(&self.inner);
             inner.tick += 1;
             let tick = inner.tick;
             match inner.entries.get_mut(key) {
@@ -200,7 +254,7 @@ impl PlanCache {
                 }
             }
         };
-        let plan = slot.plan.lock().expect("plan slot poisoned").clone();
+        let plan = lock_recover(&slot.state).plan.clone();
         match plan {
             Some(p) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -212,6 +266,65 @@ impl PlanCache {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
+        }
+    }
+
+    /// Fetches (inserting if absent) the slot for `key`, counting a hit
+    /// or miss at the map level.
+    fn slot_for(&self, key: PlanKey) -> Arc<Slot> {
+        let mut inner = lock_recover(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(&e.slot)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let slot = Arc::new(Slot::default());
+                inner.entries.insert(
+                    key,
+                    Entry {
+                        slot: Arc::clone(&slot),
+                        last_used: tick,
+                        bytes: 0,
+                    },
+                );
+                slot
+            }
+        }
+    }
+
+    /// Publishes a finished build on `slot` and wakes every waiter.
+    fn finish_build(
+        &self,
+        key: &PlanKey,
+        slot: &Arc<Slot>,
+        result: Result<Arc<dyn MatmulPlan>, String>,
+    ) {
+        let built = {
+            let mut state = lock_recover(&slot.state);
+            state.building = false;
+            match result {
+                Ok(plan) => {
+                    self.builds.fetch_add(1, Ordering::Relaxed);
+                    state.plan = Some(Arc::clone(&plan));
+                    state.last_error = None;
+                    Some(plan.approx_bytes())
+                }
+                Err(reason) => {
+                    self.failed_builds.fetch_add(1, Ordering::Relaxed);
+                    state.last_error = Some(reason);
+                    None
+                }
+            }
+        };
+        slot.ready.notify_all();
+        match built {
+            Some(bytes) => self.note_built(key, bytes),
+            None => self.remove_if_unbuilt(key, slot),
         }
     }
 
@@ -240,49 +353,110 @@ impl PlanCache {
         key: PlanKey,
         build: impl FnOnce() -> Result<Arc<dyn MatmulPlan>, E>,
     ) -> Result<Arc<dyn MatmulPlan>, E> {
-        let slot = {
-            let mut inner = self.inner.lock().expect("plan cache poisoned");
-            inner.tick += 1;
-            let tick = inner.tick;
-            match inner.entries.get_mut(&key) {
-                Some(e) => {
-                    e.last_used = tick;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    Arc::clone(&e.slot)
+        let slot = self.slot_for(key);
+        {
+            let mut state = lock_recover(&slot.state);
+            loop {
+                if let Some(plan) = state.plan.as_ref() {
+                    return Ok(Arc::clone(plan));
                 }
-                None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    let slot = Arc::new(Slot::default());
-                    inner.entries.insert(
-                        key,
-                        Entry {
-                            slot: Arc::clone(&slot),
-                            last_used: tick,
-                            bytes: 0,
-                        },
-                    );
-                    slot
+                if !state.building {
+                    state.building = true;
+                    break;
                 }
+                state = wait_recover(&slot.ready, state);
             }
-        };
-        let mut guard = slot.plan.lock().expect("plan slot poisoned");
-        if let Some(plan) = guard.as_ref() {
-            return Ok(Arc::clone(plan));
         }
+        // Build election won: run the builder with no lock held.
         match build() {
             Ok(plan) => {
-                self.builds.fetch_add(1, Ordering::Relaxed);
-                *guard = Some(Arc::clone(&plan));
-                drop(guard);
-                self.note_built(&key, plan.approx_bytes());
+                self.finish_build(&key, &slot, Ok(Arc::clone(&plan)));
                 Ok(plan)
             }
             Err(e) => {
-                drop(guard);
-                self.remove_if_unbuilt(&key, &slot);
+                // The error type is the caller's; record a generic reason
+                // for waiters and hand the typed error back.
+                self.finish_build(&key, &slot, Err("builder returned an error".to_string()));
                 Err(e)
             }
         }
+    }
+
+    /// Bounded-wait variant for serving: returns the cached plan, or
+    /// runs `build` on a background thread and waits at most `timeout`
+    /// for it. A timeout abandons the *wait*, never the build — the
+    /// builder keeps running and installs the plan for later requests —
+    /// so one stalled build cannot wedge its key's slot, and a
+    /// panicking builder is contained into [`PlanBuildError::Failed`].
+    ///
+    /// # Errors
+    /// [`PlanBuildError::Failed`] when the build (run by this call or a
+    /// racing one) failed; [`PlanBuildError::TimedOut`] when `timeout`
+    /// elapsed with the build still running.
+    pub fn get_or_plan_deadline(
+        self: &Arc<Self>,
+        key: PlanKey,
+        build: impl FnOnce() -> Result<Arc<dyn MatmulPlan>, String> + Send + 'static,
+        timeout: Duration,
+    ) -> Result<Arc<dyn MatmulPlan>, PlanBuildError> {
+        let slot = self.slot_for(key);
+        let started = Instant::now();
+        let deadline = started + timeout;
+        let mut build = Some(build);
+        let mut state = lock_recover(&slot.state);
+        loop {
+            if let Some(plan) = state.plan.as_ref() {
+                return Ok(Arc::clone(plan));
+            }
+            if !state.building {
+                match build.take() {
+                    Some(build) => {
+                        state.building = true;
+                        drop(state);
+                        self.spawn_build(key, &slot, build);
+                        state = lock_recover(&slot.state);
+                        continue;
+                    }
+                    None => {
+                        // Our build ran and failed (possibly raced by
+                        // another failing builder); report why.
+                        let reason = state
+                            .last_error
+                            .clone()
+                            .unwrap_or_else(|| "plan build failed".to_string());
+                        return Err(PlanBuildError::Failed(reason));
+                    }
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.build_timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(PlanBuildError::TimedOut {
+                    waited: started.elapsed(),
+                });
+            }
+            (state, _) = wait_timeout_recover(&slot.ready, state, deadline - now);
+        }
+    }
+
+    /// Runs `build` on a detached thread that publishes into `slot`
+    /// when done. The builder is wrapped in `catch_unwind`: an injected
+    /// (or genuine) panic becomes a failed build, not a poisoned slot.
+    fn spawn_build(
+        self: &Arc<Self>,
+        key: PlanKey,
+        slot: &Arc<Slot>,
+        build: impl FnOnce() -> Result<Arc<dyn MatmulPlan>, String> + Send + 'static,
+    ) {
+        let slot = Arc::clone(slot);
+        let cache = Arc::clone(self);
+        std::thread::spawn(move || {
+            let result = match catch_unwind(AssertUnwindSafe(build)) {
+                Ok(r) => r,
+                Err(panic) => Err(panic_reason(&panic)),
+            };
+            cache.finish_build(&key, &slot, result);
+        });
     }
 
     /// Builds `key` on a background thread (if not already resident) —
@@ -301,7 +475,7 @@ impl PlanCache {
     /// Counter and residency snapshot.
     pub fn stats(&self) -> CacheStats {
         let (resident_plans, resident_bytes) = {
-            let inner = self.inner.lock().expect("plan cache poisoned");
+            let inner = lock_recover(&self.inner);
             let built = inner.entries.values().filter(|e| e.bytes > 0);
             (built.clone().count(), built.map(|e| e.bytes).sum())
         };
@@ -310,6 +484,8 @@ impl PlanCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+            failed_builds: self.failed_builds.load(Ordering::Relaxed),
+            build_timeouts: self.build_timeouts.load(Ordering::Relaxed),
             resident_plans,
             resident_bytes,
         }
@@ -317,11 +493,7 @@ impl PlanCache {
 
     /// Resident entry count (including slots still building).
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("plan cache poisoned")
-            .entries
-            .len()
+        lock_recover(&self.inner).entries.len()
     }
 
     /// Whether the cache holds no entries.
@@ -331,7 +503,7 @@ impl PlanCache {
 
     /// Records a finished build's size and runs the LRU sweep.
     fn note_built(&self, key: &PlanKey, bytes: usize) {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = lock_recover(&self.inner);
         if let Some(e) = inner.entries.get_mut(key) {
             e.bytes = bytes;
         }
@@ -341,10 +513,15 @@ impl PlanCache {
     /// Drops a failed build's empty entry — unless a concurrent retry
     /// already replaced the slot (checked by identity, not emptiness).
     fn remove_if_unbuilt(&self, key: &PlanKey, slot: &Arc<Slot>) {
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let mut inner = lock_recover(&self.inner);
         if let Some(e) = inner.entries.get(key) {
             let same_slot = Arc::ptr_eq(&e.slot, slot);
-            let unbuilt = e.slot.plan.try_lock().map(|g| g.is_none()).unwrap_or(false);
+            let unbuilt = e
+                .slot
+                .state
+                .try_lock()
+                .map(|s| s.plan.is_none() && !s.building)
+                .unwrap_or(false);
             if same_slot && unbuilt {
                 inner.entries.remove(key);
             }
@@ -380,16 +557,32 @@ impl PlanCache {
 
     /// Whether no thread can observe this entry's plan except through a
     /// fresh map lookup: the cache holds the only slot reference, the
-    /// slot is not locked, and the cache holds the only plan reference.
+    /// slot is not locked or mid-build, and the cache holds the only
+    /// plan reference.
     fn is_idle(e: &Entry) -> bool {
         if Arc::strong_count(&e.slot) != 1 {
             return false;
         }
-        match e.slot.plan.try_lock() {
-            Ok(guard) => guard
-                .as_ref()
-                .is_none_or(|plan| Arc::strong_count(plan) == 1),
+        match e.slot.state.try_lock() {
+            Ok(state) => {
+                !state.building
+                    && state
+                        .plan
+                        .as_ref()
+                        .is_none_or(|plan| Arc::strong_count(plan) == 1)
+            }
             Err(_) => false,
         }
+    }
+}
+
+/// Extracts a printable reason from a caught panic payload.
+pub(crate) fn panic_reason(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("builder panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("builder panicked: {s}")
+    } else {
+        "builder panicked".to_string()
     }
 }

@@ -1,10 +1,21 @@
 //! The bounded request queue and its dequeue-side coalescer.
+//!
+//! Fault tolerance starts here: requests carry optional deadlines, the
+//! dequeue sweep answers expired requests with
+//! [`ServeError::DeadlineExceeded`] *before* they consume a batch slot, a
+//! queue-depth watermark sheds the requests least likely to make their
+//! deadlines, and response delivery is first-write-wins so a panicking
+//! worker and the shutdown flush can both try to answer the same request
+//! without clobbering a result that already arrived.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use super::cache::PlanKey;
+use super::retry::splitmix64;
+use super::sync::{lock_recover, wait_recover, wait_timeout_recover};
 use venom_fp16::Half;
 use venom_tensor::Matrix;
 
@@ -29,6 +40,31 @@ pub enum ServeError {
         /// The operand's row count.
         got: usize,
     },
+    /// The request's deadline passed before a worker dispatched it (or,
+    /// from [`ResponseHandle::wait_timeout`], before the caller's wait
+    /// budget ran out).
+    DeadlineExceeded,
+    /// Load shedding dropped the request: the queue depth crossed the
+    /// configured watermark and this request was the least likely to
+    /// make its deadline.
+    Shed {
+        /// The watermark that triggered the shed.
+        watermark: usize,
+    },
+    /// A worker panicked while serving the batch this request was packed
+    /// into. The panic was contained; other requests are unaffected.
+    WorkerPanicked,
+    /// The plan build for the request's key failed (after any configured
+    /// retries) and no degraded fallback was registered.
+    BuildFailed {
+        /// The builder's error.
+        reason: String,
+    },
+    /// The plan build for the request's key did not finish within the
+    /// configured build timeout and no degraded fallback was registered.
+    /// The build keeps running in the background; later requests may
+    /// find the plan resident.
+    BuildTimedOut,
 }
 
 impl core::fmt::Display for ServeError {
@@ -43,13 +79,25 @@ impl core::fmt::Display for ServeError {
                 f,
                 "operand has {got} rows but the plan's reduction dimension is {expected_k}"
             ),
+            ServeError::DeadlineExceeded => f.write_str("the request's deadline passed"),
+            ServeError::Shed { watermark } => write!(
+                f,
+                "request shed under load (queue depth crossed the {watermark}-request watermark)"
+            ),
+            ServeError::WorkerPanicked => {
+                f.write_str("a worker panicked while serving the request's batch")
+            }
+            ServeError::BuildFailed { reason } => write!(f, "plan build failed: {reason}"),
+            ServeError::BuildTimedOut => f.write_str("plan build timed out"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
-/// The one-shot channel a worker answers a request through.
+/// The one-shot channel a worker answers a request through. Delivery is
+/// first-write-wins: once a result is in, later deliveries (a panic
+/// handler or the shutdown flush racing the happy path) are no-ops.
 #[derive(Debug, Default)]
 pub(crate) struct ResponseSlot {
     result: Mutex<Option<Result<Matrix<f32>, ServeError>>>,
@@ -57,10 +105,16 @@ pub(crate) struct ResponseSlot {
 }
 
 impl ResponseSlot {
-    pub(crate) fn fulfill(&self, result: Result<Matrix<f32>, ServeError>) {
-        let mut guard = self.result.lock().expect("response slot poisoned");
+    /// Stores `result` if no result arrived yet; returns whether this
+    /// call was the one that delivered.
+    pub(crate) fn fulfill(&self, result: Result<Matrix<f32>, ServeError>) -> bool {
+        let mut guard = lock_recover(&self.result);
+        if guard.is_some() {
+            return false;
+        }
         *guard = Some(result);
         self.ready.notify_all();
+        true
     }
 }
 
@@ -77,18 +131,50 @@ impl ResponseHandle {
     /// # Errors
     /// Returns the [`ServeError`] the worker delivered.
     pub fn wait(self) -> Result<Matrix<f32>, ServeError> {
-        let mut guard = self.slot.result.lock().expect("response slot poisoned");
+        let mut guard = lock_recover(&self.slot.result);
         loop {
             if let Some(result) = guard.take() {
                 return result;
             }
-            guard = self.slot.ready.wait(guard).expect("response slot poisoned");
+            guard = wait_recover(&self.slot.ready, guard);
         }
+    }
+
+    /// Blocks until the request is served or `timeout` elapses. The
+    /// handle stays usable after a timeout: the caller can wait again or
+    /// poll later — bounding the wait never orphans the response.
+    ///
+    /// # Errors
+    /// The delivered [`ServeError`], or [`ServeError::DeadlineExceeded`]
+    /// when `timeout` elapsed with no response.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Matrix<f32>, ServeError> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = lock_recover(&self.slot.result);
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServeError::DeadlineExceeded);
+            }
+            (guard, _) = wait_timeout_recover(&self.slot.ready, guard, deadline - now);
+        }
+    }
+
+    /// Takes the response if one has arrived, without blocking.
+    pub fn poll(&self) -> Option<Result<Matrix<f32>, ServeError>> {
+        lock_recover(&self.slot.result).take()
     }
 }
 
+/// Process-wide request counter feeding each request's deterministic
+/// backoff-jitter seed.
+static REQUEST_COUNTER: AtomicU64 = AtomicU64::new(0);
+
 /// One queued matmul request: which plan to run, the operand to run it
-/// on, and where to deliver the output.
+/// on, when it stops being worth running, and where to deliver the
+/// output.
 #[derive(Debug)]
 pub struct ServeRequest {
     /// The plan the request is against — the coalescing key.
@@ -97,6 +183,11 @@ pub struct ServeRequest {
     pub operand: Matrix<Half>,
     /// When the request entered the queue (drives the latency metrics).
     pub submitted: Instant,
+    /// Past this instant the request is answered with
+    /// [`ServeError::DeadlineExceeded`] instead of dispatched.
+    pub deadline: Option<Instant>,
+    /// Seed for deterministic retry jitter on this request's behalf.
+    pub(crate) seed: u64,
     pub(crate) responder: Arc<ResponseSlot>,
 }
 
@@ -104,20 +195,37 @@ impl ServeRequest {
     /// A request plus the handle its output arrives through.
     pub fn new(key: PlanKey, operand: Matrix<Half>) -> (Self, ResponseHandle) {
         let responder = Arc::new(ResponseSlot::default());
+        let ordinal = REQUEST_COUNTER.fetch_add(1, Ordering::Relaxed);
         (
             ServeRequest {
                 key,
                 operand,
                 submitted: Instant::now(),
+                deadline: None,
+                seed: splitmix64(ordinal) ^ key.fingerprint,
                 responder: Arc::clone(&responder),
             },
             ResponseHandle { slot: responder },
         )
     }
 
-    /// Delivers the result to the waiting client.
-    pub(crate) fn fulfill(&self, result: Result<Matrix<f32>, ServeError>) {
-        self.responder.fulfill(result);
+    /// Bounds the request's life: past `deadline` it is expired out of
+    /// the queue instead of dispatched.
+    #[must_use]
+    pub fn with_deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether the request's deadline has passed at `now`.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
+
+    /// Delivers the result to the waiting client (first write wins);
+    /// returns whether this call delivered.
+    pub(crate) fn fulfill(&self, result: Result<Matrix<f32>, ServeError>) -> bool {
+        self.responder.fulfill(result)
     }
 }
 
@@ -128,14 +236,20 @@ struct QueueState {
 }
 
 /// A bounded MPMC request queue. Submission is the admission-control
-/// point (reject when full, or block for backpressure); the dequeue side
-/// coalesces same-key requests into one batch.
+/// point (reject when full, or block for backpressure; an optional
+/// watermark sheds the worst-deadline request instead of queueing
+/// deeper); the dequeue side expires overdue requests and coalesces
+/// same-key requests into one batch.
 #[derive(Debug)]
 pub struct RequestQueue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Queue depth at which load shedding starts (`None` disables it).
+    shed_watermark: Option<usize>,
+    expired: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl RequestQueue {
@@ -150,7 +264,27 @@ impl RequestQueue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            shed_watermark: None,
+            expired: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
+    }
+
+    /// Enables load shedding once the queue depth reaches `watermark`:
+    /// rather than queueing deeper, the request least likely to make its
+    /// deadline (soonest deadline first; oldest deadline-free request
+    /// otherwise) is answered with [`ServeError::Shed`].
+    ///
+    /// # Panics
+    /// Panics if `watermark` is `Some(0)`.
+    #[must_use]
+    pub fn with_shed_watermark(mut self, watermark: Option<usize>) -> Self {
+        assert!(
+            watermark != Some(0),
+            "a zero watermark would shed every request"
+        );
+        self.shed_watermark = watermark;
+        self
     }
 
     /// The configured capacity.
@@ -160,7 +294,7 @@ impl RequestQueue {
 
     /// Requests currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").queue.len()
+        lock_recover(&self.state).queue.len()
     }
 
     /// Whether no requests are queued.
@@ -168,9 +302,63 @@ impl RequestQueue {
         self.len() == 0
     }
 
+    /// Requests answered with [`ServeError::DeadlineExceeded`] by the
+    /// dequeue-side expiry sweep.
+    pub fn expired_count(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with [`ServeError::Shed`] by the watermark.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Sheds the queued-or-incoming request least likely to make its
+    /// deadline, if the watermark is set and the depth (counting the
+    /// incoming request) reaches it. Returns the incoming request back
+    /// unless it was the victim.
+    fn shed_for(&self, state: &mut QueueState, incoming: ServeRequest) -> Option<ServeRequest> {
+        let Some(watermark) = self.shed_watermark else {
+            return Some(incoming);
+        };
+        if state.queue.len() < watermark {
+            return Some(incoming);
+        }
+        // Soonest deadline first; among deadline-free requests, oldest
+        // first (they have waited longest for the least reason to hurry).
+        let urgency = |r: &ServeRequest| (r.deadline.is_none(), r.deadline, r.submitted);
+        let victim_idx = state
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| urgency(r))
+            .map(|(i, _)| i);
+        let shed_incoming = match victim_idx {
+            Some(i) => urgency(&incoming) < urgency(&state.queue[i]),
+            None => true,
+        };
+        let victim = if shed_incoming {
+            incoming
+        } else {
+            let i = victim_idx.expect("non-empty queue has a victim");
+            let survivor = state.queue.remove(i).expect("index checked");
+            state.queue.push_back(incoming);
+            // A slot freed up for blocked submitters.
+            self.not_full.notify_all();
+            survivor
+        };
+        victim.fulfill(Err(ServeError::Shed { watermark }));
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        if !shed_incoming {
+            self.not_empty.notify_one();
+        }
+        None
+    }
+
     /// Non-blocking admission: enqueues `req`, or rejects it when the
     /// queue is full or closed (the request is handed back so the caller
-    /// can retry or fail its client).
+    /// can retry or fail its client). With a shed watermark set, depth
+    /// pressure sheds the worst-deadline request instead of rejecting.
     ///
     /// # Errors
     /// [`ServeError::QueueFull`] at capacity, [`ServeError::ShuttingDown`]
@@ -180,10 +368,15 @@ impl RequestQueue {
     // an allocation on every rejection of an already-allocated operand.
     #[allow(clippy::result_large_err)]
     pub fn try_submit(&self, req: ServeRequest) -> Result<(), (ServeError, ServeRequest)> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock_recover(&self.state);
         if state.closed {
             return Err((ServeError::ShuttingDown, req));
         }
+        let Some(req) = self.shed_for(&mut state, req) else {
+            // The incoming request was the shed victim: it was answered
+            // (with ServeError::Shed) rather than rejected unanswered.
+            return Ok(());
+        };
         if state.queue.len() >= self.capacity {
             return Err((
                 ServeError::QueueFull {
@@ -204,30 +397,58 @@ impl RequestQueue {
     /// [`ServeError::ShuttingDown`] if the queue closes while waiting.
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, req: ServeRequest) -> Result<(), (ServeError, ServeRequest)> {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock_recover(&self.state);
         while !state.closed && state.queue.len() >= self.capacity {
-            state = self.not_full.wait(state).expect("queue poisoned");
+            state = wait_recover(&self.not_full, state);
         }
         if state.closed {
             return Err((ServeError::ShuttingDown, req));
         }
+        let Some(req) = self.shed_for(&mut state, req) else {
+            return Ok(());
+        };
         state.queue.push_back(req);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// The coalescer: blocks for the oldest request, then greedily packs
-    /// queued requests with the same plan key into the batch, up to
-    /// `max_batch` total. Requests for other keys keep their queue
-    /// positions. Returns `None` once the queue is closed *and* drained
-    /// (workers use this as their exit signal).
+    /// Answers every expired queued request with
+    /// [`ServeError::DeadlineExceeded`] and removes it — expired work
+    /// must never consume a batch slot.
+    fn expire_overdue(&self, state: &mut QueueState) {
+        let now = Instant::now();
+        if !state.queue.iter().any(|r| r.expired_at(now)) {
+            return;
+        }
+        let mut expired = 0u64;
+        state.queue.retain(|req| {
+            if req.expired_at(now) {
+                req.fulfill(Err(ServeError::DeadlineExceeded));
+                expired += 1;
+                false
+            } else {
+                true
+            }
+        });
+        self.expired.fetch_add(expired, Ordering::Relaxed);
+        self.not_full.notify_all();
+    }
+
+    /// The coalescer: blocks for the oldest live request, then greedily
+    /// packs queued requests with the same plan key into the batch, up
+    /// to `max_batch` total. Requests whose deadline has passed are
+    /// answered with [`ServeError::DeadlineExceeded`] and never occupy a
+    /// batch slot; requests for other keys keep their queue positions.
+    /// Returns `None` once the queue is closed *and* drained (workers
+    /// use this as their exit signal).
     ///
     /// # Panics
     /// Panics if `max_batch` is zero.
     pub fn pop_coalesced(&self, max_batch: usize) -> Option<Vec<ServeRequest>> {
         assert!(max_batch >= 1, "max_batch must be at least 1");
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock_recover(&self.state);
         loop {
+            self.expire_overdue(&mut state);
             if let Some(first) = state.queue.pop_front() {
                 let key = first.key;
                 let mut batch = vec![first];
@@ -245,16 +466,25 @@ impl RequestQueue {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue poisoned");
+            state = wait_recover(&self.not_empty, state);
         }
     }
 
     /// Closes the queue: pending requests still drain, new submissions
     /// fail with [`ServeError::ShuttingDown`], and waiting workers wake.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue poisoned");
+        let mut state = lock_recover(&self.state);
         state.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
+    }
+
+    /// Removes and returns everything still queued — the shutdown flush
+    /// uses this to answer requests no worker will ever take.
+    pub(crate) fn drain_remaining(&self) -> Vec<ServeRequest> {
+        let mut state = lock_recover(&self.state);
+        let drained = state.queue.drain(..).collect();
+        self.not_full.notify_all();
+        drained
     }
 }

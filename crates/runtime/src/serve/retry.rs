@@ -1,0 +1,116 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! Transient serving failures — a full queue, a failed plan build — are
+//! worth retrying, but naive retries synchronise: every rejected client
+//! sleeps the same interval and stampedes back at once. The standard fix
+//! is exponential backoff with jitter; the serving twist here is that the
+//! jitter is *deterministic*, drawn from a per-request seed, so a failure
+//! schedule replays bit-for-bit under the fault-injection harness instead
+//! of depending on a global RNG.
+
+use std::time::Duration;
+
+/// SplitMix64 — the finalising mixer used for every deterministic draw in
+/// the serving stack (backoff jitter, fault schedules). Full-period,
+/// statistically solid for this purpose, and dependency-free.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How transient failures are retried: up to `max_retries` extra
+/// attempts, sleeping an exponentially growing, jittered interval
+/// between them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the retry count.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Overrides the base and cap intervals.
+    #[must_use]
+    pub fn with_intervals(mut self, base: Duration, cap: Duration) -> Self {
+        self.base = base;
+        self.cap = cap;
+        self
+    }
+
+    /// The sleep before retry number `attempt` (0-based): `base * 2^attempt`
+    /// saturating at `cap`, scaled by a jitter factor in `[0.5, 1.0)`
+    /// drawn deterministically from `seed` and `attempt`.
+    pub fn backoff(&self, seed: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.cap);
+        // 53 mantissa-ish bits of the mix → uniform fraction in [0, 1).
+        let unit = (splitmix64(seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(7, 0), p.backoff(7, 0), "same seed, same sleep");
+        assert_ne!(p.backoff(7, 0), p.backoff(8, 0), "seed moves the jitter");
+        for attempt in 0..10 {
+            let d = p.backoff(42, attempt);
+            assert!(d <= p.cap, "attempt {attempt}: {d:?} exceeds cap");
+            let floor = p.base.min(p.cap).mul_f64(0.5);
+            assert!(d >= floor, "attempt {attempt}: {d:?} under half the base");
+        }
+        // The exponential actually grows before the cap bites.
+        assert!(p.backoff(3, 4) > p.backoff(3, 0));
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let p = RetryPolicy::default().with_max_retries(u32::MAX);
+        assert!(p.backoff(1, u32::MAX) <= p.cap);
+    }
+
+    #[test]
+    fn splitmix_spreads_consecutive_seeds() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert!(a.count_ones() > 8 && b.count_ones() > 8);
+    }
+}

@@ -1,12 +1,30 @@
-//! The serving loop: worker threads draining coalesced batches through
-//! cached plans.
+//! The serving loop: supervised worker threads draining coalesced
+//! batches through cached plans, degrading to per-call dispatch when
+//! planning fails.
+//!
+//! Failure containment is per batch: each coalesced dispatch runs inside
+//! `catch_unwind`, so a panic — injected or genuine — costs exactly the
+//! requests packed into that batch (answered with
+//! [`ServeError::WorkerPanicked`]) and one worker thread, which respawns
+//! itself while the restart budget lasts. Plan-resolution failures never
+//! strand a batch either: failed builds are retried with deterministic
+//! jittered backoff, timed-out builds are abandoned (the build keeps
+//! running for later requests), and either way the batch falls back to
+//! the registered per-call baseline when one exists — bit-identical to
+//! the planned path by the conformance contract — before giving up with
+//! a typed error.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use super::cache::{PlanCache, PlanKey};
+use super::cache::{PlanBuildError, PlanCache, PlanKey};
 use super::queue::{RequestQueue, ResponseHandle, ServeError, ServeRequest};
+use super::retry::RetryPolicy;
+use super::sync::{lock_recover, read_recover, write_recover};
 use crate::matmul::MatmulPlan;
 use venom_fp16::Half;
 use venom_tensor::Matrix;
@@ -20,6 +38,18 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Bound of the request queue (the admission-control limit).
     pub queue_capacity: usize,
+    /// Queue depth at which load shedding starts answering the
+    /// worst-deadline request with [`ServeError::Shed`] (`None`
+    /// disables shedding; rejection/backpressure still apply).
+    pub shed_watermark: Option<usize>,
+    /// Worker threads the server may respawn after panics before it
+    /// stops replacing them.
+    pub restart_budget: u32,
+    /// How long a worker waits for a cold plan build before falling
+    /// back (the build itself keeps running in the background).
+    pub build_timeout: Duration,
+    /// Backoff schedule for retrying failed plan builds.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServeConfig {
@@ -28,6 +58,10 @@ impl Default for ServeConfig {
             concurrency: 4,
             max_batch: 8,
             queue_capacity: 64,
+            shed_watermark: None,
+            restart_budget: 2,
+            build_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -65,16 +99,62 @@ impl ServeConfig {
         self.queue_capacity = queue_capacity;
         self
     }
+
+    /// Enables (or disables, with `None`) load shedding at the given
+    /// queue depth.
+    ///
+    /// # Panics
+    /// Panics if `watermark` is `Some(0)`.
+    #[must_use]
+    pub fn with_shed_watermark(mut self, watermark: Option<usize>) -> Self {
+        assert!(
+            watermark != Some(0),
+            "a zero watermark would shed every request"
+        );
+        self.shed_watermark = watermark;
+        self
+    }
+
+    /// Overrides how many panicked workers the server will replace.
+    #[must_use]
+    pub fn with_restart_budget(mut self, restart_budget: u32) -> Self {
+        self.restart_budget = restart_budget;
+        self
+    }
+
+    /// Overrides the per-batch plan-build wait bound.
+    #[must_use]
+    pub fn with_build_timeout(mut self, build_timeout: Duration) -> Self {
+        self.build_timeout = build_timeout;
+        self
+    }
+
+    /// Overrides the failed-build retry schedule.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
-/// What one serving session did: request counts, batch shape, and the
-/// latency distribution under load.
+/// What one serving session did: request counts, batch shape, latency
+/// distribution, and the fault-handling tallies.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServeReport {
-    /// Requests served successfully.
+    /// Requests served successfully through the planned path.
     pub served: u64,
     /// Requests answered with an error.
     pub errored: u64,
+    /// Requests served through the degraded per-call fallback (also
+    /// counted in [`Self::served`]).
+    pub degraded: u64,
+    /// Requests answered with [`ServeError::Shed`] by the watermark.
+    pub shed: u64,
+    /// Requests answered with [`ServeError::DeadlineExceeded`] by the
+    /// dequeue-side expiry sweep.
+    pub deadline_expired: u64,
+    /// Panicked workers that were replaced.
+    pub worker_restarts: u64,
     /// Coalesced dispatches executed.
     pub batches: u64,
     /// `served / batches` — how well the coalescer packed.
@@ -87,11 +167,37 @@ pub struct ServeReport {
     pub max_ms: f64,
 }
 
+/// A point-in-time liveness snapshot, pollable while the server runs —
+/// the signal an operator (or an orchestration layer) watches to decide
+/// whether the process is still worth sending traffic to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Worker threads currently alive and draining the queue.
+    pub live_workers: usize,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Worker panics contained so far.
+    pub worker_panics: u64,
+    /// Panicked workers replaced so far (bounded by the restart budget).
+    pub worker_restarts: u64,
+    /// Requests shed by the watermark so far.
+    pub shed: u64,
+    /// Requests expired by the deadline sweep so far.
+    pub deadline_expired: u64,
+    /// Requests served through the degraded fallback so far.
+    pub degraded: u64,
+    /// Requests served so far.
+    pub served: u64,
+    /// Requests answered with an error so far.
+    pub errored: u64,
+}
+
 #[derive(Debug, Default)]
 struct Metrics {
     latencies_ms: Vec<f64>,
     served: u64,
     errored: u64,
+    degraded: u64,
     batches: u64,
 }
 
@@ -109,6 +215,7 @@ impl Metrics {
         ServeReport {
             served: self.served,
             errored: self.errored,
+            degraded: self.degraded,
             batches: self.batches,
             mean_batch: if self.batches == 0 {
                 0.0
@@ -118,51 +225,71 @@ impl Metrics {
             p50_ms: pct(0.50),
             p99_ms: pct(0.99),
             max_ms: sorted.last().copied().unwrap_or(0.0),
+            // Queue- and supervision-side tallies are merged by the
+            // caller, which owns those counters.
+            shed: 0,
+            deadline_expired: 0,
+            worker_restarts: 0,
         }
     }
 }
 
-type PlanBuilder = Arc<dyn Fn() -> Arc<dyn MatmulPlan> + Send + Sync>;
+type PlanBuilder = Arc<dyn Fn() -> Result<Arc<dyn MatmulPlan>, String> + Send + Sync>;
 
-/// A multi-tenant serving loop: submissions enter a bounded queue, the
-/// coalescer packs same-key requests, worker threads resolve plans
-/// through the shared [`PlanCache`] and dispatch one
-/// [`MatmulPlan::run_batch`] per batch. See the module docs for the
-/// architecture.
-pub struct Server {
+/// How one plan key is served: the (possibly fallible) builder for the
+/// planned path, plus an optional pre-built per-call baseline to degrade
+/// to when planning fails.
+#[derive(Clone)]
+struct Registration {
+    build: PlanBuilder,
+    baseline: Option<Arc<dyn MatmulPlan>>,
+}
+
+/// Everything the workers share — kept behind one `Arc` so a dying
+/// worker can spawn its own replacement.
+struct WorkerShared {
     queue: Arc<RequestQueue>,
     cache: Arc<PlanCache>,
-    registry: Arc<RwLock<HashMap<PlanKey, PlanBuilder>>>,
-    metrics: Arc<Mutex<Metrics>>,
-    workers: Vec<JoinHandle<()>>,
+    registry: RwLock<HashMap<PlanKey, Registration>>,
+    metrics: Mutex<Metrics>,
+    config: ServeConfig,
+    live: AtomicUsize,
+    panics: AtomicU64,
+    restarts: AtomicU64,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A multi-tenant serving loop: submissions enter a bounded queue, the
+/// coalescer packs same-key requests, supervised worker threads resolve
+/// plans through the shared [`PlanCache`] and dispatch one
+/// [`MatmulPlan::run_batch`] per batch — falling back to per-call
+/// dispatch when planning fails. See the module docs for the
+/// architecture and failure semantics.
+pub struct Server {
+    shared: Arc<WorkerShared>,
 }
 
 impl Server {
     /// Starts `config.concurrency` workers against `cache`.
     pub fn start(config: ServeConfig, cache: Arc<PlanCache>) -> Self {
-        let queue = Arc::new(RequestQueue::bounded(config.queue_capacity));
-        let registry: Arc<RwLock<HashMap<PlanKey, PlanBuilder>>> =
-            Arc::new(RwLock::new(HashMap::new()));
-        let metrics = Arc::new(Mutex::new(Metrics::default()));
-        let workers = (0..config.concurrency.max(1))
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let cache = Arc::clone(&cache);
-                let registry = Arc::clone(&registry);
-                let metrics = Arc::clone(&metrics);
-                let max_batch = config.max_batch.max(1);
-                std::thread::spawn(move || {
-                    worker_loop(&queue, &cache, &registry, &metrics, max_batch);
-                })
-            })
-            .collect();
-        Server {
+        let queue = Arc::new(
+            RequestQueue::bounded(config.queue_capacity).with_shed_watermark(config.shed_watermark),
+        );
+        let shared = Arc::new(WorkerShared {
             queue,
             cache,
-            registry,
-            metrics,
-            workers,
+            registry: RwLock::new(HashMap::new()),
+            metrics: Mutex::new(Metrics::default()),
+            config,
+            live: AtomicUsize::new(0),
+            panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            handles: Mutex::new(Vec::new()),
+        });
+        for _ in 0..config.concurrency.max(1) {
+            spawn_worker(&shared);
         }
+        Server { shared }
     }
 
     /// Starts a server with its own default-budget cache.
@@ -172,7 +299,7 @@ impl Server {
 
     /// The shared plan cache (for stats or warm-up).
     pub fn cache(&self) -> &Arc<PlanCache> {
-        &self.cache
+        &self.shared.cache
     }
 
     /// Registers how to build `key`'s plan when the cache is cold. The
@@ -183,10 +310,7 @@ impl Server {
         key: PlanKey,
         build: impl Fn() -> Arc<dyn MatmulPlan> + Send + Sync + 'static,
     ) {
-        self.registry
-            .write()
-            .expect("registry poisoned")
-            .insert(key, Arc::new(build));
+        self.insert_registration(key, Arc::new(move || Ok(build())), None);
     }
 
     /// [`Self::register`] plus background warm-up: the plan starts
@@ -197,12 +321,46 @@ impl Server {
         key: PlanKey,
         build: impl Fn() -> Arc<dyn MatmulPlan> + Send + Sync + 'static,
     ) -> JoinHandle<()> {
-        let build: PlanBuilder = Arc::new(build);
-        self.registry
-            .write()
-            .expect("registry poisoned")
-            .insert(key, Arc::clone(&build));
-        self.cache.warm(key, move || build())
+        let build = Arc::new(build);
+        let registered = Arc::clone(&build);
+        self.insert_registration(key, Arc::new(move || Ok(registered())), None);
+        self.shared.cache.warm(key, move || build())
+    }
+
+    /// Registers a builder that may fail. Failed builds are retried on
+    /// the server's [`RetryPolicy`]; once exhausted (or once the build
+    /// timeout passes), the affected batch is answered with
+    /// [`ServeError::BuildFailed`] / [`ServeError::BuildTimedOut`] —
+    /// with no baseline registered there is nothing to degrade to.
+    pub fn register_fallible(
+        &self,
+        key: PlanKey,
+        build: impl Fn() -> Result<Arc<dyn MatmulPlan>, String> + Send + Sync + 'static,
+    ) {
+        self.insert_registration(key, Arc::new(build), None);
+    }
+
+    /// Registers a *fallible* builder for `key` together with a per-call
+    /// baseline to degrade to: when the build fails (past the retry
+    /// schedule) or outlasts the build timeout, workers serve the batch
+    /// through `baseline.run_oneshot` — bit-identical to the planned
+    /// path — instead of failing it.
+    pub fn register_degradable(
+        &self,
+        key: PlanKey,
+        build: impl Fn() -> Result<Arc<dyn MatmulPlan>, String> + Send + Sync + 'static,
+        baseline: Arc<dyn MatmulPlan>,
+    ) {
+        self.insert_registration(key, Arc::new(build), Some(baseline));
+    }
+
+    fn insert_registration(
+        &self,
+        key: PlanKey,
+        build: PlanBuilder,
+        baseline: Option<Arc<dyn MatmulPlan>>,
+    ) {
+        write_recover(&self.shared.registry).insert(key, Registration { build, baseline });
     }
 
     /// Non-blocking submission (admission control): rejects immediately
@@ -217,7 +375,8 @@ impl Server {
         operand: Matrix<Half>,
     ) -> Result<ResponseHandle, ServeError> {
         let (req, handle) = ServeRequest::new(key, operand);
-        self.queue
+        self.shared
+            .queue
             .try_submit(req)
             .map(|()| handle)
             .map_err(|(e, _)| e)
@@ -233,89 +392,299 @@ impl Server {
         operand: Matrix<Half>,
     ) -> Result<ResponseHandle, ServeError> {
         let (req, handle) = ServeRequest::new(key, operand);
-        self.queue.submit(req).map(|()| handle).map_err(|(e, _)| e)
+        self.shared
+            .queue
+            .submit(req)
+            .map(|()| handle)
+            .map_err(|(e, _)| e)
+    }
+
+    /// [`Self::try_submit`] with a deadline: past `deadline` the request
+    /// is answered with [`ServeError::DeadlineExceeded`] instead of
+    /// dispatched.
+    ///
+    /// # Errors
+    /// As [`Self::try_submit`].
+    pub fn try_submit_with_deadline(
+        &self,
+        key: PlanKey,
+        operand: Matrix<Half>,
+        deadline: std::time::Instant,
+    ) -> Result<ResponseHandle, ServeError> {
+        let (req, handle) = ServeRequest::new(key, operand);
+        self.shared
+            .queue
+            .try_submit(req.with_deadline_at(deadline))
+            .map(|()| handle)
+            .map_err(|(e, _)| e)
+    }
+
+    /// [`Self::submit`] with a deadline.
+    ///
+    /// # Errors
+    /// As [`Self::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        key: PlanKey,
+        operand: Matrix<Half>,
+        deadline: std::time::Instant,
+    ) -> Result<ResponseHandle, ServeError> {
+        let (req, handle) = ServeRequest::new(key, operand);
+        self.shared
+            .queue
+            .submit(req.with_deadline_at(deadline))
+            .map(|()| handle)
+            .map_err(|(e, _)| e)
+    }
+
+    /// Non-blocking submission with client-side retry: a
+    /// [`ServeError::QueueFull`] rejection is retried up to
+    /// `policy.max_retries` times, sleeping the policy's jittered
+    /// backoff (seeded per request, so the schedule is deterministic)
+    /// between attempts.
+    ///
+    /// # Errors
+    /// [`ServeError::QueueFull`] once retries are exhausted;
+    /// [`ServeError::ShuttingDown`] immediately (never retried).
+    pub fn submit_retry(
+        &self,
+        key: PlanKey,
+        operand: Matrix<Half>,
+        policy: RetryPolicy,
+    ) -> Result<ResponseHandle, ServeError> {
+        let (mut req, handle) = ServeRequest::new(key, operand);
+        let mut attempt = 0u32;
+        loop {
+            match self.shared.queue.try_submit(req) {
+                Ok(()) => return Ok(handle),
+                Err((e @ ServeError::QueueFull { .. }, rejected)) => {
+                    if attempt >= policy.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(policy.backoff(rejected.seed, attempt));
+                    attempt += 1;
+                    req = rejected;
+                }
+                Err((e, _)) => return Err(e),
+            }
+        }
     }
 
     /// Requests currently queued.
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.shared.queue.len()
     }
 
-    /// Stops admissions, drains the queue, joins the workers and returns
-    /// the session's metrics.
-    pub fn shutdown(mut self) -> ServeReport {
-        self.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+    /// A liveness snapshot: worker, queue and fault counters as of now.
+    pub fn health(&self) -> HealthReport {
+        let (served, errored, degraded) = {
+            let m = lock_recover(&self.shared.metrics);
+            (m.served, m.errored, m.degraded)
+        };
+        HealthReport {
+            live_workers: self.shared.live.load(Ordering::Relaxed),
+            queue_depth: self.shared.queue.len(),
+            worker_panics: self.shared.panics.load(Ordering::Relaxed),
+            worker_restarts: self.shared.restarts.load(Ordering::Relaxed),
+            shed: self.shared.queue.shed_count(),
+            deadline_expired: self.shared.queue.expired_count(),
+            degraded,
+            served,
+            errored,
         }
-        self.metrics.lock().expect("metrics poisoned").report()
+    }
+
+    /// Stops admissions, drains the queue, joins the workers, answers
+    /// any request no worker took with [`ServeError::ShuttingDown`]
+    /// (nothing submitted is ever left hanging — even if every worker
+    /// died), and returns the session's metrics.
+    pub fn shutdown(self) -> ServeReport {
+        shutdown_shared(&self.shared);
+        let mut report = lock_recover(&self.shared.metrics).report();
+        report.shed = self.shared.queue.shed_count();
+        report.deadline_expired = self.shared.queue.expired_count();
+        report.worker_restarts = self.shared.restarts.load(Ordering::Relaxed);
+        report
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.queue.close();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        shutdown_shared(&self.shared);
     }
 }
 
-fn worker_loop(
-    queue: &RequestQueue,
-    cache: &PlanCache,
-    registry: &RwLock<HashMap<PlanKey, PlanBuilder>>,
-    metrics: &Mutex<Metrics>,
-    max_batch: usize,
-) {
-    while let Some(batch) = queue.pop_coalesced(max_batch) {
-        let key = batch[0].key;
-        let builder = registry
-            .read()
-            .expect("registry poisoned")
-            .get(&key)
-            .cloned();
-        let plan = match builder {
-            Some(build) => Some(cache.get_or_plan(key, || build())),
-            // No registered builder: serve from the cache if someone
-            // planted the plan there directly, else fail the batch.
-            None => cache.get(&key),
-        };
-        let Some(plan) = plan else {
-            for req in &batch {
-                req.fulfill(Err(ServeError::UnknownKey));
+/// Closes the queue, joins every worker (including respawns: a dying
+/// worker pushes its replacement's handle before exiting, so join-until-
+/// empty observes it), then answers anything left in the queue.
+fn shutdown_shared(shared: &Arc<WorkerShared>) {
+    shared.queue.close();
+    loop {
+        let handle = lock_recover(&shared.handles).pop();
+        match handle {
+            Some(h) => {
+                let _ = h.join();
             }
-            let mut m = metrics.lock().expect("metrics poisoned");
-            m.errored += batch.len() as u64;
-            continue;
-        };
-        let expected_k = plan.descriptor().in_features;
-        let (good, bad): (Vec<_>, Vec<_>) = batch
-            .into_iter()
-            .partition(|req| req.operand.rows() == expected_k);
-        for req in &bad {
-            req.fulfill(Err(ServeError::OperandShape {
-                expected_k,
-                got: req.operand.rows(),
-            }));
+            None => break,
         }
-        let outputs = if good.is_empty() {
-            Vec::new()
-        } else {
-            let operands: Vec<&Matrix<Half>> = good.iter().map(|req| &req.operand).collect();
-            plan.run_batch(&operands)
-        };
-        let mut latencies = Vec::with_capacity(good.len());
-        for (req, out) in good.iter().zip(outputs) {
-            latencies.push(req.submitted.elapsed().as_secs_f64() * 1e3);
-            req.fulfill(Ok(out));
-        }
-        let mut m = metrics.lock().expect("metrics poisoned");
-        m.served += latencies.len() as u64;
-        m.errored += bad.len() as u64;
-        if !latencies.is_empty() {
-            m.batches += 1;
-        }
-        m.latencies_ms.extend(latencies);
     }
+    // With all workers gone, whatever is still queued will never be
+    // taken: flush it so no client hangs on a stranded handle.
+    let stranded = shared.queue.drain_remaining();
+    if !stranded.is_empty() {
+        let mut flushed = 0u64;
+        for req in &stranded {
+            if req.fulfill(Err(ServeError::ShuttingDown)) {
+                flushed += 1;
+            }
+        }
+        lock_recover(&shared.metrics).errored += flushed;
+    }
+}
+
+/// Spawns one worker and records its handle for shutdown.
+fn spawn_worker(shared: &Arc<WorkerShared>) {
+    let worker_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || worker_main(&worker_shared));
+    lock_recover(&shared.handles).push(handle);
+}
+
+/// One worker thread: drain coalesced batches until the queue closes,
+/// containing batch panics and self-respawning within the restart
+/// budget.
+fn worker_main(shared: &Arc<WorkerShared>) {
+    shared.live.fetch_add(1, Ordering::Relaxed);
+    while let Some(batch) = shared.queue.pop_coalesced(shared.config.max_batch.max(1)) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| process_batch(shared, &batch)));
+        if outcome.is_err() {
+            // The batch died mid-dispatch. Answer exactly its requests
+            // (first-write-wins skips any already delivered), hand the
+            // thread back, and respawn if the budget allows. The live
+            // count drops *before* the requests are answered, so a
+            // client that observes the error sees consistent health.
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+            shared.live.fetch_sub(1, Ordering::Relaxed);
+            let mut newly_errored = 0u64;
+            for req in &batch {
+                if req.fulfill(Err(ServeError::WorkerPanicked)) {
+                    newly_errored += 1;
+                }
+            }
+            lock_recover(&shared.metrics).errored += newly_errored;
+            let within_budget = shared
+                .restarts
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
+                    (r < u64::from(shared.config.restart_budget)).then(|| r + 1)
+                })
+                .is_ok();
+            if within_budget {
+                spawn_worker(shared);
+            }
+            return;
+        }
+    }
+    shared.live.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// How a batch's plan got resolved.
+enum Resolution {
+    /// The planned path is available.
+    Planned(Arc<dyn MatmulPlan>),
+    /// Planning failed; serve per-call through the baseline.
+    Degraded(Arc<dyn MatmulPlan>),
+    /// Planning failed and there is nothing to degrade to.
+    Failed(ServeError),
+}
+
+/// Resolves the plan for `key`: cache hit, or build with retry/backoff
+/// on failure and a bounded wait on stalls, degrading to the registered
+/// baseline when the planned path cannot be had.
+fn resolve_plan(shared: &Arc<WorkerShared>, key: PlanKey, seed: u64) -> Resolution {
+    let registration = read_recover(&shared.registry).get(&key).cloned();
+    let Some(registration) = registration else {
+        // No registered builder: serve from the cache if someone planted
+        // the plan there directly, else fail the batch.
+        return match shared.cache.get(&key) {
+            Some(plan) => Resolution::Planned(plan),
+            None => Resolution::Failed(ServeError::UnknownKey),
+        };
+    };
+    let mut attempt = 0u32;
+    let failure = loop {
+        let build = Arc::clone(&registration.build);
+        match shared
+            .cache
+            .get_or_plan_deadline(key, move || build(), shared.config.build_timeout)
+        {
+            Ok(plan) => return Resolution::Planned(plan),
+            // A stalled build is already still running in the
+            // background — retrying would just queue more waits.
+            Err(PlanBuildError::TimedOut { .. }) => break ServeError::BuildTimedOut,
+            Err(PlanBuildError::Failed(reason)) => {
+                if attempt >= shared.config.retry.max_retries {
+                    break ServeError::BuildFailed { reason };
+                }
+                std::thread::sleep(shared.config.retry.backoff(seed, attempt));
+                attempt += 1;
+            }
+        }
+    };
+    match registration.baseline {
+        Some(baseline) => Resolution::Degraded(baseline),
+        None => Resolution::Failed(failure),
+    }
+}
+
+/// Serves one coalesced batch end to end.
+fn process_batch(shared: &Arc<WorkerShared>, batch: &[ServeRequest]) {
+    let key = batch[0].key;
+    let resolution = resolve_plan(shared, key, batch[0].seed);
+    let (plan, degraded) = match resolution {
+        Resolution::Planned(plan) => (plan, false),
+        Resolution::Degraded(baseline) => (baseline, true),
+        Resolution::Failed(err) => {
+            for req in batch {
+                req.fulfill(Err(err.clone()));
+            }
+            lock_recover(&shared.metrics).errored += batch.len() as u64;
+            return;
+        }
+    };
+    let expected_k = plan.descriptor().in_features;
+    let (good, bad): (Vec<_>, Vec<_>) = batch
+        .iter()
+        .partition(|req| req.operand.rows() == expected_k);
+    for req in &bad {
+        req.fulfill(Err(ServeError::OperandShape {
+            expected_k,
+            got: req.operand.rows(),
+        }));
+    }
+    let outputs: Vec<Matrix<f32>> = if good.is_empty() {
+        Vec::new()
+    } else if degraded {
+        // Degraded dispatch: per-request, through the per-call path —
+        // bit-identical to the planned path, minus the batching win.
+        good.iter()
+            .map(|req| plan.run_oneshot(&req.operand))
+            .collect()
+    } else {
+        let operands: Vec<&Matrix<Half>> = good.iter().map(|req| &req.operand).collect();
+        plan.run_batch(&operands)
+    };
+    let mut latencies = Vec::with_capacity(good.len());
+    for (req, out) in good.iter().zip(outputs) {
+        latencies.push(req.submitted.elapsed().as_secs_f64() * 1e3);
+        req.fulfill(Ok(out));
+    }
+    let mut m = lock_recover(&shared.metrics);
+    m.served += latencies.len() as u64;
+    m.errored += bad.len() as u64;
+    if degraded {
+        m.degraded += latencies.len() as u64;
+    }
+    if !latencies.is_empty() {
+        m.batches += 1;
+    }
+    m.latencies_ms.extend(latencies);
 }

@@ -1,0 +1,85 @@
+//! Poison-recovering lock primitives for the serving stack.
+//!
+//! A panicking worker poisons every lock it holds; with `.lock().unwrap()`
+//! that poison cascades — the next worker to touch the same mutex panics
+//! too, and one injected fault takes the whole server down. Serving state
+//! (queue contents, cache entries, counters) stays structurally valid at
+//! every await point because critical sections are short and assign whole
+//! values, so the right response to poison is to keep going: take the
+//! guard out of the `PoisonError` and serve.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a panicking holder poisoned it.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `l`, recovering the guard from poison.
+pub(crate) fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `l`, recovering the guard from poison.
+pub(crate) fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] that recovers the reacquired guard from poison.
+pub(crate) fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] that recovers the guard from poison; returns
+/// the guard and whether the wait timed out.
+pub(crate) fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recover_survives_a_poisoned_mutex() {
+        let m = std::sync::Arc::new(Mutex::new(7));
+        let poisoner = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 9;
+        assert_eq!(*lock_recover(&m), 9);
+    }
+
+    #[test]
+    fn rwlock_recover_survives_poison() {
+        let l = std::sync::Arc::new(RwLock::new(1));
+        let poisoner = std::sync::Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*read_recover(&l), 1);
+        *write_recover(&l) = 2;
+        assert_eq!(*read_recover(&l), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the dequeue-side coalescer: whatever mix of keys,
+//! expired requests and batch bounds the queue sees, `pop_coalesced`
+//! never exceeds `max_batch`, never mixes keys in one batch, never
+//! reorders requests within a key, and — together with the expiry sweep
+//! — accounts for every submitted request exactly once.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use venom_fp16::Half;
+use venom_runtime::serve::{RequestQueue, ServeRequest};
+use venom_runtime::{MatmulDescriptor, PlanKey, ServeError};
+use venom_tensor::{random, Matrix};
+
+/// The operand's column count encodes the submission index, so requests
+/// can be identified again after they come back out of the queue.
+fn tagged_operand(index: usize) -> Matrix<Half> {
+    random::activation_matrix(8, index + 1, 0).to_half()
+}
+
+fn index_of(req: &ServeRequest) -> usize {
+    req.operand.cols() - 1
+}
+
+/// SplitMix64: derives the per-submission (key, expired) stream from one
+/// generated seed (the vendored proptest shim has no vec strategy).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coalescer_bounds_batches_and_preserves_per_key_order(
+        len in 1usize..40,
+        seed in any::<u64>(),
+        max_batch in 1usize..6,
+    ) {
+        // (key id, expired?) per submission, in submission order.
+        let ops: Vec<(u64, bool)> = (0..len)
+            .map(|i| {
+                let bits = mix(seed ^ i as u64);
+                (bits % 3, bits & (1 << 32) != 0)
+            })
+            .collect();
+        let keys: Vec<PlanKey> = (0..3)
+            .map(|k| PlanKey::bare(MatmulDescriptor::new(8, 8)).with_salt(k))
+            .collect();
+        let queue = RequestQueue::bounded(ops.len());
+
+        let mut handles = Vec::new();
+        for (i, &(k, expired)) in ops.iter().enumerate() {
+            let (req, handle) = ServeRequest::new(keys[k as usize], tagged_operand(i));
+            let req = if expired {
+                // Already past its deadline at submission: the sweep
+                // must answer it, never a batch slot.
+                req.with_deadline_at(Instant::now() - Duration::from_millis(1))
+            } else {
+                req
+            };
+            queue.try_submit(req).map_err(|(e, _)| e).expect("capacity = len");
+            handles.push((k, expired, handle));
+        }
+
+        // Closed queue: pop_coalesced drains live requests then reports
+        // the queue empty instead of blocking on an all-expired tail.
+        queue.close();
+        let mut popped_per_key: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        let mut popped_total = 0usize;
+        while let Some(batch) = queue.pop_coalesced(max_batch) {
+            prop_assert!(batch.len() <= max_batch, "batch of {} > {max_batch}", batch.len());
+            let key = batch[0].key;
+            for req in &batch {
+                prop_assert_eq!(req.key, key, "mixed keys in one batch");
+                let k = keys.iter().position(|c| *c == key).expect("known key");
+                popped_per_key[k].push(index_of(req));
+                popped_total += 1;
+            }
+        }
+
+        // Per-key relative order: the popped indices for each key must be
+        // exactly that key's live submissions, in submission order.
+        for (k, popped) in popped_per_key.iter().enumerate() {
+            let submitted_live: Vec<usize> = ops
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(key, expired))| key as usize == k && !expired)
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(
+                popped,
+                &submitted_live,
+                "key {} was reordered or lost requests",
+                k
+            );
+        }
+
+        // Total accounting: every submission either came out in a batch
+        // or was answered DeadlineExceeded by the sweep; none vanished.
+        let mut expired_answered = 0usize;
+        for (_, expired, handle) in handles {
+            match handle.poll() {
+                Some(Err(ServeError::DeadlineExceeded)) => {
+                    prop_assert!(expired, "live request expired spuriously");
+                    expired_answered += 1;
+                }
+                None => prop_assert!(!expired, "expired request left unanswered"),
+                other => prop_assert!(false, "unexpected response {:?}", other),
+            }
+        }
+        prop_assert_eq!(queue.expired_count() as usize, expired_answered);
+        prop_assert_eq!(popped_total + expired_answered, ops.len(), "requests lost");
+    }
+}

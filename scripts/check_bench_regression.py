@@ -69,6 +69,9 @@ EXPECTED_LABELS = [
     "serve_throughput_c4",
     "serve_p50_c4",
     "serve_p99_c4",
+    # Fault-tolerant serving (ISSUE 7): the same stream with the planned
+    # path disabled, riding the per-call degraded fallback.
+    "serve_degraded_c4",
 ]
 
 # Labels whose speedup over the retained reference path is the point of
@@ -94,6 +97,13 @@ SPEEDUP_FLOORS = {
     # allow, so scheduler noise on a loaded CI runner cannot flake the
     # gate while a real loss of batching still fails it.
     "serve_throughput_c4": 1.5,
+    # Degraded mode cannot beat its own reference (the per-call kernels
+    # already saturate the cores, so worker parallelism adds ~nothing;
+    # measured ~1.0x). The floor instead bounds the *overhead* of
+    # degradation: supervision, per-batch failed builds and fallback
+    # resolution must not cost more than 2x over naive sequential
+    # per-call dispatch.
+    "serve_degraded_c4": 0.5,
 }
 
 
