@@ -124,6 +124,11 @@ struct Series {
     /// `(reference name, reference median ms)` where a slow reference path
     /// is retained for comparison.
     reference: Option<(&'static str, f64)>,
+    /// The roofline regime (`"memory"` / `"compute"`) the dispatched
+    /// plan reported at this shape, where the series exercises the
+    /// roofline router; the regression gate pins it against the
+    /// committed baseline.
+    regime: Option<String>,
 }
 
 impl Series {
@@ -145,6 +150,9 @@ impl Series {
                 ref_ms / self.median_ms
             )
             .unwrap();
+        }
+        if let Some(regime) = &self.regime {
+            write!(s, ", \"regime\": \"{regime}\"").unwrap();
         }
         s.push('}');
         s
@@ -184,6 +192,7 @@ fn spmm_series(
         config: cfg.to_string(),
         median_ms: median,
         reference,
+        regime: None,
     }
 }
 
@@ -217,6 +226,7 @@ fn gemm_series(
         config: "dense".to_string(),
         median_ms: median,
         reference,
+        regime: None,
     }
 }
 
@@ -235,6 +245,7 @@ fn compress_series(label: &'static str, r: usize, k: usize, cfg: VnmConfig, args
         config: cfg.to_string(),
         median_ms: median,
         reference: None,
+        regime: None,
     }
 }
 
@@ -276,6 +287,7 @@ fn spmm_plan_series(
         config: cfg.to_string(),
         median_ms: median,
         reference,
+        regime: None,
     }
 }
 
@@ -322,6 +334,7 @@ fn spmm_plan_batch_series(
         config: cfg.to_string(),
         median_ms: median,
         reference,
+        regime: None,
     }
 }
 
@@ -357,6 +370,7 @@ fn encoder_layer_series(label: &'static str, seq: usize, cfg: VnmConfig, args: &
         config: cfg.to_string(),
         median_ms: median,
         reference,
+        regime: None,
     }
 }
 
@@ -386,6 +400,7 @@ fn model_forward_series(label: &'static str, seq: usize, cfg: VnmConfig, args: &
         config: cfg.to_string(),
         median_ms: median,
         reference,
+        regime: None,
     }
 }
 
@@ -436,6 +451,7 @@ fn spmm_auto_series(
         config: format!("{cfg}->{}", plan.format()),
         median_ms: median,
         reference,
+        regime: None,
     }
 }
 
@@ -480,6 +496,101 @@ fn spmm_format_series(
         config: format.name().to_string(),
         median_ms: median,
         reference,
+        regime: None,
+    }
+}
+
+/// Roofline-routed band dispatch (ISSUE 8): `plan_auto` at a
+/// bandwidth-bound shape must route to the non-mma band path; the
+/// reference is the forced mma-stream plan at the same shape, so the
+/// speedup is exactly the win the router's DRAM-byte pricing predicted.
+fn spmm_band_series(
+    label: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+    cfg: VnmConfig,
+    args: &Args,
+) -> Series {
+    let w = pruned_weight(r, k, cfg, 1);
+    let b = random::normal_matrix(k, c, 0.0, 1.0, 2).to_half();
+    let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(c);
+    let desc = engine.descriptor(r, k);
+    let plan = engine.plan_auto_hinted(&desc, &w, Some(cfg));
+    assert_eq!(
+        plan.path(),
+        "band",
+        "plan_auto must route {label} ({r}x{k}x{c}) to the band path"
+    );
+    let mma = engine
+        .plan_with_format(MatmulFormat::Vnm, &desc, &w)
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(plan.run(&b), mma.run(&b), "band dispatch must stay exact");
+    let median = median_ms(args.iters, || plan.run(&b));
+    let reference = Some((
+        "SpmmPlan::run (mma stream)",
+        median_ms(args.ref_iters, || mma.run(&b)),
+    ));
+    let regime = plan.regime(engine.device()).map(|g| g.to_string());
+    eprintln!(
+        "spmm_band/{label}: {median:.1} ms ({}-bound){}",
+        regime.as_deref().unwrap_or("?"),
+        ref_note(&reference, median)
+    );
+    Series {
+        op: "spmm_band",
+        label,
+        r,
+        k,
+        c,
+        config: format!("{cfg}->band"),
+        median_ms: median,
+        reference,
+        regime,
+    }
+}
+
+/// The FlashSparse-style swapped-operand kernel head to head with the
+/// reference SpMM at the same memory-bound shape — the per-call variant
+/// the band plan's `run_oneshot` dispatches.
+fn spmm_swapped_series(
+    label: &'static str,
+    r: usize,
+    k: usize,
+    c: usize,
+    cfg: VnmConfig,
+    args: &Args,
+) -> Series {
+    let a = vnm_weight(r, k, cfg, 1);
+    let b = random::normal_matrix(k, c, 0.0, 1.0, 2).to_half();
+    assert_eq!(
+        venom_core::spmm_swapped(&a, &b),
+        a.spmm_ref(&b),
+        "swapped kernel must stay exact"
+    );
+    let median = median_ms(args.iters, || venom_core::spmm_swapped(&a, &b));
+    let reference = Some((
+        "VnmMatrix::spmm_ref",
+        median_ms(args.ref_iters, || a.spmm_ref(&b)),
+    ));
+    let counts = venom_core::build_counts_band(r, k, c, a.nnz());
+    let regime = venom_sim::roofline::analyze(&DeviceConfig::rtx3090(), &counts)
+        .regime()
+        .to_string();
+    eprintln!(
+        "spmm_swapped/{label}: {median:.1} ms ({regime}-bound){}",
+        ref_note(&reference, median)
+    );
+    Series {
+        op: "spmm_swapped",
+        label,
+        r,
+        k,
+        c,
+        config: cfg.to_string(),
+        median_ms: median,
+        reference,
+        regime: Some(regime),
     }
 }
 
@@ -528,6 +639,7 @@ fn spmm_i8_series(
         config: format!("{cfg}-i8"),
         median_ms: median,
         reference,
+        regime: None,
     }
 }
 
@@ -570,6 +682,7 @@ fn spmm_i8_plan_series(
         config: format!("{cfg}-i8"),
         median_ms: median,
         reference,
+        regime: None,
     }
 }
 
@@ -707,6 +820,7 @@ fn serve_throughput_series(label: &'static str, n: &ServeNumbers) -> Series {
         config: serve_config_string(),
         median_ms: n.conc_ms,
         reference,
+        regime: None,
     }
 }
 
@@ -722,6 +836,7 @@ fn serve_latency_series(label: &'static str, percentile_ms: f64) -> Series {
         config: serve_config_string(),
         median_ms: percentile_ms,
         reference: None,
+        regime: None,
     }
 }
 
@@ -830,6 +945,7 @@ fn serve_degraded_series(label: &'static str, args: &Args) -> Series {
         config: serve_config_string(),
         median_ms: conc_ms,
         reference,
+        regime: None,
     }
 }
 
@@ -983,6 +1099,22 @@ fn main() {
                     a,
                 )
             }),
+        ),
+        // The roofline-dispatch series (ISSUE 8): bandwidth-bound shapes
+        // routed to the non-mma band path by `plan_auto`, referenced
+        // against the forced mma stream, plus the swapped-operand kernel
+        // against the reference SpMM.
+        (
+            "spmm_small_c",
+            Box::new(|l, a| spmm_band_series(l, 1024, 768, 8, VnmConfig::new(128, 2, 10), a)),
+        ),
+        (
+            "spmm_tall_skinny",
+            Box::new(|l, a| spmm_band_series(l, 4096, 512, 8, VnmConfig::new(64, 2, 8), a)),
+        ),
+        (
+            "spmm_swapped",
+            Box::new(|l, a| spmm_swapped_series(l, 1024, 768, 8, VnmConfig::new(128, 2, 10), a)),
         ),
         // The int8 series (ISSUE 5): the quantized stream versus the f16
         // functional path, and plan-once/run-many on the integer path.

@@ -11,6 +11,9 @@ use venom_runtime::{DType, FaultConfig};
 pub enum FormatChoice {
     /// Let the engine pick the cost-model-cheapest eligible format.
     Auto,
+    /// Force the bandwidth-optimized non-mma V:N:M execution path (the
+    /// swapped-operand replay `auto` routes memory-bound shapes to).
+    Band,
     /// Force one storage format.
     Fixed(MatmulFormat),
 }
@@ -21,14 +24,16 @@ impl FormatChoice {
     /// # Errors
     /// Returns a message listing the valid choices.
     pub fn parse(s: &str) -> Result<Self, String> {
-        if s == "auto" {
-            return Ok(FormatChoice::Auto);
+        match s {
+            "auto" => return Ok(FormatChoice::Auto),
+            "band" => return Ok(FormatChoice::Band),
+            _ => {}
         }
         MatmulFormat::parse(s)
             .map(FormatChoice::Fixed)
             .map_err(|_| {
                 format!(
-                    "invalid --format '{s}' (valid: auto, {})",
+                    "invalid --format '{s}' (valid: auto, band, {})",
                     MatmulFormat::valid_names()
                 )
             })
@@ -38,6 +43,7 @@ impl FormatChoice {
     pub fn name(&self) -> &'static str {
         match self {
             FormatChoice::Auto => "auto",
+            FormatChoice::Band => "band",
             FormatChoice::Fixed(f) => f.name(),
         }
     }
@@ -176,7 +182,10 @@ USAGE:
   venom help
 
   --format F chooses the weight storage format planned by the engine:
-  auto, vnm, nm, csr, cvse, blocked-ell, dense (default vnm).
+  auto, band, vnm, nm, csr, cvse, blocked-ell, dense (default vnm).
+  'band' pins the bandwidth-optimized non-mma V:N:M path (swapped-operand
+  replay); 'auto' routes to it on memory-bound shapes by cost alone and
+  reports the roofline regime it planned against.
   --dtype D chooses the operand precision: f16 (exact mixed precision)
   or i8 (calibrated int8, i32 accumulation; vnm/auto formats only).
   --inject SPEC enables deterministic fault injection while serving:
@@ -409,7 +418,16 @@ mod tests {
 
     #[test]
     fn parses_format_choices() {
-        for f in ["auto", "vnm", "nm", "csr", "cvse", "blocked-ell", "dense"] {
+        for f in [
+            "auto",
+            "band",
+            "vnm",
+            "nm",
+            "csr",
+            "cvse",
+            "blocked-ell",
+            "dense",
+        ] {
             let c = parse(&v(&[
                 "bench",
                 "--shape",
@@ -474,7 +492,16 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.contains("invalid --format 'elll'"), "{e}");
-        for name in ["auto", "vnm", "nm", "csr", "cvse", "blocked-ell", "dense"] {
+        for name in [
+            "auto",
+            "band",
+            "vnm",
+            "nm",
+            "csr",
+            "cvse",
+            "blocked-ell",
+            "dense",
+        ] {
             assert!(e.contains(name), "error must list '{name}': {e}");
         }
     }

@@ -31,12 +31,18 @@ fn device_by_name(name: &str) -> DeviceConfig {
 fn strategy_of(format: FormatChoice, dtype: DType) -> Result<PlanStrategy, String> {
     match (dtype, format) {
         (DType::F16, FormatChoice::Auto) => Ok(PlanStrategy::Auto),
+        (DType::F16, FormatChoice::Band) => Ok(PlanStrategy::Band),
         (DType::F16, FormatChoice::Fixed(MatmulFormat::Vnm)) => Ok(PlanStrategy::Vnm),
         (DType::F16, FormatChoice::Fixed(f)) => Ok(PlanStrategy::Format(f)),
         (DType::I8, FormatChoice::Fixed(MatmulFormat::Vnm)) => {
             Ok(PlanStrategy::Quantized(Calibration::AbsMax))
         }
         (DType::I8, FormatChoice::Auto) => Ok(PlanStrategy::AutoQuantized(Calibration::AbsMax)),
+        (DType::I8, FormatChoice::Band) => Err(
+            "--dtype i8 has no 'band' execution path: the non-mma band stream replays \
+             f16 operands (use --format vnm or --format auto)"
+                .to_string(),
+        ),
         (DType::I8, FormatChoice::Fixed(f)) => Err(format!(
             "--dtype i8 has no '{f}' execution path: the int8 pipeline runs in the \
              quantized V:N:M container (use --format vnm or --format auto)"
@@ -170,11 +176,18 @@ fn bench(
     if format == FormatChoice::Fixed(MatmulFormat::Vnm) && dtype == DType::F16 {
         // The paper's headline comparison: Spatha's tuned kernel on the
         // shape-only cost model (no weight needs materialising).
-        let sparse = spmm_time_tuned(r, k, c, cfg, &SpmmOptions::default(), dev);
+        let opts = SpmmOptions::default();
+        let sparse = spmm_time_tuned(r, k, c, cfg, &opts, dev);
+        let (tile, _) = venom_core::autotune_shape(r, k, c, cfg, &opts, dev);
+        let roof = venom_sim::roofline::analyze(
+            dev,
+            &venom_core::build_counts_shape(r, k, c, cfg, &tile, &opts),
+        );
         return format!(
             "{} — GEMM {r}x{k}x{c}, pattern {cfg}\n\
              cuBLAS (dense)  : {:8.3} ms  ({:.1} TFLOP/s)\n\
              Spatha ({cfg})  : {:8.3} ms  ({:.1} effective TFLOP/s, {:?}-limited)\n\
+             roofline        : {:.1} FLOP/B vs ridge {:.1} — {}-bound on the 'vnm' path\n\
              speedup         : {:.2}x (theoretical cap {:.0}x)",
             dev.name,
             dense.time_ms,
@@ -182,6 +195,9 @@ fn bench(
             sparse.time_ms,
             sparse.tflops,
             sparse.limiter,
+            roof.intensity,
+            roof.ridge,
+            roof.regime(),
             dense.time_ms / sparse.time_ms,
             cfg.theoretical_speedup_cap(),
         );
@@ -196,6 +212,10 @@ fn bench(
     let desc = engine.descriptor(r, k).with_dtype(dtype);
     let plan = match format {
         FormatChoice::Auto => engine.plan_auto_hinted(&desc, &pruned, Some(cfg)),
+        FormatChoice::Band => match engine.plan_band_hinted(&desc, &pruned, Some(cfg)) {
+            Ok(p) => p,
+            Err(e) => return format!("{e}"),
+        },
         FormatChoice::Fixed(f) => match engine.plan_with_format(f, &desc, &pruned) {
             Ok(p) => p,
             Err(e) => return format!("{e}"),
@@ -205,7 +225,7 @@ fn bench(
         "{} — GEMM {r}x{k}x{c}, pattern {cfg}, format {}, dtype {}\n\
          cuBLAS (dense)  : {:8.3} ms  ({:.1} TFLOP/s)",
         dev.name,
-        plan.format(),
+        plan.path(),
         plan.descriptor().dtype,
         dense.time_ms,
         dense.tflops,
@@ -215,7 +235,7 @@ fn bench(
             out += &format!(
                 "\n{:<16}: {:8.3} ms  ({:.1} effective TFLOP/s, {:?}-limited)\n\
                  speedup         : {:.2}x vs dense",
-                plan.format().to_string(),
+                plan.path(),
                 t.time_ms,
                 t.tflops,
                 t.limiter,
@@ -223,6 +243,15 @@ fn bench(
             );
         }
         None => out += "\n(no launchable configuration to price)",
+    }
+    if let Some(roof) = plan.roofline(engine.device()) {
+        out += &format!(
+            "\nroofline        : {:.1} FLOP/B vs ridge {:.1} — {}-bound on the '{}' path",
+            roof.intensity,
+            roof.ridge,
+            roof.regime(),
+            plan.path(),
+        );
     }
     out
 }
@@ -294,6 +323,14 @@ fn infer(
         .map(|(f, count)| format!("{f} x{count}"))
         .collect::<Vec<_>>()
         .join(", ");
+    // The execution path and roofline regime each plan landed on — the
+    // dispatch decision the roofline router made per weight.
+    let regimes = sparse
+        .path_census(engine.device())
+        .iter()
+        .map(|(key, count)| format!("{key} x{count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     // Simulated device pricing captured at plan time, summed over every
     // weight-op plan of the stack.
     let plan_gpu_ms = sparse.planned_weight_op_ms();
@@ -301,6 +338,7 @@ fn infer(
     format!(
         "{} x{layer_count} layer(s), pattern {pattern}, seq {seq}, batch {batch} on {}\n\
          weight formats (--format {format}, --dtype {dtype})   : {census}\n\
+         roofline regimes (path/bound at plan time)       : {regimes}\n\
          plan build (prune + compress + tune + stage)     : {plan_ms:9.1} ms (once)\n\
          serve {batch} request(s), {tokens} tokens        : {run_ms:9.1} ms wall\n\
          per-request                                      : {:9.1} ms\n\
@@ -607,6 +645,44 @@ mod tests {
         );
         assert!(s.contains("speedup"));
         assert!(s.contains("cap 4x"));
+        // The headline branch prints the per-shape roofline verdict too.
+        assert!(s.contains("roofline"), "{s}");
+        assert!(s.contains("vs ridge"), "{s}");
+    }
+
+    #[test]
+    fn bench_routes_and_explains_the_band_path() {
+        let dev = DeviceConfig::rtx3090();
+        // The acceptance shape (r=1024, k=768, c=8): auto must route to
+        // the band path and say why in roofline terms.
+        let s = bench(
+            (1024, 768, 8),
+            (128, 2, 10),
+            FormatChoice::Auto,
+            DType::F16,
+            &dev,
+        );
+        assert!(s.contains("format band"), "{s}");
+        assert!(s.contains("memory-bound on the 'band' path"), "{s}");
+        // Forcing the band path works on any compliant weight.
+        let s = bench(
+            (256, 320, 64),
+            (64, 2, 10),
+            FormatChoice::Band,
+            DType::F16,
+            &dev,
+        );
+        assert!(s.contains("format band"), "{s}");
+        assert!(s.contains("roofline"), "{s}");
+        // i8 has no band execution path; the plan error says so.
+        let s = bench(
+            (256, 320, 64),
+            (64, 2, 10),
+            FormatChoice::Band,
+            DType::I8,
+            &dev,
+        );
+        assert!(s.contains("i8"), "{s}");
     }
 
     #[test]
@@ -687,6 +763,15 @@ mod tests {
             .find(|l| l.contains("weight formats"))
             .unwrap_or_else(|| panic!("missing census line in {s}"));
         assert!(line.contains("--format auto"), "{line}");
+        // The roofline dispatch line reports each plan's path and regime.
+        let regimes = s
+            .lines()
+            .find(|l| l.contains("roofline regimes"))
+            .unwrap_or_else(|| panic!("missing regimes line in {s}"));
+        assert!(
+            regimes.contains("/compute") || regimes.contains("/memory"),
+            "{regimes}"
+        );
         let census = line
             .split(':')
             .nth(1)

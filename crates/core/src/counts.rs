@@ -118,6 +118,76 @@ pub fn build_counts_shape_i8(
     build_counts_dtyped(r, k, b_cols, cfg, tile, opts, OperandDtype::I8)
 }
 
+/// Rows per thread block of the bandwidth-optimized band kernel (one
+/// block owns one output row band, like the runtime's condensed stream).
+pub const BAND_TILE_ROWS: usize = 16;
+
+/// Steady-state issue efficiency of the scalar band loop: a plain
+/// FMA-per-lane kernel with no tensor-core scheduling pressure, but also
+/// none of Spatha's hand-tuned instruction mixing.
+pub const BAND_EFFICIENCY: f64 = 0.85;
+
+/// Builds the [`KernelCounts`] for the bandwidth-optimized band/swapped
+/// SpMM (the non-mma path of [`crate::spmm_swapped`] and the runtime's
+/// `BandStream`).
+///
+/// The structure it prices is deliberately lean — that *is* the path's
+/// value proposition left of the ridge point:
+///
+/// * the operand stream carries an f16 value plus a narrow 16-bit source
+///   index per nonzero (4 B, versus the mma path's staged tile traffic),
+/// * `B` is streamed row-major exactly once across the whole grid (no
+///   per-block re-gather, no shared-memory staging), and
+/// * the work is scalar FMAs on the CUDA cores — so the compute roof is
+///   [`venom_sim::DeviceConfig::cuda_fp16_flops`], a ~4x lower ridge than
+///   the sparse-tensor roof. Right of *that* ridge the band kernel loses
+///   honestly, which is what lets the planner's cost comparison flip at
+///   the crossover instead of at a hard-coded threshold.
+///
+/// # Panics
+/// Panics if `k` exceeds the narrow index range (the 16-bit source index
+/// is part of the bandwidth story, FlashSparse-style).
+pub fn build_counts_band(r: usize, k: usize, b_cols: usize, nnz: usize) -> KernelCounts {
+    assert!(
+        k <= u16::MAX as usize + 1,
+        "band kernel stores 16-bit source indices; K = {k} does not fit"
+    );
+    let c = b_cols;
+    let bands = r.div_ceil(BAND_TILE_ROWS) as u64;
+    let nnz_block = (nnz as u64).div_ceil(bands);
+    // Operand stream: f16 value + u16 source row, streamed once (no L2
+    // reuse). B: one row-major f16 pass shared across the grid, charged
+    // pro rata per block; reuse across bands is folded into charging the
+    // pass once instead of per block.
+    let stream_bytes = nnz_block * 4;
+    let b_bytes = ((k * c * 2) as u64).div_ceil(bands);
+    // Output: one f32 row band per block.
+    let gmem_store = (BAND_TILE_ROWS * c * 4) as u64;
+    KernelCounts {
+        name: format!("band[r{r} k{k}]"),
+        grid_blocks: bands,
+        // No shared memory, a small register budget: occupancy is never
+        // the band kernel's problem.
+        block: venom_sim::BlockResources::new(128, 0, 32),
+        // The main loop walks each row's operand run once per panel.
+        k_iters: (nnz_block / BAND_TILE_ROWS as u64).max(1),
+        pipeline_stages: 1,
+        mma_sp_per_block: 0,
+        mma_dense_per_block: 0,
+        fma_per_block: nnz_block * c as u64,
+        gmem_load_bytes_per_block: stream_bytes + b_bytes,
+        gmem_store_bytes_per_block: gmem_store,
+        l2_hit_fraction: 0.0,
+        smem_transactions_per_block: 0,
+        smem_epilogue_transactions_per_block: 0,
+        // A single lightweight kernel: no column-loc prefetch, no
+        // multi-stage pipeline fill.
+        prologue_cycles_per_wave: 150,
+        efficiency: BAND_EFFICIENCY,
+        effective_flops: 2 * r as u64 * k as u64 * c as u64,
+    }
+}
+
 /// Operand precision of a counted Spatha launch.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum OperandDtype {
@@ -360,6 +430,43 @@ mod tests {
         let t16 = simulate(&dev, &f16).unwrap().time_ms;
         let t8 = simulate(&dev, &i8c).unwrap().time_ms;
         assert!(t8 < t16, "i8 {t8} !< f16 {t16}");
+    }
+
+    #[test]
+    fn band_counts_flip_the_winner_at_the_ridge() {
+        // Left of the ridge (c=8) the lean band kernel undercuts the mma
+        // pipeline's staging traffic and fixed costs; far right of it
+        // (c=4096) the CUDA-core FMA roof buries the band path. The
+        // planner's routing is exactly this comparison.
+        let dev = DeviceConfig::rtx3090();
+        let tile = TileConfig::new(64, 64, 32, 32, 32, 2);
+        let a = vnm_fixture(1024, 768, VnmConfig::new(64, 2, 8), 9);
+        let (r, k) = a.shape();
+        for (c, band_wins) in [(8usize, true), (4096, false)] {
+            let spatha = build_counts(&a, c, &tile, &SpmmOptions::default());
+            let band = build_counts_band(r, k, c, a.nnz());
+            let ts = simulate(&dev, &spatha).unwrap().time_ms;
+            let tb = simulate(&dev, &band).unwrap().time_ms;
+            assert_eq!(tb < ts, band_wins, "c={c}: band={tb:.4}ms spatha={ts:.4}ms");
+        }
+    }
+
+    #[test]
+    fn band_counts_scale_streams_with_c() {
+        // B and store traffic grow with c; the operand stream does not.
+        let lo = build_counts_band(1024, 768, 8, 150_000);
+        let hi = build_counts_band(1024, 768, 64, 150_000);
+        assert!(hi.gmem_load_bytes_per_block > lo.gmem_load_bytes_per_block);
+        assert!(hi.gmem_store_bytes_per_block > lo.gmem_store_bytes_per_block);
+        assert_eq!(hi.fma_per_block, 8 * lo.fma_per_block);
+        assert_eq!(hi.mma_sp_per_block, 0);
+        assert_eq!(hi.smem_transactions_per_block, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit source indices")]
+    fn band_counts_reject_wide_k() {
+        let _ = build_counts_band(64, 70_000, 8, 1000);
     }
 
     #[test]

@@ -23,15 +23,20 @@ pub mod counts;
 pub mod fused;
 pub mod kernel;
 pub mod sddmm;
+pub mod swapped;
 pub mod tile;
 
 pub use autotune::{autotune, autotune_shape, default_config, default_config_shape};
-pub use counts::{build_counts, build_counts_i8, build_counts_shape, build_counts_shape_i8};
+pub use counts::{
+    build_counts, build_counts_band, build_counts_i8, build_counts_shape, build_counts_shape_i8,
+    BAND_TILE_ROWS,
+};
 pub use fused::{spmm_fused, Epilogue};
 pub use kernel::{
     spmm, spmm_time_shape, spmm_time_tuned, spmm_with_config, ExecMode, SpmmOptions, SpmmResult,
 };
 pub use sddmm::{sddmm, SddmmResult};
+pub use swapped::{spmm_swapped, SWAP_PANEL};
 pub use tile::TileConfig;
 
 pub use venom_format::{VnmConfig, VnmMatrix};

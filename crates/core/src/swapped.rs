@@ -1,0 +1,124 @@
+//! FlashSparse-style swapped-operand SpMM for bandwidth-bound shapes.
+//!
+//! On shapes left of the device's ridge point (small output widths,
+//! tall-skinny weights) the Spatha `mma.sp` pipeline pays for tensor-core
+//! staging traffic it cannot amortize: "Can Tensor Cores Benefit
+//! Memory-Bound Kernels? (No!)" shows the mma path losing outright there,
+//! and FlashSparse recovers the regime by *swapping the operands* — compute
+//! the transposed product so the wide gather over `B` becomes a narrow,
+//! contiguous vector load per stored nonzero.
+//!
+//! [`spmm_swapped`] is that variant: `B` is decoded in one row-major pass
+//! (exact f16→f32 widening, no per-block re-gather), the product is
+//! accumulated transposed in `C^T` so each nonzero touches one short
+//! contiguous `B` row segment (the 8-wide panel of FlashSparse's 8x1
+//! vector access), and the final transpose back is a plain move that
+//! leaves every element's f32 accumulation chain untouched. The result is
+//! **bit-identical** to [`VnmMatrix::spmm_ref`]: nonzeros are visited in
+//! the reference's `(row, group, slot)` order, products are the same
+//! exactly-decoded f32 values, and each output element accumulates
+//! left-to-right from `0.0`.
+
+use rayon::prelude::*;
+use venom_format::VnmMatrix;
+use venom_fp16::Half;
+use venom_tensor::Matrix;
+
+/// Output columns processed per pass — FlashSparse's narrow vector width.
+/// Each stored nonzero loads one contiguous `PANEL`-wide f32 segment of
+/// its `B` row instead of gathering a full-width tile.
+pub const SWAP_PANEL: usize = 8;
+
+/// Swapped-operand SpMM: `C = A * B` computed as `C^T = B^T *_{swap} A`,
+/// bit-identical to [`VnmMatrix::spmm_ref`].
+///
+/// # Panics
+/// Panics if `B` has a row count different from `A`'s K.
+pub fn spmm_swapped(a: &VnmMatrix, b: &Matrix<Half>) -> Matrix<f32> {
+    let (r, k) = a.shape();
+    assert_eq!(b.rows(), k, "B must have K = {k} rows");
+    let c = b.cols();
+    // One row-major decode pass over B (exact widening through the LUT);
+    // every later access is a narrow contiguous f32 load.
+    let b_f32 = venom_fp16::slice::decode_f32_vec(b.as_slice());
+
+    // Accumulate the transposed product: out_t[j][row] = C[row][j].
+    // Column panels are independent, so each worker owns a contiguous
+    // band of out_t rows and re-walks the compressed operand stream —
+    // trading redundant (cheap, L2-resident) A reads for conflict-free
+    // narrow B loads, exactly the FlashSparse swap.
+    let mut out_t = vec![0f32; c * r];
+    out_t
+        .par_chunks_mut(SWAP_PANEL * r)
+        .enumerate()
+        .for_each(|(p, chunk)| {
+            let j0 = p * SWAP_PANEL;
+            let width = chunk.len() / r;
+            a.for_each_nonzero(|row, brow, v| {
+                let vf = v.to_f32();
+                let bvec = &b_f32[brow * c + j0..brow * c + j0 + width];
+                for (jj, &bv) in bvec.iter().enumerate() {
+                    // Per (row, j) this adds in the reference's
+                    // (group, slot) order, left-to-right from 0.0.
+                    chunk[jj * r + row] += vf * bv;
+                }
+            });
+        });
+
+    // Transpose back: a move, not an arithmetic op — the per-element
+    // accumulation chains above are the final values.
+    Matrix::from_fn(r, c, |row, j| out_t[j * r + row])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venom_format::{SparsityMask, VnmConfig};
+    use venom_tensor::random;
+
+    fn fixture(r: usize, k: usize, cfg: VnmConfig, seed: u64) -> VnmMatrix {
+        let w = random::normal_matrix(r, k, 0.0, 1.0, seed);
+        let mask = SparsityMask::from_fn(r, k, |_, c| c % cfg.m < cfg.n);
+        VnmMatrix::compress(&mask.apply_f32(&w).to_half(), &mask, cfg)
+    }
+
+    #[test]
+    fn swapped_is_bit_identical_to_spmm_ref() {
+        for (v, n, m, r, k, c) in [
+            (16, 2, 8, 32, 64, 8),
+            (64, 2, 10, 128, 80, 3),
+            (128, 2, 16, 256, 128, 24),
+        ] {
+            let cfg = VnmConfig::new(v, n, m);
+            let a = fixture(r, k, cfg, (v + m) as u64);
+            let b = random::normal_matrix(k, c, 0.0, 1.0, 99).to_half();
+            let reference = a.spmm_ref(&b);
+            let swapped = spmm_swapped(&a, &b);
+            assert_eq!(reference.as_slice(), swapped.as_slice(), "V={v} M={m}");
+        }
+    }
+
+    #[test]
+    fn panel_boundaries_cover_ragged_widths() {
+        // Widths straddling the 8-wide panel: 1, 7, 8, 9, 17.
+        let cfg = VnmConfig::new(16, 2, 8);
+        let a = fixture(32, 64, cfg, 5);
+        for c in [1usize, 7, 8, 9, 17] {
+            let b = random::normal_matrix(64, c, 0.0, 1.0, c as u64).to_half();
+            assert_eq!(
+                a.spmm_ref(&b).as_slice(),
+                spmm_swapped(&a, &b).as_slice(),
+                "c={c}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "B must have K")]
+    fn rejects_shape_mismatch() {
+        let cfg = VnmConfig::new(16, 2, 8);
+        let a = fixture(32, 64, cfg, 1);
+        let b = random::normal_matrix(32, 8, 0.0, 1.0, 2).to_half();
+        let _ = spmm_swapped(&a, &b);
+    }
+}

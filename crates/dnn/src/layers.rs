@@ -42,6 +42,10 @@ pub enum PlanStrategy {
     /// Let [`Engine::plan_auto`] pick the cost-model-cheapest eligible
     /// format per weight.
     Auto,
+    /// Force the bandwidth-optimized non-mma V:N:M path (the
+    /// FlashSparse-style swapped-operand replay) for every weight —
+    /// what `plan_auto` routes memory-bound shapes to on its own.
+    Band,
     /// Force one storage format for every weight.
     Format(MatmulFormat),
     /// Compress to V:N:M and quantize to the calibrated int8 container:
@@ -241,6 +245,12 @@ impl Linear {
                 // candidate with it so patterns outside the engine's
                 // re-detection grid still compete.
                 engine.plan_auto_hinted(&desc, pruned, Some(cfg))
+            }
+            PlanStrategy::Band => {
+                let desc = engine
+                    .descriptor(pruned.rows(), pruned.cols())
+                    .with_epilogue(Epilogue::Bias);
+                engine.plan_band_hinted(&desc, pruned, Some(cfg))?
             }
             PlanStrategy::Format(f) => {
                 let desc = engine
@@ -543,6 +553,7 @@ mod tests {
         for strategy in [
             PlanStrategy::Vnm,
             PlanStrategy::Auto,
+            PlanStrategy::Band,
             PlanStrategy::Format(MatmulFormat::Nm),
             PlanStrategy::Format(MatmulFormat::Csr),
             PlanStrategy::Format(MatmulFormat::Cvse),

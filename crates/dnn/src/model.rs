@@ -171,6 +171,29 @@ impl SparseTransformerEncoder {
         counts
     }
 
+    /// How many weight plans landed on each execution path, labelled
+    /// with the roofline regime each reports on `dev` — the dispatch
+    /// report for auto-planned stacks (e.g. `vnm/compute x4,
+    /// band/memory x8`). Plans without resource counts label as
+    /// `unpriced`.
+    pub fn path_census(&self, dev: &venom_runtime::DeviceConfig) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for block in &self.blocks {
+            for plan in block.plans() {
+                let regime = plan
+                    .plan
+                    .regime(dev)
+                    .map_or_else(|| "unpriced".to_string(), |r| r.to_string());
+                let key = format!("{}/{regime}", plan.plan.path());
+                match counts.iter_mut().find(|(g, _)| *g == key) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((key, 1)),
+                }
+            }
+        }
+        counts
+    }
+
     /// Total simulated weight-op time captured in the plans, in
     /// milliseconds (plans without a launchable configuration are
     /// skipped).
@@ -296,6 +319,31 @@ mod tests {
         let census = sparse.format_census();
         let total: usize = census.iter().map(|(_, n)| n).sum();
         assert_eq!(total, 12, "2 blocks x 6 weights: {census:?}");
+    }
+
+    #[test]
+    fn path_census_reports_regimes_per_execution_path() {
+        let eng = engine();
+        let model = TransformerEncoder::new(mini(), 13);
+        // Forced band path: every weight reports the band path with a
+        // regime (the tiny shapes are bandwidth-bound on an RTX 3090).
+        let sparse = model
+            .sparsify_with(&eng, VnmConfig::new(16, 2, 8), PlanStrategy::Band)
+            .unwrap();
+        let census = sparse.path_census(eng.device());
+        let total: usize = census.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 12, "2 blocks x 6 weights: {census:?}");
+        assert!(
+            census.iter().all(|(k, _)| k.starts_with("band/")),
+            "{census:?}"
+        );
+        assert!(
+            census.iter().all(|(k, _)| !k.ends_with("unpriced")),
+            "every band plan carries counts: {census:?}"
+        );
+        // The forced band stack still computes the exact bits.
+        let x = random::activation_matrix(16, 32, 14);
+        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x));
     }
 
     #[test]

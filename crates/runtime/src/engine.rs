@@ -4,7 +4,7 @@
 
 use crate::descriptor::{DType, MatmulDescriptor};
 use crate::matmul::{MatmulPlan, PlanError};
-use crate::plan::{FormatPlan, GemmPlan, SpmmPlan};
+use crate::plan::{BandPlan, FormatPlan, GemmPlan, SpmmPlan};
 use crate::pricing;
 use crate::qplan::QuantSpmmPlan;
 use std::sync::Arc;
@@ -207,20 +207,24 @@ impl Engine {
                     ));
                 }
                 let a = NmCompressed::compress(weights, &mask, nm);
+                let counts = pricing::nm_counts(&a, desc.b_cols);
                 let timing = pricing::price_nm(&a, desc.b_cols, &self.dev);
-                Ok(Arc::new(FormatPlan::build(
+                Ok(Arc::new(FormatPlan::build_counted(
                     Arc::new(a),
                     *desc,
                     Some(timing),
+                    Some(counts),
                 )))
             }
             MatmulFormat::Csr => {
                 let a = CsrMatrix::from_dense(weights);
+                let counts = pricing::csr_counts(&a, desc.b_cols);
                 let timing = pricing::price_csr(&a, desc.b_cols, &self.dev);
-                Ok(Arc::new(FormatPlan::build(
+                Ok(Arc::new(FormatPlan::build_counted(
                     Arc::new(a),
                     *desc,
                     Some(timing),
+                    Some(counts),
                 )))
             }
             MatmulFormat::Cvse => {
@@ -235,10 +239,12 @@ impl Engine {
                     })
                     .min_by(|x, y| pricing::cost_cmp(x.1.time_ms, y.1.time_ms))
                     .expect("the ladder is nonempty");
-                Ok(Arc::new(FormatPlan::build(
+                let counts = pricing::cvse_counts(&best.0, desc.b_cols);
+                Ok(Arc::new(FormatPlan::build_counted(
                     Arc::new(best.0),
                     *desc,
                     Some(best.1),
+                    Some(counts),
                 )))
             }
             MatmulFormat::BlockedEll => {
@@ -253,11 +259,13 @@ impl Engine {
                         ))
                     })?;
                 let a = BlockedEllMatrix::from_dense(weights, bs);
+                let counts = pricing::blocked_ell_counts(&a, desc.b_cols);
                 let timing = pricing::price_blocked_ell(&a, desc.b_cols, &self.dev);
-                Ok(Arc::new(FormatPlan::build(
+                Ok(Arc::new(FormatPlan::build_counted(
                     Arc::new(a),
                     *desc,
                     Some(timing),
+                    Some(counts),
                 )))
             }
         }
@@ -297,6 +305,51 @@ impl Engine {
         Ok(Arc::new(SpmmPlan::build(&a, *desc, &self.opts, &self.dev)))
     }
 
+    /// Plans the bandwidth-optimized non-mma V:N:M band path explicitly.
+    ///
+    /// [`Self::plan_auto`] already considers this path as a candidate
+    /// and routes memory-bound shapes to it; this forces it (the CLI's
+    /// `--format band`). The plan executes the FlashSparse-style
+    /// swapped-operand replay and is priced on the CUDA-core DRAM
+    /// roofline.
+    ///
+    /// # Errors
+    /// [`PlanError::Incompatible`] when the nonzero structure complies
+    /// with no V:2:M pattern, when `K` exceeds the band stream's 16-bit
+    /// source-index range, or on an `i8` descriptor (the band replay
+    /// streams f16 values).
+    ///
+    /// # Panics
+    /// Panics if `weights` does not match the descriptor's shape.
+    pub fn plan_band(
+        &self,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+    ) -> Result<Arc<dyn MatmulPlan>, PlanError> {
+        self.plan_band_hinted(desc, weights, None)
+    }
+
+    /// [`Self::plan_band`] with a known prune pattern (same contract as
+    /// [`Self::plan_auto_hinted`]).
+    pub fn plan_band_hinted(
+        &self,
+        desc: &MatmulDescriptor,
+        weights: &Matrix<Half>,
+        pattern: Option<VnmConfig>,
+    ) -> Result<Arc<dyn MatmulPlan>, PlanError> {
+        desc.assert_matches(weights);
+        if desc.dtype == DType::I8 {
+            return Err(PlanError::Incompatible {
+                format: MatmulFormat::Vnm,
+                reason: "dtype i8 is ineligible for the band path: the band stream \
+                         replays f16 values — request dtype 'f16' or format 'vnm'"
+                    .to_string(),
+            });
+        }
+        let a = self.compress_vnm_detected(weights, pattern)?;
+        Ok(Arc::new(BandPlan::build(&a, *desc, &self.dev)?))
+    }
+
     /// Plans the int8-quantized V:N:M container over the detected (or
     /// hinted) pattern, calibrated with the engine's calibrator.
     fn plan_vnm_i8(
@@ -323,7 +376,12 @@ impl Engine {
     /// length) and priced for the descriptor's shape on this engine's
     /// device; the cheapest plan wins. The dense path always competes,
     /// so a weight that is not sparse enough to pay off simply plans
-    /// dense — the FlashSparse-style per-shape layout choice.
+    /// dense — the FlashSparse-style per-shape layout choice. V:N:M
+    /// weights field *two* candidates: the Spatha `mma.sp` stream and
+    /// the bandwidth-optimized band replay ([`BandPlan`]) — both priced
+    /// in DRAM bytes, so memory-bound shapes (small `b_cols`,
+    /// tall-skinny weights) route to the non-mma path at the device's
+    /// ridge point.
     ///
     /// The descriptor's dtype widens the candidate set: an `i8`
     /// descriptor *allows* the quantized int8 V:N:M plan, which is then
@@ -476,8 +534,15 @@ impl Engine {
         for &f in &MatmulFormat::ALL {
             match f {
                 MatmulFormat::Vnm => {
-                    if let Some((plan, _)) = &f16_vnm {
+                    if let Some((plan, a)) = &f16_vnm {
                         out.push(Arc::new(plan.clone()));
+                        // The bandwidth-optimized non-mma variant competes
+                        // over the same compression: its DRAM-byte pricing
+                        // undercuts the mma stream left of the ridge point,
+                        // so routing flips there — no hard-coded threshold.
+                        if let Ok(band) = BandPlan::build(a, f16_desc, &self.dev) {
+                            out.push(Arc::new(band));
+                        }
                     }
                 }
                 _ => {
@@ -811,6 +876,62 @@ mod tests {
         let w = random::glorot_matrix(256, 512, 8).to_half();
         let plan = engine.plan_auto(&engine.descriptor(256, 512), &w);
         assert_eq!(plan.format(), MatmulFormat::Dense);
+    }
+
+    #[test]
+    fn plan_auto_routes_memory_bound_shapes_to_the_band_path() {
+        // The acceptance shape: r=1024, k=768, c=8 sits far left of the
+        // CUDA-core ridge, so the band replay's DRAM pricing must beat
+        // the mma stream and every baseline.
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(8);
+        let cfg = VnmConfig::new(128, 2, 10);
+        let w = vnm_weight(1024, 768, cfg, 7);
+        let desc = engine.descriptor(1024, 768);
+        let plan = engine.plan_auto(&desc, &w);
+        assert_eq!(plan.format(), MatmulFormat::Vnm);
+        assert_eq!(plan.path(), "band", "cost {:?}", plan.cost_ms());
+        assert_eq!(
+            plan.regime(engine.device()),
+            Some(venom_sim::Regime::MemoryBound)
+        );
+        // The routed winner still executes bit-exactly.
+        let b = random::normal_matrix(768, 8, 0.0, 1.0, 30).to_half();
+        assert_eq!(plan.run(&b), plan.run_oneshot(&b));
+    }
+
+    #[test]
+    fn plan_auto_keeps_the_mma_stream_right_of_the_ridge() {
+        // Fig. 9's wide bound (c=4096) is compute-bound: the band
+        // replay's CUDA-core roof prices it out and the Spatha mma
+        // stream must stay the winner (the fig09 pin).
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(4096);
+        let cfg = VnmConfig::new(128, 2, 10);
+        let w = vnm_weight(1024, 768, cfg, 7);
+        let plan = engine.plan_auto(&engine.descriptor(1024, 768), &w);
+        assert_eq!(plan.format(), MatmulFormat::Vnm);
+        assert_eq!(plan.path(), "vnm", "cost {:?}", plan.cost_ms());
+        assert_eq!(
+            plan.regime(engine.device()),
+            Some(venom_sim::Regime::ComputeBound)
+        );
+    }
+
+    #[test]
+    fn plan_band_forces_the_non_mma_path() {
+        let engine = Engine::new(DeviceConfig::rtx3090()).with_b_cols_hint(4096);
+        let cfg = VnmConfig::new(64, 2, 10);
+        let w = vnm_weight(256, 320, cfg, 19);
+        let desc = engine.descriptor(256, 320);
+        // Even on a compute-bound bound the forced path is the band one.
+        let plan = engine.plan_band(&desc, &w).expect("eligible structure");
+        assert_eq!(plan.path(), "band");
+        let b = random::normal_matrix(320, 12, 0.0, 1.0, 20).to_half();
+        assert_eq!(plan.run(&b), plan.run_oneshot(&b));
+        // An i8 descriptor is rejected with the reason.
+        let err = engine
+            .plan_band(&desc.with_dtype(DType::I8), &w)
+            .unwrap_err();
+        assert!(err.to_string().contains("i8"), "{err}");
     }
 
     #[test]

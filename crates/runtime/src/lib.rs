@@ -25,7 +25,10 @@
 //!   `(value, B-row)` stream in the kernel's exact accumulation order,
 //!   and the priced launch. [`GemmPlan`] is the dense analogue, priced
 //!   on the cuBLAS model by [`Engine::plan_gemm`]; [`FormatPlan`] hosts
-//!   the remaining formats through the same condensed stream; and
+//!   the remaining formats through the same condensed stream;
+//!   [`BandPlan`] is the bandwidth-optimized non-mma V:N:M variant
+//!   (FlashSparse-style swapped-operand replay, priced on DRAM bytes)
+//!   that [`Engine::plan_auto`] routes memory-bound shapes to; and
 //!   [`QuantSpmmPlan`] is the int8 sibling — descriptors with
 //!   [`descriptor::DType::I8`] plan the calibrated quantized V:N:M
 //!   container, execute with exact i32 accumulation, and are priced on
@@ -58,7 +61,7 @@ pub mod stage;
 pub use descriptor::{DType, Epilogue, MatmulDescriptor};
 pub use engine::Engine;
 pub use matmul::{MatmulPlan, PlanError};
-pub use plan::{FormatPlan, GemmPlan, SpmmPlan};
+pub use plan::{BandPlan, FormatPlan, GemmPlan, SpmmPlan};
 pub use qplan::QuantSpmmPlan;
 pub use serve::{
     CacheStats, FaultConfig, FaultPlan, HealthReport, PlanBuildError, PlanCache, PlanKey,
@@ -68,4 +71,4 @@ pub use serve::{
 pub use venom_core::{SpmmOptions, TileConfig};
 pub use venom_format::{MatmulFormat, QuantVnmMatrix, SparseKernel, VnmConfig, VnmMatrix};
 pub use venom_quant::Calibration;
-pub use venom_sim::{DeviceConfig, KernelTiming};
+pub use venom_sim::{DeviceConfig, KernelTiming, Regime, Roofline};

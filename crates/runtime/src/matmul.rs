@@ -25,7 +25,8 @@
 use crate::descriptor::MatmulDescriptor;
 use venom_format::MatmulFormat;
 use venom_fp16::Half;
-use venom_sim::KernelTiming;
+use venom_sim::pipeline::KernelCounts;
+use venom_sim::{DeviceConfig, KernelTiming, Regime, Roofline};
 use venom_tensor::Matrix;
 
 /// A planning failure: the weights cannot be served in the requested
@@ -71,6 +72,32 @@ pub trait MatmulPlan: Send + Sync + std::fmt::Debug {
     /// [`crate::Engine::plan_auto`] minimises.
     fn cost_ms(&self) -> Option<f64> {
         self.timing().map(|t| t.time_ms)
+    }
+
+    /// The resource counts the plan was priced on (`None` when the
+    /// format was priced without a counts model, or not priced at all).
+    fn counts(&self) -> Option<&KernelCounts> {
+        None
+    }
+
+    /// Places the priced launch on `dev`'s roofline — intensity, ridge
+    /// point and attainable bound. `None` without [`Self::counts`].
+    fn roofline(&self, dev: &DeviceConfig) -> Option<Roofline> {
+        self.counts().map(|c| venom_sim::roofline::analyze(dev, c))
+    }
+
+    /// Which side of `dev`'s ridge point the plan sits on — the
+    /// classification the dispatch layer routes on. `None` without
+    /// [`Self::counts`].
+    fn regime(&self, dev: &DeviceConfig) -> Option<Regime> {
+        self.roofline(dev).map(|r| r.regime())
+    }
+
+    /// The execution path within the format — distinguishes variants
+    /// that share a storage format, e.g. the V:N:M `mma.sp` stream
+    /// (`"vnm"`) from the bandwidth-optimized band replay (`"band"`).
+    fn path(&self) -> &'static str {
+        self.format().name()
     }
 
     /// Stored operand count of the condensed stream.

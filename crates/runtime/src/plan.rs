@@ -11,15 +11,18 @@
 //! while touching each operand once, at full output width, instead of
 //! through per-call staging rebuilt on every dispatch.
 //!
-//! Three plan types share the stream and implement the format-erased
-//! [`MatmulPlan`] trait: [`SpmmPlan`] (V:N:M, autotuned and priced on
-//! the Spatha cost model), [`GemmPlan`] (dense, priced on the cuBLAS
-//! model), and [`FormatPlan`] (any other [`SparseKernel`], priced by its
-//! format's baseline model).
+//! Four plan types share the execution surface (`StreamExec`) and
+//! implement the format-erased [`MatmulPlan`] trait: [`SpmmPlan`]
+//! (V:N:M, autotuned and priced on the Spatha cost model), [`GemmPlan`]
+//! (dense, priced on the cuBLAS model), [`FormatPlan`] (any other
+//! [`SparseKernel`], priced by its format's baseline model), and
+//! [`BandPlan`] (the bandwidth-optimized non-mma V:N:M path: a narrow
+//! f16-bits/u16-index stream executed with the FlashSparse-style
+//! register-panel accumulator, priced on the CUDA-core roofline).
 
 use crate::arena;
 use crate::descriptor::MatmulDescriptor;
-use crate::matmul::MatmulPlan;
+use crate::matmul::{MatmulPlan, PlanError};
 use crate::stage;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -33,6 +36,130 @@ use venom_tensor::Matrix;
 /// Row height of one parallel task; matches `gemm_parallel`'s banding so
 /// task granularity is comparable across the dense and sparse paths.
 const BAND_ROWS: usize = 16;
+
+/// The shared execution surface over a condensed operand stream.
+///
+/// Any backing store that can replay `C = A * B` into a zero-initialised
+/// f32 buffer ([`Self::run_into`]) inherits the staged, batched and
+/// fused-linear dispatch paths — [`Stream`] (the f32 quad-unrolled
+/// replay) and `BandStream` (the narrow bandwidth-optimized replay)
+/// both execute through these defaults, so the plan types differ only in
+/// their inner loop and pricing, never in staging behaviour.
+pub(crate) trait StreamExec {
+    /// Output rows.
+    fn rows(&self) -> usize;
+
+    /// Reduction depth K.
+    fn k(&self) -> usize;
+
+    /// `C = A * B` over a staged RHS (`k x b_cols`, row-major f32) into
+    /// `out` (`rows x b_cols`, zero-initialised). Output rows are
+    /// disjoint across parallel bands and each element accumulates
+    /// sequentially in stream order, so the result is bit-identical
+    /// regardless of the worker count.
+    fn run_into(&self, b_f32: &[f32], b_cols: usize, out: &mut [f32]);
+
+    /// [`Self::run_into`] with an owned result matrix.
+    fn run(&self, b_f32: &[f32], b_cols: usize) -> Matrix<f32> {
+        let mut out = vec![0.0f32; self.rows() * b_cols];
+        self.run_into(b_f32, b_cols, &mut out);
+        Matrix::from_vec(self.rows(), b_cols, out)
+    }
+
+    /// `C = A * B` over a half RHS, staged through the arena.
+    fn run_half(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        assert_eq!(b.rows(), self.k(), "B must have K = {} rows", self.k());
+        let mut staged = arena::lease(b.len());
+        stage::decode_rhs_into(b, &mut staged);
+        let c = self.run(&staged, b.cols());
+        arena::release(staged);
+        c
+    }
+
+    /// One dispatch over many requests: concatenates the operands along
+    /// the output-column dimension, multiplies once, and splits the
+    /// result. Bit-identical to running each operand separately (columns
+    /// are independent in every path).
+    fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
+        if bs.is_empty() {
+            return Vec::new();
+        }
+        let k = self.k();
+        let total: usize = bs.iter().map(|b| b.cols()).sum();
+        let mut staged = arena::lease(k * total);
+        let mut col0 = 0usize;
+        for b in bs {
+            assert_eq!(b.rows(), k, "B must have K = {k} rows");
+            let cols = b.cols();
+            for r in 0..k {
+                venom_fp16::slice::decode_f32_into(
+                    b.row(r),
+                    &mut staged[r * total + col0..r * total + col0 + cols],
+                );
+            }
+            col0 += cols;
+        }
+        let c = self.run(&staged, total);
+        arena::release(staged);
+
+        let mut out = Vec::with_capacity(bs.len());
+        let rows = self.rows();
+        let mut col0 = 0usize;
+        for b in bs {
+            let cols = b.cols();
+            let mut part = vec![0.0f32; rows * cols];
+            for r in 0..rows {
+                part[r * cols..(r + 1) * cols]
+                    .copy_from_slice(&c.as_slice()[r * total + col0..r * total + col0 + cols]);
+            }
+            out.push(Matrix::from_vec(rows, cols, part));
+            col0 += cols;
+        }
+        out
+    }
+
+    /// The fused layer path: stages `x` (`tokens x k` f32) through f16
+    /// rounding into the kernel orientation, multiplies, and returns
+    /// `(A * x^T)^T + bias` (`tokens x rows`) — element-for-element the
+    /// chain `transpose(A * x.to_half().transpose()) + bias` of the
+    /// per-call layer forward, in two fused passes.
+    fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+        assert_eq!(x.cols(), self.k(), "input features mismatch");
+        let mut staged = arena::lease(x.len());
+        stage::stage_activations_t_into(x, &mut staged);
+        let y = self.run_linear_staged(&staged, x.rows(), bias);
+        arena::release(staged);
+        y
+    }
+
+    /// [`Self::run_linear`] over an already-staged RHS (shared by sibling
+    /// plans of one layer, e.g. Q/K/V over the same activations).
+    fn run_linear_staged(&self, b_f32: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
+        let rows = self.rows();
+        assert_eq!(bias.len(), rows, "bias must match out_features");
+        let mut c = arena::lease(rows * tokens);
+        self.run_into(b_f32, tokens, &mut c);
+        // Tiled transpose+bias epilogue: 32x32 blocks keep both the
+        // strided reads from `c` and the writes to `y` inside the cache
+        // (a row-by-row transpose touches a fresh cache line per element).
+        const TILE: usize = 32;
+        let mut y = vec![0.0f32; tokens * rows];
+        for t0 in (0..tokens).step_by(TILE) {
+            let t1 = (t0 + TILE).min(tokens);
+            for r0 in (0..rows).step_by(TILE) {
+                let r1 = (r0 + TILE).min(rows);
+                for t in t0..t1 {
+                    let yrow = &mut y[t * rows..][r0..r1];
+                    for (r, o) in (r0..r1).zip(yrow.iter_mut()) {
+                        *o = c[r * tokens + t] + bias[r];
+                    }
+                }
+            }
+        }
+        arena::release(c);
+        Matrix::from_vec(tokens, rows, y)
+    }
+}
 
 /// The shared condensed stream: CSR-like over *staged* f32 values, with
 /// `srcs[i]` naming the RHS row each value multiplies.
@@ -82,13 +209,17 @@ impl Stream {
     fn nnz(&self) -> usize {
         self.vals.len()
     }
+}
 
-    /// `C = A * B` over a staged RHS (`k x b_cols`, row-major f32) into
-    /// `out` (`rows x b_cols`, zero-initialised). Output rows are disjoint
-    /// across parallel bands and each element accumulates sequentially in
-    /// stream order, so the result is bit-identical regardless of the
-    /// worker count.
-    ///
+impl StreamExec for Stream {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
     /// The inner loop walks four stream entries at a time, reading and
     /// writing the output row once per quad. The per-element sum is
     /// evaluated left to right (`((o + v0*b0) + v1*b1) + ...`), which is
@@ -126,105 +257,110 @@ impl Stream {
                 }
             });
     }
+}
 
-    /// [`Self::run_into`] with an owned result matrix.
-    fn run(&self, b_f32: &[f32], b_cols: usize) -> Matrix<f32> {
-        let mut out = vec![0.0f32; self.rows * b_cols];
-        self.run_into(b_f32, b_cols, &mut out);
-        Matrix::from_vec(self.rows, b_cols, out)
-    }
+/// The bandwidth-optimized condensed stream: f16 *bit patterns* and
+/// narrow `u16` source indices — 4 bytes per stored nonzero against the
+/// f32 stream's 8 — replayed with a register-panel accumulator instead
+/// of the read-modify-write quad loop. On shapes left of the ridge point
+/// every byte is wall time, so the narrow stream and single-touch output
+/// writes are the speedup; values decode through the exact f16→f32 LUT,
+/// keeping every accumulation chain bit-identical to `spmm_ref`.
+#[derive(Clone, Debug)]
+pub(crate) struct BandStream {
+    rows: usize,
+    k: usize,
+    row_ptr: Vec<u32>,
+    /// f16 bit patterns in `spmm_ref` accumulation order.
+    vals: Vec<u16>,
+    /// Source B row per value; `K` must fit in 16 bits.
+    srcs: Vec<u16>,
+}
 
-    /// `C = A * B` over a half RHS, staged through the arena.
-    fn run_half(&self, b: &Matrix<Half>) -> Matrix<f32> {
-        assert_eq!(b.rows(), self.k, "B must have K = {} rows", self.k);
-        let mut staged = arena::lease(b.len());
-        stage::decode_rhs_into(b, &mut staged);
-        let c = self.run(&staged, b.cols());
-        arena::release(staged);
-        c
-    }
-
-    /// One dispatch over many requests: concatenates the operands along
-    /// the output-column dimension, multiplies once, and splits the
-    /// result. Bit-identical to running each operand separately (columns
-    /// are independent in every path).
-    fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
-        if bs.is_empty() {
-            return Vec::new();
+impl BandStream {
+    /// Condenses a V:N:M weight into the narrow stream, or `None` when
+    /// `K` exceeds the 16-bit source-index range.
+    fn from_vnm(a: &VnmMatrix) -> Option<Self> {
+        let (rows, k) = a.shape();
+        if k > u16::MAX as usize + 1 {
+            return None;
         }
-        let k = self.k;
-        let total: usize = bs.iter().map(|b| b.cols()).sum();
-        let mut staged = arena::lease(k * total);
-        let mut col0 = 0usize;
-        for b in bs {
-            assert_eq!(b.rows(), k, "B must have K = {k} rows");
-            let cols = b.cols();
-            for r in 0..k {
-                venom_fp16::slice::decode_f32_into(
-                    b.row(r),
-                    &mut staged[r * total + col0..r * total + col0 + cols],
-                );
-            }
-            col0 += cols;
+        let mut row_ptr = vec![0u32; rows + 1];
+        a.for_each_nonzero(|r, _, _| row_ptr[r + 1] += 1);
+        for i in 0..rows {
+            row_ptr[i + 1] += row_ptr[i];
         }
-        let c = self.run(&staged, total);
-        arena::release(staged);
-
-        let mut out = Vec::with_capacity(bs.len());
-        let rows = self.rows;
-        let mut col0 = 0usize;
-        for b in bs {
-            let cols = b.cols();
-            let mut part = vec![0.0f32; rows * cols];
-            for r in 0..rows {
-                part[r * cols..(r + 1) * cols]
-                    .copy_from_slice(&c.as_slice()[r * total + col0..r * total + col0 + cols]);
-            }
-            out.push(Matrix::from_vec(rows, cols, part));
-            col0 += cols;
-        }
-        out
+        let nnz = row_ptr[rows] as usize;
+        let mut vals = vec![0u16; nnz];
+        let mut srcs = vec![0u16; nnz];
+        let mut cursor: Vec<u32> = row_ptr[..rows].to_vec();
+        a.for_each_nonzero(|r, s, v| {
+            let i = cursor[r] as usize;
+            vals[i] = v.to_bits();
+            srcs[i] = s as u16;
+            cursor[r] += 1;
+        });
+        Some(BandStream {
+            rows,
+            k,
+            row_ptr,
+            vals,
+            srcs,
+        })
     }
 
-    /// The fused layer path: stages `x` (`tokens x k` f32) through f16
-    /// rounding into the kernel orientation, multiplies, and returns
-    /// `(A * x^T)^T + bias` (`tokens x rows`) — element-for-element the
-    /// chain `transpose(A * x.to_half().transpose()) + bias` of the
-    /// per-call layer forward, in two fused passes.
-    fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
-        assert_eq!(x.cols(), self.k, "input features mismatch");
-        let mut staged = arena::lease(x.len());
-        stage::stage_activations_t_into(x, &mut staged);
-        let y = self.run_linear_staged(&staged, x.rows(), bias);
-        arena::release(staged);
-        y
+    /// Stored operand count.
+    fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+impl StreamExec for BandStream {
+    fn rows(&self) -> usize {
+        self.rows
     }
 
-    /// [`Self::run_linear`] over an already-staged RHS (shared by sibling
-    /// plans of one layer, e.g. Q/K/V over the same activations).
-    fn run_linear_staged(&self, b_f32: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
-        assert_eq!(bias.len(), self.rows, "bias must match out_features");
-        let mut c = arena::lease(self.rows * tokens);
-        self.run_into(b_f32, tokens, &mut c);
-        // Tiled transpose+bias epilogue: 32x32 blocks keep both the
-        // strided reads from `c` and the writes to `y` inside the cache
-        // (a row-by-row transpose touches a fresh cache line per element).
-        const TILE: usize = 32;
-        let mut y = vec![0.0f32; tokens * self.rows];
-        for t0 in (0..tokens).step_by(TILE) {
-            let t1 = (t0 + TILE).min(tokens);
-            for r0 in (0..self.rows).step_by(TILE) {
-                let r1 = (r0 + TILE).min(self.rows);
-                for t in t0..t1 {
-                    let yrow = &mut y[t * self.rows..][r0..r1];
-                    for (r, o) in (r0..r1).zip(yrow.iter_mut()) {
-                        *o = c[r * tokens + t] + bias[r];
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The inner loop is the FlashSparse swap in register form: per
+    /// output row, an 8-wide panel of columns accumulates in registers
+    /// while the whole row's stream replays over it — each stored
+    /// nonzero costs one LUT load and one narrow contiguous `B` segment
+    /// read, and the output is written exactly once per panel. Per
+    /// `(row, column)` the sum is the same left-to-right chain from
+    /// `0.0` as `spmm_ref`'s, so the panelling changes traffic, not
+    /// bits.
+    fn run_into(&self, b_f32: &[f32], b_cols: usize, out: &mut [f32]) {
+        assert_eq!(b_f32.len(), self.k * b_cols, "staged RHS size mismatch");
+        assert_eq!(out.len(), self.rows * b_cols, "output size mismatch");
+        const PANEL: usize = venom_core::SWAP_PANEL;
+        let lut = venom_fp16::f16_to_f32_table();
+        out.par_chunks_mut(BAND_ROWS * b_cols)
+            .enumerate()
+            .for_each(|(band, chunk)| {
+                let row0 = band * BAND_ROWS;
+                for (i, orow) in chunk.chunks_mut(b_cols).enumerate() {
+                    let r = row0 + i;
+                    let lo = self.row_ptr[r] as usize;
+                    let hi = self.row_ptr[r + 1] as usize;
+                    let mut j0 = 0usize;
+                    while j0 < b_cols {
+                        let w = (b_cols - j0).min(PANEL);
+                        let mut acc = [0.0f32; PANEL];
+                        for (bits, src) in self.vals[lo..hi].iter().zip(&self.srcs[lo..hi]) {
+                            let vf = lut[*bits as usize];
+                            let bseg = &b_f32[*src as usize * b_cols + j0..][..w];
+                            for (a, &bv) in acc[..w].iter_mut().zip(bseg) {
+                                *a += vf * bv;
+                            }
+                        }
+                        orow[j0..j0 + w].copy_from_slice(&acc[..w]);
+                        j0 += w;
                     }
                 }
-            }
-        }
-        arena::release(c);
-        Matrix::from_vec(tokens, self.rows, y)
+            });
     }
 }
 
@@ -391,6 +527,10 @@ impl MatmulPlan for SpmmPlan {
         SpmmPlan::timing(self)
     }
 
+    fn counts(&self) -> Option<&KernelCounts> {
+        SpmmPlan::counts(self)
+    }
+
     fn stored_values(&self) -> usize {
         self.stream.nnz()
     }
@@ -436,6 +576,7 @@ pub struct GemmPlan {
     stream: Stream,
     desc: MatmulDescriptor,
     timing: Option<KernelTiming>,
+    counts: Option<KernelCounts>,
 }
 
 impl GemmPlan {
@@ -450,6 +591,7 @@ impl GemmPlan {
             stream: Stream::from_kernel(w),
             desc: MatmulDescriptor::for_weight(w),
             timing: None,
+            counts: None,
         }
     }
 
@@ -462,6 +604,7 @@ impl GemmPlan {
             stream: Stream::from_kernel(w),
             desc,
             timing: Some(crate::pricing::price_dense(desc.gemm_shape(), dev)),
+            counts: Some(crate::pricing::dense_counts(desc.gemm_shape(), dev)),
         }
     }
 
@@ -530,6 +673,10 @@ impl MatmulPlan for GemmPlan {
         GemmPlan::timing(self)
     }
 
+    fn counts(&self) -> Option<&KernelCounts> {
+        self.counts.as_ref()
+    }
+
     fn stored_values(&self) -> usize {
         self.stream.nnz()
     }
@@ -568,15 +715,19 @@ pub struct FormatPlan {
     stream: Stream,
     desc: MatmulDescriptor,
     timing: Option<KernelTiming>,
+    counts: Option<KernelCounts>,
 }
 
 impl FormatPlan {
-    /// Wraps a compressed kernel with its priced launch; built by
-    /// [`crate::Engine::plan_with_format`] / [`crate::Engine::plan_auto`].
-    pub(crate) fn build(
+    /// Wraps a compressed kernel with its priced launch and the resource
+    /// counts the timing was priced on (so the plan can report its
+    /// roofline regime); built by [`crate::Engine::plan_with_format`] /
+    /// [`crate::Engine::plan_auto`].
+    pub(crate) fn build_counted(
         kernel: Arc<dyn SparseKernel>,
         desc: MatmulDescriptor,
         timing: Option<KernelTiming>,
+        counts: Option<KernelCounts>,
     ) -> Self {
         let (r, k) = kernel.shape();
         assert_eq!(
@@ -590,6 +741,7 @@ impl FormatPlan {
             stream,
             desc,
             timing,
+            counts,
         }
     }
 
@@ -615,6 +767,10 @@ impl MatmulPlan for FormatPlan {
 
     fn timing(&self) -> Option<&KernelTiming> {
         self.timing.as_ref()
+    }
+
+    fn counts(&self) -> Option<&KernelCounts> {
+        self.counts.as_ref()
     }
 
     fn stored_values(&self) -> usize {
@@ -650,6 +806,150 @@ impl MatmulPlan for FormatPlan {
         // The format's own per-call staged path (bit-identical to its
         // spmm_ref, re-staging B on every dispatch).
         self.kernel.spmm_parallel(b)
+    }
+}
+
+/// The bandwidth-optimized non-mma plan for a V:N:M weight.
+///
+/// Executes the same compressed operand as [`SpmmPlan`] but through the
+/// narrow `BandStream` replay, and is priced on the CUDA-core DRAM
+/// roofline ([`venom_core::build_counts_band`]) instead of the Spatha
+/// `mma.sp` pipeline — so on memory-bound shapes (small output widths,
+/// tall-skinny weights) its modelled cost undercuts the mma stream and
+/// [`crate::Engine::plan_auto`] routes to it at the ridge point. Results
+/// stay bit-identical to `spmm_ref` on every dispatch path.
+#[derive(Clone, Debug)]
+pub struct BandPlan {
+    weight: VnmMatrix,
+    stream: BandStream,
+    desc: MatmulDescriptor,
+    timing: KernelTiming,
+    counts: KernelCounts,
+}
+
+impl BandPlan {
+    /// Builds the band plan; prefer [`crate::Engine::plan_band`] (or
+    /// [`crate::Engine::plan_auto`], which considers it as a candidate).
+    ///
+    /// # Errors
+    /// [`PlanError::Incompatible`] when `K` does not fit the stream's
+    /// 16-bit source indices.
+    pub(crate) fn build(
+        a: &VnmMatrix,
+        desc: MatmulDescriptor,
+        dev: &DeviceConfig,
+    ) -> Result<Self, PlanError> {
+        assert_eq!(
+            a.shape(),
+            (desc.out_features, desc.in_features),
+            "weight shape does not match the descriptor"
+        );
+        let stream = BandStream::from_vnm(a).ok_or_else(|| PlanError::Incompatible {
+            format: MatmulFormat::Vnm,
+            reason: format!(
+                "the band stream stores 16-bit source indices; K = {} does not fit",
+                a.shape().1
+            ),
+        })?;
+        let (r, k) = a.shape();
+        let counts = venom_core::build_counts_band(r, k, desc.b_cols, stream.nnz());
+        let timing = venom_sim::pipeline::simulate(dev, &counts)
+            .expect("the band kernel uses no shared memory and always launches");
+        Ok(BandPlan {
+            weight: a.clone(),
+            stream,
+            desc,
+            timing,
+            counts,
+        })
+    }
+
+    /// The compressed weight the plan executes.
+    pub fn weight(&self) -> &VnmMatrix {
+        &self.weight
+    }
+
+    /// Logical weight shape `(rows, k)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.weight.shape()
+    }
+
+    /// Stored nonzeros in the narrow stream.
+    pub fn nnz(&self) -> usize {
+        self.stream.nnz()
+    }
+
+    /// Simulated timing of one dispatch at the planned bound.
+    pub fn timing(&self) -> &KernelTiming {
+        &self.timing
+    }
+
+    /// Priced resource counts at the planned bound.
+    pub fn counts(&self) -> &KernelCounts {
+        &self.counts
+    }
+}
+
+impl MatmulPlan for BandPlan {
+    fn format(&self) -> MatmulFormat {
+        MatmulFormat::Vnm
+    }
+
+    fn path(&self) -> &'static str {
+        "band"
+    }
+
+    fn descriptor(&self) -> &MatmulDescriptor {
+        &self.desc
+    }
+
+    fn timing(&self) -> Option<&KernelTiming> {
+        Some(&self.timing)
+    }
+
+    fn counts(&self) -> Option<&KernelCounts> {
+        Some(&self.counts)
+    }
+
+    fn stored_values(&self) -> usize {
+        self.stream.nnz()
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // 4 bytes per stored operand (f16 bits + u16 source index) plus
+        // the row pointers.
+        64 + self.stream.nnz() * 4 + (self.stream.rows + 1) * 4
+    }
+
+    fn weight_dense(&self) -> Matrix<Half> {
+        self.weight.decompress()
+    }
+
+    fn run(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        self.stream.run_half(b)
+    }
+
+    fn run_batch(&self, bs: &[&Matrix<Half>]) -> Vec<Matrix<f32>> {
+        self.stream.run_batch(bs)
+    }
+
+    fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
+        self.stream.run_linear(x, bias)
+    }
+
+    fn run_linear_staged(&self, staged: &[f32], tokens: usize, bias: &[f32]) -> Matrix<f32> {
+        assert_eq!(
+            staged.len(),
+            self.stream.k * tokens,
+            "staged operand size mismatch"
+        );
+        self.stream.run_linear_staged(staged, tokens, bias)
+    }
+
+    fn run_oneshot(&self, b: &Matrix<Half>) -> Matrix<f32> {
+        // The per-call swapped-operand kernel: B decoded in one pass,
+        // product accumulated transposed, transposed back by a move.
+        venom_core::spmm_swapped(&self.weight, b)
     }
 }
 
@@ -779,7 +1079,7 @@ mod tests {
         };
         let csr = CsrMatrix::from_dense(&dense);
         let desc = MatmulDescriptor::new(37, 53).with_b_cols(21);
-        let plan = FormatPlan::build(Arc::new(csr.clone()), desc, None);
+        let plan = FormatPlan::build_counted(Arc::new(csr.clone()), desc, None, None);
         let b = random::normal_matrix(53, 21, 0.0, 1.0, 16).to_half();
         assert_eq!(plan.run(&b), csr.spmm_ref(&b));
         assert_eq!(plan.run_oneshot(&b), csr.spmm_ref(&b));
@@ -824,5 +1124,80 @@ mod tests {
         let a = vnm_fixture(16, 32, cfg, 19);
         let plan = build(&a, 8);
         let _ = plan.run(&Matrix::<Half>::zeros(16, 4));
+    }
+
+    fn band_build(a: &VnmMatrix, b_cols: usize) -> BandPlan {
+        let desc = MatmulDescriptor::new(a.shape().0, a.shape().1).with_b_cols(b_cols);
+        BandPlan::build(a, desc, &dev()).expect("K fits 16-bit indices")
+    }
+
+    #[test]
+    fn band_plan_is_bit_identical_on_every_dispatch_path() {
+        let cfg = VnmConfig::new(64, 2, 10);
+        let a = vnm_fixture(70, 90, cfg, 21);
+        let b = random::normal_matrix(90, 13, 0.0, 1.0, 22).to_half();
+        let plan = band_build(&a, 13);
+        let want = a.spmm_ref(&b);
+        assert_eq!(plan.run(&b), want, "staged band replay");
+        assert_eq!(
+            MatmulPlan::run_oneshot(&plan, &b),
+            want,
+            "swapped-operand per-call path"
+        );
+        // And both agree with the mma-stream plan bit-for-bit.
+        assert_eq!(build(&a, 13).run(&b), plan.run(&b));
+    }
+
+    #[test]
+    fn band_plan_batch_and_linear_match_the_stream_plan() {
+        let cfg = VnmConfig::new(32, 2, 8);
+        let a = vnm_fixture(64, 64, cfg, 23);
+        let band = band_build(&a, 16);
+        let mma = build(&a, 16);
+        let b1 = random::normal_matrix(64, 5, 0.0, 1.0, 24).to_half();
+        let b2 = random::normal_matrix(64, 19, 0.0, 1.0, 25).to_half();
+        let batch = band.run_batch(&[&b1, &b2]);
+        assert_eq!(batch[0], mma.run(&b1));
+        assert_eq!(batch[1], mma.run(&b2));
+        let x = random::activation_matrix(11, 64, 26);
+        let bias: Vec<f32> = (0..64).map(|i| (i as f32).cos()).collect();
+        assert_eq!(band.run_linear(&x, &bias), mma.run_linear(&x, &bias));
+        assert_eq!(
+            band.run_linear(&x, &bias),
+            MatmulPlan::run_linear_percall(&band, &x, &bias)
+        );
+    }
+
+    #[test]
+    fn band_plan_reports_its_path_and_memory_regime() {
+        use venom_sim::Regime;
+        let cfg = VnmConfig::new(64, 2, 8);
+        let a = vnm_fixture(1024, 768, cfg, 27);
+        // Small output width: left of the CUDA-core ridge.
+        let plan = band_build(&a, 8);
+        assert_eq!(plan.format(), MatmulFormat::Vnm);
+        assert_eq!(MatmulPlan::path(&plan), "band");
+        assert_eq!(
+            MatmulPlan::regime(&plan, &dev()),
+            Some(Regime::MemoryBound),
+            "c=8 tall-skinny must sit left of the ridge"
+        );
+        assert!(MatmulPlan::cost_ms(&plan).is_some());
+    }
+
+    #[test]
+    fn band_plan_rejects_wide_k() {
+        // K beyond u16 range cannot be streamed with narrow indices.
+        let cfg = VnmConfig::new(16, 2, 8);
+        let k = (u16::MAX as usize + 1) + 8;
+        let w = Matrix::<Half>::zeros(16, k);
+        let mask = venom_format::SparsityMask::from_fn(16, k, |_, c| c % 8 < 2);
+        let a = VnmMatrix::compress(&w, &mask, cfg);
+        let desc = MatmulDescriptor::new(16, k).with_b_cols(8);
+        let err = BandPlan::build(&a, desc, &dev()).unwrap_err();
+        assert!(
+            err.to_string().contains("16-bit source indices"),
+            "got: {err}"
+        );
     }
 }

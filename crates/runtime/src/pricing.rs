@@ -24,6 +24,29 @@ pub fn price_dense(shape: GemmShape, dev: &DeviceConfig) -> KernelTiming {
     DenseGemm::time(shape, dev)
 }
 
+/// Counts of the cuBLAS-selected launch for a dense GEMM of `shape` —
+/// attached to the plan so it can report its roofline regime alongside
+/// the price.
+pub fn dense_counts(shape: GemmShape, dev: &DeviceConfig) -> KernelCounts {
+    DenseGemm::select(shape, dev)
+}
+
+/// Counts of the cuSPARSELt-model launch for an N:M weight.
+pub fn nm_counts(a: &NmCompressed, b_cols: usize) -> KernelCounts {
+    let (r, k) = a.shape();
+    SparseLtSpmm::counts(GemmShape::new(r, k, b_cols))
+}
+
+/// Counts of the Sputnik-model launch for a CSR weight.
+pub fn csr_counts(a: &CsrMatrix, b_cols: usize) -> KernelCounts {
+    SputnikSpmm::counts(a, b_cols)
+}
+
+/// Counts of the CLASP-model launch for a CVSE weight.
+pub fn cvse_counts(a: &CvseMatrix, b_cols: usize) -> KernelCounts {
+    ClaspSpmm::counts(a, b_cols)
+}
+
 /// Prices a V:N:M SpMM by autotuning the Spatha template space; `None`
 /// when `V` violates the kernel's 16-row fragment contract (the
 /// functional stream still executes such weights — they just have no

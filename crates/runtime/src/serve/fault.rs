@@ -165,6 +165,10 @@ impl FaultConfig {
     /// builds come back wrapped in a [`FaultPlan`] so run-side faults
     /// apply too. Attempts are numbered by a counter owned by the
     /// returned closure, so retries advance the schedule.
+    ///
+    /// A schedule with no fault armed ([`Self::any_enabled`] false)
+    /// returns the built plan *unwrapped*: the clean serving path pays
+    /// neither the wrapper indirection nor the per-dispatch fault draws.
     pub fn wrap_builder(
         &self,
         build: impl Fn() -> Arc<dyn MatmulPlan> + Send + Sync + 'static,
@@ -172,6 +176,9 @@ impl FaultConfig {
         let cfg = *self;
         let attempts = AtomicU64::new(0);
         move || {
+            if !cfg.any_enabled() {
+                return Ok(build());
+            }
             let n = attempts.fetch_add(1, Ordering::Relaxed);
             if cfg.roll(site::BUILD_STALL, n, cfg.build_stall) {
                 std::thread::sleep(Duration::from_millis(cfg.stall_ms));
@@ -241,6 +248,14 @@ impl MatmulPlan for FaultPlan {
 
     fn cost_ms(&self) -> Option<f64> {
         self.inner.cost_ms()
+    }
+
+    fn counts(&self) -> Option<&venom_sim::pipeline::KernelCounts> {
+        self.inner.counts()
+    }
+
+    fn path(&self) -> &'static str {
+        self.inner.path()
     }
 
     fn stored_values(&self) -> usize {
@@ -338,6 +353,35 @@ mod tests {
         // Probability extremes short-circuit.
         assert!(!cfg.roll(site::RUN_PANIC, 0, 0.0));
         assert!(cfg.roll(site::RUN_PANIC, 0, 1.0));
+    }
+
+    #[test]
+    fn disarmed_schedule_skips_the_wrapper_entirely() {
+        // The clean serving path must not pay for the fault apparatus:
+        // with no fault armed, the builder hands back the inner plan
+        // itself — no wrapper, no per-dispatch draws.
+        let w = Matrix::<Half>::zeros(8, 8);
+        let plan: Arc<dyn MatmulPlan> = Arc::new(crate::plan::GemmPlan::new(&w));
+        let clean = {
+            let p = Arc::clone(&plan);
+            FaultConfig::default().wrap_builder(move || Arc::clone(&p))
+        };
+        let built = clean().expect("no faults means no failures");
+        assert!(
+            !format!("{built:?}").contains("FaultPlan"),
+            "disarmed schedule still wrapped: {built:?}"
+        );
+        // Any armed fault restores the wrapper (run-side faults apply).
+        let armed = {
+            let p = Arc::clone(&plan);
+            FaultConfig {
+                run_slow: 0.5,
+                ..FaultConfig::default()
+            }
+            .wrap_builder(move || Arc::clone(&p))
+        };
+        let built = armed().expect("run faults do not fail builds");
+        assert!(format!("{built:?}").contains("FaultPlan"), "{built:?}");
     }
 
     #[test]

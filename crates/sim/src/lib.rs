@@ -34,5 +34,5 @@ pub mod trace;
 pub use config::DeviceConfig;
 pub use occupancy::BlockResources;
 pub use pipeline::{KernelCounts, KernelTiming, Limiter};
-pub use roofline::Roofline;
+pub use roofline::{Regime, Roofline};
 pub use tensorcore::{MmaShape, Precision};

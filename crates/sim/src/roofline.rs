@@ -9,6 +9,27 @@
 use crate::config::DeviceConfig;
 use crate::pipeline::KernelCounts;
 
+/// Which side of the ridge point a kernel sits on — the classification
+/// the runtime's dispatch layer routes on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// Arithmetic intensity at or right of the ridge: the compute roof
+    /// binds and tensor-core paths pay for themselves.
+    ComputeBound,
+    /// Intensity left of the ridge: DRAM bandwidth binds and every byte
+    /// of staging traffic costs wall time.
+    MemoryBound,
+}
+
+impl core::fmt::Display for Regime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Regime::ComputeBound => "compute",
+            Regime::MemoryBound => "memory",
+        })
+    }
+}
+
 /// Roofline position of one kernel.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Roofline {
@@ -64,6 +85,16 @@ pub fn analyze(dev: &DeviceConfig, counts: &KernelCounts) -> Roofline {
 }
 
 impl Roofline {
+    /// The kernel's dispatch regime: [`Regime::MemoryBound`] left of the
+    /// ridge, [`Regime::ComputeBound`] otherwise.
+    pub fn regime(&self) -> Regime {
+        if self.memory_bound {
+            Regime::MemoryBound
+        } else {
+            Regime::ComputeBound
+        }
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -141,6 +172,16 @@ mod tests {
         let s = analyze(&dev(), &counts(1_000_000, 1_000, 1, 0)).summary();
         assert!(s.contains("FLOP/B"));
         assert!(s.contains("bound"));
+    }
+
+    #[test]
+    fn regime_mirrors_memory_bound_and_prints() {
+        let mem = analyze(&dev(), &counts(1_000_000_000, 100_000_000, 0, 1));
+        assert_eq!(mem.regime(), Regime::MemoryBound);
+        assert_eq!(mem.regime().to_string(), "memory");
+        let comp = analyze(&dev(), &counts(1_000_000_000_000, 10_000, 0, 1));
+        assert_eq!(comp.regime(), Regime::ComputeBound);
+        assert_eq!(comp.regime().to_string(), "compute");
     }
 
     #[test]
