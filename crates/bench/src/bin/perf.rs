@@ -32,10 +32,11 @@ use venom_bench::vnm_weight;
 use venom_core::{spmm, SpmmOptions};
 use venom_dnn::transformer::{EncoderBlock, SparseEncoderBlock, TransformerConfig};
 use venom_dnn::TransformerEncoder;
+use venom_dnn::{MultiHeadAttention, SparseAttention};
 use venom_format::{MatmulFormat, VnmConfig, VnmMatrix};
 use venom_fp16::Half;
 use venom_pruner::magnitude;
-use venom_runtime::{Engine, PlanCache, PlanKey, RetryPolicy, ServeConfig, Server};
+use venom_runtime::{AttentionMask, Engine, PlanCache, PlanKey, RetryPolicy, ServeConfig, Server};
 use venom_sim::DeviceConfig;
 use venom_tensor::{gemm, random, Matrix};
 
@@ -686,6 +687,58 @@ fn spmm_i8_plan_series(
     }
 }
 
+/// The planned attention pipeline (ISSUE 9): SDDMM over the mask's
+/// condensed gather order, masked softmax over the compressed scores,
+/// planned P·V — versus the unplanned per-call attention path (per-call
+/// projections plus the dense masked core, re-staged every invocation).
+/// The two paths are asserted bit-identical before timing.
+fn attn_series(
+    label: &'static str,
+    seq: usize,
+    hidden: usize,
+    heads: usize,
+    mask: AttentionMask,
+    args: &Args,
+) -> Series {
+    let dev = DeviceConfig::rtx3090();
+    let engine = Engine::new(dev.clone()).with_b_cols_hint(seq);
+    let mut mha = MultiHeadAttention::dense(hidden, heads, 1);
+    mha.sparsify(&engine, VnmConfig::new(16, 2, 8));
+    let attn =
+        SparseAttention::from_mha(mha, &engine, seq, &mask).unwrap_or_else(|e| panic!("{e}"));
+    let x = random::activation_matrix(seq, hidden, 2);
+    assert_eq!(
+        attn.forward(&x),
+        attn.forward_percall(&x),
+        "planned attention must stay exact under {mask}"
+    );
+    eprintln!("attention outputs bit-identical to dense per-call reference: yes");
+    let median = median_ms(args.iters, || attn.forward(&x));
+    let reference = Some((
+        "SparseAttention::forward_percall (dense masked, per-call)",
+        median_ms(args.ref_iters, || attn.forward_percall(&x)),
+    ));
+    let regime = attn.plan.regime(engine.device()).to_string();
+    eprintln!(
+        "attn/{label}: {median:.1} ms ({} nnz, {:.0}% dense, {}, {regime}-bound){}",
+        attn.plan.nnz(),
+        100.0 * attn.plan.density(),
+        attn.plan.path(),
+        ref_note(&reference, median)
+    );
+    Series {
+        op: "attn",
+        label,
+        r: seq,
+        k: hidden,
+        c: seq,
+        config: format!("{mask} h{heads}"),
+        median_ms: median,
+        reference,
+        regime: Some(regime),
+    }
+}
+
 /// The serving-under-load numbers one scenario yields: concurrent and
 /// sequential wall time plus the per-request latency tail.
 struct ServeNumbers {
@@ -1152,6 +1205,32 @@ fn main() {
         // planned path disabled — what graceful degradation still
         // delivers over naive sequential per-call fallback.
         ("serve_degraded_c4", Box::new(serve_degraded_series)),
+        // The planned-attention series (ISSUE 9): one per mask kind, each
+        // referenced against the unplanned per-call attention path at the
+        // same shape and asserted bit-identical before timing.
+        (
+            "attn_causal",
+            Box::new(|l, a| attn_series(l, 256, 256, 4, AttentionMask::Causal, a)),
+        ),
+        (
+            "attn_sliding_window",
+            Box::new(|l, a| {
+                attn_series(
+                    l,
+                    512,
+                    256,
+                    4,
+                    AttentionMask::SlidingWindow { window: 64 },
+                    a,
+                )
+            }),
+        ),
+        (
+            "attn_plan_vs_dense",
+            Box::new(|l, a| {
+                attn_series(l, 512, 256, 4, AttentionMask::Blockwise { block: 128 }, a)
+            }),
+        ),
     ];
     let series: Vec<Series> = catalogue
         .into_iter()

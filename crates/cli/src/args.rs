@@ -55,6 +55,45 @@ impl core::fmt::Display for FormatChoice {
     }
 }
 
+/// A validated `--attention` value: the dense bidirectional core, or the
+/// planned masked pipeline (causal mask, SDDMM over the condensed gather
+/// order, softmax over compressed scores, planned `P·V`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttentionChoice {
+    /// Dense bidirectional attention (full `seq x seq` scores).
+    Dense,
+    /// Planned causal attention through the `AttentionPlan` pipeline.
+    Planned,
+}
+
+impl AttentionChoice {
+    /// Parses an `--attention` value.
+    ///
+    /// # Errors
+    /// Returns a message listing the valid choices.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "dense" => Ok(AttentionChoice::Dense),
+            "planned" => Ok(AttentionChoice::Planned),
+            _ => Err(format!("invalid --attention '{s}' (valid: dense, planned)")),
+        }
+    }
+
+    /// The name as the CLI spells it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttentionChoice::Dense => "dense",
+            AttentionChoice::Planned => "planned",
+        }
+    }
+}
+
+impl core::fmt::Display for AttentionChoice {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -119,6 +158,8 @@ pub enum Command {
         format: FormatChoice,
         /// Operand dtype of the planned weights (`f16` or `i8`).
         dtype: DType,
+        /// Attention core (`dense` or the `planned` masked pipeline).
+        attention: AttentionChoice,
         /// Device preset name.
         device: String,
         /// RNG seed.
@@ -174,7 +215,8 @@ USAGE:
   venom energy   --rows R --cols K --sparsity S
   venom infer    --model bert-base|bert-large|mini [--layers N] [--seq S]
                  [--batch B] [--pattern V:N:M] [--format F] [--dtype D]
-                 [--device rtx3090|a100] [--seed S]
+                 [--attention dense|planned] [--device rtx3090|a100]
+                 [--seed S]
   venom serve    [--requests N] [--concurrency T] [--max-batch B]
                  [--queue Q] [--shape RxK] [--req-cols C]
                  [--pattern V:N:M] [--device rtx3090|a100] [--seed S]
@@ -188,6 +230,10 @@ USAGE:
   reports the roofline regime it planned against.
   --dtype D chooses the operand precision: f16 (exact mixed precision)
   or i8 (calibrated int8, i32 accumulation; vnm/auto formats only).
+  --attention planned adopts the planned causal attention pipeline in
+  every layer (SDDMM over the mask's condensed gather order, masked
+  softmax over compressed scores, planned P·V) and reports the mask
+  census; dense keeps the bidirectional dense core (default dense).
   --inject SPEC enables deterministic fault injection while serving:
   comma-separated key=value from seed, build-fail, build-stall,
   stall-ms, run-panic, run-slow, slow-ms (probabilities in [0, 1]),
@@ -305,6 +351,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             pattern: parse_pattern(take_flag(argv, "--pattern").unwrap_or("64:2:10"))?,
             format: FormatChoice::parse(take_flag(argv, "--format").unwrap_or("vnm"))?,
             dtype: DType::parse(take_flag(argv, "--dtype").unwrap_or("f16"))?,
+            attention: AttentionChoice::parse(take_flag(argv, "--attention").unwrap_or("dense"))?,
             device: take_flag(argv, "--device").unwrap_or("rtx3090").to_string(),
             seed: take_flag(argv, "--seed")
                 .unwrap_or("42")
@@ -519,6 +566,7 @@ mod tests {
                 pattern: (64, 2, 10),
                 format: FormatChoice::Fixed(venom_format::MatmulFormat::Vnm),
                 dtype: DType::F16,
+                attention: AttentionChoice::Dense,
                 device: "rtx3090".into(),
                 seed: 42,
             }
@@ -553,10 +601,22 @@ mod tests {
                 pattern: (32, 2, 8),
                 format: FormatChoice::Fixed(venom_format::MatmulFormat::Csr),
                 dtype: DType::F16,
+                attention: AttentionChoice::Dense,
                 device: "a100".into(),
                 seed: 7,
             }
         );
+    }
+
+    #[test]
+    fn parses_attention_choices() {
+        for a in ["dense", "planned"] {
+            let c = parse(&v(&["infer", "--model", "mini", "--attention", a])).unwrap();
+            assert!(matches!(c, Command::Infer { attention, .. } if attention.name() == a));
+        }
+        let e = parse(&v(&["infer", "--model", "mini", "--attention", "flash"])).unwrap_err();
+        assert!(e.contains("invalid --attention 'flash'"), "{e}");
+        assert!(e.contains("dense") && e.contains("planned"), "{e}");
     }
 
     #[test]

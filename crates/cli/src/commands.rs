@@ -1,6 +1,6 @@
 //! Command implementations for the `venom` CLI.
 
-use crate::args::{Command, FormatChoice, USAGE};
+use crate::args::{AttentionChoice, Command, FormatChoice, USAGE};
 use std::sync::Arc;
 use venom_baselines::cublas::DenseGemm;
 use venom_core::{spmm_time_tuned, SpmmOptions};
@@ -11,7 +11,8 @@ use venom_format::{MatmulFormat, SparsityMask, VnmConfig, VnmMatrix};
 use venom_pruner::{energy, magnitude};
 use venom_quant::Calibration;
 use venom_runtime::{
-    DType, Engine, FaultConfig, MatmulPlan, PlanCache, PlanKey, RetryPolicy, ServeConfig, Server,
+    AttentionMask, DType, Engine, FaultConfig, MatmulPlan, PlanCache, PlanKey, RetryPolicy,
+    ServeConfig, Server,
 };
 use venom_sim::DeviceConfig;
 use venom_tensor::{random, GemmShape, Half, Matrix};
@@ -108,6 +109,7 @@ pub fn execute(cmd: &Command) -> String {
             dtype,
             device,
             seed,
+            attention,
         } => infer(
             model,
             *layers,
@@ -118,6 +120,7 @@ pub fn execute(cmd: &Command) -> String {
             *dtype,
             &device_by_name(device),
             *seed,
+            *attention,
         ),
     }
 }
@@ -183,11 +186,16 @@ fn bench(
             dev,
             &venom_core::build_counts_shape(r, k, c, cfg, &tile, &opts),
         );
+        // The companion SDDMM at the same shape (scores sampled where the
+        // pattern keeps them): its regime tells the attention planner
+        // which side of the roofline Q·K^T lands on for this pattern.
+        let sddmm_roof = venom_sim::roofline::analyze(dev, &venom_core::sddmm_counts(r, k, c, cfg));
         return format!(
             "{} — GEMM {r}x{k}x{c}, pattern {cfg}\n\
              cuBLAS (dense)  : {:8.3} ms  ({:.1} TFLOP/s)\n\
              Spatha ({cfg})  : {:8.3} ms  ({:.1} effective TFLOP/s, {:?}-limited)\n\
              roofline        : {:.1} FLOP/B vs ridge {:.1} — {}-bound on the 'vnm' path\n\
+             sddmm roofline  : {:.1} FLOP/B vs ridge {:.1} — {}-bound sampling this pattern\n\
              speedup         : {:.2}x (theoretical cap {:.0}x)",
             dev.name,
             dense.time_ms,
@@ -198,6 +206,9 @@ fn bench(
             roof.intensity,
             roof.ridge,
             roof.regime(),
+            sddmm_roof.intensity,
+            sddmm_roof.ridge,
+            sddmm_roof.regime(),
             dense.time_ms / sparse.time_ms,
             cfg.theoretical_speedup_cap(),
         );
@@ -271,6 +282,7 @@ fn infer(
     dtype: DType,
     dev: &DeviceConfig,
     seed: u64,
+    attention: AttentionChoice,
 ) -> String {
     let preset = match model {
         "bert-base" => TransformerConfig::bert_base(),
@@ -300,11 +312,19 @@ fn infer(
 
     let t0 = std::time::Instant::now();
     let engine = Engine::new(dev.clone()).with_b_cols_hint(seq * batch);
-    let sparse = match TransformerEncoder::new(cfg, seed).sparsify_with(&engine, pattern, strategy)
-    {
-        Ok(s) => s,
-        Err(e) => return format!("{e}"),
-    };
+    let mut sparse =
+        match TransformerEncoder::new(cfg, seed).sparsify_with(&engine, pattern, strategy) {
+            Ok(s) => s,
+            Err(e) => return format!("{e}"),
+        };
+    if attention == AttentionChoice::Planned {
+        // Adopt the planned causal pipeline in every block: SDDMM over
+        // the mask's condensed gather order, masked softmax over the
+        // compressed scores, planned P·V — one plan shared stack-wide.
+        if let Err(e) = sparse.adopt_planned_attention(&engine, seq, &AttentionMask::Causal) {
+            return format!("{e}");
+        }
+    }
     let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let xs: Vec<Matrix<f32>> = (0..batch)
@@ -331,6 +351,14 @@ fn infer(
         .map(|(key, count)| format!("{key} x{count}"))
         .collect::<Vec<_>>()
         .join(", ");
+    // Which attention core each block runs — `planned <mask>` for
+    // adopted layers, `dense` otherwise.
+    let attn_census = sparse
+        .attention_census()
+        .iter()
+        .map(|(kind, count)| format!("{kind} x{count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     // Simulated device pricing captured at plan time, summed over every
     // weight-op plan of the stack.
     let plan_gpu_ms = sparse.planned_weight_op_ms();
@@ -338,6 +366,7 @@ fn infer(
     format!(
         "{} x{layer_count} layer(s), pattern {pattern}, seq {seq}, batch {batch} on {}\n\
          weight formats (--format {format}, --dtype {dtype})   : {census}\n\
+         attention cores (--attention {attention})          : {attn_census}\n\
          roofline regimes (path/bound at plan time)       : {regimes}\n\
          plan build (prune + compress + tune + stage)     : {plan_ms:9.1} ms (once)\n\
          serve {batch} request(s), {tokens} tokens        : {run_ms:9.1} ms wall\n\
@@ -645,9 +674,12 @@ mod tests {
         );
         assert!(s.contains("speedup"));
         assert!(s.contains("cap 4x"));
-        // The headline branch prints the per-shape roofline verdict too.
+        // The headline branch prints the per-shape roofline verdict too,
+        // plus the companion SDDMM verdict for the same pattern.
         assert!(s.contains("roofline"), "{s}");
         assert!(s.contains("vs ridge"), "{s}");
+        assert!(s.contains("sddmm roofline"), "{s}");
+        assert!(s.contains("-bound sampling this pattern"), "{s}");
     }
 
     #[test]
@@ -736,11 +768,40 @@ mod tests {
             DType::F16,
             &DeviceConfig::rtx3090(),
             1,
+            AttentionChoice::Dense,
         );
         assert!(s.contains("plan build"), "{s}");
         assert!(s.contains("serve 2 request(s), 32 tokens"), "{s}");
         assert!(s.contains("2 matrices of 16x64"), "{s}");
         assert!(s.contains("vnm x6"), "{s}");
+        assert!(s.contains("attention cores (--attention dense)"), "{s}");
+        assert!(s.contains("dense x1"), "{s}");
+    }
+
+    #[test]
+    fn infer_adopts_the_planned_attention_pipeline() {
+        let planned = infer(
+            "mini",
+            Some(2),
+            16,
+            2,
+            (16, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Vnm),
+            DType::F16,
+            &DeviceConfig::rtx3090(),
+            1,
+            AttentionChoice::Planned,
+        );
+        // The mask census must show every block on the planned causal core.
+        assert!(
+            planned.contains("attention cores (--attention planned)"),
+            "{planned}"
+        );
+        assert!(planned.contains("planned causal x2"), "{planned}");
+        assert!(
+            planned.contains("serve 2 request(s), 32 tokens"),
+            "{planned}"
+        );
     }
 
     #[test]
@@ -755,6 +816,7 @@ mod tests {
             DType::F16,
             &DeviceConfig::rtx3090(),
             2,
+            AttentionChoice::Dense,
         );
         // The census line must exist and its per-format counts must sum
         // to the six weight tensors of the single layer.
@@ -850,6 +912,7 @@ mod tests {
             DType::I8,
             &DeviceConfig::rtx3090(),
             3,
+            AttentionChoice::Dense,
         );
         assert!(s.contains("--dtype i8"), "{s}");
         assert!(s.contains("vnm x6"), "{s}");
@@ -864,6 +927,7 @@ mod tests {
             DType::I8,
             &DeviceConfig::rtx3090(),
             3,
+            AttentionChoice::Dense,
         );
         assert!(e.contains("--format vnm or --format auto"), "{e}");
     }
@@ -880,6 +944,7 @@ mod tests {
             DType::F16,
             &DeviceConfig::rtx3090(),
             1,
+            AttentionChoice::Dense,
         );
         assert!(s.contains("unknown model"), "{s}");
     }

@@ -35,7 +35,7 @@ pub use fused::{spmm_fused, Epilogue};
 pub use kernel::{
     spmm, spmm_time_shape, spmm_time_tuned, spmm_with_config, ExecMode, SpmmOptions, SpmmResult,
 };
-pub use sddmm::{sddmm, SddmmResult};
+pub use sddmm::{sddmm, sddmm_counts, sddmm_counts_swapped, SddmmResult};
 pub use swapped::{spmm_swapped, SWAP_PANEL};
 pub use tile::TileConfig;
 

@@ -63,6 +63,45 @@ pub fn sddmm_counts(r: usize, d: usize, c: usize, cfg: VnmConfig) -> KernelCount
     }
 }
 
+/// Builds the cost-model counts for the *swapped-operand* SDDMM variant
+/// (the FlashSparse trick applied to the sampled product): the grid tiles
+/// only the condensed columns, each block streams the whole of `Q` once
+/// and forms the sampled dots on CUDA cores — no `mma` fragments, so a
+/// short `Q` (few query rows) never pays for a padded 16-row fragment or
+/// the multi-stage pipeline fill. The flip against [`sddmm_counts`] is a
+/// pure cost question: tall `Q` amortizes the mma path's prologue and
+/// wins on tensor-core throughput; short `Q` rides this stream.
+pub fn sddmm_counts_swapped(r: usize, d: usize, c: usize, cfg: VnmConfig) -> KernelCounts {
+    let k_groups = cfg.k_groups(c);
+    let cond_c = k_groups * SELECTED_COLUMNS;
+    let bs_c_cond = 64usize.min(cond_c.max(1));
+    let grid = cond_c.div_ceil(bs_c_cond).max(1) as u64;
+    // One scalar FMA per (row, sampled column, k) triple in the block.
+    let fma = (r * d * bs_c_cond) as u64;
+    // Q streams through every block (no fragment reuse to hide it); the
+    // block's own K columns load once.
+    let q_bytes = (r * d * 2) as u64;
+    let k_bytes = (bs_c_cond * d * 2) as u64;
+    let out_bytes = (r * bs_c_cond / SELECTED_COLUMNS.max(1) * cfg.n * 2) as u64;
+    KernelCounts {
+        name: format!("sddmm_swapped[{cfg}]"),
+        grid_blocks: grid,
+        // No shared-memory staging, a lean register budget.
+        block: BlockResources::new(128, 0, 32),
+        k_iters: d.div_ceil(32) as u64,
+        pipeline_stages: 1,
+        fma_per_block: fma,
+        gmem_load_bytes_per_block: q_bytes + k_bytes,
+        gmem_store_bytes_per_block: out_bytes,
+        l2_hit_fraction: 0.0,
+        smem_transactions_per_block: 0,
+        prologue_cycles_per_wave: 150,
+        efficiency: 0.85,
+        effective_flops: 2 * (r * d * cond_c) as u64,
+        ..KernelCounts::named("sddmm_swapped")
+    }
+}
+
 /// Sampled dense-dense multiply: computes `Q * K` only at the positions of
 /// `pattern` (which must comply with `cfg`) and returns the compressed
 /// result.
@@ -222,6 +261,35 @@ mod tests {
             "sparser pattern computes fewer columns: {} !< {}",
             t32.time_ms,
             t8.time_ms
+        );
+    }
+
+    #[test]
+    fn swapped_counts_flip_on_query_rows() {
+        // The swapped-operand stream wins when Q is short (a padded mma
+        // fragment plus the pipeline prologue dominate); the mma path
+        // wins once Q is tall enough to amortize them — the selection is
+        // a cost question, not a threshold.
+        let d = dev();
+        let cfg = VnmConfig::new(16, 2, 8);
+        let price = |r: usize| {
+            let mma = simulate(&d, &sddmm_counts(r, 64, 1024, cfg))
+                .unwrap()
+                .time_ms;
+            let sw = simulate(&d, &sddmm_counts_swapped(r, 64, 1024, cfg))
+                .unwrap()
+                .time_ms;
+            (mma, sw)
+        };
+        let (mma_short, sw_short) = price(8);
+        assert!(
+            sw_short < mma_short,
+            "short Q must ride the swapped stream: {sw_short} !< {mma_short}"
+        );
+        let (mma_tall, sw_tall) = price(2048);
+        assert!(
+            mma_tall < sw_tall,
+            "tall Q must ride the mma path: {mma_tall} !< {sw_tall}"
         );
     }
 

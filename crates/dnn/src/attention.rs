@@ -13,8 +13,11 @@
 //! [`MatmulPlan`]: venom_runtime::MatmulPlan
 
 use crate::layers::{softmax_rows, ExecPath, Linear, PlanStrategy, PlannedLinear};
+use std::sync::Arc;
 use venom_format::VnmConfig;
-use venom_runtime::{stage, Engine, PlanCache, PlanError};
+use venom_runtime::{
+    stage, AttentionMask, AttentionPlan, AttnPlanCache, Engine, PlanCache, PlanError,
+};
 use venom_tensor::{gemm, Matrix};
 
 /// Multi-head self-attention over a single sequence.
@@ -134,17 +137,42 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics on feature mismatch.
     pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        self.forward_inner(x, false, ExecPath::Planned)
+        self.forward_inner(x, None, ExecPath::Planned)
     }
 
     /// Causal (decoder) self-attention: position `i` attends only to
     /// positions `<= i` — the GPT-style masking of the paper's GPT-2/GPT-3
-    /// case-study models.
+    /// case-study models. Routed through [`AttentionMask::Causal`]: the
+    /// triangular predicate is applied per row range, never materialized
+    /// as an `O(seq²)` mask matrix.
     ///
     /// # Panics
     /// Panics on feature mismatch.
     pub fn forward_causal(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        self.forward_inner(x, true, ExecPath::Planned)
+        self.forward_inner(x, Some(&AttentionMask::Causal), ExecPath::Planned)
+    }
+
+    /// Masked self-attention under any [`AttentionMask`] — the dense
+    /// reference the planned [`SparseAttention`] pipeline is
+    /// bit-identical to.
+    ///
+    /// # Panics
+    /// Panics on feature mismatch.
+    pub fn forward_masked(&self, x: &Matrix<f32>, mask: &AttentionMask) -> Matrix<f32> {
+        self.forward_inner(x, Some(mask), ExecPath::Planned)
+    }
+
+    /// [`Self::forward_masked`] through the chosen execution path.
+    ///
+    /// # Panics
+    /// Panics on feature mismatch.
+    pub fn forward_masked_via(
+        &self,
+        path: ExecPath,
+        x: &Matrix<f32>,
+        mask: &AttentionMask,
+    ) -> Matrix<f32> {
+        self.forward_inner(x, Some(mask), path)
     }
 
     /// Forward through the chosen execution path (bidirectional).
@@ -152,7 +180,7 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics on feature mismatch.
     pub fn forward_via(&self, path: ExecPath, x: &Matrix<f32>) -> Matrix<f32> {
-        self.forward_inner(x, false, path)
+        self.forward_inner(x, None, path)
     }
 
     /// The retained per-call path: every projection converts, transposes
@@ -163,11 +191,16 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics on feature mismatch.
     pub fn forward_percall(&self, x: &Matrix<f32>) -> Matrix<f32> {
-        self.forward_inner(x, false, ExecPath::PerCall)
+        self.forward_inner(x, None, ExecPath::PerCall)
     }
 
     /// The single forward body both execution paths share.
-    fn forward_inner(&self, x: &Matrix<f32>, causal: bool, path: ExecPath) -> Matrix<f32> {
+    fn forward_inner(
+        &self,
+        x: &Matrix<f32>,
+        mask: Option<&AttentionMask>,
+        path: ExecPath,
+    ) -> Matrix<f32> {
         let (q, k, v) = match path {
             ExecPath::Planned => {
                 // One staging pass feeds all three input projections (they
@@ -186,7 +219,7 @@ impl MultiHeadAttention {
                 self.wv.forward_percall(x),
             ),
         };
-        let ctx = self.attention_core(x, &q, &k, &v, causal);
+        let ctx = self.attention_core(x, &q, &k, &v, mask);
         self.wo.forward_via(path, &ctx)
     }
 
@@ -199,7 +232,7 @@ impl MultiHeadAttention {
         q: &Matrix<f32>,
         k: &Matrix<f32>,
         v: &Matrix<f32>,
-        causal: bool,
+        mask: Option<&AttentionMask>,
     ) -> Matrix<f32> {
         let hidden = self.wq.shape().0;
         let d_head = hidden / self.heads;
@@ -213,11 +246,15 @@ impl MultiHeadAttention {
             let qh = q.block(0, c0, seq, d_head).to_half();
             let kh = k.block(0, c0, seq, d_head).to_half();
             let mut scores = gemm::gemm_parallel(&qh, &kh.transpose()).map(|s| s * scale);
-            if causal {
+            if let Some(mask) = mask {
+                // Every supported mask is a contiguous per-row range, so
+                // masking writes -inf outside the range directly — no
+                // seq x seq predicate matrix is ever allocated.
                 for r in 0..seq {
-                    for c in r + 1..seq {
-                        scores.set(r, c, f32::NEG_INFINITY);
-                    }
+                    let keep = mask.row_range(r, seq);
+                    let row = scores.row_mut(r);
+                    row[..keep.start].fill(f32::NEG_INFINITY);
+                    row[keep.end..].fill(f32::NEG_INFINITY);
                 }
             }
             let probs = softmax_rows(&scores);
@@ -231,6 +268,111 @@ impl MultiHeadAttention {
             }
         }
         ctx
+    }
+}
+
+/// Planned masked attention: a [`MultiHeadAttention`]'s projections
+/// paired with an [`AttentionPlan`] for one `(seq, mask)` shape. The
+/// forward runs the projections exactly as the dense layer does, then
+/// executes the planned pipeline (SDDMM over the mask's condensed gather
+/// order → masked softmax over the compressed scores → `P·V`) instead of
+/// the dense score matrix — bit-identical to
+/// [`MultiHeadAttention::forward_masked`] under the plan's mask, never
+/// materializing the `seq x seq` scores.
+#[derive(Clone, Debug)]
+pub struct SparseAttention {
+    /// The projections (and head split) the plan executes between.
+    pub mha: MultiHeadAttention,
+    /// The planned attention pipeline for this layer's `(seq, mask)`.
+    pub plan: Arc<AttentionPlan>,
+}
+
+impl SparseAttention {
+    /// Adopts `mha` under a planned attention pipeline for sequences of
+    /// length `seq` under `mask`, planned on `engine`.
+    ///
+    /// # Errors
+    /// Propagates [`PlanError::Unplannable`] from the plan build
+    /// (degenerate shape or mask parameters).
+    pub fn from_mha(
+        mha: MultiHeadAttention,
+        engine: &Engine,
+        seq: usize,
+        mask: &AttentionMask,
+    ) -> Result<Self, PlanError> {
+        let hidden = mha.wq.shape().0;
+        let plan = engine.plan_attention(seq, hidden, mha.heads, mask)?;
+        Ok(SparseAttention { mha, plan })
+    }
+
+    /// [`Self::from_mha`] resolving the plan through a shared
+    /// [`AttnPlanCache`] — layers with the same `(seq, hidden, heads,
+    /// mask)` share one plan build.
+    ///
+    /// # Errors
+    /// Propagates [`PlanError`] from the build; failures are not cached.
+    pub fn from_mha_cached(
+        mha: MultiHeadAttention,
+        engine: &Engine,
+        seq: usize,
+        mask: &AttentionMask,
+        cache: &AttnPlanCache,
+    ) -> Result<Self, PlanError> {
+        let hidden = mha.wq.shape().0;
+        let plan = engine.plan_attention_cached(seq, hidden, mha.heads, mask, cache)?;
+        Ok(SparseAttention { mha, plan })
+    }
+
+    /// The mask the layer's plan was condensed from.
+    pub fn mask(&self) -> AttentionMask {
+        self.plan.mask()
+    }
+
+    /// Planned masked forward — bit-identical to
+    /// `self.mha.forward_masked(x, &self.mask())`.
+    ///
+    /// # Panics
+    /// Panics when `x` disagrees with the planned `(seq, hidden)`.
+    pub fn forward(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.forward_via(ExecPath::Planned, x)
+    }
+
+    /// [`Self::forward`] with the projections on the chosen execution
+    /// path; the attention pipeline itself always replays the plan.
+    ///
+    /// # Panics
+    /// Panics when `x` disagrees with the planned `(seq, hidden)`.
+    pub fn forward_via(&self, path: ExecPath, x: &Matrix<f32>) -> Matrix<f32> {
+        let mha = &self.mha;
+        let (q, k, v) = match path {
+            ExecPath::Planned => {
+                let staged = stage::stage_activations_t(x);
+                (
+                    mha.wq.forward_staged(&staged, x.rows()),
+                    mha.wk.forward_staged(&staged, x.rows()),
+                    mha.wv.forward_staged(&staged, x.rows()),
+                )
+            }
+            ExecPath::PerCall => (
+                mha.wq.forward_percall(x),
+                mha.wk.forward_percall(x),
+                mha.wv.forward_percall(x),
+            ),
+        };
+        let ctx = self.plan.attention(&q, &k, &v);
+        mha.wo.forward_via(path, &ctx)
+    }
+
+    /// The unplanned per-call baseline: per-call projections and the
+    /// dense masked attention core, re-staged on every invocation —
+    /// what the `attn_plan_vs_dense` bench series compares against.
+    /// Bit-identical to [`Self::forward`].
+    ///
+    /// # Panics
+    /// Panics on feature mismatch.
+    pub fn forward_percall(&self, x: &Matrix<f32>) -> Matrix<f32> {
+        self.mha
+            .forward_masked_via(ExecPath::PerCall, x, &self.plan.mask())
     }
 }
 
@@ -364,6 +506,71 @@ mod tests {
         }
         let changed = (0..32).any(|c| (y1.get(7, c) - y2.get(7, c)).abs() > 1e-4);
         assert!(changed, "later rows do attend to row 5");
+    }
+
+    #[test]
+    fn planned_attention_is_bit_identical_to_dense_under_every_mask_kind() {
+        // The tentpole conformance contract: the planned pipeline
+        // (SDDMM -> masked softmax over compressed scores -> P·V) must
+        // reproduce the dense chain (full scores, -inf masking,
+        // softmax_rows, dense P·V) bit for bit — under each mask kind,
+        // with sparsified projections in the loop.
+        let mut mha = MultiHeadAttention::dense(64, 4, 41);
+        mha.sparsify(&engine(), VnmConfig::new(16, 2, 4));
+        let x = random::activation_matrix(24, 64, 42);
+        for mask in [
+            AttentionMask::Causal,
+            AttentionMask::SlidingWindow { window: 5 },
+            AttentionMask::Blockwise { block: 8 },
+        ] {
+            let attn = SparseAttention::from_mha(mha.clone(), &engine(), 24, &mask)
+                .unwrap_or_else(|e| panic!("{mask}: {e}"));
+            let planned = attn.forward(&x);
+            let dense = mha.forward_masked(&x, &mask);
+            assert_eq!(planned, dense, "{mask}: planned pipeline drifted");
+            // The per-call baseline (what the bench floor compares
+            // against) agrees too.
+            assert_eq!(attn.forward_percall(&x), dense, "{mask}: per-call drifted");
+        }
+    }
+
+    #[test]
+    fn forward_causal_routes_through_the_causal_mask() {
+        // The satellite refactor: forward_causal is now
+        // forward_masked(Causal); both must produce identical bits.
+        let mha = MultiHeadAttention::dense(32, 2, 45);
+        let x = random::activation_matrix(9, 32, 46);
+        assert_eq!(
+            mha.forward_causal(&x),
+            mha.forward_masked(&x, &AttentionMask::Causal)
+        );
+    }
+
+    #[test]
+    fn sparse_attention_shares_plans_through_the_cache() {
+        let cache = AttnPlanCache::new();
+        let mask = AttentionMask::SlidingWindow { window: 4 };
+        let a = SparseAttention::from_mha_cached(
+            MultiHeadAttention::dense(32, 2, 47),
+            &engine(),
+            12,
+            &mask,
+            &cache,
+        )
+        .unwrap();
+        let b = SparseAttention::from_mha_cached(
+            MultiHeadAttention::dense(32, 2, 48),
+            &engine(),
+            12,
+            &mask,
+            &cache,
+        )
+        .unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&a.plan, &b.plan),
+            "same (seq, hidden, heads, mask) must share one plan"
+        );
+        assert_eq!(cache.stats().builds, 1);
     }
 
     #[test]

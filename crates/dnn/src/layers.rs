@@ -484,11 +484,21 @@ fn gelu_table() -> &'static [f32; 1 << 16] {
 }
 
 /// Row-wise softmax.
+///
+/// A fully-masked row (every entry `-inf`, as attention masks produce)
+/// yields zeros rather than NaN: without the guard, `max` is `-inf`,
+/// every shifted entry becomes `-inf - -inf = NaN`, and the division
+/// spreads it. Zeros are the limit the masked attention semantics want —
+/// the row attends to nothing, so it contributes nothing to `P·V`.
 pub fn softmax_rows(x: &Matrix<f32>) -> Matrix<f32> {
     let mut out = x.clone();
     for r in 0..x.rows() {
         let row = out.row_mut(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if max == f32::NEG_INFINITY {
+            row.fill(0.0);
+            continue;
+        }
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
             *v = (*v - max).exp();
@@ -640,6 +650,32 @@ mod tests {
             assert!((s - 1.0).abs() < 1e-5);
             assert!(y.row(r).iter().all(|&v| v >= 0.0));
         }
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_yields_zeros_not_nan() {
+        // Regression: a row of -inf (a fully-masked attention row) used
+        // to shift by max = -inf, producing NaN everywhere; it must
+        // yield zeros while untouched rows keep their exact bits.
+        let masked = Matrix::from_vec(
+            2,
+            3,
+            vec![
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                0.5,
+                f32::NEG_INFINITY,
+                -0.25,
+            ],
+        );
+        let y = softmax_rows(&masked);
+        assert!(y.row(0).iter().all(|&v| v == 0.0), "{:?}", y.row(0));
+        // A partially-masked row still normalizes over the live entries.
+        let s: f32 = y.row(1).iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert_eq!(y.get(1, 1), 0.0, "masked entry carries zero probability");
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   epilogue ([`layers::PlanStrategy::Quantized`] /
 //!   [`layers::PlanStrategy::AutoQuantized`] select it during
 //!   sparsification).
-//! * [`attention`] — multi-head attention (the pruned MHA of Fig. 14).
+//! * [`attention`] — multi-head attention (the pruned MHA of Fig. 14),
+//!   including the planned masked pipeline
+//!   ([`attention::SparseAttention`] over a `venom_runtime`
+//!   `AttentionPlan`) that computes only the mask's sampled score
+//!   positions yet stays bit-identical to the dense chain.
 //! * [`transformer`] — encoder blocks and the model configurations the
 //!   paper measures (BERT-base/large, GPT2-large, GPT-3).
 //! * [`profile`] — simulated-latency profiling with the Fig. 15 breakdown
@@ -38,6 +42,7 @@ pub mod sten;
 pub mod train;
 pub mod transformer;
 
+pub use attention::{MultiHeadAttention, SparseAttention};
 pub use layers::{ExecPath, Linear, PlanStrategy, PlannedLinear};
 pub use model::{SparseTransformerEncoder, TransformerEncoder};
 pub use profile::{profile_model, LatencyBreakdown, WeightSparsity};

@@ -15,7 +15,7 @@
 use crate::layers::{ExecPath, LayerNorm, PlanStrategy};
 use crate::transformer::{EncoderBlock, SparseEncoderBlock, TransformerConfig};
 use venom_format::{MatmulFormat, VnmConfig};
-use venom_runtime::{Engine, PlanCache, PlanError};
+use venom_runtime::{AttentionMask, AttnPlanCache, Engine, PlanCache, PlanError};
 use venom_tensor::Matrix;
 
 /// A dense encoder stack.
@@ -153,6 +153,43 @@ impl SparseTransformerEncoder {
     /// bit-identical to [`Self::forward`].
     pub fn forward_percall(&self, x: &Matrix<f32>) -> Matrix<f32> {
         self.forward_with(x, ExecPath::PerCall)
+    }
+
+    /// Adopts the planned masked-attention pipeline in every block for
+    /// sequences of length `seq` under `mask`. All layers share one
+    /// `(seq, hidden, heads, mask)` shape, so one plan is built and
+    /// every block re-arcs it through a fresh [`AttnPlanCache`].
+    ///
+    /// # Errors
+    /// Propagates [`PlanError::Unplannable`] from the plan build.
+    pub fn adopt_planned_attention(
+        &mut self,
+        engine: &Engine,
+        seq: usize,
+        mask: &AttentionMask,
+    ) -> Result<(), PlanError> {
+        let cache = AttnPlanCache::new();
+        for block in &mut self.blocks {
+            block.adopt_planned_attention_cached(engine, seq, mask, &cache)?;
+        }
+        Ok(())
+    }
+
+    /// How many blocks run each attention core — `planned <mask>` for
+    /// adopted layers, `dense` otherwise. The CLI's mask census line.
+    pub fn attention_census(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for block in &self.blocks {
+            let key = match &block.planned_attn {
+                Some(attn) => format!("planned {}", attn.mask()),
+                None => "dense".to_string(),
+            };
+            match counts.iter_mut().find(|(g, _)| *g == key) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((key, 1)),
+            }
+        }
+        counts
     }
 
     /// How many weight tensors landed in each storage format — the
@@ -355,6 +392,35 @@ mod tests {
         let batch = sparse.forward_batch(&[&x1, &x2]);
         assert_eq!(batch[0], sparse.forward(&x1));
         assert_eq!(batch[1], sparse.forward(&x2));
+    }
+
+    #[test]
+    fn adopted_attention_stays_bit_identical_and_reports_census() {
+        let eng = engine();
+        let model = TransformerEncoder::new(mini(), 15);
+        let mut sparse = model.sparsify(&eng, VnmConfig::new(16, 2, 8));
+        let mask = AttentionMask::SlidingWindow { window: 4 };
+        sparse
+            .adopt_planned_attention(&eng, 16, &mask)
+            .expect("mini stack plans");
+        // Both execution paths stay bit-identical with the planned
+        // attention core in the loop.
+        let x = random::activation_matrix(16, 32, 16);
+        assert_eq!(sparse.forward(&x), sparse.forward_percall(&x));
+        // All layers share one plan (one shape, shared cache).
+        let p0 = &sparse.blocks[0].planned_attn.as_ref().unwrap().plan;
+        let p1 = &sparse.blocks[1].planned_attn.as_ref().unwrap().plan;
+        assert!(std::sync::Arc::ptr_eq(p0, p1));
+        // The census labels the adopted mask.
+        assert_eq!(
+            sparse.attention_census(),
+            vec![("planned sliding-window(4)".to_string(), 2)]
+        );
+        // The adopted stack differs from the unadopted bidirectional one
+        // (it is masked attention now).
+        let plain = model.sparsify(&eng, VnmConfig::new(16, 2, 8));
+        assert_ne!(sparse.forward(&x), plain.forward(&x));
+        assert_eq!(plain.attention_census(), vec![("dense".to_string(), 2)]);
     }
 
     #[test]

@@ -12,9 +12,9 @@
 //!
 //! [`Self::forward_with`]: SparseEncoderBlock::forward_with
 
-use crate::attention::MultiHeadAttention;
+use crate::attention::{MultiHeadAttention, SparseAttention};
 use crate::layers::{gelu, ExecPath, LayerNorm, Linear, PlanStrategy, PlannedLinear};
-use venom_runtime::{Engine, PlanCache, PlanError};
+use venom_runtime::{AttentionMask, AttnPlanCache, Engine, PlanCache, PlanError};
 use venom_tensor::Matrix;
 
 /// Architecture hyperparameters of a transformer.
@@ -146,6 +146,10 @@ impl EncoderBlock {
 pub struct SparseEncoderBlock {
     /// Self-attention with planned projections.
     pub mha: MultiHeadAttention,
+    /// Planned masked attention adopted via
+    /// [`Self::adopt_planned_attention`]; `None` keeps the dense
+    /// bidirectional attention core.
+    pub planned_attn: Option<SparseAttention>,
     /// First planned feed-forward linear.
     pub ff1: PlannedLinear,
     /// Second planned feed-forward linear.
@@ -191,6 +195,7 @@ impl SparseEncoderBlock {
         };
         Ok(SparseEncoderBlock {
             mha,
+            planned_attn: None,
             ff1: sparsify(&block.ff1)?,
             ff2: sparsify(&block.ff2)?,
             ln1: block.ln1.clone(),
@@ -222,11 +227,59 @@ impl SparseEncoderBlock {
         };
         Ok(SparseEncoderBlock {
             mha,
+            planned_attn: None,
             ff1: sparsify(&block.ff1)?,
             ff2: sparsify(&block.ff2)?,
             ln1: block.ln1.clone(),
             ln2: block.ln2.clone(),
         })
+    }
+
+    /// Adopts a planned masked-attention pipeline for this block: the
+    /// attention core switches from the dense bidirectional chain to the
+    /// [`SparseAttention`] plan for `(seq, mask)` — the per-layer opt-in
+    /// the encoder stack's
+    /// [`crate::SparseTransformerEncoder::adopt_planned_attention`] applies
+    /// stack-wide. The projections keep their existing weight plans.
+    ///
+    /// # Errors
+    /// Propagates [`PlanError::Unplannable`] from the plan build.
+    pub fn adopt_planned_attention(
+        &mut self,
+        engine: &Engine,
+        seq: usize,
+        mask: &AttentionMask,
+    ) -> Result<(), PlanError> {
+        self.planned_attn = Some(SparseAttention::from_mha(
+            self.mha.clone(),
+            engine,
+            seq,
+            mask,
+        )?);
+        Ok(())
+    }
+
+    /// [`Self::adopt_planned_attention`] resolving the plan through a
+    /// shared [`AttnPlanCache`] — every layer with the same
+    /// `(seq, hidden, heads, mask)` shares one plan build.
+    ///
+    /// # Errors
+    /// Propagates [`PlanError`] from the build; failures are not cached.
+    pub fn adopt_planned_attention_cached(
+        &mut self,
+        engine: &Engine,
+        seq: usize,
+        mask: &AttentionMask,
+        cache: &AttnPlanCache,
+    ) -> Result<(), PlanError> {
+        self.planned_attn = Some(SparseAttention::from_mha_cached(
+            self.mha.clone(),
+            engine,
+            seq,
+            mask,
+            cache,
+        )?);
+        Ok(())
     }
 
     /// The six planned weight tensors of the block.
@@ -245,7 +298,18 @@ impl SparseEncoderBlock {
     /// [`EncoderBlock::forward`], every weight op dispatched through the
     /// chosen execution path. Both paths are bit-identical.
     pub fn forward_with(&self, x: &Matrix<f32>, path: ExecPath) -> Matrix<f32> {
-        let attn = self.mha.forward_via(path, &self.ln1.forward(x));
+        let ln1 = self.ln1.forward(x);
+        let attn = match &self.planned_attn {
+            // An adopted attention plan replaces the dense bidirectional
+            // core with the planned masked pipeline; the per-call path
+            // stays the unplanned dense-masked baseline, bit-identical
+            // by the conformance contract.
+            Some(attn) => match path {
+                ExecPath::Planned => attn.forward(&ln1),
+                ExecPath::PerCall => attn.forward_percall(&ln1),
+            },
+            None => self.mha.forward_via(path, &ln1),
+        };
         let mut h = x.clone();
         for (o, a) in h.as_mut_slice().iter_mut().zip(attn.as_slice()) {
             *o += a;

@@ -452,6 +452,70 @@ impl Engine {
         }
     }
 
+    /// Plans the activation-side attention pipeline for one
+    /// `(seq, hidden, heads, mask)` shape: SDDMM over the mask's
+    /// condensed gather order, masked softmax over the compressed
+    /// scores, and the `P·V` contraction — priced on
+    /// `sddmm_counts`-derived counts with the mma-vs-swapped schedule
+    /// flip decided by simulated cost (see [`crate::AttentionPlan`]).
+    ///
+    /// # Errors
+    /// [`PlanError::Unplannable`] on a degenerate shape (zero sequence,
+    /// heads not dividing hidden) or mask parameters (zero window/block).
+    pub fn plan_attention(
+        &self,
+        seq: usize,
+        hidden: usize,
+        heads: usize,
+        mask: &crate::AttentionMask,
+    ) -> Result<Arc<crate::AttentionPlan>, PlanError> {
+        crate::AttentionPlan::build(seq, hidden, heads, *mask, &self.dev).map(Arc::new)
+    }
+
+    /// [`Self::plan_attention`] through an [`crate::AttnPlanCache`]:
+    /// the `(shape, mask)` key is looked up first and the plan is built
+    /// at most once per key across every layer and request sharing the
+    /// cache.
+    ///
+    /// # Errors
+    /// Propagates [`PlanError`] from the build; failures are not cached.
+    pub fn plan_attention_cached(
+        &self,
+        seq: usize,
+        hidden: usize,
+        heads: usize,
+        mask: &crate::AttentionMask,
+        cache: &crate::AttnPlanCache,
+    ) -> Result<Arc<crate::AttentionPlan>, PlanError> {
+        let key = crate::attn::attention_key(seq, hidden, heads, mask);
+        let mask = *mask;
+        let dev = self.dev.clone();
+        cache.get_or_build(key, move || {
+            crate::AttentionPlan::build(seq, hidden, heads, mask, &dev)
+        })
+    }
+
+    /// Packages attention planning as the fallible builder shape the
+    /// serving stack consumes — the attention sibling of
+    /// [`Self::serve_builder`]: the closure owns a clone of the engine
+    /// and the planning inputs, replans on every call, and maps
+    /// [`PlanError`] onto the reason string the server surfaces.
+    pub fn attention_builder(
+        &self,
+        seq: usize,
+        hidden: usize,
+        heads: usize,
+        mask: &crate::AttentionMask,
+    ) -> impl Fn() -> Result<Arc<crate::AttentionPlan>, String> + Send + Sync + 'static {
+        let engine = self.clone();
+        let mask = *mask;
+        move || {
+            engine
+                .plan_attention(seq, hidden, heads, &mask)
+                .map_err(|e| e.to_string())
+        }
+    }
+
     /// [`Self::plan_auto`] with a measured micro-autotune: every eligible
     /// candidate plan is additionally *run* `iters` times on a synthetic
     /// probe operand, and the lowest measured wall-clock wins. Slower to

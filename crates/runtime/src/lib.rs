@@ -49,6 +49,7 @@
 //! allocations beyond the returned output matrices.
 
 pub mod arena;
+pub mod attn;
 pub mod descriptor;
 pub mod engine;
 pub mod matmul;
@@ -58,6 +59,10 @@ pub mod qplan;
 pub mod serve;
 pub mod stage;
 
+pub use attn::{
+    attention_key, AttentionMask, AttentionPlan, AttnCacheStats, AttnPlanCache, SddmmPath,
+    SddmmPlan,
+};
 pub use descriptor::{DType, Epilogue, MatmulDescriptor};
 pub use engine::Engine;
 pub use matmul::{MatmulPlan, PlanError};

@@ -40,6 +40,14 @@ pub enum PlanError {
         /// Why the weights cannot be planned in it.
         reason: String,
     },
+    /// A non-weight plan (e.g. the attention pipeline) cannot be built
+    /// for the requested shape or mask.
+    Unplannable {
+        /// What was being planned ("attention", "sddmm", ...).
+        what: &'static str,
+        /// Why the plan cannot be built.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for PlanError {
@@ -47,6 +55,9 @@ impl core::fmt::Display for PlanError {
         match self {
             PlanError::Incompatible { format, reason } => {
                 write!(f, "cannot plan format '{format}': {reason}")
+            }
+            PlanError::Unplannable { what, reason } => {
+                write!(f, "cannot plan {what}: {reason}")
             }
         }
     }

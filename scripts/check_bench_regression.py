@@ -78,6 +78,12 @@ EXPECTED_LABELS = [
     "spmm_small_c",
     "spmm_tall_skinny",
     "spmm_swapped",
+    # Planned sparse attention (ISSUE 9): the SDDMM -> masked softmax ->
+    # planned P.V pipeline vs the unplanned per-call attention path, one
+    # series per mask kind.
+    "attn_causal",
+    "attn_sliding_window",
+    "attn_plan_vs_dense",
 ]
 
 # Labels whose speedup over the retained reference path is the point of
@@ -118,13 +124,28 @@ SPEEDUP_FLOORS = {
     "spmm_small_c": 1.3,
     "spmm_tall_skinny": 1.2,
     "spmm_swapped": 1.2,
+    # The planned-attention acceptance bar (ISSUE 9): the planned pipeline
+    # must beat the unplanned per-call attention path by >= 1.3x on the
+    # blockwise flagship; the causal mask keeps half the scores (so the
+    # margin is structurally thinner) and the sliding window keeps ~12%
+    # (so the win must be decisive).
+    "attn_causal": 1.1,
+    "attn_sliding_window": 1.8,
+    "attn_plan_vs_dense": 1.3,
 }
 
 # Series whose roofline regime is part of the contract: the fresh run
 # must report the same regime ("memory" / "compute") as the committed
 # baseline — a silent flip means the counts model or the router moved
 # the ridge without anyone re-gating the series.
-REGIME_PINNED = ["spmm_small_c", "spmm_tall_skinny", "spmm_swapped"]
+REGIME_PINNED = [
+    "spmm_small_c",
+    "spmm_tall_skinny",
+    "spmm_swapped",
+    "attn_causal",
+    "attn_sliding_window",
+    "attn_plan_vs_dense",
+]
 
 
 def load_series(path):
