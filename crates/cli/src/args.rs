@@ -164,6 +164,9 @@ pub enum Command {
         device: String,
         /// RNG seed.
         seed: u64,
+        /// Enable per-phase kernel profiling and report measured-vs-
+        /// predicted roofline placement for pinned probe shapes.
+        profile: bool,
     },
     /// `venom serve [--requests N] [--concurrency T] [--max-batch B]
     /// [--queue Q] [--shape RxK] [--req-cols C] [--pattern V:N:M]
@@ -198,6 +201,10 @@ pub enum Command {
         deadline_ms: Option<u64>,
         /// Fault-injection schedule (`None` = no faults).
         inject: Option<FaultConfig>,
+        /// Write the metrics registry (Prometheus text) here on exit.
+        metrics_out: Option<String>,
+        /// Enable tracing and write chrome://tracing JSON here on exit.
+        trace_out: Option<String>,
     },
     /// `venom help`.
     Help,
@@ -216,11 +223,12 @@ USAGE:
   venom infer    --model bert-base|bert-large|mini [--layers N] [--seq S]
                  [--batch B] [--pattern V:N:M] [--format F] [--dtype D]
                  [--attention dense|planned] [--device rtx3090|a100]
-                 [--seed S]
+                 [--seed S] [--profile]
   venom serve    [--requests N] [--concurrency T] [--max-batch B]
                  [--queue Q] [--shape RxK] [--req-cols C]
                  [--pattern V:N:M] [--device rtx3090|a100] [--seed S]
                  [--deadline-ms D] [--inject SPEC]
+                 [--metrics-out FILE] [--trace-out FILE]
   venom help
 
   --format F chooses the weight storage format planned by the engine:
@@ -238,6 +246,11 @@ USAGE:
   comma-separated key=value from seed, build-fail, build-stall,
   stall-ms, run-panic, run-slow, slow-ms (probabilities in [0, 1]),
   e.g. --inject seed=7,build-fail=0.4,run-panic=0.25.
+  --profile turns on per-phase kernel profiling for the inference run
+  and prints a 'predicted vs measured' roofline line per probe shape.
+  --metrics-out FILE writes the process metrics registry as Prometheus
+  text on exit; --trace-out FILE enables span tracing and writes
+  chrome://tracing JSON (open via chrome://tracing or Perfetto).
 ";
 
 fn take_flag<'a>(argv: &'a [String], name: &str) -> Option<&'a str> {
@@ -245,6 +258,11 @@ fn take_flag<'a>(argv: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| argv.get(i + 1))
         .map(String::as_str)
+}
+
+/// A boolean switch: present (no value) or absent.
+fn has_flag(argv: &[String], name: &str) -> bool {
+    argv.iter().any(|a| a == name)
 }
 
 fn parse_pattern(s: &str) -> Result<(usize, usize, usize), String> {
@@ -357,6 +375,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .unwrap_or("42")
                 .parse()
                 .map_err(|_| "--seed must be an integer".to_string())?,
+            profile: has_flag(argv, "--profile"),
         }),
         "serve" => Ok(Command::Serve {
             requests: bounded_usize(argv, "--requests", 64, 1)?,
@@ -388,6 +407,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 ),
                 None => None,
             },
+            metrics_out: take_flag(argv, "--metrics-out").map(str::to_string),
+            trace_out: take_flag(argv, "--trace-out").map(str::to_string),
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
@@ -569,6 +590,7 @@ mod tests {
                 attention: AttentionChoice::Dense,
                 device: "rtx3090".into(),
                 seed: 42,
+                profile: false,
             }
         );
         let c = parse(&v(&[
@@ -604,8 +626,15 @@ mod tests {
                 attention: AttentionChoice::Dense,
                 device: "a100".into(),
                 seed: 7,
+                profile: false,
             }
         );
+    }
+
+    #[test]
+    fn parses_infer_profile_switch() {
+        let c = parse(&v(&["infer", "--model", "mini", "--profile"])).unwrap();
+        assert!(matches!(c, Command::Infer { profile: true, .. }));
     }
 
     #[test]
@@ -635,6 +664,8 @@ mod tests {
                 seed: 42,
                 deadline_ms: None,
                 inject: None,
+                metrics_out: None,
+                trace_out: None,
             }
         );
         let c = parse(&v(&[
@@ -673,8 +704,33 @@ mod tests {
                 seed: 7,
                 deadline_ms: None,
                 inject: None,
+                metrics_out: None,
+                trace_out: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_serve_telemetry_outputs() {
+        let c = parse(&v(&[
+            "serve",
+            "--metrics-out",
+            "metrics.txt",
+            "--trace-out",
+            "trace.json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                metrics_out,
+                trace_out,
+                ..
+            } => {
+                assert_eq!(metrics_out.as_deref(), Some("metrics.txt"));
+                assert_eq!(trace_out.as_deref(), Some("trace.json"));
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
     }
 
     #[test]

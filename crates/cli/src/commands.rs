@@ -11,8 +11,8 @@ use venom_format::{MatmulFormat, SparsityMask, VnmConfig, VnmMatrix};
 use venom_pruner::{energy, magnitude};
 use venom_quant::Calibration;
 use venom_runtime::{
-    AttentionMask, DType, Engine, FaultConfig, MatmulPlan, PlanCache, PlanKey, RetryPolicy,
-    ServeConfig, Server,
+    AttentionMask, AttentionPlan, DType, Engine, FaultConfig, FaultTrips, MatmulPlan, PlanCache,
+    PlanKey, RetryPolicy, ServeConfig, Server,
 };
 use venom_sim::DeviceConfig;
 use venom_tensor::{random, GemmShape, Half, Matrix};
@@ -86,6 +86,8 @@ pub fn execute(cmd: &Command) -> String {
             seed,
             deadline_ms,
             inject,
+            metrics_out,
+            trace_out,
         } => serve(
             *requests,
             *concurrency,
@@ -98,6 +100,8 @@ pub fn execute(cmd: &Command) -> String {
             *seed,
             *deadline_ms,
             *inject,
+            metrics_out.as_deref(),
+            trace_out.as_deref(),
         ),
         Command::Infer {
             model,
@@ -110,6 +114,7 @@ pub fn execute(cmd: &Command) -> String {
             device,
             seed,
             attention,
+            profile,
         } => infer(
             model,
             *layers,
@@ -121,6 +126,7 @@ pub fn execute(cmd: &Command) -> String {
             &device_by_name(device),
             *seed,
             *attention,
+            *profile,
         ),
     }
 }
@@ -283,6 +289,7 @@ fn infer(
     dev: &DeviceConfig,
     seed: u64,
     attention: AttentionChoice,
+    profile: bool,
 ) -> String {
     let preset = match model {
         "bert-base" => TransformerConfig::bert_base(),
@@ -359,11 +366,15 @@ fn infer(
         .map(|(kind, count)| format!("{kind} x{count}"))
         .collect::<Vec<_>>()
         .join(", ");
-    // Simulated device pricing captured at plan time, summed over every
-    // weight-op plan of the stack.
-    let plan_gpu_ms = sparse.planned_weight_op_ms();
+    // Publish the census counts and planned pricing as registry gauges,
+    // then read the planned weight-op time back from the registry — the
+    // report line and an operator scraping the process see one number.
+    sparse.publish_census_gauges(engine.device());
+    let plan_gpu_ms = venom_obs::registry()
+        .gauge("dnn_planned_weight_op_ms", &[])
+        .get();
 
-    format!(
+    let mut out = format!(
         "{} x{layer_count} layer(s), pattern {pattern}, seq {seq}, batch {batch} on {}\n\
          weight formats (--format {format}, --dtype {dtype})   : {census}\n\
          attention cores (--attention {attention})          : {attn_census}\n\
@@ -381,6 +392,140 @@ fn infer(
         outs.len(),
         outs[0].rows(),
         outs[0].cols(),
+    );
+    if profile {
+        out += &profile_probes(dev, attention, seq, cfg.hidden, cfg.heads);
+    }
+    out
+}
+
+/// `--profile`: replays the pinned acceptance shapes with per-phase
+/// profiling enabled and reports each kernel's measured compulsory-byte
+/// intensity next to its [`Roofline`](venom_sim::roofline::Roofline)
+/// prediction — the fig09 mma shape, the skinny band shape, and (when
+/// adopted) the planned causal attention core at the served shape.
+fn profile_probes(
+    dev: &DeviceConfig,
+    attention: AttentionChoice,
+    seq: usize,
+    hidden: usize,
+    heads: usize,
+) -> String {
+    venom_obs::profile::set_enabled(true);
+    let mut out = String::from("\nper-phase kernel profile (pinned probes):");
+    out += &spmm_probe(dev, 4096, false);
+    out += &spmm_probe(dev, 8, true);
+    if attention == AttentionChoice::Planned {
+        out += &attention_probe(dev, seq, hidden, heads);
+    }
+    venom_obs::profile::set_enabled(false);
+    out
+}
+
+/// One pinned SpMM probe: plans `1024x768` under the fig09 pattern
+/// `128:2:10`, replays it against a fresh `768 x c` operand, and
+/// compares the replay's phase-accounted traffic to the plan's roofline.
+/// `band` routes the skinny shape through the non-mma band stream.
+fn spmm_probe(dev: &DeviceConfig, c: usize, band: bool) -> String {
+    let (r, k) = (1024usize, 768usize);
+    let cfg = VnmConfig::new(128, 2, 10);
+    let w = random::glorot_matrix(r, k, 2023);
+    let pruned = magnitude::prune_vnm(&w, cfg).apply_f32(&w).to_half();
+    let engine = Engine::new(dev.clone()).with_b_cols_hint(c);
+    let desc = engine.descriptor(r, k);
+    let planned = if band {
+        engine.plan_band_hinted(&desc, &pruned, Some(cfg))
+    } else {
+        engine.plan_with_format(MatmulFormat::Vnm, &desc, &pruned)
+    };
+    let plan = match planned {
+        Ok(p) => p,
+        Err(e) => return format!("\n  probe {r}x{k}x{c} unavailable: {e}"),
+    };
+    let kernel = if band { "spmm[band]" } else { "spmm[mma]" };
+    let Some(roof) = plan.roofline(engine.device()) else {
+        return format!("\n  {kernel} {r}x{k}x{c}: no priced roofline to compare against");
+    };
+    venom_obs::profile::reset();
+    let b = random::activation_matrix(k, c, 7).to_half();
+    let _ = plan.run(&b);
+    probe_report(kernel, &format!("{r}x{k}x{c}"), &roof)
+}
+
+/// The planned causal attention probe at the served shape: one replay of
+/// the condensed softmax(QKᵀ)V chain under profiling, compared against
+/// the attention plan's priced roofline.
+fn attention_probe(dev: &DeviceConfig, seq: usize, hidden: usize, heads: usize) -> String {
+    let plan = match AttentionPlan::build(seq, hidden, heads, AttentionMask::Causal, dev) {
+        Ok(p) => p,
+        Err(e) => return format!("\n  attention probe unavailable: {e}"),
+    };
+    let roof = plan.roofline(dev);
+    venom_obs::profile::reset();
+    let q = random::activation_matrix(seq, hidden, 11);
+    let k = random::activation_matrix(seq, hidden, 12);
+    let v = random::activation_matrix(seq, hidden, 13);
+    let _ = plan.attention(&q, &k, &v);
+    probe_report(
+        "attention",
+        &format!("seq {seq}, hidden {hidden}, heads {heads} (causal)"),
+        &roof,
+    )
+}
+
+/// Renders one probe's `predicted vs measured` roofline verdict and
+/// per-phase table from the profile records accumulated under `kernel`,
+/// and publishes the byte-model fidelity gauge
+/// (`kernel_model_byte_fidelity{kernel=}`: modelled post-L2 DRAM bytes
+/// over measured compulsory bytes).
+fn probe_report(kernel: &str, shape: &str, roof: &venom_sim::roofline::Roofline) -> String {
+    let recs: Vec<_> = venom_obs::profile::snapshot()
+        .into_iter()
+        .filter(|rec| rec.kernel == kernel)
+        .collect();
+    let measured_bytes: u64 = recs.iter().map(|rec| rec.stat.bytes).sum();
+    let measured_ns: u64 = recs.iter().map(|rec| rec.stat.ns).sum();
+    if measured_bytes == 0 {
+        return format!("\n  {kernel} {shape}: no phase records captured");
+    }
+    let measured = roof.flops / measured_bytes as f64;
+    let measured_regime = if measured < roof.ridge {
+        "memory"
+    } else {
+        "compute"
+    };
+    let predicted_regime = roof.regime().to_string();
+    let fidelity = roof.dram_bytes / measured_bytes as f64;
+    venom_obs::registry()
+        .gauge("kernel_model_byte_fidelity", &[("kernel", kernel)])
+        .set(fidelity);
+    let phases = recs
+        .iter()
+        .map(|rec| {
+            format!(
+                "{} {:.3} ms / {:.2} MB",
+                rec.phase,
+                rec.stat.ns as f64 / 1e6,
+                rec.stat.bytes as f64 / 1e6
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "\n  {kernel} {shape} predicted vs measured: {:.1} vs {measured:.1} FLOP/B \
+         (ridge {:.1}) — {predicted_regime} / {measured_regime} ({})\n    \
+         phases ({:.3} ms replay): {phases}\n    \
+         model bytes {:.2} MB vs compulsory {:.2} MB (byte fidelity {fidelity:.2})",
+        roof.intensity,
+        roof.ridge,
+        if predicted_regime == measured_regime {
+            "agree"
+        } else {
+            "DISAGREE"
+        },
+        measured_ns as f64 / 1e6,
+        roof.dram_bytes / 1e6,
+        measured_bytes as f64 / 1e6,
     )
 }
 
@@ -425,7 +570,15 @@ fn serve(
     seed: u64,
     deadline_ms: Option<u64>,
     inject: Option<FaultConfig>,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
 ) -> String {
+    if trace_out.is_some() {
+        // Pin the trace epoch and drop spans left over from earlier runs
+        // in this process so the written file covers only this serve.
+        venom_obs::trace::set_enabled(true);
+        let _ = venom_obs::trace::drain();
+    }
     let cfg = VnmConfig::new(v, n, m);
     let w = random::glorot_matrix(r, k, seed);
     let mask = magnitude::prune_vnm(&w, cfg);
@@ -466,6 +619,9 @@ fn serve(
             .with_build_timeout(std::time::Duration::from_millis(50));
     }
     let server = Server::start(config, Arc::new(PlanCache::new()));
+    // Books every fault the injector actually trips (build-fail, stall,
+    // run-panic, run-slow) for the report footer and the registry.
+    let trips = Arc::new(FaultTrips::new());
     match inject {
         Some(faults) if faulted => {
             // The pristine plan doubles as the per-call degradation
@@ -474,7 +630,7 @@ fn serve(
             let inner = Arc::clone(&plan);
             server.register_degradable(
                 key,
-                faults.wrap_builder(move || Arc::clone(&inner)),
+                faults.wrap_builder_counted(move || Arc::clone(&inner), Arc::clone(&trips)),
                 Arc::clone(&plan),
             );
         }
@@ -595,6 +751,13 @@ fn serve(
             report.degraded,
             report.worker_restarts,
         );
+        out += &format!(
+            "\nfault trips booked  : {} build-fail, {} build-stall, {} run-panic, {} run-slow",
+            trips.build_fail(),
+            trips.build_stall(),
+            trips.run_panic(),
+            trips.run_slow(),
+        );
     }
     out += &format!(
         "\n{}: {resolved}/{requests} resolved (served {}, degraded {}, shed {}, expired {}, \
@@ -610,6 +773,20 @@ fn serve(
         report.deadline_expired,
         report.errored,
     );
+    if let Some(path) = metrics_out {
+        match std::fs::write(path, venom_obs::registry().prometheus_text()) {
+            Ok(()) => out += &format!("\nmetrics written     : {path}"),
+            Err(e) => out += &format!("\nmetrics write FAILED: {path}: {e}"),
+        }
+    }
+    if let Some(path) = trace_out {
+        let json = venom_obs::trace::drain_chrome_json();
+        venom_obs::trace::set_enabled(false);
+        match std::fs::write(path, json) {
+            Ok(()) => out += &format!("\ntrace written       : {path}"),
+            Err(e) => out += &format!("\ntrace write FAILED: {path}: {e}"),
+        }
+    }
     out
 }
 
@@ -769,6 +946,7 @@ mod tests {
             &DeviceConfig::rtx3090(),
             1,
             AttentionChoice::Dense,
+            false,
         );
         assert!(s.contains("plan build"), "{s}");
         assert!(s.contains("serve 2 request(s), 32 tokens"), "{s}");
@@ -791,6 +969,7 @@ mod tests {
             &DeviceConfig::rtx3090(),
             1,
             AttentionChoice::Planned,
+            false,
         );
         // The mask census must show every block on the planned causal core.
         assert!(
@@ -817,6 +996,7 @@ mod tests {
             &DeviceConfig::rtx3090(),
             2,
             AttentionChoice::Dense,
+            false,
         );
         // The census line must exist and its per-format counts must sum
         // to the six weight tensors of the single layer.
@@ -913,6 +1093,7 @@ mod tests {
             &DeviceConfig::rtx3090(),
             3,
             AttentionChoice::Dense,
+            false,
         );
         assert!(s.contains("--dtype i8"), "{s}");
         assert!(s.contains("vnm x6"), "{s}");
@@ -928,6 +1109,7 @@ mod tests {
             &DeviceConfig::rtx3090(),
             3,
             AttentionChoice::Dense,
+            false,
         );
         assert!(e.contains("--format vnm or --format auto"), "{e}");
     }
@@ -945,6 +1127,7 @@ mod tests {
             &DeviceConfig::rtx3090(),
             1,
             AttentionChoice::Dense,
+            false,
         );
         assert!(s.contains("unknown model"), "{s}");
     }
@@ -961,6 +1144,8 @@ mod tests {
             (32, 2, 8),
             &DeviceConfig::rtx3090(),
             5,
+            None,
+            None,
             None,
             None,
         );
@@ -990,6 +1175,8 @@ mod tests {
             (16, 2, 8),
             &DeviceConfig::rtx3090(),
             6,
+            None,
+            None,
             None,
             None,
         );
@@ -1022,6 +1209,8 @@ mod tests {
             7,
             None,
             Some(faults),
+            None,
+            None,
         );
         assert!(s.contains("fault injection"), "{s}");
         assert!(s.contains("no requests lost: 16/16 resolved"), "{s}");
@@ -1029,6 +1218,105 @@ mod tests {
             s.contains("outputs bit-identical to per-request baseline: yes"),
             "{s}"
         );
+    }
+
+    #[test]
+    fn serve_writes_metrics_and_trace_files() {
+        let dir = std::env::temp_dir();
+        let metrics = dir.join("venom_cli_metrics_test.prom");
+        let trace = dir.join("venom_cli_trace_test.json");
+        let s = serve(
+            8,
+            2,
+            4,
+            8,
+            (64, 64),
+            2,
+            (16, 2, 8),
+            &DeviceConfig::rtx3090(),
+            11,
+            None,
+            None,
+            Some(metrics.to_str().unwrap()),
+            Some(trace.to_str().unwrap()),
+        );
+        assert!(s.contains("metrics written"), "{s}");
+        assert!(s.contains("trace written"), "{s}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("# TYPE serve_requests_total counter"), "{m}");
+        assert!(
+            m.contains("serve_requests_total{outcome=\"served\"}"),
+            "{m}"
+        );
+        assert!(m.contains("cache_builds_total{cache=\"plan\"}"), "{m}");
+        assert!(m.contains("serve_latency_ms"), "{m}");
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"traceEvents\""), "{t}");
+        assert!(t.contains("\"batch_dispatch\""), "{t}");
+        assert!(t.contains("\"admission\""), "{t}");
+        assert!(t.contains("\"plan_build\""), "{t}");
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn serve_counts_fault_trips_in_the_report_footer() {
+        let faults = FaultConfig::parse("seed=3,build-fail=1.0").expect("valid spec");
+        let s = serve(
+            4,
+            1,
+            2,
+            4,
+            (64, 64),
+            2,
+            (16, 2, 8),
+            &DeviceConfig::rtx3090(),
+            13,
+            None,
+            Some(faults),
+            None,
+            None,
+        );
+        let line = s
+            .lines()
+            .find(|l| l.contains("fault trips booked"))
+            .unwrap_or_else(|| panic!("missing trips footer in {s}"));
+        // Every build roll fails at probability 1.0, so at least one
+        // build-fail trip must be booked (and no stalls are configured).
+        assert!(!line.contains("0 build-fail"), "{line}");
+        assert!(line.contains("0 build-stall"), "{line}");
+    }
+
+    #[test]
+    fn infer_profile_reports_measured_regimes_in_agreement() {
+        let s = infer(
+            "mini",
+            Some(1),
+            16,
+            1,
+            (16, 2, 8),
+            FormatChoice::Fixed(MatmulFormat::Vnm),
+            DType::F16,
+            &DeviceConfig::rtx3090(),
+            1,
+            AttentionChoice::Planned,
+            true,
+        );
+        assert!(s.contains("per-phase kernel profile"), "{s}");
+        assert!(s.contains("spmm[mma] 1024x768x4096"), "{s}");
+        assert!(s.contains("spmm[band] 1024x768x8"), "{s}");
+        assert!(s.contains("attention seq 16"), "{s}");
+        // The acceptance bar: each probe's measured compulsory-byte
+        // intensity must land in the regime the plan predicted.
+        let verdicts: Vec<&str> = s
+            .lines()
+            .filter(|l| l.contains("predicted vs measured"))
+            .collect();
+        assert_eq!(verdicts.len(), 3, "{s}");
+        for line in &verdicts {
+            assert!(line.contains("(agree)"), "{line}");
+        }
+        assert!(s.contains("byte fidelity"), "{s}");
     }
 
     #[test]

@@ -241,6 +241,32 @@ impl SparseTransformerEncoder {
             .filter_map(|p| p.plan.timing().map(|t| t.time_ms))
             .sum()
     }
+
+    /// Publishes the stack's census counts and planned weight-op time
+    /// into the process metrics registry as gauges
+    /// (`dnn_weight_format_plans{format=}`,
+    /// `dnn_path_regime_plans{path_regime=}`,
+    /// `dnn_attention_blocks{core=}`, `dnn_planned_weight_op_ms`), so
+    /// the CLI's census report lines and an operator scraping the
+    /// registry read the same numbers.
+    pub fn publish_census_gauges(&self, dev: &venom_runtime::DeviceConfig) {
+        let reg = venom_obs::registry();
+        for (f, n) in self.format_census() {
+            let f = f.to_string();
+            reg.gauge("dnn_weight_format_plans", &[("format", &f)])
+                .set(n as f64);
+        }
+        for (key, n) in self.path_census(dev) {
+            reg.gauge("dnn_path_regime_plans", &[("path_regime", &key)])
+                .set(n as f64);
+        }
+        for (core, n) in self.attention_census() {
+            reg.gauge("dnn_attention_blocks", &[("core", &core)])
+                .set(n as f64);
+        }
+        reg.gauge("dnn_planned_weight_op_ms", &[])
+            .set(self.planned_weight_op_ms());
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,99 @@
+//! Property tests for the log-bucketed histogram: for any sample set in
+//! the tracked range, every reported quantile sits within the bucket
+//! scheme's guaranteed relative error of the exact nearest-rank value,
+//! and merging per-thread shards is indistinguishable from recording
+//! everything into one pooled histogram.
+
+use proptest::prelude::*;
+use venom_obs::metrics::Histogram;
+
+/// SplitMix64: derives a per-index sample stream from one generated
+/// seed (the vendored proptest shim has no vec strategy).
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Log-uniform sample over the tracked range `[1e-6, 1e9)` — exercises
+/// every bucket decade a latency (in ms) could plausibly land in.
+fn sample(seed: u64, i: usize) -> f64 {
+    let unit = (mix(seed ^ i as u64) >> 11) as f64 / (1u64 << 53) as f64;
+    1e-6 * 1e15f64.powf(unit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_are_within_guaranteed_relative_error(
+        len in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let samples: Vec<f64> = (0..len).map(|i| sample(seed, i)).collect();
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tol = Histogram::relative_error();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            let idx = (q * (len - 1) as f64).round() as usize;
+            let exact = sorted[idx];
+            let got = h.quantile(q);
+            prop_assert!(
+                (got - exact).abs() <= exact * tol * 1.0000001,
+                "q={q}: got {got}, exact {exact}, rel err {} > {tol}",
+                (got - exact).abs() / exact
+            );
+        }
+        // The extremes are tracked exactly.
+        prop_assert_eq!(h.max(), sorted[len - 1]);
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.count(), len as u64);
+    }
+
+    #[test]
+    fn merging_shards_equals_the_pooled_histogram(
+        len in 1usize..300,
+        seed in any::<u64>(),
+        shards in 2usize..5,
+    ) {
+        let samples: Vec<f64> = (0..len).map(|i| sample(seed, i)).collect();
+        let pooled = Histogram::new();
+        for &v in &samples {
+            pooled.record(v);
+        }
+        // Deal samples round-robin into per-thread shards, then merge.
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in samples.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let merged = Histogram::new();
+        for p in &parts {
+            merged.merge_from(p);
+        }
+        prop_assert_eq!(merged.count(), pooled.count());
+        prop_assert_eq!(merged.min(), pooled.min());
+        prop_assert_eq!(merged.max(), pooled.max());
+        // Sums accumulate in different orders across shards; equal up to
+        // f64 rounding.
+        prop_assert!(
+            (merged.sum() - pooled.sum()).abs() <= pooled.sum().abs() * 1e-12 + 1e-12,
+            "sum drift: merged {} vs pooled {}",
+            merged.sum(),
+            pooled.sum()
+        );
+        // Bucket-for-bucket equality makes every quantile identical.
+        for q in [0.0, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(
+                merged.quantile(q),
+                pooled.quantile(q),
+                "quantile {} diverged after merge",
+                q
+            );
+        }
+    }
+}

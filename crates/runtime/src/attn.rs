@@ -309,8 +309,11 @@ impl SddmmPlan {
     pub fn replay(&self, q: &Matrix<Half>) -> VnmMatrix {
         assert_eq!(q.cols(), self.d, "inner dimensions must agree");
         assert_eq!(q.rows(), self.rows, "pattern rows must match Q");
+        let timer = venom_obs::profile::PhaseTimer::start();
         let q_f32 = venom_fp16::slice::decode_f32_vec(q.as_slice());
+        timer.stop("sddmm", "stage", (q.len() * 2) as u64);
         let d = self.d;
+        let timer = venom_obs::profile::PhaseTimer::start();
         let mut out = vec![Half::ZERO; self.rows * self.cols];
         match self.path {
             // Row-major replay: each row walks its condensed gather
@@ -347,8 +350,21 @@ impl SddmmPlan {
                     });
             }
         }
+        // Compulsory traffic of the gather-order replay: the staged K
+        // panel, the condensed index planes, and the sampled outputs.
+        timer.stop(
+            "sddmm",
+            "gather",
+            (self.kt_f32.len() * 4
+                + self.cols_idx.len() * 4
+                + self.row_ptr.len() * 4
+                + self.cols_idx.len() * 2) as u64,
+        );
+        let timer = venom_obs::profile::PhaseTimer::start();
         let dense = Matrix::from_vec(self.rows, self.cols, out);
-        VnmMatrix::compress(&dense, &self.pattern, self.cfg)
+        let compressed = VnmMatrix::compress(&dense, &self.pattern, self.cfg);
+        timer.stop("sddmm", "epilogue", (self.cols_idx.len() * 2) as u64);
+        compressed
     }
 
     /// The schedule cost selection picked.
@@ -517,9 +533,12 @@ impl AttentionPlan {
         let mut vh = vec![0.0f32; seq * d];
         for h in 0..self.heads {
             let c0 = h * d;
+            let timer = venom_obs::profile::PhaseTimer::start();
             stage(q, c0, &mut qh);
             stage(k, c0, &mut kh);
             stage(v, c0, &mut vh);
+            timer.stop("attention", "stage", (3 * seq * d * 4) as u64);
+            let timer = venom_obs::profile::PhaseTimer::start();
             let (qh, kh, vh) = (&qh, &kh, &vh);
             ctx.as_mut_slice()
                 .par_chunks_mut(hidden)
@@ -572,6 +591,14 @@ impl AttentionPlan {
                         }
                     }
                 });
+            // Per-head compulsory traffic: the staged K and V panels,
+            // the context slice written once, and the condensed index
+            // planes driving the gather.
+            timer.stop(
+                "attention",
+                "mma",
+                (3 * seq * d * 4 + self.cols.len() * 4 + self.row_ptr.len() * 4) as u64,
+            );
         }
         ctx
     }
@@ -700,12 +727,37 @@ pub struct AttnCacheStats {
 /// [`PlanKey`] discipline as the weight-plan [`crate::PlanCache`]
 /// (descriptor + mask/heads fingerprint). Attention plans are small
 /// (a condensed gather order), so no eviction policy is needed.
-#[derive(Debug, Default)]
+///
+/// Counters are double-booked: per-instance atomics back
+/// [`Self::stats`] (so a cache's own hit ratio stays exact), while the
+/// process-wide [`venom_obs`] registry accumulates the same events
+/// under `cache_{hits,misses,builds}_total{cache="attn"}` for
+/// exposition next to the weight-plan cache's `cache="plan"` series.
+#[derive(Debug)]
 pub struct AttnPlanCache {
     inner: Mutex<HashMap<PlanKey, Arc<AttentionPlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     builds: AtomicU64,
+    obs_hits: Arc<venom_obs::Counter>,
+    obs_misses: Arc<venom_obs::Counter>,
+    obs_builds: Arc<venom_obs::Counter>,
+}
+
+impl Default for AttnPlanCache {
+    fn default() -> Self {
+        let reg = venom_obs::registry();
+        let labels = [("cache", "attn")];
+        AttnPlanCache {
+            inner: Mutex::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            obs_hits: reg.counter("cache_hits_total", &labels),
+            obs_misses: reg.counter("cache_misses_total", &labels),
+            obs_builds: reg.counter("cache_builds_total", &labels),
+        }
+    }
 }
 
 impl AttnPlanCache {
@@ -736,11 +788,18 @@ impl AttnPlanCache {
     ) -> Result<Arc<AttentionPlan>, PlanError> {
         if let Some(hit) = self.inner.lock().expect("attn cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs_hits.inc();
             return Ok(Arc::clone(hit));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.obs_misses.inc();
+        let started = std::time::Instant::now();
         let plan = Arc::new(build()?);
+        // Successful builds only, so the span count stays equal to the
+        // `builds` counter a trace consumer cross-checks against.
+        venom_obs::trace::record_complete("attn_plan_build", "cache", started, None);
         self.builds.fetch_add(1, Ordering::Relaxed);
+        self.obs_builds.inc();
         // A racing builder may have inserted first; keep the existing
         // plan so every caller shares one Arc.
         let mut inner = self.inner.lock().expect("attn cache lock");

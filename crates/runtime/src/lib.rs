@@ -69,8 +69,8 @@ pub use matmul::{MatmulPlan, PlanError};
 pub use plan::{BandPlan, FormatPlan, GemmPlan, SpmmPlan};
 pub use qplan::QuantSpmmPlan;
 pub use serve::{
-    CacheStats, FaultConfig, FaultPlan, HealthReport, PlanBuildError, PlanCache, PlanKey,
-    RetryPolicy, ServeConfig, ServeError, ServeReport, Server,
+    CacheStats, FaultConfig, FaultPlan, FaultTrips, HealthReport, PlanBuildError, PlanCache,
+    PlanKey, RetryPolicy, ServeConfig, ServeError, ServeReport, Server,
 };
 
 pub use venom_core::{SpmmOptions, TileConfig};

@@ -52,6 +52,19 @@ pub(crate) trait StreamExec {
     /// Reduction depth K.
     fn k(&self) -> usize;
 
+    /// Kernel label phase profiling records this stream under (see
+    /// [`venom_obs::profile`]).
+    fn profile_kernel(&self) -> &'static str;
+
+    /// Phase name of the inner compute loop — `"mma"` for the f32 quad
+    /// replay standing in for the `mma.sp` pipeline, `"band"` for the
+    /// narrow bandwidth-optimized replay.
+    fn profile_phase(&self) -> &'static str;
+
+    /// Resident bytes of the condensed stream — compulsory operand
+    /// traffic the compute phase reads exactly once per dispatch.
+    fn stream_bytes(&self) -> u64;
+
     /// `C = A * B` over a staged RHS (`k x b_cols`, row-major f32) into
     /// `out` (`rows x b_cols`, zero-initialised). Output rows are
     /// disjoint across parallel bands and each element accumulates
@@ -62,7 +75,13 @@ pub(crate) trait StreamExec {
     /// [`Self::run_into`] with an owned result matrix.
     fn run(&self, b_f32: &[f32], b_cols: usize) -> Matrix<f32> {
         let mut out = vec![0.0f32; self.rows() * b_cols];
+        let timer = venom_obs::profile::PhaseTimer::start();
         self.run_into(b_f32, b_cols, &mut out);
+        timer.stop(
+            self.profile_kernel(),
+            self.profile_phase(),
+            self.stream_bytes() + (out.len() * 4) as u64,
+        );
         Matrix::from_vec(self.rows(), b_cols, out)
     }
 
@@ -70,7 +89,9 @@ pub(crate) trait StreamExec {
     fn run_half(&self, b: &Matrix<Half>) -> Matrix<f32> {
         assert_eq!(b.rows(), self.k(), "B must have K = {} rows", self.k());
         let mut staged = arena::lease(b.len());
+        let timer = venom_obs::profile::PhaseTimer::start();
         stage::decode_rhs_into(b, &mut staged);
+        timer.stop(self.profile_kernel(), "stage", (b.len() * 2) as u64);
         let c = self.run(&staged, b.cols());
         arena::release(staged);
         c
@@ -87,6 +108,7 @@ pub(crate) trait StreamExec {
         let k = self.k();
         let total: usize = bs.iter().map(|b| b.cols()).sum();
         let mut staged = arena::lease(k * total);
+        let timer = venom_obs::profile::PhaseTimer::start();
         let mut col0 = 0usize;
         for b in bs {
             assert_eq!(b.rows(), k, "B must have K = {k} rows");
@@ -99,6 +121,7 @@ pub(crate) trait StreamExec {
             }
             col0 += cols;
         }
+        timer.stop(self.profile_kernel(), "stage", (k * total * 2) as u64);
         let c = self.run(&staged, total);
         arena::release(staged);
 
@@ -126,7 +149,9 @@ pub(crate) trait StreamExec {
     fn run_linear(&self, x: &Matrix<f32>, bias: &[f32]) -> Matrix<f32> {
         assert_eq!(x.cols(), self.k(), "input features mismatch");
         let mut staged = arena::lease(x.len());
+        let timer = venom_obs::profile::PhaseTimer::start();
         stage::stage_activations_t_into(x, &mut staged);
+        timer.stop(self.profile_kernel(), "stage", (x.len() * 4) as u64);
         let y = self.run_linear_staged(&staged, x.rows(), bias);
         arena::release(staged);
         y
@@ -138,11 +163,18 @@ pub(crate) trait StreamExec {
         let rows = self.rows();
         assert_eq!(bias.len(), rows, "bias must match out_features");
         let mut c = arena::lease(rows * tokens);
+        let timer = venom_obs::profile::PhaseTimer::start();
         self.run_into(b_f32, tokens, &mut c);
+        timer.stop(
+            self.profile_kernel(),
+            self.profile_phase(),
+            self.stream_bytes() + (rows * tokens * 4) as u64,
+        );
         // Tiled transpose+bias epilogue: 32x32 blocks keep both the
         // strided reads from `c` and the writes to `y` inside the cache
         // (a row-by-row transpose touches a fresh cache line per element).
         const TILE: usize = 32;
+        let timer = venom_obs::profile::PhaseTimer::start();
         let mut y = vec![0.0f32; tokens * rows];
         for t0 in (0..tokens).step_by(TILE) {
             let t1 = (t0 + TILE).min(tokens);
@@ -156,6 +188,7 @@ pub(crate) trait StreamExec {
                 }
             }
         }
+        timer.stop(self.profile_kernel(), "epilogue", (y.len() * 4) as u64);
         arena::release(c);
         Matrix::from_vec(tokens, rows, y)
     }
@@ -218,6 +251,19 @@ impl StreamExec for Stream {
 
     fn k(&self) -> usize {
         self.k
+    }
+
+    fn profile_kernel(&self) -> &'static str {
+        "spmm[mma]"
+    }
+
+    fn profile_phase(&self) -> &'static str {
+        "mma"
+    }
+
+    fn stream_bytes(&self) -> u64 {
+        // f32 value + u32 source per operand, plus the row pointers.
+        (self.vals.len() * 4 + self.srcs.len() * 4 + self.row_ptr.len() * 4) as u64
     }
 
     /// The inner loop walks four stream entries at a time, reading and
@@ -322,6 +368,19 @@ impl StreamExec for BandStream {
 
     fn k(&self) -> usize {
         self.k
+    }
+
+    fn profile_kernel(&self) -> &'static str {
+        "spmm[band]"
+    }
+
+    fn profile_phase(&self) -> &'static str {
+        "band"
+    }
+
+    fn stream_bytes(&self) -> u64 {
+        // f16 bits + u16 source per operand, plus the row pointers.
+        (self.vals.len() * 2 + self.srcs.len() * 2 + self.row_ptr.len() * 4) as u64
     }
 
     /// The inner loop is the FlashSparse swap in register form: per

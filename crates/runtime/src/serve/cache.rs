@@ -191,6 +191,14 @@ pub struct PlanCache {
     builds: AtomicU64,
     failed_builds: AtomicU64,
     build_timeouts: AtomicU64,
+    // Registry mirrors of the per-instance counters above, published as
+    // `cache_*_total{cache="plan"}`. [`Self::stats`] keeps reading the
+    // instance atomics so a private cache's snapshot stays exact even
+    // when several caches share the process-wide registry series.
+    obs_hits: Arc<venom_obs::Counter>,
+    obs_misses: Arc<venom_obs::Counter>,
+    obs_evictions: Arc<venom_obs::Counter>,
+    obs_builds: Arc<venom_obs::Counter>,
 }
 
 impl Default for PlanCache {
@@ -213,6 +221,8 @@ impl PlanCache {
     /// approximate bytes exceed `budget` (in-use plans are never
     /// evicted, so the budget can be transiently exceeded).
     pub fn with_budget(budget: usize) -> Self {
+        let reg = venom_obs::registry();
+        let labels = [("cache", "plan")];
         PlanCache {
             inner: Mutex::new(Inner::default()),
             budget,
@@ -222,6 +232,10 @@ impl PlanCache {
             builds: AtomicU64::new(0),
             failed_builds: AtomicU64::new(0),
             build_timeouts: AtomicU64::new(0),
+            obs_hits: reg.counter("cache_hits_total", &labels),
+            obs_misses: reg.counter("cache_misses_total", &labels),
+            obs_evictions: reg.counter("cache_evictions_total", &labels),
+            obs_builds: reg.counter("cache_builds_total", &labels),
         }
     }
 
@@ -250,6 +264,7 @@ impl PlanCache {
                 }
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.obs_misses.inc();
                     return None;
                 }
             }
@@ -258,12 +273,14 @@ impl PlanCache {
         match plan {
             Some(p) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs_hits.inc();
                 Some(p)
             }
             None => {
                 // Entry exists but a racing build has not finished (or
                 // failed and is being torn down) — a miss to this caller.
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs_misses.inc();
                 None
             }
         }
@@ -279,10 +296,12 @@ impl PlanCache {
             Some(e) => {
                 e.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs_hits.inc();
                 Arc::clone(&e.slot)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs_misses.inc();
                 let slot = Arc::new(Slot::default());
                 inner.entries.insert(
                     key,
@@ -310,6 +329,7 @@ impl PlanCache {
             match result {
                 Ok(plan) => {
                     self.builds.fetch_add(1, Ordering::Relaxed);
+                    self.obs_builds.inc();
                     state.plan = Some(Arc::clone(&plan));
                     state.last_error = None;
                     Some(plan.approx_bytes())
@@ -368,8 +388,12 @@ impl PlanCache {
             }
         }
         // Build election won: run the builder with no lock held.
+        let started = Instant::now();
         match build() {
             Ok(plan) => {
+                // Spans cover successful builds only, so the trace's
+                // `plan_build` count matches the registry `builds` counter.
+                venom_obs::trace::record_complete("plan_build", "cache", started, None);
                 self.finish_build(&key, &slot, Ok(Arc::clone(&plan)));
                 Ok(plan)
             }
@@ -451,10 +475,14 @@ impl PlanCache {
         let slot = Arc::clone(slot);
         let cache = Arc::clone(self);
         std::thread::spawn(move || {
+            let started = Instant::now();
             let result = match catch_unwind(AssertUnwindSafe(build)) {
                 Ok(r) => r,
                 Err(panic) => Err(panic_reason(&panic)),
             };
+            if result.is_ok() {
+                venom_obs::trace::record_complete("plan_build", "cache", started, None);
+            }
             cache.finish_build(&key, &slot, result);
         });
     }
@@ -548,6 +576,7 @@ impl PlanCache {
                 Some(k) => {
                     inner.entries.remove(&k);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.obs_evictions.inc();
                 }
                 // Everything over budget is in use: keep it resident.
                 None => return,

@@ -82,6 +82,92 @@ mod site {
     pub(super) const RUN_SLOW: u64 = 0x4;
 }
 
+/// Per-site tally of faults that actually *tripped* (as opposed to the
+/// probabilities that were merely armed). [`FaultConfig`] is `Copy` and
+/// cannot own shared state, so the tally lives in an `Arc` threaded
+/// through [`FaultConfig::wrap_builder_counted`] /
+/// [`FaultPlan::wrap_counted`]; each trip is mirrored into the registry
+/// as `fault_trips_total{fault="..."}`.
+#[derive(Debug)]
+pub struct FaultTrips {
+    build_fail: AtomicU64,
+    build_stall: AtomicU64,
+    run_panic: AtomicU64,
+    run_slow: AtomicU64,
+    obs_build_fail: Arc<venom_obs::Counter>,
+    obs_build_stall: Arc<venom_obs::Counter>,
+    obs_run_panic: Arc<venom_obs::Counter>,
+    obs_run_slow: Arc<venom_obs::Counter>,
+}
+
+impl Default for FaultTrips {
+    fn default() -> Self {
+        let reg = venom_obs::registry();
+        FaultTrips {
+            build_fail: AtomicU64::new(0),
+            build_stall: AtomicU64::new(0),
+            run_panic: AtomicU64::new(0),
+            run_slow: AtomicU64::new(0),
+            obs_build_fail: reg.counter("fault_trips_total", &[("fault", "build_fail")]),
+            obs_build_stall: reg.counter("fault_trips_total", &[("fault", "build_stall")]),
+            obs_run_panic: reg.counter("fault_trips_total", &[("fault", "run_panic")]),
+            obs_run_slow: reg.counter("fault_trips_total", &[("fault", "run_slow")]),
+        }
+    }
+}
+
+impl FaultTrips {
+    /// A zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn trip_build_fail(&self) {
+        self.build_fail.fetch_add(1, Ordering::Relaxed);
+        self.obs_build_fail.inc();
+    }
+
+    fn trip_build_stall(&self) {
+        self.build_stall.fetch_add(1, Ordering::Relaxed);
+        self.obs_build_stall.inc();
+    }
+
+    fn trip_run_panic(&self) {
+        self.run_panic.fetch_add(1, Ordering::Relaxed);
+        self.obs_run_panic.inc();
+    }
+
+    fn trip_run_slow(&self) {
+        self.run_slow.fetch_add(1, Ordering::Relaxed);
+        self.obs_run_slow.inc();
+    }
+
+    /// Injected build failures tripped so far.
+    pub fn build_fail(&self) -> u64 {
+        self.build_fail.load(Ordering::Relaxed)
+    }
+
+    /// Injected build stalls tripped so far.
+    pub fn build_stall(&self) -> u64 {
+        self.build_stall.load(Ordering::Relaxed)
+    }
+
+    /// Injected dispatch panics tripped so far.
+    pub fn run_panic(&self) -> u64 {
+        self.run_panic.load(Ordering::Relaxed)
+    }
+
+    /// Injected slow dispatches tripped so far.
+    pub fn run_slow(&self) -> u64 {
+        self.run_slow.load(Ordering::Relaxed)
+    }
+
+    /// All trips across the four sites.
+    pub fn total(&self) -> u64 {
+        self.build_fail() + self.build_stall() + self.run_panic() + self.run_slow()
+    }
+}
+
 impl FaultConfig {
     /// A schedule with the given root seed and no faults enabled.
     pub fn with_seed(seed: u64) -> Self {
@@ -173,6 +259,19 @@ impl FaultConfig {
         &self,
         build: impl Fn() -> Arc<dyn MatmulPlan> + Send + Sync + 'static,
     ) -> impl Fn() -> Result<Arc<dyn MatmulPlan>, String> + Send + Sync + 'static {
+        self.wrap_builder_counted(build, Arc::new(FaultTrips::default()))
+    }
+
+    /// [`Self::wrap_builder`] with a caller-owned [`FaultTrips`] tally:
+    /// every fault that actually trips (build or run side — the tally is
+    /// shared with the [`FaultPlan`]s this builder produces) is counted,
+    /// so an injection report can say what the schedule *did*, not just
+    /// what it armed.
+    pub fn wrap_builder_counted(
+        &self,
+        build: impl Fn() -> Arc<dyn MatmulPlan> + Send + Sync + 'static,
+        trips: Arc<FaultTrips>,
+    ) -> impl Fn() -> Result<Arc<dyn MatmulPlan>, String> + Send + Sync + 'static {
         let cfg = *self;
         let attempts = AtomicU64::new(0);
         move || {
@@ -181,12 +280,14 @@ impl FaultConfig {
             }
             let n = attempts.fetch_add(1, Ordering::Relaxed);
             if cfg.roll(site::BUILD_STALL, n, cfg.build_stall) {
+                trips.trip_build_stall();
                 std::thread::sleep(Duration::from_millis(cfg.stall_ms));
             }
             if cfg.roll(site::BUILD_FAIL, n, cfg.build_fail) {
+                trips.trip_build_fail();
                 return Err(format!("injected build failure (attempt {n})"));
             }
-            Ok(FaultPlan::wrap(build(), cfg))
+            Ok(FaultPlan::wrap_counted(build(), cfg, Arc::clone(&trips)))
         }
     }
 }
@@ -203,15 +304,27 @@ pub struct FaultPlan {
     cfg: FaultConfig,
     /// Dispatch ordinal driving the deterministic schedule.
     events: AtomicU64,
+    /// Shared trip tally (run-side trips are booked here).
+    trips: Arc<FaultTrips>,
 }
 
 impl FaultPlan {
     /// Wraps `inner` with the run-side faults of `cfg`.
     pub fn wrap(inner: Arc<dyn MatmulPlan>, cfg: FaultConfig) -> Arc<dyn MatmulPlan> {
+        Self::wrap_counted(inner, cfg, Arc::new(FaultTrips::default()))
+    }
+
+    /// [`Self::wrap`] booking trips into a caller-owned tally.
+    pub fn wrap_counted(
+        inner: Arc<dyn MatmulPlan>,
+        cfg: FaultConfig,
+        trips: Arc<FaultTrips>,
+    ) -> Arc<dyn MatmulPlan> {
         Arc::new(FaultPlan {
             inner,
             cfg,
             events: AtomicU64::new(0),
+            trips,
         })
     }
 
@@ -225,9 +338,12 @@ impl FaultPlan {
     fn before_dispatch(&self) {
         let n = self.events.fetch_add(1, Ordering::Relaxed);
         if self.cfg.roll(site::RUN_SLOW, n, self.cfg.run_slow) {
+            self.trips.trip_run_slow();
             std::thread::sleep(Duration::from_millis(self.cfg.slow_ms));
         }
         if self.cfg.roll(site::RUN_PANIC, n, self.cfg.run_panic) {
+            // Booked before the unwind so the tally survives the panic.
+            self.trips.trip_run_panic();
             panic_any(InjectedPanic { event: n });
         }
     }

@@ -57,7 +57,7 @@ mod server;
 mod sync;
 
 pub use cache::{CacheStats, PlanBuildError, PlanCache, PlanKey};
-pub use fault::{FaultConfig, FaultPlan, InjectedPanic};
+pub use fault::{FaultConfig, FaultPlan, FaultTrips, InjectedPanic};
 pub use queue::{RequestQueue, ResponseHandle, ServeError, ServeRequest};
 pub use retry::RetryPolicy;
 pub use server::{HealthReport, ServeConfig, ServeReport, Server};

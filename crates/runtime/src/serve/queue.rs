@@ -177,6 +177,9 @@ static REQUEST_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// output.
 #[derive(Debug)]
 pub struct ServeRequest {
+    /// Process-unique request ordinal — correlates this request's trace
+    /// spans (admission, dispatch, degraded fallback) across threads.
+    pub id: u64,
     /// The plan the request is against — the coalescing key.
     pub key: PlanKey,
     /// The `K x cols` operand.
@@ -198,6 +201,7 @@ impl ServeRequest {
         let ordinal = REQUEST_COUNTER.fetch_add(1, Ordering::Relaxed);
         (
             ServeRequest {
+                id: ordinal,
                 key,
                 operand,
                 submitted: Instant::now(),
@@ -450,6 +454,9 @@ impl RequestQueue {
         loop {
             self.expire_overdue(&mut state);
             if let Some(first) = state.queue.pop_front() {
+                // Covers the packing sweep only — not the blocking wait
+                // above, which would dominate every trace.
+                let _span = venom_obs::span!("coalesce", first.id);
                 let key = first.key;
                 let mut batch = vec![first];
                 let mut i = 0;

@@ -192,26 +192,57 @@ pub struct HealthReport {
     pub errored: u64,
 }
 
-#[derive(Debug, Default)]
+/// Per-server tallies plus their process-wide registry mirrors. The
+/// latency distribution lives in a log-bucketed [`venom_obs::Histogram`]
+/// (bounded relative quantile error, no per-request allocation) instead
+/// of the sorted-`Vec` this replaced; `serve_latency_ms` in the registry
+/// accumulates the same samples across every server in the process.
+#[derive(Debug)]
 struct Metrics {
-    latencies_ms: Vec<f64>,
+    latency: venom_obs::Histogram,
     served: u64,
     errored: u64,
     degraded: u64,
     batches: u64,
+    obs_latency: Arc<venom_obs::Histogram>,
+    obs_served: Arc<venom_obs::Counter>,
+    obs_errored: Arc<venom_obs::Counter>,
+    obs_degraded: Arc<venom_obs::Counter>,
+    obs_batches: Arc<venom_obs::Counter>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        let reg = venom_obs::registry();
+        Metrics {
+            latency: venom_obs::Histogram::new(),
+            served: 0,
+            errored: 0,
+            degraded: 0,
+            batches: 0,
+            obs_latency: reg.histogram("serve_latency_ms", &[]),
+            obs_served: reg.counter("serve_requests_total", &[("outcome", "served")]),
+            obs_errored: reg.counter("serve_requests_total", &[("outcome", "errored")]),
+            obs_degraded: reg.counter("serve_requests_total", &[("outcome", "degraded")]),
+            obs_batches: reg.counter("serve_batches_total", &[]),
+        }
+    }
 }
 
 impl Metrics {
+    /// Books an errored-request count into both the per-server tally and
+    /// the registry mirror.
+    fn note_errored(&mut self, n: u64) {
+        self.errored += n;
+        self.obs_errored.add(n);
+    }
+
+    fn record_latency(&self, ms: f64) {
+        self.latency.record(ms);
+        self.obs_latency.record(ms);
+    }
+
     fn report(&self) -> ServeReport {
-        let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(f64::total_cmp);
-        let pct = |q: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
-            }
-            let idx = (q * (sorted.len() - 1) as f64).round() as usize;
-            sorted[idx]
-        };
         ServeReport {
             served: self.served,
             errored: self.errored,
@@ -222,9 +253,10 @@ impl Metrics {
             } else {
                 self.served as f64 / self.batches as f64
             },
-            p50_ms: pct(0.50),
-            p99_ms: pct(0.99),
-            max_ms: sorted.last().copied().unwrap_or(0.0),
+            p50_ms: self.latency.quantile(0.50),
+            p99_ms: self.latency.quantile(0.99),
+            // Exact: the histogram tracks its extrema outside the buckets.
+            max_ms: self.latency.max(),
             // Queue- and supervision-side tallies are merged by the
             // caller, which owns those counters.
             shed: 0,
@@ -375,6 +407,7 @@ impl Server {
         operand: Matrix<Half>,
     ) -> Result<ResponseHandle, ServeError> {
         let (req, handle) = ServeRequest::new(key, operand);
+        let _span = venom_obs::span!("admission", req.id);
         self.shared
             .queue
             .try_submit(req)
@@ -392,6 +425,7 @@ impl Server {
         operand: Matrix<Half>,
     ) -> Result<ResponseHandle, ServeError> {
         let (req, handle) = ServeRequest::new(key, operand);
+        let _span = venom_obs::span!("admission", req.id);
         self.shared
             .queue
             .submit(req)
@@ -412,6 +446,7 @@ impl Server {
         deadline: std::time::Instant,
     ) -> Result<ResponseHandle, ServeError> {
         let (req, handle) = ServeRequest::new(key, operand);
+        let _span = venom_obs::span!("admission", req.id);
         self.shared
             .queue
             .try_submit(req.with_deadline_at(deadline))
@@ -430,6 +465,7 @@ impl Server {
         deadline: std::time::Instant,
     ) -> Result<ResponseHandle, ServeError> {
         let (req, handle) = ServeRequest::new(key, operand);
+        let _span = venom_obs::span!("admission", req.id);
         self.shared
             .queue
             .submit(req.with_deadline_at(deadline))
@@ -453,6 +489,7 @@ impl Server {
         policy: RetryPolicy,
     ) -> Result<ResponseHandle, ServeError> {
         let (mut req, handle) = ServeRequest::new(key, operand);
+        let _span = venom_obs::span!("admission", req.id);
         let mut attempt = 0u32;
         loop {
             match self.shared.queue.try_submit(req) {
@@ -538,7 +575,7 @@ fn shutdown_shared(shared: &Arc<WorkerShared>) {
                 flushed += 1;
             }
         }
-        lock_recover(&shared.metrics).errored += flushed;
+        lock_recover(&shared.metrics).note_errored(flushed);
     }
 }
 
@@ -570,7 +607,7 @@ fn worker_main(shared: &Arc<WorkerShared>) {
                     newly_errored += 1;
                 }
             }
-            lock_recover(&shared.metrics).errored += newly_errored;
+            lock_recover(&shared.metrics).note_errored(newly_errored);
             let within_budget = shared
                 .restarts
                 .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
@@ -638,7 +675,12 @@ fn resolve_plan(shared: &Arc<WorkerShared>, key: PlanKey, seed: u64) -> Resoluti
 /// Serves one coalesced batch end to end.
 fn process_batch(shared: &Arc<WorkerShared>, batch: &[ServeRequest]) {
     let key = batch[0].key;
-    let resolution = resolve_plan(shared, key, batch[0].seed);
+    // Spans are tagged with the batch leader's request id — enough to
+    // line the whole pipeline up under one request in a trace viewer.
+    let resolution = {
+        let _span = venom_obs::span!("plan_resolve", batch[0].id);
+        resolve_plan(shared, key, batch[0].seed)
+    };
     let (plan, degraded) = match resolution {
         Resolution::Planned(plan) => (plan, false),
         Resolution::Degraded(baseline) => (baseline, true),
@@ -646,7 +688,7 @@ fn process_batch(shared: &Arc<WorkerShared>, batch: &[ServeRequest]) {
             for req in batch {
                 req.fulfill(Err(err.clone()));
             }
-            lock_recover(&shared.metrics).errored += batch.len() as u64;
+            lock_recover(&shared.metrics).note_errored(batch.len() as u64);
             return;
         }
     };
@@ -665,10 +707,12 @@ fn process_batch(shared: &Arc<WorkerShared>, batch: &[ServeRequest]) {
     } else if degraded {
         // Degraded dispatch: per-request, through the per-call path —
         // bit-identical to the planned path, minus the batching win.
+        let _span = venom_obs::span!("degraded_dispatch", good[0].id);
         good.iter()
             .map(|req| plan.run_oneshot(&req.operand))
             .collect()
     } else {
+        let _span = venom_obs::span!("batch_dispatch", good[0].id);
         let operands: Vec<&Matrix<Half>> = good.iter().map(|req| &req.operand).collect();
         plan.run_batch(&operands)
     };
@@ -679,12 +723,59 @@ fn process_batch(shared: &Arc<WorkerShared>, batch: &[ServeRequest]) {
     }
     let mut m = lock_recover(&shared.metrics);
     m.served += latencies.len() as u64;
-    m.errored += bad.len() as u64;
+    m.obs_served.add(latencies.len() as u64);
+    m.note_errored(bad.len() as u64);
     if degraded {
         m.degraded += latencies.len() as u64;
+        m.obs_degraded.add(latencies.len() as u64);
     }
     if !latencies.is_empty() {
         m.batches += 1;
+        m.obs_batches.inc();
     }
-    m.latencies_ms.extend(latencies);
+    for ms in latencies {
+        m.record_latency(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The histogram-backed report must stay within the histogram's
+    /// guaranteed relative error of the exact sorted-`Vec` percentiles
+    /// it replaced (same nearest-rank convention), and the max must be
+    /// exact — the report's numbers are a drop-in for the old math.
+    #[test]
+    fn report_percentiles_track_exact_within_bounded_drift() {
+        let mut m = Metrics::default();
+        let mut exact: Vec<f64> = Vec::new();
+        let mut state = 0x5eed_f00du64;
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let unit = (state >> 11) as f64 / (1u64 << 53) as f64;
+            // Log-uniform over 0.05..20 ms — the shape real serve
+            // latencies take (a long right tail).
+            let ms = 0.05 * 400f64.powf(unit);
+            exact.push(ms);
+            m.record_latency(ms);
+            m.served += 1;
+        }
+        exact.sort_by(f64::total_cmp);
+        let pct = |q: f64| exact[(q * (exact.len() - 1) as f64).round() as usize];
+        let report = m.report();
+        let tol = venom_obs::Histogram::relative_error() * 1.0000001;
+        for (got, want, name) in [
+            (report.p50_ms, pct(0.50), "p50"),
+            (report.p99_ms, pct(0.99), "p99"),
+        ] {
+            assert!(
+                (got - want).abs() <= want * tol,
+                "{name}: histogram {got} vs exact {want} drifts past {tol}"
+            );
+        }
+        assert_eq!(report.max_ms, *exact.last().expect("non-empty"));
+    }
 }
